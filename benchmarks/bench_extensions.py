@@ -1,0 +1,93 @@
+"""Ablation: the Sec. 5 extension patterns (X1-X3) and propagation.
+
+The paper's conclusions sketch how the pattern set should grow; this bench
+quantifies what the implemented extensions add: the extra checking cost of
+the extended engine over the base nine, the conflicts only the extensions
+catch, and the extra diagnoses propagation derives on the paper's figures.
+Artifact: ``results/extensions.txt``.
+"""
+
+from conftest import write_result
+from repro.orm import SchemaBuilder
+from repro.patterns import PatternEngine, propagate
+from repro.workloads.figures import FIGURES, build_figure
+
+BASE = PatternEngine()
+EXTENDED = PatternEngine(include_extensions=True)
+
+
+def _x_only_schemas():
+    """Conflicts invisible to the base nine, one per extension pattern."""
+    x1 = (
+        SchemaBuilder("x1_case")
+        .entity("A", values=["only"])
+        .fact("rel", ("p", "A"), ("q", "A"))
+        .ring("ir", "p", "q")
+        .build()
+    )
+    x2 = (
+        SchemaBuilder("x2_case")
+        .entity("Never", values=[])
+        .entity("B")
+        .fact("f", ("r1", "Never"), ("r2", "B"))
+        .build()
+    )
+    x3 = (
+        SchemaBuilder("x3_case")
+        .entities("A", "P1", "P2", "P3")
+        .fact("f1", ("r1", "A"), ("q1", "P1"))
+        .fact("f2", ("r2", "A"), ("q2", "P2"))
+        .fact("f3", ("m", "A"), ("q3", "P3"))
+        .mandatory("r1", "r2")
+        .mandatory("m")
+        .exclusion("m", "r1")
+        .exclusion("m", "r2")
+        .build()
+    )
+    return (x1, x2, x3)
+
+
+def test_extended_engine_overhead(benchmark):
+    """Extra cost of X1-X3 on a figure-sized schema (should be tiny)."""
+    schema = build_figure("fig6_value_exclusion_frequency")
+    report = benchmark(EXTENDED.check, schema)
+    assert not report.is_satisfiable
+
+
+def test_extensions_catch_what_base_misses(benchmark):
+    schemas = _x_only_schemas()
+
+    def sweep():
+        caught = []
+        for schema in schemas:
+            base_types = set(BASE.check(schema).unsatisfiable_types())
+            extended = EXTENDED.check(schema)
+            new_ids = set(extended.by_pattern()) - set(BASE.check(schema).by_pattern())
+            caught.append((schema.metadata.name, sorted(new_ids), base_types))
+        return caught
+
+    caught = benchmark(sweep)
+    assert [ids for _, ids, _ in caught] == [["X1"], ["X2"], ["X3"]]
+
+    lines = ["Extension ablation: conflicts only X1-X3 detect"]
+    for name, ids, base_types in caught:
+        lines.append(f"  {name:10} caught by {','.join(ids)} (base nine: silent "
+                     f"or partial)")
+    lines.append("")
+    lines.append("Propagation on the paper's figures (extra derived elements):")
+    for name in sorted(FIGURES):
+        schema = build_figure(name)
+        result = propagate(schema, BASE.check(schema))
+        if result.derived:
+            derived = ", ".join(
+                f"{item.kind}:{item.element}" for item in result.derived
+            )
+            lines.append(f"  {name:36} +{len(result.derived)}: {derived}")
+    write_result("extensions.txt", "\n".join(lines) + "\n")
+
+
+def test_propagation_cost_on_figures(benchmark):
+    schema = build_figure("fig4c_subtype_exclusion")
+    report = BASE.check(schema)
+    result = benchmark(propagate, schema, report)
+    assert result.all_unsat_roles() >= {"r3", "r5"}

@@ -1,0 +1,36 @@
+"""Experiment: every worked figure of the paper (Figs. 1-8, 10-14).
+
+For each figure schema this benchmark times the nine-pattern check and
+asserts the paper's verdict; the collected verdict table is written to
+``results/figures.txt``.  This is the reproduction of the paper's
+qualitative evaluation — who is unsatisfiable, detected by which pattern.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.patterns import PatternEngine
+from repro.workloads.figures import EXPECTATIONS, FIGURES, build_figure
+
+ENGINE = PatternEngine()
+_ROWS: dict[str, str] = {}
+
+
+@pytest.mark.parametrize("name", sorted(FIGURES))
+def test_figure_pattern_check(benchmark, name):
+    schema = build_figure(name)
+    expectation = EXPECTATIONS[name]
+    report = benchmark(ENGINE.check, schema)
+    fired = tuple(sorted(report.by_pattern()))
+    assert fired == tuple(sorted(expectation.patterns))
+    _ROWS[name] = (
+        f"{name:36} fig {expectation.figure:>3}  "
+        f"patterns={','.join(fired) or '-':10} "
+        f"unsat_types={','.join(report.unsatisfiable_types()) or '-'} "
+        f"unsat_roles={','.join(report.unsatisfiable_roles()) or '-'}"
+    )
+    if len(_ROWS) == len(FIGURES):
+        header = "Figure verdicts (paper Figs. 1-14) — pattern engine\n"
+        write_result(
+            "figures.txt", header + "\n".join(_ROWS[key] for key in sorted(_ROWS)) + "\n"
+        )

@@ -1,0 +1,72 @@
+"""Experiment: Fig. 15 / Sec. 4 — interactive (incremental) validation cost.
+
+DogmaModeler re-validates after every edit.  We measure the cost of a
+single additional edit-plus-validation as the session grows, and the
+cost of a settings-restricted profile versus the full nine patterns.
+Series land in ``results/incremental.txt``.
+"""
+
+import time
+
+import pytest
+
+from conftest import write_result
+from repro.tool import ModelingSession, ValidatorSettings
+
+SESSION_SIZES = (5, 20, 40, 80)
+_SERIES: dict[int, float] = {}
+
+
+def _grow_session(num_facts: int) -> ModelingSession:
+    session = ModelingSession(f"grown-{num_facts}")
+    session.add_entity("Hub")
+    for index in range(num_facts):
+        session.add_entity(f"T{index}")
+        session.add_fact(f"F{index}", (f"a{index}", "Hub"), (f"b{index}", f"T{index}"))
+        if index % 3 == 0:
+            session.add_uniqueness(f"a{index}")
+    return session
+
+
+@pytest.mark.parametrize("num_facts", SESSION_SIZES)
+def test_incremental_edit_cost(benchmark, num_facts):
+    session = _grow_session(num_facts)
+    counter = iter(range(10_000))
+
+    def one_edit():
+        index = next(counter)
+        session.add_entity(f"X{num_facts}_{index}")
+
+    benchmark.pedantic(one_edit, rounds=20, iterations=1)
+
+    # a clean sample for the written series
+    started = time.perf_counter()
+    session.add_entity(f"sample_{num_facts}")
+    _SERIES[num_facts] = (time.perf_counter() - started) * 1000
+    if len(_SERIES) == len(SESSION_SIZES):
+        lines = [
+            "Incremental validation cost (one edit on a grown session)",
+            f"{'facts':>6} {'ms/edit':>9}",
+        ]
+        for size in SESSION_SIZES:
+            lines.append(f"{size:>6} {_SERIES[size]:>9.3f}")
+        write_result("incremental.txt", "\n".join(lines) + "\n")
+
+
+def test_settings_profile_cost(benchmark):
+    """A restricted profile (only subtyping patterns) versus the full nine."""
+    settings = ValidatorSettings(
+        patterns={pid: pid in ("P1", "P2", "P9") for pid in ValidatorSettings().patterns}
+    )
+    session = ModelingSession("profile", settings)
+    session.add_entity("Hub")
+    for index in range(30):
+        session.add_entity(f"T{index}")
+        session.add_fact(f"F{index}", (f"a{index}", "Hub"), (f"b{index}", f"T{index}"))
+    counter = iter(range(10_000))
+
+    def one_edit():
+        session.add_entity(f"Y{next(counter)}")
+
+    benchmark.pedantic(one_edit, rounds=20, iterations=1)
+    assert session.latest() is not None

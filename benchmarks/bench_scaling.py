@@ -1,0 +1,62 @@
+"""Experiment: Sec. 4 claim A — pattern checking is cheap and interactive.
+
+The paper argues the patterns are "easy to implement ... and fast", suited
+to re-running after every editing step.  We quantify: wall time of the full
+nine-pattern check on random schemas from 10 to 320 object types.  The
+series (written to ``results/scaling.txt``) should grow roughly linearly in
+schema size — nothing like the exponential complete procedure.
+"""
+
+import time
+
+import pytest
+
+from conftest import write_result
+from repro.patterns import PatternEngine
+from repro.workloads import GeneratorConfig, generate_schema
+
+ENGINE = PatternEngine()
+SIZES = (10, 20, 40, 80, 160, 320)
+_SERIES: dict[int, float] = {}
+
+
+def _schema_of_size(num_types: int):
+    return generate_schema(
+        GeneratorConfig(num_types=num_types, num_facts=num_types, seed=42)
+    )
+
+
+@pytest.mark.parametrize("num_types", SIZES)
+def test_pattern_check_scaling(benchmark, num_types):
+    schema = _schema_of_size(num_types)
+    report = benchmark(ENGINE.check, schema)
+    assert report.patterns_run  # engine ran; verdict itself is workload-dependent
+
+    # one clean timing sample for the written series
+    started = time.perf_counter()
+    ENGINE.check(schema)
+    _SERIES[num_types] = (time.perf_counter() - started) * 1000
+    if len(_SERIES) == len(SIZES):
+        lines = [
+            "Pattern-check scaling (random schemas, seed 42)",
+            f"{'types':>6} {'facts':>6} {'constraints':>11} {'ms':>9} {'ms/element':>11}",
+        ]
+        for size in SIZES:
+            stats = _schema_of_size(size).stats()
+            elements = stats["object_types"] + stats["roles"] + stats["constraints"]
+            ms = _SERIES[size]
+            lines.append(
+                f"{stats['object_types']:>6} {stats['fact_types']:>6} "
+                f"{stats['constraints']:>11} {ms:>9.2f} {ms / elements:>11.4f}"
+            )
+        write_result("scaling.txt", "\n".join(lines) + "\n")
+
+
+def test_single_figure_check_is_interactive_speed(benchmark):
+    """An editing-step check on a figure-sized schema must be sub-millisecond
+    territory — the interactivity bar of Sec. 4."""
+    from repro.workloads.figures import build_figure
+
+    schema = build_figure("fig6_value_exclusion_frequency")
+    result = benchmark(ENGINE.check, schema)
+    assert not result.is_satisfiable

@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark module both *times* its subject (pytest-benchmark) and
+*regenerates* the corresponding paper artifact (a table or figure verdict
+series), writing it under ``benchmarks/results/`` so EXPERIMENTS.md can
+quote the exact rows a run produced.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """The directory benchmark artifacts are written to."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(name: str, content: str) -> Path:
+    """Write one artifact file (helper importable by the bench modules)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(content)
+    return path

@@ -1,0 +1,101 @@
+"""repro — Unsatisfiability reasoning in ORM conceptual schemas.
+
+A production-quality reproduction of *Jarrar & Heymans, "Unsatisfiability
+Reasoning in ORM Conceptual Schemes" (EDBT 2006)*: the ORM metamodel, the
+paper's nine unsatisfiability-detection patterns, the supporting
+set-comparison and ring-constraint reasoning, population semantics, and two
+complete comparator reasoners (a SAT-based bounded model finder and an
+ORM-to-DL pipeline with a from-scratch tableau reasoner).
+
+Quickstart
+----------
+>>> from repro import SchemaBuilder, PatternEngine
+>>> schema = (
+...     SchemaBuilder("fig1")
+...     .entities("Person", "Student", "Employee", "PhDStudent")
+...     .subtype("Student", "Person").subtype("Employee", "Person")
+...     .subtype("PhDStudent", "Student").subtype("PhDStudent", "Employee")
+...     .exclusive_types("Student", "Employee")
+...     .build()
+... )
+>>> report = PatternEngine().check(schema)
+>>> report.is_satisfiable
+False
+"""
+
+from repro.orm import (
+    EqualityConstraint,
+    ExclusionConstraint,
+    ExclusiveTypesConstraint,
+    FactType,
+    FrequencyConstraint,
+    MandatoryConstraint,
+    ObjectType,
+    RingConstraint,
+    RingKind,
+    Role,
+    Schema,
+    SchemaBuilder,
+    SubsetConstraint,
+    SubtypeLink,
+    TypeKind,
+    UniquenessConstraint,
+    check_wellformedness,
+    verbalize_schema,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EqualityConstraint",
+    "ExclusionConstraint",
+    "ExclusiveTypesConstraint",
+    "FactType",
+    "FrequencyConstraint",
+    "MandatoryConstraint",
+    "ObjectType",
+    "RingConstraint",
+    "RingKind",
+    "Role",
+    "Schema",
+    "SchemaBuilder",
+    "SubsetConstraint",
+    "SubtypeLink",
+    "TypeKind",
+    "UniquenessConstraint",
+    "check_wellformedness",
+    "verbalize_schema",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    """Lazily expose the heavier subsystems at package top level.
+
+    Keeps ``import repro`` cheap while still allowing
+    ``from repro import PatternEngine`` and friends.
+    """
+    lazy = {
+        "PatternEngine": ("repro.patterns", "PatternEngine"),
+        "Violation": ("repro.patterns", "Violation"),
+        "ValidationReport": ("repro.patterns", "ValidationReport"),
+        "Population": ("repro.population", "Population"),
+        "check_population": ("repro.population", "check_population"),
+        "BoundedModelFinder": ("repro.reasoner", "BoundedModelFinder"),
+        "Verdict": ("repro.reasoner", "Verdict"),
+        "map_schema_to_dl": ("repro.dl", "map_schema_to_dl"),
+        "TableauReasoner": ("repro.dl", "TableauReasoner"),
+        "parse_schema": ("repro.io", "parse_schema"),
+        "write_schema": ("repro.io", "write_schema"),
+        "Validator": ("repro.tool", "Validator"),
+        "ValidatorSettings": ("repro.tool", "ValidatorSettings"),
+    }
+    if name in lazy:
+        import importlib
+
+        module_name, attribute = lazy[name]
+        module = importlib.import_module(module_name)
+        value = getattr(module, attribute)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,63 @@
+"""Small internal helpers shared across the package."""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+def dedupe(items: Iterable[T]) -> list[T]:
+    """Return ``items`` with duplicates removed, preserving first-seen order.
+
+    Python dicts preserve insertion order, which makes this both simple and
+    deterministic — determinism matters because violation reports and
+    generated tables are compared against golden outputs in tests.
+    """
+    return list(dict.fromkeys(items))
+
+
+def pairs(items: Iterable[T]) -> Iterator[tuple[T, T]]:
+    """Yield all unordered pairs ``(a, b)`` of distinct elements of ``items``.
+
+    The appendix algorithms of the paper iterate ``for i, for j, i != j`` over
+    *ordered* pairs; whenever a check is symmetric we iterate unordered pairs
+    instead and document the equivalence at the call site.
+    """
+    pool = list(items)
+    for i, first in enumerate(pool):
+        for second in pool[i + 1:]:
+            yield first, second
+
+
+def ordered_pairs(items: Iterable[T]) -> Iterator[tuple[T, T]]:
+    """Yield all ordered pairs of distinct elements, as the appendix does."""
+    pool = list(items)
+    for first in pool:
+        for second in pool:
+            if first != second:
+                yield first, second
+
+
+def comma_join(items: Iterable[str]) -> str:
+    """Join names for diagnostic messages: ``'A, B and C'``."""
+    names = list(items)
+    if not names:
+        return ""
+    if len(names) == 1:
+        return names[0]
+    return ", ".join(names[:-1]) + " and " + names[-1]
+
+
+def freeze(seq: Iterable[T]) -> tuple[T, ...]:
+    """Return an immutable copy of ``seq`` (used by constraint constructors)."""
+    return tuple(seq)
+
+
+def stable_sorted_names(items: Iterable[str]) -> list[str]:
+    """Sort names case-insensitively but deterministically.
+
+    Case-insensitive primary key keeps human-facing listings natural while the
+    case-sensitive tiebreak keeps the order total and reproducible.
+    """
+    return sorted(items, key=lambda name: (name.lower(), name))

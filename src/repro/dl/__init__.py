@@ -1,0 +1,59 @@
+"""The ORM → DL pipeline: syntax, KB, mapping, tableau (RACER substitute)."""
+
+from repro.dl.kb import Axiom, KnowledgeBase
+from repro.dl.mapping import MappingReport, map_schema_to_dl
+from repro.dl.reasoning import DlOrmReasoner, DlVerdict
+from repro.dl.syntax import (
+    BOTTOM,
+    TOP,
+    And,
+    AtLeast,
+    AtMost,
+    Atom,
+    Bottom,
+    Concept,
+    Exists,
+    Forall,
+    Not,
+    Or,
+    Role,
+    Top,
+    big_and,
+    big_or,
+    inv,
+    negate,
+    nnf,
+    subconcepts,
+)
+from repro.dl.tableau import TableauReasoner, TableauResult
+
+__all__ = [
+    "And",
+    "AtLeast",
+    "AtMost",
+    "Atom",
+    "Axiom",
+    "BOTTOM",
+    "Bottom",
+    "Concept",
+    "DlOrmReasoner",
+    "DlVerdict",
+    "Exists",
+    "Forall",
+    "KnowledgeBase",
+    "MappingReport",
+    "Not",
+    "Or",
+    "Role",
+    "TOP",
+    "TableauReasoner",
+    "TableauResult",
+    "Top",
+    "big_and",
+    "big_or",
+    "inv",
+    "map_schema_to_dl",
+    "negate",
+    "nnf",
+    "subconcepts",
+]

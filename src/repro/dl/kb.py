@@ -1,0 +1,59 @@
+"""DL knowledge bases: TBoxes of general concept inclusions.
+
+The ORM mapping produces a :class:`KnowledgeBase` — a set of GCIs
+(``C ⊑ D``) over the :mod:`repro.dl.syntax` constructors.  For the tableau
+the TBox is *internalized*: every axiom ``C ⊑ D`` becomes the meta
+constraint ``¬C ⊔ D`` that must hold at every node of the completion graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dl.syntax import Concept, negate, nnf, Or
+
+
+@dataclass(frozen=True)
+class Axiom:
+    """A general concept inclusion ``sub ⊑ sup`` with a provenance note."""
+
+    sub: Concept
+    sup: Concept
+    origin: str = ""
+
+    def internalized(self) -> Concept:
+        """The NNF of ``¬sub ⊔ sup`` — the node-level constraint."""
+        return nnf(Or(negate(self.sub), self.sup))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        suffix = f"  # {self.origin}" if self.origin else ""
+        return f"{self.sub} ⊑ {self.sup}{suffix}"
+
+
+@dataclass
+class KnowledgeBase:
+    """A TBox plus the bookkeeping the mapping produces."""
+
+    axioms: list[Axiom] = field(default_factory=list)
+    name: str = "kb"
+
+    def add(self, sub: Concept, sup: Concept, origin: str = "") -> Axiom:
+        """Append the axiom ``sub ⊑ sup``."""
+        axiom = Axiom(sub, sup, origin)
+        self.axioms.append(axiom)
+        return axiom
+
+    def add_disjoint(self, first: Concept, second: Concept, origin: str = "") -> Axiom:
+        """``first ⊓ second ⊑ ⊥`` expressed as ``first ⊑ ¬second``."""
+        return self.add(first, negate(second), origin)
+
+    def internalized(self) -> list[Concept]:
+        """All axioms as node-level constraints (NNF)."""
+        return [axiom.internalized() for axiom in self.axioms]
+
+    def __len__(self) -> int:
+        return len(self.axioms)
+
+    def pretty(self) -> str:
+        """A readable listing, used by the examples."""
+        return "\n".join(str(axiom) for axiom in self.axioms)

@@ -1,0 +1,208 @@
+"""The ORM → description logic mapping (the [JF05] pipeline of Sec. 4).
+
+Every object type becomes an atomic concept, every binary fact type a DL
+role, and the mappable constraints become TBox axioms:
+
+==============================  =========================================
+ORM construct                   axioms
+==============================  =========================================
+subtype link ``S < T``          ``C_S ⊑ C_T`` (strictness inexpressible)
+default top disjointness        ``C_T1 ⊑ ¬C_T2`` for unrelated roots
+exclusive types                 pairwise ``C_Ti ⊑ ¬C_Tj``
+fact type typing                ``∃R.⊤ ⊑ C_A``; ``∃R⁻.⊤ ⊑ C_B``
+mandatory (also disjunctive)    ``C_A ⊑ ∃R1.⊤ ⊔ ... ⊔ ∃Rn.⊤``
+uniqueness on a role            ``⊤ ⊑ ≤1 R``
+frequency FC(n-m) on a role     ``∃R.⊤ ⊑ ≥n R``; ``⊤ ⊑ ≤m R``
+role-level exclusion            ``∃Ri.⊤ ⊑ ¬∃Rj.⊤`` pairwise
+role-level subset / equality    ``∃Ri.⊤ ⊑ ∃Rj.⊤`` (both ways for =)
+==============================  =========================================
+
+The constructs that *cannot* be mapped are exactly the ones the paper's
+footnote 10 concedes DLR cannot take either — ring constraints, value
+constraints (would need nominals), spanning frequency constraints, and
+predicate-level set-comparison constraints (would need role inclusion
+axioms).  The mapper records each skipped construct in the
+:class:`MappingReport` instead of silently dropping it; ``strict=True``
+raises :class:`repro.exceptions.MappingError` on the first one.
+
+Satisfiability queries then reduce to concept satisfiability w.r.t. the
+TBox (decided by :mod:`repro.dl.tableau`): object type ``T`` is satisfiable
+iff ``C_T`` is; role ``r`` of fact type ``F`` is satisfiable iff ``∃R_F.⊤``
+is (a tuple exists iff a player exists).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.dl.kb import KnowledgeBase
+from repro.dl.syntax import (
+    TOP,
+    Atom,
+    AtLeast,
+    AtMost,
+    Concept,
+    Exists,
+    Role,
+    big_or,
+)
+from repro.exceptions import MappingError
+from repro.orm.constraints import (
+    EqualityConstraint,
+    ExclusionConstraint,
+    ExclusiveTypesConstraint,
+    FrequencyConstraint,
+    MandatoryConstraint,
+    RingConstraint,
+    SubsetConstraint,
+    UniquenessConstraint,
+)
+from repro.orm.schema import Schema
+
+
+@dataclass
+class MappingReport:
+    """What was mapped, what could not be, and the query dictionary."""
+
+    kb: KnowledgeBase
+    concept_for_type: dict[str, Concept] = field(default_factory=dict)
+    concept_for_role: dict[str, Concept] = field(default_factory=dict)
+    unmapped: list[str] = field(default_factory=list)
+
+    @property
+    def is_complete(self) -> bool:
+        """True when every construct of the schema was mapped."""
+        return not self.unmapped
+
+
+def _role_concept(schema: Schema, role_name: str) -> Concept:
+    """``∃R_F.⊤`` or ``∃R_F⁻.⊤`` — "plays this role"."""
+    role = schema.role(role_name)
+    dl_role = Role(role.fact_type, inverse=role.position == 1)
+    return Exists(dl_role, TOP)
+
+
+def map_schema_to_dl(schema: Schema, strict: bool = False) -> MappingReport:
+    """Translate the mappable fragment of ``schema`` into a DL TBox."""
+    kb = KnowledgeBase(name=f"dl({schema.metadata.name})")
+    report = MappingReport(kb=kb)
+
+    for object_type in schema.object_types():
+        report.concept_for_type[object_type.name] = Atom(object_type.name)
+        if object_type.values is not None:
+            _skip(
+                report,
+                strict,
+                f"value constraint on '{object_type.name}' (needs nominals; "
+                "paper footnote 10 territory)",
+            )
+
+    for link in schema.subtype_links():
+        kb.add(Atom(link.sub), Atom(link.super), origin=f"subtype {link}")
+
+    roots = schema.root_types()
+    for first, second in itertools.combinations(roots, 2):
+        kb.add_disjoint(Atom(first), Atom(second), origin=f"top disjoint {first},{second}")
+
+    for fact in schema.fact_types():
+        dl_role = Role(fact.name)
+        first, second = fact.roles
+        kb.add(Exists(dl_role, TOP), Atom(first.player), origin=f"domain of {fact.name}")
+        kb.add(
+            Exists(dl_role.inverted(), TOP),
+            Atom(second.player),
+            origin=f"range of {fact.name}",
+        )
+        report.concept_for_role[first.name] = _role_concept(schema, first.name)
+        report.concept_for_role[second.name] = _role_concept(schema, second.name)
+
+    for constraint in schema.constraints():
+        _map_constraint(schema, constraint, report, strict)
+    return report
+
+
+def _skip(report: MappingReport, strict: bool, reason: str) -> None:
+    if strict:
+        raise MappingError(reason)
+    report.unmapped.append(reason)
+
+
+def _map_constraint(schema, constraint, report: MappingReport, strict: bool) -> None:
+    kb = report.kb
+    label = constraint.label or constraint.kind_name()
+    if isinstance(constraint, MandatoryConstraint):
+        player = Atom(schema.role(constraint.roles[0]).player)
+        plays = [_role_concept(schema, role_name) for role_name in constraint.roles]
+        kb.add(player, big_or(plays), origin=f"mandatory <{label}>")
+    elif isinstance(constraint, UniquenessConstraint):
+        if len(constraint.roles) == 2:
+            return  # spanning uniqueness is implicit set semantics
+        role = schema.role(constraint.roles[0])
+        dl_role = Role(role.fact_type, inverse=role.position == 1)
+        kb.add(TOP, AtMost(1, dl_role), origin=f"uniqueness <{label}>")
+    elif isinstance(constraint, FrequencyConstraint):
+        if len(constraint.roles) == 2:
+            _skip(report, strict, f"spanning frequency <{label}> (footnote 10)")
+            return
+        role = schema.role(constraint.roles[0])
+        dl_role = Role(role.fact_type, inverse=role.position == 1)
+        if constraint.min > 1:
+            kb.add(
+                Exists(dl_role, TOP),
+                AtLeast(constraint.min, dl_role),
+                origin=f"frequency min <{label}>",
+            )
+        if constraint.max is not None:
+            kb.add(TOP, AtMost(constraint.max, dl_role), origin=f"frequency max <{label}>")
+    elif isinstance(constraint, ExclusionConstraint):
+        if not constraint.is_role_exclusion:
+            _skip(
+                report,
+                strict,
+                f"predicate-level exclusion <{label}> (needs role disjointness)",
+            )
+            return
+        for first, second in itertools.combinations(constraint.single_roles(), 2):
+            kb.add_disjoint(
+                _role_concept(schema, first),
+                _role_concept(schema, second),
+                origin=f"exclusion <{label}>",
+            )
+    elif isinstance(constraint, ExclusiveTypesConstraint):
+        for first, second in itertools.combinations(constraint.types, 2):
+            kb.add_disjoint(Atom(first), Atom(second), origin=f"exclusive <{label}>")
+    elif isinstance(constraint, SubsetConstraint):
+        if constraint.arity != 1:
+            _skip(
+                report,
+                strict,
+                f"predicate-level subset <{label}> (needs role inclusion)",
+            )
+            return
+        kb.add(
+            _role_concept(schema, constraint.sub[0]),
+            _role_concept(schema, constraint.sup[0]),
+            origin=f"subset <{label}>",
+        )
+    elif isinstance(constraint, EqualityConstraint):
+        if constraint.arity != 1:
+            _skip(
+                report,
+                strict,
+                f"predicate-level equality <{label}> (needs role inclusion)",
+            )
+            return
+        first = _role_concept(schema, constraint.first[0])
+        second = _role_concept(schema, constraint.second[0])
+        kb.add(first, second, origin=f"equality <{label}>")
+        kb.add(second, first, origin=f"equality <{label}>")
+    elif isinstance(constraint, RingConstraint):
+        _skip(
+            report,
+            strict,
+            f"ring constraint <{label}> ({constraint.kind.value}; footnote 10: "
+            "not expressible in DLR either)",
+        )
+    else:  # pragma: no cover - defensive
+        _skip(report, strict, f"unknown constraint type {type(constraint).__name__}")

@@ -1,0 +1,87 @@
+"""High-level ORM reasoning through the DL pipeline (map → tableau).
+
+:class:`DlOrmReasoner` packages the Sec. 4 workflow: map the schema into a
+TBox, then answer ORM satisfiability questions as concept-satisfiability
+queries.  Questions about constructs the mapping had to skip are answered
+``None`` ("cannot decide through DL"), never guessed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dl.mapping import MappingReport, map_schema_to_dl
+from repro.dl.tableau import TableauReasoner
+from repro.exceptions import BudgetExceededError
+from repro.orm.schema import Schema
+
+
+@dataclass
+class DlVerdict:
+    """Answer to one ORM-element satisfiability question via DL."""
+
+    element: str
+    satisfiable: bool | None  # None: unmapped construct involved or budget out
+    reason: str = ""
+
+
+class DlOrmReasoner:
+    """Reason about an ORM schema by mapping it into DL."""
+
+    def __init__(self, schema: Schema, max_rule_applications: int = 200_000) -> None:
+        self.schema = schema
+        self.report: MappingReport = map_schema_to_dl(schema)
+        self.tableau = TableauReasoner(
+            self.report.kb, max_rule_applications=max_rule_applications
+        )
+
+    @property
+    def mapping_complete(self) -> bool:
+        """Did every construct of the schema make it into the TBox?
+
+        When False, "satisfiable" answers are only sound for the mapped
+        fragment — exactly the caveat the paper's footnote 10 makes for DLR.
+        """
+        return self.report.is_complete
+
+    def type_satisfiable(self, type_name: str) -> DlVerdict:
+        """Is the object type's concept satisfiable w.r.t. the TBox?"""
+        concept = self.report.concept_for_type.get(type_name)
+        if concept is None:
+            return DlVerdict(type_name, None, "type missing from mapping")
+        return self._query(type_name, concept)
+
+    def role_satisfiable(self, role_name: str) -> DlVerdict:
+        """Is the role's "plays" concept satisfiable w.r.t. the TBox?"""
+        concept = self.report.concept_for_role.get(role_name)
+        if concept is None:
+            return DlVerdict(role_name, None, "role missing from mapping")
+        return self._query(role_name, concept)
+
+    def all_elements(self) -> list[DlVerdict]:
+        """Check every object type and every role (the strong-sat sweep)."""
+        verdicts = [
+            self.type_satisfiable(name) for name in self.schema.object_type_names()
+        ]
+        verdicts.extend(
+            self.role_satisfiable(name) for name in self.schema.role_names()
+        )
+        return verdicts
+
+    def unsatisfiable_elements(self) -> list[str]:
+        """Names of all elements the DL pipeline proves unsatisfiable."""
+        return [
+            verdict.element
+            for verdict in self.all_elements()
+            if verdict.satisfiable is False
+        ]
+
+    def _query(self, element: str, concept) -> DlVerdict:
+        try:
+            satisfiable = self.tableau.is_satisfiable(concept)
+        except BudgetExceededError:
+            return DlVerdict(element, None, "tableau budget exhausted")
+        note = "" if self.mapping_complete else (
+            "mapping incomplete: " + "; ".join(self.report.unmapped[:3])
+        )
+        return DlVerdict(element, satisfiable, note)

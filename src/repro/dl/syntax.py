@@ -1,0 +1,252 @@
+"""Description-logic concept syntax (the target of the ORM mapping).
+
+The paper (Sec. 4) obtains complete ORM reasoning by mapping schemas into
+the DLR description logic and calling RACER.  Our substitute pipeline maps
+the practically-mappable fragment into **ALCNI** — ALC with unqualified
+number restrictions and inverse roles — which is exactly expressive enough
+for the ORM constructs DLR handles in practice (see
+:mod:`repro.dl.mapping`; the constructs DLR cannot take, footnote 10 of the
+paper, are the same ones our mapper rejects).
+
+Concepts are immutable dataclass trees::
+
+    Atom("Student"), Not(c), And(c1, c2), Or(c1, c2),
+    Exists(Role("works_for"), TOP), Forall(inv(Role("works_for")), c),
+    AtLeast(2, r), AtMost(1, r)
+
+:func:`nnf` pushes negation to the atoms — the normal form the tableau
+expects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Role:
+    """A role (binary relation) name, possibly inverted."""
+
+    name: str
+    inverse: bool = False
+
+    def inverted(self) -> "Role":
+        """The inverse role; involution (``R⁻⁻ = R``)."""
+        return Role(self.name, not self.inverse)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}^-" if self.inverse else self.name
+
+
+def inv(role: Role) -> Role:
+    """Readable alias for :meth:`Role.inverted`."""
+    return role.inverted()
+
+
+class Concept:
+    """Marker base class; all constructors below are concepts."""
+
+    def __and__(self, other: "Concept") -> "Concept":
+        return And(self, other)
+
+    def __or__(self, other: "Concept") -> "Concept":
+        return Or(self, other)
+
+    def __invert__(self) -> "Concept":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Top(Concept):
+    """⊤ — everything."""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "⊤"
+
+
+@dataclass(frozen=True)
+class Bottom(Concept):
+    """⊥ — nothing."""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "⊥"
+
+
+TOP = Top()
+BOTTOM = Bottom()
+
+
+@dataclass(frozen=True)
+class Atom(Concept):
+    """An atomic concept name."""
+
+    name: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass(frozen=True)
+class Not(Concept):
+    """¬C."""
+
+    concept: Concept
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"¬{self.concept}"
+
+
+@dataclass(frozen=True)
+class And(Concept):
+    """C ⊓ D (binary; nest for wider conjunctions)."""
+
+    left: Concept
+    right: Concept
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.left} ⊓ {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Concept):
+    """C ⊔ D."""
+
+    left: Concept
+    right: Concept
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.left} ⊔ {self.right})"
+
+
+@dataclass(frozen=True)
+class Exists(Concept):
+    """∃R.C."""
+
+    role: Role
+    concept: Concept
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"∃{self.role}.{self.concept}"
+
+
+@dataclass(frozen=True)
+class Forall(Concept):
+    """∀R.C."""
+
+    role: Role
+    concept: Concept
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"∀{self.role}.{self.concept}"
+
+
+@dataclass(frozen=True)
+class AtLeast(Concept):
+    """≥n R (unqualified: the filler concept is ⊤)."""
+
+    n: int
+    role: Role
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise ValueError("cardinality must be non-negative")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"≥{self.n} {self.role}"
+
+
+@dataclass(frozen=True)
+class AtMost(Concept):
+    """≤n R (unqualified)."""
+
+    n: int
+    role: Role
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise ValueError("cardinality must be non-negative")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"≤{self.n} {self.role}"
+
+
+def big_and(concepts: list[Concept]) -> Concept:
+    """Right-nested conjunction of a list (⊤ when empty)."""
+    if not concepts:
+        return TOP
+    result = concepts[-1]
+    for concept in reversed(concepts[:-1]):
+        result = And(concept, result)
+    return result
+
+
+def big_or(concepts: list[Concept]) -> Concept:
+    """Right-nested disjunction of a list (⊥ when empty)."""
+    if not concepts:
+        return BOTTOM
+    result = concepts[-1]
+    for concept in reversed(concepts[:-1]):
+        result = Or(concept, result)
+    return result
+
+
+def nnf(concept: Concept) -> Concept:
+    """Negation normal form: negation only on atoms.
+
+    ``¬∃R.C -> ∀R.¬C``, ``¬≥n R -> ≤(n-1) R`` (``¬≥0 R -> ⊥``),
+    ``¬≤n R -> ≥(n+1) R``, De Morgan for ⊓/⊔, double negation elimination.
+    """
+    if isinstance(concept, (Top, Bottom, Atom)):
+        return concept
+    if isinstance(concept, And):
+        return And(nnf(concept.left), nnf(concept.right))
+    if isinstance(concept, Or):
+        return Or(nnf(concept.left), nnf(concept.right))
+    if isinstance(concept, Exists):
+        return Exists(concept.role, nnf(concept.concept))
+    if isinstance(concept, Forall):
+        return Forall(concept.role, nnf(concept.concept))
+    if isinstance(concept, (AtLeast, AtMost)):
+        return concept
+    if isinstance(concept, Not):
+        inner = concept.concept
+        if isinstance(inner, Top):
+            return BOTTOM
+        if isinstance(inner, Bottom):
+            return TOP
+        if isinstance(inner, Atom):
+            return concept
+        if isinstance(inner, Not):
+            return nnf(inner.concept)
+        if isinstance(inner, And):
+            return Or(nnf(Not(inner.left)), nnf(Not(inner.right)))
+        if isinstance(inner, Or):
+            return And(nnf(Not(inner.left)), nnf(Not(inner.right)))
+        if isinstance(inner, Exists):
+            return Forall(inner.role, nnf(Not(inner.concept)))
+        if isinstance(inner, Forall):
+            return Exists(inner.role, nnf(Not(inner.concept)))
+        if isinstance(inner, AtLeast):
+            if inner.n == 0:
+                return BOTTOM
+            return AtMost(inner.n - 1, inner.role)
+        if isinstance(inner, AtMost):
+            return AtLeast(inner.n + 1, inner.role)
+    raise TypeError(f"cannot normalize {concept!r}")
+
+
+def negate(concept: Concept) -> Concept:
+    """NNF of ¬C."""
+    return nnf(Not(concept))
+
+
+def subconcepts(concept: Concept):
+    """All syntactic subconcepts (used by tests and the blocking analysis)."""
+    yield concept
+    if isinstance(concept, Not):
+        yield from subconcepts(concept.concept)
+    elif isinstance(concept, (And, Or)):
+        yield from subconcepts(concept.left)
+        yield from subconcepts(concept.right)
+    elif isinstance(concept, (Exists, Forall)):
+        yield from subconcepts(concept.concept)

@@ -1,0 +1,399 @@
+"""A tableau reasoner for ALCNI with general TBoxes — the RACER substitute.
+
+Decides concept satisfiability w.r.t. a :class:`repro.dl.kb.KnowledgeBase`
+using the classical tableau method:
+
+* the TBox is **internalized**: each axiom ``C ⊑ D`` becomes a constraint
+  ``¬C ⊔ D`` added to every node's label;
+* a completion *tree* is expanded with the usual rules — ⊓, ⊔ (branching),
+  ∀ (propagation to neighbors across inverses), ∃ and ≥ (successor
+  generation), ≤ (neighbor merging, branching over merge pairs);
+* **pairwise blocking** guarantees termination in the presence of inverse
+  roles and number restrictions: a node is blocked when some strict
+  ancestor pair replays its own (label, parent label, edge label) triple;
+* branching is chronological: the state is cloned at each choice point.
+
+This mirrors what RACER does for the paper's Sec. 4 pipeline at the scale
+we need: sound and complete for the mapped fragment, and — true to the
+paper's complexity discussion — exponential in the worst case.
+
+One honest caveat carried over from the DL literature (documented in
+DESIGN.md): the tableau decides satisfiability over *unrestricted* (possibly
+infinite) models, while ORM populations are finite.  ALCNI lacks the finite
+model property, so on contrived inputs the tableau may report "satisfiable"
+where only infinite models exist; the bounded model finder is the finite
+referee.  The mapped ORM fragment behaves identically in both readings for
+every schema in the paper, and the test suite checks the theorem-level
+direction (finite model found ⇒ tableau must accept).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dl.kb import KnowledgeBase
+from repro.dl.syntax import (
+    And,
+    AtLeast,
+    AtMost,
+    Atom,
+    Bottom,
+    Concept,
+    Exists,
+    Forall,
+    Not,
+    Or,
+    Role,
+    nnf,
+)
+from repro.exceptions import BudgetExceededError
+
+
+@dataclass
+class _Node:
+    """One node of the completion tree."""
+
+    node_id: int
+    label: set[Concept]
+    parent: int | None
+    edge: set[Role]  # roles on the edge from the parent to this node
+
+    def clone(self) -> "_Node":
+        return _Node(self.node_id, set(self.label), self.parent, set(self.edge))
+
+
+class _State:
+    """A completion tree plus the inequality relation."""
+
+    def __init__(self) -> None:
+        self.nodes: dict[int, _Node] = {}
+        self.children: dict[int, list[int]] = {}
+        self.neq: set[frozenset[int]] = set()
+        self.next_id = 0
+
+    def clone(self) -> "_State":
+        copy = _State()
+        copy.nodes = {nid: node.clone() for nid, node in self.nodes.items()}
+        copy.children = {nid: list(kids) for nid, kids in self.children.items()}
+        copy.neq = set(self.neq)
+        copy.next_id = self.next_id
+        return copy
+
+    def new_node(self, label: set[Concept], parent: int | None, edge: set[Role]) -> int:
+        node_id = self.next_id
+        self.next_id += 1
+        self.nodes[node_id] = _Node(node_id, label, parent, edge)
+        self.children[node_id] = []
+        if parent is not None:
+            self.children[parent].append(node_id)
+        return node_id
+
+    def neighbors(self, node_id: int, role: Role) -> list[int]:
+        """All ``role``-neighbors: matching children plus possibly the parent."""
+        node = self.nodes[node_id]
+        found = [
+            child
+            for child in self.children[node_id]
+            if role in self.nodes[child].edge
+        ]
+        if node.parent is not None and role.inverted() in node.edge:
+            found.append(node.parent)
+        return found
+
+    def distinct(self, first: int, second: int) -> bool:
+        return frozenset((first, second)) in self.neq
+
+    def prune(self, node_id: int) -> None:
+        """Remove a node and its whole subtree."""
+        for child in list(self.children.get(node_id, [])):
+            self.prune(child)
+        node = self.nodes.pop(node_id)
+        self.children.pop(node_id, None)
+        if node.parent is not None and node.parent in self.children:
+            self.children[node.parent] = [
+                kid for kid in self.children[node.parent] if kid != node_id
+            ]
+        self.neq = {pair for pair in self.neq if node_id not in pair}
+
+    # -- blocking ----------------------------------------------------------
+
+    def blocked(self, node_id: int) -> bool:
+        """Pairwise blocking, including indirect blocking via ancestors."""
+        ancestors = []
+        current = self.nodes[node_id]
+        while current.parent is not None:
+            ancestors.append(current)
+            current = self.nodes[current.parent]
+        ancestors.append(current)  # the root
+        # ancestors[0] is the node itself; walk pairs (descendant, parent).
+        for index in range(len(ancestors) - 1):
+            inner = ancestors[index]
+            inner_parent = ancestors[index + 1]
+            for walker in range(index + 1, len(ancestors) - 1):
+                witness = ancestors[walker]
+                witness_parent = ancestors[walker + 1]
+                if (
+                    inner.label == witness.label
+                    and inner_parent.label == witness_parent.label
+                    and inner.edge == witness.edge
+                ):
+                    return True
+        return False
+
+
+@dataclass
+class TableauResult:
+    """Outcome of a satisfiability query."""
+
+    satisfiable: bool | None  # None = budget exhausted
+    nodes_created: int = 0
+    branches_explored: int = 0
+    rule_applications: int = 0
+
+
+@dataclass
+class TableauReasoner:
+    """Concept satisfiability w.r.t. a TBox (ALCNI, internalized GCIs)."""
+
+    kb: KnowledgeBase
+    max_rule_applications: int = 200_000
+
+    _universal: list[Concept] = field(init=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._universal = self.kb.internalized()
+
+    # -- public API ---------------------------------------------------------
+
+    def is_satisfiable(self, concept: Concept) -> bool:
+        """True iff ``concept`` is satisfiable w.r.t. the TBox.
+
+        Raises :class:`BudgetExceededError` if the search budget runs out.
+        """
+        result = self.check(concept)
+        if result.satisfiable is None:
+            raise BudgetExceededError(
+                "tableau exceeded its rule-application budget"
+            )
+        return result.satisfiable
+
+    def check(self, concept: Concept) -> TableauResult:
+        """Satisfiability with statistics; never raises on budget."""
+        state = _State()
+        root_label = {nnf(concept), *self._universal}
+        state.new_node(root_label, parent=None, edge=set())
+        stats = TableauResult(satisfiable=None)
+        try:
+            satisfiable = self._expand(state, stats)
+        except BudgetExceededError:
+            stats.satisfiable = None
+            return stats
+        stats.satisfiable = satisfiable
+        return stats
+
+    def subsumes(self, sub: Concept, sup: Concept) -> bool:
+        """``sub ⊑ sup`` holds iff ``sub ⊓ ¬sup`` is unsatisfiable."""
+        return not self.is_satisfiable(And(sub, nnf(Not(sup))))
+
+    # -- the search ----------------------------------------------------------
+
+    def _expand(self, state: _State, stats: TableauResult) -> bool:
+        while True:
+            stats.rule_applications += 1
+            if stats.rule_applications > self.max_rule_applications:
+                raise BudgetExceededError("tableau budget exhausted")
+            if self._has_clash(state):
+                return False
+            action = self._pick_rule(state)
+            if action is None:
+                return True  # complete and clash-free
+            kind = action[0]
+            if kind == "and":
+                _, node_id, concept = action
+                node = state.nodes[node_id]
+                node.label.add(concept.left)
+                node.label.add(concept.right)
+            elif kind == "forall":
+                _, node_id, neighbor_id, concept = action
+                state.nodes[neighbor_id].label.add(concept.concept)
+            elif kind == "or":
+                _, node_id, concept = action
+                for disjunct in (concept.left, concept.right):
+                    branch = state.clone()
+                    branch.nodes[node_id].label.add(disjunct)
+                    stats.branches_explored += 1
+                    if self._expand(branch, stats):
+                        return True
+                return False
+            elif kind == "merge":
+                _, node_id, concept, pairs = action
+                for target, victim in pairs:
+                    branch = state.clone()
+                    self._merge(branch, victim, target)
+                    stats.branches_explored += 1
+                    if self._expand(branch, stats):
+                        return True
+                return False
+            elif kind == "exists":
+                _, node_id, concept = action
+                label = {concept.concept, *self._universal}
+                state.new_node(label, parent=node_id, edge={concept.role})
+                stats.nodes_created += 1
+            elif kind == "atleast":
+                _, node_id, concept = action
+                fresh = []
+                for _ in range(concept.n):
+                    fresh.append(
+                        state.new_node(
+                            set(self._universal), parent=node_id, edge={concept.role}
+                        )
+                    )
+                    stats.nodes_created += 1
+                for i, first in enumerate(fresh):
+                    for second in fresh[i + 1:]:
+                        state.neq.add(frozenset((first, second)))
+            else:  # pragma: no cover - defensive
+                raise AssertionError(f"unknown rule {kind}")
+
+    # -- clash and rule selection ---------------------------------------------
+
+    def _has_clash(self, state: _State) -> bool:
+        for node in state.nodes.values():
+            label = node.label
+            for concept in label:
+                if isinstance(concept, Bottom):
+                    return True
+                if isinstance(concept, Not) and concept.concept in label:
+                    return True
+                if isinstance(concept, AtMost):
+                    neighbors = state.neighbors(node.node_id, concept.role)
+                    if self._count_distinct(state, neighbors) > concept.n:
+                        # Only a clash if no merge is possible; the merge rule
+                        # below handles the mergeable case first.
+                        if not self._mergeable_pairs(state, neighbors):
+                            return True
+        return False
+
+    @staticmethod
+    def _count_distinct(state: _State, neighbors: list[int]) -> int:
+        """Size of the largest pairwise-distinct subset (greedy: the whole
+        set counts only when all pairs are distinct; otherwise merging is
+        still possible, so the exact count does not matter)."""
+        for i, first in enumerate(neighbors):
+            for second in neighbors[i + 1:]:
+                if not state.distinct(first, second):
+                    return 0  # a merge candidate exists; not yet a clash
+        return len(neighbors)
+
+    @staticmethod
+    def _mergeable_pairs(state: _State, neighbors: list[int]) -> list[tuple[int, int]]:
+        pairs = []
+        for i, first in enumerate(neighbors):
+            for second in neighbors[i + 1:]:
+                if state.distinct(first, second):
+                    continue
+                # Merge the younger node into the older one; merging into
+                # the predecessor keeps the tree shape intact.
+                target, victim = sorted((first, second))
+                pairs.append((target, victim))
+        return pairs
+
+    def _pick_rule(self, state: _State):
+        """Deterministic rule choice; priorities keep the search terminating:
+        deterministic rules first, then merging, then branching, then
+        generation (which respects blocking)."""
+        ordered = sorted(state.nodes)
+        # 1. ⊓
+        for node_id in ordered:
+            for concept in sorted(state.nodes[node_id].label, key=str):
+                if isinstance(concept, And):
+                    label = state.nodes[node_id].label
+                    if concept.left not in label or concept.right not in label:
+                        return ("and", node_id, concept)
+        # 2. ∀
+        for node_id in ordered:
+            for concept in sorted(state.nodes[node_id].label, key=str):
+                if isinstance(concept, Forall):
+                    for neighbor in state.neighbors(node_id, concept.role):
+                        if concept.concept not in state.nodes[neighbor].label:
+                            return ("forall", node_id, neighbor, concept)
+        # 3. ≤ merging
+        for node_id in ordered:
+            for concept in sorted(state.nodes[node_id].label, key=str):
+                if isinstance(concept, AtMost):
+                    neighbors = state.neighbors(node_id, concept.role)
+                    if len(neighbors) > concept.n:
+                        pairs = self._mergeable_pairs(state, neighbors)
+                        if pairs:
+                            return ("merge", node_id, concept, pairs)
+        # 4. ⊔
+        for node_id in ordered:
+            for concept in sorted(state.nodes[node_id].label, key=str):
+                if isinstance(concept, Or):
+                    label = state.nodes[node_id].label
+                    if concept.left not in label and concept.right not in label:
+                        return ("or", node_id, concept)
+        # 5. generation: ∃ then ≥, blocked nodes generate nothing
+        for node_id in ordered:
+            if state.blocked(node_id):
+                continue
+            for concept in sorted(state.nodes[node_id].label, key=str):
+                if isinstance(concept, Exists):
+                    has_witness = any(
+                        concept.concept in state.nodes[neighbor].label
+                        for neighbor in state.neighbors(node_id, concept.role)
+                    )
+                    if not has_witness:
+                        return ("exists", node_id, concept)
+                elif isinstance(concept, AtLeast) and concept.n > 0:
+                    neighbors = state.neighbors(node_id, concept.role)
+                    if self._count_distinct_at_least(state, neighbors) < concept.n:
+                        return ("atleast", node_id, concept)
+        return None
+
+    @staticmethod
+    def _count_distinct_at_least(state: _State, neighbors: list[int]) -> int:
+        """Largest pairwise-distinct subset (exact, tiny neighbor counts)."""
+        best = 0
+        n = len(neighbors)
+        for mask in range(1 << n):
+            chosen = [neighbors[i] for i in range(n) if mask >> i & 1]
+            if all(
+                state.distinct(a, b)
+                for idx, a in enumerate(chosen)
+                for b in chosen[idx + 1:]
+            ):
+                best = max(best, len(chosen))
+        return best
+
+    # -- merging ---------------------------------------------------------------
+
+    def _merge(self, state: _State, victim: int, target: int) -> None:
+        """Merge node ``victim`` into ``target`` (its sibling or the shared
+        neighbor's predecessor) and prune the victim's subtree."""
+        victim_node = state.nodes[victim]
+        target_node = state.nodes[target]
+        target_node.label |= victim_node.label
+        if victim_node.parent == target_node.node_id:
+            # should not happen: victim and target are neighbors of a common
+            # node, never parent and child of each other
+            raise AssertionError("merge would collapse an edge")
+        if target_node.parent == victim_node.parent:
+            # siblings: move the victim's edge roles onto the target
+            target_node.edge |= victim_node.edge
+        else:
+            # target is the common neighbor's predecessor: the victim's edge
+            # from x becomes inverse roles on x's own edge to the target.
+            shared = victim_node.parent
+            assert shared is not None
+            shared_node = state.nodes[shared]
+            assert shared_node.parent == target
+            shared_node.edge |= {role.inverted() for role in victim_node.edge}
+        # transfer inequalities, then prune the victim's subtree
+        for pair in list(state.neq):
+            if victim in pair:
+                other = next(iter(pair - {victim}))
+                state.neq.discard(pair)
+                if other != target:
+                    state.neq.add(frozenset((target, other)))
+        state.prune(victim)

@@ -1,0 +1,78 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SchemaError(ReproError):
+    """A schema is structurally ill-formed (not merely unsatisfiable).
+
+    Raised when a schema references unknown elements, duplicates names, or
+    uses constructs outside the supported fragment (e.g. n-ary fact types,
+    which the paper explicitly excludes).
+    """
+
+
+class DuplicateNameError(SchemaError):
+    """Two schema elements were given the same name."""
+
+    def __init__(self, kind: str, name: str) -> None:
+        super().__init__(f"duplicate {kind} name: {name!r}")
+        self.kind = kind
+        self.name = name
+
+
+class UnknownElementError(SchemaError):
+    """A constraint or query referenced a name not present in the schema."""
+
+    def __init__(self, kind: str, name: str) -> None:
+        super().__init__(f"unknown {kind}: {name!r}")
+        self.kind = kind
+        self.name = name
+
+
+class ConstraintArityError(SchemaError):
+    """A constraint was declared over an unsupported number/shape of roles."""
+
+
+class PopulationError(ReproError):
+    """A population is inconsistent with the schema structure itself.
+
+    Note this is about *structure* (tuples of wrong arity, instances of
+    unknown types), not about constraint violations, which are reported as
+    data by :mod:`repro.population.checker`.
+    """
+
+
+class ParseError(ReproError):
+    """The ORM text DSL could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        location = f" (line {line})" if line is not None else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+
+
+class MappingError(ReproError):
+    """An ORM construct cannot be mapped into the DL fragment.
+
+    Mirrors footnote 10 of the paper: ring constraints and certain frequency
+    constraints are not expressible in DLR; our ALCQI fragment has the same
+    practical limits.  The mapper raises or records these depending on the
+    ``strict`` flag.
+    """
+
+
+class SolverError(ReproError):
+    """Internal invariant violation inside a reasoning engine."""
+
+
+class BudgetExceededError(ReproError):
+    """A reasoning engine exceeded its configured search budget."""

@@ -1,0 +1,13 @@
+"""Schema serialization: the text DSL and JSON."""
+
+from repro.io.dsl import parse_schema, write_schema
+from repro.io.jsonio import dumps, loads, schema_from_dict, schema_to_dict
+
+__all__ = [
+    "dumps",
+    "loads",
+    "parse_schema",
+    "schema_from_dict",
+    "schema_to_dict",
+    "write_schema",
+]

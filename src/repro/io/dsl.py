@@ -1,0 +1,278 @@
+"""A line-oriented text DSL for ORM schemas.
+
+Schemas-as-files make the validator CLI and the examples practical.  The
+format is deliberately close to how the paper talks about schemas::
+
+    schema staff "people and their jobs"
+
+    entity Person
+    entity Student
+    value Grade {a, b, c}
+    subtype Student < Person
+
+    fact works_for (w1: Person, w2: Company) "... works for ..."
+
+    mandatory w1
+    mandatory w1 | w3            # disjunctive
+    unique w1
+    frequency w1 2..5            # FC(2-5); open upper bound: 2..
+    exclusion w1 | w3
+    exclusion (w1, w2) | (w3, w4)
+    exclusive Student | Employee
+    subset w1 < w3
+    subset (w1, w2) < (w3, w4)
+    equality w1 = w3
+    ring ir (p, q)
+
+``#`` starts a comment; blank lines are ignored.  :func:`parse_schema` and
+:func:`write_schema` round-trip (asserted property-style in the tests).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.exceptions import ParseError
+from repro.orm.constraints import (
+    EqualityConstraint,
+    ExclusionConstraint,
+    ExclusiveTypesConstraint,
+    FrequencyConstraint,
+    MandatoryConstraint,
+    RingConstraint,
+    RingKind,
+    SubsetConstraint,
+    UniquenessConstraint,
+)
+from repro.orm.schema import Schema
+
+_NAME = r"[A-Za-z_][A-Za-z0-9_]*"
+_FACT_RE = re.compile(
+    rf"^fact\s+({_NAME})\s*\(\s*({_NAME})\s*:\s*({_NAME})\s*,"
+    rf"\s*({_NAME})\s*:\s*({_NAME})\s*\)\s*(?:\"([^\"]*)\")?$"
+)
+_SCHEMA_RE = re.compile(rf"^schema\s+({_NAME})\s*(?:\"([^\"]*)\")?$")
+_TYPE_RE = re.compile(rf"^(entity|value)\s+({_NAME})\s*(?:\{{([^}}]*)\}})?$")
+_SUBTYPE_RE = re.compile(rf"^subtype\s+({_NAME})\s*<\s*({_NAME})$")
+_FREQ_RE = re.compile(
+    rf"^frequency\s+((?:{_NAME})(?:\s*,\s*{_NAME})?)\s+(\d+)\.\.(\d*)$"
+)
+_RING_RE = re.compile(rf"^ring\s+(\w+)\s*\(\s*({_NAME})\s*,\s*({_NAME})\s*\)$")
+
+
+def parse_schema(text: str) -> Schema:
+    """Parse DSL ``text`` into a :class:`Schema` (raises :class:`ParseError`)."""
+    schema = Schema()
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            _parse_line(schema, line)
+        except ParseError:
+            raise
+        except Exception as error:
+            raise ParseError(str(error), line_number) from error
+    return schema
+
+
+def _parse_line(schema: Schema, line: str) -> None:
+    keyword = line.split(None, 1)[0]
+    handlers = {
+        "schema": _parse_header,
+        "entity": _parse_type,
+        "value": _parse_type,
+        "subtype": _parse_subtype,
+        "fact": _parse_fact,
+        "mandatory": _parse_mandatory,
+        "unique": _parse_unique,
+        "frequency": _parse_frequency,
+        "exclusion": _parse_exclusion,
+        "exclusive": _parse_exclusive,
+        "subset": _parse_subset,
+        "equality": _parse_equality,
+        "ring": _parse_ring,
+    }
+    handler = handlers.get(keyword)
+    if handler is None:
+        raise ParseError(f"unknown statement: {line!r}")
+    handler(schema, line)
+
+
+def _parse_header(schema: Schema, line: str) -> None:
+    match = _SCHEMA_RE.match(line)
+    if not match:
+        raise ParseError(f"bad schema header: {line!r}")
+    schema.metadata.name = match.group(1)
+    schema.metadata.description = match.group(2) or ""
+
+
+def _parse_type(schema: Schema, line: str) -> None:
+    match = _TYPE_RE.match(line)
+    if not match:
+        raise ParseError(f"bad type declaration: {line!r}")
+    kind, name, values_text = match.groups()
+    values = None
+    if values_text is not None:
+        values = [part.strip() for part in values_text.split(",") if part.strip()]
+    if kind == "entity":
+        schema.add_entity_type(name, values)
+    else:
+        schema.add_value_type(name, values)
+
+
+def _parse_subtype(schema: Schema, line: str) -> None:
+    match = _SUBTYPE_RE.match(line)
+    if not match:
+        raise ParseError(f"bad subtype declaration: {line!r}")
+    schema.add_subtype(match.group(1), match.group(2))
+
+
+def _parse_fact(schema: Schema, line: str) -> None:
+    match = _FACT_RE.match(line)
+    if not match:
+        raise ParseError(f"bad fact declaration: {line!r}")
+    name, first_role, first_player, second_role, second_player, reading = match.groups()
+    schema.add_fact_type(name, first_role, first_player, second_role, second_player, reading)
+
+
+def _split_names(text: str, separator: str) -> list[str]:
+    parts = [part.strip() for part in text.split(separator)]
+    if any(not part for part in parts):
+        raise ParseError(f"empty name in {text!r}")
+    return parts
+
+
+def _parse_sequence(text: str):
+    """``r1`` or ``(r1, r2)`` -> tuple of role names."""
+    text = text.strip()
+    if text.startswith("("):
+        if not text.endswith(")"):
+            raise ParseError(f"unbalanced parentheses in {text!r}")
+        return tuple(_split_names(text[1:-1], ","))
+    return (text,)
+
+
+def _parse_mandatory(schema: Schema, line: str) -> None:
+    body = line[len("mandatory"):].strip()
+    schema.add_mandatory(*_split_names(body, "|"))
+
+
+def _parse_unique(schema: Schema, line: str) -> None:
+    body = line[len("unique"):].strip()
+    schema.add_uniqueness(*_split_names(body, ","))
+
+
+def _parse_frequency(schema: Schema, line: str) -> None:
+    match = _FREQ_RE.match(line)
+    if not match:
+        raise ParseError(f"bad frequency declaration: {line!r}")
+    roles_text, low_text, high_text = match.groups()
+    roles = tuple(_split_names(roles_text, ","))
+    high = int(high_text) if high_text else None
+    schema.add_frequency(roles, int(low_text), high)
+
+
+def _parse_exclusion(schema: Schema, line: str) -> None:
+    body = line[len("exclusion"):].strip()
+    sequences = [_parse_sequence(part) for part in body.split("|")]
+    schema.add_exclusion(*sequences)
+
+
+def _parse_exclusive(schema: Schema, line: str) -> None:
+    body = line[len("exclusive"):].strip()
+    schema.add_exclusive_types(*_split_names(body, "|"))
+
+
+def _parse_subset(schema: Schema, line: str) -> None:
+    body = line[len("subset"):].strip()
+    parts = body.split("<")
+    if len(parts) != 2:
+        raise ParseError(f"bad subset declaration: {line!r}")
+    schema.add_subset(_parse_sequence(parts[0]), _parse_sequence(parts[1]))
+
+
+def _parse_equality(schema: Schema, line: str) -> None:
+    body = line[len("equality"):].strip()
+    parts = body.split("=")
+    if len(parts) != 2:
+        raise ParseError(f"bad equality declaration: {line!r}")
+    schema.add_equality(_parse_sequence(parts[0]), _parse_sequence(parts[1]))
+
+
+def _parse_ring(schema: Schema, line: str) -> None:
+    match = _RING_RE.match(line)
+    if not match:
+        raise ParseError(f"bad ring declaration: {line!r}")
+    kind_text, first_role, second_role = match.groups()
+    try:
+        kind = RingKind.from_label(kind_text)
+    except ValueError as error:
+        raise ParseError(str(error)) from error
+    schema.add_ring(kind, first_role, second_role)
+
+
+# ----------------------------------------------------------------------
+# writer
+# ----------------------------------------------------------------------
+
+
+def write_schema(schema: Schema) -> str:
+    """Render ``schema`` back into DSL text (inverse of :func:`parse_schema`)."""
+    lines: list[str] = []
+    description = schema.metadata.description
+    header = f"schema {schema.metadata.name}"
+    if description:
+        header += f' "{description}"'
+    lines.append(header)
+    lines.append("")
+    for object_type in schema.object_types():
+        keyword = "entity" if object_type.kind.value == "entity" else "value"
+        suffix = ""
+        if object_type.values is not None:
+            suffix = " {" + ", ".join(object_type.values) + "}"
+        lines.append(f"{keyword} {object_type.name}{suffix}")
+    for link in schema.subtype_links():
+        lines.append(f"subtype {link.sub} < {link.super}")
+    for fact in schema.fact_types():
+        first, second = fact.roles
+        reading = f' "{fact.reading}"' if fact.reading else ""
+        lines.append(
+            f"fact {fact.name} ({first.name}: {first.player}, "
+            f"{second.name}: {second.player}){reading}"
+        )
+    for constraint in schema.constraints():
+        lines.append(_write_constraint(constraint))
+    return "\n".join(lines) + "\n"
+
+
+def _sequence_text(sequence: tuple[str, ...]) -> str:
+    if len(sequence) == 1:
+        return sequence[0]
+    return "(" + ", ".join(sequence) + ")"
+
+
+def _write_constraint(constraint) -> str:
+    if isinstance(constraint, MandatoryConstraint):
+        return "mandatory " + " | ".join(constraint.roles)
+    if isinstance(constraint, UniquenessConstraint):
+        return "unique " + ", ".join(constraint.roles)
+    if isinstance(constraint, FrequencyConstraint):
+        upper = "" if constraint.max is None else str(constraint.max)
+        return f"frequency {', '.join(constraint.roles)} {constraint.min}..{upper}"
+    if isinstance(constraint, ExclusionConstraint):
+        return "exclusion " + " | ".join(
+            _sequence_text(seq) for seq in constraint.sequences
+        )
+    if isinstance(constraint, ExclusiveTypesConstraint):
+        return "exclusive " + " | ".join(constraint.types)
+    if isinstance(constraint, SubsetConstraint):
+        return f"subset {_sequence_text(constraint.sub)} < {_sequence_text(constraint.sup)}"
+    if isinstance(constraint, EqualityConstraint):
+        return (
+            f"equality {_sequence_text(constraint.first)} = "
+            f"{_sequence_text(constraint.second)}"
+        )
+    if isinstance(constraint, RingConstraint):
+        return f"ring {constraint.kind.value} ({constraint.first_role}, {constraint.second_role})"
+    raise TypeError(f"cannot serialize {type(constraint).__name__}")

@@ -1,0 +1,171 @@
+"""JSON import/export of schemas (machine-friendly companion to the DSL)."""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.exceptions import ParseError
+from repro.orm.constraints import (
+    EqualityConstraint,
+    ExclusionConstraint,
+    ExclusiveTypesConstraint,
+    FrequencyConstraint,
+    MandatoryConstraint,
+    RingConstraint,
+    RingKind,
+    SubsetConstraint,
+    UniquenessConstraint,
+)
+from repro.orm.schema import Schema
+
+
+def schema_to_dict(schema: Schema) -> dict[str, Any]:
+    """A plain-dict rendering of the schema (stable key order)."""
+    return {
+        "name": schema.metadata.name,
+        "description": schema.metadata.description,
+        "object_types": [
+            {
+                "name": object_type.name,
+                "kind": object_type.kind.value,
+                "values": list(object_type.values) if object_type.values is not None else None,
+            }
+            for object_type in schema.object_types()
+        ],
+        "subtypes": [
+            {"sub": link.sub, "super": link.super} for link in schema.subtype_links()
+        ],
+        "fact_types": [
+            {
+                "name": fact.name,
+                "reading": fact.reading,
+                "roles": [
+                    {"name": role.name, "player": role.player} for role in fact.roles
+                ],
+            }
+            for fact in schema.fact_types()
+        ],
+        "constraints": [_constraint_to_dict(c) for c in schema.constraints()],
+    }
+
+
+def _constraint_to_dict(constraint) -> dict[str, Any]:
+    base = {"label": constraint.label}
+    if isinstance(constraint, MandatoryConstraint):
+        return {**base, "kind": "mandatory", "roles": list(constraint.roles)}
+    if isinstance(constraint, UniquenessConstraint):
+        return {**base, "kind": "uniqueness", "roles": list(constraint.roles)}
+    if isinstance(constraint, FrequencyConstraint):
+        return {
+            **base,
+            "kind": "frequency",
+            "roles": list(constraint.roles),
+            "min": constraint.min,
+            "max": constraint.max,
+        }
+    if isinstance(constraint, ExclusionConstraint):
+        return {
+            **base,
+            "kind": "exclusion",
+            "sequences": [list(seq) for seq in constraint.sequences],
+        }
+    if isinstance(constraint, ExclusiveTypesConstraint):
+        return {**base, "kind": "exclusive_types", "types": list(constraint.types)}
+    if isinstance(constraint, SubsetConstraint):
+        return {
+            **base,
+            "kind": "subset",
+            "sub": list(constraint.sub),
+            "sup": list(constraint.sup),
+        }
+    if isinstance(constraint, EqualityConstraint):
+        return {
+            **base,
+            "kind": "equality",
+            "first": list(constraint.first),
+            "second": list(constraint.second),
+        }
+    if isinstance(constraint, RingConstraint):
+        return {
+            **base,
+            "kind": "ring",
+            "ring_kind": constraint.kind.value,
+            "roles": [constraint.first_role, constraint.second_role],
+        }
+    raise TypeError(f"cannot serialize {type(constraint).__name__}")
+
+
+def schema_from_dict(data: dict[str, Any]) -> Schema:
+    """Rebuild a schema from :func:`schema_to_dict` output."""
+    try:
+        schema = Schema(data.get("name", "schema"), data.get("description", ""))
+        for entry in data.get("object_types", []):
+            values = entry.get("values")
+            if entry.get("kind") == "value":
+                schema.add_value_type(entry["name"], values)
+            else:
+                schema.add_entity_type(entry["name"], values)
+        for entry in data.get("subtypes", []):
+            schema.add_subtype(entry["sub"], entry["super"])
+        for entry in data.get("fact_types", []):
+            roles = entry["roles"]
+            schema.add_fact_type(
+                entry["name"],
+                roles[0]["name"],
+                roles[0]["player"],
+                roles[1]["name"],
+                roles[1]["player"],
+                entry.get("reading"),
+            )
+        for entry in data.get("constraints", []):
+            _add_constraint_from_dict(schema, entry)
+        return schema
+    except (KeyError, IndexError, TypeError) as error:
+        raise ParseError(f"malformed schema JSON: {error}") from error
+
+
+def _add_constraint_from_dict(schema: Schema, entry: dict[str, Any]) -> None:
+    kind = entry.get("kind")
+    label = entry.get("label")
+    if kind == "mandatory":
+        schema.add_mandatory(*entry["roles"], label=label)
+    elif kind == "uniqueness":
+        schema.add_uniqueness(*entry["roles"], label=label)
+    elif kind == "frequency":
+        schema.add_frequency(
+            tuple(entry["roles"]), entry["min"], entry.get("max"), label=label
+        )
+    elif kind == "exclusion":
+        schema.add_exclusion(
+            *(tuple(seq) for seq in entry["sequences"]), label=label
+        )
+    elif kind == "exclusive_types":
+        schema.add_exclusive_types(*entry["types"], label=label)
+    elif kind == "subset":
+        schema.add_subset(tuple(entry["sub"]), tuple(entry["sup"]), label=label)
+    elif kind == "equality":
+        schema.add_equality(tuple(entry["first"]), tuple(entry["second"]), label=label)
+    elif kind == "ring":
+        schema.add_ring(
+            RingKind.from_label(entry["ring_kind"]),
+            entry["roles"][0],
+            entry["roles"][1],
+            label=label,
+        )
+    else:
+        raise ParseError(f"unknown constraint kind in JSON: {kind!r}")
+
+
+def dumps(schema: Schema, indent: int = 2) -> str:
+    """Schema as a JSON string."""
+    return json.dumps(schema_to_dict(schema), indent=indent)
+
+
+def loads(text: str) -> Schema:
+    """Schema from a JSON string."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ParseError(f"invalid JSON: {error}") from error
+    return schema_from_dict(data)

@@ -1,0 +1,46 @@
+"""ORM metamodel: elements, constraints, schema container and helpers."""
+
+from repro.orm.builder import SchemaBuilder
+from repro.orm.constraints import (
+    AnyConstraint,
+    EqualityConstraint,
+    ExclusionConstraint,
+    ExclusiveTypesConstraint,
+    FrequencyConstraint,
+    MandatoryConstraint,
+    RingConstraint,
+    RingKind,
+    RoleSequence,
+    SubsetConstraint,
+    UniquenessConstraint,
+)
+from repro.orm.elements import FactType, ObjectType, Role, SubtypeLink, TypeKind
+from repro.orm.schema import Schema
+from repro.orm.verbalize import verbalize_constraint, verbalize_fact_type, verbalize_schema
+from repro.orm.wellformed import Advisory, check_wellformedness
+
+__all__ = [
+    "Advisory",
+    "AnyConstraint",
+    "EqualityConstraint",
+    "ExclusionConstraint",
+    "ExclusiveTypesConstraint",
+    "FactType",
+    "FrequencyConstraint",
+    "MandatoryConstraint",
+    "ObjectType",
+    "RingConstraint",
+    "RingKind",
+    "Role",
+    "RoleSequence",
+    "Schema",
+    "SchemaBuilder",
+    "SubsetConstraint",
+    "SubtypeLink",
+    "TypeKind",
+    "UniquenessConstraint",
+    "check_wellformedness",
+    "verbalize_constraint",
+    "verbalize_fact_type",
+    "verbalize_schema",
+]

@@ -1,0 +1,324 @@
+"""The ORM constraint vocabulary used by the paper.
+
+Every constraint class is a frozen dataclass referencing schema elements *by
+name*; the :class:`repro.orm.schema.Schema` container validates the
+references when a constraint is added.  The classes here deliberately mirror
+the constraint kinds the nine patterns reason about:
+
+=====================  =========================================  ========
+Class                  ORM notion                                  Patterns
+=====================  =========================================  ========
+MandatoryConstraint    (disjunctive) mandatory role ("dot")        3
+UniquenessConstraint   internal uniqueness ("arrow")               7
+FrequencyConstraint    frequency FC(min-max)                       4, 5, 7
+ExclusionConstraint    exclusion between roles / role sequences    3, 5, 6
+ExclusiveTypes         exclusion between object types ("X")        2
+SubsetConstraint       subset between roles / role sequences       6
+EqualityConstraint     equality between roles / role sequences     6
+RingConstraint         6 ring kinds of [H01]                       8
+=====================  =========================================  ========
+
+Value constraints live directly on :class:`repro.orm.elements.ObjectType`
+(``values=...``), matching how ORM draws them next to the type.
+Subtyping is structural (``Schema.add_subtype``) rather than a constraint
+object; patterns 1, 2, 3 and 9 query the subtype graph through the schema.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+
+from repro.exceptions import ConstraintArityError
+
+#: A sequence of role names.  Length-1 sequences denote single roles; longer
+#: sequences denote (parts of) predicates, as in Fig. 8 of the paper.
+RoleSequence = tuple[str, ...]
+
+
+def _as_sequence(arg: str | tuple[str, ...] | list[str]) -> RoleSequence:
+    """Normalize a user-supplied role or role sequence to a tuple."""
+    if isinstance(arg, str):
+        return (arg,)
+    return tuple(arg)
+
+
+class RingKind(enum.Enum):
+    """The six ring-constraint kinds of [H01] (paper Sec. 2, Pattern 8).
+
+    Abbreviations follow the paper: ``ans`` antisymmetric, ``as`` asymmetric,
+    ``ac`` acyclic, ``ir`` irreflexive, ``it`` intransitive, ``sym``
+    symmetric.
+    """
+
+    ANTISYMMETRIC = "ans"
+    ASYMMETRIC = "as"
+    ACYCLIC = "ac"
+    IRREFLEXIVE = "ir"
+    INTRANSITIVE = "it"
+    SYMMETRIC = "sym"
+
+    @classmethod
+    def from_label(cls, label: str) -> "RingKind":
+        """Parse a paper-style abbreviation or full name into a kind."""
+        wanted = label.strip().lower()
+        for kind in cls:
+            if wanted in (kind.value, kind.name.lower()):
+                return kind
+        raise ValueError(f"unknown ring constraint kind: {label!r}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """Common base; ``label`` is an optional user-facing identifier."""
+
+    label: str | None = None
+
+    def kind_name(self) -> str:
+        """Short human-readable constraint-kind name for messages."""
+        return type(self).__name__.removesuffix("Constraint").lower()
+
+
+@dataclass(frozen=True)
+class MandatoryConstraint(Constraint):
+    """A (possibly disjunctive) mandatory role constraint.
+
+    ``roles`` with a single entry is the ordinary "dot on the role" mandatory
+    of the paper's figures; more entries form a disjunctive mandatory: every
+    instance of the player must play *at least one* of the listed roles.
+    """
+
+    roles: RoleSequence = ()
+
+    def __post_init__(self) -> None:
+        if not self.roles:
+            raise ConstraintArityError("mandatory constraint needs at least one role")
+
+    @property
+    def is_disjunctive(self) -> bool:
+        """True when the constraint spans several alternative roles."""
+        return len(self.roles) > 1
+
+
+@dataclass(frozen=True)
+class UniquenessConstraint(Constraint):
+    """An internal uniqueness constraint over one or both roles of a fact type.
+
+    With ``roles = (r,)`` each instance may appear in role ``r`` at most once
+    (a functional role).  A spanning uniqueness over both roles merely says
+    fact populations are sets, which ORM assumes anyway; the well-formedness
+    checker flags spanning uniqueness as redundant but legal.
+    """
+
+    roles: RoleSequence = ()
+
+    def __post_init__(self) -> None:
+        if not self.roles:
+            raise ConstraintArityError("uniqueness constraint needs at least one role")
+        if len(self.roles) > 2:
+            raise ConstraintArityError(
+                "uniqueness over more than two roles implies an n-ary fact type, "
+                "which the supported fragment excludes"
+            )
+
+
+@dataclass(frozen=True)
+class FrequencyConstraint(Constraint):
+    """A frequency constraint FC(min-max) on a role (or role pair).
+
+    Every instance that plays the role at all must play it between ``min``
+    and ``max`` times; ``max=None`` encodes an open upper bound FC(min-).
+    """
+
+    roles: RoleSequence = ()
+    min: int = 1
+    max: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.roles:
+            raise ConstraintArityError("frequency constraint needs at least one role")
+        if len(self.roles) > 2:
+            raise ConstraintArityError(
+                "frequency constraints over more than two roles are outside the "
+                "supported binary fragment"
+            )
+        if self.min < 1:
+            raise ConstraintArityError(
+                f"frequency lower bound must be >= 1, got {self.min}"
+            )
+        if self.max is not None and self.max < self.min:
+            raise ConstraintArityError(
+                f"frequency upper bound {self.max} below lower bound {self.min}"
+            )
+
+    def bounds_text(self) -> str:
+        """Render as the paper does: ``FC(3-5)`` or ``FC(2-)``."""
+        upper = "" if self.max is None else str(self.max)
+        return f"FC({self.min}-{upper})"
+
+
+@dataclass(frozen=True)
+class ExclusionConstraint(Constraint):
+    """Pairwise exclusion between two or more roles or role sequences.
+
+    The paper (Fig. 7) treats an exclusion drawn across n roles as the
+    compact form of all pairwise exclusions, and we keep that reading: the
+    populations of all argument sequences are pairwise disjoint.
+    """
+
+    sequences: tuple[RoleSequence, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.sequences) < 2:
+            raise ConstraintArityError(
+                "exclusion constraint needs at least two role sequences"
+            )
+        lengths = {len(seq) for seq in self.sequences}
+        if len(lengths) != 1:
+            raise ConstraintArityError(
+                f"exclusion arguments must have equal length, got {sorted(lengths)}"
+            )
+        if 0 in lengths:
+            raise ConstraintArityError("exclusion arguments must be non-empty")
+
+    @property
+    def arity(self) -> int:
+        """Length of each argument sequence (1 = role exclusion)."""
+        return len(self.sequences[0])
+
+    @property
+    def is_role_exclusion(self) -> bool:
+        """True when the exclusion is between single roles."""
+        return self.arity == 1
+
+    def single_roles(self) -> tuple[str, ...]:
+        """The excluded roles, for role-level exclusions only."""
+        if not self.is_role_exclusion:
+            raise ConstraintArityError(
+                "single_roles() is only defined for role-level exclusions"
+            )
+        return tuple(seq[0] for seq in self.sequences)
+
+    def pairs(self) -> list[tuple[RoleSequence, RoleSequence]]:
+        """All unordered pairs of argument sequences (the compact-form view)."""
+        return list(itertools.combinations(self.sequences, 2))
+
+
+@dataclass(frozen=True)
+class ExclusiveTypesConstraint(Constraint):
+    """Exclusion ("X") between two or more object types (paper Fig. 1, 3)."""
+
+    types: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.types) < 2:
+            raise ConstraintArityError(
+                "exclusive-types constraint needs at least two object types"
+            )
+        if len(set(self.types)) != len(self.types):
+            raise ConstraintArityError(
+                "exclusive-types constraint lists a type twice"
+            )
+
+
+@dataclass(frozen=True)
+class SubsetConstraint(Constraint):
+    """Subset between role sequences: population(sub) is a subset of
+    population(sup).
+
+    Per [H89] (and paper Sec. 3, discussion of RIDL rule S2) this is a *weak*
+    subset — equality is allowed — so subset loops do not, by themselves,
+    cause unsatisfiability.
+    """
+
+    sub: RoleSequence = ()
+    sup: RoleSequence = ()
+
+    def __post_init__(self) -> None:
+        if not self.sub or not self.sup:
+            raise ConstraintArityError("subset constraint arguments must be non-empty")
+        if len(self.sub) != len(self.sup):
+            raise ConstraintArityError(
+                f"subset arguments must have equal length, "
+                f"got {len(self.sub)} and {len(self.sup)}"
+            )
+
+    @property
+    def arity(self) -> int:
+        """Length of each argument sequence (1 = role subset)."""
+        return len(self.sub)
+
+
+@dataclass(frozen=True)
+class EqualityConstraint(Constraint):
+    """Equality between two role sequences — two subset constraints at once
+    (paper Sec. 2, Pattern 6)."""
+
+    first: RoleSequence = ()
+    second: RoleSequence = ()
+
+    def __post_init__(self) -> None:
+        if not self.first or not self.second:
+            raise ConstraintArityError("equality constraint arguments must be non-empty")
+        if len(self.first) != len(self.second):
+            raise ConstraintArityError(
+                f"equality arguments must have equal length, "
+                f"got {len(self.first)} and {len(self.second)}"
+            )
+
+    @property
+    def arity(self) -> int:
+        """Length of each argument sequence."""
+        return len(self.first)
+
+    def as_subsets(self) -> tuple[SubsetConstraint, SubsetConstraint]:
+        """The two directed subset constraints this equality abbreviates."""
+        return (
+            SubsetConstraint(sub=self.first, sup=self.second, label=self.label),
+            SubsetConstraint(sub=self.second, sup=self.first, label=self.label),
+        )
+
+
+@dataclass(frozen=True)
+class RingConstraint(Constraint):
+    """A ring constraint of one of the six kinds on a role pair.
+
+    The pair is normally the two roles of one fact type whose roles are both
+    played by the same object type (Fig. 11: *Sister of*).  Multiple ring
+    constraints on the same pair combine; Pattern 8 checks the combination
+    against the compatibility table derived from Fig. 12.
+    """
+
+    kind: RingKind = RingKind.IRREFLEXIVE
+    first_role: str = ""
+    second_role: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.first_role or not self.second_role:
+            raise ConstraintArityError("ring constraint needs a role pair")
+        if self.first_role == self.second_role:
+            raise ConstraintArityError(
+                "ring constraint must span two distinct roles of a fact type"
+            )
+
+    @property
+    def role_pair(self) -> tuple[str, str]:
+        """The constrained (first, second) role pair."""
+        return (self.first_role, self.second_role)
+
+
+#: Union of every concrete constraint class, for type annotations.
+AnyConstraint = (
+    MandatoryConstraint
+    | UniquenessConstraint
+    | FrequencyConstraint
+    | ExclusionConstraint
+    | ExclusiveTypesConstraint
+    | SubsetConstraint
+    | EqualityConstraint
+    | RingConstraint
+)

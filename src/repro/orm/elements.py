@@ -1,0 +1,200 @@
+"""Structural elements of an ORM conceptual schema.
+
+The paper (Sec. 2) adopts the ORM formalization of [H89, H01] restricted to
+*binary* fact types, without objectification (nested fact types) and without
+textual derivation rules.  This module defines exactly that fragment:
+
+* :class:`ObjectType` — entity types and value types.  Value types may carry
+  a *value constraint* (a finite set of admissible values), which patterns 4
+  and 5 count.
+* :class:`Role` — one end of a fact type, played by an object type.
+* :class:`FactType` — a named binary predicate made of two roles.
+* :class:`SubtypeLink` — an edge of the subtype graph.  Following [H01] the
+  population of a subtype is a *strict* subset of its supertype's population,
+  which is what makes subtype loops unsatisfiable (Pattern 9).
+
+Elements are plain frozen dataclasses; the mutable container that indexes
+them and answers closure queries is :class:`repro.orm.schema.Schema`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class TypeKind(enum.Enum):
+    """Whether an object type denotes entities or lexical values."""
+
+    ENTITY = "entity"
+    VALUE = "value"
+
+
+@dataclass(frozen=True)
+class ObjectType:
+    """An ORM object type (concept).
+
+    Parameters
+    ----------
+    name:
+        Unique name within the schema (e.g. ``"Person"``).
+    kind:
+        Entity vs value type.  Only value types may carry ``values``.
+    values:
+        Optional value constraint: the finite tuple of admissible values,
+        e.g. ``("x1", "x2")`` in Fig. 5 of the paper.  ``None`` means the
+        type is unconstrained.  An *empty* tuple is legal and makes the type
+        trivially unsatisfiable (and is reported by the well-formedness
+        checker as almost certainly a modeling mistake).
+    """
+
+    name: str
+    kind: TypeKind = TypeKind.ENTITY
+    values: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("object type name must be non-empty")
+        if self.values is not None and len(set(self.values)) != len(self.values):
+            raise ValueError(
+                f"value constraint on {self.name!r} lists duplicate values"
+            )
+
+    @property
+    def has_value_constraint(self) -> bool:
+        """True when a finite value list restricts this type's population."""
+        return self.values is not None
+
+    @property
+    def value_count(self) -> int | None:
+        """Number of admissible values, or ``None`` when unconstrained."""
+        return None if self.values is None else len(self.values)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        suffix = "" if self.values is None else " {" + ", ".join(self.values) + "}"
+        return f"{self.name}{suffix}"
+
+
+@dataclass(frozen=True)
+class Role:
+    """One placeholder of a fact type, played by an object type.
+
+    Role names are unique across the whole schema (the paper labels them
+    ``r1 .. rn`` globally), which keeps constraint declarations unambiguous.
+    """
+
+    name: str
+    player: str
+    fact_type: str
+    position: int
+
+    def __post_init__(self) -> None:
+        if self.position not in (0, 1):
+            raise ValueError(
+                f"role {self.name!r}: only binary fact types are supported, "
+                f"got position {self.position}"
+            )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}[{self.player}]"
+
+
+@dataclass(frozen=True)
+class FactType:
+    """A binary ORM fact type (predicate) such as ``Person drives Car``.
+
+    ``roles`` is the ordered pair of :class:`Role` objects; ``reading`` is an
+    optional natural-language reading used by the verbalizer, e.g.
+    ``"... drives ..."``.
+    """
+
+    name: str
+    roles: tuple[Role, Role]
+    reading: str | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.roles) != 2:
+            raise ValueError(
+                f"fact type {self.name!r} must be binary "
+                f"(paper Sec. 2 restriction); got arity {len(self.roles)}"
+            )
+        for index, role in enumerate(self.roles):
+            if role.fact_type != self.name:
+                raise ValueError(
+                    f"role {role.name!r} does not reference fact type {self.name!r}"
+                )
+            if role.position != index:
+                raise ValueError(
+                    f"role {role.name!r} at index {index} has position {role.position}"
+                )
+
+    @property
+    def role_names(self) -> tuple[str, str]:
+        """The pair of role names, in predicate order."""
+        return (self.roles[0].name, self.roles[1].name)
+
+    @property
+    def players(self) -> tuple[str, str]:
+        """The pair of object-type names playing the two roles."""
+        return (self.roles[0].player, self.roles[1].player)
+
+    def role_at(self, position: int) -> Role:
+        """Return the role at ``position`` (0 or 1)."""
+        return self.roles[position]
+
+    def partner_of(self, role_name: str) -> Role:
+        """Return the *other* role of this fact type.
+
+        Pattern 5 calls this the "inverse role": for role ``r1`` of fact type
+        ``A r1/r2 B`` the inverse is ``r2``.
+        """
+        first, second = self.roles
+        if role_name == first.name:
+            return second
+        if role_name == second.name:
+            return first
+        raise ValueError(f"role {role_name!r} not part of fact type {self.name!r}")
+
+    def is_ring(self) -> bool:
+        """True when both roles are played by the same object type.
+
+        Ring constraints (Pattern 8) may only be declared on such fact types
+        (or on types related via subtyping; the schema-level well-formedness
+        check handles the general condition).
+        """
+        return self.roles[0].player == self.roles[1].player
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        first, second = self.roles
+        return f"{self.name}({first.player}.{first.name}, {second.player}.{second.name})"
+
+
+@dataclass(frozen=True)
+class SubtypeLink:
+    """A direct subtype edge ``sub -> super`` in the subtype graph."""
+
+    sub: str
+    super: str
+
+    def __post_init__(self) -> None:
+        if self.sub == self.super:
+            # A self-loop is representable (Pattern 9 must detect it), but we
+            # normalize the obvious degenerate declaration away at build time;
+            # Schema.add_subtype allows it when explicitly requested.
+            pass
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.sub} < {self.super}"
+
+
+@dataclass
+class SchemaMetadata:
+    """Free-form schema header: name, comments, provenance.
+
+    Kept out of :class:`ObjectType`/:class:`FactType` so element identity and
+    hashing stay value-based.
+    """
+
+    name: str = "schema"
+    description: str = ""
+    annotations: dict[str, str] = field(default_factory=dict)

@@ -1,0 +1,599 @@
+"""The :class:`Schema` container: elements, constraints, and closure queries.
+
+A :class:`Schema` owns every element of an ORM conceptual schema and answers
+the structural queries the nine patterns are written against — transitive
+supertype/subtype closures, role-to-fact-type navigation, constraint lookup
+by kind, and so on.  All mutation goes through ``add_*`` methods that
+validate references eagerly, so reasoning code can assume a well-linked
+schema.
+
+The subtype graph may legitimately contain cycles (Pattern 9 exists to
+detect them), so every closure query here is cycle-safe.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import TypeVar
+
+from repro._util import dedupe
+from repro.exceptions import (
+    ConstraintArityError,
+    DuplicateNameError,
+    SchemaError,
+    UnknownElementError,
+)
+from repro.orm.constraints import (
+    AnyConstraint,
+    EqualityConstraint,
+    ExclusionConstraint,
+    ExclusiveTypesConstraint,
+    FrequencyConstraint,
+    MandatoryConstraint,
+    RingConstraint,
+    RingKind,
+    RoleSequence,
+    SubsetConstraint,
+    UniquenessConstraint,
+    _as_sequence,
+)
+from repro.orm.elements import (
+    FactType,
+    ObjectType,
+    Role,
+    SchemaMetadata,
+    SubtypeLink,
+    TypeKind,
+)
+
+ConstraintT = TypeVar("ConstraintT")
+
+
+class Schema:
+    """A binary ORM conceptual schema.
+
+    Example
+    -------
+    >>> schema = Schema("staff")
+    >>> _ = schema.add_entity_type("Person")
+    >>> _ = schema.add_entity_type("Student")
+    >>> schema.add_subtype("Student", "Person")
+    >>> _ = schema.add_fact_type("enrolled", "r1", "Student", "r2", "Person")
+    >>> schema.supertypes("Student")
+    ['Person']
+    """
+
+    def __init__(self, name: str = "schema", description: str = "") -> None:
+        self.metadata = SchemaMetadata(name=name, description=description)
+        self._object_types: dict[str, ObjectType] = {}
+        self._fact_types: dict[str, FactType] = {}
+        self._roles: dict[str, Role] = {}
+        self._subtype_links: list[SubtypeLink] = []
+        self._constraints: list[AnyConstraint] = []
+        self._label_counter = 0
+
+    # ------------------------------------------------------------------
+    # element construction
+    # ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """The schema's display name."""
+        return self.metadata.name
+
+    def add_object_type(self, object_type: ObjectType) -> ObjectType:
+        """Add a pre-built :class:`ObjectType`; name must be fresh."""
+        if object_type.name in self._object_types:
+            raise DuplicateNameError("object type", object_type.name)
+        if object_type.name in self._roles or object_type.name in self._fact_types:
+            raise DuplicateNameError("name", object_type.name)
+        self._object_types[object_type.name] = object_type
+        return object_type
+
+    def add_entity_type(
+        self, name: str, values: tuple[str, ...] | list[str] | None = None
+    ) -> ObjectType:
+        """Add an entity type, optionally with a value constraint.
+
+        ORM purists attach value lists to value types; the paper's figures
+        (e.g. Fig. 5) draw them on plain types, so we allow both.
+        """
+        chosen = None if values is None else tuple(values)
+        return self.add_object_type(ObjectType(name, TypeKind.ENTITY, chosen))
+
+    def add_value_type(
+        self, name: str, values: tuple[str, ...] | list[str] | None = None
+    ) -> ObjectType:
+        """Add a value (lexical) type, optionally with a value constraint."""
+        chosen = None if values is None else tuple(values)
+        return self.add_object_type(ObjectType(name, TypeKind.VALUE, chosen))
+
+    def add_fact_type(
+        self,
+        name: str,
+        first_role: str,
+        first_player: str,
+        second_role: str,
+        second_player: str,
+        reading: str | None = None,
+    ) -> FactType:
+        """Add a binary fact type with two named roles.
+
+        Both players must already exist; role names must be globally fresh.
+        """
+        if name in self._fact_types:
+            raise DuplicateNameError("fact type", name)
+        if name in self._object_types:
+            raise DuplicateNameError("name", name)
+        for player in (first_player, second_player):
+            self._require_object_type(player)
+        if first_role == second_role:
+            raise SchemaError(
+                f"fact type {name!r}: role names must differ, got {first_role!r} twice"
+            )
+        for role_name in (first_role, second_role):
+            if role_name in self._roles:
+                raise DuplicateNameError("role", role_name)
+            if role_name in self._object_types or role_name in self._fact_types:
+                raise DuplicateNameError("name", role_name)
+        roles = (
+            Role(first_role, first_player, name, 0),
+            Role(second_role, second_player, name, 1),
+        )
+        fact_type = FactType(name, roles, reading)
+        self._fact_types[name] = fact_type
+        for role in roles:
+            self._roles[role.name] = role
+        return fact_type
+
+    def add_subtype(self, sub: str, super: str) -> SubtypeLink:
+        """Declare ``sub`` a (strict) subtype of ``super``.
+
+        Cycles are representable on purpose — Pattern 9 detects them.
+        Duplicate declarations are idempotent.
+        """
+        self._require_object_type(sub)
+        self._require_object_type(super)
+        link = SubtypeLink(sub, super)
+        if link not in self._subtype_links:
+            self._subtype_links.append(link)
+        return link
+
+    # ------------------------------------------------------------------
+    # constraint construction
+    # ------------------------------------------------------------------
+
+    def add_constraint(self, constraint: AnyConstraint) -> AnyConstraint:
+        """Add any constraint object after validating its references."""
+        validated = self._with_label(constraint)
+        self._validate_constraint(validated)
+        self._constraints.append(validated)
+        return validated
+
+    def add_mandatory(self, *roles: str, label: str | None = None) -> MandatoryConstraint:
+        """Add a mandatory (or, with several roles, disjunctive-mandatory)."""
+        return self.add_constraint(MandatoryConstraint(label=label, roles=tuple(roles)))
+
+    def add_uniqueness(self, *roles: str, label: str | None = None) -> UniquenessConstraint:
+        """Add an internal uniqueness constraint over the given role(s)."""
+        return self.add_constraint(UniquenessConstraint(label=label, roles=tuple(roles)))
+
+    def add_frequency(
+        self,
+        roles: str | tuple[str, ...] | list[str],
+        min: int,
+        max: int | None = None,
+        label: str | None = None,
+    ) -> FrequencyConstraint:
+        """Add a frequency constraint FC(min-max) on a role (or role pair)."""
+        return self.add_constraint(
+            FrequencyConstraint(label=label, roles=_as_sequence(roles), min=min, max=max)
+        )
+
+    def add_exclusion(
+        self,
+        *sequences: str | tuple[str, ...] | list[str],
+        label: str | None = None,
+    ) -> ExclusionConstraint:
+        """Add an exclusion between roles (strings) or role sequences."""
+        normalized = tuple(_as_sequence(seq) for seq in sequences)
+        return self.add_constraint(ExclusionConstraint(label=label, sequences=normalized))
+
+    def add_exclusive_types(
+        self, *types: str, label: str | None = None
+    ) -> ExclusiveTypesConstraint:
+        """Add an exclusive ("X") constraint between object types."""
+        return self.add_constraint(ExclusiveTypesConstraint(label=label, types=tuple(types)))
+
+    def add_subset(
+        self,
+        sub: str | tuple[str, ...] | list[str],
+        sup: str | tuple[str, ...] | list[str],
+        label: str | None = None,
+    ) -> SubsetConstraint:
+        """Add a subset constraint: population(sub) ⊆ population(sup)."""
+        return self.add_constraint(
+            SubsetConstraint(label=label, sub=_as_sequence(sub), sup=_as_sequence(sup))
+        )
+
+    def add_equality(
+        self,
+        first: str | tuple[str, ...] | list[str],
+        second: str | tuple[str, ...] | list[str],
+        label: str | None = None,
+    ) -> EqualityConstraint:
+        """Add an equality constraint between two role sequences."""
+        return self.add_constraint(
+            EqualityConstraint(
+                label=label, first=_as_sequence(first), second=_as_sequence(second)
+            )
+        )
+
+    def add_ring(
+        self,
+        kind: RingKind | str,
+        first_role: str,
+        second_role: str,
+        label: str | None = None,
+    ) -> RingConstraint:
+        """Add a ring constraint of ``kind`` on the role pair."""
+        resolved = kind if isinstance(kind, RingKind) else RingKind.from_label(kind)
+        return self.add_constraint(
+            RingConstraint(
+                label=label, kind=resolved, first_role=first_role, second_role=second_role
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # element access
+    # ------------------------------------------------------------------
+
+    def object_types(self) -> list[ObjectType]:
+        """All object types, in insertion order."""
+        return list(self._object_types.values())
+
+    def object_type_names(self) -> list[str]:
+        """All object-type names, in insertion order."""
+        return list(self._object_types)
+
+    def fact_types(self) -> list[FactType]:
+        """All fact types, in insertion order."""
+        return list(self._fact_types.values())
+
+    def roles(self) -> list[Role]:
+        """All roles, in fact-type insertion order."""
+        return list(self._roles.values())
+
+    def role_names(self) -> list[str]:
+        """All role names, in insertion order."""
+        return list(self._roles)
+
+    def subtype_links(self) -> list[SubtypeLink]:
+        """All direct subtype edges, in insertion order."""
+        return list(self._subtype_links)
+
+    def constraints(self) -> list[AnyConstraint]:
+        """All constraints, in insertion order."""
+        return list(self._constraints)
+
+    def constraints_of(self, cls: type[ConstraintT]) -> list[ConstraintT]:
+        """All constraints of the given class, in insertion order."""
+        return [c for c in self._constraints if isinstance(c, cls)]
+
+    def object_type(self, name: str) -> ObjectType:
+        """Look up an object type by name (raises on unknown names)."""
+        try:
+            return self._object_types[name]
+        except KeyError:
+            raise UnknownElementError("object type", name) from None
+
+    def has_object_type(self, name: str) -> bool:
+        """True when an object type of that name exists."""
+        return name in self._object_types
+
+    def fact_type(self, name: str) -> FactType:
+        """Look up a fact type by name (raises on unknown names)."""
+        try:
+            return self._fact_types[name]
+        except KeyError:
+            raise UnknownElementError("fact type", name) from None
+
+    def role(self, name: str) -> Role:
+        """Look up a role by name (raises on unknown names)."""
+        try:
+            return self._roles[name]
+        except KeyError:
+            raise UnknownElementError("role", name) from None
+
+    def has_role(self, name: str) -> bool:
+        """True when a role of that name exists."""
+        return name in self._roles
+
+    # ------------------------------------------------------------------
+    # navigation
+    # ------------------------------------------------------------------
+
+    def fact_type_of(self, role_name: str) -> FactType:
+        """The fact type owning ``role_name``."""
+        return self.fact_type(self.role(role_name).fact_type)
+
+    def partner_role(self, role_name: str) -> Role:
+        """The other role of the same fact type (Pattern 5's "inverse role")."""
+        return self.fact_type_of(role_name).partner_of(role_name)
+
+    def player_of(self, role_name: str) -> ObjectType:
+        """The object type playing ``role_name``."""
+        return self.object_type(self.role(role_name).player)
+
+    def roles_played_by(self, type_name: str) -> list[Role]:
+        """All roles directly played by the given object type."""
+        self._require_object_type(type_name)
+        return [role for role in self._roles.values() if role.player == type_name]
+
+    def roles_played_by_or_inherited(self, type_name: str) -> list[Role]:
+        """Roles played by the type or any of its supertypes.
+
+        Subtypes inherit all roles of their supertypes (paper, Pattern 3
+        discussion of Fig. 4c).
+        """
+        players = {type_name, *self.supertypes(type_name)}
+        return [role for role in self._roles.values() if role.player in players]
+
+    # ------------------------------------------------------------------
+    # subtype graph queries (all cycle-safe)
+    # ------------------------------------------------------------------
+
+    def direct_supertypes(self, type_name: str) -> list[str]:
+        """Direct supertypes of ``type_name``, in declaration order."""
+        self._require_object_type(type_name)
+        return dedupe(
+            link.super for link in self._subtype_links if link.sub == type_name
+        )
+
+    def direct_subtypes(self, type_name: str) -> list[str]:
+        """Direct subtypes of ``type_name``, in declaration order."""
+        self._require_object_type(type_name)
+        return dedupe(link.sub for link in self._subtype_links if link.super == type_name)
+
+    def supertypes(self, type_name: str) -> list[str]:
+        """All (transitive) proper supertypes; cycle-safe.
+
+        When ``type_name`` sits on a subtype cycle it is *its own* supertype
+        and appears in the result — exactly the condition Pattern 9 tests
+        (``T in T.Supers``).
+        """
+        return self._reachable(type_name, self.direct_supertypes)
+
+    def subtypes(self, type_name: str) -> list[str]:
+        """All (transitive) proper subtypes; cycle-safe, may include self."""
+        return self._reachable(type_name, self.direct_subtypes)
+
+    def supertypes_and_self(self, type_name: str) -> list[str]:
+        """``[type_name]`` plus all transitive supertypes."""
+        return dedupe([type_name, *self.supertypes(type_name)])
+
+    def subtypes_and_self(self, type_name: str) -> list[str]:
+        """``[type_name]`` plus all transitive subtypes."""
+        return dedupe([type_name, *self.subtypes(type_name)])
+
+    def is_subtype_of(self, sub: str, sup: str) -> bool:
+        """True when ``sub`` is a proper transitive subtype of ``sup``."""
+        return sup in self.supertypes(sub)
+
+    def top_supertypes(self, type_name: str) -> list[str]:
+        """The maximal supertypes of ``type_name`` (types with no supertypes).
+
+        For a top-level type this is the type itself.  Types on a subtype
+        cycle have no maximal supertype at all; the result is then empty,
+        which downstream checks treat as "no top" (the schema already fails
+        Pattern 9 anyway).
+        """
+        tops = [
+            candidate
+            for candidate in self.supertypes_and_self(type_name)
+            if not self.direct_supertypes(candidate)
+        ]
+        return tops
+
+    def root_types(self) -> list[str]:
+        """All object types that have no supertypes (the ORM "top" types)."""
+        return [name for name in self._object_types if not self.direct_supertypes(name)]
+
+    def _reachable(self, start: str, step) -> list[str]:
+        """Names reachable from ``start`` via ``step``, excluding the trivial
+        zero-length path (but including ``start`` when it lies on a cycle)."""
+        self._require_object_type(start)
+        seen: list[str] = []
+        frontier = list(step(start))
+        visited: set[str] = set()
+        while frontier:
+            current = frontier.pop()
+            if current in visited:
+                continue
+            visited.add(current)
+            seen.append(current)
+            frontier.extend(step(current))
+        return dedupe(seen)
+
+    # ------------------------------------------------------------------
+    # constraint lookup helpers used by the patterns
+    # ------------------------------------------------------------------
+
+    def mandatory_role_names(self) -> set[str]:
+        """Names of roles under a *simple* (non-disjunctive) mandatory.
+
+        Pattern 3 keys on simple mandatories: a disjunctive mandatory does
+        not force any single role to be played.
+        """
+        names: set[str] = set()
+        for constraint in self.constraints_of(MandatoryConstraint):
+            if not constraint.is_disjunctive:
+                names.add(constraint.roles[0])
+        return names
+
+    def is_role_mandatory(self, role_name: str) -> bool:
+        """True when ``role_name`` carries a simple mandatory constraint."""
+        return role_name in self.mandatory_role_names()
+
+    def uniqueness_on(self, roles: str | RoleSequence) -> list[UniquenessConstraint]:
+        """Uniqueness constraints over exactly the given role (sequence)."""
+        wanted = set(_as_sequence(roles))
+        return [
+            constraint
+            for constraint in self.constraints_of(UniquenessConstraint)
+            if set(constraint.roles) == wanted
+        ]
+
+    def frequencies_on(self, roles: str | RoleSequence) -> list[FrequencyConstraint]:
+        """Frequency constraints over exactly the given role (sequence)."""
+        wanted = set(_as_sequence(roles))
+        return [
+            constraint
+            for constraint in self.constraints_of(FrequencyConstraint)
+            if set(constraint.roles) == wanted
+        ]
+
+    def min_frequency_of(self, role_name: str, default: int = 1) -> int:
+        """Lower frequency bound on ``role_name`` (Pattern 5's ``fi``).
+
+        With several frequency constraints on one role the effective lower
+        bound is their maximum; without any, ``default`` (the paper uses 1).
+        """
+        minima = [c.min for c in self.frequencies_on(role_name)]
+        return max(minima, default=default)
+
+    def ring_constraints_on(self, pair: tuple[str, str]) -> list[RingConstraint]:
+        """Ring constraints on the given role pair, order-insensitively."""
+        wanted = frozenset(pair)
+        return [
+            constraint
+            for constraint in self.constraints_of(RingConstraint)
+            if frozenset(constraint.role_pair) == wanted
+        ]
+
+    def ring_pairs(self) -> list[tuple[str, str]]:
+        """All role pairs carrying at least one ring constraint."""
+        return dedupe(
+            tuple(sorted(constraint.role_pair))
+            for constraint in self.constraints_of(RingConstraint)
+        )
+
+    def value_count(self, type_name: str) -> int | None:
+        """Number of admissible values of the type, or None if unconstrained.
+
+        Mirrors the appendix's ``T.Values.size``: patterns 4 and 5 compare it
+        against frequency lower bounds.
+        """
+        return self.object_type(type_name).value_count
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+
+    def clone(self) -> "Schema":
+        """An independent deep-enough copy (elements are immutable)."""
+        copy = Schema(self.metadata.name, self.metadata.description)
+        copy.metadata.annotations = dict(self.metadata.annotations)
+        copy._object_types = dict(self._object_types)
+        copy._fact_types = dict(self._fact_types)
+        copy._roles = dict(self._roles)
+        copy._subtype_links = list(self._subtype_links)
+        copy._constraints = list(self._constraints)
+        copy._label_counter = self._label_counter
+        return copy
+
+    def stats(self) -> dict[str, int]:
+        """Element counts, used by benchmarks to report workload size."""
+        return {
+            "object_types": len(self._object_types),
+            "fact_types": len(self._fact_types),
+            "roles": len(self._roles),
+            "subtype_links": len(self._subtype_links),
+            "constraints": len(self._constraints),
+        }
+
+    def __iter__(self) -> Iterator[AnyConstraint]:
+        return iter(self._constraints)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        counts = self.stats()
+        inner = ", ".join(f"{key}={value}" for key, value in counts.items())
+        return f"Schema({self.metadata.name!r}, {inner})"
+
+    # ------------------------------------------------------------------
+    # validation internals
+    # ------------------------------------------------------------------
+
+    def _with_label(self, constraint: AnyConstraint) -> AnyConstraint:
+        """Assign a deterministic label when the caller did not supply one."""
+        if constraint.label is not None:
+            return constraint
+        self._label_counter += 1
+        label = f"{constraint.kind_name()}#{self._label_counter}"
+        return type(constraint)(**{**constraint.__dict__, "label": label})
+
+    def _require_object_type(self, name: str) -> None:
+        if name not in self._object_types:
+            raise UnknownElementError("object type", name)
+
+    def _require_role(self, name: str) -> None:
+        if name not in self._roles:
+            raise UnknownElementError("role", name)
+
+    def _require_sequence(self, sequence: RoleSequence) -> None:
+        """A role sequence must name roles of a single fact type, without
+        repetition; a length-2 sequence is a whole (binary) predicate."""
+        for role_name in sequence:
+            self._require_role(role_name)
+        owners = {self._roles[name].fact_type for name in sequence}
+        if len(owners) != 1:
+            raise ConstraintArityError(
+                f"role sequence {sequence!r} spans several fact types {sorted(owners)}"
+            )
+        if len(set(sequence)) != len(sequence):
+            raise ConstraintArityError(f"role sequence {sequence!r} repeats a role")
+
+    def _validate_constraint(self, constraint: AnyConstraint) -> None:
+        if isinstance(constraint, MandatoryConstraint):
+            for role_name in constraint.roles:
+                self._require_role(role_name)
+            players = {self._roles[name].player for name in constraint.roles}
+            if len(players) != 1:
+                raise ConstraintArityError(
+                    "disjunctive mandatory must cover roles of a single player, "
+                    f"got players {sorted(players)}"
+                )
+        elif isinstance(constraint, (UniquenessConstraint, FrequencyConstraint)):
+            self._require_sequence(constraint.roles)
+        elif isinstance(constraint, ExclusionConstraint):
+            for sequence in constraint.sequences:
+                self._require_sequence(sequence)
+            if len(set(constraint.sequences)) != len(constraint.sequences):
+                raise ConstraintArityError("exclusion lists the same sequence twice")
+        elif isinstance(constraint, ExclusiveTypesConstraint):
+            for type_name in constraint.types:
+                self._require_object_type(type_name)
+        elif isinstance(constraint, SubsetConstraint):
+            self._require_sequence(constraint.sub)
+            self._require_sequence(constraint.sup)
+            if constraint.sub == constraint.sup:
+                raise ConstraintArityError("subset constraint relates a sequence to itself")
+        elif isinstance(constraint, EqualityConstraint):
+            self._require_sequence(constraint.first)
+            self._require_sequence(constraint.second)
+            if constraint.first == constraint.second:
+                raise ConstraintArityError(
+                    "equality constraint relates a sequence to itself"
+                )
+        elif isinstance(constraint, RingConstraint):
+            self._require_role(constraint.first_role)
+            self._require_role(constraint.second_role)
+            first = self._roles[constraint.first_role]
+            second = self._roles[constraint.second_role]
+            if first.fact_type != second.fact_type:
+                raise ConstraintArityError(
+                    "ring constraint must span the two roles of one fact type, "
+                    f"got {first.fact_type!r} and {second.fact_type!r}"
+                )
+        else:  # pragma: no cover - defensive
+            raise SchemaError(f"unsupported constraint type: {type(constraint).__name__}")

@@ -1,0 +1,157 @@
+"""Pseudo-natural-language verbalization of ORM schemas.
+
+A selling point of ORM (paper Sec. 1) is that schemas "can be translated into
+pseudo natural language statements", which lets domain experts — the paper's
+CCFORM lawyers — read and check models without training in logic.  This
+module produces that translation: one declarative English sentence per fact
+type, subtype link and constraint.
+
+The sentences follow the house style of Halpin's ORM verbalizations:
+
+* fact type            ``Person drives Car.``
+* mandatory            ``Each Person drives some Car.``
+* uniqueness           ``Each Person drives at most one Car.``
+* frequency            ``Each Person that drives a Car drives at least 2 and
+                         at most 5 Cars.``
+* value constraint     ``The possible values of Grade are 'a' and 'b'.``
+* subtype              ``Each Student is a Person.``
+* exclusive types      ``No Student is also an Employee.``
+* exclusion            ``No instance both drives (r1) and repairs (r3).``
+* subset               ``If an instance drives, that instance also owns.``
+* ring                 ``The 'sister_of' relation is irreflexive.``
+"""
+
+from __future__ import annotations
+
+from repro._util import comma_join
+from repro.orm.constraints import (
+    AnyConstraint,
+    EqualityConstraint,
+    ExclusionConstraint,
+    ExclusiveTypesConstraint,
+    FrequencyConstraint,
+    MandatoryConstraint,
+    RingConstraint,
+    RingKind,
+    SubsetConstraint,
+    UniquenessConstraint,
+)
+from repro.orm.elements import FactType
+from repro.orm.schema import Schema
+
+_RING_PHRASES = {
+    RingKind.IRREFLEXIVE: "irreflexive (no instance relates to itself)",
+    RingKind.ASYMMETRIC: "asymmetric (if x relates to y, y never relates back to x)",
+    RingKind.ANTISYMMETRIC: (
+        "antisymmetric (distinct x and y never relate in both directions)"
+    ),
+    RingKind.ACYCLIC: "acyclic (no chain of relations returns to its start)",
+    RingKind.INTRANSITIVE: (
+        "intransitive (if x relates to y and y to z, x never relates to z)"
+    ),
+    RingKind.SYMMETRIC: "symmetric (if x relates to y, y also relates to x)",
+}
+
+
+def verbalize_fact_type(fact_type: FactType) -> str:
+    """One sentence describing a fact type."""
+    first, second = fact_type.roles
+    if fact_type.reading and "..." in fact_type.reading:
+        middle = fact_type.reading.replace("...", "{}", 2)
+        try:
+            return middle.format(first.player, second.player) + "."
+        except (IndexError, KeyError):  # pragma: no cover - defensive
+            pass
+    return (
+        f"{first.player} {fact_type.name.replace('_', ' ')} {second.player} "
+        f"(roles {first.name}, {second.name})."
+    )
+
+
+def verbalize_constraint(schema: Schema, constraint: AnyConstraint) -> str:
+    """One sentence describing ``constraint`` in the context of ``schema``."""
+    if isinstance(constraint, MandatoryConstraint):
+        return _verbalize_mandatory(schema, constraint)
+    if isinstance(constraint, UniquenessConstraint):
+        return _verbalize_uniqueness(schema, constraint)
+    if isinstance(constraint, FrequencyConstraint):
+        return _verbalize_frequency(schema, constraint)
+    if isinstance(constraint, ExclusionConstraint):
+        return _verbalize_exclusion(constraint)
+    if isinstance(constraint, ExclusiveTypesConstraint):
+        return _verbalize_exclusive_types(constraint)
+    if isinstance(constraint, SubsetConstraint):
+        return (
+            f"Whatever populates {_seq_text(constraint.sub)} also populates "
+            f"{_seq_text(constraint.sup)}."
+        )
+    if isinstance(constraint, EqualityConstraint):
+        return (
+            f"{_seq_text(constraint.first)} and {_seq_text(constraint.second)} "
+            "always have the same population."
+        )
+    if isinstance(constraint, RingConstraint):
+        fact_name = schema.role(constraint.first_role).fact_type
+        return f"The '{fact_name}' relation is {_RING_PHRASES[constraint.kind]}."
+    raise TypeError(f"cannot verbalize {type(constraint).__name__}")
+
+
+def verbalize_schema(schema: Schema) -> list[str]:
+    """Verbalize the whole schema: facts, subtypes, values, constraints."""
+    lines: list[str] = []
+    for fact_type in schema.fact_types():
+        lines.append(verbalize_fact_type(fact_type))
+    for link in schema.subtype_links():
+        lines.append(f"Each {link.sub} is a {link.super}.")
+    for object_type in schema.object_types():
+        if object_type.values is not None:
+            rendered = comma_join([f"'{value}'" for value in object_type.values])
+            lines.append(f"The possible values of {object_type.name} are {rendered}.")
+    for constraint in schema.constraints():
+        lines.append(verbalize_constraint(schema, constraint))
+    return lines
+
+
+def _seq_text(sequence: tuple[str, ...]) -> str:
+    if len(sequence) == 1:
+        return f"role {sequence[0]}"
+    return "roles (" + ", ".join(sequence) + ")"
+
+
+def _verbalize_mandatory(schema: Schema, constraint: MandatoryConstraint) -> str:
+    player = schema.role(constraint.roles[0]).player
+    if constraint.is_disjunctive:
+        roles = comma_join(list(constraint.roles))
+        return f"Each {player} plays at least one of the roles {roles}."
+    return f"Each {player} must play role {constraint.roles[0]}."
+
+
+def _verbalize_uniqueness(schema: Schema, constraint: UniquenessConstraint) -> str:
+    if len(constraint.roles) == 1:
+        role = schema.role(constraint.roles[0])
+        return f"Each {role.player} plays role {role.name} at most once."
+    return (
+        f"Each combination for {_seq_text(constraint.roles)} occurs at most once "
+        "(implied: predicate populations are sets)."
+    )
+
+
+def _verbalize_frequency(schema: Schema, constraint: FrequencyConstraint) -> str:
+    role = schema.role(constraint.roles[0])
+    upper = "" if constraint.max is None else f" and at most {constraint.max} times"
+    return (
+        f"Each {role.player} that plays role {role.name} plays it at least "
+        f"{constraint.min} times{upper} ({constraint.bounds_text()})."
+    )
+
+
+def _verbalize_exclusion(constraint: ExclusionConstraint) -> str:
+    rendered = comma_join([_seq_text(seq) for seq in constraint.sequences])
+    return f"The populations of {rendered} are pairwise disjoint."
+
+
+def _verbalize_exclusive_types(constraint: ExclusiveTypesConstraint) -> str:
+    names = list(constraint.types)
+    head = names[0]
+    rest = comma_join(names[1:])
+    return f"No {head} is also {'an' if rest[:1] in 'AEIOU' else 'a'} {rest}."

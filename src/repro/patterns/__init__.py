@@ -1,0 +1,54 @@
+"""The paper's nine unsatisfiability patterns plus the related-work rules."""
+
+from repro.patterns.base import Pattern, ValidationReport, Violation
+from repro.patterns.engine import (
+    ALL_IDS,
+    ALL_PATTERNS,
+    FULL_REGISTRY,
+    PATTERN_IDS,
+    PatternEngine,
+    pattern_by_id,
+)
+from repro.patterns.explain import explain, suggest_repairs
+from repro.patterns.extensions import EXTENSION_IDS, EXTENSION_PATTERNS
+from repro.patterns.formation_rules import RuleFinding, check_formation_rules
+from repro.patterns.propagation import DerivedUnsat, PropagationResult, propagate
+from repro.patterns.p1_common_supertype import TopCommonSupertypePattern
+from repro.patterns.p2_exclusive_subtypes import ExclusiveSubtypesPattern
+from repro.patterns.p3_exclusion_mandatory import ExclusionMandatoryPattern
+from repro.patterns.p4_frequency_value import FrequencyValuePattern
+from repro.patterns.p5_value_exclusion_frequency import ValueExclusionFrequencyPattern
+from repro.patterns.p6_set_comparison import SetComparisonPattern
+from repro.patterns.p7_uniqueness_frequency import UniquenessFrequencyPattern
+from repro.patterns.p8_ring import RingPattern
+from repro.patterns.p9_subtype_loop import SubtypeLoopPattern
+
+__all__ = [
+    "ALL_IDS",
+    "ALL_PATTERNS",
+    "DerivedUnsat",
+    "EXTENSION_IDS",
+    "EXTENSION_PATTERNS",
+    "FULL_REGISTRY",
+    "PATTERN_IDS",
+    "PropagationResult",
+    "explain",
+    "propagate",
+    "suggest_repairs",
+    "ExclusionMandatoryPattern",
+    "ExclusiveSubtypesPattern",
+    "FrequencyValuePattern",
+    "Pattern",
+    "PatternEngine",
+    "RingPattern",
+    "RuleFinding",
+    "SetComparisonPattern",
+    "SubtypeLoopPattern",
+    "TopCommonSupertypePattern",
+    "UniquenessFrequencyPattern",
+    "ValidationReport",
+    "ValueExclusionFrequencyPattern",
+    "Violation",
+    "check_formation_rules",
+    "pattern_by_id",
+]

@@ -1,0 +1,157 @@
+"""Pattern infrastructure: violations, reports, and the pattern interface.
+
+Each of the paper's nine patterns becomes a :class:`Pattern` subclass whose
+:meth:`Pattern.check` returns :class:`Violation` objects.  A violation names
+the unsatisfiable roles and object types, the constraints that jointly cause
+the contradiction, and carries a DogmaModeler-style explanatory message —
+the paper stresses (Sec. 4) that the tool "does not only detect unsatisfiable
+ORM models, but also ... gives details about the detected problems".
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.orm.schema import Schema
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected unsatisfiability.
+
+    Attributes
+    ----------
+    pattern_id:
+        Stable id ``"P1"`` .. ``"P9"`` matching the paper's numbering.
+    message:
+        Human-readable diagnostic naming the conflicting constraints.
+    roles:
+        Role names that can never be populated because of this conflict.
+    types:
+        Object-type names that can never be populated.
+    constraints:
+        Labels of the constraints jointly responsible.
+    joint:
+        When True, the listed roles cannot all be populated *together* but
+        each may be populatable alone (Pattern 5's "some roles in R cannot
+        be satisfied"); when False each listed element is individually
+        unpopulatable.
+    """
+
+    pattern_id: str
+    message: str
+    roles: tuple[str, ...] = ()
+    types: tuple[str, ...] = ()
+    constraints: tuple[str, ...] = ()
+    joint: bool = False
+
+    def elements(self) -> tuple[str, ...]:
+        """All unsatisfiable elements (types then roles)."""
+        return self.types + self.roles
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.pattern_id}] {self.message}"
+
+
+class Pattern(abc.ABC):
+    """Interface of one unsatisfiability-detection pattern.
+
+    Subclasses set the three class attributes and implement :meth:`check`.
+    Patterns are stateless; a single instance may be reused across schemas
+    and threads.
+    """
+
+    #: Stable identifier, e.g. ``"P4"``.
+    pattern_id: str = ""
+    #: The paper's pattern title, e.g. ``"Frequency-Value"``.
+    name: str = ""
+    #: One-line description for tool settings (Fig. 15).
+    description: str = ""
+
+    @abc.abstractmethod
+    def check(self, schema: Schema) -> list[Violation]:
+        """Return all violations of this pattern present in ``schema``."""
+
+    def _violation(
+        self,
+        message: str,
+        roles: tuple[str, ...] = (),
+        types: tuple[str, ...] = (),
+        constraints: tuple[str, ...] = (),
+        joint: bool = False,
+    ) -> Violation:
+        """Construct a violation tagged with this pattern's id."""
+        return Violation(
+            pattern_id=self.pattern_id,
+            message=message,
+            roles=roles,
+            types=types,
+            constraints=constraints,
+            joint=joint,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.pattern_id}: {self.name})"
+
+
+@dataclass
+class ValidationReport:
+    """The outcome of running a set of patterns over a schema."""
+
+    schema_name: str
+    violations: list[Violation] = field(default_factory=list)
+    patterns_run: tuple[str, ...] = ()
+    elapsed_seconds: float = 0.0
+
+    @property
+    def is_satisfiable(self) -> bool:
+        """True when no pattern fired.
+
+        The patterns are sound but incomplete (paper Sec. 1): ``True`` here
+        means "no *common* contradiction found", not a proof of strong
+        satisfiability.
+        """
+        return not self.violations
+
+    def unsatisfiable_roles(self) -> tuple[str, ...]:
+        """All role names flagged by any violation, deduplicated."""
+        seen: dict[str, None] = {}
+        for violation in self.violations:
+            for role in violation.roles:
+                seen.setdefault(role)
+        return tuple(seen)
+
+    def unsatisfiable_types(self) -> tuple[str, ...]:
+        """All object-type names flagged by any violation, deduplicated."""
+        seen: dict[str, None] = {}
+        for violation in self.violations:
+            for type_name in violation.types:
+                seen.setdefault(type_name)
+        return tuple(seen)
+
+    def by_pattern(self) -> dict[str, list[Violation]]:
+        """Violations grouped by pattern id (only patterns that fired)."""
+        grouped: dict[str, list[Violation]] = {}
+        for violation in self.violations:
+            grouped.setdefault(violation.pattern_id, []).append(violation)
+        return grouped
+
+    def messages(self) -> list[str]:
+        """All diagnostic messages, prefixed with their pattern id."""
+        return [str(violation) for violation in self.violations]
+
+    def summary(self) -> str:
+        """One line for logs/UIs: verdict plus counts."""
+        if self.is_satisfiable:
+            return (
+                f"schema '{self.schema_name}': no unsatisfiability pattern fired "
+                f"({len(self.patterns_run)} patterns checked)"
+            )
+        fired = sorted(self.by_pattern())
+        return (
+            f"schema '{self.schema_name}': {len(self.violations)} violation(s) "
+            f"from pattern(s) {', '.join(fired)}; "
+            f"{len(self.unsatisfiable_types())} type(s) and "
+            f"{len(self.unsatisfiable_roles())} role(s) unsatisfiable"
+        )

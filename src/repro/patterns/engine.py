@@ -1,0 +1,125 @@
+"""The pattern engine: registry, settings and the one-call entry point.
+
+:class:`PatternEngine` mirrors the DogmaModeler Validator Settings window
+(paper Fig. 15): each of the nine patterns can be enabled or disabled
+individually, and :meth:`PatternEngine.check` runs the enabled ones over a
+schema, collecting every violation with its diagnostic message.
+
+The engine is intentionally cheap to construct and stateless across calls —
+the paper's whole point is that pattern checking is fast enough to run after
+every editing step of an interactive modeling session
+(:mod:`repro.tool.session` does exactly that).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable
+
+from repro.orm.schema import Schema
+from repro.patterns.base import Pattern, ValidationReport, Violation
+from repro.patterns.extensions import EXTENSION_IDS, EXTENSION_PATTERNS
+from repro.patterns.p1_common_supertype import TopCommonSupertypePattern
+from repro.patterns.p2_exclusive_subtypes import ExclusiveSubtypesPattern
+from repro.patterns.p3_exclusion_mandatory import ExclusionMandatoryPattern
+from repro.patterns.p4_frequency_value import FrequencyValuePattern
+from repro.patterns.p5_value_exclusion_frequency import ValueExclusionFrequencyPattern
+from repro.patterns.p6_set_comparison import SetComparisonPattern
+from repro.patterns.p7_uniqueness_frequency import UniquenessFrequencyPattern
+from repro.patterns.p8_ring import RingPattern
+from repro.patterns.p9_subtype_loop import SubtypeLoopPattern
+
+#: All nine patterns in the paper's order.
+ALL_PATTERNS: tuple[Pattern, ...] = (
+    TopCommonSupertypePattern(),
+    ExclusiveSubtypesPattern(),
+    ExclusionMandatoryPattern(),
+    FrequencyValuePattern(),
+    ValueExclusionFrequencyPattern(),
+    SetComparisonPattern(),
+    UniquenessFrequencyPattern(),
+    RingPattern(),
+    SubtypeLoopPattern(),
+)
+
+#: Pattern ids in order, for settings UIs and reports.
+PATTERN_IDS: tuple[str, ...] = tuple(pattern.pattern_id for pattern in ALL_PATTERNS)
+
+#: The nine paper patterns plus the Sec. 5 extensions (X1-X3).
+FULL_REGISTRY: tuple[Pattern, ...] = ALL_PATTERNS + EXTENSION_PATTERNS
+
+#: Every known id, paper patterns first.
+ALL_IDS: tuple[str, ...] = PATTERN_IDS + EXTENSION_IDS
+
+
+def pattern_by_id(pattern_id: str) -> Pattern:
+    """Look up a pattern by id (``"P1"``..``"P9"`` or ``"X1"``..``"X3"``)."""
+    for pattern in FULL_REGISTRY:
+        if pattern.pattern_id == pattern_id:
+            return pattern
+    raise KeyError(f"unknown pattern id: {pattern_id!r}")
+
+
+class PatternEngine:
+    """Run a configurable subset of the patterns over schemas.
+
+    By default exactly the paper's nine run; pass
+    ``include_extensions=True`` to add the Sec. 5 extension patterns, or an
+    explicit ``enabled`` list for full control.
+    """
+
+    def __init__(
+        self,
+        enabled: Iterable[str] | None = None,
+        include_extensions: bool = False,
+    ) -> None:
+        if enabled is None:
+            self._enabled = list(PATTERN_IDS)
+            if include_extensions:
+                self._enabled.extend(EXTENSION_IDS)
+        else:
+            self._enabled = []
+            for pattern_id in enabled:
+                pattern_by_id(pattern_id)  # validate eagerly
+                if pattern_id not in self._enabled:
+                    self._enabled.append(pattern_id)
+
+    @property
+    def enabled_ids(self) -> tuple[str, ...]:
+        """The pattern ids this engine will run, in registry order."""
+        return tuple(pid for pid in ALL_IDS if pid in self._enabled)
+
+    def enable(self, pattern_id: str) -> None:
+        """Enable one pattern (idempotent)."""
+        pattern_by_id(pattern_id)
+        if pattern_id not in self._enabled:
+            self._enabled.append(pattern_id)
+
+    def disable(self, pattern_id: str) -> None:
+        """Disable one pattern (idempotent)."""
+        pattern_by_id(pattern_id)
+        if pattern_id in self._enabled:
+            self._enabled.remove(pattern_id)
+
+    def check(self, schema: Schema) -> ValidationReport:
+        """Run every enabled pattern and collect the violations."""
+        started = time.perf_counter()
+        violations: list[Violation] = []
+        for pattern in FULL_REGISTRY:
+            if pattern.pattern_id not in self._enabled:
+                continue
+            violations.extend(pattern.check(schema))
+        elapsed = time.perf_counter() - started
+        return ValidationReport(
+            schema_name=schema.metadata.name,
+            violations=violations,
+            patterns_run=self.enabled_ids,
+            elapsed_seconds=elapsed,
+        )
+
+    def check_pattern(self, schema: Schema, pattern_id: str) -> list[Violation]:
+        """Run a single pattern regardless of the enabled set."""
+        return pattern_by_id(pattern_id).check(schema)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PatternEngine(enabled={list(self.enabled_ids)})"

@@ -1,0 +1,148 @@
+"""Repair suggestions for detected violations.
+
+The paper's Sec. 4 experience is that interactive detection *teaches*
+modelers ("some of them even admitted that they understood some logics
+from their experience in using DogmaModeler").  A diagnostic helps most
+when it says not only *what* is contradictory but *which edits would
+resolve it*.  :func:`suggest_repairs` maps each pattern's violation to the
+concrete candidate repairs, phrased against the violation's own elements.
+
+Suggestions are heuristic by design — they list the minimal constraint
+removals/weakenings that dissolve the specific conflict; choosing among
+them is the modeler's domain call.
+"""
+
+from __future__ import annotations
+
+from repro._util import comma_join
+from repro.patterns.base import Violation
+
+_SUGGESTERS = {}
+
+
+def _register(pattern_id: str):
+    def decorator(fn):
+        _SUGGESTERS[pattern_id] = fn
+        return fn
+
+    return decorator
+
+
+def suggest_repairs(violation: Violation) -> list[str]:
+    """Candidate repairs for ``violation`` (possibly empty for unknown ids)."""
+    suggester = _SUGGESTERS.get(violation.pattern_id)
+    if suggester is None:
+        return []
+    return suggester(violation)
+
+
+@_register("P1")
+def _p1(violation: Violation) -> list[str]:
+    subject = comma_join(violation.types)
+    return [
+        f"introduce a common supertype above the supertypes of {subject}",
+        f"drop one of the subtype links of {subject} so a single lineage remains",
+    ]
+
+
+@_register("P2")
+def _p2(violation: Violation) -> list[str]:
+    subject = comma_join(violation.types)
+    return [
+        f"remove the exclusive constraint {comma_join(violation.constraints)}",
+        f"drop one of the subtype links putting {subject} under both excluded types",
+    ]
+
+
+@_register("P3")
+def _p3(violation: Violation) -> list[str]:
+    return [
+        f"remove the exclusion {comma_join(violation.constraints)}",
+        "weaken the mandatory to a disjunctive mandatory over the excluded roles "
+        "(cf. paper Fig. 14, which is satisfiable for exactly that reason)",
+        f"move the roles {comma_join(violation.roles)} to disjoint subtypes",
+    ]
+
+
+@_register("P4")
+def _p4(violation: Violation) -> list[str]:
+    return [
+        "lower the frequency constraint's minimum to the value-pool size",
+        "extend the value constraint with enough additional values",
+    ]
+
+
+@_register("P5")
+def _p5(violation: Violation) -> list[str]:
+    return [
+        "extend the value constraint to cover the summed frequency demand",
+        f"shrink the exclusion {comma_join(violation.constraints)} to fewer roles",
+        "lower the frequency constraints on the inverse roles",
+    ]
+
+
+@_register("P6")
+def _p6(violation: Violation) -> list[str]:
+    return [
+        f"remove the exclusion {comma_join(violation.constraints[:1])}",
+        "remove (or redirect) the subset/equality constraints forming the SetPath",
+    ]
+
+
+@_register("P7")
+def _p7(violation: Violation) -> list[str]:
+    return [
+        "drop the uniqueness constraint if instances may play the role several times",
+        "lower the frequency minimum to 1 (or replace FC(1-1) by the uniqueness alone)",
+    ]
+
+
+@_register("P8")
+def _p8(violation: Violation) -> list[str]:
+    return [
+        "remove one ring constraint of the incompatible core named in the message",
+        "check Table 1 (benchmarks/results/table1.txt) for the nearest compatible "
+        "combination",
+    ]
+
+
+@_register("P9")
+def _p9(violation: Violation) -> list[str]:
+    cycle = comma_join(violation.types)
+    return [
+        f"break the subtype loop through {cycle}: one of the links points the "
+        "wrong way",
+        "if two types are genuinely mutually inclusive, merge them into one type",
+    ]
+
+
+@_register("X1")
+def _x1(violation: Violation) -> list[str]:
+    return [
+        "extend the player's value constraint to at least the required support",
+        "drop the ring constraint that forces distinct elements (e.g. irreflexivity)",
+    ]
+
+
+@_register("X2")
+def _x2(violation: Violation) -> list[str]:
+    return [
+        "populate the empty value constraint or remove it entirely",
+    ]
+
+
+@_register("X3")
+def _x3(violation: Violation) -> list[str]:
+    return [
+        "remove one of the exclusions so some alternative of the disjunctive "
+        "mandatory stays playable",
+        "demote one of the simple mandatories involved",
+    ]
+
+
+def explain(violation: Violation) -> str:
+    """Message plus numbered repair suggestions, rendered for a tool."""
+    lines = [str(violation)]
+    for index, suggestion in enumerate(suggest_repairs(violation), start=1):
+        lines.append(f"    repair {index}: {suggestion}")
+    return "\n".join(lines)

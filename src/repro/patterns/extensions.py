@@ -1,0 +1,219 @@
+"""Extension patterns — the paper's Sec. 5 future work, implemented.
+
+The conclusions concede the nine patterns are incomplete and sketch where
+to grow them: "E.g., one could demand that for irreflexive roles at least 2
+different values need to be present."  This module adds that pattern and
+two siblings in the same spirit.  They carry ids ``X1``–``X3`` and are
+*disabled by default* (the base engine reproduces the paper's nine); enable
+them via ``PatternEngine(include_extensions=True)`` or the validator
+settings.
+
+X1 — Ring-Value support
+    A ring-constraint combination needs a minimum number of *distinct*
+    elements to populate (irreflexivity needs 2; plain symmetry only 1).
+    The minimum is computed semantically from the smallest witness relation
+    (:func:`repro.rings.algebra.witness`); if the player's value pool is
+    smaller, the role pair is unsatisfiable.  This is exactly the paper's
+    suggested example, generalized to every combination.
+
+X2 — Empty value pool
+    A type whose value constraint lists zero values can never be populated,
+    and neither can its subtypes or the roles they play.  (The structural
+    advisory W01 warns about the declaration; X2 states the semantic
+    consequence as a proper violation.)
+
+X3 — Disjunctive mandatory with all branches excluded
+    Pattern 3 only fires on *simple* mandatories (a disjunctive mandatory
+    does not force any single role, which is exactly why Fig. 14 is
+    satisfiable).  But when **every** branch of a disjunctive mandatory is
+    excluded with some simple-mandatory role of the same player, no branch
+    remains playable and the player type is unpopulatable — a strictly
+    stronger conflict the base nine miss.
+"""
+
+from __future__ import annotations
+
+from repro.orm.schema import Schema
+from repro.patterns.base import Pattern, Violation
+from repro.rings.algebra import format_combination, is_compatible, witness
+
+
+def minimum_ring_support(kinds: frozenset) -> int | None:
+    """Fewest distinct elements any non-empty witness of ``kinds`` uses.
+
+    ``None`` when the combination is incompatible outright (Pattern 8's
+    province).  By the substructure argument the 2-element enumeration is
+    exact for existence; for the *minimum* it is exact as well because a
+    witness restricted to one of its pairs stays a witness.
+    """
+    if not is_compatible(kinds):
+        return None
+    best = witness(kinds)
+    assert best is not None
+    support = {element for pair in best for element in pair}
+    return len(support)
+
+
+class RingValueSupportPattern(Pattern):
+    """X1: ring constraints demanding more distinct elements than the pool has."""
+
+    pattern_id = "X1"
+    name = "Ring-Value support (Sec. 5 extension)"
+    description = (
+        "A ring combination that can only be satisfied by relations over k "
+        "distinct elements is unsatisfiable when the player's value pool has "
+        "fewer than k values (e.g. irreflexivity needs 2)."
+    )
+
+    def check(self, schema: Schema) -> list[Violation]:
+        violations: list[Violation] = []
+        for pair in schema.ring_pairs():
+            constraints = schema.ring_constraints_on(pair)
+            kinds = frozenset(constraint.kind for constraint in constraints)
+            needed = minimum_ring_support(kinds)
+            if needed is None or needed <= 1:
+                continue  # incompatible combos are P8's; support-1 is free
+            player = schema.role(pair[0]).player
+            pool = self._effective_pool(schema, player)
+            if pool is None or pool >= needed:
+                continue
+            labels = tuple(constraint.label or "" for constraint in constraints)
+            violations.append(
+                self._violation(
+                    message=(
+                        f"the ring constraints {format_combination(kinds)} need at "
+                        f"least {needed} distinct '{player}' instances to be "
+                        f"populated, but its value constraint admits only {pool} "
+                        "value(s)"
+                    ),
+                    roles=pair,
+                    constraints=labels,
+                )
+            )
+        return violations
+
+    @staticmethod
+    def _effective_pool(schema: Schema, type_name: str) -> int | None:
+        counts = [
+            schema.value_count(candidate)
+            for candidate in schema.supertypes_and_self(type_name)
+            if schema.value_count(candidate) is not None
+        ]
+        return min(counts, default=None)
+
+
+class EmptyValuePoolPattern(Pattern):
+    """X2: value constraints with zero values empty the type and its roles."""
+
+    pattern_id = "X2"
+    name = "Empty value pool (Sec. 5 extension)"
+    description = (
+        "A type with an empty value constraint — directly or via a "
+        "supertype — can never be populated; nor can its subtypes or roles."
+    )
+
+    def check(self, schema: Schema) -> list[Violation]:
+        violations: list[Violation] = []
+        for object_type in schema.object_types():
+            if object_type.values is None or len(object_type.values) > 0:
+                continue
+            doomed_types = tuple(schema.subtypes_and_self(object_type.name))
+            doomed_roles: list[str] = []
+            for type_name in doomed_types:
+                for role in schema.roles_played_by(type_name):
+                    fact = schema.fact_type_of(role.name)
+                    doomed_roles.extend(fact.role_names)
+            violations.append(
+                self._violation(
+                    message=(
+                        f"object type '{object_type.name}' has an empty value "
+                        f"constraint; it, its subtype(s) and the fact type(s) they "
+                        "play in can never be populated"
+                    ),
+                    types=doomed_types,
+                    roles=tuple(dict.fromkeys(doomed_roles)),
+                )
+            )
+        return violations
+
+
+class DisjunctiveMandatoryExclusionPattern(Pattern):
+    """X3: a disjunctive mandatory whose every branch is excluded away."""
+
+    pattern_id = "X3"
+    name = "Disjunctive mandatory fully excluded (Sec. 5 extension)"
+    description = (
+        "If each alternative of a disjunctive mandatory is exclusive with a "
+        "simple-mandatory role of the same player, no alternative can be "
+        "played and the player type is unpopulatable."
+    )
+
+    def check(self, schema: Schema) -> list[Violation]:
+        from repro.orm.constraints import ExclusionConstraint, MandatoryConstraint
+
+        violations: list[Violation] = []
+        simple_mandatory = schema.mandatory_role_names()
+        exclusions = [
+            constraint
+            for constraint in schema.constraints_of(ExclusionConstraint)
+            if constraint.is_role_exclusion
+        ]
+        for constraint in schema.constraints_of(MandatoryConstraint):
+            if not constraint.is_disjunctive:
+                continue
+            player = schema.role(constraint.roles[0]).player
+            blockers: list[str] = []
+            for branch in constraint.roles:
+                blocker = self._blocking_mandatory(
+                    schema, branch, player, simple_mandatory, exclusions
+                )
+                if blocker is None:
+                    blockers = []
+                    break
+                blockers.append(blocker)
+            if blockers:
+                violations.append(
+                    self._violation(
+                        message=(
+                            f"object type '{player}' cannot be populated: every "
+                            f"alternative of the disjunctive mandatory "
+                            f"<{constraint.label}> is excluded with a mandatory "
+                            f"role ({', '.join(sorted(set(blockers)))})"
+                        ),
+                        types=(player,),
+                        roles=tuple(
+                            role
+                            for role in constraint.roles
+                            if schema.role(role).player == player
+                        ),
+                        constraints=(constraint.label or "",),
+                    )
+                )
+        return violations
+
+    @staticmethod
+    def _blocking_mandatory(schema, branch, player, simple_mandatory, exclusions):
+        """A simple-mandatory role of ``player`` (or a supertype) that is
+        excluded with ``branch``, or None."""
+        for exclusion in exclusions:
+            roles = exclusion.single_roles()
+            if branch not in roles:
+                continue
+            for other in roles:
+                if other == branch or other not in simple_mandatory:
+                    continue
+                other_player = schema.role(other).player
+                if player in schema.subtypes_and_self(other_player):
+                    return other
+        return None
+
+
+#: The extension patterns, in id order.
+EXTENSION_PATTERNS: tuple[Pattern, ...] = (
+    RingValueSupportPattern(),
+    EmptyValuePoolPattern(),
+    DisjunctiveMandatoryExclusionPattern(),
+)
+
+#: Their ids.
+EXTENSION_IDS: tuple[str, ...] = tuple(p.pattern_id for p in EXTENSION_PATTERNS)

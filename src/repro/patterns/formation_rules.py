@@ -1,0 +1,367 @@
+"""The related-work rules the paper analyzes (Sec. 3): Halpin's 7 formation
+rules [H89] and RIDL-A's set-constraint analysis rules [DMV].
+
+The paper's central point in Sec. 3 is a *classification*: most of these
+rules are good-modeling guidance (they avoid redundant or nonsensical
+constraints) but are **not** unsatisfiability detectors — a rule is
+*relevant* only "if in case it is violated, there is an unsatisfiable role".
+This module implements the rules as checks and tags every finding with the
+paper's relevance analysis, so the test suite can assert the classification
+on concrete schemas (e.g. Fig. 14 violates formation rule 6 yet all roles
+are satisfiable).
+
+Summary of the paper's verdicts:
+
+====  ===========================================================  ========
+Rule  Statement                                                    Relevant
+====  ===========================================================  ========
+FR1   never use FC(1-1); use uniqueness instead                    no
+FR2   no frequency constraint may span a whole predicate           only min>1 (refined by P7)
+FR3   no uniqueness and frequency on the same role sequence        only min>1 (refined by P7)
+FR4   no uniqueness spanned by a longer uniqueness                 no
+FR5   no exclusion on a role marked mandatory                      yes (= P3)
+FR6   no exclusion between roles of sub/supertype players          no (Fig. 14)
+FR7   frequency upper bound below partner cardinality product      binary case = P4
+S1    a subset constraint may not be superfluous (implied)         no
+S2    a subset constraint may not contain loops                    no (loops force equality, P9 covers subtypes)
+S3    an equality constraint may not be superfluous                no
+S4    excluded OTSETs may not have a common subset                 yes but = definition of exclusion (P2/P6 make it operational)
+====  ===========================================================  ========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import pairs
+from repro.orm.constraints import (
+    EqualityConstraint,
+    ExclusionConstraint,
+    FrequencyConstraint,
+    SubsetConstraint,
+    UniquenessConstraint,
+)
+from repro.orm.schema import Schema
+from repro.setcomp import SetPathGraph
+
+
+@dataclass(frozen=True)
+class RuleFinding:
+    """One formation/RIDL rule violation.
+
+    ``relevant`` reproduces the paper's Sec. 3 verdict: does violating this
+    rule *by itself* imply an unsatisfiable role?  ``related_pattern`` names
+    the pattern that refines the rule when one exists.
+    """
+
+    rule_id: str
+    source: str  # "H89" or "RIDL"
+    message: str
+    relevant: bool
+    elements: tuple[str, ...] = ()
+    related_pattern: str | None = None
+
+
+def check_formation_rules(schema: Schema) -> list[RuleFinding]:
+    """Run all Halpin [H89] formation rules plus RIDL-A S1–S4."""
+    findings: list[RuleFinding] = []
+    findings.extend(_fr1_frequency_one(schema))
+    findings.extend(_fr2_spanning_frequency(schema))
+    findings.extend(_fr3_uniqueness_with_frequency(schema))
+    findings.extend(_fr4_spanned_uniqueness(schema))
+    findings.extend(_fr5_exclusion_on_mandatory(schema))
+    findings.extend(_fr6_exclusion_across_subtyping(schema))
+    findings.extend(_fr7_frequency_vs_cardinality(schema))
+    findings.extend(_s1_s3_superfluous_setpaths(schema))
+    findings.extend(_s2_subset_loops(schema))
+    return findings
+
+
+def _fr1_frequency_one(schema: Schema) -> list[RuleFinding]:
+    """FR1: FC(1-1) should be written as a uniqueness constraint."""
+    found = []
+    for constraint in schema.constraints_of(FrequencyConstraint):
+        if constraint.min == 1 and constraint.max == 1:
+            found.append(
+                RuleFinding(
+                    rule_id="FR1",
+                    source="H89",
+                    message=(
+                        f"<{constraint.label}> is FC(1-1); prefer a uniqueness "
+                        "constraint (purely notational — not an unsatisfiability)"
+                    ),
+                    relevant=False,
+                    elements=constraint.roles,
+                )
+            )
+    return found
+
+
+def _fr2_spanning_frequency(schema: Schema) -> list[RuleFinding]:
+    """FR2: no frequency may span a whole predicate.
+
+    The paper loosens this: only ``min > 1`` is unsatisfiable (Pattern 7);
+    ``FC(1-max)`` spanning the predicate is merely redundant.
+    """
+    found = []
+    for constraint in schema.constraints_of(FrequencyConstraint):
+        if len(constraint.roles) != 2:
+            continue
+        relevant = constraint.min > 1
+        found.append(
+            RuleFinding(
+                rule_id="FR2",
+                source="H89",
+                message=(
+                    f"<{constraint.label}> spans a whole predicate; "
+                    + (
+                        "with min > 1 this is unsatisfiable (Pattern 7)"
+                        if relevant
+                        else "with min = 1 it is redundant but satisfiable"
+                    )
+                ),
+                relevant=relevant,
+                elements=constraint.roles,
+                related_pattern="P7" if relevant else None,
+            )
+        )
+    return found
+
+
+def _fr3_uniqueness_with_frequency(schema: Schema) -> list[RuleFinding]:
+    """FR3: no role sequence may carry both uniqueness and frequency.
+
+    Loosened exactly as the paper describes: FC(1-max) + uniqueness is
+    equivalent to FC(1-1) — stylistically poor but satisfiable; only a lower
+    bound above 1 contradicts the uniqueness (Pattern 7).
+    """
+    found = []
+    for constraint in schema.constraints_of(FrequencyConstraint):
+        if not schema.uniqueness_on(constraint.roles):
+            continue
+        relevant = constraint.min > 1
+        found.append(
+            RuleFinding(
+                rule_id="FR3",
+                source="H89",
+                message=(
+                    f"<{constraint.label}> coexists with a uniqueness constraint "
+                    "on the same role(s); "
+                    + (
+                        "min > 1 makes this unsatisfiable (Pattern 7)"
+                        if relevant
+                        else "it is equivalent to FC(1-1), satisfiable but redundant"
+                    )
+                ),
+                relevant=relevant,
+                elements=constraint.roles,
+                related_pattern="P7" if relevant else None,
+            )
+        )
+    return found
+
+
+def _fr4_spanned_uniqueness(schema: Schema) -> list[RuleFinding]:
+    """FR4: a uniqueness constraint spanned by a longer one is redundant."""
+    found = []
+    uniques = schema.constraints_of(UniquenessConstraint)
+    for shorter in uniques:
+        for longer in uniques:
+            if shorter is longer:
+                continue
+            if set(shorter.roles) < set(longer.roles):
+                found.append(
+                    RuleFinding(
+                        rule_id="FR4",
+                        source="H89",
+                        message=(
+                            f"uniqueness <{longer.label}> is spanned by the shorter "
+                            f"<{shorter.label}> and is therefore implied "
+                            "(not an unsatisfiability)"
+                        ),
+                        relevant=False,
+                        elements=longer.roles,
+                    )
+                )
+    return found
+
+
+def _fr5_exclusion_on_mandatory(schema: Schema) -> list[RuleFinding]:
+    """FR5: exclusion between roles, one of which is mandatory — this *is*
+    Pattern 3 (the paper makes the subtype case explicit there)."""
+    found = []
+    mandatory = schema.mandatory_role_names()
+    for constraint in schema.constraints_of(ExclusionConstraint):
+        if not constraint.is_role_exclusion:
+            continue
+        flagged = [role for role in constraint.single_roles() if role in mandatory]
+        for role_name in flagged:
+            found.append(
+                RuleFinding(
+                    rule_id="FR5",
+                    source="H89",
+                    message=(
+                        f"exclusion <{constraint.label}> involves the mandatory "
+                        f"role '{role_name}' — Pattern 3 decides whether roles "
+                        "become unsatisfiable"
+                    ),
+                    relevant=True,
+                    elements=constraint.single_roles(),
+                    related_pattern="P3",
+                )
+            )
+    return found
+
+
+def _fr6_exclusion_across_subtyping(schema: Schema) -> list[RuleFinding]:
+    """FR6: exclusion between roles whose players are sub/supertype-related.
+
+    The paper demonstrates with Fig. 14 that violating this rule does *not*
+    imply unsatisfiable roles, so ``relevant`` is always False here.
+    """
+    found = []
+    for constraint in schema.constraints_of(ExclusionConstraint):
+        if not constraint.is_role_exclusion:
+            continue
+        for first, second in pairs(constraint.single_roles()):
+            first_player = schema.role(first).player
+            second_player = schema.role(second).player
+            related = schema.is_subtype_of(
+                first_player, second_player
+            ) or schema.is_subtype_of(second_player, first_player)
+            if related:
+                found.append(
+                    RuleFinding(
+                        rule_id="FR6",
+                        source="H89",
+                        message=(
+                            f"exclusion <{constraint.label}> spans roles of "
+                            f"'{first_player}' and '{second_player}', which are "
+                            "subtype-related; legal and possibly satisfiable "
+                            "(paper Fig. 14)"
+                        ),
+                        relevant=False,
+                        elements=(first, second),
+                    )
+                )
+    return found
+
+
+def _fr7_frequency_vs_cardinality(schema: Schema) -> list[RuleFinding]:
+    """FR7: frequency bounds versus the partner's maximum cardinality.
+
+    In the binary fragment the partner's maximum cardinality is its value
+    constraint size, so the semantically relevant part of FR7 is exactly
+    Pattern 4 (paper Sec. 3, footnote 5).
+    """
+    found = []
+    for constraint in schema.constraints_of(FrequencyConstraint):
+        if len(constraint.roles) != 1:
+            continue
+        partner = schema.partner_role(constraint.roles[0])
+        pool = schema.value_count(partner.player)
+        if pool is None:
+            continue
+        if constraint.min > pool:
+            found.append(
+                RuleFinding(
+                    rule_id="FR7",
+                    source="H89",
+                    message=(
+                        f"<{constraint.label}> demands {constraint.min} partners "
+                        f"but '{partner.player}' admits only {pool} values — "
+                        "unsatisfiable (Pattern 4)"
+                    ),
+                    relevant=True,
+                    elements=constraint.roles,
+                    related_pattern="P4",
+                )
+            )
+    return found
+
+
+def _s1_s3_superfluous_setpaths(schema: Schema) -> list[RuleFinding]:
+    """RIDL S1/S3: a subset (equality) constraint implied by the others is
+    superfluous.  Interesting style feedback, never an unsatisfiability."""
+    found = []
+    subsets = schema.constraints_of(SubsetConstraint)
+    equalities = schema.constraints_of(EqualityConstraint)
+    for index, constraint in enumerate(subsets):
+        graph = SetPathGraph()
+        for other_index, other in enumerate(subsets):
+            if other_index != index:
+                graph.add_subset(other.sub, other.sup, other.label or "subset")
+        for other in equalities:
+            graph.add_subset(other.first, other.second, other.label or "equality")
+            graph.add_subset(other.second, other.first, other.label or "equality")
+        if graph.subset_holds(constraint.sub, constraint.sup):
+            found.append(
+                RuleFinding(
+                    rule_id="S1",
+                    source="RIDL",
+                    message=(
+                        f"subset constraint <{constraint.label}> is implied by the "
+                        "other set-comparison constraints (superfluous, not "
+                        "unsatisfiable)"
+                    ),
+                    relevant=False,
+                    elements=constraint.sub + constraint.sup,
+                )
+            )
+    for index, constraint in enumerate(equalities):
+        graph = SetPathGraph()
+        for other in subsets:
+            graph.add_subset(other.sub, other.sup, other.label or "subset")
+        for other_index, other in enumerate(equalities):
+            if other_index != index:
+                graph.add_subset(other.first, other.second, other.label or "equality")
+                graph.add_subset(other.second, other.first, other.label or "equality")
+        if graph.subset_holds(constraint.first, constraint.second) and graph.subset_holds(
+            constraint.second, constraint.first
+        ):
+            found.append(
+                RuleFinding(
+                    rule_id="S3",
+                    source="RIDL",
+                    message=(
+                        f"equality constraint <{constraint.label}> is implied by "
+                        "the other set-comparison constraints (superfluous)"
+                    ),
+                    relevant=False,
+                    elements=constraint.first + constraint.second,
+                )
+            )
+    return found
+
+
+def _s2_subset_loops(schema: Schema) -> list[RuleFinding]:
+    """RIDL S2: subset-constraint loops.
+
+    Not an unsatisfiability (paper Sec. 3): role subsets are non-strict, so
+    a loop merely forces the involved populations to be equal.  Subtype
+    links *are* strict — that case is Pattern 9, not this rule.
+    """
+    found = []
+    graph = SetPathGraph.from_schema(schema)
+    seen: set[tuple[tuple[str, ...], ...]] = set()
+    for constraint in schema.constraints_of(SubsetConstraint):
+        if graph.subset_holds(constraint.sup, constraint.sub):
+            key = tuple(sorted((constraint.sub, constraint.sup)))
+            if key in seen:
+                continue
+            seen.add(key)
+            found.append(
+                RuleFinding(
+                    rule_id="S2",
+                    source="RIDL",
+                    message=(
+                        f"subset constraint <{constraint.label}> lies on a loop; "
+                        f"the populations of {constraint.sub} and {constraint.sup} "
+                        "are forced equal but may be non-empty (not an "
+                        "unsatisfiability)"
+                    ),
+                    relevant=False,
+                    elements=constraint.sub + constraint.sup,
+                )
+            )
+    return found

@@ -1,0 +1,57 @@
+"""Pattern 1 — Top common supertype (paper Fig. 2).
+
+In ORM all object types are mutually exclusive by default, *except* those
+sharing a common supertype.  A subtype with several direct supertypes is the
+intersection of their populations; if those supertypes share no common
+(transitive) supertype they are disjoint by the default, so the subtype can
+never be populated.
+
+Formally (paper Sec. 2): for a subtype ``T`` with direct supertypes
+``D1..Dn`` (n > 1), if ``supers*(D1) ∩ ... ∩ supers*(Dn) = ∅`` — where
+``supers*`` includes the type itself — then ``T`` is unsatisfiable.
+Including the type itself is what makes the one-level case work: for
+``A, B`` both top-level, ``supers*(A) = {A}`` and ``supers*(B) = {B}``
+intersect emptily, while ``A`` and a shared top ``S`` give ``{A, S}`` and
+``{B, S}``.
+"""
+
+from __future__ import annotations
+
+from repro._util import comma_join, stable_sorted_names
+from repro.orm.schema import Schema
+from repro.patterns.base import Pattern, Violation
+
+
+class TopCommonSupertypePattern(Pattern):
+    """Detect subtypes whose direct supertypes share no top common supertype."""
+
+    pattern_id = "P1"
+    name = "Top common supertype"
+    description = (
+        "A subtype with several supertypes is unsatisfiable when those "
+        "supertypes do not share a common supertype (unrelated types are "
+        "mutually exclusive in ORM)."
+    )
+
+    def check(self, schema: Schema) -> list[Violation]:
+        violations: list[Violation] = []
+        for type_name in schema.object_type_names():
+            direct_supers = schema.direct_supertypes(type_name)
+            if len(direct_supers) < 2:
+                continue
+            lines = [set(schema.supertypes_and_self(sup)) for sup in direct_supers]
+            common = set.intersection(*lines)
+            if common:
+                continue
+            violations.append(
+                self._violation(
+                    message=(
+                        f"the subtype '{type_name}' cannot be satisfied: its "
+                        f"supertypes {comma_join(stable_sorted_names(direct_supers))} "
+                        "do not share a top common supertype, so they are mutually "
+                        "exclusive"
+                    ),
+                    types=(type_name,),
+                )
+            )
+        return violations

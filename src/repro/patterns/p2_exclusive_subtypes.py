@@ -1,0 +1,57 @@
+"""Pattern 2 — Exclusive constraint between types (paper Fig. 1 and Fig. 3).
+
+An exclusive ("X") constraint makes the populations of the listed object
+types pairwise disjoint.  Any common subtype of two excluded types is the
+intersection of two disjoint sets — empty — and so are all of *its*
+subtypes.
+
+Formally: for every exclusive constraint over ``T1..Tn`` and every pair
+``Ti, Tj`` (i ≠ j), ``subs*(Ti) ∩ subs*(Tj)`` must be empty, where ``subs*``
+includes the type itself.  Including the type itself also catches the
+degenerate-but-legal declaration of an exclusion between a type and its own
+(transitive) subtype, where the subtype is forced empty.
+"""
+
+from __future__ import annotations
+
+from repro._util import comma_join, pairs, stable_sorted_names
+from repro.orm.constraints import ExclusiveTypesConstraint
+from repro.orm.schema import Schema
+from repro.patterns.base import Pattern, Violation
+
+
+class ExclusiveSubtypesPattern(Pattern):
+    """Detect subtypes of mutually exclusive supertypes."""
+
+    pattern_id = "P2"
+    name = "Exclusive constraint between types"
+    description = (
+        "A common subtype of object types declared mutually exclusive can "
+        "never be populated."
+    )
+
+    def check(self, schema: Schema) -> list[Violation]:
+        violations: list[Violation] = []
+        for constraint in schema.constraints_of(ExclusiveTypesConstraint):
+            # The check is symmetric in (Ti, Tj); the appendix's ordered
+            # double loop visits each pair twice, we visit it once.
+            for first, second in pairs(constraint.types):
+                common = set(schema.subtypes_and_self(first)) & set(
+                    schema.subtypes_and_self(second)
+                )
+                if not common:
+                    continue
+                flagged = tuple(stable_sorted_names(common))
+                violations.append(
+                    self._violation(
+                        message=(
+                            f"the subtype(s) {comma_join(flagged)} cannot be "
+                            f"instantiated: they fall under both '{first}' and "
+                            f"'{second}', which the exclusive constraint "
+                            f"<{constraint.label}> declares disjoint"
+                        ),
+                        types=flagged,
+                        constraints=(constraint.label or "",),
+                    )
+                )
+        return violations

@@ -1,0 +1,122 @@
+"""Pattern 3 — Exclusion-Mandatory conflicts (paper Fig. 4 a/b/c).
+
+An exclusion constraint between single roles contradicts a mandatory
+constraint on one of them whenever another excluded role is played by the
+same object type or one of its subtypes:
+
+* **(a)** ``r1`` mandatory on ``A``, exclusion ``r1 X r3`` with ``r3`` also
+  played by ``A``: every ``A`` plays ``r1``, so nothing can play ``r3``.
+* **(b)** both ``r1`` and ``r3`` mandatory on ``A``: every instance must
+  play both but may play at most one — ``A`` itself is unpopulatable, and
+  with it both roles.
+* **(c)** the conflicting role is played by a *subtype* ``B`` of ``A``:
+  instances of ``B`` inherit ``A``'s mandatory role, so ``B``'s excluded
+  roles are unplayable (and if they are mandatory on ``B``, ``B`` is empty).
+
+This is formation rule 5 of [H89] made precise and extended to subtypes
+(paper Sec. 3).
+"""
+
+from __future__ import annotations
+
+from repro._util import ordered_pairs
+from repro.orm.constraints import ExclusionConstraint
+from repro.orm.schema import Schema
+from repro.patterns.base import Pattern, Violation
+
+
+class ExclusionMandatoryPattern(Pattern):
+    """Detect exclusion constraints conflicting with mandatory roles."""
+
+    pattern_id = "P3"
+    name = "Exclusion-Mandatory"
+    description = (
+        "A role excluded with a mandatory role of the same object type (or a "
+        "supertype) can never be played."
+    )
+
+    def check(self, schema: Schema) -> list[Violation]:
+        violations: list[Violation] = []
+        mandatory = schema.mandatory_role_names()
+        for constraint in schema.constraints_of(ExclusionConstraint):
+            if not constraint.is_role_exclusion:
+                continue
+            violations.extend(self._check_exclusion(schema, constraint, mandatory))
+        return violations
+
+    def _check_exclusion(
+        self,
+        schema: Schema,
+        constraint: ExclusionConstraint,
+        mandatory: set[str],
+    ) -> list[Violation]:
+        found: list[Violation] = []
+        roles = constraint.single_roles()
+        reported_pairs: set[frozenset[str]] = set()
+        for first, second in ordered_pairs(roles):
+            if first not in mandatory:
+                continue
+            first_player = schema.role(first).player
+            second_player = schema.role(second).player
+            subs = set(schema.subtypes_and_self(first_player))
+            if second_player not in subs:
+                continue
+            pair_key = frozenset((first, second))
+            if pair_key in reported_pairs:
+                # Both roles mandatory on the same player: the ordered loop
+                # would report the pair twice; case (b) below already
+                # produced the stronger (type-unsat) diagnosis.
+                continue
+            reported_pairs.add(pair_key)
+            label = constraint.label or ""
+            if second in mandatory and second_player == first_player:
+                # Case (b): the object type itself is unpopulatable.
+                found.append(
+                    self._violation(
+                        message=(
+                            f"object type '{first_player}' cannot be populated: "
+                            f"roles '{first}' and '{second}' are both mandatory "
+                            f"but exclusive (<{label}>); with it, both roles are "
+                            "unsatisfiable"
+                        ),
+                        roles=(first, second),
+                        types=(first_player,),
+                        constraints=(label,),
+                    )
+                )
+            elif second in mandatory:
+                # Case (c) with a mandatory role on the subtype: the subtype
+                # is unpopulatable (its instances would have to play both).
+                found.append(
+                    self._violation(
+                        message=(
+                            f"object type '{second_player}' cannot be populated: "
+                            f"its mandatory role '{second}' is exclusive "
+                            f"(<{label}>) with role '{first}', which is mandatory "
+                            f"on its supertype '{first_player}'"
+                        ),
+                        roles=(second,),
+                        types=(second_player,),
+                        constraints=(label,),
+                    )
+                )
+            else:
+                # Cases (a) and (c): the excluded role can never be played.
+                relation = (
+                    "the same object type"
+                    if second_player == first_player
+                    else f"a subtype of '{first_player}'"
+                )
+                found.append(
+                    self._violation(
+                        message=(
+                            f"role '{second}' can never be played: every instance "
+                            f"of '{second_player}' ({relation}) must play the "
+                            f"mandatory role '{first}', and the exclusion "
+                            f"<{label}> forbids playing '{second}' as well"
+                        ),
+                        roles=(second,),
+                        constraints=(label,),
+                    )
+                )
+        return found

@@ -1,0 +1,73 @@
+"""Pattern 4 — Frequency-Value conflicts (paper Fig. 5).
+
+A frequency constraint ``FC(n-m)`` on role ``r`` of fact type ``A r B``
+demands that every ``A``-instance playing ``r`` does so at least ``n``
+times.  Fact populations are sets, so the ``n`` tuples of one instance need
+``n`` *distinct* partners from ``B``.  If a value constraint allows ``B``
+fewer than ``n`` values, no instance can legally play ``r`` — the role (and
+with it the whole fact type) is unsatisfiable.
+
+The appendix algorithm compares ``F[x].min`` against the value-constraint
+size of the co-role's object type; this also covers formation rule 7 of
+[H89] for the binary case (paper Sec. 3).
+"""
+
+from __future__ import annotations
+
+from repro.orm.constraints import FrequencyConstraint
+from repro.orm.schema import Schema
+from repro.patterns.base import Pattern, Violation
+
+
+class FrequencyValuePattern(Pattern):
+    """Detect frequency constraints exceeding the partner's value pool."""
+
+    pattern_id = "P4"
+    name = "Frequency-Value"
+    description = (
+        "A frequency lower bound larger than the number of admissible partner "
+        "values makes the role unsatisfiable."
+    )
+
+    def check(self, schema: Schema) -> list[Violation]:
+        violations: list[Violation] = []
+        for constraint in schema.constraints_of(FrequencyConstraint):
+            if len(constraint.roles) != 1:
+                continue  # spanning frequencies are Pattern 7's business
+            role_name = constraint.roles[0]
+            partner = schema.partner_role(role_name)
+            pool = self._effective_value_count(schema, partner.player)
+            if pool is None or pool >= constraint.min:
+                continue
+            fact_name = schema.role(role_name).fact_type
+            violations.append(
+                self._violation(
+                    message=(
+                        f"role '{role_name}' cannot be instantiated: the frequency "
+                        f"constraint <{constraint.label}> {constraint.bounds_text()} "
+                        f"requires {constraint.min} distinct '{partner.player}' "
+                        f"partners, but its value constraint admits only {pool} "
+                        f"value(s); the fact type '{fact_name}' is unpopulatable"
+                    ),
+                    roles=(role_name, partner.name),
+                    constraints=(constraint.label or "",),
+                )
+            )
+        return violations
+
+    @staticmethod
+    def _effective_value_count(schema: Schema, type_name: str) -> int | None:
+        """The tightest value pool of the type or any of its supertypes.
+
+        A subtype's population lives inside every supertype's population, so
+        a value constraint anywhere up the chain bounds the subtype too.
+        The paper's algorithm reads the constraint off the played type
+        directly; honoring inherited value constraints is a strictly sound
+        refinement (documented in DESIGN.md).
+        """
+        counts = [
+            schema.value_count(candidate)
+            for candidate in schema.supertypes_and_self(type_name)
+        ]
+        known = [count for count in counts if count is not None]
+        return min(known, default=None)

@@ -1,0 +1,134 @@
+"""Pattern 6 — Set-comparison conflicts (paper Fig. 8 and Fig. 9).
+
+An exclusion constraint contradicts any *SetPath* — a declared or implied
+subset/equality chain (see :mod:`repro.setcomp`) — between its arguments:
+
+* exclusion between **predicates** ``A X B`` plus a SetPath ``A ⊆ ... ⊆ B``
+  forces ``A``'s tuple set to be both inside ``B``'s and disjoint from it,
+  i.e. empty — the sub-side predicate is unpopulatable;
+* exclusion between **roles** ``r1 X r3`` conflicts both with a role-level
+  SetPath between them and with a predicate-level SetPath between their fact
+  types (the predicate subset implies the role subset by Fig. 9).
+
+The appendix checks both directions via ``GetSetPathsBetween``; so do we.
+For each direction found we flag the *sub-side* sequence's roles — that side
+is provably empty.  (The paper's prose says "the two predicates cannot be
+populated"; with a one-directional subset only the sub side is forced empty,
+and the bounded model finder confirms exactly that, so the implementation
+follows the semantics.  With an equality SetPath both sides are flagged.)
+"""
+
+from __future__ import annotations
+
+from repro._util import pairs
+from repro.orm.constraints import ExclusionConstraint, RoleSequence
+from repro.orm.schema import Schema
+from repro.patterns.base import Pattern, Violation
+from repro.setcomp import SetPath, SetPathGraph
+
+
+class SetComparisonPattern(Pattern):
+    """Detect exclusion constraints contradicting subset/equality SetPaths."""
+
+    pattern_id = "P6"
+    name = "Set-comparison constraints"
+    description = (
+        "An exclusion constraint combined with a (direct or implied) subset or "
+        "equality path between the same arguments empties the subset side."
+    )
+
+    def check(self, schema: Schema) -> list[Violation]:
+        graph = SetPathGraph.from_schema(schema)
+        violations: list[Violation] = []
+        for constraint in schema.constraints_of(ExclusionConstraint):
+            for first, second in pairs(constraint.sequences):
+                if constraint.is_role_exclusion:
+                    violations.extend(
+                        self._check_role_pair(schema, graph, constraint, first, second)
+                    )
+                else:
+                    violations.extend(
+                        self._check_sequences(schema, graph, constraint, first, second)
+                    )
+        # A role-level SetPath implied by a predicate subset and the
+        # predicate-level SetPath itself describe the same conflict; keep one
+        # violation per (flagged roles, responsible constraints).
+        unique: dict[tuple, Violation] = {}
+        for violation in violations:
+            key = (violation.roles, frozenset(violation.constraints))
+            unique.setdefault(key, violation)
+        return list(unique.values())
+
+    def _check_role_pair(
+        self,
+        schema: Schema,
+        graph: SetPathGraph,
+        constraint: ExclusionConstraint,
+        first: RoleSequence,
+        second: RoleSequence,
+    ) -> list[Violation]:
+        """Role exclusion: check role-level and aligned predicate-level paths."""
+        found = list(self._check_sequences(schema, graph, constraint, first, second))
+        first_pred = self._aligned_predicate(schema, first[0])
+        second_pred = self._aligned_predicate(schema, second[0])
+        if first_pred != second_pred:
+            found.extend(
+                self._check_sequences(schema, graph, constraint, first_pred, second_pred)
+            )
+        return found
+
+    @staticmethod
+    def _aligned_predicate(schema: Schema, role_name: str) -> RoleSequence:
+        """The whole predicate of ``role_name``, with that role first.
+
+        Putting the excluded role in the first column makes the SetPath query
+        alignment-correct: a predicate subset whose columns *cross* the
+        excluded roles is not a contradiction.
+        """
+        partner = schema.partner_role(role_name)
+        return (role_name, partner.name)
+
+    def _check_sequences(
+        self,
+        schema: Schema,
+        graph: SetPathGraph,
+        constraint: ExclusionConstraint,
+        first: RoleSequence,
+        second: RoleSequence,
+    ) -> list[Violation]:
+        found = []
+        for path in graph.setpaths_between(first, second):
+            found.append(self._violation_for_path(schema, constraint, path))
+        return found
+
+    def _violation_for_path(
+        self, schema: Schema, constraint: ExclusionConstraint, path: SetPath
+    ) -> Violation:
+        empty_roles = self._roles_of(schema, path.source)
+        fact_names = sorted({schema.role(name).fact_type for name in empty_roles})
+        via = ", ".join(dict.fromkeys(path.origins))
+        return self._violation(
+            message=(
+                f"the exclusion constraint <{constraint.label}> contradicts the "
+                f"subset/equality path {self._render(path)} (via {via}): the "
+                f"population of {path.source} must be both inside and disjoint "
+                f"from {path.target}, so fact type(s) {', '.join(fact_names)} "
+                "cannot be populated"
+            ),
+            roles=empty_roles,
+            constraints=(constraint.label or "", *dict.fromkeys(path.origins)),
+        )
+
+    @staticmethod
+    def _roles_of(schema: Schema, sequence: RoleSequence) -> tuple[str, ...]:
+        """The unsatisfiable roles of the empty side: the whole fact type's
+        roles when a predicate (or any of its roles) is forced empty."""
+        fact_types = {schema.role(name).fact_type for name in sequence}
+        roles: list[str] = []
+        for fact_name in sorted(fact_types):
+            roles.extend(schema.fact_type(fact_name).role_names)
+        return tuple(dict.fromkeys(roles))
+
+    @staticmethod
+    def _render(path: SetPath) -> str:
+        return f"{path.source} ⊆ ... ⊆ {path.target}"

@@ -1,0 +1,69 @@
+"""Pattern 7 — Uniqueness-Frequency conflicts (paper Fig. 10).
+
+A uniqueness constraint on a role says each instance plays it at most once;
+a frequency constraint ``FC(min-max)`` with ``min > 1`` on the same role
+says each player must play it at least twice.  Nothing can then play the
+role.
+
+The paper derives this as the semantically-correct refinement of formation
+rules 2 and 3 of [H89] (Sec. 3): ``FC(1-max)`` next to a uniqueness is
+merely redundant (*not* unsatisfiable), and a frequency spanning a whole
+predicate conflicts with the *implicit* spanning uniqueness of set-valued
+predicates whenever ``min > 1``.  Both points are implemented here: the
+explicit-uniqueness case and the implicit spanning-uniqueness case.
+"""
+
+from __future__ import annotations
+
+from repro.orm.constraints import FrequencyConstraint
+from repro.orm.schema import Schema
+from repro.patterns.base import Pattern, Violation
+
+
+class UniquenessFrequencyPattern(Pattern):
+    """Detect frequency lower bounds above an (explicit or implied) uniqueness."""
+
+    pattern_id = "P7"
+    name = "Uniqueness-Frequency"
+    description = (
+        "A frequency constraint with lower bound above 1 on a unique role "
+        "(or spanning a whole predicate) can never be satisfied."
+    )
+
+    def check(self, schema: Schema) -> list[Violation]:
+        violations: list[Violation] = []
+        for constraint in schema.constraints_of(FrequencyConstraint):
+            if constraint.min <= 1:
+                continue
+            explicit = schema.uniqueness_on(constraint.roles)
+            if explicit:
+                uniqueness = explicit[0]
+                violations.append(
+                    self._violation(
+                        message=(
+                            f"the frequency constraint <{constraint.label}> "
+                            f"{constraint.bounds_text()} cannot be satisfied: the "
+                            f"uniqueness constraint <{uniqueness.label}> allows each "
+                            f"instance to play {constraint.roles} at most once"
+                        ),
+                        roles=constraint.roles,
+                        constraints=(constraint.label or "", uniqueness.label or ""),
+                    )
+                )
+            elif len(constraint.roles) == 2:
+                # Implicit case: a frequency spanning the whole binary
+                # predicate counts occurrences of complete tuples, and tuples
+                # are unique by set semantics.
+                violations.append(
+                    self._violation(
+                        message=(
+                            f"the frequency constraint <{constraint.label}> "
+                            f"{constraint.bounds_text()} spans the whole predicate; "
+                            "tuples occur at most once (predicate populations are "
+                            "sets), so a lower bound above 1 is unsatisfiable"
+                        ),
+                        roles=constraint.roles,
+                        constraints=(constraint.label or "",),
+                    )
+                )
+        return violations

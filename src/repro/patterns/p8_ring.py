@@ -1,0 +1,56 @@
+"""Pattern 8 — Incompatible ring-constraint combinations (paper Fig. 12, Table 1).
+
+Several ring constraints may be stacked on the same role pair; the
+combination is unsatisfiable exactly when no non-empty relation can satisfy
+all of them.  The paper derives the compatible combinations (Table 1) from
+Halpin's Euler diagram (Fig. 12); we *compute* compatibility semantically in
+:mod:`repro.rings.algebra`, which the tests prove agrees with every fact the
+paper states.
+
+The diagnostic names the *minimal incompatible core* — the smallest subset
+of the declared kinds that is already unsatisfiable (e.g. ``(Sym, it, ans)``
+reduces to itself, ``(Sym, ac, ir)`` reduces to ``(Sym, ac)``), which tells
+the modeler which constraint to remove.
+"""
+
+from __future__ import annotations
+
+from repro.orm.schema import Schema
+from repro.patterns.base import Pattern, Violation
+from repro.rings.algebra import format_combination, is_compatible
+from repro.rings.table1 import minimal_incompatible_core
+
+
+class RingPattern(Pattern):
+    """Detect role pairs whose ring constraints are jointly unsatisfiable."""
+
+    pattern_id = "P8"
+    name = "Ring constraints"
+    description = (
+        "Ring constraints that are disjoint in the Euler diagram (e.g. "
+        "symmetric plus acyclic) cannot hold together on a populated role pair."
+    )
+
+    def check(self, schema: Schema) -> list[Violation]:
+        violations: list[Violation] = []
+        for pair in schema.ring_pairs():
+            constraints = schema.ring_constraints_on(pair)
+            kinds = frozenset(constraint.kind for constraint in constraints)
+            if is_compatible(kinds):
+                continue
+            core = minimal_incompatible_core(kinds) or kinds
+            labels = tuple(constraint.label or "" for constraint in constraints)
+            fact_name = schema.role(pair[0]).fact_type
+            violations.append(
+                self._violation(
+                    message=(
+                        f"the ring constraints {format_combination(kinds)} on fact "
+                        f"type '{fact_name}' cannot be satisfied by any non-empty "
+                        f"relation; the incompatible core is "
+                        f"{format_combination(core)} (not in Table 1)"
+                    ),
+                    roles=pair,
+                    constraints=labels,
+                )
+            )
+        return violations

@@ -1,0 +1,63 @@
+"""Pattern 9 — Loops in the subtype relation (paper Fig. 13).
+
+ORM subtype populations are *strict* subsets of their supertype populations
+[H01].  On a subtype cycle each population would be a strict subset of
+itself — impossible for any population, empty or not — so every type on the
+cycle is unsatisfiable.  (Contrast with *subset constraints* between roles,
+which are non-strict: a subset-constraint loop merely forces equality, which
+is why RIDL-A's rule S2 is not an unsatisfiability rule — paper Sec. 3.)
+
+The appendix formulation is ``T ∈ T.Supers``; we additionally group the
+affected types by cycle so one diagnostic names the whole loop instead of
+emitting one message per member.
+"""
+
+from __future__ import annotations
+
+from repro._util import comma_join, stable_sorted_names
+from repro.orm.schema import Schema
+from repro.patterns.base import Pattern, Violation
+
+
+class SubtypeLoopPattern(Pattern):
+    """Detect cycles in the subtype graph."""
+
+    pattern_id = "P9"
+    name = "Loops in subtypes"
+    description = (
+        "Subtype populations are strict subsets of their supertypes'; a "
+        "subtype cycle would make a population a strict subset of itself."
+    )
+
+    def check(self, schema: Schema) -> list[Violation]:
+        looping = [
+            type_name
+            for type_name in schema.object_type_names()
+            if type_name in schema.supertypes(type_name)
+        ]
+        violations: list[Violation] = []
+        reported: set[str] = set()
+        for type_name in looping:
+            if type_name in reported:
+                continue
+            # Every member of this type's cycle component: types that are both
+            # above and below it in the subtype graph.
+            cycle = {
+                other
+                for other in schema.supertypes(type_name)
+                if type_name in schema.supertypes(other) or other == type_name
+            }
+            cycle.add(type_name)
+            reported.update(cycle)
+            names = tuple(stable_sorted_names(cycle))
+            violations.append(
+                self._violation(
+                    message=(
+                        f"the subtype(s) {comma_join(names)} form a loop in the "
+                        "subtype relation; strict-subset semantics makes every "
+                        "type on the loop unsatisfiable"
+                    ),
+                    types=names,
+                )
+            )
+        return violations

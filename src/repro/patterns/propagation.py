@@ -1,0 +1,185 @@
+"""Unsatisfiability propagation — deriving the full blast radius.
+
+The nine patterns (and the X extensions) report the *direct* victims of a
+contradiction.  Unsatisfiability, however, propagates structurally:
+
+* an unpopulatable **role** empties its whole fact type, so the partner
+  role is unpopulatable too;
+* a role that is *simple-mandatory* on its player and unpopulatable makes
+  the **player type** unpopulatable (its instances would have to play it);
+* an unpopulatable **type** dooms all its subtypes and every role they are
+  the player of;
+* a SetPath ``s ⊆ ... ⊆ r`` into an unpopulatable role ``r`` forces ``s``
+  empty as well (monotonicity of subset constraints).
+
+:func:`propagate` computes the least fixpoint of these rules starting from
+a :class:`repro.patterns.base.ValidationReport`, returning the derived
+elements with one-line justifications.  This is the "extend our approach"
+direction of the paper's Sec. 5, and the soundness of every rule is covered
+by the property tests (a derived element is never populatable according to
+the bounded model finder).
+
+Joint violations (Pattern 5) do not seed the fixpoint: their roles are only
+*jointly* doomed, and propagation needs individually-empty elements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.orm.schema import Schema
+from repro.patterns.base import ValidationReport
+from repro.setcomp import SetPathGraph
+
+
+@dataclass(frozen=True)
+class DerivedUnsat:
+    """One element proven unsatisfiable by propagation."""
+
+    element: str
+    kind: str  # "role" | "type"
+    via: str  # one-line justification
+
+
+@dataclass
+class PropagationResult:
+    """Direct plus derived unsatisfiable elements."""
+
+    direct_roles: tuple[str, ...]
+    direct_types: tuple[str, ...]
+    derived: list[DerivedUnsat] = field(default_factory=list)
+
+    def all_unsat_roles(self) -> set[str]:
+        """Direct and derived unsatisfiable roles."""
+        return set(self.direct_roles) | {
+            item.element for item in self.derived if item.kind == "role"
+        }
+
+    def all_unsat_types(self) -> set[str]:
+        """Direct and derived unsatisfiable types."""
+        return set(self.direct_types) | {
+            item.element for item in self.derived if item.kind == "type"
+        }
+
+    def summary(self) -> str:
+        """One line for reports."""
+        return (
+            f"{len(self.direct_roles)}+{len(self.direct_types)} direct, "
+            f"{len(self.derived)} derived unsatisfiable element(s)"
+        )
+
+
+def propagate(schema: Schema, report: ValidationReport) -> PropagationResult:
+    """Close the report's findings under the structural propagation rules."""
+    direct_roles: set[str] = set()
+    direct_types: set[str] = set()
+    for violation in report.violations:
+        if violation.joint:
+            continue  # jointly-doomed roles are not individually empty
+        direct_roles.update(violation.roles)
+        direct_types.update(violation.types)
+
+    result = PropagationResult(
+        direct_roles=tuple(sorted(direct_roles)),
+        direct_types=tuple(sorted(direct_types)),
+    )
+    unsat_roles = set(direct_roles)
+    unsat_types = set(direct_types)
+    graph = SetPathGraph.from_schema(schema)
+    mandatory = schema.mandatory_role_names()
+
+    changed = True
+    while changed:
+        changed = False
+        changed |= _partner_roles(schema, unsat_roles, result)
+        changed |= _mandatory_players(schema, unsat_roles, unsat_types, mandatory, result)
+        changed |= _subtypes_of_unsat(schema, unsat_types, result)
+        changed |= _roles_of_unsat_players(schema, unsat_types, unsat_roles, result)
+        changed |= _setpaths_into_unsat(schema, graph, unsat_roles, result)
+    return result
+
+
+def _add(result, pool, element, kind, via) -> bool:
+    if element in pool:
+        return False
+    pool.add(element)
+    result.derived.append(DerivedUnsat(element, kind, via))
+    return True
+
+
+def _partner_roles(schema, unsat_roles, result) -> bool:
+    changed = False
+    for role_name in list(unsat_roles):
+        partner = schema.partner_role(role_name).name
+        changed |= _add(
+            result,
+            unsat_roles,
+            partner,
+            "role",
+            f"fact type of unsatisfiable role '{role_name}' has no tuples",
+        )
+    return changed
+
+
+def _mandatory_players(schema, unsat_roles, unsat_types, mandatory, result) -> bool:
+    changed = False
+    for role_name in list(unsat_roles):
+        if role_name not in mandatory:
+            continue
+        player = schema.role(role_name).player
+        changed |= _add(
+            result,
+            unsat_types,
+            player,
+            "type",
+            f"its mandatory role '{role_name}' can never be played",
+        )
+    return changed
+
+
+def _subtypes_of_unsat(schema, unsat_types, result) -> bool:
+    changed = False
+    for type_name in list(unsat_types):
+        for sub in schema.subtypes(type_name):
+            changed |= _add(
+                result,
+                unsat_types,
+                sub,
+                "type",
+                f"subtype of unsatisfiable type '{type_name}'",
+            )
+    return changed
+
+
+def _roles_of_unsat_players(schema, unsat_types, unsat_roles, result) -> bool:
+    changed = False
+    for type_name in list(unsat_types):
+        for role in schema.roles_played_by(type_name):
+            changed |= _add(
+                result,
+                unsat_roles,
+                role.name,
+                "role",
+                f"played by unsatisfiable type '{type_name}'",
+            )
+    return changed
+
+
+def _setpaths_into_unsat(schema, graph, unsat_roles, result) -> bool:
+    changed = False
+    for candidate in schema.role_names():
+        if candidate in unsat_roles:
+            continue
+        for target in list(unsat_roles):
+            if candidate == target:
+                continue
+            if graph.subset_holds((candidate,), (target,)):
+                changed |= _add(
+                    result,
+                    unsat_roles,
+                    candidate,
+                    "role",
+                    f"subset path into unsatisfiable role '{target}'",
+                )
+                break
+    return changed

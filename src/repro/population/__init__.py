@@ -1,0 +1,24 @@
+"""Population semantics: interpretations of schemas and their legality."""
+
+from repro.population.checker import (
+    PopulationViolation,
+    check_population,
+    is_model,
+    satisfies_concepts,
+    satisfies_strongly,
+)
+from repro.population.population import FactTuple, Instance, Population
+from repro.population.sampler import empty_population, random_population
+
+__all__ = [
+    "FactTuple",
+    "Instance",
+    "Population",
+    "PopulationViolation",
+    "check_population",
+    "empty_population",
+    "is_model",
+    "random_population",
+    "satisfies_concepts",
+    "satisfies_strongly",
+]

@@ -1,0 +1,386 @@
+"""Constraint-satisfaction checking of populations.
+
+``check_population`` evaluates every semantic rule of the supported ORM
+fragment against a :class:`repro.population.Population` and returns the
+violations as data.  This is the ground-truth semantics of the whole
+reproduction: the bounded model finder's witnesses are validated by it, the
+brute-force enumerator is built on it, and the property-based tests use it
+to confirm that pattern-flagged elements are indeed unpopulatable.
+
+Semantics implemented (codes in brackets):
+
+* [TYP] role fillers must be instances of the role's player;
+* [VAL] type populations must stay inside their value constraints;
+* [SUB] subtype populations are subsets of their supertypes' — *strict*
+  subsets under ``strict_subtypes`` ([H01], the premise of Pattern 9);
+* [TOP] types sharing no top supertype are mutually exclusive (ORM default,
+  the premise of Pattern 1) — toggled by ``default_type_exclusion``;
+* [XTY] exclusive-types constraints;
+* [MAN] (disjunctive) mandatory constraints;
+* [UNI] uniqueness constraints;
+* [FRQ] frequency constraints (per-filler occurrence counts);
+* [XCL] exclusion constraints (role columns / aligned tuple sets disjoint);
+* [SST] subset constraints;
+* [EQL] equality constraints;
+* [RNG] ring constraints (via :mod:`repro.rings.semantics`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import pairs
+from repro.orm.constraints import (
+    EqualityConstraint,
+    ExclusionConstraint,
+    ExclusiveTypesConstraint,
+    FrequencyConstraint,
+    MandatoryConstraint,
+    RingConstraint,
+    SubsetConstraint,
+    UniquenessConstraint,
+)
+from repro.orm.schema import Schema
+from repro.population.population import Population
+from repro.rings.semantics import satisfies
+
+CheckCode = str
+
+
+@dataclass(frozen=True)
+class PopulationViolation:
+    """One semantic rule broken by a population."""
+
+    code: CheckCode
+    message: str
+    constraint: str | None = None
+
+
+def check_population(
+    schema: Schema,
+    population: Population,
+    strict_subtypes: bool = True,
+    default_type_exclusion: bool = True,
+) -> list[PopulationViolation]:
+    """All semantic violations of ``population`` against ``schema``."""
+    found: list[PopulationViolation] = []
+    found.extend(_check_typing(schema, population))
+    found.extend(_check_values(schema, population))
+    found.extend(_check_subtyping(schema, population, strict_subtypes))
+    if default_type_exclusion:
+        found.extend(_check_top_disjointness(schema, population))
+    found.extend(_check_exclusive_types(schema, population))
+    found.extend(_check_mandatory(schema, population))
+    found.extend(_check_uniqueness(schema, population))
+    found.extend(_check_frequency(schema, population))
+    found.extend(_check_exclusion(schema, population))
+    found.extend(_check_subset_equality(schema, population))
+    found.extend(_check_rings(schema, population))
+    return found
+
+
+def is_model(
+    schema: Schema,
+    population: Population,
+    strict_subtypes: bool = True,
+    default_type_exclusion: bool = True,
+) -> bool:
+    """Is the population a legal interpretation (weak satisfaction)?"""
+    return not check_population(
+        schema, population, strict_subtypes, default_type_exclusion
+    )
+
+
+def satisfies_strongly(schema: Schema, population: Population, **kwargs) -> bool:
+    """Is the population a model that also populates *every role*?
+
+    This is the paper's strong satisfiability witness condition.
+    """
+    if not is_model(schema, population, **kwargs):
+        return False
+    return population.populated_roles() == set(schema.role_names())
+
+
+def satisfies_concepts(schema: Schema, population: Population, **kwargs) -> bool:
+    """Is the population a model populating every object type?"""
+    if not is_model(schema, population, **kwargs):
+        return False
+    return population.populated_types() == set(schema.object_type_names())
+
+
+# ----------------------------------------------------------------------
+# individual rules
+# ----------------------------------------------------------------------
+
+
+def _check_typing(schema: Schema, population: Population) -> list[PopulationViolation]:
+    found = []
+    for fact in schema.fact_types():
+        for pair in population.tuples_of(fact.name):
+            for role, filler in zip(fact.roles, pair):
+                if filler not in population.instances_of(role.player):
+                    found.append(
+                        PopulationViolation(
+                            code="TYP",
+                            message=(
+                                f"tuple {pair} of '{fact.name}': {filler!r} fills "
+                                f"role '{role.name}' but is not an instance of "
+                                f"'{role.player}'"
+                            ),
+                        )
+                    )
+    return found
+
+
+def _check_values(schema: Schema, population: Population) -> list[PopulationViolation]:
+    found = []
+    for object_type in schema.object_types():
+        if object_type.values is None:
+            continue
+        allowed = set(object_type.values)
+        for instance in population.instances_of(object_type.name):
+            if instance not in allowed:
+                found.append(
+                    PopulationViolation(
+                        code="VAL",
+                        message=(
+                            f"instance {instance!r} of '{object_type.name}' is not "
+                            f"among its admissible values {sorted(allowed)}"
+                        ),
+                    )
+                )
+    return found
+
+
+def _check_subtyping(
+    schema: Schema, population: Population, strict: bool
+) -> list[PopulationViolation]:
+    found = []
+    for link in schema.subtype_links():
+        sub_pop = population.instances_of(link.sub)
+        sup_pop = population.instances_of(link.super)
+        if not sub_pop <= sup_pop:
+            found.append(
+                PopulationViolation(
+                    code="SUB",
+                    message=(
+                        f"population of subtype '{link.sub}' is not a subset of "
+                        f"'{link.super}' ({sorted(sub_pop - sup_pop)} missing above)"
+                    ),
+                )
+            )
+        elif strict and sub_pop == sup_pop:
+            found.append(
+                PopulationViolation(
+                    code="SUB",
+                    message=(
+                        f"population of subtype '{link.sub}' equals its supertype "
+                        f"'{link.super}'s; [H01] requires a strict subset"
+                    ),
+                )
+            )
+    return found
+
+
+def _check_top_disjointness(
+    schema: Schema, population: Population
+) -> list[PopulationViolation]:
+    found = []
+    names = schema.object_type_names()
+    lines = {name: set(schema.supertypes_and_self(name)) for name in names}
+    for first, second in pairs(names):
+        if lines[first] & lines[second]:
+            continue  # related via a common supertype: may overlap
+        overlap = population.instances_of(first) & population.instances_of(second)
+        if overlap:
+            found.append(
+                PopulationViolation(
+                    code="TOP",
+                    message=(
+                        f"instances {sorted(overlap)} populate both '{first}' and "
+                        f"'{second}', which share no common supertype and are "
+                        "mutually exclusive by ORM default"
+                    ),
+                )
+            )
+    return found
+
+
+def _check_exclusive_types(
+    schema: Schema, population: Population
+) -> list[PopulationViolation]:
+    found = []
+    for constraint in schema.constraints_of(ExclusiveTypesConstraint):
+        for first, second in pairs(constraint.types):
+            overlap = population.instances_of(first) & population.instances_of(second)
+            if overlap:
+                found.append(
+                    PopulationViolation(
+                        code="XTY",
+                        constraint=constraint.label,
+                        message=(
+                            f"instances {sorted(overlap)} populate both '{first}' "
+                            f"and '{second}' despite exclusive constraint "
+                            f"<{constraint.label}>"
+                        ),
+                    )
+                )
+    return found
+
+
+def _check_mandatory(schema: Schema, population: Population) -> list[PopulationViolation]:
+    found = []
+    for constraint in schema.constraints_of(MandatoryConstraint):
+        player = schema.role(constraint.roles[0]).player
+        playing: set[str] = set()
+        for role_name in constraint.roles:
+            playing |= population.role_values(role_name)
+        for instance in population.instances_of(player):
+            if instance not in playing:
+                found.append(
+                    PopulationViolation(
+                        code="MAN",
+                        constraint=constraint.label,
+                        message=(
+                            f"instance {instance!r} of '{player}' plays none of the "
+                            f"mandatory role(s) {list(constraint.roles)} "
+                            f"(<{constraint.label}>)"
+                        ),
+                    )
+                )
+    return found
+
+
+def _check_uniqueness(schema: Schema, population: Population) -> list[PopulationViolation]:
+    found = []
+    for constraint in schema.constraints_of(UniquenessConstraint):
+        if len(constraint.roles) == 2:
+            continue  # spanning uniqueness = set semantics, always holds
+        role_name = constraint.roles[0]
+        for instance, count in population.role_counts(role_name).items():
+            if count > 1:
+                found.append(
+                    PopulationViolation(
+                        code="UNI",
+                        constraint=constraint.label,
+                        message=(
+                            f"instance {instance!r} plays role '{role_name}' "
+                            f"{count} times despite uniqueness <{constraint.label}>"
+                        ),
+                    )
+                )
+    return found
+
+
+def _check_frequency(schema: Schema, population: Population) -> list[PopulationViolation]:
+    found = []
+    for constraint in schema.constraints_of(FrequencyConstraint):
+        if len(constraint.roles) == 2:
+            # Spanning frequency counts whole tuples; sets make each count 1.
+            fact_name = schema.role(constraint.roles[0]).fact_type
+            if population.tuples_of(fact_name) and constraint.min > 1:
+                found.append(
+                    PopulationViolation(
+                        code="FRQ",
+                        constraint=constraint.label,
+                        message=(
+                            f"spanning frequency <{constraint.label}> "
+                            f"{constraint.bounds_text()} can never be met: tuples "
+                            "occur exactly once"
+                        ),
+                    )
+                )
+            continue
+        role_name = constraint.roles[0]
+        for instance, count in population.role_counts(role_name).items():
+            upper_ok = constraint.max is None or count <= constraint.max
+            if count < constraint.min or not upper_ok:
+                found.append(
+                    PopulationViolation(
+                        code="FRQ",
+                        constraint=constraint.label,
+                        message=(
+                            f"instance {instance!r} plays role '{role_name}' "
+                            f"{count} time(s), outside {constraint.bounds_text()} "
+                            f"(<{constraint.label}>)"
+                        ),
+                    )
+                )
+    return found
+
+
+def _check_exclusion(schema: Schema, population: Population) -> list[PopulationViolation]:
+    found = []
+    for constraint in schema.constraints_of(ExclusionConstraint):
+        for first, second in constraint.pairs():
+            overlap = population.sequence_tuples(first) & population.sequence_tuples(
+                second
+            )
+            if overlap:
+                found.append(
+                    PopulationViolation(
+                        code="XCL",
+                        constraint=constraint.label,
+                        message=(
+                            f"population(s) {sorted(overlap)} appear in both "
+                            f"{first} and {second} despite exclusion "
+                            f"<{constraint.label}>"
+                        ),
+                    )
+                )
+    return found
+
+
+def _check_subset_equality(
+    schema: Schema, population: Population
+) -> list[PopulationViolation]:
+    found = []
+    for constraint in schema.constraints_of(SubsetConstraint):
+        missing = population.sequence_tuples(constraint.sub) - population.sequence_tuples(
+            constraint.sup
+        )
+        if missing:
+            found.append(
+                PopulationViolation(
+                    code="SST",
+                    constraint=constraint.label,
+                    message=(
+                        f"{sorted(missing)} populate {constraint.sub} but not "
+                        f"{constraint.sup} despite subset <{constraint.label}>"
+                    ),
+                )
+            )
+    for constraint in schema.constraints_of(EqualityConstraint):
+        first = population.sequence_tuples(constraint.first)
+        second = population.sequence_tuples(constraint.second)
+        if first != second:
+            found.append(
+                PopulationViolation(
+                    code="EQL",
+                    constraint=constraint.label,
+                    message=(
+                        f"populations of {constraint.first} and {constraint.second} "
+                        f"differ despite equality <{constraint.label}>"
+                    ),
+                )
+            )
+    return found
+
+
+def _check_rings(schema: Schema, population: Population) -> list[PopulationViolation]:
+    found = []
+    for constraint in schema.constraints_of(RingConstraint):
+        relation = population.ring_relation(constraint.first_role, constraint.second_role)
+        if not satisfies(relation, constraint.kind):
+            found.append(
+                PopulationViolation(
+                    code="RNG",
+                    constraint=constraint.label,
+                    message=(
+                        f"the relation {sorted(relation)} violates the "
+                        f"{constraint.kind.value} ring constraint "
+                        f"<{constraint.label}>"
+                    ),
+                )
+            )
+    return found

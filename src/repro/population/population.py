@@ -1,0 +1,188 @@
+"""Populations of ORM schemas.
+
+The formal semantics the paper reasons against ([BHW91], Sec. 1) interprets a
+schema over *populations*: each object type gets a set of instances, each
+fact type a set of tuples, and the constraints restrict which combinations
+are legal.  :class:`Population` is that interpretation; the legality check
+lives in :mod:`repro.population.checker`.
+
+A population is bound to its schema so role projections and typing queries
+can navigate fact types; structural mistakes (unknown names, wrong arity)
+raise :class:`repro.exceptions.PopulationError` eagerly, whereas *constraint
+violations* are data returned by the checker — an illegal population is a
+perfectly useful object (e.g. as a counterexample in tests).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+from repro.exceptions import PopulationError
+from repro.orm.schema import Schema
+
+#: Instances are plain strings (or any hashable rendered as such).
+Instance = str
+FactTuple = tuple[Instance, Instance]
+
+
+class Population:
+    """An interpretation of a schema: instances per type, tuples per fact."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._types: dict[str, set[Instance]] = {
+            name: set() for name in schema.object_type_names()
+        }
+        self._facts: dict[str, set[FactTuple]] = {
+            fact.name: set() for fact in schema.fact_types()
+        }
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def add_instance(self, type_name: str, instance: Instance) -> "Population":
+        """Add ``instance`` to the population of ``type_name`` (chainable)."""
+        if type_name not in self._types:
+            raise PopulationError(f"unknown object type: {type_name!r}")
+        self._types[type_name].add(instance)
+        return self
+
+    def add_instances(self, type_name: str, instances: Iterable[Instance]) -> "Population":
+        """Add several instances at once (chainable)."""
+        for instance in instances:
+            self.add_instance(type_name, instance)
+        return self
+
+    def add_fact(self, fact_name: str, first: Instance, second: Instance) -> "Population":
+        """Add the tuple ``(first, second)`` to ``fact_name`` (chainable).
+
+        The tuple is in predicate order: ``first`` fills position 0.
+        Re-adding an existing tuple is a no-op — populations are sets, which
+        is exactly the set semantics Pattern 7 leans on.
+        """
+        if fact_name not in self._facts:
+            raise PopulationError(f"unknown fact type: {fact_name!r}")
+        self._facts[fact_name].add((first, second))
+        return self
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+
+    def instances_of(self, type_name: str) -> set[Instance]:
+        """The (direct) population of the object type."""
+        if type_name not in self._types:
+            raise PopulationError(f"unknown object type: {type_name!r}")
+        return set(self._types[type_name])
+
+    def tuples_of(self, fact_name: str) -> set[FactTuple]:
+        """The tuple set of the fact type, in predicate order."""
+        if fact_name not in self._facts:
+            raise PopulationError(f"unknown fact type: {fact_name!r}")
+        return set(self._facts[fact_name])
+
+    def role_column(self, role_name: str) -> list[Instance]:
+        """All fillers of the role, *with* multiplicity (one per tuple).
+
+        Frequency constraints count occurrences, so the multiset view
+        matters; use :meth:`role_values` for the set view.
+        """
+        role = self.schema.role(role_name)
+        return [pair[role.position] for pair in self._facts[role.fact_type]]
+
+    def role_values(self, role_name: str) -> set[Instance]:
+        """The set of distinct fillers of the role."""
+        return set(self.role_column(role_name))
+
+    def role_counts(self, role_name: str) -> Counter:
+        """How often each instance plays the role."""
+        return Counter(self.role_column(role_name))
+
+    def sequence_tuples(self, sequence: tuple[str, ...]) -> set[tuple[Instance, ...]]:
+        """Project the owning fact type onto the given role sequence.
+
+        For ``(r1,)`` this is the set view of the role column; for
+        ``(r1, r2)`` (in either order) the tuple set aligned to that order.
+        """
+        roles = [self.schema.role(name) for name in sequence]
+        owners = {role.fact_type for role in roles}
+        if len(owners) != 1:
+            raise PopulationError(f"sequence {sequence!r} spans several fact types")
+        fact_name = owners.pop()
+        positions = [role.position for role in roles]
+        return {
+            tuple(pair[position] for position in positions)
+            for pair in self._facts[fact_name]
+        }
+
+    def ring_relation(self, first_role: str, second_role: str) -> set[FactTuple]:
+        """The fact type's tuples oriented ``(first_role, second_role)``."""
+        first = self.schema.role(first_role)
+        if first.position == 0:
+            return self.tuples_of(first.fact_type)
+        return {(b, a) for a, b in self.tuples_of(first.fact_type)}
+
+    # ------------------------------------------------------------------
+    # summary queries
+    # ------------------------------------------------------------------
+
+    def populated_types(self) -> set[str]:
+        """Object types with at least one instance."""
+        return {name for name, pop in self._types.items() if pop}
+
+    def populated_roles(self) -> set[str]:
+        """Roles with at least one filler (both roles of a non-empty fact)."""
+        populated = set()
+        for fact_name, tuples in self._facts.items():
+            if tuples:
+                populated.update(self.schema.fact_type(fact_name).role_names)
+        return populated
+
+    def is_empty(self) -> bool:
+        """True when no type and no fact type is populated."""
+        return not any(self._types.values()) and not any(self._facts.values())
+
+    def size(self) -> int:
+        """Total number of instance memberships plus fact tuples."""
+        return sum(len(pop) for pop in self._types.values()) + sum(
+            len(tuples) for tuples in self._facts.values()
+        )
+
+    def all_instances(self) -> set[Instance]:
+        """Every instance appearing in any type population or fact tuple."""
+        everything: set[Instance] = set()
+        for pop in self._types.values():
+            everything.update(pop)
+        for tuples in self._facts.values():
+            for first, second in tuples:
+                everything.add(first)
+                everything.add(second)
+        return everything
+
+    def clone(self) -> "Population":
+        """An independent copy bound to the same schema."""
+        copy = Population(self.schema)
+        for name, pop in self._types.items():
+            copy._types[name] = set(pop)
+        for name, tuples in self._facts.items():
+            copy._facts[name] = set(tuples)
+        return copy
+
+    def describe(self) -> str:
+        """Compact human-readable rendering, for witnesses in reports."""
+        parts = []
+        for name in self.schema.object_type_names():
+            pop = self._types[name]
+            if pop:
+                parts.append(f"{name}={{{', '.join(sorted(pop))}}}")
+        for fact in self.schema.fact_types():
+            tuples = self._facts[fact.name]
+            if tuples:
+                rendered = ", ".join(f"({a},{b})" for a, b in sorted(tuples))
+                parts.append(f"{fact.name}={{{rendered}}}")
+        return "; ".join(parts) if parts else "(empty population)"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Population({self.describe()})"

@@ -1,0 +1,79 @@
+"""Random population generation for testing and fuzzing.
+
+The sampler produces *structurally valid but semantically arbitrary*
+populations: instances go to randomly chosen types and tuples to randomly
+chosen fact types, with fillers drawn so that typing violations are rare but
+possible.  Tests use it to fuzz the checker (every violation message must
+render, no crashes) and to cross-validate the two complete engines (both
+must agree on whether a random population is a model).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.orm.schema import Schema
+from repro.population.population import Population
+
+
+def random_population(
+    schema: Schema,
+    rng: random.Random,
+    max_instances_per_type: int = 3,
+    max_tuples_per_fact: int = 4,
+    well_typed: bool = True,
+) -> Population:
+    """Draw a random population for ``schema``.
+
+    With ``well_typed`` the tuple fillers are drawn from the declared
+    players' populations (falling back to fresh instances that are *also
+    added* to the player, keeping [TYP] satisfied); without it fillers are
+    arbitrary strings, exercising the typing check.
+    """
+    population = Population(schema)
+    counter = 0
+    for object_type in schema.object_types():
+        pool = object_type.values
+        for _ in range(rng.randrange(max_instances_per_type + 1)):
+            if pool:
+                instance = rng.choice(list(pool))
+            else:
+                counter += 1
+                instance = f"i{counter}"
+            population.add_instance(object_type.name, instance)
+            # Close upward so subtype memberships do not trivially violate
+            # the subset rule (strictness may still be violated - fine).
+            for super_name in schema.supertypes(object_type.name):
+                population.add_instance(super_name, instance)
+    for fact in schema.fact_types():
+        for _ in range(rng.randrange(max_tuples_per_fact + 1)):
+            fillers = []
+            for role in fact.roles:
+                available = sorted(population.instances_of(role.player))
+                if well_typed and available:
+                    fillers.append(rng.choice(available))
+                elif well_typed:
+                    counter += 1
+                    fresh = f"i{counter}"
+                    population.add_instance(role.player, fresh)
+                    for super_name in schema.supertypes(role.player):
+                        population.add_instance(super_name, fresh)
+                    fillers.append(fresh)
+                else:
+                    counter += 1
+                    fillers.append(f"x{counter}")
+            population.add_fact(fact.name, fillers[0], fillers[1])
+    return population
+
+
+def empty_population(schema: Schema) -> Population:
+    """The all-empty population.
+
+    Every semantic rule except subtype strictness quantifies over existing
+    members or tuples, so the empty population satisfies them vacuously.
+    Under ``strict_subtypes=True`` (the [H01] default) a schema containing a
+    subtype link is *not* modeled by it — ``∅ ⊊ ∅`` fails — which is why the
+    model finders always give supertypes a witness element; pass
+    ``strict_subtypes=False`` to the checker for the non-strict reading.
+    """
+    return Population(schema)

@@ -1,0 +1,25 @@
+"""Bounded complete reasoning: SAT-based model finding and brute force."""
+
+from repro.reasoner.bruteforce import enumerate_models, find_model
+from repro.reasoner.encoding import (
+    GOAL_CONCEPT,
+    GOAL_GLOBAL,
+    GOAL_STRONG,
+    GOAL_WEAK,
+    Encoding,
+    SchemaEncoder,
+)
+from repro.reasoner.modelfinder import BoundedModelFinder, Verdict
+
+__all__ = [
+    "BoundedModelFinder",
+    "Encoding",
+    "GOAL_CONCEPT",
+    "GOAL_GLOBAL",
+    "GOAL_STRONG",
+    "GOAL_WEAK",
+    "SchemaEncoder",
+    "Verdict",
+    "enumerate_models",
+    "find_model",
+]

@@ -1,0 +1,142 @@
+"""Brute-force model enumeration — the independent second complete engine.
+
+This enumerator knows nothing about the CNF encoding: it generates candidate
+populations directly and filters them through the ground-truth checker
+(:mod:`repro.population.checker`).  Agreement between this engine and the
+SAT-based finder on small schemas is one of the strongest correctness
+arguments the test suite makes (DESIGN.md, cross-validation strategy #3).
+
+Complexity is brutal by design — every subset of every candidate population
+is tried — so callers must keep domains tiny (the guard raises beyond a few
+hundred thousand candidate combinations).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.exceptions import BudgetExceededError
+from repro.orm.schema import Schema
+from repro.population.checker import check_population
+from repro.population.population import Population
+
+#: Refuse enumerations larger than this many membership/fact combinations.
+_MAX_COMBINATIONS = 2_000_000
+
+
+def _candidate_instances(schema: Schema, num_abstract: int) -> dict[str, list[str]]:
+    """Per-type candidate instances: abstract names plus relevant values.
+
+    A type's candidates include every value string appearing on any type in
+    its subtype component: pools of subtypes flow *upward* (their members
+    are members here too) and pools of supertypes flow *downward* (members
+    here must ultimately come from the ancestor's pool).  Abstract
+    individuals are added unless the type itself is value-constrained.
+    """
+    abstract = [f"e{index}" for index in range(num_abstract)]
+    candidates: dict[str, list[str]] = {}
+    for object_type in schema.object_types():
+        name = object_type.name
+        pool: list[str] = []
+        if object_type.values is None:
+            pool.extend(abstract)
+            related = schema.subtypes(name) + schema.supertypes(name)
+            for relative in related:
+                for value in schema.object_type(relative).values or ():
+                    if value not in pool:
+                        pool.append(value)
+        else:
+            pool.extend(object_type.values)
+        candidates[name] = pool
+    return candidates
+
+
+def _powerset(items: list) -> list[tuple]:
+    return [
+        subset
+        for size in range(len(items) + 1)
+        for subset in itertools.combinations(items, size)
+    ]
+
+
+def enumerate_models(
+    schema: Schema,
+    num_abstract: int,
+    strict_subtypes: bool = True,
+    default_type_exclusion: bool = True,
+):
+    """Yield every model of ``schema`` over the bounded candidate domain.
+
+    Raises :class:`BudgetExceededError` when the combination count explodes;
+    use only on deliberately tiny schemas.
+    """
+    candidates = _candidate_instances(schema, num_abstract)
+    type_choices = {
+        name: _powerset(pool) for name, pool in candidates.items()
+    }
+    total = 1
+    for choices in type_choices.values():
+        total *= len(choices)
+    fact_universes = {}
+    for fact in schema.fact_types():
+        first_pool = candidates[fact.roles[0].player]
+        second_pool = candidates[fact.roles[1].player]
+        pairs = list(itertools.product(first_pool, second_pool))
+        fact_universes[fact.name] = _powerset(pairs)
+        total *= len(fact_universes[fact.name])
+    if total > _MAX_COMBINATIONS:
+        raise BudgetExceededError(
+            f"brute-force enumeration would try {total} combinations "
+            f"(limit {_MAX_COMBINATIONS}); shrink the schema or the bound"
+        )
+
+    type_names = list(type_choices)
+    fact_names = list(fact_universes)
+    for memberships in itertools.product(
+        *(type_choices[name] for name in type_names)
+    ):
+        base = Population(schema)
+        for name, chosen in zip(type_names, memberships):
+            base.add_instances(name, chosen)
+        # Quick reject on type-level rules before expanding fact tables.
+        type_level = [
+            violation
+            for violation in check_population(
+                schema, base, strict_subtypes, default_type_exclusion
+            )
+            if violation.code in ("SUB", "TOP", "XTY", "VAL")
+        ]
+        if type_level:
+            continue
+        for tables in itertools.product(
+            *(fact_universes[name] for name in fact_names)
+        ):
+            population = base.clone()
+            for name, chosen in zip(fact_names, tables):
+                for first, second in chosen:
+                    population.add_fact(name, first, second)
+            if not check_population(
+                schema, population, strict_subtypes, default_type_exclusion
+            ):
+                yield population
+
+
+def find_model(
+    schema: Schema,
+    num_abstract: int,
+    require_all_roles: bool = False,
+    require_all_types: bool = False,
+    **kwargs,
+) -> Population | None:
+    """First model satisfying the requested goal, or ``None``."""
+    for population in enumerate_models(schema, num_abstract, **kwargs):
+        if require_all_roles and population.populated_roles() != set(
+            schema.role_names()
+        ):
+            continue
+        if require_all_types and population.populated_types() != set(
+            schema.object_type_names()
+        ):
+            continue
+        return population
+    return None

@@ -1,0 +1,512 @@
+"""Propositional encoding of bounded ORM satisfiability.
+
+Given a schema and a bound *N*, :class:`SchemaEncoder` builds a CNF formula
+that is satisfiable iff the schema has a model over a domain of at most *N*
+abstract individuals (plus one dedicated individual per concrete value
+appearing in a value constraint).  The encoding follows the population
+semantics of :mod:`repro.population.checker` rule for rule:
+
+==========================  ================================================
+semantic rule               clauses
+==========================  ================================================
+typing [TYP]                ``f(a,b) -> m(player1,a) ∧ m(player2,b)``
+value constraints [VAL]     structural: a value-constrained type only has
+                            membership variables for its own value
+                            individuals
+subtyping [SUB]             ``m(sub,i) -> m(sup,i)``; strictness adds a
+                            witness disjunction ``∃i: m(sup,i) ∧ ¬m(sub,i)``
+top disjointness [TOP]      pairwise exclusion between root-type memberships
+exclusive types [XTY]       pairwise exclusion per individual
+mandatory [MAN]             member -> plays one of the listed roles
+uniqueness [UNI]            at-most-one tuple per filler
+frequency [FRQ]             guarded at-least-min / at-most-max per filler
+exclusion [XCL]             no shared filler (roles) / no shared aligned
+                            tuple (predicates)
+subset/equality [SST/EQL]   tuple-wise implications
+ring constraints [RNG]      direct clauses; acyclicity via an explicit
+                            strict total order (``R(i,j) -> i < j``)
+==========================  ================================================
+
+Value individuals make value constraints *exact*: a value string shared by
+the pools of two disjoint types is one individual, so the encoding correctly
+refuses to put it in both — matching the checker's global-instance reading.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.orm.constraints import (
+    EqualityConstraint,
+    ExclusionConstraint,
+    ExclusiveTypesConstraint,
+    FrequencyConstraint,
+    MandatoryConstraint,
+    RingConstraint,
+    RingKind,
+    RoleSequence,
+    SubsetConstraint,
+    UniquenessConstraint,
+)
+from repro.orm.schema import Schema
+from repro.population.population import Population
+from repro.sat.cnf import CnfBuilder
+
+#: Individuals are ("a", index) for abstract ones, ("v", value) for values.
+Individual = tuple[str, object]
+
+#: Reasoning goals: populate every role / every type / nothing beyond the
+#: constraints / one specific element.
+Goal = str | tuple[str, str]
+
+GOAL_STRONG = "strong"
+GOAL_CONCEPT = "concept"
+GOAL_WEAK = "weak"
+GOAL_GLOBAL = "global"  # strong + concept combined
+
+
+@dataclass
+class Encoding:
+    """The CNF plus the variable maps needed to decode a model."""
+
+    builder: CnfBuilder
+    membership: dict[tuple[str, Individual], int]
+    fact_tuple: dict[tuple[str, Individual, Individual], int]
+    individuals: list[Individual]
+
+    def decode(self, schema: Schema, model: dict[int, bool]) -> Population:
+        """Translate a satisfying assignment back into a population."""
+        population = Population(schema)
+        for (type_name, individual), var in self.membership.items():
+            if model.get(var):
+                population.add_instance(type_name, _instance_name(individual))
+        for (fact_name, first, second), var in self.fact_tuple.items():
+            if model.get(var):
+                population.add_fact(
+                    fact_name, _instance_name(first), _instance_name(second)
+                )
+        return population
+
+
+def _instance_name(individual: Individual) -> str:
+    kind, payload = individual
+    if kind == "a":
+        return f"e{payload}"
+    return str(payload)
+
+
+class SchemaEncoder:
+    """Build the bounded-satisfiability CNF for one schema and bound."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        num_abstract: int,
+        strict_subtypes: bool = True,
+        default_type_exclusion: bool = True,
+    ) -> None:
+        if num_abstract < 0:
+            raise ValueError("num_abstract must be >= 0")
+        self._schema = schema
+        self._strict = strict_subtypes
+        self._top_exclusion = default_type_exclusion
+        self._builder = CnfBuilder()
+        self._individuals: list[Individual] = [
+            ("a", index) for index in range(num_abstract)
+        ]
+        values_seen: dict[str, None] = {}
+        for object_type in schema.object_types():
+            for value in object_type.values or ():
+                values_seen.setdefault(value)
+        self._individuals.extend(("v", value) for value in values_seen)
+        self._membership: dict[tuple[str, Individual], int] = {}
+        self._fact_tuple: dict[tuple[str, Individual, Individual], int] = {}
+        self._plays: dict[tuple[str, Individual], int] = {}
+
+    # ------------------------------------------------------------------
+    # variable allocation
+    # ------------------------------------------------------------------
+
+    def _allowed(self, type_name: str, individual: Individual) -> bool:
+        """May ``individual`` possibly be a member of ``type_name``?
+
+        A value-constrained type admits only its own value individuals —
+        this makes the [VAL] rule structural.
+        """
+        values = self._schema.object_type(type_name).values
+        if values is None:
+            return True
+        kind, payload = individual
+        return kind == "v" and payload in values
+
+    def _mvar(self, type_name: str, individual: Individual) -> int | None:
+        key = (type_name, individual)
+        if key in self._membership:
+            return self._membership[key]
+        if not self._allowed(type_name, individual):
+            return None
+        var = self._builder.new_var(f"m[{type_name},{_instance_name(individual)}]")
+        self._membership[key] = var
+        return var
+
+    def _members_of(self, type_name: str) -> list[tuple[Individual, int]]:
+        return [
+            (individual, var)
+            for individual in self._individuals
+            if (var := self._mvar(type_name, individual)) is not None
+        ]
+
+    def _fvar(self, fact_name: str, first: Individual, second: Individual) -> int | None:
+        key = (fact_name, first, second)
+        if key in self._fact_tuple:
+            return self._fact_tuple[key]
+        fact = self._schema.fact_type(fact_name)
+        if not self._allowed(fact.roles[0].player, first):
+            return None
+        if not self._allowed(fact.roles[1].player, second):
+            return None
+        var = self._builder.new_var(
+            f"f[{fact_name},{_instance_name(first)},{_instance_name(second)}]"
+        )
+        self._fact_tuple[key] = var
+        return var
+
+    def _fact_vars(self, fact_name: str) -> list[tuple[Individual, Individual, int]]:
+        found = []
+        for first in self._individuals:
+            for second in self._individuals:
+                var = self._fvar(fact_name, first, second)
+                if var is not None:
+                    found.append((first, second, var))
+        return found
+
+    def _tuples_with_filler(
+        self, role_name: str, individual: Individual
+    ) -> list[int]:
+        """Fact-tuple variables in which ``individual`` fills ``role_name``."""
+        role = self._schema.role(role_name)
+        chosen = []
+        for first, second, var in self._fact_vars(role.fact_type):
+            filler = first if role.position == 0 else second
+            if filler == individual:
+                chosen.append(var)
+        return chosen
+
+    def _plays_var(self, role_name: str, individual: Individual) -> int:
+        """Aux var implied by any tuple in which ``individual`` plays the role."""
+        key = (role_name, individual)
+        if key in self._plays:
+            return self._plays[key]
+        var = self._builder.new_var(f"plays[{role_name},{_instance_name(individual)}]")
+        self._plays[key] = var
+        for tuple_var in self._tuples_with_filler(role_name, individual):
+            self._builder.add_implication(tuple_var, var)
+        return var
+
+    # ------------------------------------------------------------------
+    # encoding passes
+    # ------------------------------------------------------------------
+
+    def encode(self, goal: Goal = GOAL_STRONG) -> Encoding:
+        """Emit all clauses and return the finished encoding."""
+        self._encode_typing()
+        self._encode_subtyping()
+        if self._top_exclusion:
+            self._encode_top_disjointness()
+        self._encode_exclusive_types()
+        self._encode_mandatory()
+        self._encode_uniqueness()
+        self._encode_frequency()
+        self._encode_exclusion()
+        self._encode_subset_equality()
+        self._encode_rings()
+        self._encode_goal(goal)
+        return Encoding(
+            builder=self._builder,
+            membership=dict(self._membership),
+            fact_tuple=dict(self._fact_tuple),
+            individuals=list(self._individuals),
+        )
+
+    def _encode_typing(self) -> None:
+        for fact in self._schema.fact_types():
+            for first, second, var in self._fact_vars(fact.name):
+                first_member = self._mvar(fact.roles[0].player, first)
+                second_member = self._mvar(fact.roles[1].player, second)
+                # _fvar only exists when both memberships are allowed.
+                self._builder.add_implication(var, first_member)
+                self._builder.add_implication(var, second_member)
+
+    def _encode_subtyping(self) -> None:
+        for link in self._schema.subtype_links():
+            for individual in self._individuals:
+                sub_var = self._mvar(link.sub, individual)
+                if sub_var is None:
+                    continue
+                sup_var = self._mvar(link.super, individual)
+                if sup_var is None:
+                    # The supertype cannot host this individual at all.
+                    self._builder.add_clause((-sub_var,))
+                else:
+                    self._builder.add_implication(sub_var, sup_var)
+            if self._strict:
+                self._encode_strictness(link.sub, link.super)
+
+    def _encode_strictness(self, sub: str, sup: str) -> None:
+        """Some individual is in the supertype but not the subtype."""
+        witnesses = []
+        for individual, sup_var in self._members_of(sup):
+            witness = self._builder.new_var(
+                f"strict[{sub}<{sup},{_instance_name(individual)}]"
+            )
+            self._builder.add_implication(witness, sup_var)
+            sub_var = self._mvar(sub, individual)
+            if sub_var is not None:
+                self._builder.add_implication(witness, -sub_var)
+            witnesses.append(witness)
+        self._builder.add_clause(witnesses)  # empty -> formula unsatisfiable
+
+    def _encode_top_disjointness(self) -> None:
+        roots = self._schema.root_types()
+        for first, second in itertools.combinations(roots, 2):
+            for individual in self._individuals:
+                first_var = self._mvar(first, individual)
+                second_var = self._mvar(second, individual)
+                if first_var is not None and second_var is not None:
+                    self._builder.add_clause((-first_var, -second_var))
+
+    def _encode_exclusive_types(self) -> None:
+        for constraint in self._schema.constraints_of(ExclusiveTypesConstraint):
+            for first, second in itertools.combinations(constraint.types, 2):
+                for individual in self._individuals:
+                    first_var = self._mvar(first, individual)
+                    second_var = self._mvar(second, individual)
+                    if first_var is not None and second_var is not None:
+                        self._builder.add_clause((-first_var, -second_var))
+
+    def _encode_mandatory(self) -> None:
+        for constraint in self._schema.constraints_of(MandatoryConstraint):
+            player = self._schema.role(constraint.roles[0]).player
+            for individual, member_var in self._members_of(player):
+                options: list[int] = []
+                for role_name in constraint.roles:
+                    options.extend(self._tuples_with_filler(role_name, individual))
+                self._builder.add_clause((-member_var, *options))
+
+    def _encode_uniqueness(self) -> None:
+        for constraint in self._schema.constraints_of(UniquenessConstraint):
+            if len(constraint.roles) != 1:
+                continue  # spanning uniqueness holds by set semantics
+            role_name = constraint.roles[0]
+            for individual in self._individuals:
+                self._builder.at_most_one(
+                    self._tuples_with_filler(role_name, individual)
+                )
+
+    def _encode_frequency(self) -> None:
+        for constraint in self._schema.constraints_of(FrequencyConstraint):
+            if len(constraint.roles) == 2:
+                # Spanning frequency with min > 1 can never be met by a
+                # non-empty fact population (tuples are unique).
+                if constraint.min > 1:
+                    fact_name = self._schema.role(constraint.roles[0]).fact_type
+                    for _, _, var in self._fact_vars(fact_name):
+                        self._builder.add_clause((-var,))
+                continue
+            role_name = constraint.roles[0]
+            for individual in self._individuals:
+                tuples = self._tuples_with_filler(role_name, individual)
+                if not tuples:
+                    continue
+                if constraint.min > 1:
+                    plays = self._plays_var(role_name, individual)
+                    self._builder.at_least_k(tuples, constraint.min, condition=plays)
+                if constraint.max is not None:
+                    self._builder.at_most_k(tuples, constraint.max)
+
+    def _encode_exclusion(self) -> None:
+        for constraint in self._schema.constraints_of(ExclusionConstraint):
+            for first_seq, second_seq in constraint.pairs():
+                if constraint.is_role_exclusion:
+                    self._encode_role_exclusion(first_seq[0], second_seq[0])
+                else:
+                    self._encode_sequence_exclusion(first_seq, second_seq)
+
+    def _encode_role_exclusion(self, first_role: str, second_role: str) -> None:
+        for individual in self._individuals:
+            first_tuples = self._tuples_with_filler(first_role, individual)
+            second_tuples = self._tuples_with_filler(second_role, individual)
+            for first_var in first_tuples:
+                for second_var in second_tuples:
+                    self._builder.add_clause((-first_var, -second_var))
+
+    def _sequence_tuple_var(
+        self, sequence: RoleSequence, fillers: tuple[Individual, ...]
+    ) -> int | None:
+        """The fact-tuple variable for ``sequence`` filled by ``fillers``."""
+        roles = [self._schema.role(name) for name in sequence]
+        fact_name = roles[0].fact_type
+        if len(sequence) == 1:
+            raise AssertionError("sequence tuples need arity 2")
+        by_position = {role.position: filler for role, filler in zip(roles, fillers)}
+        return self._fvar(fact_name, by_position[0], by_position[1])
+
+    def _encode_sequence_exclusion(
+        self, first_seq: RoleSequence, second_seq: RoleSequence
+    ) -> None:
+        for fillers in itertools.product(self._individuals, repeat=2):
+            first_var = self._sequence_tuple_var(first_seq, fillers)
+            second_var = self._sequence_tuple_var(second_seq, fillers)
+            if first_var is not None and second_var is not None:
+                self._builder.add_clause((-first_var, -second_var))
+
+    def _encode_subset_equality(self) -> None:
+        directed: list[tuple[RoleSequence, RoleSequence]] = []
+        for constraint in self._schema.constraints_of(SubsetConstraint):
+            directed.append((constraint.sub, constraint.sup))
+        for constraint in self._schema.constraints_of(EqualityConstraint):
+            directed.append((constraint.first, constraint.second))
+            directed.append((constraint.second, constraint.first))
+        for sub_seq, sup_seq in directed:
+            if len(sub_seq) == 1:
+                self._encode_role_subset(sub_seq[0], sup_seq[0])
+            else:
+                self._encode_sequence_subset(sub_seq, sup_seq)
+
+    def _encode_role_subset(self, sub_role: str, sup_role: str) -> None:
+        for individual in self._individuals:
+            sup_tuples = self._tuples_with_filler(sup_role, individual)
+            for sub_var in self._tuples_with_filler(sub_role, individual):
+                self._builder.add_clause((-sub_var, *sup_tuples))
+
+    def _encode_sequence_subset(
+        self, sub_seq: RoleSequence, sup_seq: RoleSequence
+    ) -> None:
+        for fillers in itertools.product(self._individuals, repeat=2):
+            sub_var = self._sequence_tuple_var(sub_seq, fillers)
+            if sub_var is None:
+                continue
+            sup_var = self._sequence_tuple_var(sup_seq, fillers)
+            if sup_var is None:
+                self._builder.add_clause((-sub_var,))
+            else:
+                self._builder.add_implication(sub_var, sup_var)
+
+    # -- ring constraints -------------------------------------------------
+
+    def _ring_var(self, constraint: RingConstraint, first: Individual, second: Individual):
+        """R(first, second) oriented along (first_role, second_role)."""
+        role = self._schema.role(constraint.first_role)
+        if role.position == 0:
+            return self._fvar(role.fact_type, first, second)
+        return self._fvar(role.fact_type, second, first)
+
+    def _encode_rings(self) -> None:
+        for constraint in self._schema.constraints_of(RingConstraint):
+            handler = {
+                RingKind.IRREFLEXIVE: self._encode_irreflexive,
+                RingKind.SYMMETRIC: self._encode_symmetric,
+                RingKind.ANTISYMMETRIC: self._encode_antisymmetric,
+                RingKind.ASYMMETRIC: self._encode_asymmetric,
+                RingKind.INTRANSITIVE: self._encode_intransitive,
+                RingKind.ACYCLIC: self._encode_acyclic,
+            }[constraint.kind]
+            handler(constraint)
+
+    def _encode_irreflexive(self, constraint: RingConstraint) -> None:
+        for individual in self._individuals:
+            var = self._ring_var(constraint, individual, individual)
+            if var is not None:
+                self._builder.add_clause((-var,))
+
+    def _encode_symmetric(self, constraint: RingConstraint) -> None:
+        for first, second in itertools.permutations(self._individuals, 2):
+            forward = self._ring_var(constraint, first, second)
+            if forward is None:
+                continue
+            backward = self._ring_var(constraint, second, first)
+            if backward is None:
+                self._builder.add_clause((-forward,))
+            else:
+                self._builder.add_implication(forward, backward)
+
+    def _encode_antisymmetric(self, constraint: RingConstraint) -> None:
+        for first, second in itertools.combinations(self._individuals, 2):
+            forward = self._ring_var(constraint, first, second)
+            backward = self._ring_var(constraint, second, first)
+            if forward is not None and backward is not None:
+                self._builder.add_clause((-forward, -backward))
+
+    def _encode_asymmetric(self, constraint: RingConstraint) -> None:
+        self._encode_antisymmetric(constraint)
+        self._encode_irreflexive(constraint)
+
+    def _encode_intransitive(self, constraint: RingConstraint) -> None:
+        for first in self._individuals:
+            for middle in self._individuals:
+                first_leg = self._ring_var(constraint, first, middle)
+                if first_leg is None:
+                    continue
+                for last in self._individuals:
+                    second_leg = self._ring_var(constraint, middle, last)
+                    shortcut = self._ring_var(constraint, first, last)
+                    if second_leg is None or shortcut is None:
+                        continue
+                    self._builder.add_clause((-first_leg, -second_leg, -shortcut))
+
+    def _encode_acyclic(self, constraint: RingConstraint) -> None:
+        """R is acyclic iff it embeds into a strict total order."""
+        participants = self._individuals
+        order: dict[tuple[Individual, Individual], int] = {}
+        for first, second in itertools.permutations(participants, 2):
+            order[first, second] = self._builder.new_var(
+                f"ord[{constraint.label},{_instance_name(first)}<{_instance_name(second)}]"
+            )
+        for first, second in itertools.combinations(participants, 2):
+            self._builder.add_clause((order[first, second], order[second, first]))
+            self._builder.add_clause((-order[first, second], -order[second, first]))
+        for first, middle, last in itertools.permutations(participants, 3):
+            self._builder.add_clause(
+                (-order[first, middle], -order[middle, last], order[first, last])
+            )
+        self._encode_irreflexive(constraint)
+        for first, second in itertools.permutations(participants, 2):
+            var = self._ring_var(constraint, first, second)
+            if var is not None:
+                self._builder.add_implication(var, order[first, second])
+
+    # -- goals -------------------------------------------------------------
+
+    def _encode_goal(self, goal: Goal) -> None:
+        if goal == GOAL_WEAK:
+            return
+        if goal == GOAL_STRONG or goal == GOAL_GLOBAL:
+            for fact in self._schema.fact_types():
+                self._builder.add_clause(
+                    [var for _, _, var in self._fact_vars(fact.name)]
+                )
+        if goal == GOAL_CONCEPT or goal == GOAL_GLOBAL:
+            for type_name in self._schema.object_type_names():
+                self._builder.add_clause(
+                    [var for _, var in self._members_of(type_name)]
+                )
+        if isinstance(goal, tuple):
+            kind, name = goal
+            if kind == "role":
+                fact_name = self._schema.role(name).fact_type
+                self._builder.add_clause(
+                    [var for _, _, var in self._fact_vars(fact_name)]
+                )
+            elif kind == "type":
+                self._builder.add_clause([var for _, var in self._members_of(name)])
+            elif kind == "roles":
+                # Populate all listed roles simultaneously (Pattern 5's
+                # joint-unsatisfiability reading).
+                for role_name in name:
+                    fact_name = self._schema.role(role_name).fact_type
+                    self._builder.add_clause(
+                        [var for _, _, var in self._fact_vars(fact_name)]
+                    )
+            else:
+                raise ValueError(f"unknown goal kind: {kind!r}")

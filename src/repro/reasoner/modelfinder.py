@@ -1,0 +1,208 @@
+"""The bounded complete model finder — the paper's "complete procedure"
+comparator (Sec. 4), built on the from-scratch SAT solver.
+
+``BoundedModelFinder.check`` decides, for domains of up to ``max_domain``
+abstract individuals, whether a schema is weakly / concept / strongly
+satisfiable, or whether a *specific* role or type can be populated.  SAT
+answers come with a decoded witness population that is re-validated against
+the ground-truth checker before being returned — a wrong encoding can
+therefore never silently report success.
+
+Completeness caveat (documented in DESIGN.md): an ``unsat`` verdict means
+"no model within the bound".  For every schema in the paper the relevant
+contradictions already appear at tiny bounds; the pattern soundness property
+tests exploit the converse direction (pattern fired → element never
+populatable at any tested bound).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.orm.schema import Schema
+from repro.population.checker import check_population
+from repro.population.population import Population
+from repro.reasoner.encoding import (
+    GOAL_CONCEPT,
+    GOAL_GLOBAL,
+    GOAL_STRONG,
+    GOAL_WEAK,
+    Goal,
+    SchemaEncoder,
+)
+from repro.sat.solver import DpllSolver
+
+
+@dataclass
+class Verdict:
+    """Outcome of a bounded satisfiability check."""
+
+    status: str  # "sat" | "unsat" | "unknown"
+    goal: Goal
+    domain_size: int
+    witness: Population | None = None
+    decisions: int = 0
+    clauses: int = 0
+    variables: int = 0
+    elapsed_seconds: float = 0.0
+    sizes_tried: tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def is_sat(self) -> bool:
+        """True iff a witness model was found."""
+        return self.status == "sat"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.status} (goal={self.goal}, domain<={self.domain_size}, "
+            f"{self.variables} vars, {self.clauses} clauses)"
+        )
+
+
+class BoundedModelFinder:
+    """Complete (within a domain bound) satisfiability checking for ORM."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        strict_subtypes: bool = True,
+        default_type_exclusion: bool = True,
+        max_decisions: int | None = 2_000_000,
+    ) -> None:
+        self._schema = schema
+        self._strict = strict_subtypes
+        self._top_exclusion = default_type_exclusion
+        self._max_decisions = max_decisions
+
+    def check_at(self, goal: Goal, domain_size: int) -> Verdict:
+        """Decide satisfiability at exactly ``domain_size`` abstract
+        individuals (value individuals are always added on top)."""
+        started = time.perf_counter()
+        encoder = SchemaEncoder(
+            self._schema,
+            num_abstract=domain_size,
+            strict_subtypes=self._strict,
+            default_type_exclusion=self._top_exclusion,
+        )
+        encoding = encoder.encode(goal)
+        stats = encoding.builder.stats()
+        solver = DpllSolver.from_builder(encoding.builder)
+        result = solver.solve(self._max_decisions)
+        elapsed = time.perf_counter() - started
+        verdict = Verdict(
+            status={True: "sat", False: "unsat", None: "unknown"}[result.status],
+            goal=goal,
+            domain_size=domain_size,
+            decisions=result.decisions,
+            clauses=stats["clauses"],
+            variables=stats["variables"],
+            elapsed_seconds=elapsed,
+            sizes_tried=(domain_size,),
+        )
+        if result.is_sat:
+            witness = encoding.decode(self._schema, result.model)
+            self._validate_witness(goal, witness)
+            verdict.witness = witness
+        return verdict
+
+    def check(self, goal: Goal = GOAL_STRONG, max_domain: int = 4) -> Verdict:
+        """Iterative deepening over domain sizes 0..max_domain.
+
+        Satisfiability is monotone in the bound (extra individuals can stay
+        out of every population), so the first SAT answer is final and an
+        all-sizes-UNSAT sweep justifies the bounded-unsat verdict.
+        """
+        sizes = list(range(0, max_domain + 1))
+        last: Verdict | None = None
+        tried: list[int] = []
+        total_elapsed = 0.0
+        for size in sizes:
+            verdict = self.check_at(goal, size)
+            tried.append(size)
+            total_elapsed += verdict.elapsed_seconds
+            if verdict.status in ("sat", "unknown"):
+                verdict.sizes_tried = tuple(tried)
+                verdict.elapsed_seconds = total_elapsed
+                return verdict
+            last = verdict
+        assert last is not None
+        last.sizes_tried = tuple(tried)
+        last.elapsed_seconds = total_elapsed
+        return last
+
+    # -- convenience entry points ------------------------------------------
+
+    def strong(self, max_domain: int = 4) -> Verdict:
+        """Role (strong) satisfiability: every role populated."""
+        return self.check(GOAL_STRONG, max_domain)
+
+    def concepts(self, max_domain: int = 4) -> Verdict:
+        """Concept satisfiability: every object type populated."""
+        return self.check(GOAL_CONCEPT, max_domain)
+
+    def weak(self, max_domain: int = 4) -> Verdict:
+        """Schema (weak) satisfiability: any model at all."""
+        return self.check(GOAL_WEAK, max_domain)
+
+    def role_satisfiable(self, role_name: str, max_domain: int = 4) -> Verdict:
+        """Can this one role be populated in some model?"""
+        self._schema.role(role_name)
+        return self.check(("role", role_name), max_domain)
+
+    def type_satisfiable(self, type_name: str, max_domain: int = 4) -> Verdict:
+        """Can this one object type be populated in some model?"""
+        self._schema.object_type(type_name)
+        return self.check(("type", type_name), max_domain)
+
+    def roles_satisfiable(
+        self, role_names: tuple[str, ...], max_domain: int = 4
+    ) -> Verdict:
+        """Can all the listed roles be populated in a *single* model?
+
+        This is the refutation target for joint violations (Pattern 5): each
+        role alone may be fine while the set is jointly unsatisfiable.
+        """
+        for role_name in role_names:
+            self._schema.role(role_name)
+        return self.check(("roles", tuple(role_names)), max_domain)
+
+    # -- internals -----------------------------------------------------------
+
+    def _validate_witness(self, goal: Goal, witness: Population) -> None:
+        """Re-check every decoded witness against the ground-truth semantics."""
+        problems = check_population(
+            self._schema,
+            witness,
+            strict_subtypes=self._strict,
+            default_type_exclusion=self._top_exclusion,
+        )
+        if problems:
+            rendered = "; ".join(problem.message for problem in problems[:5])
+            raise AssertionError(
+                f"encoding bug: SAT witness violates the semantics ({rendered})"
+            )
+        if goal == GOAL_STRONG or goal == GOAL_GLOBAL:
+            missing = set(self._schema.role_names()) - witness.populated_roles()
+            if missing:
+                raise AssertionError(
+                    f"encoding bug: strong witness leaves roles empty: {sorted(missing)}"
+                )
+        if goal == GOAL_CONCEPT or goal == GOAL_GLOBAL:
+            missing = set(self._schema.object_type_names()) - witness.populated_types()
+            if missing:
+                raise AssertionError(
+                    f"encoding bug: concept witness leaves types empty: {sorted(missing)}"
+                )
+        if isinstance(goal, tuple):
+            kind, name = goal
+            if kind == "role" and name not in witness.populated_roles():
+                raise AssertionError(f"encoding bug: goal role {name!r} empty")
+            if kind == "type" and name not in witness.populated_types():
+                raise AssertionError(f"encoding bug: goal type {name!r} empty")
+            if kind == "roles":
+                missing = set(name) - witness.populated_roles()
+                if missing:
+                    raise AssertionError(
+                        f"encoding bug: joint goal roles empty: {sorted(missing)}"
+                    )

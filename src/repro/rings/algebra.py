@@ -1,0 +1,183 @@
+"""Ring-constraint algebra: compatibility and implication (paper Fig. 12).
+
+The paper formalizes the relationships between the six ring-constraint kinds
+with Halpin's Euler diagram (Fig. 12) and derives **Table 1** — all
+combinations that can be used together; every other combination makes the
+constrained role pair unsatisfiable (Pattern 8).
+
+We compute, rather than transcribe, both relations:
+
+* **Compatibility.**  A set of kinds is *compatible* iff some **non-empty**
+  relation satisfies all of them (an empty relation satisfies anything, but a
+  role carrying only empty relations is exactly what strong satisfiability
+  rules out).  All six properties are preserved under induced substructures
+  — they are universal sentences, and a cycle witnessing non-acyclicity
+  survives restriction to its own vertices.  Hence if any non-empty witness
+  exists, restricting it to the two (or one) elements of a single pair yields
+  a witness over a 2-element domain.  Enumerating the 15 non-empty relations
+  over ``{0, 1}`` therefore decides compatibility *exactly*.  Tests
+  re-verify against exhaustive 3-element enumeration.
+
+* **Implication.**  ``kinds ⟹ kind`` iff every relation over a small domain
+  satisfying ``kinds`` satisfies ``kind``.  A violation of any of the six
+  properties is witnessed by at most three elements (the intransitivity
+  triple; cycles restrict to ≤3 only for length ≤3, but a minimal
+  counterexample to an implication *into* acyclicity can always be shrunk:
+  a cycle through k>3 nodes contains no 2- or 1-cycles only if the other
+  antecedent properties already fail on 3-element substructures — we verify
+  the computed implication set against 4-element enumeration in tests).
+
+The module is deliberately independent of :mod:`repro.patterns`; Pattern 8
+imports :func:`is_compatible` from here.
+"""
+
+from __future__ import annotations
+
+import itertools
+from functools import lru_cache
+
+from repro.orm.constraints import RingKind
+from repro.rings.semantics import as_relation, satisfies_all
+
+#: Deterministic kind order used in generated tables.
+KIND_ORDER: tuple[RingKind, ...] = (
+    RingKind.IRREFLEXIVE,
+    RingKind.ANTISYMMETRIC,
+    RingKind.ASYMMETRIC,
+    RingKind.INTRANSITIVE,
+    RingKind.ACYCLIC,
+    RingKind.SYMMETRIC,
+)
+
+
+def relations_over(domain_size: int) -> list[frozenset]:
+    """All binary relations over ``range(domain_size)`` (2^(n*n) of them)."""
+    elements = range(domain_size)
+    pairs = list(itertools.product(elements, elements))
+    relations = []
+    for mask in range(1 << len(pairs)):
+        chosen = [pair for index, pair in enumerate(pairs) if mask >> index & 1]
+        relations.append(as_relation(chosen))
+    return relations
+
+
+@lru_cache(maxsize=None)
+def _nonempty_relations(domain_size: int) -> tuple[frozenset, ...]:
+    return tuple(rel for rel in relations_over(domain_size) if rel)
+
+
+@lru_cache(maxsize=None)
+def is_compatible(kinds: frozenset[RingKind], domain_size: int = 2) -> bool:
+    """Is the combination populatable by a non-empty relation?
+
+    ``domain_size=2`` is complete (see module docstring); larger values exist
+    for the cross-checks in the test suite.
+    """
+    if not kinds:
+        return True
+    return any(
+        satisfies_all(relation, kinds) for relation in _nonempty_relations(domain_size)
+    )
+
+
+def witness(kinds: frozenset[RingKind] | set[RingKind], domain_size: int = 2):
+    """A smallest non-empty witness relation for a compatible combination,
+    or ``None`` when the combination is incompatible."""
+    candidates = [
+        relation
+        for relation in _nonempty_relations(domain_size)
+        if satisfies_all(relation, kinds)
+    ]
+    if not candidates:
+        return None
+    return min(candidates, key=lambda relation: (len(relation), sorted(relation)))
+
+
+@lru_cache(maxsize=None)
+def combination_implies(
+    kinds: frozenset[RingKind], kind: RingKind, domain_size: int = 3
+) -> bool:
+    """Does every relation satisfying all of ``kinds`` satisfy ``kind``?"""
+    return all(
+        satisfies_all(relation, (kind,))
+        for relation in relations_over(domain_size)
+        if satisfies_all(relation, kinds)
+    )
+
+
+def implied_kinds(kinds: set[RingKind] | frozenset[RingKind]) -> set[RingKind]:
+    """The deductive closure of a kind set under implication (Fig. 12).
+
+    E.g. ``{ANTISYMMETRIC, IRREFLEXIVE}`` closes to include ``ASYMMETRIC``
+    (the paper: "the combination between antisymmetric and irreflexivity is
+    exactly asymmetric"), and ``{ACYCLIC}`` closes to include ``ASYMMETRIC``
+    and ``IRREFLEXIVE``.
+    """
+    base = frozenset(kinds)
+    return {kind for kind in RingKind if combination_implies(base, kind)}
+
+
+def single_implications() -> dict[RingKind, set[RingKind]]:
+    """For each kind, the set of other kinds it implies on its own.
+
+    This reconstructs the containment structure of the Euler diagram
+    (Fig. 12): asymmetric ⊂ irreflexive ∩ antisymmetric, acyclic ⊂
+    asymmetric, intransitive ⊂ irreflexive.
+    """
+    result: dict[RingKind, set[RingKind]] = {}
+    for kind in KIND_ORDER:
+        closure = implied_kinds({kind})
+        closure.discard(kind)
+        result[kind] = closure
+    return result
+
+
+def incompatible_pairs() -> list[tuple[RingKind, RingKind]]:
+    """All unordered *pairs* of kinds that are already jointly unpopulatable.
+
+    From the Euler diagram these are exactly symmetric+asymmetric and
+    symmetric+acyclic ("acyclic and symmetric are incompatible").
+    """
+    found = []
+    for first, second in itertools.combinations(KIND_ORDER, 2):
+        if not is_compatible(frozenset({first, second})):
+            found.append((first, second))
+    return found
+
+
+def all_compatible_combinations(min_size: int = 1) -> list[frozenset[RingKind]]:
+    """Every compatible combination of ring kinds with at least ``min_size``
+    members, in deterministic (size, kind-order) order.  This is the
+    machine-checked content of the paper's Table 1."""
+    combos = []
+    for size in range(min_size, len(KIND_ORDER) + 1):
+        for subset in itertools.combinations(KIND_ORDER, size):
+            candidate = frozenset(subset)
+            if is_compatible(candidate):
+                combos.append(candidate)
+    return combos
+
+
+def maximal_compatible_combinations() -> list[frozenset[RingKind]]:
+    """The compatible combinations not contained in a larger compatible one.
+
+    These are the rows a compact rendering of Table 1 needs: every compatible
+    combination is a subset of one of them, every missing combination is
+    incompatible.
+    """
+    combos = all_compatible_combinations()
+    return [
+        combo
+        for combo in combos
+        if not any(combo < other for other in combos)
+    ]
+
+
+def format_combination(kinds: frozenset[RingKind] | set[RingKind]) -> str:
+    """Render a combination the way the paper does: ``(Ans, it)``."""
+    ordered = [kind for kind in KIND_ORDER if kind in kinds]
+    if not ordered:
+        return "()"
+    labels = [kind.value for kind in ordered]
+    labels[0] = labels[0].capitalize()
+    return "(" + ", ".join(labels) + ")"

@@ -1,0 +1,137 @@
+"""Semantics of the six ORM ring-constraint kinds.
+
+A ring constraint restricts the binary relation formed by a fact type whose
+two roles are played by the same object type (paper Fig. 11: *Sister of*).
+This module gives each of the six kinds of [H01] its first-order meaning as a
+predicate over a finite relation (a set of ordered pairs):
+
+=================  =====================================================
+irreflexive (ir)   no ``(x, x)``
+asymmetric (as)    ``(x, y)`` forbids ``(y, x)`` (hence also irreflexive)
+antisymmetric(ans) ``(x, y)`` and ``(y, x)`` only when ``x == y``
+acyclic (ac)       no directed cycle ``x1 -> x2 -> ... -> x1``
+intransitive (it)  ``(x, y)`` and ``(y, z)`` forbid ``(x, z)``
+symmetric (sym)    ``(x, y)`` requires ``(y, x)``
+=================  =====================================================
+
+All six are *universal* sentences over the relation (acyclicity, though not
+first-order, is likewise preserved under induced substructures: a cycle
+survives restriction to its own vertices).  :mod:`repro.rings.algebra`
+exploits that to decide combination compatibility exactly with tiny domains.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.orm.constraints import RingKind
+
+#: A finite binary relation as a set of ordered pairs.
+Relation = frozenset[tuple[object, object]]
+
+
+def as_relation(pairs: Iterable[tuple[object, object]]) -> Relation:
+    """Freeze an iterable of pairs into a :data:`Relation`."""
+    return frozenset((first, second) for first, second in pairs)
+
+
+def is_irreflexive(relation: Relation) -> bool:
+    """No element relates to itself."""
+    return all(first != second for first, second in relation)
+
+
+def is_symmetric(relation: Relation) -> bool:
+    """Every pair occurs in both directions."""
+    return all((second, first) in relation for first, second in relation)
+
+
+def is_asymmetric(relation: Relation) -> bool:
+    """No pair occurs in both directions — including the ``(x, x)`` case,
+    so asymmetry implies irreflexivity."""
+    return all((second, first) not in relation for first, second in relation)
+
+
+def is_antisymmetric(relation: Relation) -> bool:
+    """Both directions only for identical elements (``(x, x)`` is allowed)."""
+    return all(
+        first == second or (second, first) not in relation
+        for first, second in relation
+    )
+
+
+def is_intransitive(relation: Relation) -> bool:
+    """No transitive shortcut: ``x->y`` and ``y->z`` forbid ``x->z``.
+
+    With ``x == y == z`` this yields ``(x,x) in R -> (x,x) not in R``, so
+    intransitivity implies irreflexivity — one of the Euler-diagram facts the
+    paper states (with a typo: it says "reflexivity").
+    """
+    for first, middle in relation:
+        for other, last in relation:
+            if other == middle and (first, last) in relation:
+                return False
+    return True
+
+
+def is_acyclic(relation: Relation) -> bool:
+    """No directed cycle (of any length, including self-loops)."""
+    successors: dict[object, list[object]] = {}
+    for first, second in relation:
+        successors.setdefault(first, []).append(second)
+
+    # Iterative three-color DFS; the relation may chain arbitrarily long.
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: dict[object, int] = {}
+    for start in successors:
+        if color.get(start, WHITE) != WHITE:
+            continue
+        stack: list[tuple[object, int]] = [(start, 0)]
+        color[start] = GRAY
+        while stack:
+            node, index = stack[-1]
+            children = successors.get(node, [])
+            if index < len(children):
+                stack[-1] = (node, index + 1)
+                child = children[index]
+                state = color.get(child, WHITE)
+                if state == GRAY:
+                    return False
+                if state == WHITE:
+                    color[child] = GRAY
+                    stack.append((child, 0))
+            else:
+                color[node] = BLACK
+                stack.pop()
+    return True
+
+
+_CHECKS = {
+    RingKind.IRREFLEXIVE: is_irreflexive,
+    RingKind.SYMMETRIC: is_symmetric,
+    RingKind.ASYMMETRIC: is_asymmetric,
+    RingKind.ANTISYMMETRIC: is_antisymmetric,
+    RingKind.INTRANSITIVE: is_intransitive,
+    RingKind.ACYCLIC: is_acyclic,
+}
+
+
+def satisfies(relation: Relation | Iterable[tuple[object, object]], kind: RingKind) -> bool:
+    """Does ``relation`` satisfy the single ring property ``kind``?"""
+    frozen = relation if isinstance(relation, frozenset) else as_relation(relation)
+    return _CHECKS[kind](frozen)
+
+
+def satisfies_all(
+    relation: Relation | Iterable[tuple[object, object]], kinds: Iterable[RingKind]
+) -> bool:
+    """Does ``relation`` satisfy every ring property in ``kinds``?"""
+    frozen = relation if isinstance(relation, frozenset) else as_relation(relation)
+    return all(_CHECKS[kind](frozen) for kind in kinds)
+
+
+def violated_kinds(
+    relation: Relation | Iterable[tuple[object, object]], kinds: Iterable[RingKind]
+) -> list[RingKind]:
+    """The subset of ``kinds`` that ``relation`` violates (for diagnostics)."""
+    frozen = relation if isinstance(relation, frozenset) else as_relation(relation)
+    return [kind for kind in kinds if not _CHECKS[kind](frozen)]

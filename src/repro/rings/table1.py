@@ -1,0 +1,159 @@
+"""Regeneration of the paper's **Table 1**: compatible ring combinations.
+
+The paper derives Table 1 ("all possible compatible combinations or [sic]
+ring constraints") from the Euler diagram in Fig. 12 but prints it as an
+image we cannot transcribe.  We therefore *re-derive* it semantically —
+:func:`repro.rings.algebra.is_compatible` decides each combination exactly —
+and publish the result in three forms:
+
+* :func:`table_rows` — every compatible combination with its smallest
+  witness relation (the population proving compatibility);
+* :func:`incompatibility_rows` — every *in*compatible combination together
+  with its minimal incompatible core (the smallest sub-combination that is
+  already incompatible), which is what a diagnostic message should cite;
+* :func:`render_table` — a printable text table used by
+  ``benchmarks/bench_table1.py`` and EXPERIMENTS.md.
+
+The paper's worked examples of incompatible combinations — ``(Sym, it) +
+(Ans)``, ``(Sym, it) + (It, ac)``, ``(Ans, it) + (Ir, sym)`` — are asserted
+against this module in the test suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.orm.constraints import RingKind
+from repro.rings.algebra import (
+    KIND_ORDER,
+    all_compatible_combinations,
+    format_combination,
+    implied_kinds,
+    is_compatible,
+    witness,
+)
+
+
+@dataclass(frozen=True)
+class TableRow:
+    """One row of the regenerated Table 1."""
+
+    kinds: frozenset[RingKind]
+    compatible: bool
+    witness: frozenset | None
+    minimal_core: frozenset[RingKind] | None
+
+    @property
+    def label(self) -> str:
+        """Paper-style rendering, e.g. ``(Ir, as)``."""
+        return format_combination(self.kinds)
+
+
+def minimal_incompatible_core(kinds: frozenset[RingKind]) -> frozenset[RingKind] | None:
+    """The smallest sub-combination of ``kinds`` that is itself incompatible.
+
+    Returns ``None`` when ``kinds`` is compatible.  Deterministic: smallest
+    size first, then kind order.
+    """
+    if is_compatible(kinds):
+        return None
+    ordered = [kind for kind in KIND_ORDER if kind in kinds]
+    for size in range(1, len(ordered) + 1):
+        for subset in itertools.combinations(ordered, size):
+            candidate = frozenset(subset)
+            if not is_compatible(candidate):
+                return candidate
+    return kinds  # pragma: no cover - unreachable: kinds itself qualifies
+
+
+def table_rows() -> list[TableRow]:
+    """All 63 non-empty combinations, compatible ones first (Table 1 order:
+    by size, then the deterministic kind order)."""
+    rows: list[TableRow] = []
+    for size in range(1, len(KIND_ORDER) + 1):
+        for subset in itertools.combinations(KIND_ORDER, size):
+            kinds = frozenset(subset)
+            compatible = is_compatible(kinds)
+            rows.append(
+                TableRow(
+                    kinds=kinds,
+                    compatible=compatible,
+                    witness=witness(kinds) if compatible else None,
+                    minimal_core=minimal_incompatible_core(kinds),
+                )
+            )
+    return rows
+
+
+def compatible_rows() -> list[TableRow]:
+    """Only the compatible combinations — the actual content of Table 1."""
+    return [row for row in table_rows() if row.compatible]
+
+
+def incompatibility_rows() -> list[TableRow]:
+    """Only the incompatible combinations, with minimal cores."""
+    return [row for row in table_rows() if not row.compatible]
+
+
+def nonredundant_compatible_rows() -> list[TableRow]:
+    """Compatible combinations with no redundant member.
+
+    A member is redundant when it is implied by the remaining members (e.g.
+    ``ir`` inside ``(Ir, as)``).  The paper's printed table lists compact
+    combinations; this view reproduces that reading.
+    """
+    rows = []
+    for row in compatible_rows():
+        redundant = False
+        for kind in row.kinds:
+            rest = row.kinds - {kind}
+            if rest and kind in implied_kinds(rest):
+                redundant = True
+                break
+        if not redundant:
+            rows.append(row)
+    return rows
+
+
+def render_table(rows: list[TableRow] | None = None, title: str = "Table 1") -> str:
+    """A printable rendering for benchmarks and EXPERIMENTS.md."""
+    chosen = rows if rows is not None else compatible_rows()
+    lines = [title, "=" * len(title)]
+    header = f"{'combination':<28} {'compatible':<11} witness / minimal incompatible core"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in chosen:
+        if row.compatible:
+            detail = _render_relation(row.witness)
+        else:
+            detail = "core " + format_combination(row.minimal_core or frozenset())
+        lines.append(f"{row.label:<28} {'yes' if row.compatible else 'NO':<11} {detail}")
+    return "\n".join(lines)
+
+
+def summary_counts() -> dict[str, int]:
+    """Counts reported by the benchmark harness for EXPERIMENTS.md."""
+    rows = table_rows()
+    return {
+        "combinations": len(rows),
+        "compatible": sum(1 for row in rows if row.compatible),
+        "incompatible": sum(1 for row in rows if not row.compatible),
+        "nonredundant_compatible": len(nonredundant_compatible_rows()),
+        "maximal_compatible": len(
+            [row for row in compatible_rows() if _is_maximal(row.kinds)]
+        ),
+    }
+
+
+def _is_maximal(kinds: frozenset[RingKind]) -> bool:
+    return not any(
+        kinds < other for other in all_compatible_combinations() if other != kinds
+    )
+
+
+def _render_relation(relation: frozenset | None) -> str:
+    if relation is None:
+        return "-"
+    rendered = ", ".join(f"{a}->{b}" for a, b in sorted(relation))
+    return "{" + rendered + "}"

@@ -1,0 +1,21 @@
+"""A from-scratch CNF layer and DPLL SAT solver."""
+
+from repro.sat.cnf import Clause, CnfBuilder, Literal
+from repro.sat.solver import (
+    DpllSolver,
+    SatResult,
+    brute_force_satisfiable,
+    solve_cnf,
+    verify_model,
+)
+
+__all__ = [
+    "Clause",
+    "CnfBuilder",
+    "DpllSolver",
+    "Literal",
+    "SatResult",
+    "brute_force_satisfiable",
+    "solve_cnf",
+    "verify_model",
+]

@@ -1,0 +1,256 @@
+"""A from-scratch DPLL SAT solver with two-watched-literal propagation.
+
+This is the search engine behind the bounded complete reasoner
+(:mod:`repro.reasoner`).  The paper's Sec. 4 contrasts the linear pattern
+checks with a *complete but exponential* decision procedure; a classical
+DPLL solver (unit propagation, two watched literals, chronological
+backtracking, static most-occurrences branching — deliberately no clause
+learning) reproduces exactly that complexity profile while remaining small
+enough to verify exhaustively against brute-force enumeration in the tests.
+
+The solver is deterministic: identical inputs yield identical models and
+statistics, which the benchmarks rely on.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.exceptions import SolverError
+from repro.sat.cnf import Clause, CnfBuilder
+
+#: Truth values in the assignment array.
+_UNASSIGNED, _TRUE, _FALSE = 0, 1, 2
+
+
+@dataclass
+class SatResult:
+    """Outcome of a solve call.
+
+    ``status`` is ``True`` (satisfiable, ``model`` holds a satisfying
+    assignment), ``False`` (unsatisfiable) or ``None`` (decision budget
+    exhausted).
+    """
+
+    status: bool | None
+    model: dict[int, bool] = field(default_factory=dict)
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+
+    @property
+    def is_sat(self) -> bool:
+        """True iff a model was found."""
+        return self.status is True
+
+
+class DpllSolver:
+    """Solve one CNF formula; construct per formula, then call :meth:`solve`."""
+
+    def __init__(self, num_vars: int, clauses: list[Clause]) -> None:
+        self._num_vars = num_vars
+        self._clauses: list[list[int]] = []
+        self._assign = [_UNASSIGNED] * (num_vars + 1)
+        self._trail: list[int] = []
+        # decision stack: (literal decided, trail length before it, flipped?)
+        self._decisions: list[tuple[int, int, bool]] = []
+        self._watches: dict[int, list[int]] = {}
+        self._units: list[int] = []
+        self._empty_clause = False
+        for clause in clauses:
+            self._add_clause(clause)
+
+    @classmethod
+    def from_builder(cls, builder: CnfBuilder) -> "DpllSolver":
+        """Convenience constructor from a :class:`CnfBuilder`."""
+        return cls(builder.num_vars, builder.clauses)
+
+    def _add_clause(self, clause: Clause) -> None:
+        literals = list(clause)
+        if not literals:
+            self._empty_clause = True
+            return
+        if len(literals) == 1:
+            self._units.append(literals[0])
+            return
+        index = len(self._clauses)
+        self._clauses.append(literals)
+        # Watch the first two literals.
+        for literal in literals[:2]:
+            self._watches.setdefault(literal, []).append(index)
+
+    # ------------------------------------------------------------------
+    # assignment primitives
+    # ------------------------------------------------------------------
+
+    def _value(self, literal: int) -> int:
+        state = self._assign[abs(literal)]
+        if state == _UNASSIGNED:
+            return _UNASSIGNED
+        positive = state == _TRUE
+        wanted = literal > 0
+        return _TRUE if positive == wanted else _FALSE
+
+    def _enqueue(self, literal: int) -> bool:
+        """Assign ``literal`` true; False on conflict with current value."""
+        current = self._value(literal)
+        if current == _TRUE:
+            return True
+        if current == _FALSE:
+            return False
+        self._assign[abs(literal)] = _TRUE if literal > 0 else _FALSE
+        self._trail.append(literal)
+        return True
+
+    def _propagate(self, result: SatResult) -> bool:
+        """Exhaust unit propagation; False on conflict.
+
+        The trail doubles as the propagation queue: every literal appended
+        since the last call is processed once.
+        """
+        while self._queue_head < len(self._trail):
+            literal = self._trail[self._queue_head]
+            self._queue_head += 1
+            result.propagations += 1
+            falsified = -literal
+            watching = self._watches.get(falsified, [])
+            keep: list[int] = []
+            index_pos = 0
+            while index_pos < len(watching):
+                clause_index = watching[index_pos]
+                index_pos += 1
+                clause = self._clauses[clause_index]
+                # Ensure the falsified literal sits at position 1.
+                if clause[0] == falsified:
+                    clause[0], clause[1] = clause[1], clause[0]
+                other = clause[0]
+                if self._value(other) == _TRUE:
+                    keep.append(clause_index)
+                    continue
+                # Search a new watchable literal.
+                moved = False
+                for position in range(2, len(clause)):
+                    candidate = clause[position]
+                    if self._value(candidate) != _FALSE:
+                        clause[1], clause[position] = clause[position], clause[1]
+                        self._watches.setdefault(candidate, []).append(clause_index)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                keep.append(clause_index)
+                # Clause is unit (on `other`) or conflicting.
+                if not self._enqueue(other):
+                    keep.extend(watching[index_pos:])
+                    self._watches[falsified] = keep
+                    return False
+            self._watches[falsified] = keep
+        return True
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+
+    def solve(self, max_decisions: int | None = None) -> SatResult:
+        """Run DPLL; ``max_decisions`` caps the search (None = unlimited)."""
+        result = SatResult(status=None)
+        if self._empty_clause:
+            result.status = False
+            return result
+        self._queue_head = 0
+        for literal in self._units:
+            if not self._enqueue(literal):
+                result.status = False
+                return result
+        if not self._propagate(result):
+            result.status = False
+            return result
+        order = self._branch_order()
+        while True:
+            literal = self._pick(order)
+            if literal is None:
+                result.status = True
+                result.model = {
+                    var: self._assign[var] == _TRUE
+                    for var in range(1, self._num_vars + 1)
+                }
+                return result
+            if max_decisions is not None and result.decisions >= max_decisions:
+                result.status = None
+                return result
+            result.decisions += 1
+            self._decisions.append((literal, len(self._trail), False))
+            self._enqueue(literal)
+            while not self._propagate(result):
+                result.conflicts += 1
+                if not self._backtrack():
+                    result.status = False
+                    return result
+
+    def _branch_order(self) -> list[int]:
+        """Static branching order: most frequently occurring variables first,
+        preferred polarity = the more common one."""
+        occurrences: Counter[int] = Counter()
+        polarity: Counter[int] = Counter()
+        for clause in self._clauses:
+            for literal in clause:
+                occurrences[abs(literal)] += 1
+                polarity[literal] += 1
+        ordered = sorted(
+            range(1, self._num_vars + 1),
+            key=lambda var: (-occurrences[var], var),
+        )
+        return [
+            var if polarity[var] >= polarity[-var] else -var for var in ordered
+        ]
+
+    def _pick(self, order: list[int]) -> int | None:
+        for literal in order:
+            if self._assign[abs(literal)] == _UNASSIGNED:
+                return literal
+        return None
+
+    def _backtrack(self) -> bool:
+        """Undo to the most recent unflipped decision and flip it."""
+        while self._decisions:
+            literal, trail_length, flipped = self._decisions.pop()
+            while len(self._trail) > trail_length:
+                undone = self._trail.pop()
+                self._assign[abs(undone)] = _UNASSIGNED
+            self._queue_head = len(self._trail)
+            if not flipped:
+                self._decisions.append((-literal, trail_length, True))
+                self._enqueue(-literal)
+                return True
+        return False
+
+
+def solve_cnf(builder: CnfBuilder, max_decisions: int | None = None) -> SatResult:
+    """One-shot convenience: build a solver and run it."""
+    return DpllSolver.from_builder(builder).solve(max_decisions)
+
+
+def verify_model(builder: CnfBuilder, model: dict[int, bool]) -> bool:
+    """Check a model against every clause (used to self-check witnesses)."""
+    for clause in builder.clauses:
+        if not clause:
+            return False
+        satisfied = any(
+            model.get(abs(literal), False) == (literal > 0) for literal in clause
+        )
+        if not satisfied:
+            return False
+    return True
+
+
+def brute_force_satisfiable(builder: CnfBuilder) -> bool:
+    """Exhaustive truth-table check — test oracle for the solver itself."""
+    num_vars = builder.num_vars
+    if num_vars > 20:
+        raise SolverError("brute force limited to 20 variables")
+    for mask in range(1 << num_vars):
+        model = {var: bool(mask >> (var - 1) & 1) for var in range(1, num_vars + 1)}
+        if verify_model(builder, model):
+            return True
+    return False

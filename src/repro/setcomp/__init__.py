@@ -1,0 +1,5 @@
+"""Set-comparison (SetPath) implication reasoning — substrate of Pattern 6."""
+
+from repro.setcomp.paths import SetPath, SetPathEdge, SetPathGraph
+
+__all__ = ["SetPath", "SetPathEdge", "SetPathGraph"]

@@ -1,0 +1,183 @@
+"""SetPath reasoning for set-comparison constraints (paper Fig. 9, Pattern 6).
+
+The paper calls a subset or equality constraint a *SetPath* and reasons with
+the implications of Fig. 9:
+
+* an **equality** constraint is two subset constraints (one per direction);
+* a **predicate-level subset** ``(r1, r2) ⊆ (r3, r4)`` implies the
+  **role-level subsets** ``r1 ⊆ r3`` and ``r2 ⊆ r4`` (projection is
+  monotone);
+* a **role-level exclusion** between ``r1`` and ``r3`` implies the
+  **predicate-level exclusion** between their fact types (disjoint first
+  columns make the tuple sets disjoint) — Pattern 6 uses this direction when
+  matching exclusions against SetPaths;
+* SetPaths compose transitively.
+
+The central object is :class:`SetPathGraph`: nodes are role sequences
+(length-1 tuples for roles, length-2 tuples for binary predicates), edges
+are subset relationships annotated with the constraint labels that justify
+them.  ``GetSetPathsBetween`` from the paper's appendix becomes
+:meth:`SetPathGraph.setpaths_between`, which returns the justifying
+constraint labels for each direction — exactly what the diagnostic message
+in Pattern 6 needs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.orm.constraints import EqualityConstraint, RoleSequence, SubsetConstraint
+from repro.orm.schema import Schema
+
+
+@dataclass(frozen=True)
+class SetPathEdge:
+    """One direct subset edge ``sub ⊆ sup`` with its justification.
+
+    ``origin`` is the label of the declaring constraint; ``implied`` is True
+    when the edge was derived by a Fig. 9 implication rather than declared.
+    """
+
+    sub: RoleSequence
+    sup: RoleSequence
+    origin: str
+    implied: bool = False
+
+
+@dataclass(frozen=True)
+class SetPath:
+    """A directed chain of subset edges from ``source`` to ``target``."""
+
+    source: RoleSequence
+    target: RoleSequence
+    edges: tuple[SetPathEdge, ...]
+
+    @property
+    def origins(self) -> tuple[str, ...]:
+        """Labels of the constraints justifying this path, in chain order."""
+        return tuple(edge.origin for edge in self.edges)
+
+
+class SetPathGraph:
+    """The subset-implication graph of a schema's set-comparison constraints."""
+
+    def __init__(self) -> None:
+        self._edges: dict[RoleSequence, list[SetPathEdge]] = {}
+
+    @classmethod
+    def from_schema(cls, schema: Schema) -> "SetPathGraph":
+        """Build the graph from all subset and equality constraints."""
+        graph = cls()
+        for subset in schema.constraints_of(SubsetConstraint):
+            graph.add_subset(subset.sub, subset.sup, subset.label or "subset")
+        for equality in schema.constraints_of(EqualityConstraint):
+            label = equality.label or "equality"
+            graph.add_subset(equality.first, equality.second, label)
+            graph.add_subset(equality.second, equality.first, label)
+        return graph
+
+    def add_subset(self, sub: RoleSequence, sup: RoleSequence, origin: str) -> None:
+        """Add ``sub ⊆ sup`` plus everything Fig. 9 derives from it.
+
+        For predicate-level (length-2) edges this adds the column-permuted
+        variant — ``(a2, a1) ⊆ (b2, b1)`` is the same statement — and the two
+        implied role-level edges.
+        """
+        self._add_edge(SetPathEdge(tuple(sub), tuple(sup), origin))
+        if len(sub) == 2:
+            permuted_sub = (sub[1], sub[0])
+            permuted_sup = (sup[1], sup[0])
+            self._add_edge(SetPathEdge(permuted_sub, permuted_sup, origin, implied=True))
+            for column in (0, 1):
+                self._add_edge(
+                    SetPathEdge((sub[column],), (sup[column],), origin, implied=True)
+                )
+
+    def _add_edge(self, edge: SetPathEdge) -> None:
+        bucket = self._edges.setdefault(edge.sub, [])
+        if edge not in bucket:
+            bucket.append(edge)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def nodes(self) -> list[RoleSequence]:
+        """All sequences appearing in any edge."""
+        seen: dict[RoleSequence, None] = {}
+        for sub, edges in self._edges.items():
+            seen.setdefault(sub)
+            for edge in edges:
+                seen.setdefault(edge.sup)
+        return list(seen)
+
+    def direct_edges(self) -> list[SetPathEdge]:
+        """Every edge (declared and implied), in insertion order."""
+        return [edge for bucket in self._edges.values() for edge in bucket]
+
+    def subset_holds(self, sub: RoleSequence, sup: RoleSequence) -> bool:
+        """Is there a (possibly transitive) SetPath ``sub ⊆ ... ⊆ sup``?"""
+        return self.find_path(tuple(sub), tuple(sup)) is not None
+
+    def find_path(self, source: RoleSequence, target: RoleSequence) -> SetPath | None:
+        """Shortest SetPath from ``source`` to ``target``, or ``None``.
+
+        A zero-length path (``source == target``) does not count: Pattern 6
+        cares about *declared or implied* subset relationships between
+        distinct sequences.
+        """
+        source = tuple(source)
+        target = tuple(target)
+        parents: dict[RoleSequence, SetPathEdge] = {}
+        queue: deque[RoleSequence] = deque([source])
+        visited = {source}
+        while queue:
+            current = queue.popleft()
+            for edge in self._edges.get(current, []):
+                nxt = edge.sup
+                if nxt in visited:
+                    continue
+                parents[nxt] = edge
+                if nxt == target:
+                    return self._reconstruct(source, target, parents)
+                visited.add(nxt)
+                queue.append(nxt)
+        return None
+
+    def _reconstruct(
+        self,
+        source: RoleSequence,
+        target: RoleSequence,
+        parents: dict[RoleSequence, SetPathEdge],
+    ) -> SetPath:
+        chain: list[SetPathEdge] = []
+        node = target
+        while node != source:
+            edge = parents[node]
+            chain.append(edge)
+            node = edge.sub
+        chain.reverse()
+        return SetPath(source, target, tuple(chain))
+
+    def setpaths_between(
+        self, first: RoleSequence, second: RoleSequence
+    ) -> list[SetPath]:
+        """``GetSetPathsBetween`` of the appendix: SetPaths in either
+        direction between the two sequences (at most one per direction —
+        BFS returns the shortest witness, which is all diagnostics need)."""
+        found = []
+        forward = self.find_path(first, second)
+        if forward is not None:
+            found.append(forward)
+        backward = self.find_path(second, first)
+        if backward is not None:
+            found.append(backward)
+        return found
+
+    def equal_holds(self, first: RoleSequence, second: RoleSequence) -> bool:
+        """Do SetPaths exist in both directions (implied equality)?"""
+        return len(self.setpaths_between(first, second)) == 2
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SetPathGraph(edges={len(self.direct_edges())})"

@@ -1,0 +1,12 @@
+"""DogmaModeler-style tooling: validator, interactive session, CLI."""
+
+from repro.tool.session import EditEvent, ModelingSession
+from repro.tool.validator import ToolReport, Validator, ValidatorSettings
+
+__all__ = [
+    "EditEvent",
+    "ModelingSession",
+    "ToolReport",
+    "Validator",
+    "ValidatorSettings",
+]

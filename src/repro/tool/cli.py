@@ -1,0 +1,212 @@
+"""``orm-validate`` — validate an ORM schema file from the command line.
+
+Usage::
+
+    orm-validate schema.orm                      # all nine patterns
+    orm-validate schema.orm --patterns P2,P9     # a subset (Fig. 15 style)
+    orm-validate schema.orm --formation-rules    # include Sec. 3 analysis
+    orm-validate schema.orm --verbalize          # pseudo-NL rendering first
+    orm-validate schema.orm --complete 3         # add bounded complete check
+    orm-validate schema.orm --format json
+
+Exit status: 0 when no unsatisfiability was detected, 1 otherwise, 2 on
+input errors — so the tool slots into CI for schema repositories.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.exceptions import ParseError, ReproError
+from repro.io.dsl import parse_schema
+from repro.orm.verbalize import verbalize_schema
+from repro.patterns.engine import PATTERN_IDS
+from repro.tool.validator import Validator, ValidatorSettings
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for the tests)."""
+    parser = argparse.ArgumentParser(
+        prog="orm-validate",
+        description="Detect unsatisfiable roles and object types in an ORM schema "
+        "(the nine patterns of Jarrar & Heymans, EDBT 2006).",
+    )
+    parser.add_argument("schema", type=Path, help="schema file in the ORM text DSL")
+    parser.add_argument(
+        "--patterns",
+        default=",".join(PATTERN_IDS),
+        help="comma-separated pattern ids to enable (default: all nine)",
+    )
+    parser.add_argument(
+        "--no-wellformedness",
+        action="store_true",
+        help="skip the structural advisories",
+    )
+    parser.add_argument(
+        "--formation-rules",
+        action="store_true",
+        help="also run Halpin's formation rules and RIDL-A analysis (Sec. 3)",
+    )
+    parser.add_argument(
+        "--verbalize",
+        action="store_true",
+        help="print the pseudo-natural-language reading of the schema first",
+    )
+    parser.add_argument(
+        "--extensions",
+        action="store_true",
+        help="also run the Sec. 5 extension patterns X1-X3",
+    )
+    parser.add_argument(
+        "--propagate",
+        action="store_true",
+        help="derive the full set of unsatisfiable elements from the findings",
+    )
+    parser.add_argument(
+        "--repairs",
+        action="store_true",
+        help="print candidate repairs under each violation",
+    )
+    parser.add_argument(
+        "--complete",
+        type=int,
+        metavar="N",
+        default=None,
+        help="additionally run the bounded complete model finder with domain "
+        "bound N (slower; confirms or refines the pattern verdicts)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        text = args.schema.read_text()
+    except OSError as error:
+        print(f"error: cannot read {args.schema}: {error}", file=sys.stderr)
+        return 2
+    try:
+        schema = parse_schema(text)
+    except (ParseError, ReproError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    settings = ValidatorSettings()
+    wanted = [part.strip() for part in args.patterns.split(",") if part.strip()]
+    try:
+        for pattern_id in PATTERN_IDS:
+            if pattern_id in wanted:
+                settings.enable(pattern_id)
+            else:
+                settings.disable(pattern_id)
+        unknown = [pid for pid in wanted if pid not in PATTERN_IDS]
+        if unknown:
+            raise KeyError(unknown[0])
+    except KeyError as error:
+        print(f"error: unknown pattern id {error}", file=sys.stderr)
+        return 2
+    settings.wellformedness = not args.no_wellformedness
+    settings.formation_rules = args.formation_rules
+    if args.extensions:
+        settings.enable_extensions()
+
+    report = Validator(settings).validate(schema)
+
+    propagation = None
+    if args.propagate:
+        from repro.patterns import propagate
+
+        propagation = propagate(schema, report.pattern_report)
+
+    complete_result = None
+    if args.complete is not None:
+        from repro.reasoner import BoundedModelFinder
+
+        verdict = BoundedModelFinder(schema).strong(max_domain=args.complete)
+        complete_result = {
+            "goal": "strong",
+            "status": verdict.status,
+            "domain_bound": args.complete,
+            "witness": verdict.witness.describe() if verdict.witness else None,
+        }
+
+    if args.format == "json":
+        payload = {
+            "schema": schema.metadata.name,
+            "satisfiable_by_patterns": report.ok,
+            "violations": [
+                {
+                    "pattern": violation.pattern_id,
+                    "message": violation.message,
+                    "roles": list(violation.roles),
+                    "types": list(violation.types),
+                    "constraints": list(violation.constraints),
+                }
+                for violation in report.pattern_report.violations
+            ],
+            "advisories": [
+                {"code": advisory.code, "message": advisory.message}
+                for advisory in report.advisories
+            ],
+            "formation_rules": [
+                {
+                    "rule": finding.rule_id,
+                    "relevant": finding.relevant,
+                    "message": finding.message,
+                }
+                for finding in report.rule_findings
+            ],
+            "complete_check": complete_result,
+        }
+        if propagation is not None:
+            payload["propagated"] = {
+                "unsat_roles": sorted(propagation.all_unsat_roles()),
+                "unsat_types": sorted(propagation.all_unsat_types()),
+                "derived": [
+                    {"element": item.element, "kind": item.kind, "via": item.via}
+                    for item in propagation.derived
+                ],
+            }
+        print(json.dumps(payload, indent=2))
+    else:
+        if args.verbalize:
+            print("Schema verbalization:")
+            for line in verbalize_schema(schema):
+                print(f"  {line}")
+            print()
+        print(report.render())
+        if args.repairs and report.pattern_report.violations:
+            from repro.patterns import suggest_repairs
+
+            print("Candidate repairs:")
+            for violation in report.pattern_report.violations:
+                print(f"  [{violation.pattern_id}]")
+                for suggestion in suggest_repairs(violation):
+                    print(f"    - {suggestion}")
+        if propagation is not None:
+            print(f"Propagation: {propagation.summary()}")
+            for item in propagation.derived:
+                print(f"  {item.kind} '{item.element}' — {item.via}")
+        if complete_result is not None:
+            print(
+                f"Complete bounded check (strong, domain<={args.complete}): "
+                f"{complete_result['status']}"
+            )
+            if complete_result["witness"]:
+                print(f"  witness: {complete_result['witness']}")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

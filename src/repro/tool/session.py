@@ -1,0 +1,162 @@
+"""Interactive modeling sessions with validation after every edit.
+
+The paper's Sec. 4 experience report: running the patterns *interactively*
+— after each modeling step — let the CCFORM lawyers catch contradictions
+the moment they introduced them, and taught them to avoid the mistakes.
+:class:`ModelingSession` reproduces that loop: every mutation re-validates
+the schema and records which violations are *new* relative to the previous
+step, so a tool (or the example script) can point at the edit that broke
+the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.orm.constraints import RingKind
+from repro.orm.schema import Schema
+from repro.patterns.base import Violation
+from repro.tool.validator import ToolReport, Validator, ValidatorSettings
+
+
+@dataclass
+class EditEvent:
+    """One modeling step and its validation outcome."""
+
+    step: int
+    action: str
+    report: ToolReport
+    new_violations: list[Violation] = field(default_factory=list)
+    resolved_violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def introduced_problem(self) -> bool:
+        """Did this edit introduce at least one new violation?"""
+        return bool(self.new_violations)
+
+
+class ModelingSession:
+    """A mutable schema whose every edit is validated immediately."""
+
+    def __init__(
+        self, name: str = "session", settings: ValidatorSettings | None = None
+    ) -> None:
+        self.schema = Schema(name)
+        self.validator = Validator(settings)
+        self.events: list[EditEvent] = []
+        self._previous: list[Violation] = []
+
+    # -- editing verbs (each validates) ---------------------------------
+
+    def add_entity(self, name: str, values=None) -> EditEvent:
+        """Add an entity type and revalidate."""
+        self.schema.add_entity_type(name, values)
+        return self._record(f"add entity {name}")
+
+    def add_value_type(self, name: str, values=None) -> EditEvent:
+        """Add a value type and revalidate."""
+        self.schema.add_value_type(name, values)
+        return self._record(f"add value type {name}")
+
+    def add_subtype(self, sub: str, super: str) -> EditEvent:
+        """Add a subtype link and revalidate."""
+        self.schema.add_subtype(sub, super)
+        return self._record(f"add subtype {sub} < {super}")
+
+    def add_fact(
+        self, name: str, first: tuple[str, str], second: tuple[str, str]
+    ) -> EditEvent:
+        """Add a fact type and revalidate."""
+        self.schema.add_fact_type(name, first[0], first[1], second[0], second[1])
+        return self._record(f"add fact {name}")
+
+    def add_mandatory(self, *roles: str) -> EditEvent:
+        """Add a mandatory constraint and revalidate."""
+        self.schema.add_mandatory(*roles)
+        return self._record(f"add mandatory {'|'.join(roles)}")
+
+    def add_uniqueness(self, *roles: str) -> EditEvent:
+        """Add a uniqueness constraint and revalidate."""
+        self.schema.add_uniqueness(*roles)
+        return self._record(f"add uniqueness {','.join(roles)}")
+
+    def add_frequency(self, roles, min: int, max: int | None = None) -> EditEvent:
+        """Add a frequency constraint and revalidate."""
+        self.schema.add_frequency(roles, min, max)
+        return self._record(f"add frequency {roles} {min}..{max or ''}")
+
+    def add_exclusion(self, *sequences) -> EditEvent:
+        """Add an exclusion constraint and revalidate."""
+        self.schema.add_exclusion(*sequences)
+        return self._record(f"add exclusion {sequences}")
+
+    def add_exclusive_types(self, *types: str) -> EditEvent:
+        """Add an exclusive-types constraint and revalidate."""
+        self.schema.add_exclusive_types(*types)
+        return self._record(f"add exclusive {'|'.join(types)}")
+
+    def add_subset(self, sub, sup) -> EditEvent:
+        """Add a subset constraint and revalidate."""
+        self.schema.add_subset(sub, sup)
+        return self._record(f"add subset {sub} < {sup}")
+
+    def add_equality(self, first, second) -> EditEvent:
+        """Add an equality constraint and revalidate."""
+        self.schema.add_equality(first, second)
+        return self._record(f"add equality {first} = {second}")
+
+    def add_ring(self, kind: RingKind | str, first_role: str, second_role: str) -> EditEvent:
+        """Add a ring constraint and revalidate."""
+        self.schema.add_ring(kind, first_role, second_role)
+        return self._record(f"add ring {kind} ({first_role}, {second_role})")
+
+    # -- queries ----------------------------------------------------------
+
+    def latest(self) -> EditEvent | None:
+        """The most recent edit event (None before any edit)."""
+        return self.events[-1] if self.events else None
+
+    def problem_steps(self) -> list[EditEvent]:
+        """All edits that introduced new violations."""
+        return [event for event in self.events if event.introduced_problem]
+
+    def transcript(self) -> str:
+        """Human-readable session log (used by the example)."""
+        lines = []
+        for event in self.events:
+            status = "!!" if event.introduced_problem else "ok"
+            lines.append(f"[{status}] step {event.step}: {event.action}")
+            for violation in event.new_violations:
+                lines.append(f"      new: [{violation.pattern_id}] {violation.message}")
+            for violation in event.resolved_violations:
+                lines.append(f"      resolved: [{violation.pattern_id}]")
+        return "\n".join(lines)
+
+    # -- internals ----------------------------------------------------------
+
+    def _record(self, action: str) -> EditEvent:
+        report = self.validator.validate(self.schema)
+        current = report.pattern_report.violations
+        previous_keys = {self._key(v) for v in self._previous}
+        current_keys = {self._key(v) for v in current}
+        event = EditEvent(
+            step=len(self.events) + 1,
+            action=action,
+            report=report,
+            new_violations=[v for v in current if self._key(v) not in previous_keys],
+            resolved_violations=[
+                v for v in self._previous if self._key(v) not in current_keys
+            ],
+        )
+        self.events.append(event)
+        self._previous = list(current)
+        return event
+
+    @staticmethod
+    def _key(violation: Violation) -> tuple:
+        return (
+            violation.pattern_id,
+            violation.roles,
+            violation.types,
+            violation.constraints,
+        )

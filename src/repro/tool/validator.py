@@ -1,0 +1,130 @@
+"""The DogmaModeler-style validator (paper Fig. 15 and Sec. 4).
+
+Fig. 15 shows DogmaModeler's *Validator Settings* window: a checkbox per
+reasoning pattern, so modelers decide which validations run.
+:class:`ValidatorSettings` is that window as data; :class:`Validator`
+combines the pattern engine with the structural well-formedness advisories
+and the formation-rule analysis into one report whose rendered form mirrors
+the generated messages the paper highlights ("which constraints cause the
+unsatisfiability, the problems with the other constraints, etc.").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.orm.schema import Schema
+from repro.orm.wellformed import Advisory, check_wellformedness
+from repro.patterns.base import ValidationReport
+from repro.patterns.engine import ALL_IDS, PATTERN_IDS, PatternEngine, pattern_by_id
+from repro.patterns.formation_rules import RuleFinding, check_formation_rules
+
+
+@dataclass
+class ValidatorSettings:
+    """The Fig. 15 settings window as data.
+
+    ``patterns`` maps pattern id to enabled (the paper's nine are ticked by
+    default; the Sec. 5 extension patterns X1-X3 exist but start unticked);
+    ``wellformedness`` and ``formation_rules`` toggle the two auxiliary
+    analyses.
+    """
+
+    patterns: dict[str, bool] = field(
+        default_factory=lambda: {pattern_id: True for pattern_id in PATTERN_IDS}
+    )
+    wellformedness: bool = True
+    formation_rules: bool = False  # style feedback is opt-in, as in the tool
+
+    def enable(self, pattern_id: str) -> None:
+        """Tick one pattern checkbox (paper patterns or X extensions)."""
+        pattern_by_id(pattern_id)
+        self.patterns[pattern_id] = True
+
+    def disable(self, pattern_id: str) -> None:
+        """Untick one pattern checkbox."""
+        pattern_by_id(pattern_id)
+        self.patterns[pattern_id] = False
+
+    def enable_extensions(self) -> None:
+        """Tick all Sec. 5 extension patterns at once."""
+        from repro.patterns.extensions import EXTENSION_IDS
+
+        for pattern_id in EXTENSION_IDS:
+            self.patterns[pattern_id] = True
+
+    def enabled_ids(self) -> list[str]:
+        """Pattern ids currently ticked, in registry order."""
+        return [pid for pid in ALL_IDS if self.patterns.get(pid, False)]
+
+
+@dataclass
+class ToolReport:
+    """Everything one validation run produced."""
+
+    schema_name: str
+    pattern_report: ValidationReport
+    advisories: list[Advisory] = field(default_factory=list)
+    rule_findings: list[RuleFinding] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when no unsatisfiability was detected (advisories may exist)."""
+        return self.pattern_report.is_satisfiable
+
+    def render(self) -> str:
+        """The DogmaModeler-style message list."""
+        lines = [f"Validation of schema '{self.schema_name}'"]
+        lines.append("=" * len(lines[0]))
+        if self.pattern_report.violations:
+            lines.append(
+                f"UNSATISFIABLE: {len(self.pattern_report.violations)} violation(s)"
+            )
+            for violation in self.pattern_report.violations:
+                lines.append(f"  [{violation.pattern_id}] {violation.message}")
+        else:
+            lines.append("No unsatisfiability pattern fired.")
+        if self.advisories:
+            lines.append(f"{len(self.advisories)} structural advisory(ies):")
+            for advisory in self.advisories:
+                lines.append(f"  [{advisory.code}] {advisory.message}")
+        relevant_rules = [finding for finding in self.rule_findings]
+        if relevant_rules:
+            lines.append(f"{len(relevant_rules)} formation-rule finding(s):")
+            for finding in relevant_rules:
+                marker = "!" if finding.relevant else "·"
+                lines.append(f"  {marker} [{finding.rule_id}] {finding.message}")
+        lines.append(
+            f"(checked patterns: {', '.join(self.pattern_report.patterns_run)}; "
+            f"{self.elapsed_seconds * 1000:.1f} ms)"
+        )
+        return "\n".join(lines)
+
+
+class Validator:
+    """One-call validation of a schema under configurable settings."""
+
+    def __init__(self, settings: ValidatorSettings | None = None) -> None:
+        self.settings = settings or ValidatorSettings()
+
+    def validate(self, schema: Schema) -> ToolReport:
+        """Run every enabled analysis over ``schema``."""
+        started = time.perf_counter()
+        engine = PatternEngine(enabled=self.settings.enabled_ids())
+        pattern_report = engine.check(schema)
+        advisories = (
+            check_wellformedness(schema) if self.settings.wellformedness else []
+        )
+        rule_findings = (
+            check_formation_rules(schema) if self.settings.formation_rules else []
+        )
+        elapsed = time.perf_counter() - started
+        return ToolReport(
+            schema_name=schema.metadata.name,
+            pattern_report=pattern_report,
+            advisories=advisories,
+            rule_findings=rule_findings,
+            elapsed_seconds=elapsed,
+        )

@@ -1,0 +1,29 @@
+"""Workloads: paper figures and random schema generation."""
+
+from repro.workloads.figures import (
+    EXPECTATIONS,
+    FIGURES,
+    FigureExpectation,
+    build_figure,
+)
+from repro.workloads.generator import (
+    GeneratorConfig,
+    InjectedFault,
+    clean_schema,
+    generate_faulty_schema,
+    generate_schema,
+    inject_fault,
+)
+
+__all__ = [
+    "EXPECTATIONS",
+    "FIGURES",
+    "FigureExpectation",
+    "GeneratorConfig",
+    "InjectedFault",
+    "build_figure",
+    "clean_schema",
+    "generate_faulty_schema",
+    "generate_schema",
+    "inject_fault",
+]

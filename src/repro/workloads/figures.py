@@ -1,0 +1,386 @@
+"""Every worked example of the paper as a constructible schema.
+
+Each ``figN_*`` function rebuilds the ORM schema of the corresponding paper
+figure; :data:`EXPECTATIONS` records which patterns the paper says must (or
+must not) fire and which elements become unsatisfiable.  The test suite and
+``benchmarks/bench_figures.py`` iterate this registry, so the figures are
+checked on every run.
+
+Object/role names follow the figures (``A``, ``B``, ``r1`` ...); partner
+types absent from a figure are named ``X1``, ``X2`` ... as neutral fillers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.orm import Schema, SchemaBuilder
+
+
+@dataclass(frozen=True)
+class FigureExpectation:
+    """What the paper asserts about one figure's schema."""
+
+    figure: str
+    patterns: tuple[str, ...]  # pattern ids that must fire (exactly these)
+    unsat_roles: tuple[str, ...] = ()
+    unsat_types: tuple[str, ...] = ()
+    weakly_satisfiable: bool = True  # the global schema still has a model
+    note: str = ""
+    extra_unsat_ok: tuple[str, ...] = field(default=())
+
+
+def fig1_phd_student() -> Schema:
+    """Fig. 1: PhDStudent under exclusive Student/Employee — type unsat,
+    schema still weakly satisfiable."""
+    return (
+        SchemaBuilder("fig1_phd_student")
+        .entities("Person", "Student", "Employee", "PhDStudent")
+        .subtype("Student", "Person")
+        .subtype("Employee", "Person")
+        .subtype("PhDStudent", "Student")
+        .subtype("PhDStudent", "Employee")
+        .exclusive_types("Student", "Employee", label="x_student_employee")
+        .annotate("figure", "1")
+        .build()
+    )
+
+
+def fig2_no_common_supertype() -> Schema:
+    """Fig. 2: C under unrelated tops A and B (Pattern 1)."""
+    return (
+        SchemaBuilder("fig2_no_common_supertype")
+        .entities("A", "B", "C")
+        .subtype("C", "A")
+        .subtype("C", "B")
+        .annotate("figure", "2")
+        .build()
+    )
+
+
+def fig3_exclusive_supertypes() -> Schema:
+    """Fig. 3: D under exclusive siblings B and C (Pattern 2)."""
+    return (
+        SchemaBuilder("fig3_exclusive_supertypes")
+        .entities("A", "B", "C", "D")
+        .subtype("B", "A")
+        .subtype("C", "A")
+        .subtype("D", "B")
+        .subtype("D", "C")
+        .exclusive_types("B", "C", label="x_b_c")
+        .annotate("figure", "3")
+        .build()
+    )
+
+
+def fig4a_exclusion_mandatory() -> Schema:
+    """Fig. 4(a): r1 mandatory, r1 X r3, same player — r3 unplayable."""
+    return (
+        SchemaBuilder("fig4a_exclusion_mandatory")
+        .entities("A", "X1", "X2")
+        .fact("f1", ("r1", "A"), ("r2", "X1"))
+        .fact("f2", ("r3", "A"), ("r4", "X2"))
+        .mandatory("r1", label="m_r1")
+        .exclusion("r1", "r3", label="x_r1_r3")
+        .annotate("figure", "4a")
+        .build()
+    )
+
+
+def fig4b_double_mandatory() -> Schema:
+    """Fig. 4(b): r1 and r3 both mandatory yet exclusive — A unpopulatable."""
+    return (
+        SchemaBuilder("fig4b_double_mandatory")
+        .entities("A", "X1", "X2")
+        .fact("f1", ("r1", "A"), ("r2", "X1"))
+        .fact("f2", ("r3", "A"), ("r4", "X2"))
+        .mandatory("r1", label="m_r1")
+        .mandatory("r3", label="m_r3")
+        .exclusion("r1", "r3", label="x_r1_r3")
+        .annotate("figure", "4b")
+        .build()
+    )
+
+
+def fig4c_subtype_exclusion() -> Schema:
+    """Fig. 4(c): exclusion spans a subtype's role — r3 and r5 unplayable."""
+    return (
+        SchemaBuilder("fig4c_subtype_exclusion")
+        .entities("A", "B", "X1", "X2", "X3")
+        .subtype("B", "A")
+        .fact("f1", ("r1", "A"), ("r2", "X1"))
+        .fact("f2", ("r3", "A"), ("r4", "X2"))
+        .fact("f3", ("r5", "B"), ("r6", "X3"))
+        .mandatory("r1", label="m_r1")
+        .exclusion("r1", "r3", "r5", label="x_r1_r3_r5")
+        .annotate("figure", "4c")
+        .build()
+    )
+
+
+def fig5_frequency_value() -> Schema:
+    """Fig. 5: FC(3-5) on r1 against a 2-value partner (Pattern 4)."""
+    return (
+        SchemaBuilder("fig5_frequency_value")
+        .entity("A")
+        .entity("B", values=["x1", "x2"])
+        .fact("f1", ("r1", "A"), ("r2", "B"))
+        .frequency("r1", 3, 5, label="fc_r1")
+        .annotate("figure", "5")
+        .build()
+    )
+
+
+def fig6_value_exclusion_frequency() -> Schema:
+    """Fig. 6: value {a1,a2} + exclusion(r1, r3) + FC(2-) on r1's inverse.
+
+    Populating r1 needs 2 distinct A-values (the inverse-role frequency),
+    r3 needs a third — but only two values exist (Pattern 5).
+    """
+    return (
+        SchemaBuilder("fig6_value_exclusion_frequency")
+        .entity("A", values=["a1", "a2"])
+        .entities("B", "C")
+        .fact("f1", ("r1", "A"), ("r2", "B"))
+        .fact("f2", ("r3", "A"), ("r4", "C"))
+        .exclusion("r1", "r3", label="x_r1_r3")
+        .frequency("r2", 2, None, label="fc_r2")
+        .annotate("figure", "6")
+        .build()
+    )
+
+
+def fig6_without_value() -> Schema:
+    """Fig. 6 ablation: drop the value constraint — satisfiable."""
+    schema = (
+        SchemaBuilder("fig6_without_value")
+        .entity("A")
+        .entities("B", "C")
+        .fact("f1", ("r1", "A"), ("r2", "B"))
+        .fact("f2", ("r3", "A"), ("r4", "C"))
+        .exclusion("r1", "r3", label="x_r1_r3")
+        .frequency("r2", 2, None, label="fc_r2")
+        .annotate("figure", "6-ablation-value")
+        .build()
+    )
+    return schema
+
+
+def fig6_without_exclusion() -> Schema:
+    """Fig. 6 ablation: drop the exclusion — satisfiable."""
+    return (
+        SchemaBuilder("fig6_without_exclusion")
+        .entity("A", values=["a1", "a2"])
+        .entities("B", "C")
+        .fact("f1", ("r1", "A"), ("r2", "B"))
+        .fact("f2", ("r3", "A"), ("r4", "C"))
+        .frequency("r2", 2, None, label="fc_r2")
+        .annotate("figure", "6-ablation-exclusion")
+        .build()
+    )
+
+
+def fig6_without_frequency() -> Schema:
+    """Fig. 6 ablation: drop the frequency — satisfiable (2 roles, 2 values)."""
+    return (
+        SchemaBuilder("fig6_without_frequency")
+        .entity("A", values=["a1", "a2"])
+        .entities("B", "C")
+        .fact("f1", ("r1", "A"), ("r2", "B"))
+        .fact("f2", ("r3", "A"), ("r4", "C"))
+        .exclusion("r1", "r3", label="x_r1_r3")
+        .annotate("figure", "6-ablation-frequency")
+        .build()
+    )
+
+
+def fig7_value_exclusion() -> Schema:
+    """Fig. 7: three excluded roles over a 2-value type (Pattern 5, fi = 1)."""
+    return (
+        SchemaBuilder("fig7_value_exclusion")
+        .entity("A", values=["a1", "a2"])
+        .entities("B", "C", "D")
+        .fact("f1", ("r1", "A"), ("r2", "B"))
+        .fact("f2", ("r3", "A"), ("r4", "C"))
+        .fact("f3", ("r5", "A"), ("r6", "D"))
+        .exclusion("r1", "r3", "r5", label="x_r1_r3_r5")
+        .annotate("figure", "7")
+        .build()
+    )
+
+
+def fig8_exclusion_subset() -> Schema:
+    """Fig. 8: exclusion(r1, r3) against subset (r1,r2) ⊆ (r3,r4) (Pattern 6)."""
+    return (
+        SchemaBuilder("fig8_exclusion_subset")
+        .entities("A", "B")
+        .fact("f1", ("r1", "A"), ("r2", "B"))
+        .fact("f2", ("r3", "A"), ("r4", "B"))
+        .exclusion("r1", "r3", label="x_r1_r3")
+        .subset(("r1", "r2"), ("r3", "r4"), label="sub_f1_f2")
+        .annotate("figure", "8")
+        .build()
+    )
+
+
+def fig10_uniqueness_frequency() -> Schema:
+    """Fig. 10: uniqueness and FC(2-5) on the same role (Pattern 7)."""
+    return (
+        SchemaBuilder("fig10_uniqueness_frequency")
+        .entities("A", "B")
+        .fact("f1", ("r1", "A"), ("r2", "B"))
+        .unique("r1", label="u_r1")
+        .frequency("r1", 2, 5, label="fc_r1")
+        .annotate("figure", "10")
+        .build()
+    )
+
+
+def fig11_sister_of() -> Schema:
+    """Fig. 11: irreflexive 'Sister of' — a satisfiable ring constraint."""
+    return (
+        SchemaBuilder("fig11_sister_of")
+        .entity("Woman")
+        .fact("sister_of", ("w1", "Woman"), ("w2", "Woman"))
+        .ring("ir", "w1", "w2", label="ring_ir")
+        .annotate("figure", "11")
+        .build()
+    )
+
+
+def fig12_incompatible_rings() -> Schema:
+    """Fig. 12-derived example: symmetric + acyclic on one pair (Pattern 8)."""
+    return (
+        SchemaBuilder("fig12_incompatible_rings")
+        .entity("A")
+        .fact("rel", ("r1", "A"), ("r2", "A"))
+        .ring("sym", "r1", "r2", label="ring_sym")
+        .ring("ac", "r1", "r2", label="ring_ac")
+        .annotate("figure", "12")
+        .build()
+    )
+
+
+def fig13_subtype_loop() -> Schema:
+    """Fig. 13: A < B < C < A (Pattern 9)."""
+    return (
+        SchemaBuilder("fig13_subtype_loop")
+        .entities("A", "B", "C")
+        .subtype("A", "B")
+        .subtype("B", "C")
+        .subtype("C", "A")
+        .annotate("figure", "13")
+        .build()
+    )
+
+
+def fig14_rule6_satisfiable() -> Schema:
+    """Fig. 14: violates formation rule 6, yet every role is satisfiable.
+
+    B < A; A carries a *disjunctive* mandatory over r1/r3; exclusion between
+    r3 and the subtype's role r5.  Populating r5 with 'a' forces 'a' to play
+    r1 or r3; the exclusion blocks r3 but r1 remains open.
+    """
+    return (
+        SchemaBuilder("fig14_rule6_satisfiable")
+        .entities("A", "B", "X1", "X2", "X3")
+        .subtype("B", "A")
+        .fact("f1", ("r1", "A"), ("r2", "X1"))
+        .fact("f2", ("r3", "A"), ("r4", "X2"))
+        .fact("f3", ("r5", "B"), ("r6", "X3"))
+        .mandatory("r1", "r3", label="dm_r1_r3")
+        .exclusion("r3", "r5", label="x_r3_r5")
+        .annotate("figure", "14")
+        .build()
+    )
+
+
+#: The paper's assertions per figure, keyed by constructor name.
+EXPECTATIONS: dict[str, FigureExpectation] = {
+    "fig1_phd_student": FigureExpectation(
+        figure="1",
+        patterns=("P2",),
+        unsat_types=("PhDStudent",),
+        weakly_satisfiable=True,
+        note="type unsatisfiable, schema weakly satisfiable (paper Sec. 1)",
+    ),
+    "fig2_no_common_supertype": FigureExpectation(
+        figure="2", patterns=("P1",), unsat_types=("C",)
+    ),
+    "fig3_exclusive_supertypes": FigureExpectation(
+        figure="3", patterns=("P2",), unsat_types=("D",)
+    ),
+    "fig4a_exclusion_mandatory": FigureExpectation(
+        figure="4a", patterns=("P3",), unsat_roles=("r3",)
+    ),
+    "fig4b_double_mandatory": FigureExpectation(
+        figure="4b",
+        patterns=("P3",),
+        unsat_roles=("r1", "r3"),
+        unsat_types=("A",),
+        weakly_satisfiable=True,
+        note="A empty is a model of the whole schema",
+    ),
+    "fig4c_subtype_exclusion": FigureExpectation(
+        figure="4c", patterns=("P3",), unsat_roles=("r3", "r5")
+    ),
+    "fig5_frequency_value": FigureExpectation(
+        figure="5", patterns=("P4",), unsat_roles=("r1",), extra_unsat_ok=("r2",)
+    ),
+    "fig6_value_exclusion_frequency": FigureExpectation(
+        figure="6", patterns=("P5",), unsat_roles=()
+    ),
+    "fig6_without_value": FigureExpectation(figure="6", patterns=()),
+    "fig6_without_exclusion": FigureExpectation(figure="6", patterns=()),
+    "fig6_without_frequency": FigureExpectation(figure="6", patterns=()),
+    "fig7_value_exclusion": FigureExpectation(figure="7", patterns=("P5",)),
+    "fig8_exclusion_subset": FigureExpectation(
+        figure="8", patterns=("P6",), unsat_roles=("r1", "r2")
+    ),
+    "fig10_uniqueness_frequency": FigureExpectation(
+        figure="10", patterns=("P7",), unsat_roles=("r1",)
+    ),
+    "fig11_sister_of": FigureExpectation(figure="11", patterns=()),
+    "fig12_incompatible_rings": FigureExpectation(
+        figure="12", patterns=("P8",), unsat_roles=("r1", "r2")
+    ),
+    "fig13_subtype_loop": FigureExpectation(
+        figure="13", patterns=("P9",), unsat_types=("A", "B", "C")
+    ),
+    "fig14_rule6_satisfiable": FigureExpectation(
+        figure="14", patterns=(), note="violates FR6 but all roles satisfiable"
+    ),
+}
+
+#: All figure constructors in paper order.
+FIGURES = {
+    name: constructor
+    for name, constructor in (
+        ("fig1_phd_student", fig1_phd_student),
+        ("fig2_no_common_supertype", fig2_no_common_supertype),
+        ("fig3_exclusive_supertypes", fig3_exclusive_supertypes),
+        ("fig4a_exclusion_mandatory", fig4a_exclusion_mandatory),
+        ("fig4b_double_mandatory", fig4b_double_mandatory),
+        ("fig4c_subtype_exclusion", fig4c_subtype_exclusion),
+        ("fig5_frequency_value", fig5_frequency_value),
+        ("fig6_value_exclusion_frequency", fig6_value_exclusion_frequency),
+        ("fig6_without_value", fig6_without_value),
+        ("fig6_without_exclusion", fig6_without_exclusion),
+        ("fig6_without_frequency", fig6_without_frequency),
+        ("fig7_value_exclusion", fig7_value_exclusion),
+        ("fig8_exclusion_subset", fig8_exclusion_subset),
+        ("fig10_uniqueness_frequency", fig10_uniqueness_frequency),
+        ("fig11_sister_of", fig11_sister_of),
+        ("fig12_incompatible_rings", fig12_incompatible_rings),
+        ("fig13_subtype_loop", fig13_subtype_loop),
+        ("fig14_rule6_satisfiable", fig14_rule6_satisfiable),
+    )
+}
+
+
+def build_figure(name: str) -> Schema:
+    """Construct the named figure schema."""
+    try:
+        return FIGURES[name]()
+    except KeyError:
+        raise KeyError(f"unknown figure: {name!r}") from None

@@ -1,0 +1,385 @@
+"""Random ORM schema generation and pattern-fault injection.
+
+Two evaluation needs (DESIGN.md experiment index, Sec. 4 claims):
+
+* **Scaling workloads** — schemas of parametric size to measure that pattern
+  checking stays cheap as schemas grow (`generate_schema`);
+* **Fault injection** — planting one specific pattern's contradiction into a
+  clean schema so detection rates and the patterns-as-prefilter pipeline can
+  be quantified (`inject_fault`), mirroring the modeling mistakes the paper
+  reports from the CCFORM case study.
+
+Everything is seeded and deterministic: the same config yields the same
+schema, which benchmarks and property tests rely on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.orm.constraints import RingKind
+from repro.orm.schema import Schema
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs of the random schema generator."""
+
+    num_types: int = 10
+    num_facts: int = 8
+    subtype_probability: float = 0.25
+    value_probability: float = 0.15
+    max_values: int = 4
+    mandatory_probability: float = 0.3
+    uniqueness_probability: float = 0.4
+    frequency_probability: float = 0.15
+    exclusion_probability: float = 0.2
+    setcomp_probability: float = 0.15
+    ring_probability: float = 0.2
+    seed: int = 0
+
+
+@dataclass
+class InjectedFault:
+    """Record of one planted contradiction."""
+
+    pattern_id: str
+    description: str
+    unsat_roles: tuple[str, ...] = ()
+    unsat_types: tuple[str, ...] = ()
+    added_elements: tuple[str, ...] = field(default=())
+
+
+def generate_schema(config: GeneratorConfig) -> Schema:
+    """Generate a random schema; may or may not be satisfiable.
+
+    Constraints are only placed where they make structural sense (e.g.
+    exclusions between roles of subtype-compatible players), so violations
+    that appear come from genuine constraint interaction — the same way a
+    human modeler produces them.
+    """
+    rng = random.Random(config.seed)
+    schema = Schema(f"random_{config.seed}")
+    type_names = [f"T{i}" for i in range(config.num_types)]
+    for index, name in enumerate(type_names):
+        if rng.random() < config.value_probability:
+            pool = [f"{name.lower()}v{k}" for k in range(rng.randint(1, config.max_values))]
+            schema.add_entity_type(name, pool)
+        else:
+            schema.add_entity_type(name)
+        # Subtype edges only point to earlier types: guaranteed acyclic.
+        if index > 0 and rng.random() < config.subtype_probability:
+            schema.add_subtype(name, type_names[rng.randrange(index)])
+
+    role_counter = 0
+    for fact_index in range(config.num_facts):
+        first_player = rng.choice(type_names)
+        second_player = rng.choice(type_names)
+        first_role = f"r{role_counter}"
+        second_role = f"r{role_counter + 1}"
+        role_counter += 2
+        schema.add_fact_type(
+            f"F{fact_index}", first_role, first_player, second_role, second_player
+        )
+        if rng.random() < config.mandatory_probability:
+            schema.add_mandatory(rng.choice((first_role, second_role)))
+        if rng.random() < config.uniqueness_probability:
+            schema.add_uniqueness(rng.choice((first_role, second_role)))
+        if rng.random() < config.frequency_probability:
+            low = rng.randint(1, 3)
+            schema.add_frequency(
+                rng.choice((first_role, second_role)), low, low + rng.randint(0, 3)
+            )
+        if first_player == second_player and rng.random() < config.ring_probability:
+            kinds = rng.sample(list(RingKind), k=rng.randint(1, 2))
+            for kind in kinds:
+                schema.add_ring(kind, first_role, second_role)
+
+    _add_cross_fact_constraints(schema, rng, config)
+    return schema
+
+
+def _compatible_role_pairs(schema: Schema) -> list[tuple[str, str]]:
+    """Role pairs from different fact types whose players are related."""
+    pairs = []
+    roles = schema.roles()
+    for index, first in enumerate(roles):
+        for second in roles[index + 1:]:
+            if first.fact_type == second.fact_type:
+                continue
+            related = (
+                first.player == second.player
+                or schema.is_subtype_of(first.player, second.player)
+                or schema.is_subtype_of(second.player, first.player)
+            )
+            if related:
+                pairs.append((first.name, second.name))
+    return pairs
+
+
+def _parallel_fact_pairs(schema: Schema) -> list[tuple[str, str]]:
+    """Pairs of fact types with identical player signatures."""
+    pairs = []
+    facts = schema.fact_types()
+    for index, first in enumerate(facts):
+        for second in facts[index + 1:]:
+            if first.players == second.players:
+                pairs.append((first.name, second.name))
+    return pairs
+
+
+def _add_cross_fact_constraints(
+    schema: Schema, rng: random.Random, config: GeneratorConfig
+) -> None:
+    for first_role, second_role in _compatible_role_pairs(schema):
+        if rng.random() < config.exclusion_probability:
+            schema.add_exclusion(first_role, second_role)
+    for first_fact, second_fact in _parallel_fact_pairs(schema):
+        if rng.random() < config.setcomp_probability:
+            first = schema.fact_type(first_fact).role_names
+            second = schema.fact_type(second_fact).role_names
+            if rng.random() < 0.5:
+                schema.add_subset(first, second)
+            else:
+                schema.add_equality(first, second)
+
+
+# ----------------------------------------------------------------------
+# fault injection
+# ----------------------------------------------------------------------
+
+
+def inject_fault(schema: Schema, pattern_id: str, rng: random.Random) -> InjectedFault:
+    """Plant a contradiction that exactly pattern ``pattern_id`` detects.
+
+    All injected elements are fresh (prefixed ``inj_``) so injection never
+    interferes with the existing schema and multiple faults can coexist.
+    """
+    injectors = {
+        "P1": _inject_p1,
+        "P2": _inject_p2,
+        "P3": _inject_p3,
+        "P4": _inject_p4,
+        "P5": _inject_p5,
+        "P6": _inject_p6,
+        "P7": _inject_p7,
+        "P8": _inject_p8,
+        "P9": _inject_p9,
+    }
+    try:
+        injector = injectors[pattern_id]
+    except KeyError:
+        raise KeyError(f"unknown pattern id: {pattern_id!r}") from None
+    return injector(schema, rng)
+
+
+def _fresh(schema: Schema, stem: str) -> str:
+    index = 0
+    while True:
+        name = f"inj_{stem}{index}"
+        taken = (
+            schema.has_object_type(name)
+            or schema.has_role(name)
+            or any(fact.name == name for fact in schema.fact_types())
+        )
+        if not taken:
+            return name
+        index += 1
+
+
+def _fresh_fact(schema: Schema, stem: str, first_player: str, second_player: str):
+    name = _fresh(schema, stem)
+    first_role = _fresh(schema, f"{stem}_a")
+    second_role = _fresh(schema, f"{stem}_b")
+    schema.add_fact_type(name, first_role, first_player, second_role, second_player)
+    return name, first_role, second_role
+
+
+def _inject_p1(schema: Schema, rng: random.Random) -> InjectedFault:
+    top_a = _fresh(schema, "topA")
+    top_b = _fresh(schema, "topB")
+    child = _fresh(schema, "orphan")
+    for name in (top_a, top_b, child):
+        schema.add_entity_type(name)
+    schema.add_subtype(child, top_a)
+    schema.add_subtype(child, top_b)
+    return InjectedFault(
+        "P1",
+        f"{child} under unrelated tops {top_a}, {top_b}",
+        unsat_types=(child,),
+        added_elements=(top_a, top_b, child),
+    )
+
+
+def _inject_p2(schema: Schema, rng: random.Random) -> InjectedFault:
+    top = _fresh(schema, "top")
+    left = _fresh(schema, "left")
+    right = _fresh(schema, "right")
+    child = _fresh(schema, "both")
+    for name in (top, left, right, child):
+        schema.add_entity_type(name)
+    schema.add_subtype(left, top)
+    schema.add_subtype(right, top)
+    schema.add_subtype(child, left)
+    schema.add_subtype(child, right)
+    schema.add_exclusive_types(left, right)
+    return InjectedFault(
+        "P2",
+        f"{child} under exclusive {left} X {right}",
+        unsat_types=(child,),
+        added_elements=(top, left, right, child),
+    )
+
+
+def _inject_p3(schema: Schema, rng: random.Random) -> InjectedFault:
+    player = _fresh(schema, "actor")
+    partner = _fresh(schema, "target")
+    schema.add_entity_type(player)
+    schema.add_entity_type(partner)
+    _, mandatory_role, _ = _fresh_fact(schema, "p3f1", player, partner)
+    _, excluded_role, _ = _fresh_fact(schema, "p3f2", player, partner)
+    schema.add_mandatory(mandatory_role)
+    schema.add_exclusion(mandatory_role, excluded_role)
+    return InjectedFault(
+        "P3",
+        f"mandatory {mandatory_role} excluded with {excluded_role}",
+        unsat_roles=(excluded_role,),
+        added_elements=(player, partner),
+    )
+
+
+def _inject_p4(schema: Schema, rng: random.Random) -> InjectedFault:
+    pool_size = rng.randint(1, 3)
+    player = _fresh(schema, "freqsrc")
+    valued = _fresh(schema, "valued")
+    schema.add_entity_type(player)
+    schema.add_entity_type(valued, [f"{valued}v{k}" for k in range(pool_size)])
+    _, role, partner_role = _fresh_fact(schema, "p4f", player, valued)
+    schema.add_frequency(role, pool_size + 1, pool_size + 2)
+    return InjectedFault(
+        "P4",
+        f"FC({pool_size + 1}-) on {role} vs {pool_size}-value pool",
+        unsat_roles=(role, partner_role),
+        added_elements=(player, valued),
+    )
+
+
+def _inject_p5(schema: Schema, rng: random.Random) -> InjectedFault:
+    pool_size = rng.randint(1, 2)
+    valued = _fresh(schema, "xsrc")
+    schema.add_entity_type(valued, [f"{valued}v{k}" for k in range(pool_size)])
+    roles = []
+    for _ in range(pool_size + 1):
+        partner = _fresh(schema, "xtgt")
+        schema.add_entity_type(partner)
+        _, role, _ = _fresh_fact(schema, "p5f", valued, partner)
+        roles.append(role)
+    schema.add_exclusion(*roles)
+    return InjectedFault(
+        "P5",
+        f"{len(roles)} excluded roles over {pool_size}-value pool",
+        unsat_roles=tuple(roles),
+        added_elements=(valued,),
+    )
+
+
+def _inject_p6(schema: Schema, rng: random.Random) -> InjectedFault:
+    left = _fresh(schema, "subl")
+    right = _fresh(schema, "subr")
+    schema.add_entity_type(left)
+    schema.add_entity_type(right)
+    _, first_a, first_b = _fresh_fact(schema, "p6f1", left, right)
+    _, second_a, second_b = _fresh_fact(schema, "p6f2", left, right)
+    schema.add_exclusion(first_a, second_a)
+    schema.add_subset((first_a, first_b), (second_a, second_b))
+    return InjectedFault(
+        "P6",
+        f"exclusion {first_a} X {second_a} vs predicate subset",
+        unsat_roles=(first_a, first_b),
+        added_elements=(left, right),
+    )
+
+
+def _inject_p7(schema: Schema, rng: random.Random) -> InjectedFault:
+    player = _fresh(schema, "uf")
+    partner = _fresh(schema, "ufp")
+    schema.add_entity_type(player)
+    schema.add_entity_type(partner)
+    _, role, _ = _fresh_fact(schema, "p7f", player, partner)
+    schema.add_uniqueness(role)
+    low = rng.randint(2, 4)
+    schema.add_frequency(role, low, low + 2)
+    return InjectedFault(
+        "P7",
+        f"uniqueness + FC({low}-) on {role}",
+        unsat_roles=(role,),
+        added_elements=(player, partner),
+    )
+
+
+def _inject_p8(schema: Schema, rng: random.Random) -> InjectedFault:
+    player = _fresh(schema, "ring")
+    schema.add_entity_type(player)
+    _, first_role, second_role = _fresh_fact(schema, "p8f", player, player)
+    combo = rng.choice(
+        [
+            (RingKind.SYMMETRIC, RingKind.ACYCLIC),
+            (RingKind.SYMMETRIC, RingKind.ASYMMETRIC),
+            (RingKind.SYMMETRIC, RingKind.INTRANSITIVE, RingKind.ANTISYMMETRIC),
+        ]
+    )
+    for kind in combo:
+        schema.add_ring(kind, first_role, second_role)
+    return InjectedFault(
+        "P8",
+        f"incompatible rings {tuple(kind.value for kind in combo)}",
+        unsat_roles=(first_role, second_role),
+        added_elements=(player,),
+    )
+
+
+def _inject_p9(schema: Schema, rng: random.Random) -> InjectedFault:
+    cycle = [_fresh(schema, f"loop{k}") for k in range(3)]
+    for name in cycle:
+        schema.add_entity_type(name)
+    for index, name in enumerate(cycle):
+        schema.add_subtype(name, cycle[(index + 1) % len(cycle)])
+    return InjectedFault(
+        "P9",
+        f"subtype loop {' < '.join(cycle)}",
+        unsat_types=tuple(cycle),
+        added_elements=tuple(cycle),
+    )
+
+
+def generate_faulty_schema(
+    config: GeneratorConfig, pattern_ids: tuple[str, ...]
+) -> tuple[Schema, list[InjectedFault]]:
+    """A clean-ish random schema with one fault per requested pattern."""
+    schema = generate_schema(config)
+    rng = random.Random(config.seed ^ 0x5EED)
+    faults = [inject_fault(schema, pattern_id, rng) for pattern_id in pattern_ids]
+    return schema, faults
+
+
+def clean_schema(config: GeneratorConfig) -> Schema:
+    """A random schema with conflict-prone constraint kinds disabled.
+
+    Used by scaling benchmarks that need large *satisfiable* inputs: no
+    exclusions, no frequencies above the pool sizes, no ring stacking.
+    """
+    quiet = GeneratorConfig(
+        num_types=config.num_types,
+        num_facts=config.num_facts,
+        subtype_probability=config.subtype_probability,
+        value_probability=0.0,
+        mandatory_probability=config.mandatory_probability,
+        uniqueness_probability=config.uniqueness_probability,
+        frequency_probability=0.0,
+        exclusion_probability=0.0,
+        setcomp_probability=0.0,
+        ring_probability=0.0,
+        seed=config.seed,
+    )
+    return generate_schema(quiet)

@@ -1,0 +1,67 @@
+"""Tests for the KB container and the high-level DL ORM reasoner."""
+
+from repro.dl import Atom, DlOrmReasoner, Exists, KnowledgeBase, Role, TOP
+from repro.orm import SchemaBuilder
+from repro.workloads.figures import build_figure
+
+
+class TestKnowledgeBase:
+    def test_add_and_len(self):
+        kb = KnowledgeBase()
+        kb.add(Atom("A"), Atom("B"), origin="test")
+        assert len(kb) == 1
+        assert kb.axioms[0].origin == "test"
+
+    def test_internalized_form(self):
+        kb = KnowledgeBase()
+        axiom = kb.add(Atom("A"), Atom("B"))
+        internal = axiom.internalized()
+        # NNF of ¬A ⊔ B
+        assert "¬A" in str(internal) and "B" in str(internal)
+
+    def test_add_disjoint(self):
+        kb = KnowledgeBase()
+        kb.add_disjoint(Atom("A"), Atom("B"))
+        assert "¬B" in str(kb.axioms[0].sup)
+
+    def test_pretty_lists_axioms(self):
+        kb = KnowledgeBase()
+        kb.add(Atom("A"), Exists(Role("R"), TOP), origin="mandatory")
+        text = kb.pretty()
+        assert "⊑" in text and "mandatory" in text
+
+
+class TestDlOrmReasoner:
+    def test_all_elements_covers_everything(self):
+        schema = build_figure("fig4a_exclusion_mandatory")
+        reasoner = DlOrmReasoner(schema)
+        verdicts = reasoner.all_elements()
+        names = {verdict.element for verdict in verdicts}
+        assert names == set(schema.object_type_names()) | set(schema.role_names())
+
+    def test_budget_exhaustion_yields_none(self):
+        schema = build_figure("fig4b_double_mandatory")
+        tiny = DlOrmReasoner(schema, max_rule_applications=2)
+        verdict = tiny.type_satisfiable("A")
+        assert verdict.satisfiable is None
+        assert "budget" in verdict.reason
+
+    def test_incomplete_mapping_notes_reason(self):
+        schema = (
+            SchemaBuilder()
+            .entity("A", values=["x"])
+            .entity("B")
+            .fact("f", ("r1", "A"), ("r2", "B"))
+            .build()
+        )
+        reasoner = DlOrmReasoner(schema)
+        assert not reasoner.mapping_complete
+        verdict = reasoner.role_satisfiable("r1")
+        assert verdict.satisfiable is True
+        assert "value constraint" in verdict.reason
+
+    def test_unsatisfiable_elements_sorted_consistently(self):
+        schema = build_figure("fig4c_subtype_exclusion")
+        first = DlOrmReasoner(schema).unsatisfiable_elements()
+        second = DlOrmReasoner(schema).unsatisfiable_elements()
+        assert first == second

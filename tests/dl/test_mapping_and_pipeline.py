@@ -1,0 +1,154 @@
+"""Tests for the ORM → DL mapping and the end-to-end DL pipeline."""
+
+import pytest
+
+from repro.dl import DlOrmReasoner, map_schema_to_dl
+from repro.exceptions import MappingError
+from repro.orm import SchemaBuilder
+from repro.reasoner import BoundedModelFinder
+from repro.workloads.figures import build_figure
+
+
+class TestMappingCoverage:
+    def test_mappable_fragment_is_complete(self):
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B")
+            .fact("f", ("r1", "A"), ("r2", "B"))
+            .fact("g", ("r3", "A"), ("r4", "B"))
+            .mandatory("r1")
+            .unique("r1")
+            .frequency("r2", 2, 5)
+            .exclusion("r1", "r3")
+            .subset("r1", "r3")
+            .equality("r1", "r3")
+            .exclusive_types("A", "B")
+            .build()
+        )
+        report = map_schema_to_dl(schema)
+        assert report.is_complete
+        assert len(report.kb) > 0
+
+    @pytest.mark.parametrize(
+        "build,unmapped_hint",
+        [
+            (
+                lambda b: b.entity("V", values=["x"]),
+                "value constraint",
+            ),
+            (
+                lambda b: b.entities("A").fact("f", ("p", "A"), ("q", "A")).ring(
+                    "ir", "p", "q"
+                ),
+                "ring constraint",
+            ),
+            (
+                lambda b: b.entities("A", "B")
+                .fact("f", ("r1", "A"), ("r2", "B"))
+                .frequency(("r1", "r2"), 2),
+                "spanning frequency",
+            ),
+            (
+                lambda b: b.entities("A", "B")
+                .fact("f", ("r1", "A"), ("r2", "B"))
+                .fact("g", ("r3", "A"), ("r4", "B"))
+                .exclusion(("r1", "r2"), ("r3", "r4")),
+                "predicate-level exclusion",
+            ),
+            (
+                lambda b: b.entities("A", "B")
+                .fact("f", ("r1", "A"), ("r2", "B"))
+                .fact("g", ("r3", "A"), ("r4", "B"))
+                .subset(("r1", "r2"), ("r3", "r4")),
+                "predicate-level subset",
+            ),
+        ],
+    )
+    def test_footnote10_constructs_are_reported(self, build, unmapped_hint):
+        builder = SchemaBuilder()
+        build(builder)
+        report = map_schema_to_dl(builder.build())
+        assert not report.is_complete
+        assert any(unmapped_hint in entry for entry in report.unmapped)
+
+    def test_strict_mode_raises(self):
+        schema = SchemaBuilder().entity("V", values=["x"]).build()
+        with pytest.raises(MappingError):
+            map_schema_to_dl(schema, strict=True)
+
+    def test_axioms_carry_origins(self):
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B")
+            .subtype("B", "A")
+            .fact("f", ("r1", "A"), ("r2", "B"))
+            .mandatory("r1")
+            .build()
+        )
+        report = map_schema_to_dl(schema)
+        origins = [axiom.origin for axiom in report.kb.axioms]
+        assert any("subtype" in origin for origin in origins)
+        assert any("mandatory" in origin for origin in origins)
+        assert any("domain of f" in origin for origin in origins)
+
+
+class TestPipelineOnFigures:
+    @pytest.mark.parametrize(
+        "figure,unsat_elements",
+        [
+            ("fig1_phd_student", {"PhDStudent"}),
+            ("fig2_no_common_supertype", {"C"}),
+            ("fig3_exclusive_supertypes", {"D"}),
+            ("fig4a_exclusion_mandatory", {"r3", "r4"}),
+            ("fig4b_double_mandatory", {"A", "r1", "r2", "r3", "r4"}),
+            ("fig4c_subtype_exclusion", {"r3", "r4", "r5", "r6"}),
+            ("fig10_uniqueness_frequency", {"r1", "r2"}),
+            ("fig14_rule6_satisfiable", set()),
+        ],
+    )
+    def test_dl_verdicts_match_paper(self, figure, unsat_elements):
+        reasoner = DlOrmReasoner(build_figure(figure))
+        assert reasoner.mapping_complete
+        assert set(reasoner.unsatisfiable_elements()) == unsat_elements
+
+    def test_unmappable_figures_still_answer_mapped_questions(self):
+        # fig5 has a value constraint (unmappable); the DL view cannot see
+        # the Pattern 4 conflict but must not crash or guess.
+        reasoner = DlOrmReasoner(build_figure("fig5_frequency_value"))
+        assert not reasoner.mapping_complete
+        verdict = reasoner.role_satisfiable("r1")
+        assert verdict.satisfiable is True  # sound for the mapped fragment only
+        assert "mapping incomplete" in verdict.reason
+
+
+class TestCrossValidationWithBoundedFinder:
+    @pytest.mark.parametrize(
+        "figure",
+        [
+            "fig1_phd_student",
+            "fig2_no_common_supertype",
+            "fig4a_exclusion_mandatory",
+            "fig4b_double_mandatory",
+            "fig10_uniqueness_frequency",
+            "fig14_rule6_satisfiable",
+        ],
+    )
+    def test_finite_model_implies_tableau_sat(self, figure):
+        """Theorem-level direction: a finite model is a model, so whenever
+        the bounded finder populates an element, the tableau must agree."""
+        schema = build_figure(figure)
+        dl = DlOrmReasoner(schema)
+        finder = BoundedModelFinder(schema)
+        for type_name in schema.object_type_names():
+            if finder.type_satisfiable(type_name, max_domain=3).is_sat:
+                verdict = dl.type_satisfiable(type_name)
+                assert verdict.satisfiable is True, type_name
+        for role_name in schema.role_names():
+            if finder.role_satisfiable(role_name, max_domain=4).is_sat:
+                verdict = dl.role_satisfiable(role_name)
+                assert verdict.satisfiable is True, role_name
+
+    def test_unknown_elements_answered_none(self):
+        reasoner = DlOrmReasoner(build_figure("fig1_phd_student"))
+        assert reasoner.type_satisfiable("Martian").satisfiable is None
+        assert reasoner.role_satisfiable("r99").satisfiable is None

@@ -1,0 +1,90 @@
+"""Unit tests for DL concept syntax and NNF conversion."""
+
+import pytest
+
+from repro.dl import (
+    BOTTOM,
+    TOP,
+    And,
+    AtLeast,
+    AtMost,
+    Atom,
+    Exists,
+    Forall,
+    Not,
+    Or,
+    Role,
+    inv,
+    negate,
+    nnf,
+    subconcepts,
+)
+
+A, B = Atom("A"), Atom("B")
+R = Role("R")
+
+
+class TestRoles:
+    def test_inversion_is_involutive(self):
+        assert inv(inv(R)) == R
+        assert inv(R) != R
+
+    def test_str(self):
+        assert str(R) == "R"
+        assert str(inv(R)) == "R^-"
+
+
+class TestOperators:
+    def test_python_operators(self):
+        assert (A & B) == And(A, B)
+        assert (A | B) == Or(A, B)
+        assert (~A) == Not(A)
+
+    def test_cardinality_validation(self):
+        with pytest.raises(ValueError):
+            AtLeast(-1, R)
+        with pytest.raises(ValueError):
+            AtMost(-2, R)
+
+
+class TestNnf:
+    def test_atoms_unchanged(self):
+        assert nnf(A) == A
+        assert nnf(Not(A)) == Not(A)
+        assert nnf(TOP) == TOP
+
+    def test_double_negation(self):
+        assert nnf(Not(Not(A))) == A
+
+    def test_de_morgan(self):
+        assert nnf(Not(And(A, B))) == Or(Not(A), Not(B))
+        assert nnf(Not(Or(A, B))) == And(Not(A), Not(B))
+
+    def test_quantifier_duality(self):
+        assert nnf(Not(Exists(R, A))) == Forall(R, Not(A))
+        assert nnf(Not(Forall(R, A))) == Exists(R, Not(A))
+
+    def test_cardinality_duality(self):
+        assert nnf(Not(AtLeast(2, R))) == AtMost(1, R)
+        assert nnf(Not(AtMost(2, R))) == AtLeast(3, R)
+        assert nnf(Not(AtLeast(0, R))) == BOTTOM
+
+    def test_top_bottom_negation(self):
+        assert nnf(Not(TOP)) == BOTTOM
+        assert nnf(Not(BOTTOM)) == TOP
+
+    def test_nested(self):
+        concept = Not(And(Exists(R, A), Forall(R, Or(A, B))))
+        result = nnf(concept)
+        assert result == Or(Forall(R, Not(A)), Exists(R, And(Not(A), Not(B))))
+
+    def test_negate_helper(self):
+        assert negate(A) == Not(A)
+        assert negate(Not(A)) == A
+
+
+class TestSubconcepts:
+    def test_collects_all(self):
+        concept = And(Exists(R, A), Not(B))
+        collected = set(subconcepts(concept))
+        assert {concept, Exists(R, A), A, Not(B), B} <= collected

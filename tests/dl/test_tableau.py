@@ -1,0 +1,158 @@
+"""Tests for the ALCNI tableau reasoner on classic DL benchmarks."""
+
+import pytest
+
+from repro.dl import (
+    TOP,
+    And,
+    AtLeast,
+    AtMost,
+    Atom,
+    Exists,
+    Forall,
+    KnowledgeBase,
+    Not,
+    Or,
+    Role,
+    TableauReasoner,
+    inv,
+)
+from repro.exceptions import BudgetExceededError
+
+A, B, C = Atom("A"), Atom("B"), Atom("C")
+R, S = Role("R"), Role("S")
+
+
+def reasoner(kb=None, budget=100_000):
+    return TableauReasoner(kb or KnowledgeBase(), max_rule_applications=budget)
+
+
+class TestPropositional:
+    def test_atom_satisfiable(self):
+        assert reasoner().is_satisfiable(A)
+
+    def test_contradiction(self):
+        assert not reasoner().is_satisfiable(And(A, Not(A)))
+
+    def test_disjunction_explores_both_branches(self):
+        assert reasoner().is_satisfiable(And(Or(A, B), Not(A)))
+        assert not reasoner().is_satisfiable(And(Or(A, A), Not(A)))
+
+    def test_deep_nesting(self):
+        concept = And(Or(A, B), And(Or(Not(A), C), Or(Not(B), C)))
+        assert reasoner().is_satisfiable(And(concept, C))
+        assert not reasoner().is_satisfiable(And(concept, Not(C)))
+
+
+class TestQuantifiers:
+    def test_exists_forall_clash(self):
+        assert not reasoner().is_satisfiable(And(Exists(R, A), Forall(R, Not(A))))
+
+    def test_exists_forall_compatible(self):
+        assert reasoner().is_satisfiable(And(Exists(R, A), Forall(R, A)))
+
+    def test_forall_vacuous(self):
+        assert reasoner().is_satisfiable(Forall(R, And(A, Not(A))))
+
+    def test_role_separation(self):
+        # different roles do not interact
+        assert reasoner().is_satisfiable(And(Exists(R, A), Forall(S, Not(A))))
+
+    def test_nested_quantifiers(self):
+        concept = Exists(R, And(A, Exists(S, B)))
+        assert reasoner().is_satisfiable(concept)
+        blocked = And(concept, Forall(R, Forall(S, Not(B))))
+        assert not reasoner().is_satisfiable(blocked)
+
+
+class TestNumberRestrictions:
+    def test_atleast_atmost_conflict(self):
+        assert not reasoner().is_satisfiable(And(AtLeast(2, R), AtMost(1, R)))
+
+    def test_atleast_atmost_boundary(self):
+        assert reasoner().is_satisfiable(And(AtLeast(2, R), AtMost(2, R)))
+
+    def test_merge_resolves_exists_pair(self):
+        kb = KnowledgeBase()
+        kb.add(TOP, AtMost(1, R))
+        concept = And(Exists(R, A), Exists(R, B))
+        assert reasoner(kb).is_satisfiable(concept)  # merged successor is A ⊓ B
+
+    def test_merge_clash_on_disjoint_fillers(self):
+        kb = KnowledgeBase()
+        kb.add(TOP, AtMost(1, R))
+        kb.add_disjoint(A, B)
+        concept = And(Exists(R, A), Exists(R, B))
+        assert not reasoner(kb).is_satisfiable(concept)
+
+    def test_atleast_zero_is_trivial(self):
+        assert reasoner().is_satisfiable(AtLeast(0, R))
+
+
+class TestInverseRoles:
+    def test_inverse_propagation(self):
+        kb = KnowledgeBase()
+        kb.add(A, Exists(R, B))
+        kb.add(B, Forall(inv(R), Not(A)))
+        assert not reasoner(kb).is_satisfiable(A)
+
+    def test_inverse_satisfiable(self):
+        kb = KnowledgeBase()
+        kb.add(A, Exists(R, B))
+        kb.add(B, Forall(inv(R), C))
+        assert reasoner(kb).is_satisfiable(A)  # root just also becomes C
+
+    def test_exists_inverse(self):
+        assert reasoner().is_satisfiable(Exists(inv(R), A))
+
+
+class TestTBoxAndBlocking:
+    def test_gci_cycle_terminates_via_blocking(self):
+        kb = KnowledgeBase()
+        kb.add(A, Exists(R, A))
+        result = reasoner(kb).check(A)
+        assert result.satisfiable is True
+
+    def test_unsatisfiable_gci_cycle(self):
+        kb = KnowledgeBase()
+        kb.add(A, Exists(R, A))
+        kb.add(A, Not(A))  # A ⊑ ¬A makes A empty
+        assert not reasoner(kb).is_satisfiable(A)
+
+    def test_subsumption_queries(self):
+        kb = KnowledgeBase()
+        kb.add(A, B)
+        kb.add(B, C)
+        r = reasoner(kb)
+        assert r.subsumes(A, C)
+        assert not r.subsumes(C, A)
+
+    def test_global_inconsistency_makes_everything_unsat(self):
+        kb = KnowledgeBase()
+        kb.add(TOP, A)
+        kb.add(TOP, Not(A))
+        assert not reasoner(kb).is_satisfiable(TOP)
+
+    def test_blocking_with_inverse_chain(self):
+        # infinite R-chain forced by GCIs with inverse constraints: the
+        # pairwise-blocked tableau must still terminate and answer.
+        kb = KnowledgeBase()
+        kb.add(A, And(Exists(R, A), Forall(inv(R), A)))
+        result = reasoner(kb).check(A)
+        assert result.satisfiable is True
+        assert result.nodes_created < 100
+
+    def test_budget_returns_none(self):
+        kb = KnowledgeBase()
+        kb.add(A, Exists(R, A))
+        tiny = reasoner(kb, budget=3)
+        result = tiny.check(A)
+        assert result.satisfiable is None
+        with pytest.raises(BudgetExceededError):
+            tiny.is_satisfiable(A)
+
+    def test_statistics(self):
+        result = reasoner().check(And(Or(A, B), Exists(R, A)))
+        assert result.satisfiable is True
+        assert result.nodes_created >= 1
+        assert result.rule_applications > 0

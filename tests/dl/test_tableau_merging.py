@@ -1,0 +1,94 @@
+"""Targeted tests for the delicate tableau paths: merging a successor into
+the shared node's *predecessor* (the inverse-role yo-yo case) and blocked
+re-expansion after pruning."""
+
+from repro.dl import (
+    And,
+    AtLeast,
+    AtMost,
+    Atom,
+    Exists,
+    Forall,
+    KnowledgeBase,
+    Not,
+    Role,
+    TableauReasoner,
+    inv,
+)
+
+A, B = Atom("A"), Atom("B")
+R = Role("R")
+
+
+def reasoner(kb=None):
+    return TableauReasoner(kb or KnowledgeBase())
+
+
+class TestPredecessorMerge:
+    def test_functional_inverse_forces_predecessor_identity_sat(self):
+        # x -R-> y, y has at most one R-predecessor and needs one in A:
+        # the fresh A-witness must merge into x, so x becomes A.
+        concept = Exists(R, And(AtMost(1, inv(R)), Exists(inv(R), A)))
+        assert reasoner().is_satisfiable(concept)
+
+    def test_functional_inverse_forces_predecessor_identity_unsat(self):
+        # same, but x is ¬A: the forced merge clashes.
+        concept = And(
+            Not(A), Exists(R, And(AtMost(1, inv(R)), Exists(inv(R), A)))
+        )
+        assert not reasoner().is_satisfiable(concept)
+
+    def test_merge_transfers_forall_obligations(self):
+        # the merged-away witness carries a ∀ that must keep biting after
+        # the merge: y's A-predecessor must see all its R-successors in B,
+        # and after merging into x that includes y itself.
+        inner = And(AtMost(1, inv(R)), And(Exists(inv(R), Forall(R, B)), Not(B)))
+        concept = Exists(R, inner)
+        # x -R-> y; y's sole R-predecessor is x; the ∃R⁻.∀R.B witness merges
+        # into x, so x: ∀R.B pushes B onto y — but y is ¬B: unsatisfiable.
+        assert not reasoner().is_satisfiable(concept)
+
+    def test_sibling_merge_combines_labels(self):
+        kb = KnowledgeBase()
+        kb.add(Atom("Root"), And(Exists(R, A), And(Exists(R, B), AtMost(1, R))))
+        kb.add_disjoint(A, B)
+        assert not reasoner(kb).is_satisfiable(Atom("Root"))
+
+    def test_sibling_merge_satisfiable_when_compatible(self):
+        kb = KnowledgeBase()
+        kb.add(Atom("Root"), And(Exists(R, A), And(Exists(R, B), AtMost(1, R))))
+        assert reasoner(kb).is_satisfiable(Atom("Root"))
+
+
+class TestCardinalityInteractions:
+    def test_atleast_respects_existing_inequalities(self):
+        # ≥3 R with ≤2 R clashes even after all merge attempts.
+        assert not reasoner().is_satisfiable(And(AtLeast(3, R), AtMost(2, R)))
+
+    def test_atleast_with_exists_and_cap(self):
+        # ∃R.A and ∃R.B and ≥2 R and ≤2 R with A,B disjoint: the two
+        # ∃-witnesses must be the two counted successors.
+        kb = KnowledgeBase()
+        kb.add_disjoint(A, B)
+        concept = And(And(Exists(R, A), Exists(R, B)), And(AtLeast(2, R), AtMost(2, R)))
+        assert reasoner(kb).is_satisfiable(concept)
+
+    def test_cap_one_with_disjoint_exists_unsat(self):
+        kb = KnowledgeBase()
+        kb.add_disjoint(A, B)
+        concept = And(And(Exists(R, A), Exists(R, B)), AtMost(1, R))
+        assert not reasoner(kb).is_satisfiable(concept)
+
+    def test_inverse_counting(self):
+        # ≥2 R⁻ then each predecessor... as a root concept: two fresh R⁻
+        # successors; fine.
+        assert reasoner().is_satisfiable(AtLeast(2, inv(R)))
+
+    def test_deep_merge_then_reexpansion(self):
+        # after a merge prunes a subtree, the ∃ that created it must re-fire
+        # on the merge target; satisfiable overall.
+        kb = KnowledgeBase()
+        kb.add(A, Exists(R, Exists(R, A)))
+        kb.add(A, AtMost(1, R))
+        result = reasoner(kb).check(A)
+        assert result.satisfiable is True

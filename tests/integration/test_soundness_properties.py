@@ -1,0 +1,194 @@
+"""Property-based tests of the paper's central soundness claim.
+
+The nine patterns are *sound*: whenever a pattern flags a role or object
+type, no model of the schema populates that element.  We state this as an
+executable property over randomly generated schemas (and over every
+injected-fault schema), using the SAT-based bounded model finder as the
+refuter: if the finder can populate a flagged element, the pattern lied.
+
+The finder's witnesses are re-validated against the independent ground-truth
+checker, so a property failure here genuinely means an unsound pattern (or a
+buggy encoding) rather than a flaky oracle.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.patterns import PATTERN_IDS, PatternEngine
+from repro.population import is_model, random_population
+from repro.reasoner import BoundedModelFinder, find_model
+from repro.workloads import GeneratorConfig, clean_schema, generate_schema, inject_fault
+
+ENGINE = PatternEngine()
+EXTENDED_ENGINE = PatternEngine(include_extensions=True)
+
+small_configs = st.builds(
+    GeneratorConfig,
+    num_types=st.integers(min_value=2, max_value=5),
+    num_facts=st.integers(min_value=1, max_value=3),
+    subtype_probability=st.sampled_from([0.0, 0.3, 0.6]),
+    value_probability=st.sampled_from([0.0, 0.4]),
+    exclusion_probability=st.sampled_from([0.0, 0.5]),
+    frequency_probability=st.sampled_from([0.0, 0.4]),
+    ring_probability=st.sampled_from([0.0, 0.5]),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(config=small_configs)
+def test_flagged_elements_are_never_populatable(config):
+    """Pattern fires on element => the bounded finder cannot populate it.
+
+    Joint violations (Pattern 5) assert only that the flagged roles cannot
+    all be populated together, so they get the joint-goal refutation.
+    """
+    schema = generate_schema(config)
+    report = ENGINE.check(schema)
+    finder = BoundedModelFinder(schema)
+    for violation in report.violations[:4]:
+        if violation.joint:
+            verdict = finder.roles_satisfiable(violation.roles, max_domain=3)
+            assert verdict.status != "sat", (
+                f"pattern unsound: joint roles {violation.roles} flagged but "
+                f"co-populatable by {verdict.witness and verdict.witness.describe()}"
+            )
+            continue
+        for role_name in violation.roles[:3]:
+            verdict = finder.role_satisfiable(role_name, max_domain=3)
+            assert verdict.status != "sat", (
+                f"pattern unsound: role {role_name} flagged but populatable "
+                f"by {verdict.witness and verdict.witness.describe()}"
+            )
+        for type_name in violation.types[:3]:
+            verdict = finder.type_satisfiable(type_name, max_domain=3)
+            assert verdict.status != "sat", (
+                f"pattern unsound: type {type_name} flagged but populatable "
+                f"by {verdict.witness and verdict.witness.describe()}"
+            )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    pattern_id=st.sampled_from(PATTERN_IDS),
+    seed=st.integers(min_value=0, max_value=1_000),
+)
+def test_injected_faults_are_semantically_unsatisfiable(pattern_id, seed):
+    """Every planted contradiction is a real one, not just pattern-visible."""
+    schema = clean_schema(GeneratorConfig(num_types=4, num_facts=2, seed=seed))
+    fault = inject_fault(schema, pattern_id, random.Random(seed))
+    finder = BoundedModelFinder(schema)
+    if pattern_id == "P5":
+        # Pattern 5 plants a *joint* conflict: the excluded roles cannot all
+        # be populated in one model (each may be fine alone).
+        assert finder.roles_satisfiable(fault.unsat_roles, max_domain=3).status != "sat"
+        return
+    for role_name in fault.unsat_roles[:2]:
+        assert finder.role_satisfiable(role_name, max_domain=3).status != "sat"
+    for type_name in fault.unsat_types[:2]:
+        assert finder.type_satisfiable(type_name, max_domain=3).status != "sat"
+
+
+@settings(max_examples=25, deadline=None)
+@given(config=small_configs)
+def test_strong_witness_implies_silent_patterns_on_roles(config):
+    """Contrapositive of soundness: a strong model refutes role flags.
+
+    If the finder produces a model populating every role, no pattern may
+    have flagged any role.  (Type flags can still be legitimate: a type that
+    plays no role may be unpopulatable without blocking strong
+    satisfiability.)
+    """
+    schema = generate_schema(config)
+    verdict = BoundedModelFinder(schema).strong(max_domain=3)
+    if verdict.is_sat:
+        report = ENGINE.check(schema)
+        assert report.unsatisfiable_roles() == (), (
+            f"pattern flagged roles {report.unsatisfiable_roles()} but the "
+            f"finder populated everything: {verdict.witness.describe()}"
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(config=small_configs)
+def test_extension_patterns_are_sound_too(config):
+    """The Sec. 5 extensions obey the same soundness contract as the nine."""
+    schema = generate_schema(config)
+    report = EXTENDED_ENGINE.check(schema)
+    finder = BoundedModelFinder(schema)
+    extension_violations = [
+        violation
+        for violation in report.violations
+        if violation.pattern_id.startswith("X")
+    ][:3]
+    for violation in extension_violations:
+        for role_name in violation.roles[:2]:
+            assert finder.role_satisfiable(role_name, max_domain=3).status != "sat"
+        for type_name in violation.types[:2]:
+            assert finder.type_satisfiable(type_name, max_domain=3).status != "sat"
+
+
+@settings(max_examples=15, deadline=None)
+@given(config=small_configs)
+def test_propagated_elements_are_sound(config):
+    """Everything propagation derives is genuinely unpopulatable."""
+    from repro.patterns import propagate
+
+    schema = generate_schema(config)
+    report = ENGINE.check(schema)
+    result = propagate(schema, report)
+    finder = BoundedModelFinder(schema)
+    derived = result.derived[:4]
+    for item in derived:
+        if item.kind == "role":
+            verdict = finder.role_satisfiable(item.element, max_domain=3)
+        else:
+            verdict = finder.type_satisfiable(item.element, max_domain=3)
+        assert verdict.status != "sat", (item, verdict.witness and verdict.witness.describe())
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    well_typed=st.booleans(),
+)
+def test_checker_never_crashes_on_random_populations(seed, well_typed):
+    """Fuzz: arbitrary populations must check cleanly (messages render)."""
+    rng = random.Random(seed)
+    schema = generate_schema(GeneratorConfig(num_types=4, num_facts=3, seed=seed))
+    population = random_population(schema, rng, well_typed=well_typed)
+    from repro.population import check_population
+
+    for violation in check_population(schema, population):
+        assert violation.code and violation.message
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=500))
+def test_sat_and_bruteforce_engines_agree(seed):
+    """The two complete engines agree on random tiny schemas."""
+    from hypothesis import assume
+
+    from repro.exceptions import BudgetExceededError
+
+    config = GeneratorConfig(
+        num_types=2,
+        num_facts=1,
+        subtype_probability=0.4,
+        value_probability=0.3,
+        max_values=2,
+        exclusion_probability=0.0,
+        seed=seed,
+    )
+    schema = generate_schema(config)
+    sat = BoundedModelFinder(schema).strong(max_domain=2)
+    try:
+        brute = find_model(schema, num_abstract=2, require_all_roles=True)
+    except BudgetExceededError:
+        assume(False)  # drawn schema too large for exhaustive enumeration
+        return
+    assert (sat.status == "sat") == (brute is not None)
+    if brute is not None:
+        assert is_model(schema, brute)

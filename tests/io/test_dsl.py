@@ -1,0 +1,128 @@
+"""Tests for the ORM text DSL: parsing, writing, round-trips."""
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.io import parse_schema, write_schema
+from repro.orm import RingKind, SchemaBuilder
+from repro.workloads.figures import FIGURES, build_figure
+
+SAMPLE = """
+schema staff "people and jobs"
+
+entity Person
+entity Student
+entity Company
+value Grade {a, b, c}
+subtype Student < Person
+
+fact works_for (w1: Person, w2: Company) "... works for ..."
+fact manages (m1: Person, m2: Company)
+fact graded (g1: Student, g2: Grade)
+
+mandatory w1
+mandatory w1 | m1
+unique w1
+frequency g1 2..5
+frequency w2 2..
+exclusion w1 | m1
+exclusive Student | Company
+subset w1 < m1
+equality w1 = m1
+"""
+
+
+class TestParsing:
+    def test_sample_parses(self):
+        schema = parse_schema(SAMPLE)
+        assert schema.metadata.name == "staff"
+        assert schema.metadata.description == "people and jobs"
+        assert schema.stats() == {
+            "object_types": 4,
+            "fact_types": 3,
+            "roles": 6,
+            "subtype_links": 1,
+            "constraints": 9,
+        }
+
+    def test_value_type_and_reading(self):
+        schema = parse_schema(SAMPLE)
+        assert schema.value_count("Grade") == 3
+        assert schema.fact_type("works_for").reading == "... works for ..."
+
+    def test_comments_and_blank_lines_ignored(self):
+        schema = parse_schema("# comment\n\nentity A  # trailing\n")
+        assert schema.object_type_names() == ["A"]
+
+    def test_sequences(self):
+        text = (
+            "entity A\nentity B\n"
+            "fact f (r1: A, r2: B)\nfact g (r3: A, r4: B)\n"
+            "exclusion (r1, r2) | (r3, r4)\n"
+            "subset (r1, r2) < (r3, r4)\n"
+        )
+        schema = parse_schema(text)
+        assert schema.stats()["constraints"] == 2
+
+    def test_ring(self):
+        text = "entity A\nfact rel (p: A, q: A)\nring ac (p, q)\nring ir (p, q)\n"
+        schema = parse_schema(text)
+        kinds = {c.kind for c in schema.ring_constraints_on(("p", "q"))}
+        assert kinds == {RingKind.ACYCLIC, RingKind.IRREFLEXIVE}
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "squiggle A",
+            "entity",
+            "fact f (r1 A, r2: B)",
+            "frequency r1 x..y",
+            "subset r1 r3",
+            "equality r1",
+            "ring zz (p, q)",
+            "exclusion (r1, r2 | r3",
+        ],
+    )
+    def test_bad_statements_raise(self, bad):
+        prefix = "entity A\nentity B\nfact f (r1: A, r2: B)\nfact g (r3: A, r4: B)\n"
+        with pytest.raises(ParseError):
+            parse_schema(prefix + bad + "\n")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(ParseError, match="line 3"):
+            parse_schema("entity A\nentity B\nsubtype A < Martian\n")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(FIGURES))
+    def test_every_figure_round_trips(self, name):
+        original = build_figure(name)
+        text = write_schema(original)
+        parsed = parse_schema(text)
+        assert parsed.stats() == original.stats()
+        assert write_schema(parsed) == text  # fixed point after one trip
+
+    def test_round_trip_preserves_semantics(self):
+        from repro.patterns import PatternEngine
+
+        original = build_figure("fig6_value_exclusion_frequency")
+        parsed = parse_schema(write_schema(original))
+        engine = PatternEngine()
+        assert sorted(engine.check(parsed).by_pattern()) == sorted(
+            engine.check(original).by_pattern()
+        )
+
+    def test_builder_schema_round_trips(self):
+        schema = (
+            SchemaBuilder("rt", "desc")
+            .entities("A", "B")
+            .fact("f", ("r1", "A"), ("r2", "B"))
+            .mandatory("r1")
+            .frequency("r2", 2, None)
+            .build()
+        )
+        parsed = parse_schema(write_schema(schema))
+        assert parsed.metadata.name == "rt"
+        assert parsed.metadata.description == "desc"
+        assert len(parsed.frequencies_on("r2")) == 1
+        assert parsed.frequencies_on("r2")[0].max is None

@@ -1,0 +1,33 @@
+"""The shipped ``examples/schemas/*.orm`` files must stay in sync.
+
+Each file is the DSL rendering of a paper figure; parsing it must yield a
+schema with the same pattern verdict as the programmatic figure, and the
+file must be regenerable byte-for-byte from the figure constructors.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.io import parse_schema, write_schema
+from repro.patterns import PatternEngine
+from repro.workloads.figures import EXPECTATIONS, FIGURES, build_figure
+
+SCHEMAS_DIR = Path(__file__).resolve().parents[2] / "examples" / "schemas"
+ENGINE = PatternEngine()
+
+
+@pytest.mark.parametrize("name", sorted(FIGURES))
+def test_schema_file_exists_and_matches(name):
+    path = SCHEMAS_DIR / f"{name}.orm"
+    assert path.exists(), f"run the export in examples/schemas (missing {path.name})"
+    parsed = parse_schema(path.read_text())
+    expectation = EXPECTATIONS[name]
+    fired = tuple(sorted(ENGINE.check(parsed).by_pattern()))
+    assert fired == tuple(sorted(expectation.patterns))
+
+
+@pytest.mark.parametrize("name", sorted(FIGURES))
+def test_schema_file_is_regenerable(name):
+    path = SCHEMAS_DIR / f"{name}.orm"
+    assert path.read_text() == write_schema(build_figure(name))

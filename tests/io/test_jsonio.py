@@ -1,0 +1,38 @@
+"""Tests for JSON schema serialization."""
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.io import dumps, loads, schema_from_dict, schema_to_dict
+from repro.workloads.figures import FIGURES, build_figure
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(FIGURES))
+    def test_every_figure_round_trips(self, name):
+        original = build_figure(name)
+        rebuilt = loads(dumps(original))
+        assert rebuilt.stats() == original.stats()
+        assert schema_to_dict(rebuilt) == schema_to_dict(original)
+
+    def test_labels_preserved(self):
+        original = build_figure("fig1_phd_student")
+        rebuilt = loads(dumps(original))
+        labels = [c.label for c in rebuilt.constraints()]
+        assert "x_student_employee" in labels
+
+
+class TestErrors:
+    def test_invalid_json(self):
+        with pytest.raises(ParseError, match="invalid JSON"):
+            loads("{nope")
+
+    def test_unknown_constraint_kind(self):
+        data = schema_to_dict(build_figure("fig1_phd_student"))
+        data["constraints"][0]["kind"] = "martian"
+        with pytest.raises(ParseError, match="unknown constraint kind"):
+            schema_from_dict(data)
+
+    def test_malformed_structure(self):
+        with pytest.raises(ParseError, match="malformed"):
+            schema_from_dict({"fact_types": [{"name": "f"}]})

@@ -1,0 +1,87 @@
+"""Tests for the fluent builder and the pseudo-NL verbalizer."""
+
+import pytest
+
+from repro.orm import RingKind, SchemaBuilder
+from repro.orm.verbalize import verbalize_constraint, verbalize_fact_type, verbalize_schema
+
+
+@pytest.fixture
+def built():
+    return (
+        SchemaBuilder("demo", "demo schema")
+        .entities("Person", "Company")
+        .entity("Grade", values=["a", "b"])
+        .fact("works_for", ("r1", "Person"), ("r2", "Company"), reading="... works for ...")
+        .fact("mentors", ("m1", "Person"), ("m2", "Person"))
+        .mandatory("r1")
+        .unique("r1")
+        .frequency("r2", 2, 5)
+        .exclusion("r1", "m1")
+        .ring(RingKind.IRREFLEXIVE, "m1", "m2")
+        .annotate("figure", "demo")
+        .build()
+    )
+
+
+class TestBuilder:
+    def test_builds_expected_elements(self, built):
+        assert built.stats() == {
+            "object_types": 3,
+            "fact_types": 2,
+            "roles": 4,
+            "subtype_links": 0,
+            "constraints": 5,
+        }
+
+    def test_metadata(self, built):
+        assert built.metadata.name == "demo"
+        assert built.metadata.annotations["figure"] == "demo"
+
+    def test_subtype_and_settype_constraints(self):
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B", "C")
+            .subtype("B", "A")
+            .subtype("C", "A")
+            .exclusive_types("B", "C")
+            .fact("f", ("r1", "A"), ("r2", "B"))
+            .fact("g", ("s1", "A"), ("s2", "B"))
+            .subset("r1", "s1")
+            .equality(("r1", "r2"), ("s1", "s2"))
+            .build()
+        )
+        assert schema.stats()["constraints"] == 3
+        assert schema.is_subtype_of("B", "A")
+
+
+class TestVerbalizer:
+    def test_fact_type_reading_is_used(self, built):
+        sentence = verbalize_fact_type(built.fact_type("works_for"))
+        assert sentence == "Person works for Company."
+
+    def test_fact_type_without_reading(self, built):
+        sentence = verbalize_fact_type(built.fact_type("mentors"))
+        assert "Person mentors Person" in sentence
+
+    def test_every_constraint_verbalizes(self, built):
+        for constraint in built.constraints():
+            sentence = verbalize_constraint(built, constraint)
+            assert sentence.endswith(".")
+            assert len(sentence) > 10
+
+    def test_whole_schema_lines(self, built):
+        lines = verbalize_schema(built)
+        # 2 facts + 1 value constraint + 5 constraints
+        assert len(lines) == 8
+        assert any("possible values of Grade" in line for line in lines)
+
+    def test_mandatory_sentence(self, built):
+        constraint = next(iter(built.constraints()))
+        assert "Each Person must play role r1." == verbalize_constraint(built, constraint)
+
+    def test_subtype_sentences(self):
+        schema = (
+            SchemaBuilder().entities("Person", "Student").subtype("Student", "Person").build()
+        )
+        assert "Each Student is a Person." in verbalize_schema(schema)

@@ -1,0 +1,111 @@
+"""Unit tests for the structural schema elements."""
+
+import pytest
+
+from repro.orm.elements import FactType, ObjectType, Role, SubtypeLink, TypeKind
+
+
+def _binary(name="drives", first=("r1", "Person"), second=("r2", "Car")):
+    roles = (
+        Role(first[0], first[1], name, 0),
+        Role(second[0], second[1], name, 1),
+    )
+    return FactType(name, roles)
+
+
+class TestObjectType:
+    def test_defaults_to_entity_kind(self):
+        person = ObjectType("Person")
+        assert person.kind is TypeKind.ENTITY
+        assert not person.has_value_constraint
+        assert person.value_count is None
+
+    def test_value_constraint_counts_values(self):
+        grade = ObjectType("Grade", TypeKind.VALUE, ("a", "b", "c"))
+        assert grade.has_value_constraint
+        assert grade.value_count == 3
+
+    def test_empty_value_constraint_is_representable(self):
+        empty = ObjectType("Never", values=())
+        assert empty.value_count == 0
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ObjectType("Grade", values=("a", "a"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ObjectType("")
+
+    def test_frozen(self):
+        person = ObjectType("Person")
+        with pytest.raises(AttributeError):
+            person.name = "Other"
+
+    def test_str_includes_values(self):
+        grade = ObjectType("Grade", values=("x1", "x2"))
+        assert "x1" in str(grade)
+
+
+class TestRole:
+    def test_positions_limited_to_binary(self):
+        with pytest.raises(ValueError, match="binary"):
+            Role("r3", "Person", "ternary", 2)
+
+    def test_str_mentions_player(self):
+        role = Role("r1", "Person", "drives", 0)
+        assert "Person" in str(role)
+
+
+class TestFactType:
+    def test_binary_construction(self):
+        fact = _binary()
+        assert fact.role_names == ("r1", "r2")
+        assert fact.players == ("Person", "Car")
+
+    def test_partner_of(self):
+        fact = _binary()
+        assert fact.partner_of("r1").name == "r2"
+        assert fact.partner_of("r2").name == "r1"
+
+    def test_partner_of_unknown_role(self):
+        fact = _binary()
+        with pytest.raises(ValueError, match="not part of"):
+            fact.partner_of("nope")
+
+    def test_role_at(self):
+        fact = _binary()
+        assert fact.role_at(0).name == "r1"
+        assert fact.role_at(1).name == "r2"
+
+    def test_is_ring_detects_shared_player(self):
+        ring = _binary("sister_of", ("r1", "Woman"), ("r2", "Woman"))
+        assert ring.is_ring()
+        assert not _binary().is_ring()
+
+    def test_roles_must_reference_owner(self):
+        roles = (
+            Role("r1", "Person", "other", 0),
+            Role("r2", "Car", "drives", 1),
+        )
+        with pytest.raises(ValueError, match="does not reference"):
+            FactType("drives", roles)
+
+    def test_roles_must_be_ordered(self):
+        roles = (
+            Role("r1", "Person", "drives", 1),
+            Role("r2", "Car", "drives", 0),
+        )
+        with pytest.raises(ValueError, match="position"):
+            FactType("drives", roles)
+
+
+class TestSubtypeLink:
+    def test_str(self):
+        link = SubtypeLink("Student", "Person")
+        assert str(link) == "Student < Person"
+
+    def test_self_loop_is_representable(self):
+        # Pattern 9 must be able to see degenerate loops.
+        link = SubtypeLink("A", "A")
+        assert link.sub == link.super == "A"

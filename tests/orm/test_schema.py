@@ -1,0 +1,223 @@
+"""Unit tests for the Schema container: construction, validation, closures."""
+
+import pytest
+
+from repro.exceptions import (
+    ConstraintArityError,
+    DuplicateNameError,
+    UnknownElementError,
+)
+from repro.orm import RingKind, Schema
+
+
+@pytest.fixture
+def staff() -> Schema:
+    """Person <- {Student, Employee}; PhDStudent under both."""
+    schema = Schema("staff")
+    for name in ("Person", "Student", "Employee", "PhDStudent", "Company"):
+        schema.add_entity_type(name)
+    schema.add_subtype("Student", "Person")
+    schema.add_subtype("Employee", "Person")
+    schema.add_subtype("PhDStudent", "Student")
+    schema.add_subtype("PhDStudent", "Employee")
+    schema.add_fact_type("works_for", "w1", "Employee", "w2", "Company")
+    return schema
+
+
+class TestElementConstruction:
+    def test_duplicate_object_type_rejected(self, staff):
+        with pytest.raises(DuplicateNameError):
+            staff.add_entity_type("Person")
+
+    def test_duplicate_fact_type_rejected(self, staff):
+        with pytest.raises(DuplicateNameError):
+            staff.add_fact_type("works_for", "x1", "Person", "x2", "Company")
+
+    def test_duplicate_role_rejected(self, staff):
+        with pytest.raises(DuplicateNameError):
+            staff.add_fact_type("other", "w1", "Person", "x2", "Company")
+
+    def test_role_name_clash_with_type_rejected(self, staff):
+        with pytest.raises(DuplicateNameError):
+            staff.add_fact_type("other", "Person", "Person", "x2", "Company")
+
+    def test_fact_type_requires_known_players(self, staff):
+        with pytest.raises(UnknownElementError):
+            staff.add_fact_type("other", "x1", "Martian", "x2", "Company")
+
+    def test_fact_type_role_names_must_differ(self, staff):
+        with pytest.raises(Exception, match="must differ"):
+            staff.add_fact_type("other", "x1", "Person", "x1", "Company")
+
+    def test_subtype_requires_known_types(self, staff):
+        with pytest.raises(UnknownElementError):
+            staff.add_subtype("Martian", "Person")
+
+    def test_subtype_is_idempotent(self, staff):
+        before = len(staff.subtype_links())
+        staff.add_subtype("Student", "Person")
+        assert len(staff.subtype_links()) == before
+
+    def test_value_type(self):
+        schema = Schema()
+        schema.add_value_type("Grade", ["a", "b"])
+        assert schema.value_count("Grade") == 2
+
+
+class TestLookups:
+    def test_object_type_lookup(self, staff):
+        assert staff.object_type("Person").name == "Person"
+        with pytest.raises(UnknownElementError):
+            staff.object_type("Martian")
+
+    def test_role_and_fact_navigation(self, staff):
+        assert staff.fact_type_of("w1").name == "works_for"
+        assert staff.partner_role("w1").name == "w2"
+        assert staff.player_of("w2").name == "Company"
+
+    def test_roles_played_by(self, staff):
+        assert [role.name for role in staff.roles_played_by("Employee")] == ["w1"]
+        assert staff.roles_played_by("Person") == []
+
+    def test_roles_played_by_or_inherited(self, staff):
+        names = [role.name for role in staff.roles_played_by_or_inherited("PhDStudent")]
+        assert names == ["w1"]  # inherited through Employee
+
+    def test_has_helpers(self, staff):
+        assert staff.has_object_type("Person")
+        assert not staff.has_object_type("Martian")
+        assert staff.has_role("w1")
+        assert not staff.has_role("zz")
+
+
+class TestSubtypeClosures:
+    def test_supertypes_transitive(self, staff):
+        assert set(staff.supertypes("PhDStudent")) == {"Student", "Employee", "Person"}
+
+    def test_subtypes_transitive(self, staff):
+        assert set(staff.subtypes("Person")) == {"Student", "Employee", "PhDStudent"}
+
+    def test_supertypes_and_self(self, staff):
+        line = staff.supertypes_and_self("Student")
+        assert line[0] == "Student"
+        assert "Person" in line
+
+    def test_is_subtype_of(self, staff):
+        assert staff.is_subtype_of("PhDStudent", "Person")
+        assert not staff.is_subtype_of("Person", "PhDStudent")
+
+    def test_top_supertypes(self, staff):
+        assert staff.top_supertypes("PhDStudent") == ["Person"]
+        assert staff.top_supertypes("Company") == ["Company"]
+
+    def test_root_types(self, staff):
+        assert set(staff.root_types()) == {"Person", "Company"}
+
+    def test_cycle_is_safe_and_self_reachable(self):
+        schema = Schema()
+        for name in "ABC":
+            schema.add_entity_type(name)
+        schema.add_subtype("A", "B")
+        schema.add_subtype("B", "C")
+        schema.add_subtype("C", "A")
+        supers = schema.supertypes("A")
+        assert set(supers) == {"A", "B", "C"}  # A reaches itself via the loop
+        assert schema.top_supertypes("A") == []
+
+
+class TestConstraintValidation:
+    def test_unknown_role_in_mandatory(self, staff):
+        with pytest.raises(UnknownElementError):
+            staff.add_mandatory("nope")
+
+    def test_disjunctive_mandatory_needs_single_player(self, staff):
+        staff.add_fact_type("hires", "h1", "Company", "h2", "Employee")
+        with pytest.raises(ConstraintArityError, match="single player"):
+            staff.add_mandatory("w1", "h1")
+
+    def test_sequence_must_stay_in_one_fact_type(self, staff):
+        staff.add_fact_type("hires", "h1", "Company", "h2", "Employee")
+        with pytest.raises(ConstraintArityError, match="several fact types"):
+            staff.add_exclusion(("w1", "h1"), ("w2", "h2"))
+
+    def test_exclusion_rejects_duplicate_sequences(self, staff):
+        with pytest.raises(ConstraintArityError, match="twice"):
+            staff.add_exclusion("w1", "w1")
+
+    def test_subset_rejects_self_relation(self, staff):
+        with pytest.raises(ConstraintArityError, match="itself"):
+            staff.add_subset("w1", "w1")
+
+    def test_equality_rejects_self_relation(self, staff):
+        with pytest.raises(ConstraintArityError, match="itself"):
+            staff.add_equality("w1", "w1")
+
+    def test_ring_requires_single_fact_type(self, staff):
+        staff.add_fact_type("hires", "h1", "Company", "h2", "Employee")
+        with pytest.raises(ConstraintArityError, match="one fact type"):
+            staff.add_ring(RingKind.IRREFLEXIVE, "w1", "h1")
+
+    def test_frequency_bounds_validated(self, staff):
+        with pytest.raises(ConstraintArityError):
+            staff.add_frequency("w1", 0)
+        with pytest.raises(ConstraintArityError):
+            staff.add_frequency("w1", 3, 2)
+
+    def test_labels_are_autogenerated_and_unique(self, staff):
+        first = staff.add_mandatory("w1")
+        second = staff.add_uniqueness("w1")
+        assert first.label != second.label
+        assert first.label is not None
+
+    def test_explicit_label_is_kept(self, staff):
+        constraint = staff.add_mandatory("w1", label="my-label")
+        assert constraint.label == "my-label"
+
+
+class TestConstraintQueries:
+    def test_mandatory_role_names_ignores_disjunctive(self, staff):
+        staff.add_fact_type("owns", "o1", "Employee", "o2", "Company")
+        staff.add_mandatory("w1")
+        staff.add_mandatory("w1", "o1")  # disjunctive, must not count
+        assert staff.mandatory_role_names() == {"w1"}
+        assert staff.is_role_mandatory("w1")
+        assert not staff.is_role_mandatory("o1")
+
+    def test_min_frequency_of_defaults_to_one(self, staff):
+        assert staff.min_frequency_of("w1") == 1
+        staff.add_frequency("w1", 3, 5)
+        assert staff.min_frequency_of("w1") == 3
+
+    def test_uniqueness_and_frequency_lookup(self, staff):
+        staff.add_uniqueness("w1")
+        staff.add_frequency("w1", 2, 5)
+        assert len(staff.uniqueness_on("w1")) == 1
+        assert len(staff.frequencies_on("w1")) == 1
+        assert staff.uniqueness_on("w2") == []
+
+    def test_ring_queries(self, staff):
+        staff.add_fact_type("mentors", "m1", "Employee", "m2", "Employee")
+        staff.add_ring(RingKind.ACYCLIC, "m1", "m2")
+        staff.add_ring("ir", "m1", "m2")
+        constraints = staff.ring_constraints_on(("m2", "m1"))
+        assert {c.kind for c in constraints} == {RingKind.ACYCLIC, RingKind.IRREFLEXIVE}
+        assert staff.ring_pairs() == [("m1", "m2")]
+
+
+class TestBookkeeping:
+    def test_clone_is_independent(self, staff):
+        copy = staff.clone()
+        copy.add_entity_type("Extra")
+        assert not staff.has_object_type("Extra")
+        assert copy.stats()["object_types"] == staff.stats()["object_types"] + 1
+
+    def test_stats_counts(self, staff):
+        stats = staff.stats()
+        assert stats["object_types"] == 5
+        assert stats["fact_types"] == 1
+        assert stats["roles"] == 2
+        assert stats["subtype_links"] == 4
+
+    def test_iter_yields_constraints(self, staff):
+        staff.add_mandatory("w1")
+        assert len(list(staff)) == 1

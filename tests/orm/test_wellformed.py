@@ -1,0 +1,99 @@
+"""Tests for the structural well-formedness advisories."""
+
+from repro.orm import SchemaBuilder
+from repro.orm.wellformed import check_wellformedness
+
+
+def codes(schema):
+    return sorted({advisory.code for advisory in check_wellformedness(schema)})
+
+
+class TestAdvisories:
+    def test_clean_schema_has_no_advisories(self):
+        schema = (
+            SchemaBuilder()
+            .entities("Person", "Company")
+            .fact("works_for", ("r1", "Person"), ("r2", "Company"))
+            .mandatory("r1")
+            .unique("r1")
+            .build()
+        )
+        assert codes(schema) == []
+
+    def test_w01_empty_value_constraint(self):
+        schema = SchemaBuilder().entity("Never", values=[]).build()
+        assert "W01" in codes(schema)
+
+    def test_w02_spanning_uniqueness(self):
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B")
+            .fact("f", ("r1", "A"), ("r2", "B"))
+            .unique("r1", "r2")
+            .build()
+        )
+        assert "W02" in codes(schema)
+
+    def test_w03_vacuous_frequency(self):
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B")
+            .fact("f", ("r1", "A"), ("r2", "B"))
+            .frequency("r1", 1, None)
+            .build()
+        )
+        assert "W03" in codes(schema)
+
+    def test_w04_exclusion_between_unrelated_players(self):
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B", "C")
+            .fact("f", ("r1", "A"), ("r2", "B"))
+            .fact("g", ("r3", "C"), ("r4", "B"))
+            .exclusion("r1", "r3")
+            .build()
+        )
+        assert "W04" in codes(schema)
+
+    def test_w04_not_raised_for_related_players(self):
+        schema = (
+            SchemaBuilder()
+            .entities("A", "Sub", "B")
+            .subtype("Sub", "A")
+            .fact("f", ("r1", "A"), ("r2", "B"))
+            .fact("g", ("r3", "Sub"), ("r4", "B"))
+            .exclusion("r1", "r3")
+            .build()
+        )
+        assert "W04" not in codes(schema)
+
+    def test_w05_ring_on_unrelated_players(self):
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B")
+            .fact("f", ("r1", "A"), ("r2", "B"))
+            .ring("ir", "r1", "r2")
+            .build()
+        )
+        assert "W05" in codes(schema)
+
+    def test_w06_subset_between_unrelated_players(self):
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B", "C")
+            .fact("f", ("r1", "A"), ("r2", "B"))
+            .fact("g", ("r3", "C"), ("r4", "B"))
+            .subset("r1", "r3")
+            .build()
+        )
+        assert "W06" in codes(schema)
+
+    def test_w07_isolated_type(self):
+        schema = SchemaBuilder().entities("Lonely").build()
+        assert "W07" in codes(schema)
+
+    def test_advisories_carry_elements(self):
+        schema = SchemaBuilder().entity("Never", values=[]).build()
+        advisory = check_wellformedness(schema)[0]
+        assert advisory.elements == ("Never",)
+        assert "Never" in advisory.message

@@ -1,0 +1,81 @@
+"""Tests for the PatternEngine settings and report plumbing (Fig. 15)."""
+
+import pytest
+
+from repro.orm import SchemaBuilder
+from repro.patterns import ALL_PATTERNS, PATTERN_IDS, PatternEngine, pattern_by_id
+from repro.workloads.figures import build_figure
+
+
+class TestRegistry:
+    def test_nine_patterns_in_paper_order(self):
+        assert PATTERN_IDS == ("P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9")
+
+    def test_pattern_by_id(self):
+        assert pattern_by_id("P4").name == "Frequency-Value"
+        with pytest.raises(KeyError):
+            pattern_by_id("P10")
+
+    def test_every_pattern_has_metadata(self):
+        for pattern in ALL_PATTERNS:
+            assert pattern.pattern_id and pattern.name and pattern.description
+
+
+class TestSettings:
+    def test_default_enables_all(self):
+        assert PatternEngine().enabled_ids == PATTERN_IDS
+
+    def test_subset_selection(self):
+        engine = PatternEngine(enabled=["P2", "P9"])
+        assert engine.enabled_ids == ("P2", "P9")
+
+    def test_disable_suppresses_violations(self):
+        schema = build_figure("fig1_phd_student")
+        engine = PatternEngine()
+        engine.disable("P2")
+        report = engine.check(schema)
+        assert report.is_satisfiable  # only P2 detects fig1's fault
+
+    def test_reenable(self):
+        schema = build_figure("fig1_phd_student")
+        engine = PatternEngine(enabled=[])
+        assert engine.check(schema).is_satisfiable
+        engine.enable("P2")
+        assert not engine.check(schema).is_satisfiable
+
+    def test_enable_validates_id(self):
+        engine = PatternEngine()
+        with pytest.raises(KeyError):
+            engine.enable("P42")
+        with pytest.raises(KeyError):
+            engine.disable("nope")
+
+    def test_duplicate_ids_are_deduplicated(self):
+        engine = PatternEngine(enabled=["P1", "P1", "P2"])
+        assert engine.enabled_ids == ("P1", "P2")
+
+    def test_check_pattern_ignores_enabled_set(self):
+        schema = build_figure("fig1_phd_student")
+        engine = PatternEngine(enabled=[])
+        assert engine.check_pattern(schema, "P2")
+
+
+class TestReport:
+    def test_timing_recorded(self):
+        report = PatternEngine().check(build_figure("fig1_phd_student"))
+        assert report.elapsed_seconds >= 0.0
+
+    def test_by_pattern_groups(self):
+        report = PatternEngine().check(build_figure("fig4c_subtype_exclusion"))
+        grouped = report.by_pattern()
+        assert set(grouped) == {"P3"}
+        assert len(grouped["P3"]) == 2
+
+    def test_messages_are_prefixed(self):
+        report = PatternEngine().check(build_figure("fig2_no_common_supertype"))
+        assert report.messages()[0].startswith("[P1]")
+
+    def test_satisfiable_summary(self):
+        schema = SchemaBuilder("clean").entities("A").build()
+        summary = PatternEngine().check(schema).summary()
+        assert "no unsatisfiability pattern fired" in summary

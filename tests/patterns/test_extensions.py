@@ -1,0 +1,163 @@
+"""Tests for the Sec. 5 extension patterns X1-X3."""
+
+import pytest
+
+from repro.orm import RingKind, SchemaBuilder
+from repro.patterns import EXTENSION_IDS, PatternEngine, pattern_by_id
+from repro.patterns.extensions import minimum_ring_support
+from repro.reasoner import BoundedModelFinder
+
+X_ENGINE = PatternEngine(include_extensions=True)
+BASE_ENGINE = PatternEngine()
+
+
+class TestRegistryWiring:
+    def test_extension_ids(self):
+        assert EXTENSION_IDS == ("X1", "X2", "X3")
+
+    def test_default_engine_excludes_extensions(self):
+        assert not set(EXTENSION_IDS) & set(BASE_ENGINE.enabled_ids)
+
+    def test_extended_engine_includes_them(self):
+        assert set(EXTENSION_IDS) <= set(X_ENGINE.enabled_ids)
+
+    def test_pattern_by_id_finds_extensions(self):
+        assert pattern_by_id("X1").pattern_id == "X1"
+
+
+class TestMinimumRingSupport:
+    def test_irreflexive_needs_two(self):
+        assert minimum_ring_support(frozenset({RingKind.IRREFLEXIVE})) == 2
+
+    def test_symmetric_needs_one(self):
+        assert minimum_ring_support(frozenset({RingKind.SYMMETRIC})) == 1
+
+    def test_antisymmetric_needs_one(self):
+        assert minimum_ring_support(frozenset({RingKind.ANTISYMMETRIC})) == 1
+
+    def test_incompatible_returns_none(self):
+        assert (
+            minimum_ring_support(frozenset({RingKind.SYMMETRIC, RingKind.ACYCLIC}))
+            is None
+        )
+
+    @pytest.mark.parametrize(
+        "kind", [RingKind.ASYMMETRIC, RingKind.ACYCLIC, RingKind.INTRANSITIVE]
+    )
+    def test_irreflexivity_implying_kinds_need_two(self, kind):
+        assert minimum_ring_support(frozenset({kind})) == 2
+
+
+class TestX1:
+    def ring_schema(self, values, kind="ir"):
+        return (
+            SchemaBuilder()
+            .entity("A", values=values)
+            .fact("rel", ("p", "A"), ("q", "A"))
+            .ring(kind, "p", "q")
+            .build()
+        )
+
+    def test_paper_example_irreflexive_one_value(self):
+        # The paper's own Sec. 5 example: irreflexive roles need 2 values.
+        schema = self.ring_schema(["only"])
+        violations = X_ENGINE.check(schema).by_pattern().get("X1", [])
+        assert len(violations) == 1
+        assert set(violations[0].roles) == {"p", "q"}
+
+    def test_two_values_suffice(self):
+        assert X_ENGINE.check(self.ring_schema(["a", "b"])).is_satisfiable
+
+    def test_symmetric_with_one_value_is_fine(self):
+        assert X_ENGINE.check(self.ring_schema(["only"], kind="sym")).is_satisfiable
+
+    def test_base_nine_miss_this(self):
+        assert BASE_ENGINE.check(self.ring_schema(["only"])).is_satisfiable
+
+    def test_x1_verdict_confirmed_by_model_finder(self):
+        schema = self.ring_schema(["only"])
+        finder = BoundedModelFinder(schema)
+        assert finder.role_satisfiable("p", max_domain=3).status == "unsat"
+
+    def test_inherited_pool_counts(self):
+        schema = (
+            SchemaBuilder()
+            .entity("V", values=["x"])
+            .entity("A")
+            .subtype("A", "V")
+            .fact("rel", ("p", "A"), ("q", "A"))
+            .ring("ir", "p", "q")
+            .build()
+        )
+        assert not X_ENGINE.check(schema).is_satisfiable
+
+
+class TestX2:
+    def test_empty_pool_flags_type_subtypes_and_roles(self):
+        schema = (
+            SchemaBuilder()
+            .entity("Never", values=[])
+            .entity("Sub")
+            .entity("B")
+            .subtype("Sub", "Never")
+            .fact("f", ("r1", "Sub"), ("r2", "B"))
+            .build()
+        )
+        violations = X_ENGINE.check(schema).by_pattern().get("X2", [])
+        assert len(violations) == 1
+        assert set(violations[0].types) == {"Never", "Sub"}
+        assert set(violations[0].roles) == {"r1", "r2"}
+
+    def test_confirmed_by_model_finder(self):
+        schema = SchemaBuilder().entity("Never", values=[]).build()
+        assert (
+            BoundedModelFinder(schema).type_satisfiable("Never", 2).status == "unsat"
+        )
+
+    def test_nonempty_pool_is_silent(self):
+        schema = SchemaBuilder().entity("Fine", values=["v"]).build()
+        assert X_ENGINE.check(schema).is_satisfiable
+
+
+class TestX3:
+    def schema(self, *, block_both: bool):
+        builder = (
+            SchemaBuilder()
+            .entities("A", "X1", "X2", "X3")
+            .fact("f1", ("r1", "A"), ("p1", "X1"))
+            .fact("f2", ("r2", "A"), ("p2", "X2"))
+            .fact("f3", ("m", "A"), ("p3", "X3"))
+            .mandatory("r1", "r2")  # disjunctive
+            .mandatory("m")  # simple
+            .exclusion("m", "r1")
+        )
+        if block_both:
+            builder.exclusion("m", "r2")
+        return builder.build()
+
+    def test_all_branches_blocked_fires(self):
+        violations = X_ENGINE.check(self.schema(block_both=True)).by_pattern().get(
+            "X3", []
+        )
+        assert len(violations) == 1
+        assert violations[0].types == ("A",)
+
+    def test_one_open_branch_is_silent(self):
+        report = X_ENGINE.check(self.schema(block_both=False))
+        assert "X3" not in report.by_pattern()
+
+    def test_confirmed_by_model_finder(self):
+        schema = self.schema(block_both=True)
+        finder = BoundedModelFinder(schema)
+        assert finder.type_satisfiable("A", max_domain=3).status == "unsat"
+        open_schema = self.schema(block_both=False)
+        assert BoundedModelFinder(open_schema).type_satisfiable("A", 4).is_sat
+
+    def test_base_nine_miss_the_type_diagnosis(self):
+        # P3 flags the individual branch roles (each is excluded with the
+        # simple mandatory 'm'), but only X3 diagnoses that the player type
+        # A itself is unpopulatable.
+        base_report = BASE_ENGINE.check(self.schema(block_both=True))
+        assert "A" not in base_report.unsatisfiable_types()
+        extended_report = X_ENGINE.check(self.schema(block_both=True))
+        assert "A" in extended_report.unsatisfiable_types()

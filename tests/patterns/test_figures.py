@@ -1,0 +1,81 @@
+"""Integration of the nine patterns with every paper figure.
+
+This is the heart of the reproduction: for every worked example in the
+paper, exactly the pattern the paper names must fire (and no other), and
+the elements the paper declares unsatisfiable must be flagged.
+"""
+
+import pytest
+
+from repro.patterns import PatternEngine
+from repro.workloads.figures import EXPECTATIONS, FIGURES, build_figure
+
+ENGINE = PatternEngine()
+
+
+@pytest.mark.parametrize("name", sorted(FIGURES))
+def test_expected_patterns_fire(name):
+    schema = build_figure(name)
+    expectation = EXPECTATIONS[name]
+    report = ENGINE.check(schema)
+    fired = tuple(sorted(report.by_pattern()))
+    assert fired == tuple(sorted(expectation.patterns)), report.messages()
+
+
+@pytest.mark.parametrize("name", sorted(FIGURES))
+def test_expected_elements_flagged(name):
+    schema = build_figure(name)
+    expectation = EXPECTATIONS[name]
+    report = ENGINE.check(schema)
+    flagged_roles = set(report.unsatisfiable_roles())
+    flagged_types = set(report.unsatisfiable_types())
+    for role in expectation.unsat_roles:
+        assert role in flagged_roles, report.messages()
+    for type_name in expectation.unsat_types:
+        assert type_name in flagged_types, report.messages()
+    unexpected = flagged_roles - set(expectation.unsat_roles) - set(
+        expectation.extra_unsat_ok
+    )
+    # No figure flags roles beyond the paper's list (plus documented extras).
+    if not expectation.patterns:
+        assert not flagged_roles and not flagged_types
+
+
+@pytest.mark.parametrize("name", sorted(FIGURES))
+def test_messages_name_the_culprits(name):
+    schema = build_figure(name)
+    report = ENGINE.check(schema)
+    for violation in report.violations:
+        assert violation.message
+        # every flagged element must be mentioned or listed
+        assert violation.elements() or violation.constraints
+
+
+def test_fig1_report_summary_counts():
+    report = ENGINE.check(build_figure("fig1_phd_student"))
+    assert not report.is_satisfiable
+    assert "P2" in report.summary()
+    assert report.patterns_run == ENGINE.enabled_ids
+
+
+def test_fig4b_flags_type_and_both_roles():
+    report = ENGINE.check(build_figure("fig4b_double_mandatory"))
+    assert set(report.unsatisfiable_roles()) == {"r1", "r3"}
+    assert report.unsatisfiable_types() == ("A",)
+    assert len(report.violations) == 1  # the pair is reported once, not twice
+
+
+def test_fig4c_does_not_flag_r1():
+    report = ENGINE.check(build_figure("fig4c_subtype_exclusion"))
+    assert "r1" not in report.unsatisfiable_roles()
+
+
+def test_fig6_ablations_are_silent():
+    for name in ("fig6_without_value", "fig6_without_exclusion", "fig6_without_frequency"):
+        report = ENGINE.check(build_figure(name))
+        assert report.is_satisfiable, (name, report.messages())
+
+
+def test_unknown_figure_raises():
+    with pytest.raises(KeyError, match="unknown figure"):
+        build_figure("fig99")

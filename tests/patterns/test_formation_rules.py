@@ -1,0 +1,119 @@
+"""Tests reproducing the Sec. 3 related-work analysis.
+
+The paper's key claims: most formation rules are style guidance, not
+unsatisfiability detectors; FR5 coincides with Pattern 3; FR6 can be
+violated by perfectly satisfiable schemas (Fig. 14); subset loops (RIDL S2)
+force equality, not emptiness.
+"""
+
+from repro.orm import SchemaBuilder
+from repro.patterns import PatternEngine, check_formation_rules
+from repro.workloads.figures import build_figure
+
+
+def by_rule(schema):
+    grouped = {}
+    for finding in check_formation_rules(schema):
+        grouped.setdefault(finding.rule_id, []).append(finding)
+    return grouped
+
+
+def base():
+    return (
+        SchemaBuilder()
+        .entities("A", "B")
+        .fact("f1", ("r1", "A"), ("r2", "B"))
+        .fact("f2", ("r3", "A"), ("r4", "B"))
+    )
+
+
+class TestHalpinRules:
+    def test_fr1_fires_on_fc_1_1_and_is_irrelevant(self):
+        schema = base().frequency("r1", 1, 1).build()
+        findings = by_rule(schema)["FR1"]
+        assert not findings[0].relevant
+
+    def test_fr2_min1_irrelevant_min2_relevant(self):
+        redundant = base().frequency(("r1", "r2"), 1, 3).build()
+        unsat = base().frequency(("r1", "r2"), 2, 3).build()
+        assert not by_rule(redundant)["FR2"][0].relevant
+        fr2 = by_rule(unsat)["FR2"][0]
+        assert fr2.relevant and fr2.related_pattern == "P7"
+        # agreement with the pattern engine
+        assert PatternEngine().check(redundant).is_satisfiable
+        assert not PatternEngine().check(unsat).is_satisfiable
+
+    def test_fr3_loosening(self):
+        redundant = base().unique("r1").frequency("r1", 1, 5).build()
+        unsat = base().unique("r1").frequency("r1", 2, 5).build()
+        assert not by_rule(redundant)["FR3"][0].relevant
+        assert by_rule(unsat)["FR3"][0].relevant
+        assert PatternEngine().check(redundant).is_satisfiable
+        assert not PatternEngine().check(unsat).is_satisfiable
+
+    def test_fr4_spanned_uniqueness_is_irrelevant(self):
+        schema = base().unique("r1").unique("r1", "r2").build()
+        findings = by_rule(schema)["FR4"]
+        assert findings and not findings[0].relevant
+
+    def test_fr5_points_to_p3(self):
+        schema = base().mandatory("r1").exclusion("r1", "r3").build()
+        findings = by_rule(schema)["FR5"]
+        assert findings[0].relevant and findings[0].related_pattern == "P3"
+
+    def test_fr6_fig14_violates_but_is_satisfiable(self):
+        schema = build_figure("fig14_rule6_satisfiable")
+        findings = by_rule(schema)["FR6"]
+        assert findings and not findings[0].relevant
+        assert PatternEngine().check(schema).is_satisfiable
+
+    def test_fr7_binary_case_equals_p4(self):
+        schema = (
+            SchemaBuilder()
+            .entity("A")
+            .entity("B", values=["x1", "x2"])
+            .fact("f1", ("r1", "A"), ("r2", "B"))
+            .frequency("r1", 3, 5)
+            .build()
+        )
+        findings = by_rule(schema)["FR7"]
+        assert findings[0].relevant and findings[0].related_pattern == "P4"
+
+
+class TestRIDLRules:
+    def test_s1_superfluous_subset(self):
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B")
+            .fact("f1", ("r1", "A"), ("r2", "B"))
+            .fact("f2", ("r3", "A"), ("r4", "B"))
+            .fact("f3", ("r5", "A"), ("r6", "B"))
+            .subset("r1", "r3")
+            .subset("r3", "r5")
+            .subset("r1", "r5")  # implied by the chain
+            .build()
+        )
+        findings = by_rule(schema).get("S1", [])
+        assert len(findings) == 1
+        assert not findings[0].relevant
+
+    def test_s2_subset_loop_is_not_unsat(self):
+        schema = base().subset("r1", "r3").subset("r3", "r1").build()
+        findings = by_rule(schema)["S2"]
+        assert findings and not findings[0].relevant
+        assert PatternEngine().check(schema).is_satisfiable
+
+    def test_s3_superfluous_equality(self):
+        schema = (
+            base()
+            .subset("r1", "r3")
+            .subset("r3", "r1")
+            .equality("r1", "r3")  # implied by the two subsets
+            .build()
+        )
+        findings = by_rule(schema).get("S3", [])
+        assert len(findings) == 1
+
+    def test_clean_schema_yields_no_findings(self):
+        schema = base().mandatory("r1").unique("r1").build()
+        assert check_formation_rules(schema) == []

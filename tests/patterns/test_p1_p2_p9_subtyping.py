@@ -1,0 +1,214 @@
+"""Unit tests for the subtype-graph patterns P1, P2 and P9."""
+
+from repro.orm import SchemaBuilder
+from repro.patterns import (
+    ExclusiveSubtypesPattern,
+    SubtypeLoopPattern,
+    TopCommonSupertypePattern,
+)
+
+P1 = TopCommonSupertypePattern()
+P2 = ExclusiveSubtypesPattern()
+P9 = SubtypeLoopPattern()
+
+
+class TestP1:
+    def test_fires_on_unrelated_supertypes(self):
+        schema = (
+            SchemaBuilder().entities("A", "B", "C").subtype("C", "A").subtype("C", "B").build()
+        )
+        violations = P1.check(schema)
+        assert [v.types for v in violations] == [("C",)]
+
+    def test_silent_with_shared_top(self):
+        schema = (
+            SchemaBuilder()
+            .entities("Top", "A", "B", "C")
+            .subtype("A", "Top")
+            .subtype("B", "Top")
+            .subtype("C", "A")
+            .subtype("C", "B")
+            .build()
+        )
+        assert P1.check(schema) == []
+
+    def test_silent_with_single_supertype(self):
+        schema = SchemaBuilder().entities("A", "B").subtype("B", "A").build()
+        assert P1.check(schema) == []
+
+    def test_supertype_of_supertype_counts_as_shared(self):
+        # C < A, C < B where B < A: supers*(B) contains A.
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B", "C")
+            .subtype("B", "A")
+            .subtype("C", "A")
+            .subtype("C", "B")
+            .build()
+        )
+        assert P1.check(schema) == []
+
+    def test_three_unrelated_supertypes(self):
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B", "C", "D")
+            .subtype("D", "A")
+            .subtype("D", "B")
+            .subtype("D", "C")
+            .build()
+        )
+        assert len(P1.check(schema)) == 1
+
+    def test_partial_sharing_still_fires(self):
+        # D < A, D < B; A and B share a top, but D < E with E unrelated.
+        schema = (
+            SchemaBuilder()
+            .entities("Top", "A", "B", "E", "D")
+            .subtype("A", "Top")
+            .subtype("B", "Top")
+            .subtype("D", "A")
+            .subtype("D", "B")
+            .subtype("D", "E")
+            .build()
+        )
+        violations = P1.check(schema)
+        assert [v.types for v in violations] == [("D",)]
+
+
+class TestP2:
+    def test_fires_on_common_subtype(self):
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B", "C", "D")
+            .subtype("B", "A")
+            .subtype("C", "A")
+            .subtype("D", "B")
+            .subtype("D", "C")
+            .exclusive_types("B", "C")
+            .build()
+        )
+        violations = P2.check(schema)
+        assert len(violations) == 1
+        assert violations[0].types == ("D",)
+
+    def test_transitive_common_subtype(self):
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B", "C", "D", "E")
+            .subtype("B", "A")
+            .subtype("C", "A")
+            .subtype("D", "B")
+            .subtype("D", "C")
+            .subtype("E", "D")
+            .exclusive_types("B", "C")
+            .build()
+        )
+        violations = P2.check(schema)
+        assert set(violations[0].types) == {"D", "E"}
+
+    def test_exclusion_with_own_subtype(self):
+        # Degenerate but legal: B exclusive with its own subtype C -> C empty.
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B", "C")
+            .subtype("B", "A")
+            .subtype("C", "B")
+            .exclusive_types("B", "C")
+            .build()
+        )
+        violations = P2.check(schema)
+        assert violations and "C" in violations[0].types
+
+    def test_silent_on_disjoint_branches(self):
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B", "C")
+            .subtype("B", "A")
+            .subtype("C", "A")
+            .exclusive_types("B", "C")
+            .build()
+        )
+        assert P2.check(schema) == []
+
+    def test_n_ary_exclusive_checks_all_pairs(self):
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B", "C", "D", "E")
+            .subtype("B", "A")
+            .subtype("C", "A")
+            .subtype("D", "A")
+            .subtype("E", "C")
+            .subtype("E", "D")
+            .exclusive_types("B", "C", "D")
+            .build()
+        )
+        violations = P2.check(schema)
+        assert len(violations) == 1  # only the (C, D) pair has a common subtype
+        assert violations[0].types == ("E",)
+
+
+class TestP9:
+    def test_fires_on_three_cycle(self):
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B", "C")
+            .subtype("A", "B")
+            .subtype("B", "C")
+            .subtype("C", "A")
+            .build()
+        )
+        violations = P9.check(schema)
+        assert len(violations) == 1
+        assert set(violations[0].types) == {"A", "B", "C"}
+
+    def test_fires_on_two_cycle(self):
+        schema = SchemaBuilder().entities("A", "B").subtype("A", "B").subtype("B", "A").build()
+        violations = P9.check(schema)
+        assert len(violations) == 1
+        assert set(violations[0].types) == {"A", "B"}
+
+    def test_fires_on_self_loop(self):
+        schema = SchemaBuilder().entities("A").subtype("A", "A").build()
+        violations = P9.check(schema)
+        assert violations[0].types == ("A",)
+
+    def test_silent_on_dag(self):
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B", "C", "D")
+            .subtype("B", "A")
+            .subtype("C", "A")
+            .subtype("D", "B")
+            .subtype("D", "C")
+            .build()
+        )
+        assert P9.check(schema) == []
+
+    def test_two_separate_cycles_reported_separately(self):
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B", "C", "D")
+            .subtype("A", "B")
+            .subtype("B", "A")
+            .subtype("C", "D")
+            .subtype("D", "C")
+            .build()
+        )
+        violations = P9.check(schema)
+        assert len(violations) == 2
+        cycles = {frozenset(v.types) for v in violations}
+        assert cycles == {frozenset({"A", "B"}), frozenset({"C", "D"})}
+
+    def test_type_hanging_off_cycle_is_not_flagged(self):
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B", "X")
+            .subtype("A", "B")
+            .subtype("B", "A")
+            .subtype("X", "A")
+            .build()
+        )
+        violations = P9.check(schema)
+        # X is below the cycle but not on it.  (Its population is still
+        # doomed semantically, but the paper's algorithm flags loop members.)
+        assert all("X" not in v.types for v in violations)

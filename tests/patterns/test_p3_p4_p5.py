@@ -1,0 +1,278 @@
+"""Unit tests for the constraint-interaction patterns P3, P4 and P5."""
+
+from repro.orm import SchemaBuilder
+from repro.patterns import (
+    ExclusionMandatoryPattern,
+    FrequencyValuePattern,
+    ValueExclusionFrequencyPattern,
+)
+
+P3 = ExclusionMandatoryPattern()
+P4 = FrequencyValuePattern()
+P5 = ValueExclusionFrequencyPattern()
+
+
+def two_facts(values=None):
+    builder = SchemaBuilder()
+    if values is None:
+        builder.entity("A")
+    else:
+        builder.entity("A", values=values)
+    return (
+        builder.entities("X1", "X2")
+        .fact("f1", ("r1", "A"), ("r2", "X1"))
+        .fact("f2", ("r3", "A"), ("r4", "X2"))
+    )
+
+
+class TestP3:
+    def test_case_a_flags_excluded_role_only(self):
+        schema = two_facts().mandatory("r1").exclusion("r1", "r3").build()
+        violations = P3.check(schema)
+        assert len(violations) == 1
+        assert violations[0].roles == ("r3",)
+        assert violations[0].types == ()
+
+    def test_case_b_flags_type(self):
+        schema = two_facts().mandatory("r1").mandatory("r3").exclusion("r1", "r3").build()
+        violations = P3.check(schema)
+        assert len(violations) == 1
+        assert set(violations[0].roles) == {"r1", "r3"}
+        assert violations[0].types == ("A",)
+
+    def test_case_c_subtype_role(self):
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B", "X1", "X2")
+            .subtype("B", "A")
+            .fact("f1", ("r1", "A"), ("r2", "X1"))
+            .fact("f3", ("r5", "B"), ("r6", "X2"))
+            .mandatory("r1")
+            .exclusion("r1", "r5")
+            .build()
+        )
+        violations = P3.check(schema)
+        assert [v.roles for v in violations] == [("r5",)]
+
+    def test_mandatory_on_subtype_role_flags_subtype(self):
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B", "X1", "X2")
+            .subtype("B", "A")
+            .fact("f1", ("r1", "A"), ("r2", "X1"))
+            .fact("f3", ("r5", "B"), ("r6", "X2"))
+            .mandatory("r1")
+            .mandatory("r5")
+            .exclusion("r1", "r5")
+            .build()
+        )
+        violations = P3.check(schema)
+        assert len(violations) == 1
+        assert violations[0].types == ("B",)
+        assert violations[0].roles == ("r5",)
+
+    def test_silent_without_mandatory(self):
+        schema = two_facts().exclusion("r1", "r3").build()
+        assert P3.check(schema) == []
+
+    def test_silent_for_disjunctive_mandatory(self):
+        # Fig. 14's essence: a disjunctive mandatory does not force any role.
+        schema = two_facts().mandatory("r1", "r3").exclusion("r1", "r3").build()
+        assert P3.check(schema) == []
+
+    def test_silent_when_mandatory_on_supertype_role_only_affects_subtypes(self):
+        # exclusion between roles of unrelated types never fires
+        schema = (
+            SchemaBuilder()
+            .entities("A", "C", "X1", "X2", "Top")
+            .subtype("A", "Top")
+            .subtype("C", "Top")
+            .fact("f1", ("r1", "A"), ("r2", "X1"))
+            .fact("f2", ("r3", "C"), ("r4", "X2"))
+            .mandatory("r1")
+            .exclusion("r1", "r3")
+            .build()
+        )
+        assert P3.check(schema) == []
+
+    def test_mandatory_role_on_supertype_direction(self):
+        # mandatory on the SUBTYPE's role, other role on supertype: an A that
+        # is not a B can still play r1, and a B plays r5 but then cannot play
+        # r1 -- which is not mandatory for B per se... it IS: B inherits
+        # nothing here; r1 is not mandatory.  No violation.
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B", "X1", "X2")
+            .subtype("B", "A")
+            .fact("f1", ("r1", "A"), ("r2", "X1"))
+            .fact("f3", ("r5", "B"), ("r6", "X2"))
+            .mandatory("r5")
+            .exclusion("r1", "r5")
+            .build()
+        )
+        # r5 mandatory on B; r1 played by A which is NOT a subtype of B,
+        # so an A-instance outside B may play r1 freely.
+        assert P3.check(schema) == []
+
+    def test_three_way_exclusion_reports_each_conflict(self):
+        schema = (
+            SchemaBuilder()
+            .entities("A", "X1", "X2", "X3")
+            .fact("f1", ("r1", "A"), ("r2", "X1"))
+            .fact("f2", ("r3", "A"), ("r4", "X2"))
+            .fact("f3", ("r5", "A"), ("r6", "X3"))
+            .mandatory("r1")
+            .exclusion("r1", "r3", "r5")
+            .build()
+        )
+        violations = P3.check(schema)
+        flagged = {v.roles[0] for v in violations}
+        assert flagged == {"r3", "r5"}
+
+
+class TestP4:
+    def test_fires_when_pool_too_small(self):
+        schema = (
+            SchemaBuilder()
+            .entity("A")
+            .entity("B", values=["x1", "x2"])
+            .fact("f1", ("r1", "A"), ("r2", "B"))
+            .frequency("r1", 3, 5)
+            .build()
+        )
+        violations = P4.check(schema)
+        assert len(violations) == 1
+        assert set(violations[0].roles) == {"r1", "r2"}
+
+    def test_silent_when_pool_is_exactly_enough(self):
+        schema = (
+            SchemaBuilder()
+            .entity("A")
+            .entity("B", values=["x1", "x2", "x3"])
+            .fact("f1", ("r1", "A"), ("r2", "B"))
+            .frequency("r1", 3, 5)
+            .build()
+        )
+        assert P4.check(schema) == []
+
+    def test_silent_without_value_constraint(self):
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B")
+            .fact("f1", ("r1", "A"), ("r2", "B"))
+            .frequency("r1", 3, 5)
+            .build()
+        )
+        assert P4.check(schema) == []
+
+    def test_inherited_value_constraint_counts(self):
+        # B < V where V has 2 values: r1's partners are B's, inside V's pool.
+        schema = (
+            SchemaBuilder()
+            .entity("A")
+            .entity("V", values=["x1", "x2"])
+            .entity("B")
+            .subtype("B", "V")
+            .fact("f1", ("r1", "A"), ("r2", "B"))
+            .frequency("r1", 3)
+            .build()
+        )
+        violations = P4.check(schema)
+        assert len(violations) == 1
+
+    def test_frequency_on_other_role_uses_other_partner(self):
+        schema = (
+            SchemaBuilder()
+            .entity("A", values=["a1"])
+            .entity("B")
+            .fact("f1", ("r1", "A"), ("r2", "B"))
+            .frequency("r2", 2)
+            .build()
+        )
+        # r2 played by B, partner A has 1 value < 2 -> fires
+        violations = P4.check(schema)
+        assert violations and "r2" in violations[0].roles
+
+    def test_spanning_frequency_ignored(self):
+        schema = (
+            SchemaBuilder()
+            .entity("A", values=["a1"])
+            .entity("B", values=["b1"])
+            .fact("f1", ("r1", "A"), ("r2", "B"))
+            .frequency(("r1", "r2"), 2)
+            .build()
+        )
+        assert P4.check(schema) == []  # P7's implicit-uniqueness case
+
+
+class TestP5:
+    def test_fig7_shape_three_roles_two_values(self):
+        schema = (
+            SchemaBuilder()
+            .entity("A", values=["a1", "a2"])
+            .entities("X1", "X2", "X3")
+            .fact("f1", ("r1", "A"), ("r2", "X1"))
+            .fact("f2", ("r3", "A"), ("r4", "X2"))
+            .fact("f3", ("r5", "A"), ("r6", "X3"))
+            .exclusion("r1", "r3", "r5")
+            .build()
+        )
+        violations = P5.check(schema)
+        assert len(violations) == 1
+        assert set(violations[0].roles) == {"r1", "r3", "r5"}
+
+    def test_two_roles_two_values_is_fine(self):
+        schema = two_facts(values=["a1", "a2"]).exclusion("r1", "r3").build()
+        assert P5.check(schema) == []
+
+    def test_inverse_frequency_raises_demand(self):
+        schema = (
+            two_facts(values=["a1", "a2"])
+            .exclusion("r1", "r3")
+            .frequency("r2", 2)  # inverse of r1
+            .build()
+        )
+        violations = P5.check(schema)
+        assert len(violations) == 1
+        assert "2 + 1 = 3" in violations[0].message
+
+    def test_frequency_on_excluded_role_itself_is_not_counted(self):
+        # The fi of the paper reads the INVERSE role's frequency; a frequency
+        # on r1 itself constrains how often an A-instance plays r1, not how
+        # many A-values r1 needs.
+        schema = (
+            two_facts(values=["a1", "a2"])
+            .exclusion("r1", "r3")
+            .frequency("r1", 2)
+            .build()
+        )
+        assert P5.check(schema) == []
+
+    def test_silent_without_value_constraint(self):
+        schema = two_facts().exclusion("r1", "r3").frequency("r2", 5).build()
+        assert P5.check(schema) == []
+
+    def test_players_sharing_value_constrained_supertype(self):
+        schema = (
+            SchemaBuilder()
+            .entity("V", values=["a1", "a2"])
+            .entities("A", "B", "X1", "X2", "X3")
+            .subtype("A", "V")
+            .subtype("B", "V")
+            .fact("f1", ("r1", "A"), ("r2", "X1"))
+            .fact("f2", ("r3", "B"), ("r4", "X2"))
+            .fact("f3", ("r5", "V"), ("r6", "X3"))
+            .exclusion("r1", "r3", "r5")
+            .build()
+        )
+        violations = P5.check(schema)
+        assert len(violations) == 1
+
+    def test_exact_budget_is_satisfiable(self):
+        schema = (
+            two_facts(values=["a1", "a2", "a3"])
+            .exclusion("r1", "r3")
+            .frequency("r2", 2)
+            .build()
+        )
+        assert P5.check(schema) == []  # 2 + 1 = 3 <= 3

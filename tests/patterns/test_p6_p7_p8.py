@@ -1,0 +1,209 @@
+"""Unit tests for P6 (set comparison), P7 (uniqueness-frequency), P8 (rings)."""
+
+from repro.orm import SchemaBuilder
+from repro.patterns import (
+    RingPattern,
+    SetComparisonPattern,
+    UniquenessFrequencyPattern,
+)
+
+P6 = SetComparisonPattern()
+P7 = UniquenessFrequencyPattern()
+P8 = RingPattern()
+
+
+def parallel_facts():
+    return (
+        SchemaBuilder()
+        .entities("A", "B")
+        .fact("f1", ("r1", "A"), ("r2", "B"))
+        .fact("f2", ("r3", "A"), ("r4", "B"))
+    )
+
+
+class TestP6:
+    def test_role_exclusion_vs_predicate_subset(self):
+        schema = (
+            parallel_facts()
+            .exclusion("r1", "r3")
+            .subset(("r1", "r2"), ("r3", "r4"))
+            .build()
+        )
+        violations = P6.check(schema)
+        assert len(violations) == 1
+        assert set(violations[0].roles) == {"r1", "r2"}  # sub side forced empty
+
+    def test_role_exclusion_vs_role_subset(self):
+        schema = parallel_facts().exclusion("r1", "r3").subset("r1", "r3").build()
+        violations = P6.check(schema)
+        assert violations and "r1" in violations[0].roles
+
+    def test_predicate_exclusion_vs_predicate_subset(self):
+        schema = (
+            parallel_facts()
+            .exclusion(("r1", "r2"), ("r3", "r4"))
+            .subset(("r1", "r2"), ("r3", "r4"))
+            .build()
+        )
+        violations = P6.check(schema)
+        assert len(violations) == 1
+        assert set(violations[0].roles) == {"r1", "r2"}
+
+    def test_equality_flags_both_sides(self):
+        schema = (
+            parallel_facts()
+            .exclusion(("r1", "r2"), ("r3", "r4"))
+            .equality(("r1", "r2"), ("r3", "r4"))
+            .build()
+        )
+        violations = P6.check(schema)
+        assert len(violations) == 2
+        flagged = set()
+        for violation in violations:
+            flagged.update(violation.roles)
+        assert flagged == {"r1", "r2", "r3", "r4"}
+
+    def test_transitive_setpath_detected(self):
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B")
+            .fact("f1", ("r1", "A"), ("r2", "B"))
+            .fact("f2", ("r3", "A"), ("r4", "B"))
+            .fact("f3", ("r5", "A"), ("r6", "B"))
+            .exclusion("r1", "r5")
+            .subset("r1", "r3")
+            .subset("r3", "r5")
+            .build()
+        )
+        violations = P6.check(schema)
+        assert violations, "transitive r1 <= r3 <= r5 must contradict r1 X r5"
+
+    def test_crossed_columns_do_not_fire(self):
+        # subset (r1,r2) <= (r4,r3) maps r1's column onto r4, not r3, so the
+        # exclusion between r1 and r3 is NOT contradicted.
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B")  # need type-compatible columns: use A-A facts
+            .fact("f1", ("r1", "A"), ("r2", "A"))
+            .fact("f2", ("r3", "A"), ("r4", "A"))
+            .exclusion("r1", "r3")
+            .subset(("r1", "r2"), ("r4", "r3"))
+            .build()
+        )
+        assert P6.check(schema) == []
+
+    def test_reverse_direction_also_found(self):
+        schema = (
+            parallel_facts()
+            .exclusion("r1", "r3")
+            .subset(("r3", "r4"), ("r1", "r2"))
+            .build()
+        )
+        violations = P6.check(schema)
+        assert violations and set(violations[0].roles) == {"r3", "r4"}
+
+    def test_silent_without_setpath(self):
+        schema = parallel_facts().exclusion("r1", "r3").build()
+        assert P6.check(schema) == []
+
+    def test_silent_for_unrelated_setpaths(self):
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B")
+            .fact("f1", ("r1", "A"), ("r2", "B"))
+            .fact("f2", ("r3", "A"), ("r4", "B"))
+            .fact("f3", ("r5", "A"), ("r6", "B"))
+            .exclusion("r1", "r3")
+            .subset("r1", "r5")
+            .build()
+        )
+        assert P6.check(schema) == []
+
+
+class TestP7:
+    def base(self):
+        return (
+            SchemaBuilder()
+            .entities("A", "B")
+            .fact("f1", ("r1", "A"), ("r2", "B"))
+        )
+
+    def test_fires_on_min_two_with_uniqueness(self):
+        schema = self.base().unique("r1").frequency("r1", 2, 5).build()
+        violations = P7.check(schema)
+        assert len(violations) == 1
+        assert violations[0].roles == ("r1",)
+
+    def test_min_one_with_uniqueness_is_redundant_not_unsat(self):
+        schema = self.base().unique("r1").frequency("r1", 1, 5).build()
+        assert P7.check(schema) == []
+
+    def test_spanning_frequency_min_two_fires_without_uniqueness(self):
+        schema = self.base().frequency(("r1", "r2"), 2).build()
+        violations = P7.check(schema)
+        assert len(violations) == 1
+        assert "sets" in violations[0].message
+
+    def test_spanning_frequency_min_one_is_silent(self):
+        schema = self.base().frequency(("r1", "r2"), 1, 3).build()
+        assert P7.check(schema) == []
+
+    def test_frequency_without_uniqueness_is_silent(self):
+        schema = self.base().frequency("r1", 2, 5).build()
+        assert P7.check(schema) == []
+
+    def test_uniqueness_on_other_role_is_silent(self):
+        schema = self.base().unique("r2").frequency("r1", 2, 5).build()
+        assert P7.check(schema) == []
+
+
+class TestP8:
+    def ring_schema(self, *kinds):
+        builder = SchemaBuilder().entity("A").fact("rel", ("r1", "A"), ("r2", "A"))
+        for kind in kinds:
+            builder.ring(kind, "r1", "r2")
+        return builder.build()
+
+    def test_symmetric_acyclic_fires(self):
+        violations = P8.check(self.ring_schema("sym", "ac"))
+        assert len(violations) == 1
+        assert set(violations[0].roles) == {"r1", "r2"}
+
+    def test_symmetric_asymmetric_fires(self):
+        assert P8.check(self.ring_schema("sym", "as"))
+
+    def test_paper_example_sym_it_ans(self):
+        assert P8.check(self.ring_schema("sym", "it", "ans"))
+
+    def test_paper_example_ans_it_ir_sym(self):
+        assert P8.check(self.ring_schema("ans", "it", "ir", "sym"))
+
+    def test_sym_it_alone_is_compatible(self):
+        assert P8.check(self.ring_schema("sym", "it")) == []
+
+    def test_single_kinds_are_silent(self):
+        for kind in ("ir", "as", "ans", "ac", "it", "sym"):
+            assert P8.check(self.ring_schema(kind)) == []
+
+    def test_acyclic_intransitive_compatible(self):
+        assert P8.check(self.ring_schema("ac", "it")) == []
+
+    def test_message_names_minimal_core(self):
+        violations = P8.check(self.ring_schema("sym", "ac", "ir"))
+        assert "core" in violations[0].message
+        assert "(Ac, sym)".lower() in violations[0].message.lower() or "sym" in violations[0].message
+
+    def test_two_pairs_checked_independently(self):
+        schema = (
+            SchemaBuilder()
+            .entity("A")
+            .fact("rel1", ("r1", "A"), ("r2", "A"))
+            .fact("rel2", ("r3", "A"), ("r4", "A"))
+            .ring("sym", "r1", "r2")
+            .ring("ac", "r1", "r2")
+            .ring("ir", "r3", "r4")
+            .build()
+        )
+        violations = P8.check(schema)
+        assert len(violations) == 1
+        assert set(violations[0].roles) == {"r1", "r2"}

@@ -1,0 +1,137 @@
+"""Tests for unsatisfiability propagation and repair suggestions."""
+
+from repro.orm import SchemaBuilder
+from repro.patterns import (
+    PatternEngine,
+    explain,
+    propagate,
+    suggest_repairs,
+)
+from repro.reasoner import BoundedModelFinder
+from repro.workloads.figures import build_figure
+
+ENGINE = PatternEngine()
+
+
+class TestPropagation:
+    def test_partner_role_derived(self):
+        # fig10: P7 flags r1; propagation must derive r2 (fact type empty).
+        schema = build_figure("fig10_uniqueness_frequency")
+        result = propagate(schema, ENGINE.check(schema))
+        assert "r2" in result.all_unsat_roles()
+        assert any(item.element == "r2" for item in result.derived)
+
+    def test_mandatory_role_dooms_player(self):
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B")
+            .fact("f", ("r1", "A"), ("r2", "B"))
+            .fact("g", ("r3", "A"), ("r4", "B"))
+            .mandatory("r1")
+            .mandatory("r3")
+            .exclusion("r1", "r3")
+            .build()
+        )
+        result = propagate(schema, ENGINE.check(schema))
+        # P3 case (b) already flags A directly; r2/r4 derive from the roles.
+        assert {"r1", "r2", "r3", "r4"} <= result.all_unsat_roles()
+        assert "A" in result.all_unsat_types()
+
+    def test_subtypes_and_their_roles_derived(self):
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B", "C", "Sub", "X")
+            .subtype("C", "A")
+            .subtype("C", "B")  # P1: C unsat
+            .subtype("Sub", "C")
+            .fact("f", ("r1", "Sub"), ("r2", "X"))
+            .build()
+        )
+        result = propagate(schema, ENGINE.check(schema))
+        assert "Sub" in result.all_unsat_types()
+        assert {"r1", "r2"} <= result.all_unsat_roles()
+
+    def test_setpath_into_unsat_role(self):
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B")
+            .fact("f", ("r1", "A"), ("r2", "B"))
+            .fact("g", ("r3", "A"), ("r4", "B"))
+            .unique("r1")
+            .frequency("r1", 2, 5)  # P7: r1 unsat
+            .subset("r3", "r1")  # r3 <= r1 -> r3 unsat too
+            .build()
+        )
+        result = propagate(schema, ENGINE.check(schema))
+        assert "r3" in result.all_unsat_roles()
+        assert "r4" in result.all_unsat_roles()  # partner of r3
+
+    def test_joint_violations_do_not_seed(self):
+        schema = build_figure("fig7_value_exclusion")  # P5: joint roles
+        result = propagate(schema, ENGINE.check(schema))
+        assert result.direct_roles == ()
+        assert result.derived == []
+
+    def test_derived_elements_are_semantically_unsat(self):
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B", "C", "Sub", "X")
+            .subtype("C", "A")
+            .subtype("C", "B")
+            .subtype("Sub", "C")
+            .fact("f", ("r1", "Sub"), ("r2", "X"))
+            .build()
+        )
+        result = propagate(schema, ENGINE.check(schema))
+        finder = BoundedModelFinder(schema)
+        for role in sorted(result.all_unsat_roles()):
+            assert finder.role_satisfiable(role, max_domain=3).status == "unsat"
+        for type_name in sorted(result.all_unsat_types()):
+            assert finder.type_satisfiable(type_name, max_domain=3).status == "unsat"
+
+    def test_summary_and_justifications(self):
+        schema = build_figure("fig10_uniqueness_frequency")
+        result = propagate(schema, ENGINE.check(schema))
+        assert "derived" in result.summary()
+        for item in result.derived:
+            assert item.via and item.kind in ("role", "type")
+
+    def test_clean_schema_propagates_nothing(self):
+        schema = build_figure("fig11_sister_of")
+        result = propagate(schema, ENGINE.check(schema))
+        assert not result.all_unsat_roles() and not result.all_unsat_types()
+
+
+class TestExplain:
+    def test_every_pattern_has_suggestions(self):
+        from repro.patterns import ALL_IDS
+        from repro.patterns.base import Violation
+
+        for pattern_id in ALL_IDS:
+            violation = Violation(
+                pattern_id=pattern_id,
+                message="m",
+                roles=("r1",),
+                types=("T",),
+                constraints=("c1",),
+            )
+            suggestions = suggest_repairs(violation)
+            assert suggestions, pattern_id
+            assert all(isinstance(s, str) and s for s in suggestions)
+
+    def test_unknown_pattern_yields_empty(self):
+        from repro.patterns.base import Violation
+
+        assert suggest_repairs(Violation(pattern_id="P99", message="m")) == []
+
+    def test_explain_renders_numbered_repairs(self):
+        schema = build_figure("fig1_phd_student")
+        violation = ENGINE.check(schema).violations[0]
+        text = explain(violation)
+        assert text.startswith("[P2]")
+        assert "repair 1:" in text
+
+    def test_p3_suggestion_mentions_fig14_trick(self):
+        schema = build_figure("fig4a_exclusion_mandatory")
+        violation = ENGINE.check(schema).violations[0]
+        assert any("disjunctive" in s for s in suggest_repairs(violation))

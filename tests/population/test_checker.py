@@ -1,0 +1,353 @@
+"""Unit tests for the population constraint checker — the ground-truth
+semantics of the reproduction."""
+
+import pytest
+
+from repro.orm import SchemaBuilder
+from repro.population import (
+    Population,
+    check_population,
+    is_model,
+    satisfies_concepts,
+    satisfies_strongly,
+)
+
+
+def codes(schema, population, **kwargs):
+    return sorted({v.code for v in check_population(schema, population, **kwargs)})
+
+
+def simple_schema(**constraints):
+    return (
+        SchemaBuilder()
+        .entities("A", "B")
+        .fact("f", ("r1", "A"), ("r2", "B"))
+        .build()
+    )
+
+
+class TestTypingAndValues:
+    def test_untyped_filler_flagged(self):
+        schema = simple_schema()
+        pop = Population(schema).add_instance("A", "a").add_fact("f", "a", "ghost")
+        assert "TYP" in codes(schema, pop)
+
+    def test_value_constraint_enforced(self):
+        schema = SchemaBuilder().entity("G", values=["x1", "x2"]).build()
+        pop = Population(schema).add_instance("G", "bad")
+        assert codes(schema, pop) == ["VAL"]
+
+    def test_value_constraint_satisfied(self):
+        schema = SchemaBuilder().entity("G", values=["x1", "x2"]).build()
+        pop = Population(schema).add_instance("G", "x1")
+        assert codes(schema, pop) == []
+
+
+class TestSubtypingRules:
+    def schema(self):
+        return (
+            SchemaBuilder()
+            .entities("Person", "Student")
+            .subtype("Student", "Person")
+            .build()
+        )
+
+    def test_subset_violation(self):
+        schema = self.schema()
+        pop = Population(schema).add_instance("Student", "s")
+        assert "SUB" in codes(schema, pop)
+
+    def test_strictness_violation_on_equality(self):
+        schema = self.schema()
+        pop = (
+            Population(schema)
+            .add_instance("Person", "s")
+            .add_instance("Student", "s")
+        )
+        assert "SUB" in codes(schema, pop)
+        assert "SUB" not in codes(schema, pop, strict_subtypes=False)
+
+    def test_strict_subset_is_legal(self):
+        schema = self.schema()
+        pop = (
+            Population(schema)
+            .add_instances("Person", ["s", "p"])
+            .add_instance("Student", "s")
+        )
+        assert codes(schema, pop) == []
+
+    def test_empty_empty_fails_strictness(self):
+        schema = self.schema()
+        pop = Population(schema)
+        assert "SUB" in codes(schema, pop)
+        assert codes(schema, pop, strict_subtypes=False) == []
+
+
+class TestTopDisjointness:
+    def test_unrelated_tops_must_be_disjoint(self):
+        schema = SchemaBuilder().entities("A", "B").build()
+        pop = Population(schema).add_instance("A", "x").add_instance("B", "x")
+        assert "TOP" in codes(schema, pop)
+        assert "TOP" not in codes(schema, pop, default_type_exclusion=False)
+
+    def test_siblings_under_common_top_may_overlap(self):
+        schema = (
+            SchemaBuilder()
+            .entities("Top", "A", "B")
+            .subtype("A", "Top")
+            .subtype("B", "Top")
+            .build()
+        )
+        pop = (
+            Population(schema)
+            .add_instances("Top", ["x", "y"])
+            .add_instance("A", "x")
+            .add_instance("B", "x")
+        )
+        assert "TOP" not in codes(schema, pop)
+
+    def test_exclusive_types_constraint(self):
+        schema = (
+            SchemaBuilder()
+            .entities("Top", "A", "B")
+            .subtype("A", "Top")
+            .subtype("B", "Top")
+            .exclusive_types("A", "B")
+            .build()
+        )
+        pop = (
+            Population(schema)
+            .add_instances("Top", ["x", "y"])
+            .add_instance("A", "x")
+            .add_instance("B", "x")
+        )
+        assert "XTY" in codes(schema, pop)
+
+
+class TestRoleConstraints:
+    def test_mandatory_violation(self):
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B")
+            .fact("f", ("r1", "A"), ("r2", "B"))
+            .mandatory("r1")
+            .build()
+        )
+        pop = Population(schema).add_instance("A", "a")
+        assert "MAN" in codes(schema, pop)
+        pop.add_instance("B", "b").add_fact("f", "a", "b")
+        assert codes(schema, pop) == []
+
+    def test_disjunctive_mandatory_any_role_suffices(self):
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B", "C")
+            .fact("f", ("r1", "A"), ("r2", "B"))
+            .fact("g", ("r3", "A"), ("r4", "C"))
+            .mandatory("r1", "r3")
+            .build()
+        )
+        pop = (
+            Population(schema)
+            .add_instance("A", "a")
+            .add_instance("C", "c")
+            .add_fact("g", "a", "c")
+        )
+        assert "MAN" not in codes(schema, pop)
+
+    def test_uniqueness_violation(self):
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B")
+            .fact("f", ("r1", "A"), ("r2", "B"))
+            .unique("r1")
+            .build()
+        )
+        pop = (
+            Population(schema)
+            .add_instance("A", "a")
+            .add_instances("B", ["b1", "b2"])
+            .add_fact("f", "a", "b1")
+            .add_fact("f", "a", "b2")
+        )
+        assert "UNI" in codes(schema, pop)
+
+    def test_spanning_uniqueness_never_fires(self):
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B")
+            .fact("f", ("r1", "A"), ("r2", "B"))
+            .unique("r1", "r2")
+            .build()
+        )
+        pop = (
+            Population(schema)
+            .add_instance("A", "a")
+            .add_instances("B", ["b1", "b2"])
+            .add_fact("f", "a", "b1")
+            .add_fact("f", "a", "b2")
+        )
+        assert "UNI" not in codes(schema, pop)
+
+    def test_frequency_bounds(self):
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B")
+            .fact("f", ("r1", "A"), ("r2", "B"))
+            .frequency("r1", 2, 2)
+            .build()
+        )
+        pop = (
+            Population(schema)
+            .add_instance("A", "a")
+            .add_instances("B", ["b1", "b2", "b3"])
+            .add_fact("f", "a", "b1")
+        )
+        assert "FRQ" in codes(schema, pop)  # plays once, needs twice
+        pop.add_fact("f", "a", "b2")
+        assert "FRQ" not in codes(schema, pop)
+        pop.add_fact("f", "a", "b3")
+        assert "FRQ" in codes(schema, pop)  # now exceeds max
+
+    def test_frequency_only_binds_players(self):
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B")
+            .fact("f", ("r1", "A"), ("r2", "B"))
+            .frequency("r1", 2)
+            .build()
+        )
+        pop = Population(schema).add_instance("A", "idle")
+        assert "FRQ" not in codes(schema, pop)  # non-players are unconstrained
+
+    def test_spanning_frequency_min2_fires_on_populated_fact(self):
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B")
+            .fact("f", ("r1", "A"), ("r2", "B"))
+            .frequency(("r1", "r2"), 2)
+            .build()
+        )
+        pop = (
+            Population(schema)
+            .add_instance("A", "a")
+            .add_instance("B", "b")
+            .add_fact("f", "a", "b")
+        )
+        assert "FRQ" in codes(schema, pop)
+
+
+class TestSetComparisons:
+    def two_facts(self):
+        return (
+            SchemaBuilder()
+            .entities("A", "B")
+            .fact("f1", ("r1", "A"), ("r2", "B"))
+            .fact("f2", ("r3", "A"), ("r4", "B"))
+        )
+
+    def populate(self, schema):
+        return (
+            Population(schema)
+            .add_instances("A", ["a1", "a2"])
+            .add_instances("B", ["b1"])
+        )
+
+    def test_role_exclusion(self):
+        schema = self.two_facts().exclusion("r1", "r3").build()
+        pop = self.populate(schema).add_fact("f1", "a1", "b1").add_fact("f2", "a1", "b1")
+        assert "XCL" in codes(schema, pop)
+
+    def test_role_exclusion_disjoint_ok(self):
+        schema = self.two_facts().exclusion("r1", "r3").build()
+        pop = self.populate(schema).add_fact("f1", "a1", "b1").add_fact("f2", "a2", "b1")
+        assert "XCL" not in codes(schema, pop)
+
+    def test_predicate_exclusion(self):
+        schema = self.two_facts().exclusion(("r1", "r2"), ("r3", "r4")).build()
+        pop = self.populate(schema).add_fact("f1", "a1", "b1").add_fact("f2", "a1", "b1")
+        assert "XCL" in codes(schema, pop)
+
+    def test_subset_violation_and_satisfaction(self):
+        schema = self.two_facts().subset("r1", "r3").build()
+        pop = self.populate(schema).add_fact("f1", "a1", "b1")
+        assert "SST" in codes(schema, pop)
+        pop.add_fact("f2", "a1", "b1")
+        assert "SST" not in codes(schema, pop)
+
+    def test_equality_violation(self):
+        schema = self.two_facts().equality(("r1", "r2"), ("r3", "r4")).build()
+        pop = self.populate(schema).add_fact("f1", "a1", "b1")
+        assert "EQL" in codes(schema, pop)
+
+
+class TestRingChecks:
+    def ring(self, kind):
+        return (
+            SchemaBuilder()
+            .entity("A")
+            .fact("rel", ("p", "A"), ("q", "A"))
+            .ring(kind, "p", "q")
+            .build()
+        )
+
+    def test_irreflexive(self):
+        schema = self.ring("ir")
+        pop = Population(schema).add_instance("A", "a").add_fact("rel", "a", "a")
+        assert "RNG" in codes(schema, pop)
+
+    def test_acyclic(self):
+        schema = self.ring("ac")
+        pop = (
+            Population(schema)
+            .add_instances("A", ["a", "b"])
+            .add_fact("rel", "a", "b")
+            .add_fact("rel", "b", "a")
+        )
+        assert "RNG" in codes(schema, pop)
+
+    def test_symmetric_ok(self):
+        schema = self.ring("sym")
+        pop = (
+            Population(schema)
+            .add_instances("A", ["a", "b"])
+            .add_fact("rel", "a", "b")
+            .add_fact("rel", "b", "a")
+        )
+        assert "RNG" not in codes(schema, pop)
+
+
+class TestSatisfactionLevels:
+    def test_strong_requires_all_roles(self):
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B")
+            .fact("f", ("r1", "A"), ("r2", "B"))
+            .build()
+        )
+        pop = Population(schema).add_instance("A", "a").add_instance("B", "b")
+        assert is_model(schema, pop)
+        assert not satisfies_strongly(schema, pop)
+        pop.add_fact("f", "a", "b")
+        assert satisfies_strongly(schema, pop)
+
+    def test_concept_satisfaction(self):
+        schema = SchemaBuilder().entities("A", "B").build()
+        pop = Population(schema).add_instance("A", "a")
+        assert is_model(schema, pop)
+        assert not satisfies_concepts(schema, pop)
+        pop.add_instance("B", "b")
+        assert satisfies_concepts(schema, pop)
+
+    def test_fig1_weak_but_not_concept_satisfiable_population(self):
+        from repro.workloads.figures import build_figure
+
+        schema = build_figure("fig1_phd_student")
+        pop = (
+            Population(schema)
+            .add_instances("Person", ["s", "e", "p"])
+            .add_instance("Student", "s")
+            .add_instance("Employee", "e")
+        )
+        assert is_model(schema, pop)  # the paper's weak-satisfiability witness
+        assert not satisfies_concepts(schema, pop)  # PhDStudent empty

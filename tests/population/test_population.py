@@ -1,0 +1,102 @@
+"""Unit tests for the Population data structure."""
+
+import pytest
+
+from repro.exceptions import PopulationError
+from repro.orm import SchemaBuilder
+from repro.population import Population
+
+
+@pytest.fixture
+def schema():
+    return (
+        SchemaBuilder("uni")
+        .entities("Person", "Student", "Course")
+        .subtype("Student", "Person")
+        .fact("enrolled", ("e1", "Student"), ("e2", "Course"))
+        .fact("mentors", ("m1", "Person"), ("m2", "Person"))
+        .build()
+    )
+
+
+@pytest.fixture
+def pop(schema):
+    population = Population(schema)
+    population.add_instances("Person", ["ann", "bob", "cid"])
+    population.add_instances("Student", ["ann", "bob"])
+    population.add_instance("Course", "db101")
+    population.add_fact("enrolled", "ann", "db101")
+    population.add_fact("enrolled", "bob", "db101")
+    population.add_fact("mentors", "cid", "ann")
+    return population
+
+
+class TestConstruction:
+    def test_unknown_type_rejected(self, schema):
+        with pytest.raises(PopulationError):
+            Population(schema).add_instance("Martian", "zork")
+
+    def test_unknown_fact_rejected(self, schema):
+        with pytest.raises(PopulationError):
+            Population(schema).add_fact("nope", "a", "b")
+
+    def test_duplicate_tuple_is_noop(self, pop):
+        before = pop.size()
+        pop.add_fact("enrolled", "ann", "db101")
+        assert pop.size() == before
+
+    def test_chaining(self, schema):
+        population = Population(schema).add_instance("Person", "x").add_fact(
+            "mentors", "x", "x"
+        )
+        assert population.size() == 2
+
+
+class TestProjections:
+    def test_role_column_has_multiplicity(self, pop):
+        assert sorted(pop.role_column("e2")) == ["db101", "db101"]
+        assert pop.role_values("e2") == {"db101"}
+
+    def test_role_counts(self, pop):
+        assert pop.role_counts("e2")["db101"] == 2
+        assert pop.role_counts("e1")["ann"] == 1
+
+    def test_sequence_tuples_role(self, pop):
+        assert pop.sequence_tuples(("e1",)) == {("ann",), ("bob",)}
+
+    def test_sequence_tuples_predicate_both_orders(self, pop):
+        assert pop.sequence_tuples(("e1", "e2")) == {("ann", "db101"), ("bob", "db101")}
+        assert pop.sequence_tuples(("e2", "e1")) == {("db101", "ann"), ("db101", "bob")}
+
+    def test_sequence_across_facts_rejected(self, pop):
+        with pytest.raises(PopulationError):
+            pop.sequence_tuples(("e1", "m1"))
+
+    def test_ring_relation_orientation(self, pop):
+        assert pop.ring_relation("m1", "m2") == {("cid", "ann")}
+        assert pop.ring_relation("m2", "m1") == {("ann", "cid")}
+
+
+class TestSummaries:
+    def test_populated_types_and_roles(self, pop):
+        assert pop.populated_types() == {"Person", "Student", "Course"}
+        assert pop.populated_roles() == {"e1", "e2", "m1", "m2"}
+
+    def test_empty_population(self, schema):
+        population = Population(schema)
+        assert population.is_empty()
+        assert population.populated_roles() == set()
+        assert population.describe() == "(empty population)"
+
+    def test_all_instances(self, pop):
+        assert "db101" in pop.all_instances()
+        assert "cid" in pop.all_instances()
+
+    def test_clone_is_independent(self, pop):
+        copy = pop.clone()
+        copy.add_instance("Person", "dora")
+        assert "dora" not in pop.instances_of("Person")
+
+    def test_describe_renders_everything(self, pop):
+        text = pop.describe()
+        assert "Person=" in text and "enrolled=" in text

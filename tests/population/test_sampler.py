@@ -1,0 +1,71 @@
+"""Tests for the population samplers."""
+
+import random
+
+from repro.orm import SchemaBuilder
+from repro.population import check_population, empty_population, random_population
+from repro.workloads import GeneratorConfig, generate_schema
+
+
+def demo_schema():
+    return (
+        SchemaBuilder()
+        .entities("Person", "Student", "Course")
+        .subtype("Student", "Person")
+        .fact("enrolled", ("e1", "Student"), ("e2", "Course"))
+        .build()
+    )
+
+
+class TestRandomPopulation:
+    def test_deterministic_under_seed(self):
+        schema = demo_schema()
+        first = random_population(schema, random.Random(5))
+        second = random_population(schema, random.Random(5))
+        assert first.describe() == second.describe()
+
+    def test_well_typed_populations_have_no_typing_violations(self):
+        schema = demo_schema()
+        for seed in range(10):
+            population = random_population(schema, random.Random(seed), well_typed=True)
+            codes = {v.code for v in check_population(schema, population)}
+            assert "TYP" not in codes, population.describe()
+
+    def test_ill_typed_mode_can_produce_typing_violations(self):
+        schema = demo_schema()
+        seen_typ = False
+        for seed in range(20):
+            population = random_population(
+                schema, random.Random(seed), well_typed=False
+            )
+            codes = {v.code for v in check_population(schema, population)}
+            if "TYP" in codes:
+                seen_typ = True
+                break
+        assert seen_typ
+
+    def test_value_pools_respected(self):
+        schema = SchemaBuilder().entity("G", values=["x", "y"]).build()
+        for seed in range(10):
+            population = random_population(schema, random.Random(seed))
+            assert population.instances_of("G") <= {"x", "y"}
+
+    def test_works_on_generated_schemas(self):
+        for seed in range(5):
+            schema = generate_schema(GeneratorConfig(num_types=5, num_facts=3, seed=seed))
+            population = random_population(schema, random.Random(seed))
+            # must not raise; violations are fine
+            check_population(schema, population)
+
+
+class TestEmptyPopulation:
+    def test_empty(self):
+        population = empty_population(demo_schema())
+        assert population.is_empty()
+
+    def test_empty_fails_strictness_with_subtypes(self):
+        schema = demo_schema()
+        population = empty_population(schema)
+        codes = {v.code for v in check_population(schema, population)}
+        assert codes == {"SUB"}
+        assert not check_population(schema, population, strict_subtypes=False)

@@ -1,0 +1,122 @@
+"""Unit tests for the ORM -> CNF encoding internals."""
+
+import pytest
+
+from repro.orm import SchemaBuilder
+from repro.reasoner.encoding import GOAL_WEAK, SchemaEncoder
+from repro.sat import DpllSolver
+
+
+def solve(schema, goal, size):
+    encoder = SchemaEncoder(schema, num_abstract=size)
+    encoding = encoder.encode(goal)
+    result = DpllSolver.from_builder(encoding.builder).solve()
+    return encoding, result
+
+
+class TestVariableAllocation:
+    def test_value_constrained_type_has_only_value_individuals(self):
+        schema = SchemaBuilder().entity("G", values=["x", "y"]).build()
+        # membership vars are allocated lazily; a type goal forces them
+        encoding, result = solve(schema, ("type", "G"), 3)
+        members = [key for key in encoding.membership if key[0] == "G"]
+        assert {individual[0] for _, individual in members} == {"v"}
+        assert len(members) == 2
+        assert result.is_sat
+
+    def test_unconstrained_type_gets_all_individuals(self):
+        schema = SchemaBuilder().entity("A").entity("G", values=["x"]).build()
+        encoding, _ = solve(schema, GOAL_WEAK, 2)
+        members = [key for key in encoding.membership if key[0] == "A"]
+        assert len(members) == 3  # 2 abstract + 1 value individual
+
+    def test_fact_vars_respect_player_pools(self):
+        schema = (
+            SchemaBuilder()
+            .entity("A")
+            .entity("G", values=["x"])
+            .fact("f", ("r1", "A"), ("r2", "G"))
+            .build()
+        )
+        encoding, _ = solve(schema, GOAL_WEAK, 2)
+        targets = {key[2] for key in encoding.fact_tuple}
+        assert targets == {("v", "x")}  # only the value individual fills r2
+
+    def test_shared_value_string_is_one_individual(self):
+        schema = (
+            SchemaBuilder()
+            .entity("A", values=["x"])
+            .entity("B", values=["x", "y"])
+            .build()
+        )
+        encoding, _ = solve(schema, GOAL_WEAK, 0)
+        assert sum(1 for ind in encoding.individuals if ind[0] == "v") == 2
+
+
+class TestGoalClauses:
+    def test_weak_goal_sat_with_empty_model(self):
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B")
+            .fact("f", ("r1", "A"), ("r2", "B"))
+            .build()
+        )
+        encoding, result = solve(schema, GOAL_WEAK, 0)
+        assert result.is_sat
+        population = encoding.decode(schema, result.model)
+        assert population.is_empty()
+
+    def test_role_goal_forces_tuples(self):
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B")
+            .fact("f", ("r1", "A"), ("r2", "B"))
+            .build()
+        )
+        encoding, result = solve(schema, ("role", "r1"), 2)
+        assert result.is_sat
+        population = encoding.decode(schema, result.model)
+        assert population.tuples_of("f")
+
+    def test_type_goal_forces_member(self):
+        schema = SchemaBuilder().entities("A").build()
+        encoding, result = solve(schema, ("type", "A"), 1)
+        assert result.is_sat
+        assert encoding.decode(schema, result.model).instances_of("A")
+
+    def test_roles_goal_requires_all(self):
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B")
+            .fact("f", ("r1", "A"), ("r2", "B"))
+            .fact("g", ("r3", "A"), ("r4", "B"))
+            .build()
+        )
+        encoding, result = solve(schema, ("roles", ("r1", "r3")), 2)
+        assert result.is_sat
+        population = encoding.decode(schema, result.model)
+        assert population.tuples_of("f") and population.tuples_of("g")
+
+    def test_goal_with_no_candidates_is_unsat(self):
+        schema = SchemaBuilder().entity("Never", values=[]).build()
+        _, result = solve(schema, ("type", "Never"), 2)
+        assert result.status is False
+
+
+class TestEncodingStats:
+    def test_negative_abstract_count_rejected(self):
+        schema = SchemaBuilder().entities("A").build()
+        with pytest.raises(ValueError):
+            SchemaEncoder(schema, num_abstract=-1)
+
+    def test_growth_in_domain(self):
+        schema = (
+            SchemaBuilder()
+            .entities("A", "B")
+            .fact("f", ("r1", "A"), ("r2", "B"))
+            .build()
+        )
+        small = SchemaEncoder(schema, 1).encode(GOAL_WEAK).builder.stats()
+        large = SchemaEncoder(schema, 4).encode(GOAL_WEAK).builder.stats()
+        assert large["variables"] > small["variables"]
+        assert large["clauses"] > small["clauses"]

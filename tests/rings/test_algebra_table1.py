@@ -1,0 +1,182 @@
+"""Tests for the ring algebra: Fig. 12 facts and the regenerated Table 1."""
+
+import itertools
+
+import pytest
+
+from repro.orm import RingKind as K
+from repro.rings import (
+    KIND_ORDER,
+    all_compatible_combinations,
+    combination_implies,
+    compatible_rows,
+    format_combination,
+    implied_kinds,
+    incompatibility_rows,
+    incompatible_pairs,
+    is_compatible,
+    maximal_compatible_combinations,
+    minimal_incompatible_core,
+    nonredundant_compatible_rows,
+    render_table,
+    single_implications,
+    summary_counts,
+    table_rows,
+    witness,
+)
+from repro.rings.algebra import relations_over
+from repro.rings.semantics import satisfies_all
+
+
+class TestEulerDiagramFacts:
+    """Every statement the paper makes about Fig. 12, verified semantically."""
+
+    def test_acyclic_implies_irreflexivity(self):
+        # Paper says "acyclic implies reflexivity" — a typo for IRreflexivity.
+        assert K.IRREFLEXIVE in implied_kinds({K.ACYCLIC})
+
+    def test_intransitive_implies_irreflexivity(self):
+        assert K.IRREFLEXIVE in implied_kinds({K.INTRANSITIVE})
+
+    def test_antisymmetric_plus_irreflexive_is_asymmetric(self):
+        closure = implied_kinds({K.ANTISYMMETRIC, K.IRREFLEXIVE})
+        assert K.ASYMMETRIC in closure
+        # and conversely asymmetric implies both components
+        back = implied_kinds({K.ASYMMETRIC})
+        assert {K.ANTISYMMETRIC, K.IRREFLEXIVE} <= back
+
+    def test_acyclic_and_symmetric_incompatible(self):
+        assert not is_compatible(frozenset({K.ACYCLIC, K.SYMMETRIC}))
+
+    def test_incompatible_pairs_exactly_two(self):
+        assert set(incompatible_pairs()) == {
+            (K.ASYMMETRIC, K.SYMMETRIC),
+            (K.ACYCLIC, K.SYMMETRIC),
+        }
+
+    def test_single_implication_structure(self):
+        implications = single_implications()
+        assert implications[K.ACYCLIC] == {K.ASYMMETRIC, K.ANTISYMMETRIC, K.IRREFLEXIVE}
+        assert implications[K.ASYMMETRIC] == {K.ANTISYMMETRIC, K.IRREFLEXIVE}
+        assert implications[K.INTRANSITIVE] == {K.IRREFLEXIVE}
+        assert implications[K.IRREFLEXIVE] == set()
+        assert implications[K.SYMMETRIC] == set()
+        assert implications[K.ANTISYMMETRIC] == set()
+
+
+class TestPaperIncompatibilityExamples:
+    """The three worked examples below Table 1."""
+
+    def test_sym_it_plus_ans(self):
+        assert not is_compatible(frozenset({K.SYMMETRIC, K.INTRANSITIVE, K.ANTISYMMETRIC}))
+
+    def test_sym_it_plus_it_ac(self):
+        assert not is_compatible(frozenset({K.SYMMETRIC, K.INTRANSITIVE, K.ACYCLIC}))
+
+    def test_ans_it_plus_ir_sym(self):
+        assert not is_compatible(
+            frozenset({K.ANTISYMMETRIC, K.INTRANSITIVE, K.IRREFLEXIVE, K.SYMMETRIC})
+        )
+
+    def test_sym_it_alone_is_compatible(self):
+        combo = frozenset({K.SYMMETRIC, K.INTRANSITIVE})
+        assert is_compatible(combo)
+        relation = witness(combo)
+        assert relation and satisfies_all(relation, combo)
+
+
+class TestCompatibilityDecision:
+    def test_every_singleton_is_compatible(self):
+        for kind in K:
+            assert is_compatible(frozenset({kind}))
+
+    def test_empty_combination_is_compatible(self):
+        assert is_compatible(frozenset())
+
+    def test_domain_two_agrees_with_domain_three(self):
+        # The substructure argument says 2 elements suffice; verify against 3.
+        for size in range(1, 7):
+            for subset in itertools.combinations(KIND_ORDER, size):
+                combo = frozenset(subset)
+                assert is_compatible(combo, 2) == is_compatible(combo, 3), combo
+
+    def test_witness_satisfies_combination(self):
+        for row in compatible_rows():
+            assert row.witness is not None
+            assert satisfies_all(row.witness, row.kinds)
+
+    def test_witness_none_for_incompatible(self):
+        assert witness(frozenset({K.SYMMETRIC, K.ACYCLIC})) is None
+
+    def test_compatibility_is_downward_closed(self):
+        compatible = set(all_compatible_combinations())
+        for combo in compatible:
+            for kind in combo:
+                smaller = combo - {kind}
+                if smaller:
+                    assert smaller in compatible
+
+
+class TestTable1:
+    def test_row_counts(self):
+        counts = summary_counts()
+        assert counts["combinations"] == 63
+        assert counts["compatible"] + counts["incompatible"] == 63
+        assert counts["compatible"] == 36
+
+    def test_every_row_is_classified(self):
+        for row in table_rows():
+            if row.compatible:
+                assert row.witness is not None and row.minimal_core is None
+            else:
+                assert row.witness is None and row.minimal_core is not None
+
+    def test_minimal_core_is_incompatible_and_minimal(self):
+        for row in incompatibility_rows():
+            core = row.minimal_core
+            assert core is not None and core <= row.kinds
+            assert not is_compatible(core)
+            for kind in core:
+                assert is_compatible(core - {kind}) or len(core) == 1
+
+    def test_minimal_core_of_compatible_is_none(self):
+        assert minimal_incompatible_core(frozenset({K.IRREFLEXIVE})) is None
+
+    def test_maximal_combinations_cover_all(self):
+        maximal = maximal_compatible_combinations()
+        for combo in all_compatible_combinations():
+            assert any(combo <= big for big in maximal)
+
+    def test_nonredundant_rows_have_no_implied_member(self):
+        for row in nonredundant_compatible_rows():
+            for kind in row.kinds:
+                rest = row.kinds - {kind}
+                if rest:
+                    assert kind not in implied_kinds(rest)
+
+    def test_render_table_mentions_every_compatible_combo(self):
+        text = render_table()
+        for row in compatible_rows():
+            assert row.label in text
+
+    def test_format_combination(self):
+        assert format_combination({K.ANTISYMMETRIC, K.INTRANSITIVE}) == "(Ans, it)"
+        assert format_combination(frozenset()) == "()"
+
+
+class TestImplicationEngine:
+    def test_implication_stable_at_domain_four(self):
+        # The Fig. 12 implications computed at domain 3 must not be artifacts
+        # of the small domain: re-check single implications at size 4.
+        for kind, implied in single_implications().items():
+            for other in implied:
+                assert combination_implies(frozenset({kind}), other, 4)
+
+    def test_non_implication_examples(self):
+        assert not combination_implies(frozenset({K.IRREFLEXIVE}), K.ASYMMETRIC)
+        assert not combination_implies(frozenset({K.INTRANSITIVE}), K.ACYCLIC)
+        assert not combination_implies(frozenset({K.ANTISYMMETRIC}), K.IRREFLEXIVE)
+
+    def test_relations_over_counts(self):
+        assert len(relations_over(1)) == 2
+        assert len(relations_over(2)) == 16

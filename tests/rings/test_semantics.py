@@ -1,0 +1,93 @@
+"""Unit tests for the ring-constraint relation semantics."""
+
+import pytest
+
+from repro.orm import RingKind
+from repro.rings import (
+    as_relation,
+    is_acyclic,
+    is_antisymmetric,
+    is_asymmetric,
+    is_intransitive,
+    is_irreflexive,
+    is_symmetric,
+    satisfies,
+    satisfies_all,
+    violated_kinds,
+)
+
+EMPTY = as_relation([])
+SELF_LOOP = as_relation([("a", "a")])
+EDGE = as_relation([("a", "b")])
+BOTH_WAYS = as_relation([("a", "b"), ("b", "a")])
+CHAIN = as_relation([("a", "b"), ("b", "c")])
+CHAIN_SHORTCUT = as_relation([("a", "b"), ("b", "c"), ("a", "c")])
+TRIANGLE = as_relation([("a", "b"), ("b", "c"), ("c", "a")])
+
+
+class TestIndividualProperties:
+    def test_irreflexive(self):
+        assert is_irreflexive(EDGE)
+        assert is_irreflexive(EMPTY)
+        assert not is_irreflexive(SELF_LOOP)
+
+    def test_symmetric(self):
+        assert is_symmetric(BOTH_WAYS)
+        assert is_symmetric(SELF_LOOP)
+        assert is_symmetric(EMPTY)
+        assert not is_symmetric(EDGE)
+
+    def test_asymmetric(self):
+        assert is_asymmetric(EDGE)
+        assert not is_asymmetric(BOTH_WAYS)
+        assert not is_asymmetric(SELF_LOOP)  # (a,a) is its own reverse
+
+    def test_antisymmetric(self):
+        assert is_antisymmetric(EDGE)
+        assert is_antisymmetric(SELF_LOOP)  # reflexive pairs are allowed
+        assert not is_antisymmetric(BOTH_WAYS)
+
+    def test_intransitive(self):
+        assert is_intransitive(CHAIN)
+        assert not is_intransitive(CHAIN_SHORTCUT)
+        assert not is_intransitive(SELF_LOOP)  # x=y=z case
+        assert is_intransitive(TRIANGLE)  # 3-cycle has no shortcut
+
+    def test_intransitive_two_cycle(self):
+        # a->b, b->a: needs NOT a->a and NOT b->b; both hold.
+        assert is_intransitive(BOTH_WAYS)
+
+    def test_acyclic(self):
+        assert is_acyclic(EDGE)
+        assert is_acyclic(CHAIN)
+        assert is_acyclic(CHAIN_SHORTCUT)
+        assert not is_acyclic(SELF_LOOP)
+        assert not is_acyclic(BOTH_WAYS)
+        assert not is_acyclic(TRIANGLE)
+
+    def test_acyclic_long_cycle(self):
+        cycle = as_relation([(i, (i + 1) % 6) for i in range(6)])
+        assert not is_acyclic(cycle)
+
+    def test_acyclic_diamond_is_fine(self):
+        diamond = as_relation([("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+        assert is_acyclic(diamond)
+
+
+class TestDispatchers:
+    def test_satisfies_accepts_plain_iterables(self):
+        assert satisfies([("a", "b")], RingKind.IRREFLEXIVE)
+
+    def test_satisfies_all(self):
+        assert satisfies_all(EDGE, [RingKind.IRREFLEXIVE, RingKind.ASYMMETRIC])
+        assert not satisfies_all(BOTH_WAYS, [RingKind.ASYMMETRIC])
+
+    def test_violated_kinds(self):
+        violated = violated_kinds(BOTH_WAYS, list(RingKind))
+        assert RingKind.ASYMMETRIC in violated
+        assert RingKind.ACYCLIC in violated
+        assert RingKind.SYMMETRIC not in violated
+
+    @pytest.mark.parametrize("kind", list(RingKind))
+    def test_empty_relation_satisfies_everything(self, kind):
+        assert satisfies(EMPTY, kind)

@@ -1,0 +1,122 @@
+"""Unit tests for the CNF builder and cardinality encodings."""
+
+import itertools
+
+import pytest
+
+from repro.exceptions import SolverError
+from repro.sat import CnfBuilder, brute_force_satisfiable, verify_model
+
+
+class TestBasics:
+    def test_new_var_and_names(self):
+        builder = CnfBuilder()
+        a = builder.new_var("alpha")
+        b = builder.new_var()
+        assert (a, b) == (1, 2)
+        assert builder.name_of(a) == "alpha"
+        assert builder.name_of(b) == "v2"
+
+    def test_add_clause_validates_literals(self):
+        builder = CnfBuilder()
+        builder.new_var()
+        with pytest.raises(SolverError):
+            builder.add_clause((0,))
+        with pytest.raises(SolverError):
+            builder.add_clause((5,))
+
+    def test_tautologies_dropped_and_duplicates_collapsed(self):
+        builder = CnfBuilder()
+        a = builder.new_var()
+        builder.add_clause((a, -a))
+        assert builder.clauses == []
+        builder.add_clause((a, a))
+        assert builder.clauses == [(a,)]
+
+    def test_implication_and_equivalence(self):
+        builder = CnfBuilder()
+        a, b = builder.new_var(), builder.new_var()
+        builder.add_equivalence(a, b)
+        assert verify_model(builder, {1: True, 2: True})
+        assert verify_model(builder, {1: False, 2: False})
+        assert not verify_model(builder, {1: True, 2: False})
+
+    def test_stats(self):
+        builder = CnfBuilder()
+        a, b = builder.new_var(), builder.new_var()
+        builder.add_clause((a, b))
+        assert builder.stats() == {"variables": 2, "clauses": 1, "literals": 2}
+
+
+def count_models(builder):
+    """Number of satisfying assignments (brute force)."""
+    n = builder.num_vars
+    count = 0
+    for mask in range(1 << n):
+        model = {v: bool(mask >> (v - 1) & 1) for v in range(1, n + 1)}
+        if verify_model(builder, model):
+            count += 1
+    return count
+
+
+class TestCardinality:
+    @pytest.mark.parametrize("n,k", [(4, 0), (4, 1), (4, 2), (4, 3), (5, 2)])
+    def test_at_most_k_model_count(self, n, k):
+        builder = CnfBuilder()
+        variables = [builder.new_var() for _ in range(n)]
+        builder.at_most_k(variables, k)
+        expected = sum(
+            1 for size in range(0, k + 1) for _ in itertools.combinations(range(n), size)
+        )
+        assert count_models(builder) == expected
+
+    @pytest.mark.parametrize("n,k", [(4, 1), (4, 2), (4, 4), (5, 3)])
+    def test_at_least_k_model_count(self, n, k):
+        builder = CnfBuilder()
+        variables = [builder.new_var() for _ in range(n)]
+        builder.at_least_k(variables, k)
+        expected = sum(
+            1 for size in range(k, n + 1) for _ in itertools.combinations(range(n), size)
+        )
+        assert count_models(builder) == expected
+
+    def test_at_least_k_guarded(self):
+        builder = CnfBuilder()
+        guard = builder.new_var()
+        variables = [builder.new_var() for _ in range(3)]
+        builder.at_least_k(variables, 2, condition=guard)
+        # guard false -> anything goes (8 models); guard true -> >=2 of 3 (4)
+        assert count_models(builder) == 8 + 4
+
+    def test_at_least_more_than_available_forces_guard_false(self):
+        builder = CnfBuilder()
+        guard = builder.new_var()
+        variables = [builder.new_var() for _ in range(2)]
+        builder.at_least_k(variables, 3, condition=guard)
+        assert count_models(builder) == 4  # guard false, two free vars
+
+    def test_at_least_more_than_available_unguarded_is_unsat(self):
+        builder = CnfBuilder()
+        variables = [builder.new_var() for _ in range(2)]
+        builder.at_least_k(variables, 3)
+        assert not brute_force_satisfiable(builder)
+
+    def test_exactly_one(self):
+        builder = CnfBuilder()
+        variables = [builder.new_var() for _ in range(4)]
+        builder.exactly_one(variables)
+        assert count_models(builder) == 4
+
+    def test_at_most_k_trivial_cases(self):
+        builder = CnfBuilder()
+        variables = [builder.new_var() for _ in range(3)]
+        builder.at_most_k(variables, 3)
+        assert builder.clauses == []
+        with pytest.raises(SolverError):
+            builder.at_most_k(variables, -1)
+
+    def test_cardinality_size_guard(self):
+        builder = CnfBuilder()
+        variables = [builder.new_var() for _ in range(60)]
+        with pytest.raises(SolverError, match="exceed"):
+            builder.at_most_k(variables, 30)

@@ -1,0 +1,123 @@
+"""Tests for the DPLL solver, including randomized cross-validation against
+exhaustive truth-table search."""
+
+import random
+
+import pytest
+
+from repro.sat import (
+    CnfBuilder,
+    DpllSolver,
+    brute_force_satisfiable,
+    solve_cnf,
+    verify_model,
+)
+
+
+def build(num_vars, clauses):
+    builder = CnfBuilder()
+    for _ in range(num_vars):
+        builder.new_var()
+    for clause in clauses:
+        builder.add_clause(clause)
+    return builder
+
+
+class TestBasicCases:
+    def test_empty_formula_is_sat(self):
+        assert solve_cnf(build(0, [])).is_sat
+
+    def test_single_unit(self):
+        result = solve_cnf(build(1, [(1,)]))
+        assert result.is_sat and result.model[1] is True
+
+    def test_contradicting_units(self):
+        assert solve_cnf(build(1, [(1,), (-1,)])).status is False
+
+    def test_empty_clause_is_unsat(self):
+        builder = build(1, [])
+        builder.clauses.append(())
+        assert solve_cnf(builder).status is False
+
+    def test_simple_implication_chain(self):
+        result = solve_cnf(build(3, [(1,), (-1, 2), (-2, 3)]))
+        assert result.is_sat
+        assert result.model == {1: True, 2: True, 3: True}
+
+    def test_requires_backtracking(self):
+        # (a | b) & (a | -b) & (-a | c) & (-a | -c) forces a conflict on a.
+        result = solve_cnf(build(3, [(1, 2), (1, -2), (-1, 3), (-1, -3)]))
+        assert result.status is False
+
+    def test_pigeonhole_3_into_2_unsat(self):
+        # p[i][j]: pigeon i in hole j; classic small UNSAT instance.
+        builder = CnfBuilder()
+        var = {}
+        for pigeon in range(3):
+            for hole in range(2):
+                var[pigeon, hole] = builder.new_var(f"p{pigeon}h{hole}")
+        for pigeon in range(3):
+            builder.add_clause([var[pigeon, hole] for hole in range(2)])
+        for hole in range(2):
+            builder.at_most_one([var[pigeon, hole] for pigeon in range(3)])
+        result = solve_cnf(builder)
+        assert result.status is False
+        assert result.conflicts > 0
+
+    def test_model_verifies(self):
+        builder = build(4, [(1, 2), (-1, 3), (-2, -3), (3, 4)])
+        result = solve_cnf(builder)
+        assert result.is_sat
+        assert verify_model(builder, result.model)
+
+    def test_decision_budget_returns_unknown(self):
+        clauses = [(1, 2, 3), (-1, -2), (-2, -3), (-1, -3)]
+        result = solve_cnf(build(3, clauses), max_decisions=0)
+        assert result.status is None
+
+
+class TestRandomizedAgreement:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_agrees_with_truth_table(self, seed):
+        rng = random.Random(seed)
+        num_vars = rng.randint(3, 9)
+        num_clauses = rng.randint(2, 30)
+        clauses = []
+        for _ in range(num_clauses):
+            width = rng.randint(1, 4)
+            clause = tuple(
+                rng.choice((1, -1)) * rng.randint(1, num_vars) for _ in range(width)
+            )
+            clauses.append(clause)
+        builder = build(num_vars, clauses)
+        expected = brute_force_satisfiable(builder)
+        result = solve_cnf(builder)
+        assert result.status is expected
+        if result.is_sat:
+            assert verify_model(builder, result.model)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_deterministic(self, seed):
+        rng = random.Random(seed + 100)
+        clauses = [
+            tuple(rng.choice((1, -1)) * rng.randint(1, 6) for _ in range(3))
+            for _ in range(15)
+        ]
+        first = solve_cnf(build(6, list(clauses)))
+        second = solve_cnf(build(6, list(clauses)))
+        assert first.status == second.status
+        assert first.model == second.model
+        assert first.decisions == second.decisions
+
+
+class TestSolverInternals:
+    def test_from_builder(self):
+        builder = build(2, [(1, 2)])
+        solver = DpllSolver.from_builder(builder)
+        assert solver.solve().is_sat
+
+    def test_statistics_populated(self):
+        builder = build(3, [(1, 2), (-1, 2), (1, -2), (-2, 3)])
+        result = solve_cnf(builder)
+        assert result.is_sat
+        assert result.propagations > 0

@@ -1,0 +1,116 @@
+"""Unit tests for the SetPath implication graph (paper Fig. 9)."""
+
+from repro.orm import SchemaBuilder
+from repro.setcomp import SetPathGraph
+
+
+def schema_with_three_parallel_facts():
+    return (
+        SchemaBuilder()
+        .entities("A", "B")
+        .fact("f1", ("r1", "A"), ("r2", "B"))
+        .fact("f2", ("r3", "A"), ("r4", "B"))
+        .fact("f3", ("r5", "A"), ("r6", "B"))
+        .build()
+    )
+
+
+class TestConstruction:
+    def test_from_schema_collects_subsets_and_equalities(self):
+        schema = schema_with_three_parallel_facts()
+        schema.add_subset("r1", "r3", label="s1")
+        schema.add_equality("r3", "r5", label="e1")
+        graph = SetPathGraph.from_schema(schema)
+        assert graph.subset_holds(("r1",), ("r3",))
+        assert graph.subset_holds(("r3",), ("r5",))
+        assert graph.subset_holds(("r5",), ("r3",))
+
+    def test_predicate_subset_implies_role_subsets(self):
+        # Fig. 9: (r1,r2) <= (r3,r4) implies r1 <= r3 and r2 <= r4.
+        graph = SetPathGraph()
+        graph.add_subset(("r1", "r2"), ("r3", "r4"), "sub")
+        assert graph.subset_holds(("r1",), ("r3",))
+        assert graph.subset_holds(("r2",), ("r4",))
+        assert not graph.subset_holds(("r1",), ("r4",))
+
+    def test_permuted_predicate_view_is_added(self):
+        graph = SetPathGraph()
+        graph.add_subset(("r1", "r2"), ("r3", "r4"), "sub")
+        assert graph.subset_holds(("r2", "r1"), ("r4", "r3"))
+
+    def test_role_subset_does_not_imply_predicate_subset(self):
+        graph = SetPathGraph()
+        graph.add_subset(("r1",), ("r3",), "sub")
+        assert not graph.subset_holds(("r1", "r2"), ("r3", "r4"))
+
+
+class TestPaths:
+    def test_transitive_chain(self):
+        graph = SetPathGraph()
+        graph.add_subset(("r1",), ("r3",), "s1")
+        graph.add_subset(("r3",), ("r5",), "s2")
+        path = graph.find_path(("r1",), ("r5",))
+        assert path is not None
+        assert path.origins == ("s1", "s2")
+
+    def test_zero_length_path_does_not_count(self):
+        graph = SetPathGraph()
+        graph.add_subset(("r1",), ("r3",), "s1")
+        assert graph.find_path(("r1",), ("r1",)) is None
+
+    def test_cycle_is_safe(self):
+        graph = SetPathGraph()
+        graph.add_subset(("r1",), ("r3",), "s1")
+        graph.add_subset(("r3",), ("r1",), "s2")
+        assert graph.subset_holds(("r1",), ("r3",))
+        assert graph.subset_holds(("r3",), ("r1",))
+        assert graph.equal_holds(("r1",), ("r3",))
+
+    def test_setpaths_between_returns_both_directions(self):
+        graph = SetPathGraph()
+        graph.add_subset(("r1",), ("r3",), "s1")
+        graph.add_subset(("r3",), ("r1",), "s2")
+        paths = graph.setpaths_between(("r1",), ("r3",))
+        assert len(paths) == 2
+        directions = {(path.source, path.target) for path in paths}
+        assert directions == {(("r1",), ("r3",)), (("r3",), ("r1",))}
+
+    def test_shortest_path_is_returned(self):
+        graph = SetPathGraph()
+        graph.add_subset(("r1",), ("r5",), "direct")
+        graph.add_subset(("r1",), ("r3",), "long1")
+        graph.add_subset(("r3",), ("r5",), "long2")
+        path = graph.find_path(("r1",), ("r5",))
+        assert path is not None and len(path.edges) == 1
+        assert path.origins == ("direct",)
+
+    def test_mixed_level_chain(self):
+        # predicate subset then role subset chains at the role level
+        graph = SetPathGraph()
+        graph.add_subset(("r1", "r2"), ("r3", "r4"), "pred")
+        graph.add_subset(("r3",), ("r5",), "role")
+        assert graph.subset_holds(("r1",), ("r5",))
+
+    def test_no_path_between_unrelated(self):
+        graph = SetPathGraph()
+        graph.add_subset(("r1",), ("r3",), "s1")
+        assert graph.find_path(("r3",), ("r1",)) is None
+        assert graph.setpaths_between(("r1",), ("r5",)) == []
+
+
+class TestIntrospection:
+    def test_nodes_and_edges(self):
+        graph = SetPathGraph()
+        graph.add_subset(("r1", "r2"), ("r3", "r4"), "sub")
+        nodes = graph.nodes()
+        assert ("r1", "r2") in nodes and ("r1",) in nodes
+        # declared + permuted + two role-level = 4 edges
+        assert len(graph.direct_edges()) == 4
+        implied = [edge for edge in graph.direct_edges() if edge.implied]
+        assert len(implied) == 3
+
+    def test_duplicate_edges_ignored(self):
+        graph = SetPathGraph()
+        graph.add_subset(("r1",), ("r3",), "s1")
+        graph.add_subset(("r1",), ("r3",), "s1")
+        assert len(graph.direct_edges()) == 1

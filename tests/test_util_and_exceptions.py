@@ -1,0 +1,67 @@
+"""Tests for the shared helpers and the exception hierarchy."""
+
+import pytest
+
+from repro import _util
+from repro.exceptions import (
+    BudgetExceededError,
+    ConstraintArityError,
+    DuplicateNameError,
+    ParseError,
+    PopulationError,
+    ReproError,
+    SchemaError,
+    SolverError,
+    UnknownElementError,
+)
+
+
+class TestUtil:
+    def test_dedupe_preserves_order(self):
+        assert _util.dedupe([3, 1, 3, 2, 1]) == [3, 1, 2]
+
+    def test_pairs_unordered(self):
+        assert list(_util.pairs("abc")) == [("a", "b"), ("a", "c"), ("b", "c")]
+        assert list(_util.pairs([])) == []
+
+    def test_ordered_pairs(self):
+        assert list(_util.ordered_pairs("ab")) == [("a", "b"), ("b", "a")]
+
+    def test_comma_join(self):
+        assert _util.comma_join([]) == ""
+        assert _util.comma_join(["a"]) == "a"
+        assert _util.comma_join(["a", "b"]) == "a and b"
+        assert _util.comma_join(["a", "b", "c"]) == "a, b and c"
+
+    def test_freeze(self):
+        assert _util.freeze([1, 2]) == (1, 2)
+
+    def test_stable_sorted_names(self):
+        assert _util.stable_sorted_names(["b", "A", "a", "B"]) == ["A", "a", "B", "b"]
+
+
+class TestExceptions:
+    def test_hierarchy(self):
+        for cls in (
+            SchemaError,
+            PopulationError,
+            ParseError,
+            SolverError,
+            BudgetExceededError,
+        ):
+            assert issubclass(cls, ReproError)
+        assert issubclass(DuplicateNameError, SchemaError)
+        assert issubclass(UnknownElementError, SchemaError)
+        assert issubclass(ConstraintArityError, SchemaError)
+
+    def test_duplicate_name_message(self):
+        error = DuplicateNameError("role", "r1")
+        assert "r1" in str(error) and error.kind == "role"
+
+    def test_parse_error_line(self):
+        assert "(line 7)" in str(ParseError("boom", 7))
+        assert "line" not in str(ParseError("boom"))
+
+    def test_catch_all(self):
+        with pytest.raises(ReproError):
+            raise UnknownElementError("object type", "X")

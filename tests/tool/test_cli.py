@@ -1,0 +1,81 @@
+"""Tests for the orm-validate CLI."""
+
+import json
+
+import pytest
+
+from repro.io import write_schema
+from repro.tool.cli import main
+from repro.workloads.figures import build_figure
+
+
+@pytest.fixture
+def unsat_file(tmp_path):
+    path = tmp_path / "fig1.orm"
+    path.write_text(write_schema(build_figure("fig1_phd_student")))
+    return path
+
+
+@pytest.fixture
+def sat_file(tmp_path):
+    path = tmp_path / "fig11.orm"
+    path.write_text(write_schema(build_figure("fig11_sister_of")))
+    return path
+
+
+class TestExitCodes:
+    def test_unsat_schema_exits_1(self, unsat_file, capsys):
+        assert main([str(unsat_file)]) == 1
+        out = capsys.readouterr().out
+        assert "PhDStudent" in out
+
+    def test_sat_schema_exits_0(self, sat_file, capsys):
+        assert main([str(sat_file)]) == 0
+        assert "No unsatisfiability" in capsys.readouterr().out
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.orm")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_parse_error_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.orm"
+        bad.write_text("wibble wobble\n")
+        assert main([str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_pattern_exits_2(self, sat_file, capsys):
+        assert main([str(sat_file), "--patterns", "P77"]) == 2
+
+
+class TestOptions:
+    def test_pattern_subset_changes_verdict(self, unsat_file):
+        assert main([str(unsat_file), "--patterns", "P1,P9"]) == 0
+
+    def test_json_format(self, unsat_file, capsys):
+        assert main([str(unsat_file), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["satisfiable_by_patterns"] is False
+        assert payload["violations"][0]["pattern"] == "P2"
+
+    def test_verbalize(self, sat_file, capsys):
+        main([str(sat_file), "--verbalize"])
+        out = capsys.readouterr().out
+        assert "Schema verbalization:" in out
+        assert "irreflexive" in out
+
+    def test_formation_rules_flag(self, tmp_path, capsys):
+        path = tmp_path / "fig14.orm"
+        path.write_text(write_schema(build_figure("fig14_rule6_satisfiable")))
+        main([str(path), "--formation-rules"])
+        assert "FR6" in capsys.readouterr().out
+
+    def test_complete_check(self, sat_file, capsys):
+        assert main([str(sat_file), "--complete", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Complete bounded check" in out
+        assert "sat" in out
+
+    def test_complete_check_json(self, unsat_file, capsys):
+        main([str(unsat_file), "--format", "json", "--complete", "2"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["complete_check"]["status"] in ("sat", "unsat", "unknown")

@@ -1,0 +1,68 @@
+"""Tests for the extension-related CLI flags."""
+
+import json
+
+import pytest
+
+from repro.io import write_schema
+from repro.orm import SchemaBuilder
+from repro.tool.cli import main
+from repro.workloads.figures import build_figure
+
+
+@pytest.fixture
+def x1_file(tmp_path):
+    """Irreflexive ring over a 1-value pool: only X1 detects it."""
+    schema = (
+        SchemaBuilder("x1case")
+        .entity("A", values=["only"])
+        .fact("rel", ("p", "A"), ("q", "A"))
+        .ring("ir", "p", "q")
+        .build()
+    )
+    path = tmp_path / "x1.orm"
+    path.write_text(write_schema(schema))
+    return path
+
+
+@pytest.fixture
+def fig10_file(tmp_path):
+    path = tmp_path / "fig10.orm"
+    path.write_text(write_schema(build_figure("fig10_uniqueness_frequency")))
+    return path
+
+
+class TestExtensionsFlag:
+    def test_base_run_misses_x1_case(self, x1_file):
+        assert main([str(x1_file)]) == 0
+
+    def test_extensions_flag_catches_it(self, x1_file, capsys):
+        assert main([str(x1_file), "--extensions"]) == 1
+        assert "[X1]" in capsys.readouterr().out
+
+    def test_extensions_in_json(self, x1_file, capsys):
+        main([str(x1_file), "--extensions", "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["violations"][0]["pattern"] == "X1"
+
+
+class TestPropagateFlag:
+    def test_propagation_output(self, fig10_file, capsys):
+        assert main([str(fig10_file), "--propagate"]) == 1
+        out = capsys.readouterr().out
+        assert "Propagation:" in out
+        assert "r2" in out  # derived partner role
+
+    def test_propagation_json(self, fig10_file, capsys):
+        main([str(fig10_file), "--propagate", "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert "r2" in payload["propagated"]["unsat_roles"]
+        assert payload["propagated"]["derived"]
+
+
+class TestRepairsFlag:
+    def test_repairs_listed(self, fig10_file, capsys):
+        main([str(fig10_file), "--repairs"])
+        out = capsys.readouterr().out
+        assert "Candidate repairs:" in out
+        assert "uniqueness" in out

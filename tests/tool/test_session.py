@@ -1,0 +1,79 @@
+"""Tests for the interactive modeling session (Sec. 4 experience loop)."""
+
+from repro.tool import ModelingSession
+
+
+def build_fig1_interactively():
+    """Replay the paper's Fig. 1 as an editing session."""
+    session = ModelingSession("fig1-replay")
+    session.add_entity("Person")
+    session.add_entity("Student")
+    session.add_entity("Employee")
+    session.add_entity("PhDStudent")
+    session.add_subtype("Student", "Person")
+    session.add_subtype("Employee", "Person")
+    session.add_subtype("PhDStudent", "Student")
+    session.add_exclusive_types("Student", "Employee")
+    return session
+
+
+class TestIncrementalValidation:
+    def test_problem_surfaces_at_the_breaking_edit(self):
+        session = build_fig1_interactively()
+        assert session.problem_steps() == []  # so far consistent
+        event = session.add_subtype("PhDStudent", "Employee")
+        assert event.introduced_problem
+        assert event.new_violations[0].pattern_id == "P2"
+        assert session.problem_steps() == [event]
+
+    def test_each_edit_records_an_event(self):
+        session = build_fig1_interactively()
+        assert len(session.events) == 8
+        assert session.latest().step == 8
+
+    def test_resolution_tracked(self):
+        # P7 conflict appears with the frequency, "resolves" if we then look
+        # at a session that never had it -- instead test via new constraint
+        # ordering: uniqueness then frequency introduces; nothing resolves
+        # (constraints cannot be removed), so resolved stays empty.
+        session = ModelingSession()
+        session.add_entity("A")
+        session.add_entity("B")
+        session.add_fact("f", ("r1", "A"), ("r2", "B"))
+        session.add_uniqueness("r1")
+        event = session.add_frequency("r1", 2, 5)
+        assert event.introduced_problem
+        assert event.resolved_violations == []
+
+    def test_transcript_renders(self):
+        session = build_fig1_interactively()
+        session.add_subtype("PhDStudent", "Employee")
+        text = session.transcript()
+        assert "[!!]" in text and "[ok]" in text
+        assert "P2" in text
+
+    def test_settings_flow_through(self):
+        from repro.tool import ValidatorSettings
+
+        settings = ValidatorSettings()
+        settings.disable("P2")
+        session = ModelingSession(settings=settings)
+        session.add_entity("Person")
+        session.add_entity("Student")
+        session.add_entity("Employee")
+        session.add_subtype("Student", "Person")
+        session.add_subtype("Employee", "Person")
+        session.add_entity("PhDStudent")
+        session.add_subtype("PhDStudent", "Student")
+        session.add_subtype("PhDStudent", "Employee")
+        event = session.add_exclusive_types("Student", "Employee")
+        assert not event.introduced_problem  # P2 unticked in the settings
+
+    def test_ring_and_other_verbs(self):
+        session = ModelingSession()
+        session.add_entity("A")
+        session.add_fact("rel", ("p", "A"), ("q", "A"))
+        session.add_ring("sym", "p", "q")
+        event = session.add_ring("ac", "p", "q")
+        assert event.introduced_problem
+        assert event.new_violations[0].pattern_id == "P8"

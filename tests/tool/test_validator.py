@@ -1,0 +1,68 @@
+"""Tests for the Fig. 15 validator settings and tool reports."""
+
+import pytest
+
+from repro.patterns.engine import PATTERN_IDS
+from repro.tool import Validator, ValidatorSettings
+from repro.workloads.figures import build_figure
+
+
+class TestSettings:
+    def test_defaults(self):
+        settings = ValidatorSettings()
+        assert settings.enabled_ids() == list(PATTERN_IDS)
+        assert settings.wellformedness
+        assert not settings.formation_rules
+
+    def test_toggle(self):
+        settings = ValidatorSettings()
+        settings.disable("P2")
+        assert "P2" not in settings.enabled_ids()
+        settings.enable("P2")
+        assert "P2" in settings.enabled_ids()
+
+    def test_unknown_pattern_rejected(self):
+        settings = ValidatorSettings()
+        with pytest.raises(KeyError):
+            settings.enable("P77")
+
+
+class TestValidator:
+    def test_detects_fig1(self):
+        report = Validator().validate(build_figure("fig1_phd_student"))
+        assert not report.ok
+        assert "PhDStudent" in report.render()
+
+    def test_disabled_pattern_silences(self):
+        settings = ValidatorSettings()
+        settings.disable("P2")
+        report = Validator(settings).validate(build_figure("fig1_phd_student"))
+        assert report.ok
+
+    def test_formation_rules_opt_in(self):
+        schema = build_figure("fig14_rule6_satisfiable")
+        without = Validator().validate(schema)
+        assert without.rule_findings == []
+        settings = ValidatorSettings(formation_rules=True)
+        with_rules = Validator(settings).validate(schema)
+        assert any(f.rule_id == "FR6" for f in with_rules.rule_findings)
+        assert "FR6" in with_rules.render()
+
+    def test_wellformedness_toggle(self):
+        from repro.orm import SchemaBuilder
+
+        schema = SchemaBuilder().entities("Lonely").build()
+        assert Validator().validate(schema).advisories
+        settings = ValidatorSettings(wellformedness=False)
+        assert Validator(settings).validate(schema).advisories == []
+
+    def test_render_mentions_pattern_ids_and_timing(self):
+        report = Validator().validate(build_figure("fig13_subtype_loop"))
+        text = report.render()
+        assert "[P9]" in text
+        assert "ms" in text
+
+    def test_clean_schema_renders_ok(self):
+        report = Validator().validate(build_figure("fig11_sister_of"))
+        assert report.ok
+        assert "No unsatisfiability pattern fired." in report.render()

@@ -1,0 +1,87 @@
+"""Tests for the random schema generator and fault injection."""
+
+import random
+
+import pytest
+
+from repro.patterns import PATTERN_IDS, PatternEngine
+from repro.workloads import (
+    GeneratorConfig,
+    clean_schema,
+    generate_faulty_schema,
+    generate_schema,
+    inject_fault,
+)
+
+ENGINE = PatternEngine()
+
+
+class TestGenerateSchema:
+    def test_deterministic(self):
+        first = generate_schema(GeneratorConfig(seed=7))
+        second = generate_schema(GeneratorConfig(seed=7))
+        assert first.stats() == second.stats()
+        assert [str(c) for c in first.constraints()] == [
+            str(c) for c in second.constraints()
+        ]
+
+    def test_sizes_scale(self):
+        small = generate_schema(GeneratorConfig(num_types=5, num_facts=3, seed=1))
+        large = generate_schema(GeneratorConfig(num_types=50, num_facts=40, seed=1))
+        assert small.stats()["object_types"] == 5
+        assert large.stats()["object_types"] == 50
+        assert large.stats()["fact_types"] == 40
+
+    def test_subtype_graph_is_acyclic(self):
+        for seed in range(10):
+            schema = generate_schema(GeneratorConfig(seed=seed, subtype_probability=0.6))
+            for name in schema.object_type_names():
+                assert name not in schema.supertypes(name)
+
+    def test_patterns_run_without_crashing(self):
+        for seed in range(20):
+            schema = generate_schema(GeneratorConfig(seed=seed))
+            report = ENGINE.check(schema)
+            assert report.patterns_run == PATTERN_IDS
+
+    def test_clean_schema_passes_all_patterns(self):
+        for seed in range(10):
+            schema = clean_schema(GeneratorConfig(num_types=20, num_facts=15, seed=seed))
+            report = ENGINE.check(schema)
+            assert report.is_satisfiable, report.messages()
+
+
+class TestInjection:
+    @pytest.mark.parametrize("pattern_id", PATTERN_IDS)
+    def test_injected_fault_is_detected_by_its_pattern(self, pattern_id):
+        for seed in range(5):
+            schema = clean_schema(GeneratorConfig(num_types=8, num_facts=5, seed=seed))
+            fault = inject_fault(schema, pattern_id, random.Random(seed))
+            violations = ENGINE.check_pattern(schema, pattern_id)
+            flagged_roles = {role for v in violations for role in v.roles}
+            flagged_types = {t for v in violations for t in v.types}
+            for role in fault.unsat_roles:
+                assert role in flagged_roles, (pattern_id, seed)
+            for type_name in fault.unsat_types:
+                assert type_name in flagged_types, (pattern_id, seed)
+
+    def test_unknown_pattern_rejected(self):
+        schema = clean_schema(GeneratorConfig(seed=0))
+        with pytest.raises(KeyError):
+            inject_fault(schema, "P0", random.Random(0))
+
+    def test_multiple_faults_coexist(self):
+        schema, faults = generate_faulty_schema(
+            GeneratorConfig(num_types=6, num_facts=4, seed=3), PATTERN_IDS
+        )
+        assert len(faults) == 9
+        report = ENGINE.check(schema)
+        assert set(report.by_pattern()) >= set(PATTERN_IDS)
+
+    def test_injection_is_additive(self):
+        schema = clean_schema(GeneratorConfig(num_types=6, num_facts=4, seed=4))
+        before = schema.stats()
+        inject_fault(schema, "P9", random.Random(0))
+        after = schema.stats()
+        assert after["object_types"] == before["object_types"] + 3
+        assert after["fact_types"] == before["fact_types"]
