@@ -1,9 +1,12 @@
 """Experiment: Fig. 15 / Sec. 4 — interactive (incremental) validation cost.
 
 DogmaModeler re-validates after every edit.  We measure the cost of a
-single additional edit-plus-validation as the session grows, and the
-cost of a settings-restricted profile versus the full nine patterns.
-Series land in ``results/incremental.txt``.
+single additional edit-plus-validation as the session grows, comparing the
+dependency-indexed :class:`IncrementalEngine` (the session default) against
+the full-revalidation baseline (``ValidatorSettings(incremental=False)``),
+plus the cost of a settings-restricted profile versus the full nine
+patterns.  Series land in ``results/incremental.txt``; the incremental
+column must stay roughly flat while the full column grows with the session.
 """
 
 import time
@@ -14,11 +17,12 @@ from conftest import write_result
 from repro.tool import ModelingSession, ValidatorSettings
 
 SESSION_SIZES = (5, 20, 40, 80)
-_SERIES: dict[int, float] = {}
+_SERIES: dict[tuple[int, bool], float] = {}
 
 
-def _grow_session(num_facts: int) -> ModelingSession:
-    session = ModelingSession(f"grown-{num_facts}")
+def _grow_session(num_facts: int, incremental: bool) -> ModelingSession:
+    settings = ValidatorSettings(incremental=incremental, wellformedness=False)
+    session = ModelingSession(f"grown-{num_facts}-{incremental}", settings)
     session.add_entity("Hub")
     for index in range(num_facts):
         session.add_entity(f"T{index}")
@@ -28,9 +32,21 @@ def _grow_session(num_facts: int) -> ModelingSession:
     return session
 
 
+def _sample_edit_cost(session: ModelingSession, prefix: str, rounds: int = 10) -> float:
+    """Median per-edit wall time (ms) of adding entities to the session."""
+    times = []
+    for index in range(rounds):
+        started = time.perf_counter()
+        session.add_entity(f"{prefix}_{index}")
+        times.append(time.perf_counter() - started)
+    times.sort()
+    return times[len(times) // 2] * 1000
+
+
 @pytest.mark.parametrize("num_facts", SESSION_SIZES)
-def test_incremental_edit_cost(benchmark, num_facts):
-    session = _grow_session(num_facts)
+@pytest.mark.parametrize("incremental", (False, True), ids=("full", "incremental"))
+def test_incremental_edit_cost(benchmark, num_facts, incremental):
+    session = _grow_session(num_facts, incremental)
     counter = iter(range(10_000))
 
     def one_edit():
@@ -40,17 +56,39 @@ def test_incremental_edit_cost(benchmark, num_facts):
     benchmark.pedantic(one_edit, rounds=20, iterations=1)
 
     # a clean sample for the written series
-    started = time.perf_counter()
-    session.add_entity(f"sample_{num_facts}")
-    _SERIES[num_facts] = (time.perf_counter() - started) * 1000
-    if len(_SERIES) == len(SESSION_SIZES):
+    _SERIES[(num_facts, incremental)] = _sample_edit_cost(session, f"sample_{num_facts}")
+    if len(_SERIES) == 2 * len(SESSION_SIZES):
         lines = [
             "Incremental validation cost (one edit on a grown session)",
-            f"{'facts':>6} {'ms/edit':>9}",
+            f"{'facts':>6} {'full ms':>9} {'incr ms':>9} {'speedup':>8}",
         ]
         for size in SESSION_SIZES:
-            lines.append(f"{size:>6} {_SERIES[size]:>9.3f}")
+            full_ms = _SERIES[(size, False)]
+            incr_ms = _SERIES[(size, True)]
+            speedup = full_ms / incr_ms if incr_ms else float("inf")
+            lines.append(f"{size:>6} {full_ms:>9.3f} {incr_ms:>9.3f} {speedup:>7.1f}x")
         write_result("incremental.txt", "\n".join(lines) + "\n")
+
+
+def test_incremental_beats_full_on_grown_session():
+    """The acceptance check: per-edit cost at 80 facts must improve.
+
+    Medians over 20 edits, with retries, so a scheduling hiccup on a loaded
+    runner does not fail the suite spuriously.
+    """
+    full = _grow_session(80, incremental=False)
+    incr = _grow_session(80, incremental=True)
+    _sample_edit_cost(full, "warm")  # warm both paths alike
+    _sample_edit_cost(incr, "warm")
+    for attempt in range(3):
+        full_ms = _sample_edit_cost(full, f"probe{attempt}", rounds=20)
+        incr_ms = _sample_edit_cost(incr, f"probe{attempt}", rounds=20)
+        if incr_ms < full_ms:
+            return
+    assert incr_ms < full_ms, (
+        f"incremental edit ({incr_ms:.3f} ms) not faster than full "
+        f"revalidation ({full_ms:.3f} ms) on the 80-fact session"
+    )
 
 
 def test_settings_profile_cost(benchmark):

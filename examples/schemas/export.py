@@ -1,0 +1,44 @@
+"""Regenerate the shipped ``examples/schemas/*.orm`` files.
+
+Each file is the DSL rendering (:func:`repro.io.write_schema`) of one paper
+figure from :mod:`repro.workloads.figures`.  The test suite
+(``tests/io/test_example_schema_files.py``) asserts the files exist and are
+byte-for-byte regenerable, so run this script after changing a figure
+constructor or the DSL writer::
+
+    PYTHONPATH=src python examples/schemas/export.py
+
+Files whose content is already current are left untouched.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.io import write_schema  # noqa: E402
+from repro.workloads.figures import FIGURES, build_figure  # noqa: E402
+
+SCHEMAS_DIR = Path(__file__).resolve().parent
+
+
+def export_all() -> list[Path]:
+    """Write every figure's ``.orm`` file; returns the changed paths."""
+    changed: list[Path] = []
+    for name in sorted(FIGURES):
+        path = SCHEMAS_DIR / f"{name}.orm"
+        rendered = write_schema(build_figure(name))
+        if not path.exists() or path.read_text() != rendered:
+            path.write_text(rendered)
+            changed.append(path)
+    return changed
+
+
+if __name__ == "__main__":
+    written = export_all()
+    for path in written:
+        print(f"wrote {path.relative_to(REPO_ROOT)}")
+    print(f"{len(written)} file(s) updated, {len(FIGURES)} figure(s) total")

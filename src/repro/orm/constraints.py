@@ -82,6 +82,20 @@ class Constraint:
         """Short human-readable constraint-kind name for messages."""
         return type(self).__name__.removesuffix("Constraint").lower()
 
+    def referenced_roles(self) -> tuple[str, ...]:
+        """Role names this constraint refers to, deduplicated, in order.
+
+        The schema's dependency index and the incremental validation engine
+        key on this: a constraint's verdict can only change when one of its
+        referenced roles (or their players/partners) changes.
+        """
+        return ()
+
+    def referenced_types(self) -> tuple[str, ...]:
+        """Object-type names this constraint refers to *directly* (not via
+        roles); only :class:`ExclusiveTypesConstraint` has any."""
+        return ()
+
 
 @dataclass(frozen=True)
 class MandatoryConstraint(Constraint):
@@ -102,6 +116,9 @@ class MandatoryConstraint(Constraint):
     def is_disjunctive(self) -> bool:
         """True when the constraint spans several alternative roles."""
         return len(self.roles) > 1
+
+    def referenced_roles(self) -> tuple[str, ...]:
+        return tuple(dict.fromkeys(self.roles))
 
 
 @dataclass(frozen=True)
@@ -124,6 +141,9 @@ class UniquenessConstraint(Constraint):
                 "uniqueness over more than two roles implies an n-ary fact type, "
                 "which the supported fragment excludes"
             )
+
+    def referenced_roles(self) -> tuple[str, ...]:
+        return tuple(dict.fromkeys(self.roles))
 
 
 @dataclass(frozen=True)
@@ -159,6 +179,9 @@ class FrequencyConstraint(Constraint):
         """Render as the paper does: ``FC(3-5)`` or ``FC(2-)``."""
         upper = "" if self.max is None else str(self.max)
         return f"FC({self.min}-{upper})"
+
+    def referenced_roles(self) -> tuple[str, ...]:
+        return tuple(dict.fromkeys(self.roles))
 
 
 @dataclass(frozen=True)
@@ -207,6 +230,9 @@ class ExclusionConstraint(Constraint):
         """All unordered pairs of argument sequences (the compact-form view)."""
         return list(itertools.combinations(self.sequences, 2))
 
+    def referenced_roles(self) -> tuple[str, ...]:
+        return tuple(dict.fromkeys(role for seq in self.sequences for role in seq))
+
 
 @dataclass(frozen=True)
 class ExclusiveTypesConstraint(Constraint):
@@ -223,6 +249,9 @@ class ExclusiveTypesConstraint(Constraint):
             raise ConstraintArityError(
                 "exclusive-types constraint lists a type twice"
             )
+
+    def referenced_types(self) -> tuple[str, ...]:
+        return tuple(self.types)
 
 
 @dataclass(frozen=True)
@@ -252,6 +281,9 @@ class SubsetConstraint(Constraint):
         """Length of each argument sequence (1 = role subset)."""
         return len(self.sub)
 
+    def referenced_roles(self) -> tuple[str, ...]:
+        return tuple(dict.fromkeys((*self.sub, *self.sup)))
+
 
 @dataclass(frozen=True)
 class EqualityConstraint(Constraint):
@@ -274,6 +306,9 @@ class EqualityConstraint(Constraint):
     def arity(self) -> int:
         """Length of each argument sequence."""
         return len(self.first)
+
+    def referenced_roles(self) -> tuple[str, ...]:
+        return tuple(dict.fromkeys((*self.first, *self.second)))
 
     def as_subsets(self) -> tuple[SubsetConstraint, SubsetConstraint]:
         """The two directed subset constraints this equality abbreviates."""
@@ -308,6 +343,9 @@ class RingConstraint(Constraint):
     @property
     def role_pair(self) -> tuple[str, str]:
         """The constrained (first, second) role pair."""
+        return (self.first_role, self.second_role)
+
+    def referenced_roles(self) -> tuple[str, ...]:
         return (self.first_role, self.second_role)
 
 

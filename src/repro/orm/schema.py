@@ -3,9 +3,25 @@
 A :class:`Schema` owns every element of an ORM conceptual schema and answers
 the structural queries the nine patterns are written against — transitive
 supertype/subtype closures, role-to-fact-type navigation, constraint lookup
-by kind, and so on.  All mutation goes through ``add_*`` methods that
-validate references eagerly, so reasoning code can assume a well-linked
-schema.
+by kind, and so on.  All mutation goes through ``add_*`` / ``remove_*``
+methods that validate references eagerly, so reasoning code can assume a
+well-linked schema.
+
+Two facilities back the incremental validation engine
+(:mod:`repro.patterns.incremental`):
+
+* **Dependency index** — every mutation maintains reverse indexes (element →
+  the facts, roles, constraints and subtype edges that reference it), so
+  "which constraints mention role r?" and "which roles does type T play?"
+  are O(answer) instead of O(schema).  The public query surface is
+  :meth:`constraints_referencing_role`, :meth:`constraints_referencing_type`,
+  :meth:`roles_played_by`, :meth:`direct_supertypes` and
+  :meth:`direct_subtypes`.
+* **Change journal** — every effective mutation appends a
+  :class:`SchemaChange` record.  Consumers remember a *mark*
+  (:attr:`journal_size`) and later drain :meth:`changes_since` to learn the
+  dirty set; the records carry the removed/added objects themselves, so a
+  consumer can reason about elements that no longer exist in the schema.
 
 The subtype graph may legitimately contain cycles (Pattern 9 exists to
 detect them), so every closure query here is cycle-safe.
@@ -14,6 +30,7 @@ detect them), so every closure query here is cycle-safe.
 from __future__ import annotations
 
 from collections.abc import Iterator
+from dataclasses import dataclass
 from typing import TypeVar
 
 from repro._util import dedupe
@@ -49,6 +66,32 @@ from repro.orm.elements import (
 ConstraintT = TypeVar("ConstraintT")
 
 
+@dataclass(frozen=True)
+class SchemaChange:
+    """One journal entry describing an effective schema mutation.
+
+    Attributes
+    ----------
+    action:
+        ``"add"`` or ``"remove"``.
+    kind:
+        ``"object_type"``, ``"fact_type"``, ``"subtype"`` or ``"constraint"``.
+    name:
+        The element name (constraint label for constraints, ``"sub < super"``
+        for subtype links) — handy for logs.
+    payload:
+        The element object itself (:class:`ObjectType`, :class:`FactType`,
+        :class:`SubtypeLink` or a constraint).  For removals this is the only
+        place the object survives, which the incremental engine's dirty-set
+        computation relies on.
+    """
+
+    action: str
+    kind: str
+    name: str
+    payload: object
+
+
 class Schema:
     """A binary ORM conceptual schema.
 
@@ -71,6 +114,18 @@ class Schema:
         self._subtype_links: list[SubtypeLink] = []
         self._constraints: list[AnyConstraint] = []
         self._label_counter = 0
+        # -- dependency index (maintained by every mutator) ----------------
+        self._constraints_by_label: dict[str, AnyConstraint] = {}
+        self._constraints_by_class: dict[type, list[AnyConstraint]] = {}
+        self._constraints_by_role: dict[str, list[AnyConstraint]] = {}
+        self._constraints_by_type: dict[str, list[AnyConstraint]] = {}
+        self._roles_by_player: dict[str, list[Role]] = {}
+        self._direct_supers: dict[str, list[str]] = {}
+        self._direct_subs: dict[str, list[str]] = {}
+        self._subtype_set: set[SubtypeLink] = set()
+        self._simple_mandatory_counts: dict[str, int] = {}
+        # -- change journal -------------------------------------------------
+        self._journal: list[SchemaChange] = []
 
     # ------------------------------------------------------------------
     # element construction
@@ -88,6 +143,7 @@ class Schema:
         if object_type.name in self._roles or object_type.name in self._fact_types:
             raise DuplicateNameError("name", object_type.name)
         self._object_types[object_type.name] = object_type
+        self._record("add", "object_type", object_type.name, object_type)
         return object_type
 
     def add_entity_type(
@@ -144,19 +200,25 @@ class Schema:
         self._fact_types[name] = fact_type
         for role in roles:
             self._roles[role.name] = role
+            self._roles_by_player.setdefault(role.player, []).append(role)
+        self._record("add", "fact_type", name, fact_type)
         return fact_type
 
     def add_subtype(self, sub: str, super: str) -> SubtypeLink:
         """Declare ``sub`` a (strict) subtype of ``super``.
 
         Cycles are representable on purpose — Pattern 9 detects them.
-        Duplicate declarations are idempotent.
+        Duplicate declarations are idempotent (and journal nothing).
         """
         self._require_object_type(sub)
         self._require_object_type(super)
         link = SubtypeLink(sub, super)
-        if link not in self._subtype_links:
+        if link not in self._subtype_set:
             self._subtype_links.append(link)
+            self._subtype_set.add(link)
+            self._direct_supers.setdefault(sub, []).append(super)
+            self._direct_subs.setdefault(super, []).append(sub)
+            self._record("add", "subtype", f"{sub} < {super}", link)
         return link
 
     # ------------------------------------------------------------------
@@ -164,10 +226,18 @@ class Schema:
     # ------------------------------------------------------------------
 
     def add_constraint(self, constraint: AnyConstraint) -> AnyConstraint:
-        """Add any constraint object after validating its references."""
+        """Add any constraint object after validating its references.
+
+        Labels are schema-unique: omitted ones are generated, and supplying
+        a label that is already taken raises :class:`DuplicateNameError`.
+        """
         validated = self._with_label(constraint)
+        if validated.label in self._constraints_by_label:
+            raise DuplicateNameError("constraint label", validated.label)
         self._validate_constraint(validated)
         self._constraints.append(validated)
+        self._index_constraint(validated)
+        self._record("add", "constraint", validated.label or "", validated)
         return validated
 
     def add_mandatory(self, *roles: str, label: str | None = None) -> MandatoryConstraint:
@@ -245,6 +315,92 @@ class Schema:
         )
 
     # ------------------------------------------------------------------
+    # element removal (cascading; journals every effect)
+    # ------------------------------------------------------------------
+
+    def remove_constraint(self, constraint: AnyConstraint | str) -> AnyConstraint:
+        """Remove a constraint (by object or label); returns the removed one."""
+        label = constraint if isinstance(constraint, str) else (constraint.label or "")
+        found = self._constraints_by_label.get(label)
+        if found is None:
+            raise UnknownElementError("constraint", label)
+        self._unindex_constraint(found)
+        self._constraints.remove(found)
+        del self._constraints_by_label[label]
+        self._record("remove", "constraint", label, found)
+        return found
+
+    def remove_subtype(self, sub: str, super: str) -> SubtypeLink:
+        """Remove a direct subtype link; raises when it does not exist."""
+        link = SubtypeLink(sub, super)
+        if link not in self._subtype_set:
+            raise UnknownElementError("subtype link", f"{sub} < {super}")
+        self._drop_subtype_link(link)
+        return link
+
+    def remove_fact_type(self, name: str) -> FactType:
+        """Remove a fact type, cascading over its roles' constraints.
+
+        Every constraint referencing either role is removed first (each with
+        its own journal entry), then the roles, then the fact type itself.
+        """
+        fact = self.fact_type(name)
+        for role in fact.roles:
+            for constraint in list(self._constraints_by_role.get(role.name, [])):
+                if constraint.label in self._constraints_by_label:
+                    self.remove_constraint(constraint)
+        for role in fact.roles:
+            del self._roles[role.name]
+            bucket = self._roles_by_player.get(role.player, [])
+            if role in bucket:
+                bucket.remove(role)
+        del self._fact_types[name]
+        self._record("remove", "fact_type", name, fact)
+        return fact
+
+    def remove_object_type(self, name: str) -> ObjectType:
+        """Remove an object type, cascading over everything referencing it:
+        the fact types it plays in, its subtype links, and exclusive-types
+        constraints listing it."""
+        object_type = self.object_type(name)
+        for role in list(self._roles_by_player.get(name, [])):
+            if role.fact_type in self._fact_types:
+                self.remove_fact_type(role.fact_type)
+        for link in [l for l in self._subtype_links if name in (l.sub, l.super)]:
+            self._drop_subtype_link(link)
+        for constraint in list(self._constraints_by_type.get(name, [])):
+            if constraint.label in self._constraints_by_label:
+                self.remove_constraint(constraint)
+        del self._object_types[name]
+        self._roles_by_player.pop(name, None)
+        self._record("remove", "object_type", name, object_type)
+        return object_type
+
+    def _drop_subtype_link(self, link: SubtypeLink) -> None:
+        self._subtype_links.remove(link)
+        self._subtype_set.discard(link)
+        self._direct_supers.get(link.sub, []).remove(link.super)
+        self._direct_subs.get(link.super, []).remove(link.sub)
+        self._record("remove", "subtype", f"{link.sub} < {link.super}", link)
+
+    # ------------------------------------------------------------------
+    # change journal
+    # ------------------------------------------------------------------
+
+    @property
+    def journal_size(self) -> int:
+        """Number of journal entries so far — use as a mark for
+        :meth:`changes_since`."""
+        return len(self._journal)
+
+    def changes_since(self, mark: int) -> tuple[SchemaChange, ...]:
+        """All journal entries appended at or after ``mark``."""
+        return tuple(self._journal[mark:])
+
+    def _record(self, action: str, kind: str, name: str, payload: object) -> None:
+        self._journal.append(SchemaChange(action, kind, name, payload))
+
+    # ------------------------------------------------------------------
     # element access
     # ------------------------------------------------------------------
 
@@ -278,6 +434,9 @@ class Schema:
 
     def constraints_of(self, cls: type[ConstraintT]) -> list[ConstraintT]:
         """All constraints of the given class, in insertion order."""
+        bucket = self._constraints_by_class.get(cls)
+        if bucket is not None:
+            return list(bucket)
         return [c for c in self._constraints if isinstance(c, cls)]
 
     def object_type(self, name: str) -> ObjectType:
@@ -298,6 +457,10 @@ class Schema:
         except KeyError:
             raise UnknownElementError("fact type", name) from None
 
+    def has_fact_type(self, name: str) -> bool:
+        """True when a fact type of that name exists."""
+        return name in self._fact_types
+
     def role(self, name: str) -> Role:
         """Look up a role by name (raises on unknown names)."""
         try:
@@ -308,6 +471,29 @@ class Schema:
     def has_role(self, name: str) -> bool:
         """True when a role of that name exists."""
         return name in self._roles
+
+    def has_constraint_label(self, label: str) -> bool:
+        """True when a constraint with that label exists."""
+        return label in self._constraints_by_label
+
+    def constraint_by_label(self, label: str) -> AnyConstraint:
+        """Look up a constraint by label (raises on unknown labels)."""
+        try:
+            return self._constraints_by_label[label]
+        except KeyError:
+            raise UnknownElementError("constraint", label) from None
+
+    # ------------------------------------------------------------------
+    # dependency-index queries (element -> referencing elements)
+    # ------------------------------------------------------------------
+
+    def constraints_referencing_role(self, role_name: str) -> list[AnyConstraint]:
+        """Constraints whose :meth:`referenced_roles` include ``role_name``."""
+        return list(self._constraints_by_role.get(role_name, []))
+
+    def constraints_referencing_type(self, type_name: str) -> list[AnyConstraint]:
+        """Constraints referencing the object type *directly* (exclusive-"X")."""
+        return list(self._constraints_by_type.get(type_name, []))
 
     # ------------------------------------------------------------------
     # navigation
@@ -328,7 +514,7 @@ class Schema:
     def roles_played_by(self, type_name: str) -> list[Role]:
         """All roles directly played by the given object type."""
         self._require_object_type(type_name)
-        return [role for role in self._roles.values() if role.player == type_name]
+        return list(self._roles_by_player.get(type_name, []))
 
     def roles_played_by_or_inherited(self, type_name: str) -> list[Role]:
         """Roles played by the type or any of its supertypes.
@@ -346,14 +532,12 @@ class Schema:
     def direct_supertypes(self, type_name: str) -> list[str]:
         """Direct supertypes of ``type_name``, in declaration order."""
         self._require_object_type(type_name)
-        return dedupe(
-            link.super for link in self._subtype_links if link.sub == type_name
-        )
+        return list(self._direct_supers.get(type_name, []))
 
     def direct_subtypes(self, type_name: str) -> list[str]:
         """Direct subtypes of ``type_name``, in declaration order."""
         self._require_object_type(type_name)
-        return dedupe(link.sub for link in self._subtype_links if link.super == type_name)
+        return list(self._direct_subs.get(type_name, []))
 
     def supertypes(self, type_name: str) -> list[str]:
         """All (transitive) proper supertypes; cycle-safe.
@@ -397,7 +581,7 @@ class Schema:
 
     def root_types(self) -> list[str]:
         """All object types that have no supertypes (the ORM "top" types)."""
-        return [name for name in self._object_types if not self.direct_supertypes(name)]
+        return [name for name in self._object_types if not self._direct_supers.get(name)]
 
     def _reachable(self, start: str, step) -> list[str]:
         """Names reachable from ``start`` via ``step``, excluding the trivial
@@ -425,32 +609,36 @@ class Schema:
         Pattern 3 keys on simple mandatories: a disjunctive mandatory does
         not force any single role to be played.
         """
-        names: set[str] = set()
-        for constraint in self.constraints_of(MandatoryConstraint):
-            if not constraint.is_disjunctive:
-                names.add(constraint.roles[0])
-        return names
+        return set(self._simple_mandatory_counts)
 
     def is_role_mandatory(self, role_name: str) -> bool:
         """True when ``role_name`` carries a simple mandatory constraint."""
-        return role_name in self.mandatory_role_names()
+        return role_name in self._simple_mandatory_counts
 
     def uniqueness_on(self, roles: str | RoleSequence) -> list[UniquenessConstraint]:
         """Uniqueness constraints over exactly the given role (sequence)."""
         wanted = set(_as_sequence(roles))
+        if not wanted:
+            return []
+        first = next(iter(wanted))
         return [
             constraint
-            for constraint in self.constraints_of(UniquenessConstraint)
-            if set(constraint.roles) == wanted
+            for constraint in self._constraints_by_role.get(first, [])
+            if isinstance(constraint, UniquenessConstraint)
+            and set(constraint.roles) == wanted
         ]
 
     def frequencies_on(self, roles: str | RoleSequence) -> list[FrequencyConstraint]:
         """Frequency constraints over exactly the given role (sequence)."""
         wanted = set(_as_sequence(roles))
+        if not wanted:
+            return []
+        first = next(iter(wanted))
         return [
             constraint
-            for constraint in self.constraints_of(FrequencyConstraint)
-            if set(constraint.roles) == wanted
+            for constraint in self._constraints_by_role.get(first, [])
+            if isinstance(constraint, FrequencyConstraint)
+            and set(constraint.roles) == wanted
         ]
 
     def min_frequency_of(self, role_name: str, default: int = 1) -> int:
@@ -467,8 +655,9 @@ class Schema:
         wanted = frozenset(pair)
         return [
             constraint
-            for constraint in self.constraints_of(RingConstraint)
-            if frozenset(constraint.role_pair) == wanted
+            for constraint in self._constraints_by_role.get(pair[0], [])
+            if isinstance(constraint, RingConstraint)
+            and frozenset(constraint.role_pair) == wanted
         ]
 
     def ring_pairs(self) -> list[tuple[str, str]]:
@@ -500,6 +689,28 @@ class Schema:
         copy._subtype_links = list(self._subtype_links)
         copy._constraints = list(self._constraints)
         copy._label_counter = self._label_counter
+        copy._constraints_by_label = dict(self._constraints_by_label)
+        copy._constraints_by_class = {
+            cls: list(bucket) for cls, bucket in self._constraints_by_class.items()
+        }
+        copy._constraints_by_role = {
+            name: list(bucket) for name, bucket in self._constraints_by_role.items()
+        }
+        copy._constraints_by_type = {
+            name: list(bucket) for name, bucket in self._constraints_by_type.items()
+        }
+        copy._roles_by_player = {
+            name: list(bucket) for name, bucket in self._roles_by_player.items()
+        }
+        copy._direct_supers = {
+            name: list(bucket) for name, bucket in self._direct_supers.items()
+        }
+        copy._direct_subs = {
+            name: list(bucket) for name, bucket in self._direct_subs.items()
+        }
+        copy._subtype_set = set(self._subtype_set)
+        copy._simple_mandatory_counts = dict(self._simple_mandatory_counts)
+        copy._journal = list(self._journal)
         return copy
 
     def stats(self) -> dict[str, int]:
@@ -525,12 +736,45 @@ class Schema:
     # ------------------------------------------------------------------
 
     def _with_label(self, constraint: AnyConstraint) -> AnyConstraint:
-        """Assign a deterministic label when the caller did not supply one."""
+        """Assign a deterministic, unused label when the caller omitted one."""
         if constraint.label is not None:
             return constraint
-        self._label_counter += 1
-        label = f"{constraint.kind_name()}#{self._label_counter}"
+        while True:
+            self._label_counter += 1
+            label = f"{constraint.kind_name()}#{self._label_counter}"
+            if label not in self._constraints_by_label:
+                break
         return type(constraint)(**{**constraint.__dict__, "label": label})
+
+    def _index_constraint(self, constraint: AnyConstraint) -> None:
+        self._constraints_by_label[constraint.label or ""] = constraint
+        self._constraints_by_class.setdefault(type(constraint), []).append(constraint)
+        for role_name in constraint.referenced_roles():
+            self._constraints_by_role.setdefault(role_name, []).append(constraint)
+        for type_name in constraint.referenced_types():
+            self._constraints_by_type.setdefault(type_name, []).append(constraint)
+        if isinstance(constraint, MandatoryConstraint) and not constraint.is_disjunctive:
+            role_name = constraint.roles[0]
+            count = self._simple_mandatory_counts.get(role_name, 0)
+            self._simple_mandatory_counts[role_name] = count + 1
+
+    def _unindex_constraint(self, constraint: AnyConstraint) -> None:
+        self._constraints_by_class.get(type(constraint), []).remove(constraint)
+        for role_name in constraint.referenced_roles():
+            bucket = self._constraints_by_role.get(role_name, [])
+            if constraint in bucket:
+                bucket.remove(constraint)
+        for type_name in constraint.referenced_types():
+            bucket = self._constraints_by_type.get(type_name, [])
+            if constraint in bucket:
+                bucket.remove(constraint)
+        if isinstance(constraint, MandatoryConstraint) and not constraint.is_disjunctive:
+            role_name = constraint.roles[0]
+            count = self._simple_mandatory_counts.get(role_name, 0) - 1
+            if count <= 0:
+                self._simple_mandatory_counts.pop(role_name, None)
+            else:
+                self._simple_mandatory_counts[role_name] = count
 
     def _require_object_type(self, name: str) -> None:
         if name not in self._object_types:

@@ -12,6 +12,11 @@ from repro.patterns.engine import (
 from repro.patterns.explain import explain, suggest_repairs
 from repro.patterns.extensions import EXTENSION_IDS, EXTENSION_PATTERNS
 from repro.patterns.formation_rules import RuleFinding, check_formation_rules
+from repro.patterns.incremental import (
+    CheckScope,
+    IncrementalEngine,
+    scope_from_changes,
+)
 from repro.patterns.propagation import DerivedUnsat, PropagationResult, propagate
 from repro.patterns.p1_common_supertype import TopCommonSupertypePattern
 from repro.patterns.p2_exclusive_subtypes import ExclusiveSubtypesPattern
@@ -26,7 +31,10 @@ from repro.patterns.p9_subtype_loop import SubtypeLoopPattern
 __all__ = [
     "ALL_IDS",
     "ALL_PATTERNS",
+    "CheckScope",
     "DerivedUnsat",
+    "IncrementalEngine",
+    "scope_from_changes",
     "EXTENSION_IDS",
     "EXTENSION_PATTERNS",
     "FULL_REGISTRY",

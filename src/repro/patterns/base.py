@@ -6,14 +6,44 @@ the unsatisfiable roles and object types, the constraints that jointly cause
 the contradiction, and carries a DogmaModeler-style explanatory message —
 the paper stresses (Sec. 4) that the tool "does not only detect unsatisfiable
 ORM models, but also ... gives details about the detected problems".
+
+Site-based checking
+-------------------
+Every pattern decomposes its work into independent **check sites** — the
+schema elements its outer loop visits (an object type for Pattern 1, an
+exclusion constraint for Pattern 3, a ring role-pair for Pattern 8, ...).
+The site decomposition is what makes *incremental* validation possible:
+
+* :meth:`Pattern.iter_sites` enumerates ``(site_key, site)`` pairs, either
+  for the whole schema (``scope=None``) or restricted to the sites a
+  :class:`repro.patterns.incremental.CheckScope` marks as dirty;
+* :meth:`Pattern.check_site` produces the violations of one site;
+* :meth:`Pattern.site_dirty` decides whether a previously-checked site key
+  must be retracted and re-examined under a scope.
+
+The contract between the three (relied on by
+:class:`repro.patterns.incremental.IncrementalEngine`) is:
+
+1. a site's verdict can only change when ``site_dirty`` says so, and
+2. every *existing* dirty site is enumerated by ``iter_sites`` under that
+   scope (vanished sites are covered by ``site_dirty`` returning True).
+
+``Pattern.check(schema)`` — the historical full-schema entry point — is the
+degenerate case ``scope=None`` and behaves exactly as before.
 """
 
 from __future__ import annotations
 
 import abc
+from collections.abc import Hashable, Iterator
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
 
+from repro.orm.constraints import AnyConstraint, RingConstraint
 from repro.orm.schema import Schema
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.patterns.incremental import CheckScope
 
 
 @dataclass(frozen=True)
@@ -57,9 +87,10 @@ class Violation:
 class Pattern(abc.ABC):
     """Interface of one unsatisfiability-detection pattern.
 
-    Subclasses set the three class attributes and implement :meth:`check`.
-    Patterns are stateless; a single instance may be reused across schemas
-    and threads.
+    Subclasses set the three class attributes and implement the site
+    triad (:meth:`iter_sites` / :meth:`check_site` / :meth:`site_dirty`),
+    usually via one of the mixin bases below.  Patterns are stateless; a
+    single instance may be reused across schemas and threads.
     """
 
     #: Stable identifier, e.g. ``"P4"``.
@@ -69,9 +100,44 @@ class Pattern(abc.ABC):
     #: One-line description for tool settings (Fig. 15).
     description: str = ""
 
+    def check(self, schema: Schema, scope: "CheckScope | None" = None) -> list[Violation]:
+        """Return all violations of this pattern present in ``schema``.
+
+        With ``scope=None`` the whole schema is examined (the classic
+        behavior); with a :class:`CheckScope` only the dirty sites are.
+        """
+        found: list[Violation] = []
+        for violations in self.check_scoped(schema, scope).values():
+            found.extend(violations)
+        return found
+
+    def check_scoped(
+        self, schema: Schema, scope: "CheckScope | None" = None
+    ) -> dict[Hashable, tuple[Violation, ...]]:
+        """Check the (in-scope) sites, keyed by site; empty sites omitted."""
+        results: dict[Hashable, tuple[Violation, ...]] = {}
+        for key, site in self.iter_sites(schema, scope):
+            found = self.check_site(schema, site)
+            if found:
+                results[key] = tuple(found)
+        return results
+
     @abc.abstractmethod
-    def check(self, schema: Schema) -> list[Violation]:
-        """Return all violations of this pattern present in ``schema``."""
+    def iter_sites(
+        self, schema: Schema, scope: "CheckScope | None" = None
+    ) -> Iterator[tuple[Hashable, Any]]:
+        """Yield ``(site_key, site)`` pairs to examine under ``scope``."""
+
+    @abc.abstractmethod
+    def check_site(self, schema: Schema, site: Any) -> list[Violation]:
+        """Return the violations of one site."""
+
+    @abc.abstractmethod
+    def site_dirty(self, key: Hashable, scope: "CheckScope", schema: Schema) -> bool:
+        """Must a previously-stored site key be retracted under ``scope``?
+
+        True also when the site no longer exists in the schema.
+        """
 
     def _violation(
         self,
@@ -93,6 +159,85 @@ class Pattern(abc.ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}({self.pattern_id}: {self.name})"
+
+
+class ConstraintSitePattern(Pattern):
+    """Base for patterns whose sites are constraints of one class.
+
+    Class attributes tune the dirtiness rules:
+
+    ``players_sensitive``
+        the verdict also depends on the *players* of the referenced roles
+        (their subtype closure or inherited value pools), so a subtype-graph
+        change near a player dirties the site;
+    ``setcomp_sensitive``
+        the verdict depends on the global subset/equality graph (Pattern 6),
+        so any set-comparison change dirties every site of this pattern.
+    """
+
+    constraint_class: type = AnyConstraint  # overridden by subclasses
+    players_sensitive: bool = False
+    setcomp_sensitive: bool = False
+
+    def iter_sites(
+        self, schema: Schema, scope: "CheckScope | None" = None
+    ) -> Iterator[tuple[Hashable, Any]]:
+        if scope is None or (self.setcomp_sensitive and scope.setcomp_dirty):
+            for constraint in schema.constraints_of(self.constraint_class):
+                yield (constraint.label, constraint)
+            return
+        for constraint in scope.candidate_constraints(schema):
+            if isinstance(constraint, self.constraint_class):
+                yield (constraint.label, constraint)
+
+    def site_dirty(self, key: Hashable, scope: "CheckScope", schema: Schema) -> bool:
+        if not isinstance(key, str) or not schema.has_constraint_label(key):
+            return True  # site vanished; retract unconditionally
+        if key in scope.labels:
+            return True
+        if self.setcomp_sensitive and scope.setcomp_dirty:
+            return True
+        constraint = schema.constraint_by_label(key)
+        if any(t in scope.graph_types for t in constraint.referenced_types()):
+            return True
+        if self.players_sensitive and scope.fact_players_dirty(schema, constraint):
+            return True
+        return False
+
+
+class RingPairSitePattern(Pattern):
+    """Base for patterns whose sites are ring-constrained role pairs."""
+
+    players_sensitive: bool = False
+
+    def iter_sites(
+        self, schema: Schema, scope: "CheckScope | None" = None
+    ) -> Iterator[tuple[Hashable, Any]]:
+        if scope is None:
+            for pair in schema.ring_pairs():
+                yield (pair, pair)
+            return
+        seen: set[tuple[str, ...]] = set()
+        for constraint in scope.candidate_constraints(schema):
+            if isinstance(constraint, RingConstraint):
+                pair = tuple(sorted(constraint.role_pair))
+                if pair not in seen:
+                    seen.add(pair)
+                    yield (pair, pair)
+
+    def site_dirty(self, key: Hashable, scope: "CheckScope", schema: Schema) -> bool:
+        roles = key if isinstance(key, tuple) else ()
+        if any(not schema.has_role(role) for role in roles):
+            return True
+        if any(role in scope.roles for role in roles):
+            return True
+        if not schema.ring_constraints_on((roles[0], roles[1])):
+            return True  # every ring constraint on the pair was removed
+        if self.players_sensitive and any(
+            schema.role(role).player in scope.graph_types for role in roles
+        ):
+            return True
+        return False
 
 
 @dataclass

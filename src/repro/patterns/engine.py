@@ -101,14 +101,21 @@ class PatternEngine:
         if pattern_id in self._enabled:
             self._enabled.remove(pattern_id)
 
-    def check(self, schema: Schema) -> ValidationReport:
-        """Run every enabled pattern and collect the violations."""
+    def enabled_patterns(self) -> tuple[Pattern, ...]:
+        """The enabled pattern objects, in registry order."""
+        return tuple(p for p in FULL_REGISTRY if p.pattern_id in self._enabled)
+
+    def check(self, schema: Schema, scope=None) -> ValidationReport:
+        """Run every enabled pattern and collect the violations.
+
+        ``scope`` (a :class:`repro.patterns.incremental.CheckScope`) limits
+        each pattern to its dirty sites; stateful merging across edits is
+        :class:`repro.patterns.incremental.IncrementalEngine`'s job.
+        """
         started = time.perf_counter()
         violations: list[Violation] = []
-        for pattern in FULL_REGISTRY:
-            if pattern.pattern_id not in self._enabled:
-                continue
-            violations.extend(pattern.check(schema))
+        for pattern in self.enabled_patterns():
+            violations.extend(pattern.check(schema, scope))
         elapsed = time.perf_counter() - started
         return ValidationReport(
             schema_name=schema.metadata.name,

@@ -33,8 +33,14 @@ X3 — Disjunctive mandatory with all branches excluded
 
 from __future__ import annotations
 
+from repro.orm.constraints import MandatoryConstraint
 from repro.orm.schema import Schema
-from repro.patterns.base import Pattern, Violation
+from repro.patterns.base import (
+    ConstraintSitePattern,
+    Pattern,
+    RingPairSitePattern,
+    Violation,
+)
 from repro.rings.algebra import format_combination, is_compatible, witness
 
 
@@ -54,7 +60,7 @@ def minimum_ring_support(kinds: frozenset) -> int | None:
     return len(support)
 
 
-class RingValueSupportPattern(Pattern):
+class RingValueSupportPattern(RingPairSitePattern):
     """X1: ring constraints demanding more distinct elements than the pool has."""
 
     pattern_id = "X1"
@@ -64,33 +70,33 @@ class RingValueSupportPattern(Pattern):
         "distinct elements is unsatisfiable when the player's value pool has "
         "fewer than k values (e.g. irreflexivity needs 2)."
     )
+    players_sensitive = True  # the value pool is inherited from supertypes
 
-    def check(self, schema: Schema) -> list[Violation]:
-        violations: list[Violation] = []
-        for pair in schema.ring_pairs():
-            constraints = schema.ring_constraints_on(pair)
-            kinds = frozenset(constraint.kind for constraint in constraints)
-            needed = minimum_ring_support(kinds)
-            if needed is None or needed <= 1:
-                continue  # incompatible combos are P8's; support-1 is free
-            player = schema.role(pair[0]).player
-            pool = self._effective_pool(schema, player)
-            if pool is None or pool >= needed:
-                continue
-            labels = tuple(constraint.label or "" for constraint in constraints)
-            violations.append(
-                self._violation(
-                    message=(
-                        f"the ring constraints {format_combination(kinds)} need at "
-                        f"least {needed} distinct '{player}' instances to be "
-                        f"populated, but its value constraint admits only {pool} "
-                        "value(s)"
-                    ),
-                    roles=pair,
-                    constraints=labels,
-                )
+    def check_site(self, schema: Schema, site: tuple[str, str]) -> list[Violation]:
+        constraints = schema.ring_constraints_on(site)
+        kinds = frozenset(constraint.kind for constraint in constraints)
+        if not kinds:
+            return []
+        needed = minimum_ring_support(kinds)
+        if needed is None or needed <= 1:
+            return []  # incompatible combos are P8's; support-1 is free
+        player = schema.role(site[0]).player
+        pool = self._effective_pool(schema, player)
+        if pool is None or pool >= needed:
+            return []
+        labels = tuple(constraint.label or "" for constraint in constraints)
+        return [
+            self._violation(
+                message=(
+                    f"the ring constraints {format_combination(kinds)} need at "
+                    f"least {needed} distinct '{player}' instances to be "
+                    f"populated, but its value constraint admits only {pool} "
+                    "value(s)"
+                ),
+                roles=site,
+                constraints=labels,
             )
-        return violations
+        ]
 
     @staticmethod
     def _effective_pool(schema: Schema, type_name: str) -> int | None:
@@ -103,7 +109,14 @@ class RingValueSupportPattern(Pattern):
 
 
 class EmptyValuePoolPattern(Pattern):
-    """X2: value constraints with zero values empty the type and its roles."""
+    """X2: value constraints with zero values empty the type and its roles.
+
+    Check sites are the empty-pool object types.  The violation's element
+    list grows and shrinks with the subtree and the facts its members play
+    in, so a site is dirty when it appears in the scope's ``graph_types``
+    *or* ``member_types`` (which contains the ancestors of every type whose
+    role set changed).
+    """
 
     pattern_id = "X2"
     name = "Empty value pool (Sec. 5 extension)"
@@ -112,33 +125,53 @@ class EmptyValuePoolPattern(Pattern):
         "supertype — can never be populated; nor can its subtypes or roles."
     )
 
-    def check(self, schema: Schema) -> list[Violation]:
-        violations: list[Violation] = []
-        for object_type in schema.object_types():
-            if object_type.values is None or len(object_type.values) > 0:
-                continue
-            doomed_types = tuple(schema.subtypes_and_self(object_type.name))
-            doomed_roles: list[str] = []
-            for type_name in doomed_types:
-                for role in schema.roles_played_by(type_name):
-                    fact = schema.fact_type_of(role.name)
-                    doomed_roles.extend(fact.role_names)
-            violations.append(
-                self._violation(
-                    message=(
-                        f"object type '{object_type.name}' has an empty value "
-                        f"constraint; it, its subtype(s) and the fact type(s) they "
-                        "play in can never be populated"
-                    ),
-                    types=doomed_types,
-                    roles=tuple(dict.fromkeys(doomed_roles)),
-                )
+    def iter_sites(self, schema: Schema, scope=None):
+        if scope is None:
+            names = schema.object_type_names()
+        else:
+            names = [
+                name
+                for name in sorted(scope.graph_types | scope.member_types)
+                if schema.has_object_type(name)
+            ]
+        for name in names:
+            object_type = schema.object_type(name)
+            if object_type.values is not None and len(object_type.values) == 0:
+                yield (name, object_type)
+
+    def site_dirty(self, key, scope, schema: Schema) -> bool:
+        if not schema.has_object_type(key):
+            return True
+        return key in scope.graph_types or key in scope.member_types
+
+    def check_site(self, schema: Schema, site) -> list[Violation]:
+        doomed_types = tuple(schema.subtypes_and_self(site.name))
+        doomed_roles: list[str] = []
+        for type_name in doomed_types:
+            for role in schema.roles_played_by(type_name):
+                fact = schema.fact_type_of(role.name)
+                doomed_roles.extend(fact.role_names)
+        return [
+            self._violation(
+                message=(
+                    f"object type '{site.name}' has an empty value "
+                    f"constraint; it, its subtype(s) and the fact type(s) they "
+                    "play in can never be populated"
+                ),
+                types=doomed_types,
+                roles=tuple(dict.fromkeys(doomed_roles)),
             )
-        return violations
+        ]
 
 
-class DisjunctiveMandatoryExclusionPattern(Pattern):
-    """X3: a disjunctive mandatory whose every branch is excluded away."""
+class DisjunctiveMandatoryExclusionPattern(ConstraintSitePattern):
+    """X3: a disjunctive mandatory whose every branch is excluded away.
+
+    Check sites are the disjunctive mandatory constraints; exclusions and
+    simple mandatories on the branches co-dirty them via the scope's
+    constraint closure, and the player subtype test makes the site
+    ``players_sensitive``.
+    """
 
     pattern_id = "X3"
     name = "Disjunctive mandatory fully excluded (Sec. 5 extension)"
@@ -147,58 +180,48 @@ class DisjunctiveMandatoryExclusionPattern(Pattern):
         "simple-mandatory role of the same player, no alternative can be "
         "played and the player type is unpopulatable."
     )
+    constraint_class = MandatoryConstraint
+    players_sensitive = True
 
-    def check(self, schema: Schema) -> list[Violation]:
-        from repro.orm.constraints import ExclusionConstraint, MandatoryConstraint
-
-        violations: list[Violation] = []
+    def check_site(self, schema: Schema, site: MandatoryConstraint) -> list[Violation]:
+        if not site.is_disjunctive:
+            return []
         simple_mandatory = schema.mandatory_role_names()
-        exclusions = [
-            constraint
-            for constraint in schema.constraints_of(ExclusionConstraint)
-            if constraint.is_role_exclusion
+        player = schema.role(site.roles[0]).player
+        blockers: list[str] = []
+        for branch in site.roles:
+            blocker = self._blocking_mandatory(schema, branch, player, simple_mandatory)
+            if blocker is None:
+                return []
+            blockers.append(blocker)
+        return [
+            self._violation(
+                message=(
+                    f"object type '{player}' cannot be populated: every "
+                    f"alternative of the disjunctive mandatory "
+                    f"<{site.label}> is excluded with a mandatory "
+                    f"role ({', '.join(sorted(set(blockers)))})"
+                ),
+                types=(player,),
+                roles=tuple(
+                    role for role in site.roles if schema.role(role).player == player
+                ),
+                constraints=(site.label or "",),
+            )
         ]
-        for constraint in schema.constraints_of(MandatoryConstraint):
-            if not constraint.is_disjunctive:
-                continue
-            player = schema.role(constraint.roles[0]).player
-            blockers: list[str] = []
-            for branch in constraint.roles:
-                blocker = self._blocking_mandatory(
-                    schema, branch, player, simple_mandatory, exclusions
-                )
-                if blocker is None:
-                    blockers = []
-                    break
-                blockers.append(blocker)
-            if blockers:
-                violations.append(
-                    self._violation(
-                        message=(
-                            f"object type '{player}' cannot be populated: every "
-                            f"alternative of the disjunctive mandatory "
-                            f"<{constraint.label}> is excluded with a mandatory "
-                            f"role ({', '.join(sorted(set(blockers)))})"
-                        ),
-                        types=(player,),
-                        roles=tuple(
-                            role
-                            for role in constraint.roles
-                            if schema.role(role).player == player
-                        ),
-                        constraints=(constraint.label or "",),
-                    )
-                )
-        return violations
 
     @staticmethod
-    def _blocking_mandatory(schema, branch, player, simple_mandatory, exclusions):
+    def _blocking_mandatory(schema, branch, player, simple_mandatory):
         """A simple-mandatory role of ``player`` (or a supertype) that is
         excluded with ``branch``, or None."""
-        for exclusion in exclusions:
-            roles = exclusion.single_roles()
-            if branch not in roles:
+        from repro.orm.constraints import ExclusionConstraint
+
+        for exclusion in schema.constraints_referencing_role(branch):
+            if not isinstance(exclusion, ExclusionConstraint):
                 continue
+            if not exclusion.is_role_exclusion:
+                continue
+            roles = exclusion.single_roles()
             for other in roles:
                 if other == branch or other not in simple_mandatory:
                     continue

@@ -1,0 +1,356 @@
+"""Incremental validation: dirty-set scopes and the stateful engine.
+
+The paper's central performance claim is that pattern checking is cheap
+enough to run *after every edit* of an interactive modeling session
+(Sec. 4).  A full re-validation still costs O(schema) per edit, so edit
+cost grows with schema size.  This module makes the per-edit cost
+proportional to the **dirty neighborhood** of the edit instead:
+
+1.  :class:`repro.orm.schema.Schema` journals every effective mutation
+    (:class:`repro.orm.schema.SchemaChange`) and maintains a dependency
+    index (element → referencing constraints/roles/edges).
+2.  :func:`scope_from_changes` turns a batch of journal entries into a
+    :class:`CheckScope` — the transitive dirty set — via three closures:
+
+    * **fact-partner closure**: a dirty role dirties its partner role and
+      fact type (Pattern 4's pool check looks across the predicate);
+    * **constraint co-reference closure**: a dirty role dirties every
+      constraint referencing it, and those constraints' other roles, to a
+      fixpoint (Pattern 7's uniqueness/frequency interplay, X3's
+      exclusion chains);
+    * **vertical subtype closure**: a type whose subtype edges changed
+      dirties all its ancestors *and* descendants (``graph_types``) —
+      subtype-closure queries look both up (P1, P4's inherited pools) and
+      down (P2, P9) the graph.  Types whose *role set* changed (a fact was
+      added/removed) dirty only themselves and their ancestors
+      (``member_types``) — enough for X2's blast-radius bookkeeping
+      without dragging whole subtrees in.
+
+    Set-comparison constraints compose transitively (Pattern 6's SetPaths),
+    so any subset/equality change sets the scope-wide ``setcomp_dirty``
+    flag instead of attempting locality.
+
+3.  :class:`IncrementalEngine` keeps, per pattern, the violations of every
+    **check site** (see :mod:`repro.patterns.base`).  On
+    :meth:`IncrementalEngine.refresh` it retracts the stored verdicts of
+    every dirty site (including sites that vanished — that is how
+    violation *retraction* on deletion works) and merges in the freshly
+    computed verdicts of the dirty sites that still exist.
+
+The merge is exact, not heuristic: for every edit script, the cumulative
+report equals a from-scratch :meth:`PatternEngine.check` as a multiset of
+violations (property-tested in ``tests/patterns/test_incremental.py``).
+Report ordering is canonical (sorted within each pattern) rather than
+schema-insertion order.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Hashable, Iterable
+
+from repro.orm.constraints import (
+    AnyConstraint,
+    EqualityConstraint,
+    SubsetConstraint,
+)
+from repro.orm.schema import Schema, SchemaChange
+from repro.patterns.base import ValidationReport, Violation
+from repro.patterns.engine import PatternEngine
+
+
+class CheckScope:
+    """The dirty neighborhood of a batch of schema changes.
+
+    Patterns consult it through a small query surface:
+
+    ``graph_types``
+        types whose subtype *closure* may have changed — vertically closed
+        over ancestors and descendants;
+    ``member_types``
+        types whose role set (or value pool membership) may have changed —
+        closed over ancestors only;
+    ``roles`` / ``fact_types`` / ``labels``
+        dirty roles, fact types and constraint labels after the partner and
+        co-reference closures;
+    ``setcomp_dirty``
+        True when any subset/equality constraint changed (Pattern 6 then
+        rechecks all of its sites).
+    """
+
+    def __init__(
+        self,
+        graph_types: frozenset[str] = frozenset(),
+        member_types: frozenset[str] = frozenset(),
+        roles: frozenset[str] = frozenset(),
+        fact_types: frozenset[str] = frozenset(),
+        labels: frozenset[str] = frozenset(),
+        setcomp_dirty: bool = False,
+    ) -> None:
+        self.graph_types = graph_types
+        self.member_types = member_types
+        self.roles = roles
+        self.fact_types = fact_types
+        self.labels = labels
+        self.setcomp_dirty = setcomp_dirty
+        self._candidates: list[AnyConstraint] | None = None
+
+    @property
+    def is_empty(self) -> bool:
+        """True when nothing is dirty (refresh can return the cached report)."""
+        return not (
+            self.graph_types
+            or self.member_types
+            or self.roles
+            or self.fact_types
+            or self.labels
+            or self.setcomp_dirty
+        )
+
+    def candidate_constraints(self, schema: Schema) -> list[AnyConstraint]:
+        """Every existing constraint whose verdict may have changed.
+
+        The union of (a) constraints whose label is dirty — the co-reference
+        closure already put every constraint referencing a dirty role here —
+        and (b) constraints referencing a role of a fact played by a
+        ``graph_types`` member (their subtype/value-pool environment moved),
+        and (c) constraints referencing a dirty type directly (exclusive-X).
+        Cached per scope; deterministic order.
+        """
+        if self._candidates is not None:
+            return self._candidates
+        seen: set[int] = set()
+        out: list[AnyConstraint] = []
+
+        def add(constraint: AnyConstraint) -> None:
+            if id(constraint) not in seen:
+                seen.add(id(constraint))
+                out.append(constraint)
+
+        for label in sorted(self.labels):
+            if schema.has_constraint_label(label):
+                add(schema.constraint_by_label(label))
+        for type_name in sorted(self.graph_types):
+            for constraint in schema.constraints_referencing_type(type_name):
+                add(constraint)
+            if not schema.has_object_type(type_name):
+                continue
+            for role in schema.roles_played_by(type_name):
+                fact = schema.fact_type(role.fact_type)
+                for role_name in fact.role_names:
+                    for constraint in schema.constraints_referencing_role(role_name):
+                        add(constraint)
+        self._candidates = out
+        return out
+
+    def fact_players_dirty(self, schema: Schema, constraint: AnyConstraint) -> bool:
+        """Did the subtype environment of the constraint's players change?
+
+        Looks at the players of *all* roles of every fact the constraint
+        touches (Pattern 4 reads the value pool of the partner role's
+        player, so the partner matters too).
+        """
+        for role_name in constraint.referenced_roles():
+            if not schema.has_role(role_name):
+                return True
+            fact = schema.fact_type_of(role_name)
+            for fact_role in fact.roles:
+                if fact_role.player in self.graph_types:
+                    return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CheckScope(types={len(self.graph_types)}/{len(self.member_types)}, "
+            f"roles={len(self.roles)}, labels={len(self.labels)}, "
+            f"setcomp_dirty={self.setcomp_dirty})"
+        )
+
+
+def scope_from_changes(
+    schema: Schema, changes: Iterable[SchemaChange]
+) -> CheckScope:
+    """Compute the :class:`CheckScope` of a batch of journal entries.
+
+    Removed elements are reasoned about through the change payloads (they no
+    longer exist in the schema); all closures run against the *current*
+    schema state.
+    """
+    graph_seeds: set[str] = set()
+    member_seeds: set[str] = set()
+    roles: set[str] = set()
+    fact_types: set[str] = set()
+    labels: set[str] = set()
+    setcomp_dirty = False
+
+    for change in changes:
+        if change.kind == "object_type":
+            graph_seeds.add(change.name)
+            member_seeds.add(change.name)
+        elif change.kind == "subtype":
+            link = change.payload
+            graph_seeds.update((link.sub, link.super))
+        elif change.kind == "fact_type":
+            fact = change.payload
+            fact_types.add(fact.name)
+            for role in fact.roles:
+                roles.add(role.name)
+                member_seeds.add(role.player)
+        elif change.kind == "constraint":
+            constraint = change.payload
+            labels.add(constraint.label or "")
+            roles.update(constraint.referenced_roles())
+            if isinstance(constraint, (SubsetConstraint, EqualityConstraint)):
+                setcomp_dirty = True
+
+    # Fact-partner and constraint co-reference closures, to a fixpoint.
+    queue = list(roles)
+    while queue:
+        role_name = queue.pop()
+        if not schema.has_role(role_name):
+            continue  # removed role; its constraints were journaled too
+        fact = schema.fact_type_of(role_name)
+        fact_types.add(fact.name)
+        for other in fact.role_names:
+            if other not in roles:
+                roles.add(other)
+                queue.append(other)
+        for constraint in schema.constraints_referencing_role(role_name):
+            label = constraint.label or ""
+            if label in labels:
+                continue
+            labels.add(label)
+            for other in constraint.referenced_roles():
+                if other not in roles:
+                    roles.add(other)
+                    queue.append(other)
+
+    graph_types = _vertical_closure(schema, graph_seeds, up=True, down=True)
+    member_types = _vertical_closure(schema, member_seeds, up=True, down=False)
+    return CheckScope(
+        graph_types=frozenset(graph_types),
+        member_types=frozenset(member_types),
+        roles=frozenset(roles),
+        fact_types=frozenset(fact_types),
+        labels=frozenset(labels),
+        setcomp_dirty=setcomp_dirty,
+    )
+
+
+def _vertical_closure(
+    schema: Schema, seeds: set[str], *, up: bool, down: bool
+) -> set[str]:
+    """Seeds plus everything reachable along the subtype graph; cycle-safe."""
+    closed = set(seeds)
+    queue = [name for name in seeds if schema.has_object_type(name)]
+    directions = []
+    if up:
+        directions.append(schema.direct_supertypes)
+    if down:
+        directions.append(schema.direct_subtypes)
+    while queue:
+        current = queue.pop()
+        for step in directions:
+            for neighbor in step(current):
+                if neighbor not in closed:
+                    closed.add(neighbor)
+                    queue.append(neighbor)
+    return closed
+
+
+class IncrementalEngine:
+    """A stateful, dependency-indexed wrapper around the pattern registry.
+
+    Attach it to a live :class:`Schema`; the constructor performs one full
+    check, and every :meth:`refresh` afterwards only re-examines the check
+    sites dirtied by the schema mutations since the previous call, merging
+    scoped verdicts into the persistent per-site violation store
+    (retracting the verdicts of sites that were touched or deleted).
+
+    The engine accepts the same ``enabled`` / ``include_extensions``
+    arguments as :class:`PatternEngine` and produces the same
+    :class:`ValidationReport` type; violations are ordered canonically
+    (sorted within each pattern) rather than by schema insertion order, and
+    equal a from-scratch check as a multiset.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        enabled: Iterable[str] | None = None,
+        include_extensions: bool = False,
+    ) -> None:
+        self.schema = schema
+        self._engine = PatternEngine(enabled, include_extensions)
+        self._patterns = self._engine.enabled_patterns()
+        self._sites: dict[str, dict[Hashable, tuple[Violation, ...]]] = {}
+        self._mark = schema.journal_size
+        started = time.perf_counter()
+        for pattern in self._patterns:
+            self._sites[pattern.pattern_id] = dict(pattern.check_scoped(schema, None))
+        self._report = self._build_report(time.perf_counter() - started)
+
+    @property
+    def enabled_ids(self) -> tuple[str, ...]:
+        """The pattern ids this engine maintains."""
+        return self._engine.enabled_ids
+
+    def report(self) -> ValidationReport:
+        """The current cumulative report (without consuming new changes)."""
+        return self._report
+
+    def refresh(self) -> ValidationReport:
+        """Consume the schema changes since the last call and re-validate.
+
+        Cost is proportional to the dirty neighborhood of those changes,
+        not to the schema size.
+        """
+        started = time.perf_counter()
+        changes = self.schema.changes_since(self._mark)
+        self._mark = self.schema.journal_size
+        if not changes:
+            return self._report
+        scope = scope_from_changes(self.schema, changes)
+        if scope.is_empty:
+            return self._report
+        for pattern in self._patterns:
+            stored = self._sites[pattern.pattern_id]
+            fresh = pattern.check_scoped(self.schema, scope)
+            for key in [k for k in stored if pattern.site_dirty(k, scope, self.schema)]:
+                del stored[key]
+            stored.update(fresh)
+        self._report = self._build_report(time.perf_counter() - started)
+        return self._report
+
+    # `check()` mirrors PatternEngine's entry point for drop-in use.
+    def check(self, schema: Schema | None = None) -> ValidationReport:
+        """Refresh and return the report; ``schema`` must be the attached one."""
+        if schema is not None and schema is not self.schema:
+            raise ValueError(
+                "IncrementalEngine is bound to one schema; build a new engine "
+                "for a different schema object"
+            )
+        return self.refresh()
+
+    def _build_report(self, elapsed: float) -> ValidationReport:
+        violations: list[Violation] = []
+        for pattern in self._patterns:
+            batch = [
+                violation
+                for site_violations in self._sites[pattern.pattern_id].values()
+                for violation in site_violations
+            ]
+            batch.sort(key=lambda v: (v.types, v.roles, v.constraints, v.message))
+            violations.extend(batch)
+        return ValidationReport(
+            schema_name=self.schema.metadata.name,
+            violations=violations,
+            patterns_run=self._engine.enabled_ids,
+            elapsed_seconds=elapsed,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"IncrementalEngine(schema={self.schema.metadata.name!r}, "
+            f"patterns={list(self._engine.enabled_ids)})"
+        )

@@ -23,7 +23,12 @@ from repro.patterns.base import Pattern, Violation
 
 
 class TopCommonSupertypePattern(Pattern):
-    """Detect subtypes whose direct supertypes share no top common supertype."""
+    """Detect subtypes whose direct supertypes share no top common supertype.
+
+    Check sites are object types; a site's verdict depends only on the
+    subtype graph *above* it, so a scope dirties it exactly when the type is
+    in the scope's vertically-closed ``graph_types``.
+    """
 
     pattern_id = "P1"
     name = "Top common supertype"
@@ -33,25 +38,35 @@ class TopCommonSupertypePattern(Pattern):
         "mutually exclusive in ORM)."
     )
 
-    def check(self, schema: Schema) -> list[Violation]:
-        violations: list[Violation] = []
-        for type_name in schema.object_type_names():
-            direct_supers = schema.direct_supertypes(type_name)
-            if len(direct_supers) < 2:
-                continue
-            lines = [set(schema.supertypes_and_self(sup)) for sup in direct_supers]
-            common = set.intersection(*lines)
-            if common:
-                continue
-            violations.append(
-                self._violation(
-                    message=(
-                        f"the subtype '{type_name}' cannot be satisfied: its "
-                        f"supertypes {comma_join(stable_sorted_names(direct_supers))} "
-                        "do not share a top common supertype, so they are mutually "
-                        "exclusive"
-                    ),
-                    types=(type_name,),
-                )
+    def iter_sites(self, schema: Schema, scope=None):
+        if scope is None:
+            names = schema.object_type_names()
+        else:
+            names = [
+                name for name in sorted(scope.graph_types) if schema.has_object_type(name)
+            ]
+        for name in names:
+            yield (name, name)
+
+    def site_dirty(self, key, scope, schema: Schema) -> bool:
+        return key in scope.graph_types or not schema.has_object_type(key)
+
+    def check_site(self, schema: Schema, site: str) -> list[Violation]:
+        direct_supers = schema.direct_supertypes(site)
+        if len(direct_supers) < 2:
+            return []
+        lines = [set(schema.supertypes_and_self(sup)) for sup in direct_supers]
+        common = set.intersection(*lines)
+        if common:
+            return []
+        return [
+            self._violation(
+                message=(
+                    f"the subtype '{site}' cannot be satisfied: its "
+                    f"supertypes {comma_join(stable_sorted_names(direct_supers))} "
+                    "do not share a top common supertype, so they are mutually "
+                    "exclusive"
+                ),
+                types=(site,),
             )
-        return violations
+        ]

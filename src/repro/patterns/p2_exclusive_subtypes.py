@@ -17,11 +17,17 @@ from __future__ import annotations
 from repro._util import comma_join, pairs, stable_sorted_names
 from repro.orm.constraints import ExclusiveTypesConstraint
 from repro.orm.schema import Schema
-from repro.patterns.base import Pattern, Violation
+from repro.patterns.base import ConstraintSitePattern, Violation
 
 
-class ExclusiveSubtypesPattern(Pattern):
-    """Detect subtypes of mutually exclusive supertypes."""
+class ExclusiveSubtypesPattern(ConstraintSitePattern):
+    """Detect subtypes of mutually exclusive supertypes.
+
+    Check sites are the exclusive-types constraints; the verdict depends on
+    the subtrees below the listed types, so a site is dirty when any listed
+    type lies in the scope's ``graph_types`` (which contains the ancestors
+    of every type whose subtree changed).
+    """
 
     pattern_id = "P2"
     name = "Exclusive constraint between types"
@@ -29,29 +35,31 @@ class ExclusiveSubtypesPattern(Pattern):
         "A common subtype of object types declared mutually exclusive can "
         "never be populated."
     )
+    constraint_class = ExclusiveTypesConstraint
 
-    def check(self, schema: Schema) -> list[Violation]:
+    def check_site(
+        self, schema: Schema, site: ExclusiveTypesConstraint
+    ) -> list[Violation]:
         violations: list[Violation] = []
-        for constraint in schema.constraints_of(ExclusiveTypesConstraint):
-            # The check is symmetric in (Ti, Tj); the appendix's ordered
-            # double loop visits each pair twice, we visit it once.
-            for first, second in pairs(constraint.types):
-                common = set(schema.subtypes_and_self(first)) & set(
-                    schema.subtypes_and_self(second)
+        # The check is symmetric in (Ti, Tj); the appendix's ordered
+        # double loop visits each pair twice, we visit it once.
+        for first, second in pairs(site.types):
+            common = set(schema.subtypes_and_self(first)) & set(
+                schema.subtypes_and_self(second)
+            )
+            if not common:
+                continue
+            flagged = tuple(stable_sorted_names(common))
+            violations.append(
+                self._violation(
+                    message=(
+                        f"the subtype(s) {comma_join(flagged)} cannot be "
+                        f"instantiated: they fall under both '{first}' and "
+                        f"'{second}', which the exclusive constraint "
+                        f"<{site.label}> declares disjoint"
+                    ),
+                    types=flagged,
+                    constraints=(site.label or "",),
                 )
-                if not common:
-                    continue
-                flagged = tuple(stable_sorted_names(common))
-                violations.append(
-                    self._violation(
-                        message=(
-                            f"the subtype(s) {comma_join(flagged)} cannot be "
-                            f"instantiated: they fall under both '{first}' and "
-                            f"'{second}', which the exclusive constraint "
-                            f"<{constraint.label}> declares disjoint"
-                        ),
-                        types=flagged,
-                        constraints=(constraint.label or "",),
-                    )
-                )
+            )
         return violations

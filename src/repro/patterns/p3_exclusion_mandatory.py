@@ -22,11 +22,17 @@ from __future__ import annotations
 from repro._util import ordered_pairs
 from repro.orm.constraints import ExclusionConstraint
 from repro.orm.schema import Schema
-from repro.patterns.base import Pattern, Violation
+from repro.patterns.base import ConstraintSitePattern, Violation
 
 
-class ExclusionMandatoryPattern(Pattern):
-    """Detect exclusion constraints conflicting with mandatory roles."""
+class ExclusionMandatoryPattern(ConstraintSitePattern):
+    """Detect exclusion constraints conflicting with mandatory roles.
+
+    Check sites are the role-level exclusion constraints.  The verdict also
+    depends on the mandatory status of the excluded roles (any constraint
+    change on them co-dirties the site via the scope's closure) and on the
+    subtype relation between their players (``players_sensitive``).
+    """
 
     pattern_id = "P3"
     name = "Exclusion-Mandatory"
@@ -34,15 +40,13 @@ class ExclusionMandatoryPattern(Pattern):
         "A role excluded with a mandatory role of the same object type (or a "
         "supertype) can never be played."
     )
+    constraint_class = ExclusionConstraint
+    players_sensitive = True
 
-    def check(self, schema: Schema) -> list[Violation]:
-        violations: list[Violation] = []
-        mandatory = schema.mandatory_role_names()
-        for constraint in schema.constraints_of(ExclusionConstraint):
-            if not constraint.is_role_exclusion:
-                continue
-            violations.extend(self._check_exclusion(schema, constraint, mandatory))
-        return violations
+    def check_site(self, schema: Schema, site: ExclusionConstraint) -> list[Violation]:
+        if not site.is_role_exclusion:
+            return []
+        return self._check_exclusion(schema, site, schema.mandatory_role_names())
 
     def _check_exclusion(
         self,

@@ -16,11 +16,16 @@ from __future__ import annotations
 
 from repro.orm.constraints import FrequencyConstraint
 from repro.orm.schema import Schema
-from repro.patterns.base import Pattern, Violation
+from repro.patterns.base import ConstraintSitePattern, Violation
 
 
-class FrequencyValuePattern(Pattern):
-    """Detect frequency constraints exceeding the partner's value pool."""
+class FrequencyValuePattern(ConstraintSitePattern):
+    """Detect frequency constraints exceeding the partner's value pool.
+
+    Check sites are single-role frequency constraints; the partner player's
+    inherited value pool makes the site ``players_sensitive`` (a subtype
+    edge above the partner can tighten or loosen the pool).
+    """
 
     pattern_id = "P4"
     name = "Frequency-Value"
@@ -28,32 +33,31 @@ class FrequencyValuePattern(Pattern):
         "A frequency lower bound larger than the number of admissible partner "
         "values makes the role unsatisfiable."
     )
+    constraint_class = FrequencyConstraint
+    players_sensitive = True
 
-    def check(self, schema: Schema) -> list[Violation]:
-        violations: list[Violation] = []
-        for constraint in schema.constraints_of(FrequencyConstraint):
-            if len(constraint.roles) != 1:
-                continue  # spanning frequencies are Pattern 7's business
-            role_name = constraint.roles[0]
-            partner = schema.partner_role(role_name)
-            pool = self._effective_value_count(schema, partner.player)
-            if pool is None or pool >= constraint.min:
-                continue
-            fact_name = schema.role(role_name).fact_type
-            violations.append(
-                self._violation(
-                    message=(
-                        f"role '{role_name}' cannot be instantiated: the frequency "
-                        f"constraint <{constraint.label}> {constraint.bounds_text()} "
-                        f"requires {constraint.min} distinct '{partner.player}' "
-                        f"partners, but its value constraint admits only {pool} "
-                        f"value(s); the fact type '{fact_name}' is unpopulatable"
-                    ),
-                    roles=(role_name, partner.name),
-                    constraints=(constraint.label or "",),
-                )
+    def check_site(self, schema: Schema, site: FrequencyConstraint) -> list[Violation]:
+        if len(site.roles) != 1:
+            return []  # spanning frequencies are Pattern 7's business
+        role_name = site.roles[0]
+        partner = schema.partner_role(role_name)
+        pool = self._effective_value_count(schema, partner.player)
+        if pool is None or pool >= site.min:
+            return []
+        fact_name = schema.role(role_name).fact_type
+        return [
+            self._violation(
+                message=(
+                    f"role '{role_name}' cannot be instantiated: the frequency "
+                    f"constraint <{site.label}> {site.bounds_text()} "
+                    f"requires {site.min} distinct '{partner.player}' "
+                    f"partners, but its value constraint admits only {pool} "
+                    f"value(s); the fact type '{fact_name}' is unpopulatable"
+                ),
+                roles=(role_name, partner.name),
+                constraints=(site.label or "",),
             )
-        return violations
+        ]
 
     @staticmethod
     def _effective_value_count(schema: Schema, type_name: str) -> int | None:

@@ -22,11 +22,16 @@ from __future__ import annotations
 
 from repro.orm.constraints import ExclusionConstraint
 from repro.orm.schema import Schema
-from repro.patterns.base import Pattern, Violation
+from repro.patterns.base import ConstraintSitePattern, Violation
 
 
-class ValueExclusionFrequencyPattern(Pattern):
-    """Detect exclusions whose combined frequency demand exceeds the value pool."""
+class ValueExclusionFrequencyPattern(ConstraintSitePattern):
+    """Detect exclusions whose combined frequency demand exceeds the value pool.
+
+    Check sites are role-level exclusion constraints.  Frequency changes on
+    the inverse roles co-dirty the site via the scope's fact-partner closure;
+    value pools are inherited, hence ``players_sensitive``.
+    """
 
     pattern_id = "P5"
     name = "Value-Exclusion-Frequency"
@@ -34,41 +39,40 @@ class ValueExclusionFrequencyPattern(Pattern):
         "Mutually excluded roles need pairwise-disjoint value sets; a value "
         "constraint smaller than the summed frequency demands starves some role."
     )
+    constraint_class = ExclusionConstraint
+    players_sensitive = True
 
-    def check(self, schema: Schema) -> list[Violation]:
-        violations: list[Violation] = []
-        for constraint in schema.constraints_of(ExclusionConstraint):
-            if not constraint.is_role_exclusion:
-                continue
-            roles = constraint.single_roles()
-            pool = self._common_value_pool(schema, roles)
-            if pool is None:
-                continue
-            demands = [
-                schema.min_frequency_of(schema.partner_role(role_name).name)
-                for role_name in roles
-            ]
-            needed = sum(demands)
-            if pool >= needed:
-                continue
-            player = schema.role(roles[0]).player
-            violations.append(
-                self._violation(
-                    message=(
-                        f"some roles in {roles} cannot be instantiated: the "
-                        f"exclusion <{constraint.label}> needs "
-                        f"{' + '.join(str(d) for d in demands)} = {needed} distinct "
-                        f"values of '{player}', but its value constraint admits "
-                        f"only {pool}"
-                    ),
-                    roles=roles,
-                    constraints=(constraint.label or "",),
-                    # Each excluded role may be populatable alone; the value
-                    # pool only starves the set as a whole.
-                    joint=True,
-                )
+    def check_site(self, schema: Schema, site: ExclusionConstraint) -> list[Violation]:
+        if not site.is_role_exclusion:
+            return []
+        roles = site.single_roles()
+        pool = self._common_value_pool(schema, roles)
+        if pool is None:
+            return []
+        demands = [
+            schema.min_frequency_of(schema.partner_role(role_name).name)
+            for role_name in roles
+        ]
+        needed = sum(demands)
+        if pool >= needed:
+            return []
+        player = schema.role(roles[0]).player
+        return [
+            self._violation(
+                message=(
+                    f"some roles in {roles} cannot be instantiated: the "
+                    f"exclusion <{site.label}> needs "
+                    f"{' + '.join(str(d) for d in demands)} = {needed} distinct "
+                    f"values of '{player}', but its value constraint admits "
+                    f"only {pool}"
+                ),
+                roles=roles,
+                constraints=(site.label or "",),
+                # Each excluded role may be populatable alone; the value
+                # pool only starves the set as a whole.
+                joint=True,
             )
-        return violations
+        ]
 
     @staticmethod
     def _common_value_pool(schema: Schema, roles: tuple[str, ...]) -> int | None:

@@ -23,12 +23,18 @@ from __future__ import annotations
 from repro._util import pairs
 from repro.orm.constraints import ExclusionConstraint, RoleSequence
 from repro.orm.schema import Schema
-from repro.patterns.base import Pattern, Violation
+from repro.patterns.base import ConstraintSitePattern, Violation
 from repro.setcomp import SetPath, SetPathGraph
 
 
-class SetComparisonPattern(Pattern):
-    """Detect exclusion constraints contradicting subset/equality SetPaths."""
+class SetComparisonPattern(ConstraintSitePattern):
+    """Detect exclusion constraints contradicting subset/equality SetPaths.
+
+    Check sites are the exclusion constraints, but the verdict consults the
+    *global* subset/equality graph (SetPaths compose transitively), so the
+    pattern is ``setcomp_sensitive``: any set-comparison change dirties all
+    of its sites.  The SetPath graph is built once per run, not per site.
+    """
 
     pattern_id = "P6"
     name = "Set-comparison constraints"
@@ -36,20 +42,37 @@ class SetComparisonPattern(Pattern):
         "An exclusion constraint combined with a (direct or implied) subset or "
         "equality path between the same arguments empties the subset side."
     )
+    constraint_class = ExclusionConstraint
+    setcomp_sensitive = True
 
-    def check(self, schema: Schema) -> list[Violation]:
+    def check_scoped(self, schema: Schema, scope=None):
+        sites = list(self.iter_sites(schema, scope))
+        if not sites:
+            return {}
         graph = SetPathGraph.from_schema(schema)
+        results = {}
+        for key, constraint in sites:
+            found = self._check_constraint(schema, graph, constraint)
+            if found:
+                results[key] = tuple(found)
+        return results
+
+    def check_site(self, schema: Schema, site: ExclusionConstraint) -> list[Violation]:
+        return self._check_constraint(schema, SetPathGraph.from_schema(schema), site)
+
+    def _check_constraint(
+        self, schema: Schema, graph: SetPathGraph, constraint: ExclusionConstraint
+    ) -> list[Violation]:
         violations: list[Violation] = []
-        for constraint in schema.constraints_of(ExclusionConstraint):
-            for first, second in pairs(constraint.sequences):
-                if constraint.is_role_exclusion:
-                    violations.extend(
-                        self._check_role_pair(schema, graph, constraint, first, second)
-                    )
-                else:
-                    violations.extend(
-                        self._check_sequences(schema, graph, constraint, first, second)
-                    )
+        for first, second in pairs(constraint.sequences):
+            if constraint.is_role_exclusion:
+                violations.extend(
+                    self._check_role_pair(schema, graph, constraint, first, second)
+                )
+            else:
+                violations.extend(
+                    self._check_sequences(schema, graph, constraint, first, second)
+                )
         # A role-level SetPath implied by a predicate subset and the
         # predicate-level SetPath itself describe the same conflict; keep one
         # violation per (flagged roles, responsible constraints).

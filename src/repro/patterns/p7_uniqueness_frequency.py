@@ -17,11 +17,15 @@ from __future__ import annotations
 
 from repro.orm.constraints import FrequencyConstraint
 from repro.orm.schema import Schema
-from repro.patterns.base import Pattern, Violation
+from repro.patterns.base import ConstraintSitePattern, Violation
 
 
-class UniquenessFrequencyPattern(Pattern):
-    """Detect frequency lower bounds above an (explicit or implied) uniqueness."""
+class UniquenessFrequencyPattern(ConstraintSitePattern):
+    """Detect frequency lower bounds above an (explicit or implied) uniqueness.
+
+    Check sites are frequency constraints; adding or removing a uniqueness
+    on the same roles co-dirties them via the scope's constraint closure.
+    """
 
     pattern_id = "P7"
     name = "Uniqueness-Frequency"
@@ -29,41 +33,40 @@ class UniquenessFrequencyPattern(Pattern):
         "A frequency constraint with lower bound above 1 on a unique role "
         "(or spanning a whole predicate) can never be satisfied."
     )
+    constraint_class = FrequencyConstraint
 
-    def check(self, schema: Schema) -> list[Violation]:
-        violations: list[Violation] = []
-        for constraint in schema.constraints_of(FrequencyConstraint):
-            if constraint.min <= 1:
-                continue
-            explicit = schema.uniqueness_on(constraint.roles)
-            if explicit:
-                uniqueness = explicit[0]
-                violations.append(
-                    self._violation(
-                        message=(
-                            f"the frequency constraint <{constraint.label}> "
-                            f"{constraint.bounds_text()} cannot be satisfied: the "
-                            f"uniqueness constraint <{uniqueness.label}> allows each "
-                            f"instance to play {constraint.roles} at most once"
-                        ),
-                        roles=constraint.roles,
-                        constraints=(constraint.label or "", uniqueness.label or ""),
-                    )
+    def check_site(self, schema: Schema, site: FrequencyConstraint) -> list[Violation]:
+        if site.min <= 1:
+            return []
+        explicit = schema.uniqueness_on(site.roles)
+        if explicit:
+            uniqueness = explicit[0]
+            return [
+                self._violation(
+                    message=(
+                        f"the frequency constraint <{site.label}> "
+                        f"{site.bounds_text()} cannot be satisfied: the "
+                        f"uniqueness constraint <{uniqueness.label}> allows each "
+                        f"instance to play {site.roles} at most once"
+                    ),
+                    roles=site.roles,
+                    constraints=(site.label or "", uniqueness.label or ""),
                 )
-            elif len(constraint.roles) == 2:
-                # Implicit case: a frequency spanning the whole binary
-                # predicate counts occurrences of complete tuples, and tuples
-                # are unique by set semantics.
-                violations.append(
-                    self._violation(
-                        message=(
-                            f"the frequency constraint <{constraint.label}> "
-                            f"{constraint.bounds_text()} spans the whole predicate; "
-                            "tuples occur at most once (predicate populations are "
-                            "sets), so a lower bound above 1 is unsatisfiable"
-                        ),
-                        roles=constraint.roles,
-                        constraints=(constraint.label or "",),
-                    )
+            ]
+        if len(site.roles) == 2:
+            # Implicit case: a frequency spanning the whole binary
+            # predicate counts occurrences of complete tuples, and tuples
+            # are unique by set semantics.
+            return [
+                self._violation(
+                    message=(
+                        f"the frequency constraint <{site.label}> "
+                        f"{site.bounds_text()} spans the whole predicate; "
+                        "tuples occur at most once (predicate populations are "
+                        "sets), so a lower bound above 1 is unsatisfiable"
+                    ),
+                    roles=site.roles,
+                    constraints=(site.label or "",),
                 )
-        return violations
+            ]
+        return []

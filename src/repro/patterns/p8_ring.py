@@ -16,13 +16,17 @@ the modeler which constraint to remove.
 from __future__ import annotations
 
 from repro.orm.schema import Schema
-from repro.patterns.base import Pattern, Violation
+from repro.patterns.base import RingPairSitePattern, Violation
 from repro.rings.algebra import format_combination, is_compatible
 from repro.rings.table1 import minimal_incompatible_core
 
 
-class RingPattern(Pattern):
-    """Detect role pairs whose ring constraints are jointly unsatisfiable."""
+class RingPattern(RingPairSitePattern):
+    """Detect role pairs whose ring constraints are jointly unsatisfiable.
+
+    Check sites are the ring-constrained role pairs; a site is dirty when
+    any ring constraint on the pair was added or removed.
+    """
 
     pattern_id = "P8"
     name = "Ring constraints"
@@ -31,26 +35,23 @@ class RingPattern(Pattern):
         "symmetric plus acyclic) cannot hold together on a populated role pair."
     )
 
-    def check(self, schema: Schema) -> list[Violation]:
-        violations: list[Violation] = []
-        for pair in schema.ring_pairs():
-            constraints = schema.ring_constraints_on(pair)
-            kinds = frozenset(constraint.kind for constraint in constraints)
-            if is_compatible(kinds):
-                continue
-            core = minimal_incompatible_core(kinds) or kinds
-            labels = tuple(constraint.label or "" for constraint in constraints)
-            fact_name = schema.role(pair[0]).fact_type
-            violations.append(
-                self._violation(
-                    message=(
-                        f"the ring constraints {format_combination(kinds)} on fact "
-                        f"type '{fact_name}' cannot be satisfied by any non-empty "
-                        f"relation; the incompatible core is "
-                        f"{format_combination(core)} (not in Table 1)"
-                    ),
-                    roles=pair,
-                    constraints=labels,
-                )
+    def check_site(self, schema: Schema, site: tuple[str, str]) -> list[Violation]:
+        constraints = schema.ring_constraints_on(site)
+        kinds = frozenset(constraint.kind for constraint in constraints)
+        if not kinds or is_compatible(kinds):
+            return []
+        core = minimal_incompatible_core(kinds) or kinds
+        labels = tuple(constraint.label or "" for constraint in constraints)
+        fact_name = schema.role(site[0]).fact_type
+        return [
+            self._violation(
+                message=(
+                    f"the ring constraints {format_combination(kinds)} on fact "
+                    f"type '{fact_name}' cannot be satisfied by any non-empty "
+                    f"relation; the incompatible core is "
+                    f"{format_combination(core)} (not in Table 1)"
+                ),
+                roles=site,
+                constraints=labels,
             )
-        return violations
+        ]

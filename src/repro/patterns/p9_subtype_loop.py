@@ -20,7 +20,14 @@ from repro.patterns.base import Pattern, Violation
 
 
 class SubtypeLoopPattern(Pattern):
-    """Detect cycles in the subtype graph."""
+    """Detect cycles in the subtype graph.
+
+    The natural check site is a whole cycle (one diagnostic per loop), so
+    this pattern overrides :meth:`check_scoped` directly: site keys are the
+    frozen cycle-member sets.  Any new cycle necessarily passes through a
+    freshly-edited subtype edge, so scoped runs only need to start from the
+    scope's vertically-closed ``graph_types``.
+    """
 
     pattern_id = "P9"
     name = "Loops in subtypes"
@@ -29,16 +36,17 @@ class SubtypeLoopPattern(Pattern):
         "subtype cycle would make a population a strict subset of itself."
     )
 
-    def check(self, schema: Schema) -> list[Violation]:
-        looping = [
-            type_name
-            for type_name in schema.object_type_names()
-            if type_name in schema.supertypes(type_name)
-        ]
-        violations: list[Violation] = []
+    def check_scoped(self, schema: Schema, scope=None):
+        if scope is None:
+            candidates = schema.object_type_names()
+        else:
+            candidates = [
+                name for name in sorted(scope.graph_types) if schema.has_object_type(name)
+            ]
+        results = {}
         reported: set[str] = set()
-        for type_name in looping:
-            if type_name in reported:
+        for type_name in candidates:
+            if type_name in reported or type_name not in schema.supertypes(type_name):
                 continue
             # Every member of this type's cycle component: types that are both
             # above and below it in the subtype graph.
@@ -50,7 +58,7 @@ class SubtypeLoopPattern(Pattern):
             cycle.add(type_name)
             reported.update(cycle)
             names = tuple(stable_sorted_names(cycle))
-            violations.append(
+            results[frozenset(cycle)] = (
                 self._violation(
                     message=(
                         f"the subtype(s) {comma_join(names)} form a loop in the "
@@ -58,6 +66,18 @@ class SubtypeLoopPattern(Pattern):
                         "type on the loop unsatisfiable"
                     ),
                     types=names,
-                )
+                ),
             )
-        return violations
+        return results
+
+    def iter_sites(self, schema: Schema, scope=None):  # pragma: no cover - unused
+        raise NotImplementedError("SubtypeLoopPattern overrides check_scoped directly")
+
+    def check_site(self, schema: Schema, site):  # pragma: no cover - unused
+        raise NotImplementedError("SubtypeLoopPattern overrides check_scoped directly")
+
+    def site_dirty(self, key, scope, schema: Schema) -> bool:
+        members = key if isinstance(key, frozenset) else frozenset()
+        if any(not schema.has_object_type(name) for name in members):
+            return True
+        return any(name in scope.graph_types for name in members)

@@ -110,6 +110,33 @@ class ModelingSession:
         self.schema.add_ring(kind, first_role, second_role)
         return self._record(f"add ring {kind} ({first_role}, {second_role})")
 
+    # -- removal verbs (each validates; violations retract) ---------------
+
+    def remove_constraint(self, label: str) -> EditEvent:
+        """Remove a constraint by label and revalidate.
+
+        Violations caused by the constraint disappear from the report and
+        show up in the event's ``resolved_violations`` — the incremental
+        engine retracts the verdicts anchored at the removed site.
+        """
+        self.schema.remove_constraint(label)
+        return self._record(f"remove constraint {label}")
+
+    def remove_subtype(self, sub: str, super: str) -> EditEvent:
+        """Remove a subtype link and revalidate."""
+        self.schema.remove_subtype(sub, super)
+        return self._record(f"remove subtype {sub} < {super}")
+
+    def remove_fact(self, name: str) -> EditEvent:
+        """Remove a fact type (cascading over its roles' constraints)."""
+        self.schema.remove_fact_type(name)
+        return self._record(f"remove fact {name}")
+
+    def remove_entity(self, name: str) -> EditEvent:
+        """Remove an object type (cascading over facts, links, X-constraints)."""
+        self.schema.remove_object_type(name)
+        return self._record(f"remove entity {name}")
+
     # -- queries ----------------------------------------------------------
 
     def latest(self) -> EditEvent | None:

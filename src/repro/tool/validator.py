@@ -19,6 +19,7 @@ from repro.orm.wellformed import Advisory, check_wellformedness
 from repro.patterns.base import ValidationReport
 from repro.patterns.engine import ALL_IDS, PATTERN_IDS, PatternEngine, pattern_by_id
 from repro.patterns.formation_rules import RuleFinding, check_formation_rules
+from repro.patterns.incremental import IncrementalEngine
 
 
 @dataclass
@@ -28,7 +29,11 @@ class ValidatorSettings:
     ``patterns`` maps pattern id to enabled (the paper's nine are ticked by
     default; the Sec. 5 extension patterns X1-X3 exist but start unticked);
     ``wellformedness`` and ``formation_rules`` toggle the two auxiliary
-    analyses.
+    analyses.  ``incremental`` selects the dependency-indexed
+    :class:`repro.patterns.incremental.IncrementalEngine` for the pattern
+    checks (the default — per-edit cost then scales with the edit, not the
+    schema); switch it off to force a from-scratch
+    :class:`PatternEngine` run on every validation.
     """
 
     patterns: dict[str, bool] = field(
@@ -36,6 +41,7 @@ class ValidatorSettings:
     )
     wellformedness: bool = True
     formation_rules: bool = False  # style feedback is opt-in, as in the tool
+    incremental: bool = True
 
     def enable(self, pattern_id: str) -> None:
         """Tick one pattern checkbox (paper patterns or X extensions)."""
@@ -104,16 +110,26 @@ class ToolReport:
 
 
 class Validator:
-    """One-call validation of a schema under configurable settings."""
+    """One-call validation of a schema under configurable settings.
+
+    With ``settings.incremental`` (the default) the validator keeps an
+    :class:`IncrementalEngine` attached to the last-validated schema object:
+    repeatedly validating the *same* (mutating) schema — the
+    :class:`repro.tool.session.ModelingSession` loop — only pays for the
+    edits made since the previous call.  Validating a different schema
+    object, or changing the enabled pattern set, transparently rebuilds the
+    engine.
+    """
 
     def __init__(self, settings: ValidatorSettings | None = None) -> None:
         self.settings = settings or ValidatorSettings()
+        self._incremental: IncrementalEngine | None = None
 
     def validate(self, schema: Schema) -> ToolReport:
         """Run every enabled analysis over ``schema``."""
         started = time.perf_counter()
-        engine = PatternEngine(enabled=self.settings.enabled_ids())
-        pattern_report = engine.check(schema)
+        enabled = tuple(self.settings.enabled_ids())
+        pattern_report = self._pattern_report(schema, enabled)
         advisories = (
             check_wellformedness(schema) if self.settings.wellformedness else []
         )
@@ -128,3 +144,16 @@ class Validator:
             rule_findings=rule_findings,
             elapsed_seconds=elapsed,
         )
+
+    def _pattern_report(
+        self, schema: Schema, enabled: tuple[str, ...]
+    ) -> ValidationReport:
+        if not self.settings.incremental:
+            self._incremental = None
+            return PatternEngine(enabled=enabled).check(schema)
+        engine = self._incremental
+        if engine is None or engine.schema is not schema or engine.enabled_ids != enabled:
+            engine = IncrementalEngine(schema, enabled=enabled)
+            self._incremental = engine
+            return engine.report()
+        return engine.refresh()

@@ -363,6 +363,213 @@ def generate_faulty_schema(
     return schema, faults
 
 
+# ----------------------------------------------------------------------
+# random edit scripts (incremental-engine equivalence testing)
+# ----------------------------------------------------------------------
+
+
+def apply_random_edit(
+    schema: Schema, rng: random.Random, allow_removals: bool = True
+) -> str:
+    """Apply one random feasible mutation to ``schema``; returns a description.
+
+    The op mix covers every journal kind the incremental engine reasons
+    about — element/constraint additions *and* removals (subtype links in
+    any direction, so cycles appear and disappear; removals cascade).  Ops
+    that are infeasible in the current schema state (e.g. removing a
+    constraint when none exist) are re-drawn; as a last resort a fresh
+    entity type is added, which is always feasible.
+    """
+    ops = [
+        _edit_add_entity,
+        _edit_add_subtype,
+        _edit_add_fact,
+        _edit_add_mandatory,
+        _edit_add_uniqueness,
+        _edit_add_frequency,
+        _edit_add_exclusion,
+        _edit_add_exclusive_types,
+        _edit_add_setcomp,
+        _edit_add_ring,
+    ]
+    if allow_removals:
+        ops += [
+            _edit_remove_constraint,
+            _edit_remove_constraint,  # weighted: retraction is the hard path
+            _edit_remove_subtype,
+            _edit_remove_fact,
+            _edit_remove_object_type,
+        ]
+    for _ in range(30):
+        description = rng.choice(ops)(schema, rng)
+        if description is not None:
+            return description
+    return _edit_add_entity(schema, rng)
+
+
+def random_edit_script(
+    schema: Schema, rng: random.Random, length: int, allow_removals: bool = True
+) -> list[str]:
+    """Apply ``length`` random edits to ``schema``; returns the descriptions."""
+    return [apply_random_edit(schema, rng, allow_removals) for _ in range(length)]
+
+
+def _edit_add_entity(schema: Schema, rng: random.Random) -> str:
+    name = _fresh(schema, "t")
+    values = None
+    draw = rng.random()
+    if draw < 0.15:
+        values = []  # empty pool: X2 / wellformedness territory
+    elif draw < 0.4:
+        values = [f"{name}v{k}" for k in range(rng.randint(1, 3))]
+    schema.add_entity_type(name, values)
+    return f"add entity {name} {values if values is not None else ''}".rstrip()
+
+
+def _edit_add_subtype(schema: Schema, rng: random.Random) -> str | None:
+    names = schema.object_type_names()
+    if len(names) < 2:
+        return None
+    sub, super = rng.sample(names, k=2)  # any direction: cycles are welcome
+    schema.add_subtype(sub, super)
+    return f"add subtype {sub} < {super}"
+
+
+def _edit_add_fact(schema: Schema, rng: random.Random) -> str | None:
+    names = schema.object_type_names()
+    if not names:
+        return None
+    name = _fresh(schema, "f")
+    first_role = _fresh(schema, f"{name}_a")
+    second_role = _fresh(schema, f"{name}_b")
+    schema.add_fact_type(
+        name, first_role, rng.choice(names), second_role, rng.choice(names)
+    )
+    return f"add fact {name}"
+
+
+def _edit_add_mandatory(schema: Schema, rng: random.Random) -> str | None:
+    roles = schema.role_names()
+    if not roles:
+        return None
+    if rng.random() < 0.25:
+        by_player: dict[str, list[str]] = {}
+        for role in schema.roles():
+            by_player.setdefault(role.player, []).append(role.name)
+        wide = [bucket for bucket in by_player.values() if len(bucket) >= 2]
+        if wide:
+            branches = rng.sample(rng.choice(wide), k=2)
+            schema.add_mandatory(*branches)
+            return f"add disjunctive mandatory {branches}"
+    role = rng.choice(roles)
+    schema.add_mandatory(role)
+    return f"add mandatory {role}"
+
+
+def _edit_add_uniqueness(schema: Schema, rng: random.Random) -> str | None:
+    facts = schema.fact_types()
+    if not facts:
+        return None
+    fact = rng.choice(facts)
+    roles = fact.role_names if rng.random() < 0.2 else (rng.choice(fact.role_names),)
+    schema.add_uniqueness(*roles)
+    return f"add uniqueness {roles}"
+
+
+def _edit_add_frequency(schema: Schema, rng: random.Random) -> str | None:
+    facts = schema.fact_types()
+    if not facts:
+        return None
+    fact = rng.choice(facts)
+    roles = fact.role_names if rng.random() < 0.2 else rng.choice(fact.role_names)
+    low = rng.randint(1, 4)
+    high = None if rng.random() < 0.4 else low + rng.randint(0, 2)
+    schema.add_frequency(roles, low, high)
+    return f"add frequency {roles} {low}..{high}"
+
+
+def _edit_add_exclusion(schema: Schema, rng: random.Random) -> str | None:
+    if rng.random() < 0.25:
+        facts = schema.fact_types()
+        if len(facts) >= 2:
+            first, second = rng.sample(facts, k=2)
+            schema.add_exclusion(first.role_names, second.role_names)
+            return f"add predicate exclusion {first.name} X {second.name}"
+    roles = schema.role_names()
+    if len(roles) < 2:
+        return None
+    chosen = rng.sample(roles, k=min(len(roles), rng.randint(2, 3)))
+    schema.add_exclusion(*chosen)
+    return f"add exclusion {chosen}"
+
+
+def _edit_add_exclusive_types(schema: Schema, rng: random.Random) -> str | None:
+    names = schema.object_type_names()
+    if len(names) < 2:
+        return None
+    chosen = rng.sample(names, k=2)
+    schema.add_exclusive_types(*chosen)
+    return f"add exclusive {chosen}"
+
+
+def _edit_add_setcomp(schema: Schema, rng: random.Random) -> str | None:
+    facts = schema.fact_types()
+    if len(facts) < 2:
+        return None
+    first, second = rng.sample(facts, k=2)
+    if rng.random() < 0.5:
+        schema.add_subset(first.role_names, second.role_names)
+        return f"add subset {first.name} < {second.name}"
+    schema.add_equality(first.role_names, second.role_names)
+    return f"add equality {first.name} = {second.name}"
+
+
+def _edit_add_ring(schema: Schema, rng: random.Random) -> str | None:
+    facts = schema.fact_types()
+    if not facts:
+        return None
+    fact = rng.choice(facts)
+    for kind in rng.sample(list(RingKind), k=rng.randint(1, 2)):
+        schema.add_ring(kind, *fact.role_names)
+    return f"add ring(s) on {fact.name}"
+
+
+def _edit_remove_constraint(schema: Schema, rng: random.Random) -> str | None:
+    constraints = schema.constraints()
+    if not constraints:
+        return None
+    constraint = rng.choice(constraints)
+    schema.remove_constraint(constraint)
+    return f"remove constraint {constraint.label}"
+
+
+def _edit_remove_subtype(schema: Schema, rng: random.Random) -> str | None:
+    links = schema.subtype_links()
+    if not links:
+        return None
+    link = rng.choice(links)
+    schema.remove_subtype(link.sub, link.super)
+    return f"remove subtype {link.sub} < {link.super}"
+
+
+def _edit_remove_fact(schema: Schema, rng: random.Random) -> str | None:
+    facts = schema.fact_types()
+    if not facts:
+        return None
+    fact = rng.choice(facts)
+    schema.remove_fact_type(fact.name)
+    return f"remove fact {fact.name}"
+
+
+def _edit_remove_object_type(schema: Schema, rng: random.Random) -> str | None:
+    names = schema.object_type_names()
+    if not names:
+        return None
+    name = rng.choice(names)
+    schema.remove_object_type(name)
+    return f"remove entity {name}"
+
+
 def clean_schema(config: GeneratorConfig) -> Schema:
     """A random schema with conflict-prone constraint kinds disabled.
 

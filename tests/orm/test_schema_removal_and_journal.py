@@ -1,0 +1,130 @@
+"""The Schema change journal, dependency index, and cascading removals."""
+
+import pytest
+
+from repro.exceptions import DuplicateNameError, UnknownElementError
+from repro.orm import Schema
+from repro.orm.constraints import ExclusionConstraint, UniquenessConstraint
+
+
+def small_schema() -> Schema:
+    schema = Schema("small")
+    schema.add_entity_type("A")
+    schema.add_entity_type("B")
+    schema.add_subtype("B", "A")
+    schema.add_fact_type("f", "r1", "A", "r2", "B")
+    schema.add_fact_type("g", "r3", "A", "r4", "B")
+    schema.add_uniqueness("r1", label="u1")
+    schema.add_exclusion("r1", "r3", label="x1")
+    return schema
+
+
+class TestJournal:
+    def test_every_effective_mutation_is_journaled(self):
+        schema = small_schema()
+        kinds = [(c.action, c.kind) for c in schema.changes_since(0)]
+        assert kinds == [
+            ("add", "object_type"),
+            ("add", "object_type"),
+            ("add", "subtype"),
+            ("add", "fact_type"),
+            ("add", "fact_type"),
+            ("add", "constraint"),
+            ("add", "constraint"),
+        ]
+
+    def test_idempotent_subtype_add_journals_nothing(self):
+        schema = small_schema()
+        mark = schema.journal_size
+        schema.add_subtype("B", "A")  # duplicate declaration
+        assert schema.changes_since(mark) == ()
+
+    def test_removal_payload_carries_the_object(self):
+        schema = small_schema()
+        mark = schema.journal_size
+        schema.remove_constraint("x1")
+        (change,) = schema.changes_since(mark)
+        assert change.action == "remove"
+        assert isinstance(change.payload, ExclusionConstraint)
+        assert change.payload.referenced_roles() == ("r1", "r3")
+
+
+class TestRemovals:
+    def test_remove_constraint_by_label_and_object(self):
+        schema = small_schema()
+        removed = schema.remove_constraint("u1")
+        assert isinstance(removed, UniquenessConstraint)
+        assert not schema.has_constraint_label("u1")
+        schema.remove_constraint(schema.constraint_by_label("x1"))
+        assert schema.constraints() == []
+
+    def test_remove_unknown_constraint_raises(self):
+        with pytest.raises(UnknownElementError):
+            small_schema().remove_constraint("nope")
+
+    def test_remove_fact_cascades_role_constraints(self):
+        schema = small_schema()
+        schema.remove_fact_type("f")
+        assert not schema.has_role("r1")
+        assert not schema.has_constraint_label("u1")
+        assert not schema.has_constraint_label("x1")  # referenced r1 too
+        assert schema.has_fact_type("g")
+        assert schema.roles_played_by("A") == [schema.role("r3")]
+
+    def test_remove_object_type_cascades_everything(self):
+        schema = small_schema()
+        schema.add_entity_type("C")
+        schema.add_exclusive_types("A", "C", label="xac")
+        schema.remove_object_type("A")
+        assert not schema.has_object_type("A")
+        assert schema.fact_types() == []
+        assert schema.subtype_links() == []
+        assert schema.constraints() == []
+        assert schema.has_object_type("B")
+
+    def test_remove_subtype_requires_existing_link(self):
+        schema = small_schema()
+        schema.remove_subtype("B", "A")
+        assert schema.subtype_links() == []
+        with pytest.raises(UnknownElementError):
+            schema.remove_subtype("B", "A")
+
+
+class TestDependencyIndex:
+    def test_constraints_referencing_role(self):
+        schema = small_schema()
+        labels = [c.label for c in schema.constraints_referencing_role("r1")]
+        assert labels == ["u1", "x1"]
+        assert schema.constraints_referencing_role("r4") == []
+
+    def test_constraints_referencing_type(self):
+        schema = small_schema()
+        constraint = schema.add_exclusive_types("A", "B", label="xab")
+        assert schema.constraints_referencing_type("A") == [constraint]
+
+    def test_duplicate_labels_rejected(self):
+        schema = small_schema()
+        with pytest.raises(DuplicateNameError):
+            schema.add_uniqueness("r3", label="u1")
+
+    def test_mandatory_index_tracks_removal(self):
+        schema = small_schema()
+        schema.add_mandatory("r1", label="m1")
+        schema.add_mandatory("r1", label="m2")  # stacked duplicates
+        assert schema.is_role_mandatory("r1")
+        schema.remove_constraint("m1")
+        assert schema.is_role_mandatory("r1")
+        schema.remove_constraint("m2")
+        assert not schema.is_role_mandatory("r1")
+
+    def test_clone_is_independent(self):
+        schema = small_schema()
+        copy = schema.clone()
+        copy.remove_constraint("u1")
+        copy.remove_fact_type("g")
+        assert schema.has_constraint_label("u1")
+        assert schema.has_fact_type("g")
+        assert [c.label for c in schema.constraints_referencing_role("r1")] == [
+            "u1",
+            "x1",
+        ]

@@ -1,0 +1,202 @@
+"""Incremental-vs-full equivalence for the dependency-indexed engine.
+
+The contract under test (see :mod:`repro.patterns.incremental`): after any
+sequence of schema edits — additions *and* removals — the cumulative report
+of :class:`IncrementalEngine` equals a from-scratch
+:meth:`PatternEngine.check` as a multiset of violations, including the
+retraction of violations whose anchor elements were touched or deleted.
+"""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.orm.schema import Schema
+from repro.patterns import IncrementalEngine, PatternEngine
+from repro.workloads.figures import build_figure
+from repro.workloads.generator import (
+    GeneratorConfig,
+    apply_random_edit,
+    generate_schema,
+    random_edit_script,
+)
+
+
+def assert_reports_match(incremental, full, context=""):
+    assert Counter(incremental.violations) == Counter(full.violations), context
+    assert incremental.is_satisfiable == full.is_satisfiable
+    assert set(incremental.unsatisfiable_roles()) == set(full.unsatisfiable_roles())
+    assert set(incremental.unsatisfiable_types()) == set(full.unsatisfiable_types())
+
+
+class TestRandomEditScripts:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_equivalence_after_every_step(self, seed):
+        rng = random.Random(seed)
+        schema = generate_schema(
+            GeneratorConfig(num_types=6, num_facts=5, seed=seed)
+        )
+        engine = IncrementalEngine(schema, include_extensions=True)
+        full = PatternEngine(include_extensions=True)
+        assert_reports_match(engine.report(), full.check(schema), "initial")
+        for step in range(40):
+            action = apply_random_edit(schema, rng)
+            assert_reports_match(
+                engine.refresh(),
+                full.check(schema),
+                f"seed {seed} step {step}: {action}",
+            )
+
+    @pytest.mark.parametrize("seed", (100, 101, 102))
+    def test_equivalence_additions_only(self, seed):
+        rng = random.Random(seed)
+        schema = Schema(f"adds-{seed}")
+        engine = IncrementalEngine(schema, include_extensions=True)
+        full = PatternEngine(include_extensions=True)
+        for step in range(35):
+            action = apply_random_edit(schema, rng, allow_removals=False)
+            assert_reports_match(
+                engine.refresh(),
+                full.check(schema),
+                f"seed {seed} step {step}: {action}",
+            )
+
+    def test_random_edit_script_returns_descriptions(self):
+        rng = random.Random(1)
+        schema = Schema("script")
+        log = random_edit_script(schema, rng, 10)
+        assert len(log) == 10
+        assert all(isinstance(entry, str) and entry for entry in log)
+
+    def test_batched_refresh_equivalence(self):
+        # Several edits between refreshes must merge into one consistent scope.
+        rng = random.Random(7)
+        schema = generate_schema(GeneratorConfig(num_types=5, num_facts=4, seed=7))
+        engine = IncrementalEngine(schema, include_extensions=True)
+        full = PatternEngine(include_extensions=True)
+        for batch in range(12):
+            for _ in range(4):
+                apply_random_edit(schema, rng)
+            assert_reports_match(engine.refresh(), full.check(schema), f"batch {batch}")
+
+    def test_figures_as_incremental_baselines(self):
+        # Attaching an engine to a pre-built figure schema and editing it
+        # further must stay equivalent too.
+        for name in ("fig1_phd_student", "fig6_value_exclusion_frequency"):
+            schema = build_figure(name)
+            engine = IncrementalEngine(schema)
+            full = PatternEngine()
+            assert_reports_match(engine.report(), full.check(schema), name)
+            rng = random.Random(13)
+            for step in range(15):
+                action = apply_random_edit(schema, rng)
+                assert_reports_match(
+                    engine.refresh(), full.check(schema), f"{name} step {step}: {action}"
+                )
+
+
+class TestRetraction:
+    def test_constraint_removal_retracts_violation(self):
+        schema = Schema("retract-p7")
+        schema.add_entity_type("A")
+        schema.add_entity_type("B")
+        schema.add_fact_type("f", "r1", "A", "r2", "B")
+        schema.add_uniqueness("r1", label="u1")
+        engine = IncrementalEngine(schema)
+        assert engine.report().is_satisfiable
+        schema.add_frequency("r1", 2, 5, label="fc1")
+        report = engine.refresh()
+        assert [v.pattern_id for v in report.violations] == ["P7"]
+        schema.remove_constraint("fc1")
+        assert engine.refresh().is_satisfiable
+        assert_reports_match(engine.report(), PatternEngine().check(schema))
+
+    def test_subtype_link_removal_retracts_loop(self):
+        schema = Schema("retract-p9")
+        for name in ("A", "B", "C"):
+            schema.add_entity_type(name)
+        schema.add_subtype("A", "B")
+        schema.add_subtype("B", "C")
+        engine = IncrementalEngine(schema)
+        assert engine.report().is_satisfiable
+        schema.add_subtype("C", "A")  # close the loop
+        report = engine.refresh()
+        assert [v.pattern_id for v in report.violations] == ["P9"]
+        assert set(report.violations[0].types) == {"A", "B", "C"}
+        schema.remove_subtype("C", "A")
+        assert engine.refresh().is_satisfiable
+
+    def test_fact_removal_cascades_and_retracts(self):
+        schema = Schema("retract-cascade")
+        schema.add_entity_type("A")
+        schema.add_entity_type("B", values=["b1"])
+        schema.add_fact_type("f", "r1", "A", "r2", "B")
+        schema.add_frequency("r1", 3, None, label="fc")  # P4: pool of 1
+        engine = IncrementalEngine(schema)
+        assert not engine.report().is_satisfiable
+        schema.remove_fact_type("f")
+        assert engine.refresh().is_satisfiable
+        assert_reports_match(engine.report(), PatternEngine().check(schema))
+
+    def test_object_type_removal_retracts_everything(self):
+        schema = Schema("retract-type")
+        for name in ("Top", "Left", "Right", "Both"):
+            schema.add_entity_type(name)
+        schema.add_subtype("Left", "Top")
+        schema.add_subtype("Right", "Top")
+        schema.add_subtype("Both", "Left")
+        schema.add_subtype("Both", "Right")
+        schema.add_exclusive_types("Left", "Right", label="x")
+        engine = IncrementalEngine(schema)
+        assert [v.pattern_id for v in engine.report().violations] == ["P2"]
+        schema.remove_object_type("Both")
+        assert engine.refresh().is_satisfiable
+        assert_reports_match(engine.report(), PatternEngine().check(schema))
+
+    def test_violation_grows_with_new_fact_on_doomed_subtree(self):
+        # X2's element list must track facts added on a subtype *after* the
+        # violation first fired (member-ancestor dirtiness).
+        schema = Schema("x2-grows")
+        schema.add_entity_type("Empty", values=[])
+        schema.add_entity_type("Sub")
+        schema.add_entity_type("Other")
+        schema.add_subtype("Sub", "Empty")
+        engine = IncrementalEngine(schema, include_extensions=True)
+        before = [v for v in engine.report().violations if v.pattern_id == "X2"]
+        assert before and before[0].roles == ()
+        schema.add_fact_type("f", "r1", "Sub", "r2", "Other")
+        after = [v for v in engine.refresh().violations if v.pattern_id == "X2"]
+        assert after and set(after[0].roles) == {"r1", "r2"}
+        assert_reports_match(
+            engine.report(), PatternEngine(include_extensions=True).check(schema)
+        )
+
+
+class TestEngineBehavior:
+    def test_refresh_without_changes_is_cached(self):
+        schema = build_figure("fig1_phd_student")
+        engine = IncrementalEngine(schema)
+        first = engine.refresh()
+        assert engine.refresh() is first
+
+    def test_check_rejects_foreign_schema(self):
+        engine = IncrementalEngine(Schema("mine"))
+        with pytest.raises(ValueError):
+            engine.check(Schema("other"))
+
+    def test_enabled_subset_limits_patterns(self):
+        schema = build_figure("fig1_phd_student")  # fires P2
+        engine = IncrementalEngine(schema, enabled=("P1", "P9"))
+        assert engine.report().is_satisfiable
+        assert engine.enabled_ids == ("P1", "P9")
+
+    def test_report_is_deterministic(self):
+        rng = random.Random(3)
+        schema = generate_schema(GeneratorConfig(num_types=6, num_facts=6, seed=3))
+        engine = IncrementalEngine(schema, include_extensions=True)
+        for _ in range(20):
+            apply_random_edit(schema, rng)
+            engine.refresh()
+        replay = IncrementalEngine(schema, include_extensions=True)
+        assert engine.report().violations == replay.report().violations

@@ -1,0 +1,107 @@
+"""Validator-settings profiles and repair-explanation coverage.
+
+The Fig. 15 settings window lets modelers tick arbitrary pattern subsets;
+these tests pin down the contract that a profile filters the report — and
+the explanations derived from it — to exactly the ticked patterns, on both
+the incremental (default) and the from-scratch engine paths.
+"""
+
+import pytest
+
+from repro.patterns import PATTERN_IDS, explain, suggest_repairs
+from repro.patterns.extensions import EXTENSION_IDS
+from repro.tool import ModelingSession, Validator, ValidatorSettings
+from repro.workloads.figures import EXPECTATIONS, FIGURES, build_figure
+
+#: (figure, the one pattern the paper says it fires) for every firing figure.
+FIRING_FIGURES = [
+    (name, expectation.patterns[0])
+    for name, expectation in EXPECTATIONS.items()
+    if expectation.patterns
+]
+
+
+def _profile(*enabled: str, incremental: bool = True) -> ValidatorSettings:
+    return ValidatorSettings(
+        patterns={pid: pid in enabled for pid in PATTERN_IDS},
+        incremental=incremental,
+    )
+
+
+class TestProfiles:
+    @pytest.mark.parametrize("name,pattern_id", FIRING_FIGURES)
+    def test_single_pattern_profile_detects(self, name, pattern_id):
+        report = Validator(_profile(pattern_id)).validate(build_figure(name))
+        assert not report.ok
+        assert set(report.pattern_report.by_pattern()) == {pattern_id}
+        assert report.pattern_report.patterns_run == (pattern_id,)
+
+    @pytest.mark.parametrize("name,pattern_id", FIRING_FIGURES)
+    def test_complement_profile_is_silent_on_that_pattern(self, name, pattern_id):
+        others = tuple(pid for pid in PATTERN_IDS if pid != pattern_id)
+        report = Validator(_profile(*others)).validate(build_figure(name))
+        assert pattern_id not in report.pattern_report.by_pattern()
+        assert report.pattern_report.patterns_run == others
+
+    @pytest.mark.parametrize("incremental", (True, False), ids=("incr", "full"))
+    def test_profiles_agree_across_engine_modes(self, incremental):
+        for name, pattern_id in FIRING_FIGURES:
+            settings = _profile(pattern_id, incremental=incremental)
+            report = Validator(settings).validate(build_figure(name))
+            assert set(report.pattern_report.by_pattern()) == {pattern_id}
+
+    def test_empty_profile_reports_nothing(self):
+        settings = _profile()
+        for name in FIGURES:
+            report = Validator(settings).validate(build_figure(name))
+            assert report.ok
+            assert report.pattern_report.patterns_run == ()
+
+    def test_extension_profile_adds_x_patterns(self):
+        settings = ValidatorSettings()
+        settings.enable_extensions()
+        assert set(EXTENSION_IDS) <= set(settings.enabled_ids())
+        session = ModelingSession("x2", settings)
+        session.add_entity("Drained", values=[])
+        event = session.latest()
+        assert any(v.pattern_id == "X2" for v in event.report.pattern_report.violations)
+
+    def test_profile_switch_mid_session_rebuilds_engine(self):
+        # The cached incremental engine must not leak a stale enabled set.
+        validator = Validator(ValidatorSettings())
+        schema = build_figure("fig1_phd_student")
+        assert not validator.validate(schema).ok
+        validator.settings.disable("P2")
+        assert validator.validate(schema).ok
+        validator.settings.enable("P2")
+        assert not validator.validate(schema).ok
+
+
+class TestExplanations:
+    @pytest.mark.parametrize("name,pattern_id", FIRING_FIGURES)
+    def test_every_figure_violation_explains_with_repairs(self, name, pattern_id):
+        report = Validator(ValidatorSettings()).validate(build_figure(name))
+        for violation in report.pattern_report.violations:
+            repairs = suggest_repairs(violation)
+            assert repairs, f"no repairs for {violation.pattern_id}"
+            rendered = explain(violation)
+            assert rendered.startswith(f"[{violation.pattern_id}]")
+            for index in range(1, len(repairs) + 1):
+                assert f"repair {index}:" in rendered
+
+    def test_extension_violations_explain_too(self):
+        settings = ValidatorSettings()
+        settings.enable_extensions()
+        session = ModelingSession("xr", settings)
+        session.add_entity("P", values=["only"])
+        session.add_fact("knows", ("kn1", "P"), ("kn2", "P"))
+        event = session.add_ring("ir", "kn1", "kn2")  # X1: irreflexive needs 2
+        fired = [v for v in event.report.pattern_report.violations if v.pattern_id == "X1"]
+        assert fired
+        assert suggest_repairs(fired[0])
+        assert "repair 1:" in explain(fired[0])
+
+    def test_disabled_pattern_produces_no_explanations(self):
+        report = Validator(_profile("P1")).validate(build_figure("fig13_subtype_loop"))
+        explanations = [explain(v) for v in report.pattern_report.violations]
+        assert explanations == []  # P9 unticked: nothing to explain
