@@ -3,25 +3,44 @@
 DogmaModeler re-validates after every edit.  We measure the cost of a
 single additional edit-plus-validation as the session grows, comparing the
 dependency-indexed :class:`IncrementalEngine` (the session default) against
-the full-revalidation baseline (``ValidatorSettings(incremental=False)``),
-plus the cost of a settings-restricted profile versus the full nine
-patterns.  Series land in ``results/incremental.txt``; the incremental
-column must stay roughly flat while the full column grows with the session.
+the full-revalidation baseline (``ValidatorSettings(incremental=False)``)
+— with **every analysis family enabled**: the nine patterns, the
+well-formedness advisories, the formation rules and propagation, all
+maintained from one journal drain.  The incremental column must stay
+roughly flat while the full column grows with the session.
+
+Results land in machine-readable form in ``BENCH_incremental.json`` at the
+repo root (schema: sizes, per-edit ms per engine mode, speedups) so the
+perf trajectory is tracked across PRs; CI uploads it as an artifact.
 """
 
+import json
 import time
+from pathlib import Path
 
 import pytest
 
-from conftest import write_result
 from repro.tool import ModelingSession, ValidatorSettings
 
 SESSION_SIZES = (5, 20, 40, 80)
 _SERIES: dict[tuple[int, bool], float] = {}
 
+#: Machine-readable benchmark artifact, tracked across PRs at the repo root.
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_incremental.json"
+
+
+def _full_settings(incremental: bool) -> ValidatorSettings:
+    """Every analysis family on — the heaviest Fig. 15 profile."""
+    return ValidatorSettings(
+        incremental=incremental,
+        wellformedness=True,
+        formation_rules=True,
+        propagation=True,
+    )
+
 
 def _grow_session(num_facts: int, incremental: bool) -> ModelingSession:
-    settings = ValidatorSettings(incremental=incremental, wellformedness=False)
+    settings = _full_settings(incremental)
     session = ModelingSession(f"grown-{num_facts}-{incremental}", settings)
     session.add_entity("Hub")
     for index in range(num_facts):
@@ -43,6 +62,31 @@ def _sample_edit_cost(session: ModelingSession, prefix: str, rounds: int = 10) -
     return times[len(times) // 2] * 1000
 
 
+def _write_bench_json() -> None:
+    speedups = {}
+    for size in SESSION_SIZES:
+        full_ms = _SERIES[(size, False)]
+        incr_ms = _SERIES[(size, True)]
+        speedups[str(size)] = full_ms / incr_ms if incr_ms else float("inf")
+    payload = {
+        "benchmark": "incremental_edit_cost",
+        "description": (
+            "Median per-edit Validator.validate cost (ms) on a grown "
+            "ModelingSession, all analysis families enabled (patterns, "
+            "advisories, formation rules, propagation)."
+        ),
+        "sizes": list(SESSION_SIZES),
+        "per_edit_ms": {
+            "full": {str(size): _SERIES[(size, False)] for size in SESSION_SIZES},
+            "incremental": {
+                str(size): _SERIES[(size, True)] for size in SESSION_SIZES
+            },
+        },
+        "speedup": speedups,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+
 @pytest.mark.parametrize("num_facts", SESSION_SIZES)
 @pytest.mark.parametrize("incremental", (False, True), ids=("full", "incremental"))
 def test_incremental_edit_cost(benchmark, num_facts, incremental):
@@ -58,20 +102,13 @@ def test_incremental_edit_cost(benchmark, num_facts, incremental):
     # a clean sample for the written series
     _SERIES[(num_facts, incremental)] = _sample_edit_cost(session, f"sample_{num_facts}")
     if len(_SERIES) == 2 * len(SESSION_SIZES):
-        lines = [
-            "Incremental validation cost (one edit on a grown session)",
-            f"{'facts':>6} {'full ms':>9} {'incr ms':>9} {'speedup':>8}",
-        ]
-        for size in SESSION_SIZES:
-            full_ms = _SERIES[(size, False)]
-            incr_ms = _SERIES[(size, True)]
-            speedup = full_ms / incr_ms if incr_ms else float("inf")
-            lines.append(f"{size:>6} {full_ms:>9.3f} {incr_ms:>9.3f} {speedup:>7.1f}x")
-        write_result("incremental.txt", "\n".join(lines) + "\n")
+        _write_bench_json()
 
 
 def test_incremental_beats_full_on_grown_session():
-    """The acceptance check: per-edit cost at 80 facts must improve.
+    """The acceptance check: with advisories, formation rules and
+    propagation all enabled, per-edit cost at 80 facts must improve by at
+    least 3x over from-scratch revalidation.
 
     Medians over 20 edits, with retries, so a scheduling hiccup on a loaded
     runner does not fail the suite spuriously.
@@ -83,12 +120,24 @@ def test_incremental_beats_full_on_grown_session():
     for attempt in range(3):
         full_ms = _sample_edit_cost(full, f"probe{attempt}", rounds=20)
         incr_ms = _sample_edit_cost(incr, f"probe{attempt}", rounds=20)
-        if incr_ms < full_ms:
+        if incr_ms * 3 < full_ms:
             return
-    assert incr_ms < full_ms, (
-        f"incremental edit ({incr_ms:.3f} ms) not faster than full "
-        f"revalidation ({full_ms:.3f} ms) on the 80-fact session"
+    assert incr_ms * 3 < full_ms, (
+        f"incremental edit ({incr_ms:.3f} ms) not >=3x faster than full "
+        f"revalidation ({full_ms:.3f} ms) on the 80-fact session with all "
+        "analysis families enabled"
     )
+
+
+def test_journal_stays_bounded_across_a_long_session():
+    """The engine checkpoints the schema journal as it drains: a long
+    session must not accumulate an unbounded change log."""
+    session = _grow_session(80, incremental=True)
+    for index in range(300):
+        session.add_entity(f"J{index}")
+    schema = session.schema
+    assert schema.journal_size > 400  # the log kept counting...
+    assert schema.journal_retained <= 256  # ...but memory stayed bounded
 
 
 def test_settings_profile_cost(benchmark):

@@ -36,7 +36,6 @@ from repro.dl.syntax import (
     And,
     AtLeast,
     AtMost,
-    Atom,
     Bottom,
     Concept,
     Exists,

@@ -22,6 +22,11 @@ Two facilities back the incremental validation engine
   (:attr:`journal_size`) and later drain :meth:`changes_since` to learn the
   dirty set; the records carry the removed/added objects themselves, so a
   consumer can reason about elements that no longer exist in the schema.
+  Long-lived sessions checkpoint the journal: consumers register through
+  :meth:`attach_journal_consumer` (weakly referenced, exposing a
+  ``journal_mark``), and :meth:`compact_journal` truncates every entry all
+  live consumers have already drained past — marks stay monotonically
+  valid because :attr:`journal_size` counts truncated entries too.
 
 The subtype graph may legitimately contain cycles (Pattern 9 exists to
 detect them), so every closure query here is cycle-safe.
@@ -29,6 +34,7 @@ detect them), so every closure query here is cycle-safe.
 
 from __future__ import annotations
 
+import weakref
 from collections.abc import Iterator
 from dataclasses import dataclass
 from typing import TypeVar
@@ -126,6 +132,8 @@ class Schema:
         self._simple_mandatory_counts: dict[str, int] = {}
         # -- change journal -------------------------------------------------
         self._journal: list[SchemaChange] = []
+        self._journal_base = 0  # entries truncated by checkpointing
+        self._journal_consumers: list[weakref.ref] = []
 
     # ------------------------------------------------------------------
     # element construction
@@ -366,7 +374,8 @@ class Schema:
         for role in list(self._roles_by_player.get(name, [])):
             if role.fact_type in self._fact_types:
                 self.remove_fact_type(role.fact_type)
-        for link in [l for l in self._subtype_links if name in (l.sub, l.super)]:
+        links = [link for link in self._subtype_links if name in (link.sub, link.super)]
+        for link in links:
             self._drop_subtype_link(link)
         for constraint in list(self._constraints_by_type.get(name, [])):
             if constraint.label in self._constraints_by_label:
@@ -389,13 +398,82 @@ class Schema:
 
     @property
     def journal_size(self) -> int:
-        """Number of journal entries so far — use as a mark for
-        :meth:`changes_since`."""
+        """Number of journal entries ever recorded (truncated ones included)
+        — use as a mark for :meth:`changes_since`."""
+        return self._journal_base + len(self._journal)
+
+    @property
+    def journal_retained(self) -> int:
+        """Number of entries currently held in memory (after truncation)."""
         return len(self._journal)
 
     def changes_since(self, mark: int) -> tuple[SchemaChange, ...]:
-        """All journal entries appended at or after ``mark``."""
-        return tuple(self._journal[mark:])
+        """All journal entries appended at or after ``mark``.
+
+        Raises :class:`~repro.exceptions.SchemaError` when ``mark`` points
+        below the checkpoint (those entries were truncated) — a registered
+        consumer never sees this, because :meth:`compact_journal` only drops
+        entries every live consumer has drained.
+        """
+        if mark < self._journal_base:
+            raise SchemaError(
+                f"journal entries before mark {self._journal_base} were "
+                f"truncated by checkpointing; cannot replay from {mark}"
+            )
+        return tuple(self._journal[mark - self._journal_base :])
+
+    def attach_journal_consumer(self, consumer: object) -> None:
+        """Register a journal consumer (weakly referenced).
+
+        A consumer exposes an integer ``journal_mark`` attribute — the
+        journal position it has drained up to.  :meth:`compact_journal`
+        truncates only below the minimum mark of all live consumers, so a
+        registered consumer can always :meth:`changes_since` its own mark.
+        """
+        self._prune_consumers()
+        self._journal_consumers.append(weakref.ref(consumer))
+
+    def journal_low_water(self) -> int:
+        """The smallest mark any live registered consumer still needs.
+
+        With no live consumers this is :attr:`journal_size` — nothing is
+        waiting, so the whole journal is dead weight.
+        """
+        marks = [
+            consumer.journal_mark
+            for consumer in self._live_consumers()
+        ]
+        return min(marks, default=self.journal_size)
+
+    def compact_journal(self, min_drop: int = 1) -> int:
+        """Checkpoint: drop every entry all live consumers drained past.
+
+        Returns the number of entries truncated.  ``min_drop`` adds
+        hysteresis — nothing happens until at least that many entries are
+        droppable, so hot paths can call this unconditionally and pay the
+        list surgery only once per batch
+        (:class:`repro.patterns.incremental.IncrementalEngine` does exactly
+        that after every drain).
+        """
+        low = min(self.journal_low_water(), self.journal_size)
+        drop = low - self._journal_base
+        if drop < max(min_drop, 1):
+            return 0
+        del self._journal[:drop]
+        self._journal_base = low
+        return drop
+
+    def _live_consumers(self) -> list[object]:
+        return [
+            consumer
+            for reference in self._journal_consumers
+            if (consumer := reference()) is not None
+        ]
+
+    def _prune_consumers(self) -> None:
+        self._journal_consumers = [
+            reference for reference in self._journal_consumers if reference() is not None
+        ]
 
     def _record(self, action: str, kind: str, name: str, payload: object) -> None:
         self._journal.append(SchemaChange(action, kind, name, payload))
@@ -711,6 +789,8 @@ class Schema:
         copy._subtype_set = set(self._subtype_set)
         copy._simple_mandatory_counts = dict(self._simple_mandatory_counts)
         copy._journal = list(self._journal)
+        copy._journal_base = self._journal_base
+        # consumers are attached to the original, not the copy
         return copy
 
     def stats(self) -> dict[str, int]:

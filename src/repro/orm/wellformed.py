@@ -13,20 +13,21 @@ declares anything unsatisfiable (that is :mod:`repro.patterns`'s job), it
 only points out constructions that are legal but suspicious.  Each advisory
 has a stable ``code`` so tools can filter them, mirroring how DogmaModeler
 lets users toggle individual validations (Fig. 15).
+
+The advisory checks themselves live in :mod:`repro.patterns.advisories` as
+**site-based** checks (W01–W07): they expose the same ``iter_sites`` /
+``check_site`` / ``site_dirty`` triad as the nine patterns, so
+:class:`repro.patterns.incremental.IncrementalEngine` re-examines only the
+advisory sites an edit dirtied and retracts stored advisories when their
+anchor elements vanish.  :func:`check_wellformedness` below is the
+from-scratch entry point — it simply runs every check with ``scope=None``
+and is the reference the incremental path is property-tested against.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro._util import comma_join, pairs
-from repro.orm.constraints import (
-    ExclusionConstraint,
-    FrequencyConstraint,
-    RingConstraint,
-    SubsetConstraint,
-    UniquenessConstraint,
-)
 from repro.orm.schema import Schema
 
 
@@ -44,188 +45,16 @@ class Advisory:
 
 
 def check_wellformedness(schema: Schema) -> list[Advisory]:
-    """Run all structural advisories over ``schema``.
+    """Run all structural advisories over ``schema`` from scratch.
 
     Returns an empty list for a clean schema.  Nothing here implies
     unsatisfiability; see :mod:`repro.patterns` for that.
     """
+    # Imported lazily: repro.orm must not depend on repro.patterns at
+    # import time (the patterns package imports the orm submodules).
+    from repro.patterns.advisories import WELLFORMED_CHECKS
+
     advisories: list[Advisory] = []
-    advisories.extend(_empty_value_constraints(schema))
-    advisories.extend(_spanning_uniqueness(schema))
-    advisories.extend(_redundant_frequency(schema))
-    advisories.extend(_incompatible_exclusion_players(schema))
-    advisories.extend(_ring_on_unrelated_players(schema))
-    advisories.extend(_subset_between_unrelated_players(schema))
-    advisories.extend(_isolated_types(schema))
+    for check in WELLFORMED_CHECKS:
+        advisories.extend(check.check(schema))
     return advisories
-
-
-def _empty_value_constraints(schema: Schema) -> list[Advisory]:
-    """An empty value list makes the type trivially unpopulatable."""
-    found = []
-    for object_type in schema.object_types():
-        if object_type.values is not None and len(object_type.values) == 0:
-            found.append(
-                Advisory(
-                    code="W01",
-                    message=(
-                        f"object type '{object_type.name}' has an empty value "
-                        "constraint; it can never be populated"
-                    ),
-                    elements=(object_type.name,),
-                )
-            )
-    return found
-
-
-def _spanning_uniqueness(schema: Schema) -> list[Advisory]:
-    """Uniqueness over a whole binary predicate is implied by set semantics.
-
-    This is the substance of Halpin's formation rule 2/4 territory: legal but
-    redundant, since predicate populations are sets.
-    """
-    found = []
-    for constraint in schema.constraints_of(UniquenessConstraint):
-        if len(constraint.roles) == 2:
-            found.append(
-                Advisory(
-                    code="W02",
-                    message=(
-                        f"uniqueness constraint <{constraint.label}> spans the whole "
-                        "predicate; predicate populations are sets, so it is implied"
-                    ),
-                    elements=constraint.roles,
-                )
-            )
-    return found
-
-
-def _redundant_frequency(schema: Schema) -> list[Advisory]:
-    """FC(1-) says nothing (formation rule 1 prefers uniqueness notation)."""
-    found = []
-    for constraint in schema.constraints_of(FrequencyConstraint):
-        if constraint.min == 1 and constraint.max is None:
-            found.append(
-                Advisory(
-                    code="W03",
-                    message=(
-                        f"frequency constraint <{constraint.label}> is FC(1-), which "
-                        "is vacuous; drop it or use a uniqueness constraint"
-                    ),
-                    elements=constraint.roles,
-                )
-            )
-    return found
-
-
-def _players_compatible(schema: Schema, first: str, second: str) -> bool:
-    """Two players are compatible when one is (in)directly the other's
-    subtype or they share any common supertype."""
-    if first == second:
-        return True
-    first_line = set(schema.supertypes_and_self(first))
-    second_line = set(schema.supertypes_and_self(second))
-    return bool(first_line & second_line)
-
-
-def _incompatible_exclusion_players(schema: Schema) -> list[Advisory]:
-    """Exclusion between roles of unrelated players is vacuous.
-
-    Unrelated top-level types are already mutually exclusive in ORM, so the
-    constraint can never exclude anything that was possible.
-    """
-    found = []
-    for constraint in schema.constraints_of(ExclusionConstraint):
-        if not constraint.is_role_exclusion:
-            continue
-        players = [schema.role(name).player for name in constraint.single_roles()]
-        for first, second in pairs(set(players)):
-            if not _players_compatible(schema, first, second):
-                found.append(
-                    Advisory(
-                        code="W04",
-                        message=(
-                            f"exclusion <{constraint.label}> involves roles of "
-                            f"unrelated types {comma_join(sorted({first, second}))}; "
-                            "unrelated types are disjoint by default, so the "
-                            "constraint is vacuous"
-                        ),
-                        elements=constraint.single_roles(),
-                    )
-                )
-                break
-    return found
-
-
-def _ring_on_unrelated_players(schema: Schema) -> list[Advisory]:
-    """Ring constraints need both roles played by compatible types.
-
-    The paper: ring constraints apply "to a pair of roles that are connected
-    directly to the same object-type in a fact-type, or indirectly via
-    supertypes".
-    """
-    found = []
-    for constraint in schema.constraints_of(RingConstraint):
-        first = schema.role(constraint.first_role).player
-        second = schema.role(constraint.second_role).player
-        if not _players_compatible(schema, first, second):
-            found.append(
-                Advisory(
-                    code="W05",
-                    message=(
-                        f"ring constraint <{constraint.label}> spans roles played by "
-                        f"unrelated types '{first}' and '{second}'; ring constraints "
-                        "require a shared (super)type"
-                    ),
-                    elements=constraint.role_pair,
-                )
-            )
-    return found
-
-
-def _subset_between_unrelated_players(schema: Schema) -> list[Advisory]:
-    """A subset constraint between roles of unrelated types forces emptiness.
-
-    Strictly this *is* an unsatisfiability source, but it stems from a typing
-    mistake rather than constraint interaction, so we surface it as a
-    structural advisory (the bounded reasoner still confirms the emptiness).
-    """
-    found = []
-    for constraint in schema.constraints_of(SubsetConstraint):
-        for sub_name, sup_name in zip(constraint.sub, constraint.sup):
-            sub_player = schema.role(sub_name).player
-            sup_player = schema.role(sup_name).player
-            if not _players_compatible(schema, sub_player, sup_player):
-                found.append(
-                    Advisory(
-                        code="W06",
-                        message=(
-                            f"subset constraint <{constraint.label}> relates roles of "
-                            f"unrelated types '{sub_player}' and '{sup_player}'; the "
-                            "subset side can then never be populated"
-                        ),
-                        elements=(sub_name, sup_name),
-                    )
-                )
-    return found
-
-
-def _isolated_types(schema: Schema) -> list[Advisory]:
-    """Types playing no role and having no subtype link are likely leftovers."""
-    found = []
-    for object_type in schema.object_types():
-        name = object_type.name
-        plays = schema.roles_played_by(name)
-        linked = schema.direct_supertypes(name) or schema.direct_subtypes(name)
-        if not plays and not linked:
-            found.append(
-                Advisory(
-                    code="W07",
-                    message=(
-                        f"object type '{name}' plays no role and has no subtype "
-                        "links; it is disconnected from the schema"
-                    ),
-                    elements=(name,),
-                )
-            )
-    return found

@@ -1,5 +1,6 @@
 """The paper's nine unsatisfiability patterns plus the related-work rules."""
 
+from repro.patterns.advisories import WELLFORMED_CHECKS
 from repro.patterns.base import Pattern, ValidationReport, Violation
 from repro.patterns.engine import (
     ALL_IDS,
@@ -11,13 +12,22 @@ from repro.patterns.engine import (
 )
 from repro.patterns.explain import explain, suggest_repairs
 from repro.patterns.extensions import EXTENSION_IDS, EXTENSION_PATTERNS
-from repro.patterns.formation_rules import RuleFinding, check_formation_rules
+from repro.patterns.formation_rules import (
+    FORMATION_CHECKS,
+    RuleFinding,
+    check_formation_rules,
+)
 from repro.patterns.incremental import (
     CheckScope,
     IncrementalEngine,
     scope_from_changes,
 )
-from repro.patterns.propagation import DerivedUnsat, PropagationResult, propagate
+from repro.patterns.propagation import (
+    DerivedUnsat,
+    IncrementalPropagator,
+    PropagationResult,
+    propagate,
+)
 from repro.patterns.p1_common_supertype import TopCommonSupertypePattern
 from repro.patterns.p2_exclusive_subtypes import ExclusiveSubtypesPattern
 from repro.patterns.p3_exclusion_mandatory import ExclusionMandatoryPattern
@@ -33,13 +43,16 @@ __all__ = [
     "ALL_PATTERNS",
     "CheckScope",
     "DerivedUnsat",
+    "FORMATION_CHECKS",
     "IncrementalEngine",
+    "IncrementalPropagator",
     "scope_from_changes",
     "EXTENSION_IDS",
     "EXTENSION_PATTERNS",
     "FULL_REGISTRY",
     "PATTERN_IDS",
     "PropagationResult",
+    "WELLFORMED_CHECKS",
     "explain",
     "propagate",
     "suggest_repairs",

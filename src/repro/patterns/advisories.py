@@ -1,0 +1,241 @@
+"""Site-based well-formedness advisory checks (W01–W07).
+
+These are the structural advisories of :mod:`repro.orm.wellformed`,
+decomposed onto the same site triad (``iter_sites`` / ``check_site`` /
+``site_dirty``) as the nine unsatisfiability patterns so that
+:class:`repro.patterns.incremental.IncrementalEngine` can maintain them
+incrementally: each advisory check anchors its findings at a **check
+site** — an object type for W01/W07, a constraint for the rest — and only
+the sites dirtied by an edit are re-examined, with stored advisories
+retracted exactly like pattern violations.
+
+``check_site`` returns :class:`repro.orm.wellformed.Advisory` objects
+rather than violations; the shared machinery never looks inside the
+findings.  The from-scratch entry point
+:func:`repro.orm.wellformed.check_wellformedness` is a thin wrapper over
+:data:`WELLFORMED_CHECKS` with ``scope=None``, so there is exactly one
+implementation of every advisory.
+"""
+
+from __future__ import annotations
+
+from repro._util import comma_join, pairs
+from repro.orm.constraints import (
+    ExclusionConstraint,
+    FrequencyConstraint,
+    RingConstraint,
+    SubsetConstraint,
+    UniquenessConstraint,
+)
+from repro.orm.elements import ObjectType
+from repro.orm.schema import Schema
+from repro.orm.wellformed import Advisory
+from repro.patterns.base import ConstraintSitePattern, TypeSitePattern
+
+
+def _players_compatible(schema: Schema, first: str, second: str) -> bool:
+    """Two players are compatible when one is (in)directly the other's
+    subtype or they share any common supertype."""
+    if first == second:
+        return True
+    first_line = set(schema.supertypes_and_self(first))
+    second_line = set(schema.supertypes_and_self(second))
+    return bool(first_line & second_line)
+
+
+class EmptyValueConstraintCheck(TypeSitePattern):
+    """W01: an empty value list makes the type trivially unpopulatable."""
+
+    pattern_id = "W01"
+    name = "Empty value constraint"
+    description = "An empty value constraint makes the type unpopulatable."
+
+    def check_site(self, schema: Schema, site: ObjectType) -> list[Advisory]:
+        if site.values is not None and len(site.values) == 0:
+            return [
+                Advisory(
+                    code="W01",
+                    message=(
+                        f"object type '{site.name}' has an empty value "
+                        "constraint; it can never be populated"
+                    ),
+                    elements=(site.name,),
+                )
+            ]
+        return []
+
+
+class SpanningUniquenessCheck(ConstraintSitePattern):
+    """W02: uniqueness over a whole binary predicate is implied by set
+    semantics (Halpin's formation rule 2/4 territory: legal but redundant)."""
+
+    pattern_id = "W02"
+    name = "Spanning uniqueness"
+    description = "Uniqueness over the whole predicate is implied."
+    constraint_class = UniquenessConstraint
+
+    def check_site(self, schema: Schema, site: UniquenessConstraint) -> list[Advisory]:
+        if len(site.roles) != 2:
+            return []
+        return [
+            Advisory(
+                code="W02",
+                message=(
+                    f"uniqueness constraint <{site.label}> spans the whole "
+                    "predicate; predicate populations are sets, so it is implied"
+                ),
+                elements=site.roles,
+            )
+        ]
+
+
+class RedundantFrequencyCheck(ConstraintSitePattern):
+    """W03: FC(1-) says nothing (formation rule 1 prefers uniqueness)."""
+
+    pattern_id = "W03"
+    name = "Vacuous frequency"
+    description = "FC(1-) constrains nothing."
+    constraint_class = FrequencyConstraint
+
+    def check_site(self, schema: Schema, site: FrequencyConstraint) -> list[Advisory]:
+        if site.min != 1 or site.max is not None:
+            return []
+        return [
+            Advisory(
+                code="W03",
+                message=(
+                    f"frequency constraint <{site.label}> is FC(1-), which "
+                    "is vacuous; drop it or use a uniqueness constraint"
+                ),
+                elements=site.roles,
+            )
+        ]
+
+
+class IncompatibleExclusionPlayersCheck(ConstraintSitePattern):
+    """W04: exclusion between roles of unrelated players is vacuous —
+    unrelated top-level types are already mutually exclusive in ORM."""
+
+    pattern_id = "W04"
+    name = "Exclusion between unrelated players"
+    description = "Exclusion between roles of unrelated types is vacuous."
+    constraint_class = ExclusionConstraint
+    players_sensitive = True
+
+    def check_site(self, schema: Schema, site: ExclusionConstraint) -> list[Advisory]:
+        if not site.is_role_exclusion:
+            return []
+        players = [schema.role(name).player for name in site.single_roles()]
+        for first, second in pairs(set(players)):
+            if not _players_compatible(schema, first, second):
+                return [
+                    Advisory(
+                        code="W04",
+                        message=(
+                            f"exclusion <{site.label}> involves roles of "
+                            f"unrelated types {comma_join(sorted({first, second}))}; "
+                            "unrelated types are disjoint by default, so the "
+                            "constraint is vacuous"
+                        ),
+                        elements=site.single_roles(),
+                    )
+                ]
+        return []
+
+
+class RingOnUnrelatedPlayersCheck(ConstraintSitePattern):
+    """W05: ring constraints need both roles played by compatible types
+    ("connected directly to the same object-type ... or indirectly via
+    supertypes")."""
+
+    pattern_id = "W05"
+    name = "Ring on unrelated players"
+    description = "Ring constraints require a shared (super)type."
+    constraint_class = RingConstraint
+    players_sensitive = True
+
+    def check_site(self, schema: Schema, site: RingConstraint) -> list[Advisory]:
+        first = schema.role(site.first_role).player
+        second = schema.role(site.second_role).player
+        if _players_compatible(schema, first, second):
+            return []
+        return [
+            Advisory(
+                code="W05",
+                message=(
+                    f"ring constraint <{site.label}> spans roles played by "
+                    f"unrelated types '{first}' and '{second}'; ring constraints "
+                    "require a shared (super)type"
+                ),
+                elements=site.role_pair,
+            )
+        ]
+
+
+class SubsetBetweenUnrelatedPlayersCheck(ConstraintSitePattern):
+    """W06: a subset constraint between roles of unrelated types forces the
+    sub side empty.  Strictly an unsatisfiability source, but it stems from
+    a typing mistake, so it is surfaced as a structural advisory."""
+
+    pattern_id = "W06"
+    name = "Subset between unrelated players"
+    description = "A subset between roles of unrelated types forces emptiness."
+    constraint_class = SubsetConstraint
+    players_sensitive = True
+
+    def check_site(self, schema: Schema, site: SubsetConstraint) -> list[Advisory]:
+        found = []
+        for sub_name, sup_name in zip(site.sub, site.sup):
+            sub_player = schema.role(sub_name).player
+            sup_player = schema.role(sup_name).player
+            if not _players_compatible(schema, sub_player, sup_player):
+                found.append(
+                    Advisory(
+                        code="W06",
+                        message=(
+                            f"subset constraint <{site.label}> relates roles of "
+                            f"unrelated types '{sub_player}' and '{sup_player}'; the "
+                            "subset side can then never be populated"
+                        ),
+                        elements=(sub_name, sup_name),
+                    )
+                )
+        return found
+
+
+class IsolatedTypeCheck(TypeSitePattern):
+    """W07: types playing no role and having no subtype link are likely
+    leftovers."""
+
+    pattern_id = "W07"
+    name = "Isolated type"
+    description = "A type with no roles and no subtype links is disconnected."
+
+    def check_site(self, schema: Schema, site: ObjectType) -> list[Advisory]:
+        name = site.name
+        plays = schema.roles_played_by(name)
+        linked = schema.direct_supertypes(name) or schema.direct_subtypes(name)
+        if plays or linked:
+            return []
+        return [
+            Advisory(
+                code="W07",
+                message=(
+                    f"object type '{name}' plays no role and has no subtype "
+                    "links; it is disconnected from the schema"
+                ),
+                elements=(name,),
+            )
+        ]
+
+
+#: All advisory checks, in advisory-code order (the classic report order).
+WELLFORMED_CHECKS = (
+    EmptyValueConstraintCheck(),
+    SpanningUniquenessCheck(),
+    RedundantFrequencyCheck(),
+    IncompatibleExclusionPlayersCheck(),
+    RingOnUnrelatedPlayersCheck(),
+    SubsetBetweenUnrelatedPlayersCheck(),
+    IsolatedTypeCheck(),
+)

@@ -30,6 +30,17 @@ The contract between the three (relied on by
 
 ``Pattern.check(schema)`` — the historical full-schema entry point — is the
 degenerate case ``scope=None`` and behaves exactly as before.
+
+The site triad is deliberately finding-type agnostic: the same interface
+drives the nine unsatisfiability patterns (findings are
+:class:`Violation`), the structural well-formedness advisories
+(:mod:`repro.patterns.advisories`, findings are
+:class:`repro.orm.wellformed.Advisory`) and the formation-rule analysis
+(:mod:`repro.patterns.formation_rules`, findings are
+:class:`~repro.patterns.formation_rules.RuleFinding`).  One
+:class:`repro.patterns.incremental.IncrementalEngine` maintains the
+per-site stores of every enabled analysis family from a single journal
+drain.
 """
 
 from __future__ import annotations
@@ -171,8 +182,10 @@ class ConstraintSitePattern(Pattern):
         (their subtype closure or inherited value pools), so a subtype-graph
         change near a player dirties the site;
     ``setcomp_sensitive``
-        the verdict depends on the global subset/equality graph (Pattern 6),
-        so any set-comparison change dirties every site of this pattern.
+        the verdict depends on the subset/equality graph (Pattern 6, the
+        RIDL rules); a set-comparison change dirties exactly the sites
+        whose roles live in a touched connected component of that graph
+        (:meth:`repro.patterns.incremental.CheckScope.setcomp_closure`).
     """
 
     constraint_class: type = AnyConstraint  # overridden by subclasses
@@ -182,22 +195,38 @@ class ConstraintSitePattern(Pattern):
     def iter_sites(
         self, schema: Schema, scope: "CheckScope | None" = None
     ) -> Iterator[tuple[Hashable, Any]]:
-        if scope is None or (self.setcomp_sensitive and scope.setcomp_dirty):
+        if scope is None:
             for constraint in schema.constraints_of(self.constraint_class):
                 yield (constraint.label, constraint)
             return
+        seen: set[Hashable] = set()
         for constraint in scope.candidate_constraints(schema):
             if isinstance(constraint, self.constraint_class):
+                seen.add(constraint.label)
                 yield (constraint.label, constraint)
+        if self.setcomp_sensitive and scope.setcomp_dirty:
+            # Sites in a touched SetPath component, via the role index.
+            for role_name in sorted(scope.setcomp_closure(schema)):
+                if not schema.has_role(role_name):
+                    continue
+                for constraint in schema.constraints_referencing_role(role_name):
+                    if (
+                        isinstance(constraint, self.constraint_class)
+                        and constraint.label not in seen
+                    ):
+                        seen.add(constraint.label)
+                        yield (constraint.label, constraint)
 
     def site_dirty(self, key: Hashable, scope: "CheckScope", schema: Schema) -> bool:
         if not isinstance(key, str) or not schema.has_constraint_label(key):
             return True  # site vanished; retract unconditionally
         if key in scope.labels:
             return True
-        if self.setcomp_sensitive and scope.setcomp_dirty:
-            return True
         constraint = schema.constraint_by_label(key)
+        if self.setcomp_sensitive and scope.setcomp_site_dirty(
+            schema, constraint.referenced_roles()
+        ):
+            return True
         if any(t in scope.graph_types for t in constraint.referenced_types()):
             return True
         if self.players_sensitive and scope.fact_players_dirty(schema, constraint):
@@ -238,6 +267,35 @@ class RingPairSitePattern(Pattern):
         ):
             return True
         return False
+
+
+class TypeSitePattern(Pattern):
+    """Base for analyses whose sites are the object types themselves.
+
+    A type site is dirty when the type's subtype environment moved
+    (``graph_types``) or its role set / value-pool membership changed
+    (``member_types``) — the union covers type addition and removal, new or
+    removed subtype links, and facts appearing on or vanishing from the
+    type.  Used by the well-formedness advisories (W01, W07); none of the
+    nine paper patterns needs it (their type reasoning rides on constraint
+    sites).
+    """
+
+    def iter_sites(
+        self, schema: Schema, scope: "CheckScope | None" = None
+    ) -> Iterator[tuple[Hashable, Any]]:
+        if scope is None:
+            for object_type in schema.object_types():
+                yield (object_type.name, object_type)
+            return
+        for name in sorted(scope.graph_types | scope.member_types):
+            if schema.has_object_type(name):
+                yield (name, schema.object_type(name))
+
+    def site_dirty(self, key: Hashable, scope: "CheckScope", schema: Schema) -> bool:
+        if not isinstance(key, str) or not schema.has_object_type(key):
+            return True  # site vanished; retract unconditionally
+        return key in scope.graph_types or key in scope.member_types
 
 
 @dataclass

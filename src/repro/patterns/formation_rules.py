@@ -10,6 +10,18 @@ paper's relevance analysis, so the test suite can assert the classification
 on concrete schemas (e.g. Fig. 14 violates formation rule 6 yet all roles
 are satisfiable).
 
+Every rule is a **site-based** check (the same ``iter_sites`` /
+``check_site`` / ``site_dirty`` triad as the nine patterns, see
+:mod:`repro.patterns.base`): the check site is the constraint the rule
+judges — a frequency constraint for FR1/FR2/FR3/FR7, a uniqueness
+constraint for FR4, an exclusion for FR5/FR6, a subset/equality for
+S1/S2/S3.  :class:`repro.patterns.incremental.IncrementalEngine` maintains
+the per-site :class:`RuleFinding` stores from the schema's change journal;
+:func:`check_formation_rules` is the from-scratch entry point running all
+checks with ``scope=None``.  The set-comparison rules (S1–S3) consult the
+subset/equality graph, so they are ``setcomp_sensitive`` and are re-checked
+exactly for the touched SetPath component.
+
 Summary of the paper's verdicts:
 
 ====  ===========================================================  ========
@@ -42,6 +54,7 @@ from repro.orm.constraints import (
     UniquenessConstraint,
 )
 from repro.orm.schema import Schema
+from repro.patterns.base import ConstraintSitePattern
 from repro.setcomp import SetPathGraph
 
 
@@ -62,58 +75,53 @@ class RuleFinding:
     related_pattern: str | None = None
 
 
-def check_formation_rules(schema: Schema) -> list[RuleFinding]:
-    """Run all Halpin [H89] formation rules plus RIDL-A S1–S4."""
-    findings: list[RuleFinding] = []
-    findings.extend(_fr1_frequency_one(schema))
-    findings.extend(_fr2_spanning_frequency(schema))
-    findings.extend(_fr3_uniqueness_with_frequency(schema))
-    findings.extend(_fr4_spanned_uniqueness(schema))
-    findings.extend(_fr5_exclusion_on_mandatory(schema))
-    findings.extend(_fr6_exclusion_across_subtyping(schema))
-    findings.extend(_fr7_frequency_vs_cardinality(schema))
-    findings.extend(_s1_s3_superfluous_setpaths(schema))
-    findings.extend(_s2_subset_loops(schema))
-    return findings
-
-
-def _fr1_frequency_one(schema: Schema) -> list[RuleFinding]:
+class FrequencyOneCheck(ConstraintSitePattern):
     """FR1: FC(1-1) should be written as a uniqueness constraint."""
-    found = []
-    for constraint in schema.constraints_of(FrequencyConstraint):
-        if constraint.min == 1 and constraint.max == 1:
-            found.append(
-                RuleFinding(
-                    rule_id="FR1",
-                    source="H89",
-                    message=(
-                        f"<{constraint.label}> is FC(1-1); prefer a uniqueness "
-                        "constraint (purely notational — not an unsatisfiability)"
-                    ),
-                    relevant=False,
-                    elements=constraint.roles,
-                )
+
+    pattern_id = "FR1"
+    name = "FC(1-1) instead of uniqueness"
+    description = "FC(1-1) is notational; prefer a uniqueness constraint."
+    constraint_class = FrequencyConstraint
+
+    def check_site(self, schema: Schema, site: FrequencyConstraint) -> list[RuleFinding]:
+        if site.min != 1 or site.max != 1:
+            return []
+        return [
+            RuleFinding(
+                rule_id="FR1",
+                source="H89",
+                message=(
+                    f"<{site.label}> is FC(1-1); prefer a uniqueness "
+                    "constraint (purely notational — not an unsatisfiability)"
+                ),
+                relevant=False,
+                elements=site.roles,
             )
-    return found
+        ]
 
 
-def _fr2_spanning_frequency(schema: Schema) -> list[RuleFinding]:
+class SpanningFrequencyCheck(ConstraintSitePattern):
     """FR2: no frequency may span a whole predicate.
 
     The paper loosens this: only ``min > 1`` is unsatisfiable (Pattern 7);
     ``FC(1-max)`` spanning the predicate is merely redundant.
     """
-    found = []
-    for constraint in schema.constraints_of(FrequencyConstraint):
-        if len(constraint.roles) != 2:
-            continue
-        relevant = constraint.min > 1
-        found.append(
+
+    pattern_id = "FR2"
+    name = "Spanning frequency"
+    description = "A frequency constraint over the whole predicate."
+    constraint_class = FrequencyConstraint
+
+    def check_site(self, schema: Schema, site: FrequencyConstraint) -> list[RuleFinding]:
+        if len(site.roles) != 2:
+            return []
+        relevant = site.min > 1
+        return [
             RuleFinding(
                 rule_id="FR2",
                 source="H89",
                 message=(
-                    f"<{constraint.label}> spans a whole predicate; "
+                    f"<{site.label}> spans a whole predicate; "
                     + (
                         "with min > 1 this is unsatisfiable (Pattern 7)"
                         if relevant
@@ -121,31 +129,37 @@ def _fr2_spanning_frequency(schema: Schema) -> list[RuleFinding]:
                     )
                 ),
                 relevant=relevant,
-                elements=constraint.roles,
+                elements=site.roles,
                 related_pattern="P7" if relevant else None,
             )
-        )
-    return found
+        ]
 
 
-def _fr3_uniqueness_with_frequency(schema: Schema) -> list[RuleFinding]:
+class UniquenessWithFrequencyCheck(ConstraintSitePattern):
     """FR3: no role sequence may carry both uniqueness and frequency.
 
     Loosened exactly as the paper describes: FC(1-max) + uniqueness is
     equivalent to FC(1-1) — stylistically poor but satisfiable; only a lower
-    bound above 1 contradicts the uniqueness (Pattern 7).
+    bound above 1 contradicts the uniqueness (Pattern 7).  The check site is
+    the frequency constraint; a uniqueness appearing on (or vanishing from)
+    the same roles dirties it through the co-reference closure.
     """
-    found = []
-    for constraint in schema.constraints_of(FrequencyConstraint):
-        if not schema.uniqueness_on(constraint.roles):
-            continue
-        relevant = constraint.min > 1
-        found.append(
+
+    pattern_id = "FR3"
+    name = "Uniqueness plus frequency"
+    description = "Uniqueness and frequency on the same role sequence."
+    constraint_class = FrequencyConstraint
+
+    def check_site(self, schema: Schema, site: FrequencyConstraint) -> list[RuleFinding]:
+        if not schema.uniqueness_on(site.roles):
+            return []
+        relevant = site.min > 1
+        return [
             RuleFinding(
                 rule_id="FR3",
                 source="H89",
                 message=(
-                    f"<{constraint.label}> coexists with a uniqueness constraint "
+                    f"<{site.label}> coexists with a uniqueness constraint "
                     "on the same role(s); "
                     + (
                         "min > 1 makes this unsatisfiable (Pattern 7)"
@@ -154,76 +168,105 @@ def _fr3_uniqueness_with_frequency(schema: Schema) -> list[RuleFinding]:
                     )
                 ),
                 relevant=relevant,
-                elements=constraint.roles,
+                elements=site.roles,
                 related_pattern="P7" if relevant else None,
             )
-        )
-    return found
+        ]
 
 
-def _fr4_spanned_uniqueness(schema: Schema) -> list[RuleFinding]:
-    """FR4: a uniqueness constraint spanned by a longer one is redundant."""
-    found = []
-    uniques = schema.constraints_of(UniquenessConstraint)
-    for shorter in uniques:
-        for longer in uniques:
-            if shorter is longer:
-                continue
-            if set(shorter.roles) < set(longer.roles):
-                found.append(
-                    RuleFinding(
-                        rule_id="FR4",
-                        source="H89",
-                        message=(
-                            f"uniqueness <{longer.label}> is spanned by the shorter "
-                            f"<{shorter.label}> and is therefore implied "
-                            "(not an unsatisfiability)"
-                        ),
-                        relevant=False,
-                        elements=longer.roles,
+class SpannedUniquenessCheck(ConstraintSitePattern):
+    """FR4: a uniqueness constraint spanned by a shorter one is redundant.
+
+    The check site is the *longer* (spanned) uniqueness constraint; adding
+    or removing a shorter uniqueness dirties it via their shared roles.
+    """
+
+    pattern_id = "FR4"
+    name = "Spanned uniqueness"
+    description = "A uniqueness implied by a shorter uniqueness."
+    constraint_class = UniquenessConstraint
+
+    def check_site(self, schema: Schema, site: UniquenessConstraint) -> list[RuleFinding]:
+        found = []
+        seen: set[int] = set()
+        site_roles = set(site.roles)
+        for role_name in site.roles:
+            for shorter in schema.constraints_referencing_role(role_name):
+                if (
+                    not isinstance(shorter, UniquenessConstraint)
+                    or shorter is site
+                    or id(shorter) in seen
+                ):
+                    continue
+                seen.add(id(shorter))
+                if set(shorter.roles) < site_roles:
+                    found.append(
+                        RuleFinding(
+                            rule_id="FR4",
+                            source="H89",
+                            message=(
+                                f"uniqueness <{site.label}> is spanned by the shorter "
+                                f"<{shorter.label}> and is therefore implied "
+                                "(not an unsatisfiability)"
+                            ),
+                            relevant=False,
+                            elements=site.roles,
+                        )
                     )
-                )
-    return found
+        return found
 
 
-def _fr5_exclusion_on_mandatory(schema: Schema) -> list[RuleFinding]:
+class ExclusionOnMandatoryCheck(ConstraintSitePattern):
     """FR5: exclusion between roles, one of which is mandatory — this *is*
     Pattern 3 (the paper makes the subtype case explicit there)."""
-    found = []
-    mandatory = schema.mandatory_role_names()
-    for constraint in schema.constraints_of(ExclusionConstraint):
-        if not constraint.is_role_exclusion:
-            continue
-        flagged = [role for role in constraint.single_roles() if role in mandatory]
-        for role_name in flagged:
+
+    pattern_id = "FR5"
+    name = "Exclusion on mandatory role"
+    description = "An exclusion involving a mandatory role (Pattern 3)."
+    constraint_class = ExclusionConstraint
+
+    def check_site(self, schema: Schema, site: ExclusionConstraint) -> list[RuleFinding]:
+        if not site.is_role_exclusion:
+            return []
+        found = []
+        for role_name in site.single_roles():
+            if not schema.is_role_mandatory(role_name):
+                continue
             found.append(
                 RuleFinding(
                     rule_id="FR5",
                     source="H89",
                     message=(
-                        f"exclusion <{constraint.label}> involves the mandatory "
+                        f"exclusion <{site.label}> involves the mandatory "
                         f"role '{role_name}' — Pattern 3 decides whether roles "
                         "become unsatisfiable"
                     ),
                     relevant=True,
-                    elements=constraint.single_roles(),
+                    elements=site.single_roles(),
                     related_pattern="P3",
                 )
             )
-    return found
+        return found
 
 
-def _fr6_exclusion_across_subtyping(schema: Schema) -> list[RuleFinding]:
+class ExclusionAcrossSubtypingCheck(ConstraintSitePattern):
     """FR6: exclusion between roles whose players are sub/supertype-related.
 
     The paper demonstrates with Fig. 14 that violating this rule does *not*
     imply unsatisfiable roles, so ``relevant`` is always False here.
     """
-    found = []
-    for constraint in schema.constraints_of(ExclusionConstraint):
-        if not constraint.is_role_exclusion:
-            continue
-        for first, second in pairs(constraint.single_roles()):
+
+    pattern_id = "FR6"
+    name = "Exclusion across subtyping"
+    description = "An exclusion between roles of subtype-related players."
+    constraint_class = ExclusionConstraint
+    players_sensitive = True
+
+    def check_site(self, schema: Schema, site: ExclusionConstraint) -> list[RuleFinding]:
+        if not site.is_role_exclusion:
+            return []
+        found = []
+        for first, second in pairs(site.single_roles()):
             first_player = schema.role(first).player
             second_player = schema.role(second).player
             related = schema.is_subtype_of(
@@ -235,7 +278,7 @@ def _fr6_exclusion_across_subtyping(schema: Schema) -> list[RuleFinding]:
                         rule_id="FR6",
                         source="H89",
                         message=(
-                            f"exclusion <{constraint.label}> spans roles of "
+                            f"exclusion <{site.label}> spans roles of "
                             f"'{first_player}' and '{second_player}', which are "
                             "subtype-related; legal and possibly satisfiable "
                             "(paper Fig. 14)"
@@ -244,124 +287,189 @@ def _fr6_exclusion_across_subtyping(schema: Schema) -> list[RuleFinding]:
                         elements=(first, second),
                     )
                 )
-    return found
+        return found
 
 
-def _fr7_frequency_vs_cardinality(schema: Schema) -> list[RuleFinding]:
+class FrequencyVsCardinalityCheck(ConstraintSitePattern):
     """FR7: frequency bounds versus the partner's maximum cardinality.
 
     In the binary fragment the partner's maximum cardinality is its value
     constraint size, so the semantically relevant part of FR7 is exactly
     Pattern 4 (paper Sec. 3, footnote 5).
     """
-    found = []
-    for constraint in schema.constraints_of(FrequencyConstraint):
-        if len(constraint.roles) != 1:
-            continue
-        partner = schema.partner_role(constraint.roles[0])
+
+    pattern_id = "FR7"
+    name = "Frequency vs partner cardinality"
+    description = "A frequency lower bound above the partner's value pool."
+    constraint_class = FrequencyConstraint
+    players_sensitive = True
+
+    def check_site(self, schema: Schema, site: FrequencyConstraint) -> list[RuleFinding]:
+        if len(site.roles) != 1:
+            return []
+        partner = schema.partner_role(site.roles[0])
         pool = schema.value_count(partner.player)
-        if pool is None:
-            continue
-        if constraint.min > pool:
-            found.append(
-                RuleFinding(
-                    rule_id="FR7",
-                    source="H89",
-                    message=(
-                        f"<{constraint.label}> demands {constraint.min} partners "
-                        f"but '{partner.player}' admits only {pool} values — "
-                        "unsatisfiable (Pattern 4)"
-                    ),
-                    relevant=True,
-                    elements=constraint.roles,
-                    related_pattern="P4",
-                )
+        if pool is None or site.min <= pool:
+            return []
+        return [
+            RuleFinding(
+                rule_id="FR7",
+                source="H89",
+                message=(
+                    f"<{site.label}> demands {site.min} partners "
+                    f"but '{partner.player}' admits only {pool} values — "
+                    "unsatisfiable (Pattern 4)"
+                ),
+                relevant=True,
+                elements=site.roles,
+                related_pattern="P4",
             )
-    return found
+        ]
 
 
-def _s1_s3_superfluous_setpaths(schema: Schema) -> list[RuleFinding]:
-    """RIDL S1/S3: a subset (equality) constraint implied by the others is
-    superfluous.  Interesting style feedback, never an unsatisfiability."""
-    found = []
-    subsets = schema.constraints_of(SubsetConstraint)
-    equalities = schema.constraints_of(EqualityConstraint)
-    for index, constraint in enumerate(subsets):
-        graph = SetPathGraph()
-        for other_index, other in enumerate(subsets):
-            if other_index != index:
-                graph.add_subset(other.sub, other.sup, other.label or "subset")
-        for other in equalities:
+def _graph_without(schema: Schema, excluded: object) -> SetPathGraph:
+    """The SetPath graph of all set-comparison constraints except one."""
+    graph = SetPathGraph()
+    for other in schema.constraints_of(SubsetConstraint):
+        if other is not excluded:
+            graph.add_subset(other.sub, other.sup, other.label or "subset")
+    for other in schema.constraints_of(EqualityConstraint):
+        if other is not excluded:
             graph.add_subset(other.first, other.second, other.label or "equality")
             graph.add_subset(other.second, other.first, other.label or "equality")
-        if graph.subset_holds(constraint.sub, constraint.sup):
-            found.append(
-                RuleFinding(
-                    rule_id="S1",
-                    source="RIDL",
-                    message=(
-                        f"subset constraint <{constraint.label}> is implied by the "
-                        "other set-comparison constraints (superfluous, not "
-                        "unsatisfiable)"
-                    ),
-                    relevant=False,
-                    elements=constraint.sub + constraint.sup,
-                )
+    return graph
+
+
+class SuperfluousSubsetCheck(ConstraintSitePattern):
+    """RIDL S1: a subset constraint implied by the others is superfluous.
+    Interesting style feedback, never an unsatisfiability."""
+
+    pattern_id = "S1"
+    name = "Superfluous subset"
+    description = "A subset constraint implied by the other SetPaths."
+    constraint_class = SubsetConstraint
+    setcomp_sensitive = True
+
+    def check_site(self, schema: Schema, site: SubsetConstraint) -> list[RuleFinding]:
+        graph = _graph_without(schema, site)
+        if not graph.subset_holds(site.sub, site.sup):
+            return []
+        return [
+            RuleFinding(
+                rule_id="S1",
+                source="RIDL",
+                message=(
+                    f"subset constraint <{site.label}> is implied by the "
+                    "other set-comparison constraints (superfluous, not "
+                    "unsatisfiable)"
+                ),
+                relevant=False,
+                elements=site.sub + site.sup,
             )
-    for index, constraint in enumerate(equalities):
-        graph = SetPathGraph()
-        for other in subsets:
-            graph.add_subset(other.sub, other.sup, other.label or "subset")
-        for other_index, other in enumerate(equalities):
-            if other_index != index:
-                graph.add_subset(other.first, other.second, other.label or "equality")
-                graph.add_subset(other.second, other.first, other.label or "equality")
-        if graph.subset_holds(constraint.first, constraint.second) and graph.subset_holds(
-            constraint.second, constraint.first
+        ]
+
+
+class SuperfluousEqualityCheck(ConstraintSitePattern):
+    """RIDL S3: an equality constraint implied by the others is superfluous."""
+
+    pattern_id = "S3"
+    name = "Superfluous equality"
+    description = "An equality constraint implied by the other SetPaths."
+    constraint_class = EqualityConstraint
+    setcomp_sensitive = True
+
+    def check_site(self, schema: Schema, site: EqualityConstraint) -> list[RuleFinding]:
+        graph = _graph_without(schema, site)
+        if not (
+            graph.subset_holds(site.first, site.second)
+            and graph.subset_holds(site.second, site.first)
         ):
-            found.append(
-                RuleFinding(
-                    rule_id="S3",
-                    source="RIDL",
-                    message=(
-                        f"equality constraint <{constraint.label}> is implied by "
-                        "the other set-comparison constraints (superfluous)"
-                    ),
-                    relevant=False,
-                    elements=constraint.first + constraint.second,
-                )
+            return []
+        return [
+            RuleFinding(
+                rule_id="S3",
+                source="RIDL",
+                message=(
+                    f"equality constraint <{site.label}> is implied by "
+                    "the other set-comparison constraints (superfluous)"
+                ),
+                relevant=False,
+                elements=site.first + site.second,
             )
-    return found
+        ]
 
 
-def _s2_subset_loops(schema: Schema) -> list[RuleFinding]:
+class SubsetLoopCheck(ConstraintSitePattern):
     """RIDL S2: subset-constraint loops.
 
     Not an unsatisfiability (paper Sec. 3): role subsets are non-strict, so
     a loop merely forces the involved populations to be equal.  Subtype
-    links *are* strict — that case is Pattern 9, not this rule.
+    links *are* strict — that case is Pattern 9, not this rule.  Every
+    subset constraint lying on a loop is flagged at its own site.
     """
-    found = []
-    graph = SetPathGraph.from_schema(schema)
-    seen: set[tuple[tuple[str, ...], ...]] = set()
-    for constraint in schema.constraints_of(SubsetConstraint):
-        if graph.subset_holds(constraint.sup, constraint.sub):
-            key = tuple(sorted((constraint.sub, constraint.sup)))
-            if key in seen:
-                continue
-            seen.add(key)
-            found.append(
-                RuleFinding(
-                    rule_id="S2",
-                    source="RIDL",
-                    message=(
-                        f"subset constraint <{constraint.label}> lies on a loop; "
-                        f"the populations of {constraint.sub} and {constraint.sup} "
-                        "are forced equal but may be non-empty (not an "
-                        "unsatisfiability)"
-                    ),
-                    relevant=False,
-                    elements=constraint.sub + constraint.sup,
-                )
+
+    pattern_id = "S2"
+    name = "Subset loop"
+    description = "A subset constraint lying on a SetPath loop."
+    constraint_class = SubsetConstraint
+    setcomp_sensitive = True
+
+    def check_scoped(self, schema: Schema, scope=None):
+        # Build the SetPath graph once per run and share it across the
+        # (in-scope) sites, mirroring Pattern 6.
+        sites = list(self.iter_sites(schema, scope))
+        if not sites:
+            return {}
+        graph = SetPathGraph.from_schema(schema)
+        results = {}
+        for key, site in sites:
+            found = self._check_with_graph(schema, graph, site)
+            if found:
+                results[key] = tuple(found)
+        return results
+
+    def check_site(self, schema: Schema, site: SubsetConstraint) -> list[RuleFinding]:
+        return self._check_with_graph(schema, SetPathGraph.from_schema(schema), site)
+
+    def _check_with_graph(
+        self, schema: Schema, graph: SetPathGraph, site: SubsetConstraint
+    ) -> list[RuleFinding]:
+        if not graph.subset_holds(site.sup, site.sub):
+            return []
+        return [
+            RuleFinding(
+                rule_id="S2",
+                source="RIDL",
+                message=(
+                    f"subset constraint <{site.label}> lies on a loop; "
+                    f"the populations of {site.sub} and {site.sup} "
+                    "are forced equal but may be non-empty (not an "
+                    "unsatisfiability)"
+                ),
+                relevant=False,
+                elements=site.sub + site.sup,
             )
-    return found
+        ]
+
+
+#: All formation/RIDL rule checks, in the classic report order.
+FORMATION_CHECKS = (
+    FrequencyOneCheck(),
+    SpanningFrequencyCheck(),
+    UniquenessWithFrequencyCheck(),
+    SpannedUniquenessCheck(),
+    ExclusionOnMandatoryCheck(),
+    ExclusionAcrossSubtypingCheck(),
+    FrequencyVsCardinalityCheck(),
+    SuperfluousSubsetCheck(),
+    SuperfluousEqualityCheck(),
+    SubsetLoopCheck(),
+)
+
+
+def check_formation_rules(schema: Schema) -> list[RuleFinding]:
+    """Run all Halpin [H89] formation rules plus RIDL-A S1–S3 from scratch."""
+    findings: list[RuleFinding] = []
+    for check in FORMATION_CHECKS:
+        findings.extend(check.check(schema))
+    return findings

@@ -27,20 +27,32 @@ proportional to the **dirty neighborhood** of the edit instead:
       without dragging whole subtrees in.
 
     Set-comparison constraints compose transitively (Pattern 6's SetPaths),
-    so any subset/equality change sets the scope-wide ``setcomp_dirty``
-    flag instead of attempting locality.
+    but composition cannot cross a connected component of the subset/
+    equality graph.  The scope therefore records the *roles* referenced by
+    changed subset/equality constraints (``setcomp_roles``), and
+    :meth:`CheckScope.setcomp_closure` expands them to their full current
+    components via :class:`repro.setcomp.SetPathComponents` — set-comparison
+    sensitive sites outside the touched components stay clean.
 
-3.  :class:`IncrementalEngine` keeps, per pattern, the violations of every
-    **check site** (see :mod:`repro.patterns.base`).  On
+3.  :class:`IncrementalEngine` keeps, per analysis — the nine patterns,
+    and optionally the well-formedness advisories
+    (:mod:`repro.patterns.advisories`), the formation rules
+    (:mod:`repro.patterns.formation_rules`) and the propagation fixpoint
+    (:mod:`repro.patterns.propagation`) — the findings of every **check
+    site** (see :mod:`repro.patterns.base`).  On
     :meth:`IncrementalEngine.refresh` it retracts the stored verdicts of
     every dirty site (including sites that vanished — that is how
-    violation *retraction* on deletion works) and merges in the freshly
-    computed verdicts of the dirty sites that still exist.
+    finding *retraction* on deletion works) and merges in the freshly
+    computed verdicts of the dirty sites that still exist, all from one
+    journal drain.
 
 The merge is exact, not heuristic: for every edit script, the cumulative
-report equals a from-scratch :meth:`PatternEngine.check` as a multiset of
-violations (property-tested in ``tests/patterns/test_incremental.py``).
-Report ordering is canonical (sorted within each pattern) rather than
+report of each family equals its from-scratch analysis
+(:meth:`PatternEngine.check`, :func:`repro.orm.wellformed.check_wellformedness`,
+:func:`repro.patterns.formation_rules.check_formation_rules`,
+:func:`repro.patterns.propagation.propagate`) as a multiset of findings
+(property-tested in ``tests/patterns/test_incremental.py``).  Report
+ordering is canonical (sorted within each analysis) rather than
 schema-insertion order.
 """
 
@@ -57,6 +69,7 @@ from repro.orm.constraints import (
 from repro.orm.schema import Schema, SchemaChange
 from repro.patterns.base import ValidationReport, Violation
 from repro.patterns.engine import PatternEngine
+from repro.setcomp import SetPathComponents
 
 
 class CheckScope:
@@ -73,9 +86,10 @@ class CheckScope:
     ``roles`` / ``fact_types`` / ``labels``
         dirty roles, fact types and constraint labels after the partner and
         co-reference closures;
-    ``setcomp_dirty``
-        True when any subset/equality constraint changed (Pattern 6 then
-        rechecks all of its sites).
+    ``setcomp_roles``
+        roles referenced by changed subset/equality constraints;
+        :meth:`setcomp_closure` widens them to their full SetPath
+        components (set-comparison sensitive sites consult that closure).
     """
 
     def __init__(
@@ -85,15 +99,21 @@ class CheckScope:
         roles: frozenset[str] = frozenset(),
         fact_types: frozenset[str] = frozenset(),
         labels: frozenset[str] = frozenset(),
-        setcomp_dirty: bool = False,
+        setcomp_roles: frozenset[str] = frozenset(),
     ) -> None:
         self.graph_types = graph_types
         self.member_types = member_types
         self.roles = roles
         self.fact_types = fact_types
         self.labels = labels
-        self.setcomp_dirty = setcomp_dirty
+        self.setcomp_roles = setcomp_roles
         self._candidates: list[AnyConstraint] | None = None
+        self._setcomp_closure: frozenset[str] | None = None
+
+    @property
+    def setcomp_dirty(self) -> bool:
+        """True when any subset/equality constraint changed."""
+        return bool(self.setcomp_roles)
 
     @property
     def is_empty(self) -> bool:
@@ -104,8 +124,34 @@ class CheckScope:
             or self.roles
             or self.fact_types
             or self.labels
-            or self.setcomp_dirty
+            or self.setcomp_roles
         )
+
+    def setcomp_closure(self, schema: Schema) -> frozenset[str]:
+        """The SetPath-dirty role set: ``setcomp_roles`` plus every role in
+        the same connected component of the *current* subset/equality graph.
+
+        Roles of removed constraints stay in the closure even when they no
+        longer appear in any set-comparison constraint — their sites must be
+        rechecked because a path through the removed edge may have vanished.
+        Cached per scope (components are rebuilt once per refresh).
+        """
+        if self._setcomp_closure is None:
+            if not self.setcomp_roles:
+                self._setcomp_closure = frozenset()
+            else:
+                components = SetPathComponents.from_schema(schema)
+                self._setcomp_closure = self.setcomp_roles | components.members_of(
+                    self.setcomp_roles
+                )
+        return self._setcomp_closure
+
+    def setcomp_site_dirty(self, schema: Schema, roles: Iterable[str]) -> bool:
+        """Did the SetPath environment of a site over ``roles`` change?"""
+        if not self.setcomp_roles:
+            return False
+        closure = self.setcomp_closure(schema)
+        return any(role in closure for role in roles)
 
     def candidate_constraints(self, schema: Schema) -> list[AnyConstraint]:
         """Every existing constraint whose verdict may have changed.
@@ -181,7 +227,7 @@ def scope_from_changes(
     roles: set[str] = set()
     fact_types: set[str] = set()
     labels: set[str] = set()
-    setcomp_dirty = False
+    setcomp_roles: set[str] = set()
 
     for change in changes:
         if change.kind == "object_type":
@@ -201,7 +247,7 @@ def scope_from_changes(
             labels.add(constraint.label or "")
             roles.update(constraint.referenced_roles())
             if isinstance(constraint, (SubsetConstraint, EqualityConstraint)):
-                setcomp_dirty = True
+                setcomp_roles.update(constraint.referenced_roles())
 
     # Fact-partner and constraint co-reference closures, to a fixpoint.
     queue = list(roles)
@@ -233,7 +279,7 @@ def scope_from_changes(
         roles=frozenset(roles),
         fact_types=frozenset(fact_types),
         labels=frozenset(labels),
-        setcomp_dirty=setcomp_dirty,
+        setcomp_roles=frozenset(setcomp_roles),
     )
 
 
@@ -258,20 +304,40 @@ def _vertical_closure(
     return closed
 
 
+#: Journal entries all consumers must have drained before the engine asks
+#: the schema to truncate (hysteresis for the checkpointing list surgery).
+JOURNAL_COMPACT_THRESHOLD = 128
+
+
 class IncrementalEngine:
-    """A stateful, dependency-indexed wrapper around the pattern registry.
+    """A stateful, dependency-indexed engine over every site-based analysis.
 
     Attach it to a live :class:`Schema`; the constructor performs one full
     check, and every :meth:`refresh` afterwards only re-examines the check
     sites dirtied by the schema mutations since the previous call, merging
-    scoped verdicts into the persistent per-site violation store
-    (retracting the verdicts of sites that were touched or deleted).
+    scoped verdicts into persistent per-site finding stores (retracting the
+    verdicts of sites that were touched or deleted).
 
-    The engine accepts the same ``enabled`` / ``include_extensions``
-    arguments as :class:`PatternEngine` and produces the same
-    :class:`ValidationReport` type; violations are ordered canonically
-    (sorted within each pattern) rather than by schema insertion order, and
-    equal a from-scratch check as a multiset.
+    One engine drives up to four **analysis families** from a single
+    journal drain:
+
+    * the unsatisfiability patterns (always on; same ``enabled`` /
+      ``include_extensions`` arguments as :class:`PatternEngine`), read via
+      :meth:`report`;
+    * the well-formedness advisories W01–W07 (``advisories=True``), read
+      via :meth:`advisories`;
+    * the formation/RIDL rules (``formation_rules=True``), read via
+      :meth:`rule_findings`;
+    * unsatisfiability propagation (``propagation=True``), maintained
+      DRed-style by :class:`repro.patterns.propagation.IncrementalPropagator`
+      and read via :meth:`propagation`.
+
+    Findings are ordered canonically (sorted within each check) rather than
+    by schema insertion order, and equal the corresponding from-scratch
+    analysis as a multiset.  The engine registers itself as a journal
+    consumer and triggers :meth:`repro.orm.schema.Schema.compact_journal`
+    after each drain, so long-lived sessions do not accumulate unbounded
+    journals.
     """
 
     def __init__(
@@ -279,47 +345,91 @@ class IncrementalEngine:
         schema: Schema,
         enabled: Iterable[str] | None = None,
         include_extensions: bool = False,
+        *,
+        advisories: bool = False,
+        formation_rules: bool = False,
+        propagation: bool = False,
     ) -> None:
+        from repro.patterns.advisories import WELLFORMED_CHECKS
+        from repro.patterns.formation_rules import FORMATION_CHECKS
+        from repro.patterns.propagation import IncrementalPropagator
+
         self.schema = schema
         self._engine = PatternEngine(enabled, include_extensions)
         self._patterns = self._engine.enabled_patterns()
-        self._sites: dict[str, dict[Hashable, tuple[Violation, ...]]] = {}
+        self._advisory_checks = WELLFORMED_CHECKS if advisories else ()
+        self._rule_checks = FORMATION_CHECKS if formation_rules else ()
+        self._sites: dict[str, dict[Hashable, tuple]] = {}
         self._mark = schema.journal_size
         started = time.perf_counter()
-        for pattern in self._patterns:
-            self._sites[pattern.pattern_id] = dict(pattern.check_scoped(schema, None))
-        self._report = self._build_report(time.perf_counter() - started)
+        for check in self._analyses():
+            self._sites[check.pattern_id] = dict(check.check_scoped(schema, None))
+        self._build_outputs(time.perf_counter() - started)
+        self._propagator = None
+        if propagation:
+            self._propagator = IncrementalPropagator(schema)
+            self._propagator.rebuild(self._report)
+        schema.attach_journal_consumer(self)
+
+    def _analyses(self) -> tuple:
+        """Every site-based check this engine maintains, patterns first."""
+        return (*self._patterns, *self._advisory_checks, *self._rule_checks)
 
     @property
     def enabled_ids(self) -> tuple[str, ...]:
         """The pattern ids this engine maintains."""
         return self._engine.enabled_ids
 
+    @property
+    def journal_mark(self) -> int:
+        """The journal position drained so far (the consumer protocol of
+        :meth:`repro.orm.schema.Schema.attach_journal_consumer`)."""
+        return self._mark
+
     def report(self) -> ValidationReport:
-        """The current cumulative report (without consuming new changes)."""
+        """The current cumulative pattern report (without consuming changes)."""
         return self._report
+
+    def advisories(self) -> list:
+        """The current well-formedness advisories (empty unless the family
+        was enabled with ``advisories=True``)."""
+        return list(self._advisories)
+
+    def rule_findings(self) -> list:
+        """The current formation-rule findings (empty unless enabled)."""
+        return list(self._rule_findings)
+
+    def propagation(self):
+        """The current :class:`~repro.patterns.propagation.PropagationResult`
+        (None unless the family was enabled with ``propagation=True``)."""
+        if self._propagator is None:
+            return None
+        return self._propagator.result()
 
     def refresh(self) -> ValidationReport:
         """Consume the schema changes since the last call and re-validate.
 
         Cost is proportional to the dirty neighborhood of those changes,
-        not to the schema size.
+        not to the schema size, for every enabled analysis family.
         """
         started = time.perf_counter()
         changes = self.schema.changes_since(self._mark)
         self._mark = self.schema.journal_size
+        self.schema.compact_journal(min_drop=JOURNAL_COMPACT_THRESHOLD)
         if not changes:
             return self._report
         scope = scope_from_changes(self.schema, changes)
         if scope.is_empty:
             return self._report
-        for pattern in self._patterns:
-            stored = self._sites[pattern.pattern_id]
-            fresh = pattern.check_scoped(self.schema, scope)
-            for key in [k for k in stored if pattern.site_dirty(k, scope, self.schema)]:
+        for check in self._analyses():
+            stored = self._sites[check.pattern_id]
+            fresh = check.check_scoped(self.schema, scope)
+            for key in [k for k in stored if check.site_dirty(k, scope, self.schema)]:
                 del stored[key]
             stored.update(fresh)
-        self._report = self._build_report(time.perf_counter() - started)
+        self._build_outputs(time.perf_counter() - started)
+        if self._propagator is not None:
+            self._propagator.refresh(scope, self._report)
         return self._report
 
     # `check()` mirrors PatternEngine's entry point for drop-in use.
@@ -332,25 +442,41 @@ class IncrementalEngine:
             )
         return self.refresh()
 
-    def _build_report(self, elapsed: float) -> ValidationReport:
-        violations: list[Violation] = []
-        for pattern in self._patterns:
+    def _collect(self, checks, sort_key) -> list:
+        findings = []
+        for check in checks:
             batch = [
-                violation
-                for site_violations in self._sites[pattern.pattern_id].values()
-                for violation in site_violations
+                finding
+                for site_findings in self._sites[check.pattern_id].values()
+                for finding in site_findings
             ]
-            batch.sort(key=lambda v: (v.types, v.roles, v.constraints, v.message))
-            violations.extend(batch)
-        return ValidationReport(
+            batch.sort(key=sort_key)
+            findings.extend(batch)
+        return findings
+
+    def _build_outputs(self, elapsed: float) -> None:
+        violations: list[Violation] = self._collect(
+            self._patterns,
+            lambda v: (v.types, v.roles, v.constraints, v.message),
+        )
+        self._report = ValidationReport(
             schema_name=self.schema.metadata.name,
             violations=violations,
             patterns_run=self._engine.enabled_ids,
             elapsed_seconds=elapsed,
         )
+        self._advisories = self._collect(
+            self._advisory_checks, lambda a: (a.elements, a.message)
+        )
+        self._rule_findings = self._collect(
+            self._rule_checks, lambda f: (f.elements, f.message)
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"IncrementalEngine(schema={self.schema.metadata.name!r}, "
-            f"patterns={list(self._engine.enabled_ids)})"
+            f"patterns={list(self._engine.enabled_ids)}, "
+            f"advisories={bool(self._advisory_checks)}, "
+            f"rules={bool(self._rule_checks)}, "
+            f"propagation={self._propagator is not None})"
         )

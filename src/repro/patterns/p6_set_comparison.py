@@ -31,9 +31,12 @@ class SetComparisonPattern(ConstraintSitePattern):
     """Detect exclusion constraints contradicting subset/equality SetPaths.
 
     Check sites are the exclusion constraints, but the verdict consults the
-    *global* subset/equality graph (SetPaths compose transitively), so the
-    pattern is ``setcomp_sensitive``: any set-comparison change dirties all
-    of its sites.  The SetPath graph is built once per run, not per site.
+    subset/equality graph (SetPaths compose transitively), so the pattern
+    is ``setcomp_sensitive``: a set-comparison change dirties the sites
+    whose roles live in a touched connected component of that graph
+    (:meth:`repro.patterns.incremental.CheckScope.setcomp_closure`) —
+    sites in untouched components keep their verdicts.  The SetPath graph
+    is built once per run, not per site.
     """
 
     pattern_id = "P6"

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from repro._util import comma_join, stable_sorted_names
 from repro.orm.schema import Schema
-from repro.patterns.base import Pattern, Violation
+from repro.patterns.base import Pattern
 
 
 class SubtypeLoopPattern(Pattern):

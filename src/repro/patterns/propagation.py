@@ -21,15 +21,36 @@ the bounded model finder).
 
 Joint violations (Pattern 5) do not seed the fixpoint: their roles are only
 *jointly* doomed, and propagation needs individually-empty elements.
+
+:class:`IncrementalPropagator` maintains the same fixpoint *across edits*
+for :class:`repro.patterns.incremental.IncrementalEngine`: every derived
+element carries a single-premise justification, so when seed violations
+retract or the relevant schema structure moves (a
+:class:`~repro.patterns.incremental.CheckScope` names the dirty roles,
+types and SetPath components), only the affected cone is deleted and
+re-derived (DRed-style: over-delete along justification edges, re-ground
+survivors, then run the semi-naive closure from the dirty frontier).  The
+cumulative result always equals a from-scratch :func:`propagate` as sets of
+unsatisfiable elements (property-tested in
+``tests/patterns/test_incremental.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.orm.schema import Schema
 from repro.patterns.base import ValidationReport
-from repro.setcomp import SetPathGraph
+from repro.setcomp import SetPathComponents, SetPathGraph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.patterns.incremental import CheckScope
+
+#: A propagation fact: ``("role", name)`` or ``("type", name)``.
+Fact = tuple[str, str]
+#: ``(rule, premise fact or None, one-line justification)``.
+Justification = tuple[str, "Fact | None", str]
 
 
 @dataclass(frozen=True)
@@ -183,3 +204,320 @@ def _setpaths_into_unsat(schema, graph, unsat_roles, result) -> bool:
                 )
                 break
     return changed
+
+
+class IncrementalPropagator:
+    """Maintain the propagation fixpoint incrementally across schema edits.
+
+    Every fact (an unsatisfiable role or type) stores one justification:
+    either ``"seed"`` (it appears in a current non-joint violation) or a
+    rule application from a single premise fact.  On :meth:`refresh`:
+
+    1. **over-delete** — facts whose justification became invalid (seed
+       retracted, element vanished, or the rule's schema dependency lies in
+       the dirty scope) are removed, cascading along justification edges;
+    2. **re-ground** — each deleted fact is re-derived immediately if some
+       *surviving* fact still justifies it (a deleted fact may have had
+       alternative derivations);
+    3. **semi-naive closure** — forward rule application runs from the new
+       seeds, the re-grounded facts, and every surviving fact whose
+       outgoing rule applications may have changed (its role is in
+       ``scope.roles``, its type in the vertical closures, or its SetPath
+       component was touched).
+
+    Survivor justifications are acyclic and grounded in live seeds, so no
+    phantom cycles can keep facts alive — the state after every refresh
+    equals a from-scratch :func:`propagate` as sets of elements.
+    """
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._seed_roles: frozenset[str] = frozenset()
+        self._seed_types: frozenset[str] = frozenset()
+        self._just: dict[Fact, Justification] = {}
+        self._dependents: dict[Fact, set[Fact]] = {}
+        self._graph: SetPathGraph | None = None
+        self._components: SetPathComponents | None = None
+
+    # -- public API -----------------------------------------------------
+
+    def rebuild(self, report: ValidationReport) -> None:
+        """Recompute the whole fixpoint from scratch for ``report``."""
+        self._seed_roles, self._seed_types = self._seeds_of(report)
+        self._just = {}
+        self._dependents = {}
+        self._graph = None
+        self._components = None
+        work: list[Fact] = []
+        for fact in self._seed_facts():
+            self._just[fact] = ("seed", None, "")
+            work.append(fact)
+        self._close(work)
+
+    def refresh(self, scope: "CheckScope", report: ValidationReport) -> None:
+        """Consume one dirty scope plus the post-edit report."""
+        schema = self.schema
+        if scope.setcomp_dirty:
+            self._graph = None
+            self._components = None
+        self._seed_roles, self._seed_types = self._seeds_of(report)
+        setcomp_dirty = scope.setcomp_closure(schema)
+
+        # 1. over-delete facts whose justification may no longer hold.
+        suspects = [
+            fact
+            for fact, justification in self._just.items()
+            if self._justification_invalid(fact, justification, scope, setcomp_dirty)
+        ]
+        deleted = self._cascade_delete(suspects)
+
+        # 2. (re-)insert seeds, then re-ground deleted facts from survivors.
+        work: list[Fact] = []
+        for fact in self._seed_facts():
+            if fact not in self._just:
+                work.append(fact)
+            self._just[fact] = ("seed", None, "")
+        for fact in sorted(deleted):
+            if fact in self._just or not self._exists(fact):
+                continue
+            justification = self._backward(fact)
+            if justification is not None:
+                self._insert(fact, justification)
+                work.append(fact)
+
+        # 3. forward closure from the dirty frontier.
+        for fact in self._just:
+            kind, element = fact
+            if kind == "role" and (element in scope.roles or element in setcomp_dirty):
+                work.append(fact)
+            elif kind == "type" and (
+                element in scope.graph_types or element in scope.member_types
+            ):
+                work.append(fact)
+        self._close(work)
+
+    def result(self) -> PropagationResult:
+        """The current fixpoint as a :class:`PropagationResult`."""
+        derived = [
+            DerivedUnsat(element, kind, via)
+            for (kind, element), (rule, _premise, via) in self._just.items()
+            if rule != "seed"
+        ]
+        derived.sort(key=lambda item: (item.kind, item.element, item.via))
+        return PropagationResult(
+            direct_roles=tuple(sorted(self._seed_roles)),
+            direct_types=tuple(sorted(self._seed_types)),
+            derived=derived,
+        )
+
+    # -- seed handling ---------------------------------------------------
+
+    @staticmethod
+    def _seeds_of(report: ValidationReport) -> tuple[frozenset[str], frozenset[str]]:
+        roles: set[str] = set()
+        types: set[str] = set()
+        for violation in report.violations:
+            if violation.joint:
+                continue  # jointly-doomed roles are not individually empty
+            roles.update(violation.roles)
+            types.update(violation.types)
+        return frozenset(roles), frozenset(types)
+
+    def _seed_facts(self) -> list[Fact]:
+        return [("role", name) for name in sorted(self._seed_roles)] + [
+            ("type", name) for name in sorted(self._seed_types)
+        ]
+
+    # -- deletion --------------------------------------------------------
+
+    def _justification_invalid(
+        self,
+        fact: Fact,
+        justification: Justification,
+        scope: "CheckScope",
+        setcomp_dirty: frozenset[str],
+    ) -> bool:
+        rule, premise, _via = justification
+        if not self._exists(fact):
+            return True
+        if rule == "seed":
+            kind, element = fact
+            pool = self._seed_roles if kind == "role" else self._seed_types
+            return element not in pool
+        if premise is not None and not self._exists(premise):
+            return True
+        if rule == "mandatory":
+            # the premise role's mandatory constraint may have been removed
+            return premise is not None and premise[1] in scope.roles
+        if rule == "subtype":
+            # the premise→fact subtype link may have been removed
+            return fact[1] in scope.graph_types or (
+                premise is not None and premise[1] in scope.graph_types
+            )
+        if rule == "setpath":
+            # the path from fact to premise may have been cut
+            return fact[1] in setcomp_dirty or (
+                premise is not None and premise[1] in setcomp_dirty
+            )
+        # "partner" and "played_by" depend only on element existence.
+        return False
+
+    def _cascade_delete(self, suspects: list[Fact]) -> set[Fact]:
+        deleted: set[Fact] = set()
+        stack = list(suspects)
+        while stack:
+            fact = stack.pop()
+            if fact not in self._just:
+                continue
+            del self._just[fact]
+            deleted.add(fact)
+            for dependent in self._dependents.pop(fact, ()):
+                justification = self._just.get(dependent)
+                # guard against stale dependency edges: only cascade when
+                # the dependent is still justified by the deleted fact
+                if justification is not None and justification[1] == fact:
+                    stack.append(dependent)
+        return deleted
+
+    # -- derivation ------------------------------------------------------
+
+    def _insert(self, fact: Fact, justification: Justification) -> None:
+        self._just[fact] = justification
+        premise = justification[1]
+        if premise is not None:
+            self._dependents.setdefault(premise, set()).add(fact)
+
+    def _close(self, work: list[Fact]) -> None:
+        while work:
+            fact = work.pop()
+            if fact not in self._just:
+                continue
+            for target, rule, via in self._forward(fact):
+                if target not in self._just:
+                    self._insert(target, (rule, fact, via))
+                    work.append(target)
+
+    def _forward(self, fact: Fact) -> list[tuple[Fact, str, str]]:
+        """All rule applications with ``fact`` as the premise."""
+        schema = self.schema
+        kind, element = fact
+        out: list[tuple[Fact, str, str]] = []
+        if kind == "role":
+            if not schema.has_role(element):
+                return out
+            partner = schema.partner_role(element).name
+            out.append(
+                (
+                    ("role", partner),
+                    "partner",
+                    f"fact type of unsatisfiable role '{element}' has no tuples",
+                )
+            )
+            if schema.is_role_mandatory(element):
+                out.append(
+                    (
+                        ("type", schema.role(element).player),
+                        "mandatory",
+                        f"its mandatory role '{element}' can never be played",
+                    )
+                )
+            for candidate in sorted(self._setpath_components().members_of([element])):
+                if candidate == element or not schema.has_role(candidate):
+                    continue
+                if self._setpath_graph().subset_holds((candidate,), (element,)):
+                    out.append(
+                        (
+                            ("role", candidate),
+                            "setpath",
+                            f"subset path into unsatisfiable role '{element}'",
+                        )
+                    )
+        else:
+            if not schema.has_object_type(element):
+                return out
+            for sub in schema.direct_subtypes(element):
+                out.append(
+                    (
+                        ("type", sub),
+                        "subtype",
+                        f"subtype of unsatisfiable type '{element}'",
+                    )
+                )
+            for role in schema.roles_played_by(element):
+                out.append(
+                    (
+                        ("role", role.name),
+                        "played_by",
+                        f"played by unsatisfiable type '{element}'",
+                    )
+                )
+        return out
+
+    def _backward(self, fact: Fact) -> Justification | None:
+        """Find any justification of ``fact`` among the surviving facts."""
+        schema = self.schema
+        kind, element = fact
+        if kind == "role":
+            partner = schema.partner_role(element).name
+            if ("role", partner) in self._just:
+                return (
+                    "partner",
+                    ("role", partner),
+                    f"fact type of unsatisfiable role '{partner}' has no tuples",
+                )
+            player = schema.role(element).player
+            if ("type", player) in self._just:
+                return (
+                    "played_by",
+                    ("type", player),
+                    f"played by unsatisfiable type '{player}'",
+                )
+            for target in sorted(self._setpath_components().members_of([element])):
+                if target == element or ("role", target) not in self._just:
+                    continue
+                if self._setpath_graph().subset_holds((element,), (target,)):
+                    return (
+                        "setpath",
+                        ("role", target),
+                        f"subset path into unsatisfiable role '{target}'",
+                    )
+            return None
+        for super_name in schema.direct_supertypes(element):
+            if ("type", super_name) in self._just:
+                return (
+                    "subtype",
+                    ("type", super_name),
+                    f"subtype of unsatisfiable type '{super_name}'",
+                )
+        for role in schema.roles_played_by(element):
+            if schema.is_role_mandatory(role.name) and ("role", role.name) in self._just:
+                return (
+                    "mandatory",
+                    ("role", role.name),
+                    f"its mandatory role '{role.name}' can never be played",
+                )
+        return None
+
+    # -- caches ----------------------------------------------------------
+
+    def _exists(self, fact: Fact) -> bool:
+        kind, element = fact
+        if kind == "role":
+            return self.schema.has_role(element)
+        return self.schema.has_object_type(element)
+
+    def _setpath_graph(self) -> SetPathGraph:
+        if self._graph is None:
+            self._graph = SetPathGraph.from_schema(self.schema)
+        return self._graph
+
+    def _setpath_components(self) -> SetPathComponents:
+        if self._components is None:
+            self._components = SetPathComponents.from_schema(self.schema)
+        return self._components
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"IncrementalPropagator(schema={self.schema.metadata.name!r}, "
+            f"facts={len(self._just)})"
+        )

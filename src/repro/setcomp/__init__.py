@@ -1,5 +1,10 @@
 """Set-comparison (SetPath) implication reasoning — substrate of Pattern 6."""
 
-from repro.setcomp.paths import SetPath, SetPathEdge, SetPathGraph
+from repro.setcomp.paths import (
+    SetPath,
+    SetPathComponents,
+    SetPathEdge,
+    SetPathGraph,
+)
 
-__all__ = ["SetPath", "SetPathEdge", "SetPathGraph"]
+__all__ = ["SetPath", "SetPathComponents", "SetPathEdge", "SetPathGraph"]

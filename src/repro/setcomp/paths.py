@@ -20,11 +20,20 @@ them.  ``GetSetPathsBetween`` from the paper's appendix becomes
 :meth:`SetPathGraph.setpaths_between`, which returns the justifying
 constraint labels for each direction — exactly what the diagnostic message
 in Pattern 6 needs.
+
+:class:`SetPathComponents` is the incremental engine's locality index over
+the same constraints: a union-find over *roles*, where every subset or
+equality constraint merges all roles it references into one component.  A
+SetPath between two sequences can only exist when their roles share a
+component, so a subset/equality edit needs to dirty only the sites whose
+roles live in the touched component — not every set-comparison site in the
+schema (see :meth:`repro.patterns.incremental.CheckScope.setcomp_closure`).
 """
 
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 from repro.orm.constraints import EqualityConstraint, RoleSequence, SubsetConstraint
@@ -181,3 +190,88 @@ class SetPathGraph:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SetPathGraph(edges={len(self.direct_edges())})"
+
+
+class SetPathComponents:
+    """Connected components of the set-comparison constraint graph, by role.
+
+    Every subset/equality constraint unions all roles it references (both
+    sequences).  Two role sequences can be connected by a SetPath only when
+    their roles share a component: each edge of a path is justified by a
+    constraint referencing the roles of both endpoint sequences, so the
+    chain of justifying constraints links all roles along the path.  The
+    index is therefore a sound over-approximation of "may have a SetPath".
+    """
+
+    def __init__(self) -> None:
+        self._parent: dict[str, str] = {}
+
+    @classmethod
+    def from_schema(cls, schema: Schema) -> "SetPathComponents":
+        """Build the index from all subset and equality constraints."""
+        index = cls()
+        for subset in schema.constraints_of(SubsetConstraint):
+            index.union_all(subset.referenced_roles())
+        for equality in schema.constraints_of(EqualityConstraint):
+            index.union_all(equality.referenced_roles())
+        return index
+
+    def union_all(self, roles: tuple[str, ...]) -> None:
+        """Merge all given roles into one component."""
+        roles = tuple(roles)
+        if not roles:
+            return
+        first = roles[0]
+        self._parent.setdefault(first, first)
+        for role in roles[1:]:
+            self._union(first, role)
+
+    def _find(self, role: str) -> str:
+        parent = self._parent
+        root = role
+        while parent[root] != root:
+            root = parent[root]
+        while parent[role] != root:  # path compression
+            parent[role], role = root, parent[role]
+        return root
+
+    def _union(self, first: str, second: str) -> None:
+        self._parent.setdefault(first, first)
+        self._parent.setdefault(second, second)
+        root_first, root_second = self._find(first), self._find(second)
+        if root_first != root_second:
+            self._parent[root_second] = root_first
+
+    def component_of(self, role: str) -> str | None:
+        """Canonical representative of the role's component (None when the
+        role appears in no set-comparison constraint)."""
+        if role not in self._parent:
+            return None
+        return self._find(role)
+
+    def members_of(self, roles: Iterable[str]) -> frozenset[str]:
+        """All roles sharing a component with any of the given roles.
+
+        Roles absent from every set-comparison constraint contribute
+        nothing (their component is just themselves, and they are already
+        known to the caller).
+        """
+        roots = {self._find(role) for role in roles if role in self._parent}
+        if not roots:
+            return frozenset()
+        return frozenset(
+            role for role in self._parent if self._find(role) in roots
+        )
+
+    def same_component(self, first: Iterable[str], second: Iterable[str]) -> bool:
+        """Could a SetPath connect sequences over these two role sets?"""
+        first_roots = {self._find(r) for r in first if r in self._parent}
+        if not first_roots:
+            return False
+        return any(
+            role in self._parent and self._find(role) in first_roots
+            for role in second
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SetPathComponents(roles={len(self._parent)})"

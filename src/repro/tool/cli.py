@@ -5,6 +5,8 @@ Usage::
     orm-validate schema.orm                      # all nine patterns
     orm-validate schema.orm --patterns P2,P9     # a subset (Fig. 15 style)
     orm-validate schema.orm --formation-rules    # include Sec. 3 analysis
+    orm-validate schema.orm --no-advisories      # skip the W01-W07 advisories
+    orm-validate schema.orm --no-incremental     # from-scratch engine run
     orm-validate schema.orm --verbalize          # pseudo-NL rendering first
     orm-validate schema.orm --complete 3         # add bounded complete check
     orm-validate schema.orm --format json
@@ -40,15 +42,32 @@ def build_parser() -> argparse.ArgumentParser:
         default=",".join(PATTERN_IDS),
         help="comma-separated pattern ids to enable (default: all nine)",
     )
-    parser.add_argument(
-        "--no-wellformedness",
+    advisory_group = parser.add_mutually_exclusive_group()
+    advisory_group.add_argument(
+        "--advisories",
+        dest="advisories",
         action="store_true",
+        default=True,
+        help="run the structural well-formedness advisories (default)",
+    )
+    advisory_group.add_argument(
+        "--no-advisories",
+        "--no-wellformedness",  # pre-PR-2 spelling, kept for compatibility
+        dest="advisories",
+        action="store_false",
         help="skip the structural advisories",
     )
     parser.add_argument(
         "--formation-rules",
         action="store_true",
         help="also run Halpin's formation rules and RIDL-A analysis (Sec. 3)",
+    )
+    parser.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="force from-scratch analysis runs instead of the site-based "
+        "incremental engine (Fig. 15's engine toggle; mostly for debugging "
+        "and benchmarking)",
     )
     parser.add_argument(
         "--verbalize",
@@ -116,18 +135,15 @@ def main(argv: list[str] | None = None) -> int:
     except KeyError as error:
         print(f"error: unknown pattern id {error}", file=sys.stderr)
         return 2
-    settings.wellformedness = not args.no_wellformedness
+    settings.wellformedness = args.advisories
     settings.formation_rules = args.formation_rules
+    settings.propagation = args.propagate
+    settings.incremental = not args.no_incremental
     if args.extensions:
         settings.enable_extensions()
 
     report = Validator(settings).validate(schema)
-
-    propagation = None
-    if args.propagate:
-        from repro.patterns import propagate
-
-        propagation = propagate(schema, report.pattern_report)
+    propagation = report.propagation
 
     complete_result = None
     if args.complete is not None:
@@ -194,10 +210,6 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"  [{violation.pattern_id}]")
                 for suggestion in suggest_repairs(violation):
                     print(f"    - {suggestion}")
-        if propagation is not None:
-            print(f"Propagation: {propagation.summary()}")
-            for item in propagation.derived:
-                print(f"  {item.kind} '{item.element}' — {item.via}")
         if complete_result is not None:
             print(
                 f"Complete bounded check (strong, domain<={args.complete}): "

@@ -7,6 +7,14 @@ the moment they introduced them, and taught them to avoid the mistakes.
 the schema and records which violations are *new* relative to the previous
 step, so a tool (or the example script) can point at the edit that broke
 the model.
+
+The session's :class:`~repro.tool.validator.ValidatorSettings` select which
+analysis families run after each edit — patterns, well-formedness
+advisories, formation rules, propagation — and all of them are maintained
+by the one site-based incremental engine attached to the session's schema,
+so even a fully-loaded settings profile stays flat-cost per edit.  Long
+sessions stay bounded in memory too: the engine checkpoints the schema's
+change journal as it drains.
 """
 
 from __future__ import annotations

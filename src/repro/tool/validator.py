@@ -3,10 +3,20 @@
 Fig. 15 shows DogmaModeler's *Validator Settings* window: a checkbox per
 reasoning pattern, so modelers decide which validations run.
 :class:`ValidatorSettings` is that window as data; :class:`Validator`
-combines the pattern engine with the structural well-formedness advisories
-and the formation-rule analysis into one report whose rendered form mirrors
-the generated messages the paper highlights ("which constraints cause the
-unsatisfiability, the problems with the other constraints, etc.").
+combines the pattern engine with the structural well-formedness advisories,
+the formation-rule analysis and unsatisfiability propagation into one
+report whose rendered form mirrors the generated messages the paper
+highlights ("which constraints cause the unsatisfiability, the problems
+with the other constraints, etc.").
+
+Since every analysis is site-based (see :mod:`repro.patterns.base`), the
+settings toggles select **analysis families inside one**
+:class:`repro.patterns.incremental.IncrementalEngine` rather than choosing
+between incremental and from-scratch code paths: patterns, advisories,
+formation rules and propagation are all maintained from the same journal
+drain.  ``incremental=False`` remains available as the from-scratch
+reference mode (it is what the equivalence property tests compare
+against).
 """
 
 from __future__ import annotations
@@ -20,6 +30,7 @@ from repro.patterns.base import ValidationReport
 from repro.patterns.engine import ALL_IDS, PATTERN_IDS, PatternEngine, pattern_by_id
 from repro.patterns.formation_rules import RuleFinding, check_formation_rules
 from repro.patterns.incremental import IncrementalEngine
+from repro.patterns.propagation import PropagationResult, propagate
 
 
 @dataclass
@@ -28,12 +39,12 @@ class ValidatorSettings:
 
     ``patterns`` maps pattern id to enabled (the paper's nine are ticked by
     default; the Sec. 5 extension patterns X1-X3 exist but start unticked);
-    ``wellformedness`` and ``formation_rules`` toggle the two auxiliary
-    analyses.  ``incremental`` selects the dependency-indexed
-    :class:`repro.patterns.incremental.IncrementalEngine` for the pattern
-    checks (the default — per-edit cost then scales with the edit, not the
-    schema); switch it off to force a from-scratch
-    :class:`PatternEngine` run on every validation.
+    ``wellformedness``, ``formation_rules`` and ``propagation`` toggle the
+    auxiliary analysis families.  ``incremental`` selects the
+    dependency-indexed :class:`repro.patterns.incremental.IncrementalEngine`
+    for **all** enabled families (the default — per-edit cost then scales
+    with the edit, not the schema); switch it off to force from-scratch
+    analysis runs on every validation.
     """
 
     patterns: dict[str, bool] = field(
@@ -41,6 +52,7 @@ class ValidatorSettings:
     )
     wellformedness: bool = True
     formation_rules: bool = False  # style feedback is opt-in, as in the tool
+    propagation: bool = False  # blast-radius derivation is opt-in too
     incremental: bool = True
 
     def enable(self, pattern_id: str) -> None:
@@ -64,6 +76,15 @@ class ValidatorSettings:
         """Pattern ids currently ticked, in registry order."""
         return [pid for pid in ALL_IDS if self.patterns.get(pid, False)]
 
+    def family_key(self) -> tuple:
+        """Everything an attached engine's configuration depends on."""
+        return (
+            tuple(self.enabled_ids()),
+            self.wellformedness,
+            self.formation_rules,
+            self.propagation,
+        )
+
 
 @dataclass
 class ToolReport:
@@ -74,6 +95,7 @@ class ToolReport:
     advisories: list[Advisory] = field(default_factory=list)
     rule_findings: list[RuleFinding] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    propagation: PropagationResult | None = None
 
     @property
     def ok(self) -> bool:
@@ -102,6 +124,10 @@ class ToolReport:
             for finding in relevant_rules:
                 marker = "!" if finding.relevant else "·"
                 lines.append(f"  {marker} [{finding.rule_id}] {finding.message}")
+        if self.propagation is not None:
+            lines.append(f"Propagation: {self.propagation.summary()}")
+            for item in self.propagation.derived:
+                lines.append(f"  {item.kind} '{item.element}' — {item.via}")
         lines.append(
             f"(checked patterns: {', '.join(self.pattern_report.patterns_run)}; "
             f"{self.elapsed_seconds * 1000:.1f} ms)"
@@ -112,48 +138,76 @@ class ToolReport:
 class Validator:
     """One-call validation of a schema under configurable settings.
 
-    With ``settings.incremental`` (the default) the validator keeps an
-    :class:`IncrementalEngine` attached to the last-validated schema object:
+    With ``settings.incremental`` (the default) the validator keeps one
+    :class:`IncrementalEngine` attached to the last-validated schema
+    object, configured with exactly the enabled analysis families:
     repeatedly validating the *same* (mutating) schema — the
     :class:`repro.tool.session.ModelingSession` loop — only pays for the
-    edits made since the previous call.  Validating a different schema
-    object, or changing the enabled pattern set, transparently rebuilds the
-    engine.
+    edits made since the previous call, for patterns, advisories,
+    formation rules and propagation alike.  Validating a different schema
+    object, or changing any setting, transparently rebuilds the engine.
     """
 
     def __init__(self, settings: ValidatorSettings | None = None) -> None:
         self.settings = settings or ValidatorSettings()
         self._incremental: IncrementalEngine | None = None
+        self._engine_key: tuple | None = None
 
     def validate(self, schema: Schema) -> ToolReport:
         """Run every enabled analysis over ``schema``."""
         started = time.perf_counter()
-        enabled = tuple(self.settings.enabled_ids())
-        pattern_report = self._pattern_report(schema, enabled)
-        advisories = (
-            check_wellformedness(schema) if self.settings.wellformedness else []
+        if self.settings.incremental:
+            report = self._validate_incremental(schema)
+        else:
+            self._incremental = None
+            self._engine_key = None
+            report = self._validate_from_scratch(schema)
+        report.elapsed_seconds = time.perf_counter() - started
+        return report
+
+    def _validate_incremental(self, schema: Schema) -> ToolReport:
+        engine = self._engine_for(schema)
+        settings = self.settings
+        return ToolReport(
+            schema_name=schema.metadata.name,
+            pattern_report=engine.report(),
+            advisories=engine.advisories() if settings.wellformedness else [],
+            rule_findings=engine.rule_findings() if settings.formation_rules else [],
+            propagation=engine.propagation() if settings.propagation else None,
         )
-        rule_findings = (
-            check_formation_rules(schema) if self.settings.formation_rules else []
+
+    def _validate_from_scratch(self, schema: Schema) -> ToolReport:
+        settings = self.settings
+        pattern_report = PatternEngine(enabled=tuple(settings.enabled_ids())).check(
+            schema
         )
-        elapsed = time.perf_counter() - started
         return ToolReport(
             schema_name=schema.metadata.name,
             pattern_report=pattern_report,
-            advisories=advisories,
-            rule_findings=rule_findings,
-            elapsed_seconds=elapsed,
+            advisories=check_wellformedness(schema) if settings.wellformedness else [],
+            rule_findings=(
+                check_formation_rules(schema) if settings.formation_rules else []
+            ),
+            propagation=(
+                propagate(schema, pattern_report) if settings.propagation else None
+            ),
         )
 
-    def _pattern_report(
-        self, schema: Schema, enabled: tuple[str, ...]
-    ) -> ValidationReport:
-        if not self.settings.incremental:
-            self._incremental = None
-            return PatternEngine(enabled=enabled).check(schema)
+    def _engine_for(self, schema: Schema) -> IncrementalEngine:
+        """The engine attached to ``schema`` under the current settings,
+        rebuilt when the schema object or any toggle changed."""
+        key = self.settings.family_key()
         engine = self._incremental
-        if engine is None or engine.schema is not schema or engine.enabled_ids != enabled:
-            engine = IncrementalEngine(schema, enabled=enabled)
+        if engine is None or engine.schema is not schema or self._engine_key != key:
+            engine = IncrementalEngine(
+                schema,
+                enabled=tuple(self.settings.enabled_ids()),
+                advisories=self.settings.wellformedness,
+                formation_rules=self.settings.formation_rules,
+                propagation=self.settings.propagation,
+            )
             self._incremental = engine
-            return engine.report()
-        return engine.refresh()
+            self._engine_key = key
+            return engine
+        engine.refresh()
+        return engine

@@ -328,12 +328,17 @@ EXPECTATIONS: dict[str, FigureExpectation] = {
         figure="5", patterns=("P4",), unsat_roles=("r1",), extra_unsat_ok=("r2",)
     ),
     "fig6_value_exclusion_frequency": FigureExpectation(
-        figure="6", patterns=("P5",), unsat_roles=()
+        # P5 flags r1/r3 *jointly* (no single role is individually empty,
+        # hence unsat_roles=()); the report still lists them.
+        figure="6", patterns=("P5",), unsat_roles=(), extra_unsat_ok=("r1", "r3")
     ),
     "fig6_without_value": FigureExpectation(figure="6", patterns=()),
     "fig6_without_exclusion": FigureExpectation(figure="6", patterns=()),
     "fig6_without_frequency": FigureExpectation(figure="6", patterns=()),
-    "fig7_value_exclusion": FigureExpectation(figure="7", patterns=("P5",)),
+    "fig7_value_exclusion": FigureExpectation(
+        # as with Fig. 6: P5's verdict is joint, not per-role
+        figure="7", patterns=("P5",), extra_unsat_ok=("r1", "r3", "r5")
+    ),
     "fig8_exclusion_subset": FigureExpectation(
         figure="8", patterns=("P6",), unsat_roles=("r1", "r2")
     ),

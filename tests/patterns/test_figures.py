@@ -37,6 +37,7 @@ def test_expected_elements_flagged(name):
         expectation.extra_unsat_ok
     )
     # No figure flags roles beyond the paper's list (plus documented extras).
+    assert not unexpected, report.messages()
     if not expectation.patterns:
         assert not flagged_roles and not flagged_types
 

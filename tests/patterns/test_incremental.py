@@ -1,19 +1,27 @@
 """Incremental-vs-full equivalence for the dependency-indexed engine.
 
 The contract under test (see :mod:`repro.patterns.incremental`): after any
-sequence of schema edits — additions *and* removals — the cumulative report
-of :class:`IncrementalEngine` equals a from-scratch
-:meth:`PatternEngine.check` as a multiset of violations, including the
-retraction of violations whose anchor elements were touched or deleted.
+sequence of schema edits — additions *and* removals — the cumulative state
+of :class:`IncrementalEngine` equals the corresponding from-scratch
+analysis for **every family**: the pattern report equals
+:meth:`PatternEngine.check` as a multiset of violations, the advisory and
+formation-rule stores equal :func:`check_wellformedness` /
+:func:`check_formation_rules`, and the maintained propagation fixpoint
+equals :func:`propagate` — including the retraction of findings whose
+anchor elements were touched or deleted.
 """
 
+import gc
 import random
 from collections import Counter
 
 import pytest
 
+from repro.exceptions import SchemaError
 from repro.orm.schema import Schema
-from repro.patterns import IncrementalEngine, PatternEngine
+from repro.orm.wellformed import check_wellformedness
+from repro.patterns import IncrementalEngine, PatternEngine, check_formation_rules
+from repro.patterns.propagation import propagate
 from repro.workloads.figures import build_figure
 from repro.workloads.generator import (
     GeneratorConfig,
@@ -28,6 +36,30 @@ def assert_reports_match(incremental, full, context=""):
     assert incremental.is_satisfiable == full.is_satisfiable
     assert set(incremental.unsatisfiable_roles()) == set(full.unsatisfiable_roles())
     assert set(incremental.unsatisfiable_types()) == set(full.unsatisfiable_types())
+
+
+def assert_families_match(engine, schema, full_report, context=""):
+    """Advisories, rule findings and propagation equal from-scratch runs."""
+    assert Counter(engine.advisories()) == Counter(check_wellformedness(schema)), context
+    assert Counter(engine.rule_findings()) == Counter(
+        check_formation_rules(schema)
+    ), context
+    incremental = engine.propagation()
+    full = propagate(schema, full_report)
+    assert incremental.direct_roles == full.direct_roles, context
+    assert incremental.direct_types == full.direct_types, context
+    assert incremental.all_unsat_roles() == full.all_unsat_roles(), context
+    assert incremental.all_unsat_types() == full.all_unsat_types(), context
+
+
+def all_families_engine(schema, **kwargs):
+    return IncrementalEngine(
+        schema,
+        advisories=True,
+        formation_rules=True,
+        propagation=True,
+        **kwargs,
+    )
 
 
 class TestRandomEditScripts:
@@ -200,3 +232,190 @@ class TestEngineBehavior:
             engine.refresh()
         replay = IncrementalEngine(schema, include_extensions=True)
         assert engine.report().violations == replay.report().violations
+
+
+class TestUnifiedFamilies:
+    """The advisory, formation-rule and propagation families ride the same
+    scope/dirty-set machinery as the patterns and must stay exactly
+    equivalent to their from-scratch analyses after every edit."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_equivalence_after_every_step(self, seed):
+        rng = random.Random(seed)
+        schema = generate_schema(GeneratorConfig(num_types=6, num_facts=5, seed=seed))
+        engine = all_families_engine(schema, include_extensions=True)
+        full = PatternEngine(include_extensions=True)
+        assert_families_match(engine, schema, full.check(schema), "initial")
+        for step in range(40):
+            action = apply_random_edit(schema, rng)
+            report = engine.refresh()
+            reference = full.check(schema)
+            context = f"seed {seed} step {step}: {action}"
+            assert_reports_match(report, reference, context)
+            assert_families_match(engine, schema, reference, context)
+
+    def test_advisory_retraction_on_deletion(self):
+        schema = Schema("w07-retract")
+        schema.add_entity_type("Lonely")
+        schema.add_entity_type("Busy")
+        engine = all_families_engine(schema)
+        assert {a.code for a in engine.advisories()} == {"W07"}
+        schema.add_fact_type("f", "r1", "Lonely", "r2", "Busy")
+        engine.refresh()
+        assert engine.advisories() == []  # both types now play roles
+        schema.remove_fact_type("f")
+        engine.refresh()
+        assert {a.elements for a in engine.advisories()} == {("Lonely",), ("Busy",)}
+
+    def test_rule_finding_retraction_on_deletion(self):
+        schema = Schema("fr1-retract")
+        schema.add_entity_type("A")
+        schema.add_entity_type("B")
+        schema.add_fact_type("f", "r1", "A", "r2", "B")
+        engine = all_families_engine(schema)
+        assert engine.rule_findings() == []
+        schema.add_frequency("r1", 1, 1, label="fc")
+        engine.refresh()
+        assert [f.rule_id for f in engine.rule_findings()] == ["FR1"]
+        schema.remove_constraint("fc")
+        engine.refresh()
+        assert engine.rule_findings() == []
+
+    def test_rule_depends_on_co_referencing_constraint(self):
+        # FR3's verdict lives on the frequency site but depends on a
+        # uniqueness over the same roles; adding/removing the uniqueness
+        # must dirty the frequency site through the co-reference closure.
+        schema = Schema("fr3-coref")
+        schema.add_entity_type("A")
+        schema.add_entity_type("B")
+        schema.add_fact_type("f", "r1", "A", "r2", "B")
+        schema.add_frequency("r1", 2, 5, label="fc")
+        engine = all_families_engine(schema)
+        assert "FR3" not in {f.rule_id for f in engine.rule_findings()}
+        schema.add_uniqueness("r1", label="u")
+        engine.refresh()
+        assert "FR3" in {f.rule_id for f in engine.rule_findings()}
+        schema.remove_constraint("u")
+        engine.refresh()
+        assert "FR3" not in {f.rule_id for f in engine.rule_findings()}
+
+    def test_propagation_retracts_with_its_seed(self):
+        schema = Schema("prop-retract")
+        schema.add_entity_type("A")
+        schema.add_entity_type("B", values=["b1"])
+        schema.add_entity_type("Sub")
+        schema.add_fact_type("f", "r1", "A", "r2", "B")
+        schema.add_subtype("Sub", "A")
+        schema.add_fact_type("g", "r3", "Sub", "r4", "B")
+        schema.add_mandatory("r1", label="m")
+        engine = all_families_engine(schema)
+        assert engine.propagation().all_unsat_roles() == set()
+        schema.add_frequency("r1", 3, None, label="fc")  # P4: pool of 1
+        engine.refresh()
+        blast = engine.propagation()
+        # seed r1/r2; mandatory r1 dooms A, hence Sub, hence r3/r4
+        assert blast.all_unsat_types() == {"A", "Sub"}
+        assert blast.all_unsat_roles() == {"r1", "r2", "r3", "r4"}
+        schema.remove_constraint("fc")
+        engine.refresh()
+        empty = engine.propagation()
+        assert empty.all_unsat_roles() == set()
+        assert empty.all_unsat_types() == set()
+
+    def test_propagation_follows_setpath_component_edits(self):
+        schema = Schema("prop-setpath")
+        for name in ("A", "B"):
+            schema.add_entity_type(name)
+        schema.add_entity_type("V", values=["v1"])
+        schema.add_fact_type("f", "r1", "A", "r2", "V")
+        schema.add_fact_type("g", "r3", "A", "r4", "B")
+        schema.add_frequency("r1", 2, None, label="fc")  # P4 dooms r1/r2
+        engine = all_families_engine(schema)
+        assert engine.propagation().all_unsat_roles() == {"r1", "r2"}
+        schema.add_subset("r3", "r1", label="sp")  # path into the doomed role
+        engine.refresh()
+        # r3 empties via the path, and with it its partner r4
+        assert engine.propagation().all_unsat_roles() == {"r1", "r2", "r3", "r4"}
+        schema.remove_constraint("sp")
+        engine.refresh()
+        assert engine.propagation().all_unsat_roles() == {"r1", "r2"}
+
+    def test_validator_settings_drive_the_families(self):
+        from repro.tool import Validator, ValidatorSettings
+
+        schema = Schema("settings")
+        schema.add_entity_type("Lonely")
+        settings = ValidatorSettings(formation_rules=True, propagation=True)
+        validator = Validator(settings)
+        report = validator.validate(schema)
+        assert {a.code for a in report.advisories} == {"W07"}
+        assert report.propagation is not None
+        # same validator, same schema object: incremental path with families
+        schema.add_entity_type("Other")
+        report = validator.validate(schema)
+        assert {a.elements for a in report.advisories} == {("Lonely",), ("Other",)}
+
+
+class TestJournalCheckpoint:
+    def test_refreshed_engine_lets_the_journal_truncate(self):
+        schema = Schema("truncate")
+        engine = IncrementalEngine(schema)
+        for index in range(300):
+            schema.add_entity_type(f"T{index}")
+            engine.refresh()
+        assert schema.journal_size == 300
+        assert schema.journal_retained < 300  # checkpointing kicked in
+
+    def test_lagging_consumer_pins_the_journal(self):
+        schema = Schema("pinned")
+        fast = IncrementalEngine(schema)
+        slow = IncrementalEngine(schema)
+        for index in range(200):
+            schema.add_entity_type(f"T{index}")
+            fast.refresh()
+        # `slow` has not drained: nothing below its mark may be dropped
+        assert schema.journal_low_water() == slow.journal_mark == 0
+        assert schema.journal_retained == 200
+        slow.refresh()  # draining auto-compacts past the threshold
+        assert schema.journal_retained == 0
+        assert schema.journal_size == 200  # marks stay monotonically valid
+
+    def test_dead_consumers_do_not_pin(self):
+        schema = Schema("gc")
+        keep = IncrementalEngine(schema)
+        dead = IncrementalEngine(schema)
+        for index in range(50):
+            schema.add_entity_type(f"T{index}")
+        keep.refresh()
+        assert schema.journal_low_water() == 0  # dead still registered...
+        del dead
+        gc.collect()
+        assert schema.journal_low_water() == 50  # ...until collected
+        assert schema.compact_journal() == 50
+
+    def test_changes_since_truncated_mark_raises(self):
+        schema = Schema("raises")
+        engine = IncrementalEngine(schema)
+        for index in range(10):
+            schema.add_entity_type(f"T{index}")
+        engine.refresh()
+        schema.compact_journal()
+        with pytest.raises(SchemaError):
+            schema.changes_since(0)
+        assert schema.changes_since(10) == ()
+
+    def test_refresh_correct_across_truncation(self):
+        # An engine that drains in batches over a truncating journal must
+        # still converge to the from-scratch report every time.
+        rng = random.Random(42)
+        schema = generate_schema(GeneratorConfig(num_types=5, num_facts=4, seed=42))
+        engine = all_families_engine(schema, include_extensions=True)
+        full = PatternEngine(include_extensions=True)
+        for batch in range(30):
+            for _ in range(6):
+                apply_random_edit(schema, rng)
+            report = engine.refresh()
+            schema.compact_journal()
+            reference = full.check(schema)
+            assert_reports_match(report, reference, f"batch {batch}")
+            assert_families_match(engine, schema, reference, f"batch {batch}")

@@ -1,7 +1,6 @@
 """Unit tests for the population constraint checker — the ground-truth
 semantics of the reproduction."""
 
-import pytest
 
 from repro.orm import SchemaBuilder
 from repro.population import (

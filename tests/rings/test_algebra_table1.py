@@ -2,7 +2,6 @@
 
 import itertools
 
-import pytest
 
 from repro.orm import RingKind as K
 from repro.rings import (

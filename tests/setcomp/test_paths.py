@@ -1,7 +1,7 @@
 """Unit tests for the SetPath implication graph (paper Fig. 9)."""
 
 from repro.orm import SchemaBuilder
-from repro.setcomp import SetPathGraph
+from repro.setcomp import SetPathComponents, SetPathGraph
 
 
 def schema_with_three_parallel_facts():
@@ -114,3 +114,50 @@ class TestIntrospection:
         graph.add_subset(("r1",), ("r3",), "s1")
         graph.add_subset(("r1",), ("r3",), "s1")
         assert len(graph.direct_edges()) == 1
+
+
+class TestComponents:
+    """The role-level connected-component index the incremental engine
+    uses to localize set-comparison dirtiness."""
+
+    def test_constraints_union_their_roles(self):
+        schema = schema_with_three_parallel_facts()
+        schema.add_subset("r1", "r3")
+        index = SetPathComponents.from_schema(schema)
+        assert index.component_of("r1") == index.component_of("r3")
+        assert index.component_of("r5") is None  # unreferenced role
+        assert index.members_of(["r1"]) == {"r1", "r3"}
+
+    def test_predicate_constraints_union_all_four_roles(self):
+        schema = schema_with_three_parallel_facts()
+        schema.add_subset(("r1", "r2"), ("r3", "r4"))
+        index = SetPathComponents.from_schema(schema)
+        assert index.members_of(["r2"]) == {"r1", "r2", "r3", "r4"}
+
+    def test_disjoint_components_stay_apart(self):
+        schema = schema_with_three_parallel_facts()
+        schema.add_subset("r1", "r3")
+        schema.add_equality("r5", "r6")
+        index = SetPathComponents.from_schema(schema)
+        assert not index.same_component(["r1"], ["r5"])
+        assert index.same_component(["r5"], ["r6"])
+        assert index.members_of(["r1", "r5"]) == {"r1", "r3", "r5", "r6"}
+
+    def test_chains_merge_components(self):
+        schema = schema_with_three_parallel_facts()
+        schema.add_subset("r1", "r3")
+        schema.add_subset("r3", "r5")
+        index = SetPathComponents.from_schema(schema)
+        assert index.members_of(["r1"]) == {"r1", "r3", "r5"}
+        assert index.same_component(["r1"], ["r5"])
+
+    def test_path_existence_implies_same_component(self):
+        schema = schema_with_three_parallel_facts()
+        schema.add_subset(("r1", "r2"), ("r3", "r4"))
+        schema.add_equality(("r3", "r4"), ("r5", "r6"))
+        graph = SetPathGraph.from_schema(schema)
+        index = SetPathComponents.from_schema(schema)
+        for source in (("r1",), ("r1", "r2")):
+            for target in (("r5",), ("r5", "r6")):
+                if graph.subset_holds(source, target):
+                    assert index.same_component(source, target)

@@ -79,3 +79,45 @@ class TestOptions:
         main([str(unsat_file), "--format", "json", "--complete", "2"])
         payload = json.loads(capsys.readouterr().out)
         assert payload["complete_check"]["status"] in ("sat", "unsat", "unknown")
+
+
+class TestAnalysisToggles:
+    """The Fig. 15 analysis-family toggles, reachable from the CLI."""
+
+    @pytest.fixture
+    def lonely_file(self, tmp_path):
+        from repro.orm import SchemaBuilder
+
+        path = tmp_path / "lonely.orm"
+        path.write_text(write_schema(SchemaBuilder().entities("Lonely").build()))
+        return path
+
+    def test_advisories_run_by_default(self, lonely_file, capsys):
+        assert main([str(lonely_file)]) == 0
+        assert "W07" in capsys.readouterr().out
+
+    def test_no_advisories_silences_them(self, lonely_file, capsys):
+        assert main([str(lonely_file), "--no-advisories"]) == 0
+        assert "W07" not in capsys.readouterr().out
+
+    def test_no_wellformedness_alias_still_works(self, lonely_file, capsys):
+        assert main([str(lonely_file), "--no-wellformedness"]) == 0
+        assert "W07" not in capsys.readouterr().out
+
+    def test_no_incremental_agrees_with_default(self, unsat_file, capsys):
+        assert main([str(unsat_file)]) == 1
+        default_out = capsys.readouterr().out
+        assert main([str(unsat_file), "--no-incremental"]) == 1
+        from_scratch_out = capsys.readouterr().out
+        assert ("PhDStudent" in default_out) and ("PhDStudent" in from_scratch_out)
+        assert default_out.count("[P2]") == from_scratch_out.count("[P2]")
+
+    def test_formation_rules_with_no_incremental(self, tmp_path, capsys):
+        path = tmp_path / "fig14.orm"
+        path.write_text(write_schema(build_figure("fig14_rule6_satisfiable")))
+        main([str(path), "--formation-rules", "--no-incremental"])
+        assert "FR6" in capsys.readouterr().out
+
+    def test_propagate_reports_through_settings(self, unsat_file, capsys):
+        main([str(unsat_file), "--propagate"])
+        assert "Propagation:" in capsys.readouterr().out
