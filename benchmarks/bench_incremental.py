@@ -62,29 +62,44 @@ def _sample_edit_cost(session: ModelingSession, prefix: str, rounds: int = 10) -
     return times[len(times) // 2] * 1000
 
 
+def merge_bench_json(updates: dict) -> None:
+    """Update top-level keys of ``BENCH_incremental.json`` in place.
+
+    The file is shared between benchmark modules (this one owns the
+    single-session series, ``bench_service.py`` owns the ``multi_session``
+    section), so writers merge instead of overwriting each other.
+    """
+    payload = {}
+    if BENCH_JSON.exists():
+        payload = json.loads(BENCH_JSON.read_text())
+    payload.update(updates)
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+
 def _write_bench_json() -> None:
     speedups = {}
     for size in SESSION_SIZES:
         full_ms = _SERIES[(size, False)]
         incr_ms = _SERIES[(size, True)]
         speedups[str(size)] = full_ms / incr_ms if incr_ms else float("inf")
-    payload = {
-        "benchmark": "incremental_edit_cost",
-        "description": (
-            "Median per-edit Validator.validate cost (ms) on a grown "
-            "ModelingSession, all analysis families enabled (patterns, "
-            "advisories, formation rules, propagation)."
-        ),
-        "sizes": list(SESSION_SIZES),
-        "per_edit_ms": {
-            "full": {str(size): _SERIES[(size, False)] for size in SESSION_SIZES},
-            "incremental": {
-                str(size): _SERIES[(size, True)] for size in SESSION_SIZES
+    merge_bench_json(
+        {
+            "benchmark": "incremental_edit_cost",
+            "description": (
+                "Median per-edit Validator.validate cost (ms) on a grown "
+                "ModelingSession, all analysis families enabled (patterns, "
+                "advisories, formation rules, propagation)."
+            ),
+            "sizes": list(SESSION_SIZES),
+            "per_edit_ms": {
+                "full": {str(size): _SERIES[(size, False)] for size in SESSION_SIZES},
+                "incremental": {
+                    str(size): _SERIES[(size, True)] for size in SESSION_SIZES
+                },
             },
-        },
-        "speedup": speedups,
-    }
-    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+            "speedup": speedups,
+        }
+    )
 
 
 @pytest.mark.parametrize("num_facts", SESSION_SIZES)

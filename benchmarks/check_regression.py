@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""CI gate over ``BENCH_incremental.json``: fail when the perf bars break.
+
+Bars (see ROADMAP.md):
+
+* the 80-fact incremental speedup must stay >= 3x over from-scratch
+  revalidation (the PR 1/2 regression bar);
+* when the ``multi_session`` section is present, batched drains must not
+  be slower than per-edit validation at any measured session count.
+
+Run after the benchmarks regenerate the JSON::
+
+    PYTHONPATH=src python -m pytest -q benchmarks/bench_incremental.py benchmarks/bench_service.py
+    python benchmarks/check_regression.py
+"""
+
+import json
+import sys
+from pathlib import Path
+
+SPEEDUP_BAR = 3.0
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_incremental.json"
+
+
+def main() -> int:
+    data = json.loads(BENCH_JSON.read_text())
+    failed = False
+
+    speedup = data["speedup"]["80"]
+    ok = speedup >= SPEEDUP_BAR
+    failed |= not ok
+    print(
+        f"80-fact incremental speedup: {speedup:.2f}x "
+        f"(bar: >= {SPEEDUP_BAR:.0f}x) -> {'OK' if ok else 'FAIL'}"
+    )
+
+    multi = data.get("multi_session")
+    if multi is None:
+        print("multi_session section: absent (run benchmarks/bench_service.py)")
+    else:
+        for count, ratio in sorted(
+            multi["batch_speedup"].items(), key=lambda item: int(item[0])
+        ):
+            ok = ratio >= 0.8
+            failed |= not ok
+            batched = multi["edits_per_sec"]["batched"][count]
+            print(
+                f"{count} sessions: batched {batched:,.0f} edits/s, "
+                f"{ratio:.2f}x vs per-edit -> {'OK' if ok else 'FAIL'}"
+            )
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -89,6 +89,7 @@ def __getattr__(name: str):
         "write_schema": ("repro.io", "write_schema"),
         "Validator": ("repro.tool", "Validator"),
         "ValidatorSettings": ("repro.tool", "ValidatorSettings"),
+        "ValidationService": ("repro.server", "ValidationService"),
     }
     if name in lazy:
         import importlib

@@ -125,6 +125,9 @@ class Schema:
         self._constraints_by_class: dict[type, list[AnyConstraint]] = {}
         self._constraints_by_role: dict[str, list[AnyConstraint]] = {}
         self._constraints_by_type: dict[str, list[AnyConstraint]] = {}
+        # per-type rollup: player type -> constraints referencing any role of
+        # any fact the type plays in (CheckScope.candidate_constraints)
+        self._constraints_by_fact_player: dict[str, list[AnyConstraint]] = {}
         self._roles_by_player: dict[str, list[Role]] = {}
         self._direct_supers: dict[str, list[str]] = {}
         self._direct_subs: dict[str, list[str]] = {}
@@ -236,16 +239,25 @@ class Schema:
     def add_constraint(self, constraint: AnyConstraint) -> AnyConstraint:
         """Add any constraint object after validating its references.
 
-        Labels are schema-unique: omitted ones are generated, and supplying
-        a label that is already taken raises :class:`DuplicateNameError`.
+        Labels are schema-unique and never empty: omitted ones are
+        generated, supplying a label that is already taken raises
+        :class:`DuplicateNameError`, and supplying an empty one raises
+        :class:`SchemaError`.  Downstream consumers (the incremental
+        engine's dirty-set bookkeeping, :meth:`remove_constraint`) key on
+        the label and rely on this invariant.
         """
         validated = self._with_label(constraint)
+        if not validated.label:
+            raise SchemaError(
+                "constraint labels must be non-empty strings; omit the label "
+                "to have one generated"
+            )
         if validated.label in self._constraints_by_label:
             raise DuplicateNameError("constraint label", validated.label)
         self._validate_constraint(validated)
         self._constraints.append(validated)
         self._index_constraint(validated)
-        self._record("add", "constraint", validated.label or "", validated)
+        self._record("add", "constraint", validated.label, validated)
         return validated
 
     def add_mandatory(self, *roles: str, label: str | None = None) -> MandatoryConstraint:
@@ -328,7 +340,7 @@ class Schema:
 
     def remove_constraint(self, constraint: AnyConstraint | str) -> AnyConstraint:
         """Remove a constraint (by object or label); returns the removed one."""
-        label = constraint if isinstance(constraint, str) else (constraint.label or "")
+        label = constraint if isinstance(constraint, str) else constraint.label
         found = self._constraints_by_label.get(label)
         if found is None:
             raise UnknownElementError("constraint", label)
@@ -382,6 +394,7 @@ class Schema:
                 self.remove_constraint(constraint)
         del self._object_types[name]
         self._roles_by_player.pop(name, None)
+        self._constraints_by_fact_player.pop(name, None)  # emptied by the cascade
         self._record("remove", "object_type", name, object_type)
         return object_type
 
@@ -572,6 +585,18 @@ class Schema:
     def constraints_referencing_type(self, type_name: str) -> list[AnyConstraint]:
         """Constraints referencing the object type *directly* (exclusive-"X")."""
         return list(self._constraints_by_type.get(type_name, []))
+
+    def constraints_on_type_facts(self, type_name: str) -> list[AnyConstraint]:
+        """Constraints referencing any role of any fact the type plays in.
+
+        This is the per-type rollup behind
+        :meth:`repro.patterns.incremental.CheckScope.candidate_constraints`:
+        when a type's subtype environment moves, every constraint whose
+        verdict may depend on that environment is here in O(answer) —
+        without re-walking the type's roles, facts and partner roles on
+        every refresh (wide hub types made that walk the dominant cost).
+        """
+        return list(self._constraints_by_fact_player.get(type_name, []))
 
     # ------------------------------------------------------------------
     # navigation
@@ -777,6 +802,10 @@ class Schema:
         copy._constraints_by_type = {
             name: list(bucket) for name, bucket in self._constraints_by_type.items()
         }
+        copy._constraints_by_fact_player = {
+            name: list(bucket)
+            for name, bucket in self._constraints_by_fact_player.items()
+        }
         copy._roles_by_player = {
             name: list(bucket) for name, bucket in self._roles_by_player.items()
         }
@@ -827,16 +856,37 @@ class Schema:
         return type(constraint)(**{**constraint.__dict__, "label": label})
 
     def _index_constraint(self, constraint: AnyConstraint) -> None:
-        self._constraints_by_label[constraint.label or ""] = constraint
+        self._constraints_by_label[constraint.label] = constraint
         self._constraints_by_class.setdefault(type(constraint), []).append(constraint)
         for role_name in constraint.referenced_roles():
             self._constraints_by_role.setdefault(role_name, []).append(constraint)
         for type_name in constraint.referenced_types():
             self._constraints_by_type.setdefault(type_name, []).append(constraint)
+        for player in self._rollup_players(constraint):
+            self._constraints_by_fact_player.setdefault(player, []).append(constraint)
         if isinstance(constraint, MandatoryConstraint) and not constraint.is_disjunctive:
             role_name = constraint.roles[0]
             count = self._simple_mandatory_counts.get(role_name, 0)
             self._simple_mandatory_counts[role_name] = count + 1
+
+    def _rollup_players(self, constraint: AnyConstraint) -> set[str]:
+        """Players of any role of any fact type the constraint references.
+
+        The referenced roles, their owning facts and those facts' players
+        are all immutable once linked (and facts only vanish after their
+        constraints cascade away), so the rollup never needs repair from
+        fact or subtype mutations.
+        """
+        players: set[str] = set()
+        seen_facts: set[str] = set()
+        for role_name in constraint.referenced_roles():
+            role = self._roles.get(role_name)
+            if role is None or role.fact_type in seen_facts:
+                continue
+            seen_facts.add(role.fact_type)
+            for fact_role in self._fact_types[role.fact_type].roles:
+                players.add(fact_role.player)
+        return players
 
     def _unindex_constraint(self, constraint: AnyConstraint) -> None:
         self._constraints_by_class.get(type(constraint), []).remove(constraint)
@@ -846,6 +896,10 @@ class Schema:
                 bucket.remove(constraint)
         for type_name in constraint.referenced_types():
             bucket = self._constraints_by_type.get(type_name, [])
+            if constraint in bucket:
+                bucket.remove(constraint)
+        for player in self._rollup_players(constraint):
+            bucket = self._constraints_by_fact_player.get(player, [])
             if constraint in bucket:
                 bucket.remove(constraint)
         if isinstance(constraint, MandatoryConstraint) and not constraint.is_disjunctive:

@@ -327,20 +327,48 @@ class FrequencyVsCardinalityCheck(ConstraintSitePattern):
         ]
 
 
-def _graph_without(schema: Schema, excluded: object) -> SetPathGraph:
-    """The SetPath graph of all set-comparison constraints except one."""
-    graph = SetPathGraph()
-    for other in schema.constraints_of(SubsetConstraint):
-        if other is not excluded:
-            graph.add_subset(other.sub, other.sup, other.label or "subset")
-    for other in schema.constraints_of(EqualityConstraint):
-        if other is not excluded:
-            graph.add_subset(other.first, other.second, other.label or "equality")
-            graph.add_subset(other.second, other.first, other.label or "equality")
-    return graph
+class _SetPathRuleCheck(ConstraintSitePattern):
+    """Base for the RIDL set-comparison rules (S1-S3): build **one**
+    :class:`SetPathGraph` per scoped run and share it across every in-scope
+    site, instead of rebuilding a graph inside the site loop.
+
+    The superfluousness rules (S1/S3) must judge each site against the
+    graph *without* the site's own edges; since constraint labels are
+    unique and non-empty, ``subset_holds(..., exclude_origin=site.label)``
+    prunes exactly those edges during the BFS, so the shared graph serves
+    every site.  A refresh therefore builds at most one graph per rule —
+    and the BFS only ever walks the queried (touched) component — where
+    the previous implementation built one graph per dirty site.
+    """
+
+    def check_scoped(self, schema: Schema, scope=None):
+        sites = list(self.iter_sites(schema, scope))
+        if not sites:
+            return {}
+        # Inside a refresh the graph is shared across every set-comparison
+        # check via the scope; a from-scratch run builds its own.
+        graph = (
+            scope.setpath_graph(schema)
+            if scope is not None
+            else SetPathGraph.from_schema(schema)
+        )
+        results = {}
+        for key, site in sites:
+            found = self._check_with_graph(schema, graph, site)
+            if found:
+                results[key] = tuple(found)
+        return results
+
+    def check_site(self, schema: Schema, site) -> list[RuleFinding]:
+        return self._check_with_graph(schema, SetPathGraph.from_schema(schema), site)
+
+    def _check_with_graph(
+        self, schema: Schema, graph: SetPathGraph, site
+    ) -> list[RuleFinding]:
+        raise NotImplementedError  # pragma: no cover - abstract
 
 
-class SuperfluousSubsetCheck(ConstraintSitePattern):
+class SuperfluousSubsetCheck(_SetPathRuleCheck):
     """RIDL S1: a subset constraint implied by the others is superfluous.
     Interesting style feedback, never an unsatisfiability."""
 
@@ -350,9 +378,10 @@ class SuperfluousSubsetCheck(ConstraintSitePattern):
     constraint_class = SubsetConstraint
     setcomp_sensitive = True
 
-    def check_site(self, schema: Schema, site: SubsetConstraint) -> list[RuleFinding]:
-        graph = _graph_without(schema, site)
-        if not graph.subset_holds(site.sub, site.sup):
+    def _check_with_graph(
+        self, schema: Schema, graph: SetPathGraph, site: SubsetConstraint
+    ) -> list[RuleFinding]:
+        if not graph.subset_holds(site.sub, site.sup, exclude_origin=site.label):
             return []
         return [
             RuleFinding(
@@ -369,7 +398,7 @@ class SuperfluousSubsetCheck(ConstraintSitePattern):
         ]
 
 
-class SuperfluousEqualityCheck(ConstraintSitePattern):
+class SuperfluousEqualityCheck(_SetPathRuleCheck):
     """RIDL S3: an equality constraint implied by the others is superfluous."""
 
     pattern_id = "S3"
@@ -378,11 +407,12 @@ class SuperfluousEqualityCheck(ConstraintSitePattern):
     constraint_class = EqualityConstraint
     setcomp_sensitive = True
 
-    def check_site(self, schema: Schema, site: EqualityConstraint) -> list[RuleFinding]:
-        graph = _graph_without(schema, site)
+    def _check_with_graph(
+        self, schema: Schema, graph: SetPathGraph, site: EqualityConstraint
+    ) -> list[RuleFinding]:
         if not (
-            graph.subset_holds(site.first, site.second)
-            and graph.subset_holds(site.second, site.first)
+            graph.subset_holds(site.first, site.second, exclude_origin=site.label)
+            and graph.subset_holds(site.second, site.first, exclude_origin=site.label)
         ):
             return []
         return [
@@ -399,7 +429,7 @@ class SuperfluousEqualityCheck(ConstraintSitePattern):
         ]
 
 
-class SubsetLoopCheck(ConstraintSitePattern):
+class SubsetLoopCheck(_SetPathRuleCheck):
     """RIDL S2: subset-constraint loops.
 
     Not an unsatisfiability (paper Sec. 3): role subsets are non-strict, so
@@ -413,23 +443,6 @@ class SubsetLoopCheck(ConstraintSitePattern):
     description = "A subset constraint lying on a SetPath loop."
     constraint_class = SubsetConstraint
     setcomp_sensitive = True
-
-    def check_scoped(self, schema: Schema, scope=None):
-        # Build the SetPath graph once per run and share it across the
-        # (in-scope) sites, mirroring Pattern 6.
-        sites = list(self.iter_sites(schema, scope))
-        if not sites:
-            return {}
-        graph = SetPathGraph.from_schema(schema)
-        results = {}
-        for key, site in sites:
-            found = self._check_with_graph(schema, graph, site)
-            if found:
-                results[key] = tuple(found)
-        return results
-
-    def check_site(self, schema: Schema, site: SubsetConstraint) -> list[RuleFinding]:
-        return self._check_with_graph(schema, SetPathGraph.from_schema(schema), site)
 
     def _check_with_graph(
         self, schema: Schema, graph: SetPathGraph, site: SubsetConstraint

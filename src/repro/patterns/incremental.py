@@ -59,7 +59,8 @@ schema-insertion order.
 from __future__ import annotations
 
 import time
-from collections.abc import Hashable, Iterable
+from collections.abc import Callable, Iterable, MutableMapping
+from dataclasses import dataclass
 
 from repro.orm.constraints import (
     AnyConstraint,
@@ -69,7 +70,7 @@ from repro.orm.constraints import (
 from repro.orm.schema import Schema, SchemaChange
 from repro.patterns.base import ValidationReport, Violation
 from repro.patterns.engine import PatternEngine
-from repro.setcomp import SetPathComponents
+from repro.setcomp import SetPathComponents, SetPathGraph
 
 
 class CheckScope:
@@ -109,6 +110,7 @@ class CheckScope:
         self.setcomp_roles = setcomp_roles
         self._candidates: list[AnyConstraint] | None = None
         self._setcomp_closure: frozenset[str] | None = None
+        self._setpath_graph: SetPathGraph | None = None
 
     @property
     def setcomp_dirty(self) -> bool:
@@ -146,6 +148,15 @@ class CheckScope:
                 )
         return self._setcomp_closure
 
+    def setpath_graph(self, schema: Schema) -> SetPathGraph:
+        """The SetPath graph of the *current* schema, built lazily and at
+        most once per scope — every set-comparison-sensitive check of a
+        refresh (Pattern 6, RIDL S1-S3) shares this one graph instead of
+        rebuilding it per check (or, worse, per site)."""
+        if self._setpath_graph is None:
+            self._setpath_graph = SetPathGraph.from_schema(schema)
+        return self._setpath_graph
+
     def setcomp_site_dirty(self, schema: Schema, roles: Iterable[str]) -> bool:
         """Did the SetPath environment of a site over ``roles`` change?"""
         if not self.setcomp_roles:
@@ -161,7 +172,11 @@ class CheckScope:
         and (b) constraints referencing a role of a fact played by a
         ``graph_types`` member (their subtype/value-pool environment moved),
         and (c) constraints referencing a dirty type directly (exclusive-X).
-        Cached per scope; deterministic order.
+        Part (b) reads the schema's per-type constraint rollup
+        (:meth:`repro.orm.schema.Schema.constraints_on_type_facts`) instead
+        of re-walking the type's roles, facts and partner roles — on wide
+        hub types that walk dominated refresh cost.  Cached per scope;
+        deterministic order.
         """
         if self._candidates is not None:
             return self._candidates
@@ -179,13 +194,8 @@ class CheckScope:
         for type_name in sorted(self.graph_types):
             for constraint in schema.constraints_referencing_type(type_name):
                 add(constraint)
-            if not schema.has_object_type(type_name):
-                continue
-            for role in schema.roles_played_by(type_name):
-                fact = schema.fact_type(role.fact_type)
-                for role_name in fact.role_names:
-                    for constraint in schema.constraints_referencing_role(role_name):
-                        add(constraint)
+            for constraint in schema.constraints_on_type_facts(type_name):
+                add(constraint)
         self._candidates = out
         return out
 
@@ -244,7 +254,10 @@ def scope_from_changes(
                 member_seeds.add(role.player)
         elif change.kind == "constraint":
             constraint = change.payload
-            labels.add(constraint.label or "")
+            # Labels are schema-generated and never empty (asserted by
+            # Schema.add_constraint), so they key the co-reference closure
+            # without collapsing distinct constraints.
+            labels.add(constraint.label)
             roles.update(constraint.referenced_roles())
             if isinstance(constraint, (SubsetConstraint, EqualityConstraint)):
                 setcomp_roles.update(constraint.referenced_roles())
@@ -262,7 +275,7 @@ def scope_from_changes(
                 roles.add(other)
                 queue.append(other)
         for constraint in schema.constraints_referencing_role(role_name):
-            label = constraint.label or ""
+            label = constraint.label
             if label in labels:
                 continue
             labels.add(label)
@@ -309,6 +322,32 @@ def _vertical_closure(
 JOURNAL_COMPACT_THRESHOLD = 128
 
 
+@dataclass
+class EngineSnapshot:
+    """A suspended :class:`IncrementalEngine`: per-site finding stores plus
+    the journal mark they are valid at.
+
+    Produced by :meth:`IncrementalEngine.suspend` and consumed by
+    :meth:`IncrementalEngine.resume`.  The snapshot *owns* the site stores
+    (the engine hands them over rather than copying), so drop the engine
+    after suspending it.  A snapshot stays resumable for as long as the
+    schema's journal retains the entries after ``mark`` — the suspended
+    engine no longer pins the journal (its weak consumer registration dies
+    with it), so the replay window is only guaranteed while no *other*
+    consumer triggers :meth:`repro.orm.schema.Schema.compact_journal` past
+    the mark; :meth:`IncrementalEngine.resume` raises
+    :class:`repro.exceptions.SchemaError` when the window was truncated and
+    the caller must rebuild from scratch instead.
+    """
+
+    mark: int
+    sites: dict[str, MutableMapping]
+    enabled_ids: tuple[str, ...]
+    advisories: bool
+    formation_rules: bool
+    propagation: bool
+
+
 class IncrementalEngine:
     """A stateful, dependency-indexed engine over every site-based analysis.
 
@@ -338,6 +377,18 @@ class IncrementalEngine:
     consumer and triggers :meth:`repro.orm.schema.Schema.compact_journal`
     after each drain, so long-lived sessions do not accumulate unbounded
     journals.
+
+    Two hooks serve multi-session deployments
+    (:class:`repro.server.ValidationService`):
+
+    * ``store_factory`` chooses the mapping type backing each per-site
+      finding store — e.g. :class:`repro.server.ShardedSiteStore`, which
+      partitions sites by a stable site-key hash so shard refreshes of
+      disjoint shards are independent units of work;
+    * :meth:`suspend` / :meth:`resume` park an idle engine as an
+      :class:`EngineSnapshot` and later resurrect it by replaying only the
+      journal-checkpoint window since its mark (LRU eviction of idle
+      engines without losing incrementality).
     """
 
     def __init__(
@@ -349,6 +400,8 @@ class IncrementalEngine:
         advisories: bool = False,
         formation_rules: bool = False,
         propagation: bool = False,
+        store_factory: Callable[[], MutableMapping] | None = None,
+        _resume_from: EngineSnapshot | None = None,
     ) -> None:
         from repro.patterns.advisories import WELLFORMED_CHECKS
         from repro.patterns.formation_rules import FORMATION_CHECKS
@@ -359,17 +412,91 @@ class IncrementalEngine:
         self._patterns = self._engine.enabled_patterns()
         self._advisory_checks = WELLFORMED_CHECKS if advisories else ()
         self._rule_checks = FORMATION_CHECKS if formation_rules else ()
-        self._sites: dict[str, dict[Hashable, tuple]] = {}
+        self._store_factory: Callable[[], MutableMapping] = store_factory or dict
+        self._wants_propagation = propagation
+        self._propagator = None
+        self._sites: dict[str, MutableMapping] = {}
+        if _resume_from is not None:
+            self._resume_from_snapshot(_resume_from)
+            return
         self._mark = schema.journal_size
         started = time.perf_counter()
         for check in self._analyses():
-            self._sites[check.pattern_id] = dict(check.check_scoped(schema, None))
+            store = self._store_factory()
+            store.update(check.check_scoped(schema, None))
+            self._sites[check.pattern_id] = store
         self._build_outputs(time.perf_counter() - started)
-        self._propagator = None
         if propagation:
             self._propagator = IncrementalPropagator(schema)
             self._propagator.rebuild(self._report)
         schema.attach_journal_consumer(self)
+
+    def _resume_from_snapshot(self, snapshot: EngineSnapshot) -> None:
+        """Adopt a snapshot's stores and replay the journal window after its
+        mark; raises :class:`~repro.exceptions.SchemaError` when truncated."""
+        from repro.patterns.propagation import IncrementalPropagator
+
+        self.schema.changes_since(snapshot.mark)  # probe the replay window
+        expected = {check.pattern_id for check in self._analyses()}
+        if set(snapshot.sites) != expected:
+            raise ValueError(
+                "snapshot was taken under a different analysis configuration "
+                f"({sorted(snapshot.sites)} != {sorted(expected)})"
+            )
+        self._sites = dict(snapshot.sites)
+        self._mark = snapshot.mark
+        self._build_outputs(0.0)
+        self.schema.attach_journal_consumer(self)
+        self.refresh()  # replay the window (propagator not attached yet)
+        if self._wants_propagation:
+            self._propagator = IncrementalPropagator(self.schema)
+            self._propagator.rebuild(self._report)
+
+    def suspend(self) -> EngineSnapshot:
+        """Freeze this engine into an :class:`EngineSnapshot` and hand over
+        its site stores.
+
+        The caller must drop the engine afterwards (its journal-consumer
+        registration is weak, so the schema stops waiting on it) and may
+        later :meth:`resume` — paying only the replay of the journal window
+        between the snapshot's mark and the schema's head instead of a full
+        re-check.  This is what lets a multi-session service keep only its
+        hottest engines live (LRU) without losing incrementality.
+        """
+        return EngineSnapshot(
+            mark=self._mark,
+            sites=self._sites,
+            enabled_ids=self._engine.enabled_ids,
+            advisories=bool(self._advisory_checks),
+            formation_rules=bool(self._rule_checks),
+            propagation=self._wants_propagation,
+        )
+
+    @classmethod
+    def resume(
+        cls,
+        schema: Schema,
+        snapshot: EngineSnapshot,
+        *,
+        store_factory: Callable[[], MutableMapping] | None = None,
+    ) -> "IncrementalEngine":
+        """Resurrect a suspended engine on its schema.
+
+        Replays exactly the journal entries recorded since the snapshot's
+        mark (the checkpoint replay window).  Raises
+        :class:`~repro.exceptions.SchemaError` when the window was
+        truncated by checkpointing — the caller falls back to building a
+        fresh engine.
+        """
+        return cls(
+            schema,
+            enabled=snapshot.enabled_ids,
+            advisories=snapshot.advisories,
+            formation_rules=snapshot.formation_rules,
+            propagation=snapshot.propagation,
+            store_factory=store_factory,
+            _resume_from=snapshot,
+        )
 
     def _analyses(self) -> tuple:
         """Every site-based check this engine maintains, patterns first."""

@@ -52,7 +52,11 @@ class SetComparisonPattern(ConstraintSitePattern):
         sites = list(self.iter_sites(schema, scope))
         if not sites:
             return {}
-        graph = SetPathGraph.from_schema(schema)
+        graph = (
+            scope.setpath_graph(schema)
+            if scope is not None
+            else SetPathGraph.from_schema(schema)
+        )
         results = {}
         for key, constraint in sites:
             found = self._check_constraint(schema, graph, constraint)

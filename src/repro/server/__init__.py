@@ -1,0 +1,30 @@
+"""Multi-session validation service with sharded finding stores.
+
+:class:`ValidationService` owns many named modeling sessions/schemas behind
+one ``open``/``edit``/``report``/``close`` API, drains each schema's change
+journal in **batches** per tick (thread-pool parallel across sessions, a
+lock per schema), shards every engine's per-site finding store by site key
+(:class:`ShardedSiteStore`), and keeps only the hottest engines live —
+idle ones are suspended to journal-mark snapshots and resumed by replaying
+the checkpoint window (see :mod:`repro.server.service` for the contract).
+"""
+
+from repro.server.service import (
+    EDIT_VERBS,
+    DrainStats,
+    ServiceStats,
+    SessionHandle,
+    ValidationService,
+)
+from repro.server.sharding import DEFAULT_SHARDS, ShardedSiteStore, stable_shard_index
+
+__all__ = [
+    "DEFAULT_SHARDS",
+    "DrainStats",
+    "EDIT_VERBS",
+    "ServiceStats",
+    "SessionHandle",
+    "ShardedSiteStore",
+    "ValidationService",
+    "stable_shard_index",
+]

@@ -1,0 +1,527 @@
+"""`ValidationService` — many modeling sessions behind one validation loop.
+
+The paper's Sec. 4 experience report is a *tool* story: validation after
+every edit, for a room full of modelers working concurrently.  PR 1-2 made
+one session flat-cost per edit; this module is the scale-out step — one
+service owning many named sessions/schemas behind a four-verb API
+(:meth:`ValidationService.open` / :meth:`~ValidationService.edit` /
+:meth:`~ValidationService.report` / :meth:`~ValidationService.close`).
+
+**The batched-drain contract.**  Edits applied through the service mutate
+the session's schema (journaling every change) but do **not** validate.
+Validation happens when a session's journal is *drained*: explicitly via
+:meth:`~ValidationService.report`, or for many sessions at once via
+:meth:`~ValidationService.drain` — the service tick.  One drain consumes
+the whole pending journal window in a single
+:meth:`~repro.patterns.incremental.IncrementalEngine.refresh`, so N edits
+between ticks cost one scope computation instead of N.  The report a
+drain produces is **exact**, not approximate: whatever the batching, it
+equals the from-scratch analysis of the current schema as a multiset of
+findings (property-tested in ``tests/server/test_service.py``).
+
+**Parallelism.**  Each session owns a lock; drains of different sessions
+run concurrently on the service's thread pool while a drain of one session
+is serialized with its edits.  Within an engine, the per-site finding
+stores are :class:`~repro.server.sharding.ShardedSiteStore` instances —
+sites are partitioned by a stable site-key hash, so refreshes that touch
+disjoint shards are independent units of work (the natural seam for
+cross-process sharding later).
+
+**Memory.**  Only the ``max_live_engines`` most-recently-used sessions
+keep a live engine; idle engines are *suspended* into
+:class:`~repro.patterns.incremental.EngineSnapshot`\\ s (finding stores +
+journal mark).  A suspended session keeps accepting edits — its journal
+simply grows — and its next drain resumes the engine by replaying exactly
+the journal-checkpoint window since the snapshot's mark, falling back to a
+full rebuild only if the window was truncated.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from collections import OrderedDict
+from collections.abc import Iterable
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.exceptions import SchemaError, UnknownElementError
+from repro.orm.schema import Schema
+from repro.patterns.incremental import EngineSnapshot, IncrementalEngine
+from repro.server.sharding import DEFAULT_SHARDS, ShardedSiteStore
+from repro.tool.validator import ToolReport, ValidatorSettings, report_from_engine
+
+#: Session-style edit verbs accepted by :meth:`ValidationService.edit`,
+#: mapped to the Schema mutator that implements them (the Schema method
+#: names themselves are accepted too).  Arguments follow the Schema
+#: mutator's signature.
+EDIT_VERBS: dict[str, str] = {
+    "add_entity": "add_entity_type",
+    "add_value_type": "add_value_type",
+    "add_subtype": "add_subtype",
+    "add_fact": "add_fact_type",
+    "add_mandatory": "add_mandatory",
+    "add_uniqueness": "add_uniqueness",
+    "add_frequency": "add_frequency",
+    "add_exclusion": "add_exclusion",
+    "add_exclusive_types": "add_exclusive_types",
+    "add_subset": "add_subset",
+    "add_equality": "add_equality",
+    "add_ring": "add_ring",
+    "remove_constraint": "remove_constraint",
+    "remove_subtype": "remove_subtype",
+    "remove_fact": "remove_fact_type",
+    "remove_entity": "remove_object_type",
+}
+
+_SCHEMA_VERBS = frozenset(EDIT_VERBS.values())
+
+
+@dataclass
+class DrainStats:
+    """What one :meth:`ValidationService.drain` tick did."""
+
+    examined: int = 0  # sessions considered
+    drained: int = 0  # sessions that actually consumed changes
+    changes: int = 0  # journal entries consumed across all sessions
+    resumed: int = 0  # engines resurrected from snapshots (window replay)
+    rebuilt: int = 0  # engines rebuilt from scratch
+
+
+@dataclass
+class ServiceStats:
+    """Cumulative service counters (approximate under concurrency)."""
+
+    sessions: int
+    live_engines: int
+    suspended_engines: int
+    edits: int
+    drains: int
+    changes_drained: int
+    evictions: int
+    resumes: int
+    rebuilds: int
+
+
+class _SessionState:
+    """One session's mutable state; every access goes through ``lock``."""
+
+    __slots__ = (
+        "name",
+        "schema",
+        "settings",
+        "lock",
+        "engine",
+        "engine_key",
+        "snapshot",
+        "edits",
+    )
+
+    def __init__(self, name: str, schema: Schema, settings: ValidatorSettings) -> None:
+        self.name = name
+        self.schema = schema
+        self.settings = settings
+        self.lock = threading.Lock()
+        self.engine: IncrementalEngine | None = None
+        self.engine_key: tuple | None = None  # settings.family_key() at build
+        self.snapshot: EngineSnapshot | None = None
+        self.edits = 0
+
+    def pending_changes(self) -> int:
+        """Journal entries recorded since the session's engine last drained."""
+        if self.engine is not None:
+            return self.schema.journal_size - self.engine.journal_mark
+        if self.snapshot is not None:
+            return self.schema.journal_size - self.snapshot.mark
+        return self.schema.journal_size  # engine never built: everything pends
+
+
+class SessionHandle:
+    """Public facade of one open session.
+
+    ``schema`` is the live schema object — direct mutation is fine from a
+    single thread (the journal records everything, and the next drain picks
+    it up); concurrent writers must go through :meth:`edit`, which takes
+    the session lock and so serializes with drains of the same session.
+    """
+
+    def __init__(self, service: "ValidationService", state: _SessionState) -> None:
+        self._service = service
+        self._state = state
+
+    @property
+    def name(self) -> str:
+        return self._state.name
+
+    @property
+    def schema(self) -> Schema:
+        return self._state.schema
+
+    @property
+    def settings(self) -> ValidatorSettings:
+        return self._state.settings
+
+    @property
+    def pending_changes(self) -> int:
+        """Journal entries not yet reflected in the session's findings."""
+        return self._state.pending_changes()
+
+    def edit(self, verb: str, *args, **kwargs):
+        """Apply one edit (no validation; see the batched-drain contract)."""
+        return self._service.edit(self.name, verb, *args, **kwargs)
+
+    def report(self) -> ToolReport:
+        """Drain this session and return its current report."""
+        return self._service.report(self.name)
+
+    def close(self) -> ToolReport:
+        """Close this session, returning its final report."""
+        return self._service.close(self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SessionHandle({self.name!r}, pending={self.pending_changes})"
+
+
+class ValidationService:
+    """Many named modeling sessions behind one batched validation loop.
+
+    Parameters
+    ----------
+    settings:
+        Default :class:`ValidatorSettings` profile for sessions opened
+        without their own (deep-copied per session, so later per-session
+        toggling stays isolated).
+    max_live_engines:
+        LRU capacity for live engines.  Sessions beyond it are suspended
+        (finding stores + journal mark) and resumed on their next drain by
+        replaying the journal window.  Eviction is best-effort: a session
+        whose lock is busy is skipped (it is hot by definition).
+    max_workers:
+        Thread-pool width for :meth:`drain`.  ``0`` disables the pool
+        (drains run inline, deterministic — handy for tests and the CLI's
+        ``--jobs 0``).
+    store_shards:
+        Shard count of every engine's per-site finding stores.
+    """
+
+    def __init__(
+        self,
+        *,
+        settings: ValidatorSettings | None = None,
+        max_live_engines: int = 16,
+        max_workers: int | None = None,
+        store_shards: int = DEFAULT_SHARDS,
+    ) -> None:
+        if max_live_engines < 1:
+            raise ValueError(f"max_live_engines must be >= 1, got {max_live_engines}")
+        self._default_settings = settings or ValidatorSettings()
+        self.max_live_engines = max_live_engines
+        self._store_shards = store_shards
+        self._sessions: dict[str, _SessionState] = {}
+        self._lru: OrderedDict[str, None] = OrderedDict()
+        self._registry_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._edits = 0
+        self._drains = 0
+        self._changes_drained = 0
+        self._evictions = 0
+        self._resumes = 0
+        self._rebuilds = 0
+        self._executor: ThreadPoolExecutor | None = None
+        if max_workers != 0:
+            self._executor = ThreadPoolExecutor(
+                max_workers=max_workers, thread_name_prefix="repro-drain"
+            )
+
+    # -- the four verbs --------------------------------------------------
+
+    def open(
+        self,
+        name: str,
+        settings: ValidatorSettings | None = None,
+        schema: Schema | None = None,
+    ) -> SessionHandle:
+        """Open a named session (optionally adopting an existing schema).
+
+        The session's engine is built eagerly (one full check), subject to
+        the same LRU capacity as everything else.
+        """
+        state = _SessionState(
+            name,
+            schema if schema is not None else Schema(name),
+            copy.deepcopy(settings or self._default_settings),
+        )
+        with self._registry_lock:
+            if name in self._sessions:
+                raise ValueError(f"session {name!r} is already open")
+            self._sessions[name] = state
+            self._lru[name] = None
+        with state.lock:
+            self._ensure_engine(state)
+        return SessionHandle(self, state)
+
+    def edit(self, name: str, verb: str, *args, **kwargs):
+        """Apply one edit to a session's schema — **without** validating.
+
+        ``verb`` is a session-style verb from :data:`EDIT_VERBS` (or the
+        Schema mutator name directly); arguments follow the Schema
+        mutator's signature.  Returns whatever the mutator returns (the
+        created element — useful for generated constraint labels).
+        Validation is deferred to the next drain of this session.
+        """
+        if verb in EDIT_VERBS:
+            method = EDIT_VERBS[verb]
+        elif verb in _SCHEMA_VERBS:
+            method = verb
+        else:
+            raise UnknownElementError("edit verb", verb)
+        state = self._state(name)
+        with state.lock:
+            result = getattr(state.schema, method)(*args, **kwargs)
+            state.edits += 1
+        with self._stats_lock:
+            self._edits += 1
+        return result
+
+    def report(self, name: str) -> ToolReport:
+        """Drain one session and return its current (exact) report."""
+        state = self._state(name)
+        with state.lock:
+            pending = state.pending_changes()  # before ensure: resume replays
+            engine, resumed, rebuilt = self._ensure_engine(state)
+            engine.refresh()
+            report = report_from_engine(engine, state.settings)
+        with self._stats_lock:
+            self._drains += 1
+            self._changes_drained += pending
+            self._resumes += resumed
+            self._rebuilds += rebuilt
+        return report
+
+    def close(self, name: str) -> ToolReport:
+        """Close a session, returning its final report."""
+        with self._registry_lock:
+            state = self._sessions.pop(name, None)
+            self._lru.pop(name, None)
+        if state is None:
+            raise UnknownElementError("session", name)
+        with state.lock:
+            engine, resumed, rebuilt = self._ensure_engine(state, touch=False)
+            engine.refresh()
+            report = report_from_engine(engine, state.settings)
+            state.engine = None
+            state.snapshot = None
+        with self._stats_lock:
+            self._resumes += resumed
+            self._rebuilds += rebuilt
+        return report
+
+    # -- the service tick ------------------------------------------------
+
+    def drain(
+        self, names: Iterable[str] | None = None, *, min_pending: int = 1
+    ) -> DrainStats:
+        """One service tick: batch-drain every (named) session's journal.
+
+        Sessions with fewer than ``min_pending`` pending journal entries
+        are skipped (their stored findings are already current).  Eligible
+        sessions are drained **in parallel** on the service's thread pool —
+        the per-session lock serializes each drain with that session's
+        edits, and sessions never share mutable state, so the tick is safe
+        whatever the interleaving.  Returns what the tick did.
+        """
+        floor = max(min_pending, 1)
+        with self._registry_lock:
+            if names is None:
+                targets = list(self._sessions.values())
+            else:
+                targets = [self._sessions[n] for n in names]  # KeyError: unknown
+        stats = DrainStats(examined=len(targets))
+        work = [
+            state
+            for state in targets
+            if state.pending_changes() >= floor
+            or (state.engine is None and state.snapshot is None)
+        ]
+        if not work:
+            return stats
+
+        def drain_one(state: _SessionState) -> tuple[int, int, int]:
+            with state.lock:
+                pending = state.pending_changes()  # before ensure: resume replays
+                engine, resumed, rebuilt = self._ensure_engine(state)
+                engine.refresh()
+                return pending, resumed, rebuilt
+        if self._executor is None or len(work) == 1:
+            results = [drain_one(state) for state in work]
+        else:
+            results = list(self._executor.map(drain_one, work))
+        for pending, resumed, rebuilt in results:
+            stats.drained += 1
+            stats.changes += pending
+            stats.resumed += resumed
+            stats.rebuilt += rebuilt
+        with self._stats_lock:
+            self._drains += stats.drained
+            self._changes_drained += stats.changes
+            self._resumes += stats.resumed
+            self._rebuilds += stats.rebuilt
+        return stats
+
+    # -- queries ----------------------------------------------------------
+
+    def session(self, name: str) -> SessionHandle:
+        """A handle to an open session (raises on unknown names)."""
+        return SessionHandle(self, self._state(name))
+
+    def names(self) -> list[str]:
+        """Names of all open sessions, in opening order."""
+        with self._registry_lock:
+            return list(self._sessions)
+
+    def stats(self) -> ServiceStats:
+        """Cumulative counters plus the current engine census."""
+        with self._registry_lock:
+            sessions = len(self._sessions)
+            live = sum(1 for s in self._sessions.values() if s.engine is not None)
+            suspended = sum(
+                1 for s in self._sessions.values() if s.snapshot is not None
+            )
+        with self._stats_lock:
+            return ServiceStats(
+                sessions=sessions,
+                live_engines=live,
+                suspended_engines=suspended,
+                edits=self._edits,
+                drains=self._drains,
+                changes_drained=self._changes_drained,
+                evictions=self._evictions,
+                resumes=self._resumes,
+                rebuilds=self._rebuilds,
+            )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Stop the drain pool (open sessions stay readable inline)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ValidationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        stats = self.stats()
+        return (
+            f"ValidationService(sessions={stats.sessions}, "
+            f"live={stats.live_engines}/{self.max_live_engines}, "
+            f"edits={stats.edits}, drains={stats.drains})"
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    def _state(self, name: str) -> _SessionState:
+        with self._registry_lock:
+            state = self._sessions.get(name)
+        if state is None:
+            raise UnknownElementError("session", name)
+        return state
+
+    def _store_factory(self) -> ShardedSiteStore:
+        return ShardedSiteStore(self._store_shards)
+
+    def _build_engine(self, state: _SessionState) -> IncrementalEngine:
+        settings = state.settings
+        return IncrementalEngine(
+            state.schema,
+            enabled=tuple(settings.enabled_ids()),
+            advisories=settings.wellformedness,
+            formation_rules=settings.formation_rules,
+            propagation=settings.propagation,
+            store_factory=self._store_factory,
+        )
+
+    def _ensure_engine(
+        self, state: _SessionState, *, touch: bool = True
+    ) -> tuple[IncrementalEngine, int, int]:
+        """The session's live engine (resuming or rebuilding as needed).
+
+        Must be called with ``state.lock`` held.  Returns
+        ``(engine, resumed, rebuilt)`` so callers can account for what
+        reviving cost.  A changed analysis profile (the session's
+        ``settings.family_key()`` no longer matches the one the engine —
+        or snapshot — was built under) discards both and rebuilds, exactly
+        as :meth:`repro.tool.validator.Validator` does for its single
+        engine.
+        """
+        resumed = rebuilt = 0
+        key = state.settings.family_key()
+        if state.engine_key is not None and state.engine_key != key:
+            state.engine = None
+            state.snapshot = None  # stores of the old family profile
+        state.engine_key = key
+        if state.engine is None:
+            if state.snapshot is not None:
+                try:
+                    state.engine = IncrementalEngine.resume(
+                        state.schema,
+                        state.snapshot,
+                        store_factory=self._store_factory,
+                    )
+                    resumed = 1
+                except SchemaError:
+                    # replay window truncated: pay the full rebuild
+                    state.engine = self._build_engine(state)
+                    rebuilt = 1
+                state.snapshot = None
+            else:
+                state.engine = self._build_engine(state)
+                rebuilt = 1
+            if touch:
+                self._evict_over_capacity(exclude=state.name)
+        if touch:
+            self._touch(state.name)
+        return state.engine, resumed, rebuilt
+
+    def _touch(self, name: str) -> None:
+        with self._registry_lock:
+            if name in self._lru:
+                self._lru.move_to_end(name)
+
+    def _evict_over_capacity(self, exclude: str) -> None:
+        """Suspend least-recently-used live engines down to capacity.
+
+        Candidates are collected under the registry lock but suspended
+        under a *non-blocking* acquire of their own session lock — a busy
+        session is hot and is simply skipped, so eviction can never
+        deadlock with a concurrent drain (which takes session locks before
+        registry peeks, never the other way around).
+        """
+        with self._registry_lock:
+            live = [
+                name
+                for name in self._lru  # oldest first
+                if self._sessions[name].engine is not None
+            ]
+            excess = len(live) - self.max_live_engines  # caller's engine is in `live`
+            candidates = [name for name in live if name != exclude]
+        for name in candidates:
+            if excess <= 0:
+                return
+            state = self._sessions.get(name)
+            if state is None or not state.lock.acquire(blocking=False):
+                continue
+            try:
+                if state.engine is None:
+                    continue
+                state.snapshot = state.engine.suspend()
+                state.engine = None
+                excess -= 1
+                with self._stats_lock:
+                    self._evictions += 1
+            finally:
+                state.lock.release()

@@ -76,14 +76,19 @@ class SetPathGraph:
 
     @classmethod
     def from_schema(cls, schema: Schema) -> "SetPathGraph":
-        """Build the graph from all subset and equality constraints."""
+        """Build the graph from all subset and equality constraints.
+
+        Edge origins are the constraint labels, which the schema guarantees
+        unique and non-empty — so queries can exclude one constraint's
+        edges via ``exclude_origin`` instead of rebuilding the graph
+        without it (the RIDL S1/S3 "superfluous?" question).
+        """
         graph = cls()
         for subset in schema.constraints_of(SubsetConstraint):
-            graph.add_subset(subset.sub, subset.sup, subset.label or "subset")
+            graph.add_subset(subset.sub, subset.sup, subset.label)
         for equality in schema.constraints_of(EqualityConstraint):
-            label = equality.label or "equality"
-            graph.add_subset(equality.first, equality.second, label)
-            graph.add_subset(equality.second, equality.first, label)
+            graph.add_subset(equality.first, equality.second, equality.label)
+            graph.add_subset(equality.second, equality.first, equality.label)
         return graph
 
     def add_subset(self, sub: RoleSequence, sup: RoleSequence, origin: str) -> None:
@@ -125,16 +130,39 @@ class SetPathGraph:
         """Every edge (declared and implied), in insertion order."""
         return [edge for bucket in self._edges.values() for edge in bucket]
 
-    def subset_holds(self, sub: RoleSequence, sup: RoleSequence) -> bool:
-        """Is there a (possibly transitive) SetPath ``sub ⊆ ... ⊆ sup``?"""
-        return self.find_path(tuple(sub), tuple(sup)) is not None
+    def subset_holds(
+        self,
+        sub: RoleSequence,
+        sup: RoleSequence,
+        *,
+        exclude_origin: str | None = None,
+    ) -> bool:
+        """Is there a (possibly transitive) SetPath ``sub ⊆ ... ⊆ sup``?
 
-    def find_path(self, source: RoleSequence, target: RoleSequence) -> SetPath | None:
+        ``exclude_origin`` prunes every edge justified by that constraint
+        label, answering "would the subset still hold without constraint
+        X?" on the shared graph — the superfluousness question of RIDL
+        S1/S3 — without building a second graph.
+        """
+        return (
+            self.find_path(tuple(sub), tuple(sup), exclude_origin=exclude_origin)
+            is not None
+        )
+
+    def find_path(
+        self,
+        source: RoleSequence,
+        target: RoleSequence,
+        *,
+        exclude_origin: str | None = None,
+    ) -> SetPath | None:
         """Shortest SetPath from ``source`` to ``target``, or ``None``.
 
         A zero-length path (``source == target``) does not count: Pattern 6
         cares about *declared or implied* subset relationships between
-        distinct sequences.
+        distinct sequences.  Edges whose ``origin`` equals
+        ``exclude_origin`` are skipped (declared and implied alike — a
+        constraint's implied edges carry its label too).
         """
         source = tuple(source)
         target = tuple(target)
@@ -144,6 +172,8 @@ class SetPathGraph:
         while queue:
             current = queue.popleft()
             for edge in self._edges.get(current, []):
+                if exclude_origin is not None and edge.origin == exclude_origin:
+                    continue
                 nxt = edge.sup
                 if nxt in visited:
                     continue

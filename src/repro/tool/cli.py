@@ -10,9 +10,17 @@ Usage::
     orm-validate schema.orm --verbalize          # pseudo-NL rendering first
     orm-validate schema.orm --complete 3         # add bounded complete check
     orm-validate schema.orm --format json
+    orm-validate a.orm b.orm c.orm --jobs 4      # batch: one session per file,
+                                                 # parallel batched drains
+    orm-validate --batch schema.orm              # force batch mode for one file
 
-Exit status: 0 when no unsatisfiability was detected, 1 otherwise, 2 on
-input errors — so the tool slots into CI for schema repositories.
+With several schema files (or ``--batch``) validation runs through the
+multi-session :class:`repro.server.ValidationService`: one session per
+file, journals drained in parallel batches on a thread pool (``--jobs``).
+
+Exit status: 0 when no unsatisfiability was detected, 1 otherwise (any
+file, in batch mode), 2 on input errors — so the tool slots into CI for
+schema repositories.
 """
 
 from __future__ import annotations
@@ -36,7 +44,28 @@ def build_parser() -> argparse.ArgumentParser:
         description="Detect unsatisfiable roles and object types in an ORM schema "
         "(the nine patterns of Jarrar & Heymans, EDBT 2006).",
     )
-    parser.add_argument("schema", type=Path, help="schema file in the ORM text DSL")
+    parser.add_argument(
+        "schema",
+        type=Path,
+        nargs="+",
+        help="schema file(s) in the ORM text DSL; several files (or --batch) "
+        "validate through the multi-session service",
+    )
+    parser.add_argument(
+        "--batch",
+        action="store_true",
+        help="serve the schemas from a multi-session ValidationService "
+        "(one session per file, batched parallel journal drains) even "
+        "for a single file",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="drain-pool width in batch mode (0 = drain inline; default: "
+        "thread-pool default)",
+    )
     parser.add_argument(
         "--patterns",
         default=",".join(PATTERN_IDS),
@@ -106,21 +135,8 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: list[str] | None = None) -> int:
-    """Entry point; returns the exit status."""
-    parser = build_parser()
-    args = parser.parse_args(argv)
-    try:
-        text = args.schema.read_text()
-    except OSError as error:
-        print(f"error: cannot read {args.schema}: {error}", file=sys.stderr)
-        return 2
-    try:
-        schema = parse_schema(text)
-    except (ParseError, ReproError) as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-
+def _settings_from_args(args) -> ValidatorSettings | None:
+    """The Fig. 15 profile the flags select (None after printing an error)."""
     settings = ValidatorSettings()
     wanted = [part.strip() for part in args.patterns.split(",") if part.strip()]
     try:
@@ -134,16 +150,131 @@ def main(argv: list[str] | None = None) -> int:
             raise KeyError(unknown[0])
     except KeyError as error:
         print(f"error: unknown pattern id {error}", file=sys.stderr)
-        return 2
+        return None
     settings.wellformedness = args.advisories
     settings.formation_rules = args.formation_rules
     settings.propagation = args.propagate
     settings.incremental = not args.no_incremental
     if args.extensions:
         settings.enable_extensions()
+    return settings
 
+
+def _load_schema(path: Path):
+    """Parse one schema file (None after printing an error)."""
+    try:
+        text = path.read_text()
+    except OSError as error:
+        print(f"error: cannot read {path}: {error}", file=sys.stderr)
+        return None
+    try:
+        return parse_schema(text)
+    except (ParseError, ReproError) as error:
+        print(f"error: {path}: {error}", file=sys.stderr)
+        return None
+
+
+def _report_payload(schema, report, complete_result=None) -> dict:
+    """The machine-readable form of one ToolReport (``--format json``)."""
+    payload = {
+        "schema": schema.metadata.name,
+        "satisfiable_by_patterns": report.ok,
+        "violations": [
+            {
+                "pattern": violation.pattern_id,
+                "message": violation.message,
+                "roles": list(violation.roles),
+                "types": list(violation.types),
+                "constraints": list(violation.constraints),
+            }
+            for violation in report.pattern_report.violations
+        ],
+        "advisories": [
+            {"code": advisory.code, "message": advisory.message}
+            for advisory in report.advisories
+        ],
+        "formation_rules": [
+            {
+                "rule": finding.rule_id,
+                "relevant": finding.relevant,
+                "message": finding.message,
+            }
+            for finding in report.rule_findings
+        ],
+        "complete_check": complete_result,
+    }
+    if report.propagation is not None:
+        payload["propagated"] = {
+            "unsat_roles": sorted(report.propagation.all_unsat_roles()),
+            "unsat_types": sorted(report.propagation.all_unsat_types()),
+            "derived": [
+                {"element": item.element, "kind": item.kind, "via": item.via}
+                for item in report.propagation.derived
+            ],
+        }
+    return payload
+
+
+def _run_batch(paths: list[Path], settings: ValidatorSettings, args) -> int:
+    """Validate many schema files through the multi-session service."""
+    from repro.server import ValidationService
+
+    if args.complete is not None or args.verbalize or args.repairs:
+        print(
+            "error: --complete/--verbalize/--repairs are single-schema options "
+            "(not available with --batch)",
+            file=sys.stderr,
+        )
+        return 2
+    schemas = []
+    for path in paths:
+        schema = _load_schema(path)
+        if schema is None:
+            return 2
+        schemas.append((path, schema))
+    with ValidationService(settings=settings, max_workers=args.jobs) as service:
+        handles = [
+            service.open(f"{index}:{path}", schema=schema)
+            for index, (path, schema) in enumerate(schemas)
+        ]
+        service.drain()
+        reports = [handle.report() for handle in handles]
+    unsat = sum(1 for report in reports if not report.ok)
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "schemas": [
+                        _report_payload(schema, report)
+                        for (_, schema), report in zip(schemas, reports)
+                    ],
+                    "unsatisfiable": unsat,
+                },
+                indent=2,
+            )
+        )
+    else:
+        for report in reports:
+            print(report.render())
+            print()
+        print(f"{len(reports)} schema(s) validated, {unsat} unsatisfiable")
+    return 1 if unsat else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    settings = _settings_from_args(args)
+    if settings is None:
+        return 2
+    if args.batch or len(args.schema) > 1:
+        return _run_batch(args.schema, settings, args)
+
+    schema = _load_schema(args.schema[0])
+    if schema is None:
+        return 2
     report = Validator(settings).validate(schema)
-    propagation = report.propagation
 
     complete_result = None
     if args.complete is not None:
@@ -158,43 +289,7 @@ def main(argv: list[str] | None = None) -> int:
         }
 
     if args.format == "json":
-        payload = {
-            "schema": schema.metadata.name,
-            "satisfiable_by_patterns": report.ok,
-            "violations": [
-                {
-                    "pattern": violation.pattern_id,
-                    "message": violation.message,
-                    "roles": list(violation.roles),
-                    "types": list(violation.types),
-                    "constraints": list(violation.constraints),
-                }
-                for violation in report.pattern_report.violations
-            ],
-            "advisories": [
-                {"code": advisory.code, "message": advisory.message}
-                for advisory in report.advisories
-            ],
-            "formation_rules": [
-                {
-                    "rule": finding.rule_id,
-                    "relevant": finding.relevant,
-                    "message": finding.message,
-                }
-                for finding in report.rule_findings
-            ],
-            "complete_check": complete_result,
-        }
-        if propagation is not None:
-            payload["propagated"] = {
-                "unsat_roles": sorted(propagation.all_unsat_roles()),
-                "unsat_types": sorted(propagation.all_unsat_types()),
-                "derived": [
-                    {"element": item.element, "kind": item.kind, "via": item.via}
-                    for item in propagation.derived
-                ],
-            }
-        print(json.dumps(payload, indent=2))
+        print(json.dumps(_report_payload(schema, report, complete_result), indent=2))
     else:
         if args.verbalize:
             print("Schema verbalization:")

@@ -19,28 +19,46 @@ change journal as it drains.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.orm.constraints import RingKind
 from repro.orm.schema import Schema
+from repro.orm.wellformed import Advisory
 from repro.patterns.base import Violation
+from repro.patterns.formation_rules import RuleFinding
 from repro.tool.validator import ToolReport, Validator, ValidatorSettings
 
 
 @dataclass
 class EditEvent:
-    """One modeling step and its validation outcome."""
+    """One modeling step and its validation outcome.
+
+    Every enabled analysis family is diffed against the previous step, not
+    just the unsatisfiability patterns: with ``wellformedness`` or
+    ``formation_rules`` on, an edit that introduces (or resolves) an
+    advisory or a rule finding shows that in the event too.
+    """
 
     step: int
     action: str
     report: ToolReport
     new_violations: list[Violation] = field(default_factory=list)
     resolved_violations: list[Violation] = field(default_factory=list)
+    new_advisories: list[Advisory] = field(default_factory=list)
+    resolved_advisories: list[Advisory] = field(default_factory=list)
+    new_rule_findings: list[RuleFinding] = field(default_factory=list)
+    resolved_rule_findings: list[RuleFinding] = field(default_factory=list)
 
     @property
     def introduced_problem(self) -> bool:
         """Did this edit introduce at least one new violation?"""
         return bool(self.new_violations)
+
+    @property
+    def introduced_feedback(self) -> bool:
+        """Did this edit introduce any new advisory or rule finding?"""
+        return bool(self.new_advisories or self.new_rule_findings)
 
 
 class ModelingSession:
@@ -53,6 +71,8 @@ class ModelingSession:
         self.validator = Validator(settings)
         self.events: list[EditEvent] = []
         self._previous: list[Violation] = []
+        self._previous_advisories: list[Advisory] = []
+        self._previous_rules: list[RuleFinding] = []
 
     # -- editing verbs (each validates) ---------------------------------
 
@@ -91,7 +111,10 @@ class ModelingSession:
     def add_frequency(self, roles, min: int, max: int | None = None) -> EditEvent:
         """Add a frequency constraint and revalidate."""
         self.schema.add_frequency(roles, min, max)
-        return self._record(f"add frequency {roles} {min}..{max or ''}")
+        # `max=None` means unbounded; render it as `*` so FC(n-0) — however
+        # nonsensical — still reads differently from FC(n-).
+        rendered_max = "*" if max is None else max
+        return self._record(f"add frequency {roles} {min}..{rendered_max}")
 
     def add_exclusion(self, *sequences) -> EditEvent:
         """Add an exclusion constraint and revalidate."""
@@ -165,6 +188,14 @@ class ModelingSession:
                 lines.append(f"      new: [{violation.pattern_id}] {violation.message}")
             for violation in event.resolved_violations:
                 lines.append(f"      resolved: [{violation.pattern_id}]")
+            for advisory in event.new_advisories:
+                lines.append(f"      new: [{advisory.code}] {advisory.message}")
+            for advisory in event.resolved_advisories:
+                lines.append(f"      resolved: [{advisory.code}]")
+            for finding in event.new_rule_findings:
+                lines.append(f"      new: [{finding.rule_id}] {finding.message}")
+            for finding in event.resolved_rule_findings:
+                lines.append(f"      resolved: [{finding.rule_id}]")
         return "\n".join(lines)
 
     # -- internals ----------------------------------------------------------
@@ -174,6 +205,12 @@ class ModelingSession:
         current = report.pattern_report.violations
         previous_keys = {self._key(v) for v in self._previous}
         current_keys = {self._key(v) for v in current}
+        new_advisories, resolved_advisories = self._diff(
+            self._previous_advisories, report.advisories
+        )
+        new_rules, resolved_rules = self._diff(
+            self._previous_rules, report.rule_findings
+        )
         event = EditEvent(
             step=len(self.events) + 1,
             action=action,
@@ -182,10 +219,29 @@ class ModelingSession:
             resolved_violations=[
                 v for v in self._previous if self._key(v) not in current_keys
             ],
+            new_advisories=new_advisories,
+            resolved_advisories=resolved_advisories,
+            new_rule_findings=new_rules,
+            resolved_rule_findings=resolved_rules,
         )
         self.events.append(event)
         self._previous = list(current)
+        self._previous_advisories = list(report.advisories)
+        self._previous_rules = list(report.rule_findings)
         return event
+
+    @staticmethod
+    def _diff(previous: list, current: list) -> tuple[list, list]:
+        """Multiset diff: (appeared, disappeared) between two finding lists.
+
+        Advisories and rule findings are frozen (hashable) dataclasses, so
+        Counter arithmetic handles equal duplicates exactly.
+        """
+        previous_counts = Counter(previous)
+        current_counts = Counter(current)
+        appeared = list((current_counts - previous_counts).elements())
+        disappeared = list((previous_counts - current_counts).elements())
+        return appeared, disappeared
 
     @staticmethod
     def _key(violation: Violation) -> tuple:

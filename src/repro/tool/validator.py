@@ -118,10 +118,14 @@ class ToolReport:
             lines.append(f"{len(self.advisories)} structural advisory(ies):")
             for advisory in self.advisories:
                 lines.append(f"  [{advisory.code}] {advisory.message}")
-        relevant_rules = [finding for finding in self.rule_findings]
-        if relevant_rules:
-            lines.append(f"{len(relevant_rules)} formation-rule finding(s):")
-            for finding in relevant_rules:
+        if self.rule_findings:
+            relevant = [finding for finding in self.rule_findings if finding.relevant]
+            style_only = len(self.rule_findings) - len(relevant)
+            lines.append(
+                f"{len(relevant)} relevant formation-rule finding(s), "
+                f"{style_only} style-only:"
+            )
+            for finding in self.rule_findings:
                 marker = "!" if finding.relevant else "·"
                 lines.append(f"  {marker} [{finding.rule_id}] {finding.message}")
         if self.propagation is not None:
@@ -133,6 +137,25 @@ class ToolReport:
             f"{self.elapsed_seconds * 1000:.1f} ms)"
         )
         return "\n".join(lines)
+
+
+def report_from_engine(
+    engine: IncrementalEngine, settings: ValidatorSettings
+) -> ToolReport:
+    """Assemble a :class:`ToolReport` from a (refreshed) engine's stores,
+    exposing exactly the families the settings enable.
+
+    Shared by :class:`Validator` and the multi-session
+    :class:`repro.server.ValidationService` so both render identical
+    reports from the same engine state.
+    """
+    return ToolReport(
+        schema_name=engine.schema.metadata.name,
+        pattern_report=engine.report(),
+        advisories=engine.advisories() if settings.wellformedness else [],
+        rule_findings=engine.rule_findings() if settings.formation_rules else [],
+        propagation=engine.propagation() if settings.propagation else None,
+    )
 
 
 class Validator:
@@ -166,15 +189,7 @@ class Validator:
         return report
 
     def _validate_incremental(self, schema: Schema) -> ToolReport:
-        engine = self._engine_for(schema)
-        settings = self.settings
-        return ToolReport(
-            schema_name=schema.metadata.name,
-            pattern_report=engine.report(),
-            advisories=engine.advisories() if settings.wellformedness else [],
-            rule_findings=engine.rule_findings() if settings.formation_rules else [],
-            propagation=engine.propagation() if settings.propagation else None,
-        )
+        return report_from_engine(self._engine_for(schema), self.settings)
 
     def _validate_from_scratch(self, schema: Schema) -> ToolReport:
         settings = self.settings

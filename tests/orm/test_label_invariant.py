@@ -1,0 +1,53 @@
+"""The constraint-label invariant: schema-unique and never empty.
+
+The incremental engine's dirty-set bookkeeping and ``remove_constraint``
+key on ``constraint.label``; an empty label would collapse distinct
+unlabeled constraints into one key and silently short-circuit the
+co-reference closure.  ``Schema.add_constraint`` therefore generates a
+fresh label when none is given and rejects empty ones outright.
+"""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.orm.constraints import MandatoryConstraint
+from repro.orm.schema import Schema
+
+
+def _two_role_schema() -> Schema:
+    schema = Schema("labels")
+    schema.add_entity_type("T")
+    schema.add_fact_type("f", "r1", "T", "r2", "T")
+    return schema
+
+
+class TestLabelInvariant:
+    def test_unlabeled_constraints_get_distinct_generated_labels(self):
+        schema = _two_role_schema()
+        first = schema.add_mandatory("r1")
+        second = schema.add_mandatory("r2")
+        assert first.label and second.label
+        assert first.label != second.label
+
+    def test_empty_label_is_rejected(self):
+        schema = _two_role_schema()
+        with pytest.raises(SchemaError):
+            schema.add_constraint(MandatoryConstraint(label="", roles=("r1",)))
+
+    def test_unlabeled_constraints_stay_individually_removable(self):
+        # The old `label or ""` fallback would have keyed both under ""
+        # and made the second removal ambiguous.
+        schema = _two_role_schema()
+        first = schema.add_uniqueness("r1")
+        second = schema.add_uniqueness("r2")
+        schema.remove_constraint(first.label)
+        assert not schema.has_constraint_label(first.label)
+        assert schema.constraint_by_label(second.label) is second
+
+    def test_journal_entries_carry_the_generated_label(self):
+        schema = _two_role_schema()
+        mark = schema.journal_size
+        constraint = schema.add_mandatory("r1")
+        (change,) = schema.changes_since(mark)
+        assert change.kind == "constraint"
+        assert change.name == constraint.label != ""

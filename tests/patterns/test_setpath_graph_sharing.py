@@ -1,0 +1,94 @@
+"""S1/S3 must not rebuild a SetPathGraph per dirty site.
+
+The RIDL superfluousness checks used to construct a fresh graph-minus-one-
+constraint for every site they examined; they now share one graph per
+scoped run and prune the site's own edges during the BFS
+(``subset_holds(..., exclude_origin=site.label)``).  These tests pin both
+the build count and the unchanged verdicts.
+"""
+
+from repro.orm.schema import Schema
+from repro.patterns import IncrementalEngine
+from repro.patterns.formation_rules import check_formation_rules
+from repro.setcomp import SetPathGraph
+
+
+def _chained_subset_schema(num_facts: int = 6) -> Schema:
+    """Facts f0..fn-1 with a subset chain r0 ⊆ r2 ⊆ r4 ⊆ ... (one component)."""
+    schema = Schema("chain")
+    schema.add_entity_type("T")
+    for index in range(num_facts):
+        schema.add_fact_type(
+            f"f{index}", f"a{index}", "T", f"b{index}", "T"
+        )
+    for index in range(num_facts - 1):
+        schema.add_subset(f"a{index}", f"a{index + 1}")
+    return schema
+
+
+def _count_graph_builds(monkeypatch) -> list:
+    calls = []
+    original = SetPathGraph.from_schema.__func__
+
+    def counting(cls, schema):
+        calls.append(schema)
+        return original(cls, schema)
+
+    monkeypatch.setattr(SetPathGraph, "from_schema", classmethod(counting))
+    return calls
+
+
+class TestOneGraphPerRefresh:
+    def test_refresh_builds_at_most_one_graph_per_setcomp_check(self, monkeypatch):
+        schema = _chained_subset_schema(6)
+        engine = IncrementalEngine(schema, formation_rules=True)
+        # Dirty the whole component: every subset site (>= 5) re-checks.
+        schema.add_subset("b0", "b1")
+        calls = _count_graph_builds(monkeypatch)
+        engine.refresh()
+        # P6 + S1 + S2 + S3 share a single graph through the CheckScope,
+        # regardless of how many sites the touched component contains.
+        assert len(calls) == 1, (
+            f"{len(calls)} SetPathGraph builds for one refresh of a "
+            "6-subset component — per-check or per-site rebuilds crept back in"
+        )
+
+    def test_from_scratch_run_shares_the_graph_too(self, monkeypatch):
+        schema = _chained_subset_schema(6)
+        calls = _count_graph_builds(monkeypatch)
+        check_formation_rules(schema)
+        assert len(calls) <= 3  # one per RIDL check (S1, S2, S3)
+
+
+class TestVerdictsUnchanged:
+    def test_superfluous_subset_still_detected(self):
+        schema = _chained_subset_schema(3)
+        # a0 ⊆ a1 ⊆ a2 holds; adding the shortcut a0 ⊆ a2 is superfluous.
+        schema.add_subset("a0", "a2")
+        findings = [f for f in check_formation_rules(schema) if f.rule_id == "S1"]
+        assert len(findings) == 1
+
+    def test_non_superfluous_subsets_stay_clean(self):
+        schema = _chained_subset_schema(4)
+        assert not [f for f in check_formation_rules(schema) if f.rule_id == "S1"]
+
+    def test_superfluous_equality_still_detected(self):
+        schema = Schema("eq")
+        schema.add_entity_type("T")
+        for index in range(3):
+            schema.add_fact_type(f"f{index}", f"a{index}", "T", f"b{index}", "T")
+        schema.add_equality("a0", "a1")
+        schema.add_equality("a1", "a2")
+        schema.add_equality("a0", "a2")  # implied via a1 both ways
+        findings = [f for f in check_formation_rules(schema) if f.rule_id == "S3"]
+        assert len(findings) >= 1
+
+    def test_subset_loop_still_detected(self):
+        schema = Schema("loop")
+        schema.add_entity_type("T")
+        for index in range(2):
+            schema.add_fact_type(f"f{index}", f"a{index}", "T", f"b{index}", "T")
+        schema.add_subset("a0", "a1")
+        schema.add_subset("a1", "a0")
+        findings = [f for f in check_formation_rules(schema) if f.rule_id == "S2"]
+        assert len(findings) == 2  # both constraints lie on the loop

@@ -1,0 +1,256 @@
+"""ValidationService: API contract, batched-drain exactness, LRU/resume.
+
+The load-bearing property (ISSUE acceptance): however edits are
+interleaved across sessions and however the service batches, evicts and
+resumes, every session's report equals the from-scratch analysis of its
+schema as a multiset of findings.
+"""
+
+import random
+import threading
+from collections import Counter
+
+import pytest
+
+from repro.exceptions import SchemaError, UnknownElementError
+from repro.orm.schema import Schema
+from repro.orm.wellformed import check_wellformedness
+from repro.patterns import IncrementalEngine, PatternEngine, check_formation_rules
+from repro.patterns.propagation import propagate
+from repro.server import ValidationService
+from repro.tool import ValidatorSettings
+from repro.workloads.generator import GeneratorConfig, apply_random_edit, generate_schema
+
+ALL_FAMILIES = ValidatorSettings(formation_rules=True, propagation=True)
+
+
+def assert_report_exact(handle, context=""):
+    """The session's report equals from-scratch analysis, every family."""
+    report = handle.report()
+    schema = handle.schema
+    full = PatternEngine().check(schema)
+    assert Counter(report.pattern_report.violations) == Counter(full.violations), context
+    assert Counter(report.advisories) == Counter(check_wellformedness(schema)), context
+    assert Counter(report.rule_findings) == Counter(
+        check_formation_rules(schema)
+    ), context
+    full_propagation = propagate(schema, full)
+    assert report.propagation.all_unsat_roles() == full_propagation.all_unsat_roles()
+    assert report.propagation.all_unsat_types() == full_propagation.all_unsat_types()
+
+
+class TestSessionApi:
+    def test_open_edit_report_close_roundtrip(self):
+        with ValidationService(max_workers=0) as service:
+            handle = service.open("design")
+            handle.edit("add_entity", "Person")
+            handle.edit("add_entity", "Company", ("c1", "c2"))
+            handle.edit("add_fact", "works", "r1", "Person", "r2", "Company")
+            # FC(5) on r1 demands 5 partner tuples, but Company admits 2
+            # values — Pattern 4.
+            frequency = handle.edit("add_frequency", "r1", 5)
+            report = handle.report()
+            assert not report.ok  # FC(5) vs 2-value pool is Pattern 4
+            assert handle.pending_changes == 0
+            handle.edit("remove_constraint", frequency.label)
+            final = handle.close()
+            assert final.ok
+            assert "design" not in service.names()
+
+    def test_edits_do_not_validate_until_drained(self):
+        with ValidationService(max_workers=0) as service:
+            handle = service.open("lazy")
+            handle.edit("add_entity", "A")
+            handle.edit("add_entity", "B")
+            assert handle.pending_changes == 2
+            stats = service.drain()
+            assert stats.drained == 1 and stats.changes == 2
+            assert handle.pending_changes == 0
+
+    def test_session_style_and_schema_style_verbs(self):
+        with ValidationService(max_workers=0) as service:
+            handle = service.open("verbs")
+            handle.edit("add_entity", "T")  # session verb
+            handle.edit("add_entity_type", "U")  # schema mutator name
+            assert handle.schema.has_object_type("T")
+            assert handle.schema.has_object_type("U")
+
+    def test_unknown_verb_session_and_duplicate_open(self):
+        with ValidationService(max_workers=0) as service:
+            service.open("one")
+            with pytest.raises(ValueError):
+                service.open("one")
+            with pytest.raises(UnknownElementError):
+                service.edit("one", "drop_table", "x")
+            with pytest.raises(UnknownElementError):
+                service.report("ghost")
+            with pytest.raises(UnknownElementError):
+                service.close("ghost")
+
+    def test_open_adopts_an_existing_schema(self):
+        schema = generate_schema(GeneratorConfig(num_types=5, num_facts=4, seed=9))
+        with ValidationService(max_workers=0) as service:
+            handle = service.open("adopted", schema=schema)
+            assert handle.schema is schema
+            report = handle.report()
+            full = PatternEngine().check(schema)
+            assert Counter(report.pattern_report.violations) == Counter(
+                full.violations
+            )
+
+    def test_per_session_settings_are_isolated(self):
+        with ValidationService(settings=ALL_FAMILIES, max_workers=0) as service:
+            plain = service.open("plain", settings=ValidatorSettings())
+            loaded = service.open("loaded")
+            assert plain.settings.formation_rules is False
+            assert loaded.settings.formation_rules is True
+            loaded.settings.patterns["P1"] = False
+            assert plain.settings.patterns["P1"] is True  # deep-copied
+
+    def test_settings_toggle_rebuilds_the_engine(self):
+        """Flipping an analysis family after open() takes effect on the
+        next drain (the engine is rebuilt under the new family profile)."""
+        with ValidationService(max_workers=0) as service:
+            handle = service.open("toggle")
+            handle.edit("add_entity", "T")
+            handle.edit("add_fact", "f", "r1", "T", "r2", "T")
+            handle.edit("add_frequency", "r1", 1, 1)  # FR1 (style) finding
+            assert handle.report().rule_findings == []  # rules start off
+            handle.settings.formation_rules = True
+            assert any(
+                f.rule_id == "FR1" for f in handle.report().rule_findings
+            )
+            handle.settings.formation_rules = False
+            assert handle.report().rule_findings == []
+
+
+class TestBatchedDrainExactness:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_interleaved_scripts_match_from_scratch(self, seed):
+        """Random edits interleaved across sessions + periodic ticks ==
+        per-session from-scratch reports, through eviction and resume."""
+        rng = random.Random(seed)
+        with ValidationService(
+            settings=ALL_FAMILIES, max_live_engines=2, max_workers=0, store_shards=4
+        ) as service:
+            handles = [service.open(f"s{i}") for i in range(5)]
+            for step in range(80):
+                handle = rng.choice(handles)
+                apply_random_edit(handle.schema, rng)
+                if step % 11 == 0:
+                    service.drain()
+            stats = service.stats()
+            assert stats.live_engines <= 2
+            assert stats.evictions > 0  # the LRU actually worked
+            for handle in handles:
+                assert_report_exact(handle, f"seed {seed} session {handle.name}")
+
+    def test_drain_skips_clean_sessions(self):
+        with ValidationService(max_workers=0) as service:
+            busy = service.open("busy")
+            service.open("idle")
+            busy.edit("add_entity", "T")
+            stats = service.drain()
+            assert stats.examined == 2
+            assert stats.drained == 1
+
+    def test_min_pending_batches_small_journals(self):
+        with ValidationService(max_workers=0) as service:
+            handle = service.open("thresholded")
+            handle.edit("add_entity", "A")
+            assert service.drain(min_pending=5).drained == 0
+            for index in range(5):
+                handle.edit("add_entity", f"B{index}")
+            stats = service.drain(min_pending=5)
+            assert stats.drained == 1 and stats.changes == 6
+
+
+class TestEvictionAndResume:
+    def test_suspended_sessions_resume_by_replay(self):
+        with ValidationService(
+            settings=ALL_FAMILIES, max_live_engines=1, max_workers=0
+        ) as service:
+            first = service.open("first")
+            second = service.open("second")  # evicts "first"
+            first.edit("add_entity", "Later", ("v",))
+            first.edit("add_fact", "f", "r1", "Later", "r2", "Later")
+            first.edit("add_frequency", "r1", 3)
+            assert_report_exact(first)  # resumed engine replayed the window
+            stats = service.stats()
+            assert stats.resumes >= 1
+            assert stats.rebuilds == 0
+            assert_report_exact(second)
+
+    def test_truncated_window_falls_back_to_rebuild(self, monkeypatch):
+        with ValidationService(
+            settings=ALL_FAMILIES, max_live_engines=1, max_workers=0
+        ) as service:
+            first = service.open("first")
+            service.open("second")  # evicts "first"
+            first.edit("add_entity", "T")
+
+            def raising_resume(schema, snapshot, **kwargs):
+                raise SchemaError("window truncated")
+
+            monkeypatch.setattr(IncrementalEngine, "resume", raising_resume)
+            assert_report_exact(first)
+            assert service.stats().rebuilds >= 1
+
+    def test_engine_resume_raises_on_truncated_journal(self):
+        schema = Schema("trunc")
+        schema.add_entity_type("A")
+        engine = IncrementalEngine(schema)
+        engine.refresh()
+        snapshot = engine.suspend()
+        del engine
+        # another consumer drains past the snapshot's mark and compacts
+        other = IncrementalEngine(schema)
+        for index in range(200):
+            schema.add_entity_type(f"B{index}")
+        other.refresh()
+        schema.compact_journal()
+        with pytest.raises(SchemaError):
+            IncrementalEngine.resume(schema, snapshot)
+
+
+class TestConcurrency:
+    def test_64_sessions_with_threaded_editors_and_ticks(self):
+        """8 writer threads × 8 sessions each, a drain tick per round:
+        everything stays exact and the engine census stays capped."""
+        with ValidationService(
+            settings=ValidatorSettings(formation_rules=True),
+            max_live_engines=8,
+            max_workers=4,
+        ) as service:
+            handles = [service.open(f"s{i}") for i in range(64)]
+            errors = []
+
+            def editor(offset: int) -> None:
+                try:
+                    rng = random.Random(offset)
+                    mine = handles[offset * 8 : (offset + 1) * 8]
+                    for round_index in range(6):
+                        for handle in mine:
+                            handle.edit("add_entity", f"T{offset}_{round_index}")
+                            if rng.random() < 0.3:
+                                handle.report()
+                        service.drain([h.name for h in mine])
+                except Exception as error:  # pragma: no cover - failure path
+                    errors.append(error)
+
+            threads = [threading.Thread(target=editor, args=(i,)) for i in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors
+            service.drain()
+            stats = service.stats()
+            assert stats.sessions == 64
+            assert stats.live_engines <= 8
+            for handle in handles[::9]:
+                report = handle.report()
+                full = PatternEngine().check(handle.schema)
+                assert Counter(report.pattern_report.violations) == Counter(
+                    full.violations
+                )

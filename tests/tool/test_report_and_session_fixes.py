@@ -1,0 +1,96 @@
+"""Pins for the PR's report/session correctness fixes.
+
+* ``ToolReport.render`` counted *all* formation-rule findings in its
+  header while rendering irrelevant ones as ``·`` — the header now counts
+  relevant and style-only findings explicitly.
+* ``ModelingSession`` diffed only pattern violations between steps, so a
+  newly introduced advisory or rule finding never showed as "new" in the
+  ``EditEvent``; and ``add_frequency``'s transcript string rendered
+  ``max=0`` and unbounded identically (``max or ''``).
+"""
+
+from repro.patterns.formation_rules import RuleFinding
+from repro.tool import ModelingSession, ValidatorSettings
+from repro.tool.validator import ToolReport
+from repro.patterns.base import ValidationReport
+
+
+def _report_with_rules(findings):
+    return ToolReport(
+        schema_name="s",
+        pattern_report=ValidationReport(schema_name="s"),
+        rule_findings=findings,
+    )
+
+
+def _finding(rule_id, relevant):
+    return RuleFinding(
+        rule_id=rule_id, source="H89", message=f"{rule_id} fired", relevant=relevant
+    )
+
+
+class TestRenderCountsRelevance:
+    def test_header_counts_relevant_and_style_only_separately(self):
+        report = _report_with_rules(
+            [_finding("FR1", False), _finding("FR2", True), _finding("FR4", False)]
+        )
+        text = report.render()
+        assert "1 relevant formation-rule finding(s), 2 style-only:" in text
+        # every finding is still listed, with its marker
+        assert text.count("· [FR") == 2
+        assert text.count("! [FR2]") == 1
+
+    def test_all_irrelevant_findings_count_zero_relevant(self):
+        report = _report_with_rules([_finding("FR6", False)])
+        assert "0 relevant formation-rule finding(s), 1 style-only:" in report.render()
+
+    def test_no_findings_no_header(self):
+        assert "formation-rule" not in _report_with_rules([]).render()
+
+
+class TestSessionDiffsAllFamilies:
+    def test_new_advisory_shows_in_the_edit_event(self):
+        # An isolated type raises W07 the moment it is added.
+        session = ModelingSession("advisories", ValidatorSettings())
+        event = session.add_entity("Lonely")
+        assert any(a.code == "W07" for a in event.new_advisories)
+        assert event.introduced_feedback
+        assert "W07" in session.transcript()
+
+    def test_resolved_advisory_shows_when_the_edit_fixes_it(self):
+        session = ModelingSession("advisories", ValidatorSettings())
+        session.add_entity("Lonely")
+        session.add_entity("Partner")
+        event = session.add_fact("knows", ("r1", "Lonely"), ("r2", "Partner"))
+        assert any(a.code == "W07" for a in event.resolved_advisories)
+
+    def test_new_rule_finding_shows_with_formation_rules_enabled(self):
+        settings = ValidatorSettings(formation_rules=True)
+        session = ModelingSession("rules", settings)
+        session.add_entity("T")
+        session.add_fact("f", ("r1", "T"), ("r2", "T"))
+        event = session.add_frequency("r1", 1, 1)  # FC(1-1): FR1
+        assert any(f.rule_id == "FR1" for f in event.new_rule_findings)
+        assert not event.introduced_problem  # FR1 is style, not unsat
+
+    def test_rule_finding_resolves_when_constraint_removed(self):
+        settings = ValidatorSettings(formation_rules=True)
+        session = ModelingSession("rules", settings)
+        session.add_entity("T")
+        session.add_fact("f", ("r1", "T"), ("r2", "T"))
+        session.add_frequency("r1", 1, 1)
+        label = next(c.label for c in session.schema if c.kind_name() == "frequency")
+        event = session.remove_constraint(label)
+        assert any(f.rule_id == "FR1" for f in event.resolved_rule_findings)
+
+    def test_frequency_action_string_marks_unbounded_max(self):
+        # `max or ''` rendered an unbounded FC as a dangling "2.." (and
+        # would have collapsed a hypothetical max=0 into the same string);
+        # unbounded now renders explicitly as "*".
+        session = ModelingSession("freq", ValidatorSettings())
+        session.add_entity("T")
+        session.add_fact("f", ("r1", "T"), ("r2", "T"))
+        unbounded = session.add_frequency("r1", 2)
+        assert unbounded.action.endswith("2..*")
+        bounded = session.add_frequency("r2", 2, 4)
+        assert bounded.action.endswith("2..4")
