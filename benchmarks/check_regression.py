@@ -6,11 +6,16 @@ Bars (see ROADMAP.md):
 * the 80-fact incremental speedup must stay >= 3x over from-scratch
   revalidation (the PR 1/2 regression bar);
 * when the ``multi_session`` section is present, batched drains must not
-  be slower than per-edit validation at any measured session count.
+  be slower than per-edit validation at any measured session count;
+* when the ``wire`` section is present, the HTTP front must sustain a
+  positive aggregate request rate at every client count, and the 64-client
+  rate must hold at least a third of the 8-client rate (no collapse under
+  concurrency).
 
 Run after the benchmarks regenerate the JSON::
 
-    PYTHONPATH=src python -m pytest -q benchmarks/bench_incremental.py benchmarks/bench_service.py
+    PYTHONPATH=src python -m pytest -q benchmarks/bench_incremental.py \
+        benchmarks/bench_service.py benchmarks/bench_wire.py
     python benchmarks/check_regression.py
 """
 
@@ -19,6 +24,12 @@ import sys
 from pathlib import Path
 
 SPEEDUP_BAR = 3.0
+#: The wire front's no-collapse bar: the 64-client aggregate request rate
+#: must hold at least this fraction of the 8-client rate.  Shared by the
+#: benchmark (bench_wire.py) and the tier-1 artifact guard
+#: (tests/server/test_bench_regression.py) — one bar, three enforcement
+#: points.
+WIRE_COLLAPSE_RATIO = 1 / 3
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_incremental.json"
 
 
@@ -48,6 +59,25 @@ def main() -> int:
                 f"{count} sessions: batched {batched:,.0f} edits/s, "
                 f"{ratio:.2f}x vs per-edit -> {'OK' if ok else 'FAIL'}"
             )
+
+    wire = data.get("wire")
+    if wire is None:
+        print("wire section: absent (run benchmarks/bench_wire.py)")
+    else:
+        rates = wire["requests_per_sec"]
+        for count, rate in sorted(rates.items(), key=lambda item: int(item[0])):
+            ok = rate > 0
+            failed |= not ok
+            print(
+                f"{count} wire clients: {rate:,.0f} req/s -> "
+                f"{'OK' if ok else 'FAIL'}"
+            )
+        collapse_ok = rates["64"] > rates["8"] * WIRE_COLLAPSE_RATIO
+        failed |= not collapse_ok
+        print(
+            f"wire 64-vs-8 client rate ratio: {rates['64'] / rates['8']:.2f} "
+            f"(bar: > {WIRE_COLLAPSE_RATIO:.2f}) -> {'OK' if collapse_ok else 'FAIL'}"
+        )
 
     return 1 if failed else 0
 

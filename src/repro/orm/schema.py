@@ -495,6 +495,17 @@ class Schema:
     # element access
     # ------------------------------------------------------------------
 
+    def element_count(self) -> int:
+        """Object types + fact types + constraints, as an O(1) census.
+
+        Used as a size/weight proxy (e.g. engine eviction budgets): it only
+        reads container lengths, so it is safe to call concurrently with
+        mutations — at worst it is off by the in-flight edit.
+        """
+        return (
+            len(self._object_types) + len(self._fact_types) + len(self._constraints)
+        )
+
     def object_types(self) -> list[ObjectType]:
         """All object types, in insertion order."""
         return list(self._object_types.values())

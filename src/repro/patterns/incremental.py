@@ -533,11 +533,21 @@ class IncrementalEngine:
             return None
         return self._propagator.result()
 
-    def refresh(self) -> ValidationReport:
+    def refresh(self, *, executor=None) -> ValidationReport:
         """Consume the schema changes since the last call and re-validate.
 
         Cost is proportional to the dirty neighborhood of those changes,
         not to the schema size, for every enabled analysis family.
+
+        With ``executor`` (a :class:`concurrent.futures.Executor`) the
+        per-analysis scoped refreshes fan out as independent tasks instead
+        of running on the calling thread: every analysis owns its own
+        finding store, reads the schema without mutating it, and retracts/
+        merges shard by shard when the store is sharded, so the units never
+        share mutable state.  The caller must still serialize ``refresh``
+        with schema edits (the service holds the session lock for the whole
+        call); the executor must be a *different* pool from the one the
+        caller runs on, or a saturated pool deadlocks on its own subtasks.
         """
         started = time.perf_counter()
         changes = self.schema.changes_since(self._mark)
@@ -548,16 +558,51 @@ class IncrementalEngine:
         scope = scope_from_changes(self.schema, changes)
         if scope.is_empty:
             return self._report
-        for check in self._analyses():
-            stored = self._sites[check.pattern_id]
-            fresh = check.check_scoped(self.schema, scope)
-            for key in [k for k in stored if check.site_dirty(k, scope, self.schema)]:
-                del stored[key]
-            stored.update(fresh)
+        analyses = self._analyses()
+        if executor is None or len(analyses) <= 1:
+            for check in analyses:
+                self._refresh_analysis(check, scope)
+        else:
+            # Prime the scope's lazily-built shared caches once, on this
+            # thread, so the fanned-out tasks only ever read them.  The
+            # SetPath graph is primed unconditionally: P6/S1-S3 consult it
+            # whenever they have in-scope sites, setcomp-dirty or not.
+            scope.candidate_constraints(self.schema)
+            scope.setcomp_closure(self.schema)
+            scope.setpath_graph(self.schema)
+            list(
+                executor.map(
+                    lambda check: self._refresh_analysis(check, scope), analyses
+                )
+            )
         self._build_outputs(time.perf_counter() - started)
         if self._propagator is not None:
             self._propagator.refresh(scope, self._report)
         return self._report
+
+    def _refresh_analysis(self, check, scope: CheckScope) -> None:
+        """One analysis's scoped refresh: recompute the dirty sites, then
+        retract and merge — shard by shard when the store is sharded (the
+        independent unit of a sharded deployment)."""
+        stored = self._sites[check.pattern_id]
+        fresh = check.check_scoped(self.schema, scope)
+        shards = stored.shards() if hasattr(stored, "shards") else (stored,)
+        for shard in shards:
+            for key in [k for k in shard if check.site_dirty(k, scope, self.schema)]:
+                del shard[key]
+        stored.update(fresh)
+
+    def site_count(self) -> int:
+        """The engine's *weight* for capacity accounting: the size of its
+        check-site universe (every schema element is a potential site of
+        the enabled analyses) plus the findings currently stored.  A big
+        schema's engine weighs proportionally more of a service's
+        live-engine budget than a tiny one.  Reads only O(1) container
+        sizes, so it is safe to call concurrently with edits (the census
+        is approximate under concurrency by design)."""
+        return self.schema.element_count() + sum(
+            len(store) for store in self._sites.values()
+        )
 
     # `check()` mirrors PatternEngine's entry point for drop-in use.
     def check(self, schema: Schema | None = None) -> ValidationReport:

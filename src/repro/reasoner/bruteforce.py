@@ -25,29 +25,32 @@ _MAX_COMBINATIONS = 2_000_000
 
 
 def _candidate_instances(schema: Schema, num_abstract: int) -> dict[str, list[str]]:
-    """Per-type candidate instances: abstract names plus relevant values.
+    """Per-type candidate instances, mirroring the SAT encoder's domain.
 
-    A type's candidates include every value string appearing on any type in
-    its subtype component: pools of subtypes flow *upward* (their members
-    are members here too) and pools of supertypes flow *downward* (members
-    here must ultimately come from the ancestor's pool).  Abstract
-    individuals are added unless the type itself is value-constrained.
+    The bounded domain is ``num_abstract`` abstract individuals plus one
+    dedicated individual per concrete value appearing in any value
+    constraint (the encoder's global-instance reading).  A value-constrained
+    type admits exactly its own values; every *unconstrained* type admits
+    the whole domain — including the value individuals of unrelated types,
+    which the ground-truth checker accepts as members of any type without a
+    lexical restriction.  Restricting value flow to subtype-related types
+    (the pre-fix behaviour) made the enumeration domain strictly smaller
+    than the checker's semantics: the enumerator missed models in which an
+    unconstrained type borrows a value individual to reach a frequency
+    minimum (the generated-schema seed=26 regression).
     """
     abstract = [f"e{index}" for index in range(num_abstract)]
+    all_values: list[str] = []
+    for object_type in schema.object_types():
+        for value in object_type.values or ():
+            if value not in all_values:
+                all_values.append(value)
     candidates: dict[str, list[str]] = {}
     for object_type in schema.object_types():
-        name = object_type.name
-        pool: list[str] = []
         if object_type.values is None:
-            pool.extend(abstract)
-            related = schema.subtypes(name) + schema.supertypes(name)
-            for relative in related:
-                for value in schema.object_type(relative).values or ():
-                    if value not in pool:
-                        pool.append(value)
+            candidates[object_type.name] = abstract + all_values
         else:
-            pool.extend(object_type.values)
-        candidates[name] = pool
+            candidates[object_type.name] = list(object_type.values)
     return candidates
 
 

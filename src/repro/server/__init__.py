@@ -1,14 +1,24 @@
-"""Multi-session validation service with sharded finding stores.
+"""Multi-session validation service with sharded finding stores and an
+asyncio wire front.
 
 :class:`ValidationService` owns many named modeling sessions/schemas behind
 one ``open``/``edit``/``report``/``close`` API, drains each schema's change
 journal in **batches** per tick (thread-pool parallel across sessions, a
-lock per schema), shards every engine's per-site finding store by site key
-(:class:`ShardedSiteStore`), and keeps only the hottest engines live —
+lock per schema; each draining engine fans its per-analysis shard refreshes
+onto a second pool), shards every engine's per-site finding store by site
+key (:class:`ShardedSiteStore`), and keeps only the hottest engines live —
 idle ones are suspended to journal-mark snapshots and resumed by replaying
 the checkpoint window (see :mod:`repro.server.service` for the contract).
+
+The service is reachable remotely through the JSON wire protocol
+(:mod:`repro.server.protocol`): :class:`repro.server.wire.WireServer` is
+the asyncio HTTP front (``orm-validate serve``),
+:class:`repro.server.client.ServiceClient` the blocking client
+(``orm-validate --batch --server URL``).  ``wire`` and ``client`` are
+imported lazily on attribute access to keep ``import repro.server`` light.
 """
 
+from repro.server.protocol import WireError
 from repro.server.service import (
     EDIT_VERBS,
     DrainStats,
@@ -22,9 +32,25 @@ __all__ = [
     "DEFAULT_SHARDS",
     "DrainStats",
     "EDIT_VERBS",
+    "ServerThread",
+    "ServiceClient",
     "ServiceStats",
     "SessionHandle",
     "ShardedSiteStore",
     "ValidationService",
+    "WireError",
+    "WireServer",
     "stable_shard_index",
 ]
+
+
+def __getattr__(name: str):
+    if name in ("WireServer", "ServerThread"):
+        from repro.server import wire
+
+        return getattr(wire, name)
+    if name == "ServiceClient":
+        from repro.server.client import ServiceClient
+
+        return ServiceClient
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

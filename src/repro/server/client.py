@@ -1,0 +1,197 @@
+"""Blocking client for the validation service's JSON wire protocol.
+
+:class:`ServiceClient` mirrors the :class:`~repro.server.service
+.ValidationService` verb surface over HTTP (stdlib ``http.client``,
+keep-alive, one connection per client instance — give each thread its own
+client).  It is what ``orm-validate --batch --server URL`` uses, and the
+programmatic entry for anything else that wants remote validation::
+
+    with ServiceClient("http://127.0.0.1:8099") as client:
+        client.open("design")
+        client.edit("design", "add_entity", "Person")
+        report = client.report("design")     # the --format json shape
+        client.close("design")
+
+Server-reported failures raise :class:`~repro.server.protocol.WireError`
+carrying the structured ``code`` (``unknown_session``,
+``malformed_request``, ``server_shutdown``, ...) and HTTP status — no
+string-matching needed on the caller's side.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from urllib.parse import urlsplit
+
+from repro.exceptions import ReproError
+from repro.io.dsl import write_schema
+from repro.orm.schema import Schema
+from repro.server import protocol
+from repro.server.protocol import WireError
+from repro.tool.validator import ValidatorSettings
+
+
+class WireTransportError(ReproError):
+    """The HTTP conversation itself failed (connect/read), as opposed to
+    the server answering with a structured :class:`WireError`."""
+
+
+class ServiceClient:
+    """One keep-alive connection speaking the wire protocol.
+
+    Not thread-safe by design (``http.client`` connections are not);
+    concurrency is achieved with one client per thread, which is exactly
+    how the multi-client integration tests and the wire benchmark drive a
+    server.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 60.0) -> None:
+        parts = urlsplit(base_url)
+        if parts.scheme != "http" or not parts.hostname:
+            raise ValueError(
+                f"base_url must look like http://host:port, got {base_url!r}"
+            )
+        self._host = parts.hostname
+        self._port = parts.port or 80
+        self._timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    # -- the verb surface --------------------------------------------------
+
+    def open(
+        self,
+        session: str,
+        *,
+        settings: ValidatorSettings | dict | None = None,
+        schema: Schema | str | None = None,
+    ) -> dict:
+        """Open a remote session; ``schema`` ships a whole schema in the
+        call (a :class:`Schema` is serialized to the ORM text DSL)."""
+        payload: dict = {"session": session}
+        if settings is not None:
+            if isinstance(settings, ValidatorSettings):
+                settings = protocol.settings_to_payload(settings)
+            payload["settings"] = settings
+        if schema is not None:
+            payload["schema_dsl"] = (
+                write_schema(schema) if isinstance(schema, Schema) else schema
+            )
+        return self._request("POST", "/v1/open", payload)
+
+    def edit(self, session: str, verb: str, *args, **kwargs) -> dict:
+        """Apply one edit (no validation — the batched-drain contract);
+        returns the created element's ``{"kind", "name"/"label"}``."""
+        payload = {"session": session, "verb": verb}
+        if args:
+            payload["args"] = list(args)
+        if kwargs:
+            payload["kwargs"] = kwargs
+        return self._request("POST", "/v1/edit", payload)["result"]
+
+    def report(self, session: str) -> dict:
+        """Drain one session and return its report payload
+        (:func:`repro.server.protocol.report_to_payload` shape)."""
+        return self._request("POST", "/v1/report", {"session": session})["report"]
+
+    def close(self, session: str) -> dict:
+        """Close a remote session, returning its final report payload."""
+        return self._request("POST", "/v1/close", {"session": session})["report"]
+
+    def drain(self, sessions: list[str] | None = None, *, min_pending: int = 1) -> dict:
+        """Trigger one service tick; returns the drain stats payload."""
+        payload: dict = {"min_pending": min_pending}
+        if sessions is not None:
+            payload["sessions"] = list(sessions)
+        return self._request("POST", "/v1/drain", payload)["stats"]
+
+    def healthz(self) -> dict:
+        """Liveness probe: wire version plus the service census."""
+        return self._request("GET", "/healthz")
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self._host, self._port, timeout=self._timeout
+            )
+        return self._conn
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        # Retry exactly once, and only for the stale keep-alive case: the
+        # attempt went over a *reused* socket and either the send itself
+        # failed or the server closed the connection without sending one
+        # response byte (RemoteDisconnected) — the graceful between-requests
+        # close, where the request cannot have been processed.  Anything
+        # else (fresh connection, timeout or reset mid-exchange) is NOT
+        # retried: the verbs are not idempotent, and re-sending an edit or
+        # open a slow server already applied would execute it twice.
+        for attempt in (0, 1):
+            reused = self._conn is not None
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+            except (http.client.HTTPException, ConnectionError, OSError) as error:
+                self.close_connection()
+                if attempt or not reused:
+                    raise WireTransportError(
+                        f"{method} {path} failed to send: {error}"
+                    ) from error
+                continue
+            try:
+                response = conn.getresponse()
+                data = response.read()
+                break
+            except http.client.RemoteDisconnected as error:
+                self.close_connection()
+                if attempt or not reused:
+                    raise WireTransportError(
+                        f"{method} {path}: connection closed without a response "
+                        f"({error})"
+                    ) from error
+            except (http.client.HTTPException, ConnectionError, OSError) as error:
+                # Mid-exchange failure: the server may have applied the
+                # request; surface it rather than risk a duplicate.
+                self.close_connection()
+                raise WireTransportError(
+                    f"{method} {path}: no usable response ({error})"
+                ) from error
+        try:
+            parsed = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise WireTransportError(
+                f"{method} {path}: server sent non-JSON ({error})"
+            ) from None
+        if not isinstance(parsed, dict) or not parsed.get("ok"):
+            error_info = (parsed or {}).get("error") if isinstance(parsed, dict) else None
+            if isinstance(error_info, dict) and "code" in error_info:
+                raise WireError(
+                    error_info["code"],
+                    str(error_info.get("message", "")),
+                    http_status=response.status,
+                )
+            raise WireTransportError(
+                f"{method} {path}: HTTP {response.status} without a structured error"
+            )
+        return parsed
+
+    def close_connection(self) -> None:
+        """Drop the keep-alive socket (reconnects lazily on next use)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close_connection()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ServiceClient(http://{self._host}:{self._port})"

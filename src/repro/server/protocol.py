@@ -1,0 +1,249 @@
+"""The JSON wire protocol of the validation service.
+
+One request/response shape per :class:`~repro.server.service.ValidationService`
+verb, shared by the asyncio HTTP front (:mod:`repro.server.wire`) and the
+client (:mod:`repro.server.client`).  Everything on the wire is a JSON
+object; successful responses carry ``{"ok": true, ...}``, failures carry
+``{"ok": false, "error": {"code": ..., "message": ...}}`` with a matching
+HTTP status — *structured* errors, never a traceback body.
+
+Endpoints (see :class:`repro.server.wire.WireServer`):
+
+=======================  ====================================================
+``POST /v1/open``        ``{"session", "settings"?, "schema_dsl"?}``
+``POST /v1/edit``        ``{"session", "verb", "args"?, "kwargs"?}``
+``POST /v1/report``      ``{"session"}``
+``POST /v1/close``       ``{"session"}``
+``POST /v1/drain``       ``{"sessions"?, "min_pending"?}`` — the service tick
+``GET  /healthz``        liveness + the service census
+=======================  ====================================================
+
+``settings`` serializes :class:`~repro.tool.validator.ValidatorSettings`
+(:func:`settings_to_payload` / :func:`settings_from_payload`); reports
+serialize :class:`~repro.tool.validator.ToolReport`
+(:func:`report_to_payload` — the same shape the CLI's ``--format json``
+prints).  ``schema_dsl`` is the ORM text DSL, letting a remote client ship
+a whole schema in the open call instead of replaying it as edits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from repro.exceptions import ReproError
+
+# The report payload shape and its renderer are owned by the tool layer
+# (one shape for --format json and the wire; one renderer for the local
+# and the remote CLI) and re-exported here as part of the protocol surface.
+from repro.tool.validator import (  # noqa: F401  (re-exports)
+    ValidatorSettings,
+    render_report_payload,
+    report_to_payload,
+)
+
+#: Protocol version, echoed by ``/healthz`` so clients can detect skew.
+WIRE_VERSION = 1
+
+# -- error codes (wire-visible) and their HTTP statuses -------------------
+
+MALFORMED_REQUEST = "malformed_request"
+UNKNOWN_ENDPOINT = "unknown_endpoint"
+METHOD_NOT_ALLOWED = "method_not_allowed"
+UNKNOWN_SESSION = "unknown_session"
+SESSION_EXISTS = "session_exists"
+UNKNOWN_VERB = "unknown_verb"
+SCHEMA_ERROR = "schema_error"
+SERVER_SHUTDOWN = "server_shutdown"
+INTERNAL_ERROR = "internal_error"
+
+HTTP_STATUS = {
+    MALFORMED_REQUEST: 400,
+    UNKNOWN_VERB: 400,
+    UNKNOWN_ENDPOINT: 404,
+    UNKNOWN_SESSION: 404,
+    METHOD_NOT_ALLOWED: 405,
+    SESSION_EXISTS: 409,
+    SCHEMA_ERROR: 422,
+    INTERNAL_ERROR: 500,
+    SERVER_SHUTDOWN: 503,
+}
+
+
+class WireError(ReproError):
+    """A structured protocol error (either side of the wire).
+
+    Carries the wire-visible ``code`` and the HTTP status it maps to; the
+    server turns it into the error response shape, the client raises it
+    when a response carries one.
+    """
+
+    def __init__(self, code: str, message: str, http_status: int | None = None) -> None:
+        super().__init__(message)
+        self.code = code
+        self.http_status = http_status or HTTP_STATUS.get(code, 500)
+
+    def to_payload(self) -> dict:
+        """The ``{"ok": false, "error": ...}`` response body."""
+        return {"ok": False, "error": {"code": self.code, "message": str(self)}}
+
+
+def _require(payload: dict, key: str, kind: type, *, optional: bool = False):
+    """Typed field access over a decoded JSON body (wire-error on misuse)."""
+    if not isinstance(payload, dict):
+        raise WireError(MALFORMED_REQUEST, "request body must be a JSON object")
+    value = payload.get(key)
+    if value is None:
+        if optional:
+            return None
+        raise WireError(MALFORMED_REQUEST, f"missing required field {key!r}")
+    if not isinstance(value, kind):
+        raise WireError(
+            MALFORMED_REQUEST,
+            f"field {key!r} must be {kind.__name__}, got {type(value).__name__}",
+        )
+    return value
+
+
+# -- request shapes --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OpenRequest:
+    """``POST /v1/open`` — open a named session, optionally shipping a
+    whole schema (ORM text DSL) and a settings profile."""
+
+    session: str
+    settings: dict | None = None
+    schema_dsl: str | None = None
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "OpenRequest":
+        return cls(
+            session=_require(payload, "session", str),
+            settings=_require(payload, "settings", dict, optional=True),
+            schema_dsl=_require(payload, "schema_dsl", str, optional=True),
+        )
+
+
+@dataclass(frozen=True)
+class EditRequest:
+    """``POST /v1/edit`` — one session-verb edit (no validation; the
+    batched-drain contract is unchanged over the wire)."""
+
+    session: str
+    verb: str
+    args: list = field(default_factory=list)
+    kwargs: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "EditRequest":
+        return cls(
+            session=_require(payload, "session", str),
+            verb=_require(payload, "verb", str),
+            args=_require(payload, "args", list, optional=True) or [],
+            kwargs=_require(payload, "kwargs", dict, optional=True) or {},
+        )
+
+
+@dataclass(frozen=True)
+class SessionRequest:
+    """``POST /v1/report`` and ``POST /v1/close`` — one session by name."""
+
+    session: str
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "SessionRequest":
+        return cls(session=_require(payload, "session", str))
+
+
+@dataclass(frozen=True)
+class DrainRequest:
+    """``POST /v1/drain`` — one service tick over all (or named) sessions."""
+
+    sessions: list | None = None
+    min_pending: int = 1
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "DrainRequest":
+        sessions = _require(payload, "sessions", list, optional=True)
+        if sessions is not None and not all(isinstance(n, str) for n in sessions):
+            raise WireError(MALFORMED_REQUEST, "'sessions' must be a list of names")
+        min_pending = _require(payload, "min_pending", int, optional=True)
+        return cls(sessions=sessions, min_pending=min_pending or 1)
+
+
+# -- payload (de)serialization ---------------------------------------------
+
+
+def settings_to_payload(settings: ValidatorSettings) -> dict:
+    """Serialize a Fig. 15 settings profile for the wire."""
+    return {
+        "patterns": dict(settings.patterns),
+        "wellformedness": settings.wellformedness,
+        "formation_rules": settings.formation_rules,
+        "propagation": settings.propagation,
+    }
+
+
+_SETTINGS_FLAGS = ("wellformedness", "formation_rules", "propagation")
+
+
+def settings_from_payload(payload: dict) -> ValidatorSettings:
+    """Build a :class:`ValidatorSettings` from its wire form.
+
+    ``patterns`` may be a dict ``{pattern_id: bool}`` or a list of enabled
+    ids (everything else unticked); unknown pattern ids or flags are
+    malformed requests, not silent no-ops.
+    """
+    settings = ValidatorSettings()
+    unknown = set(payload) - {"patterns", *_SETTINGS_FLAGS}
+    if unknown:
+        raise WireError(
+            MALFORMED_REQUEST, f"unknown settings field(s): {sorted(unknown)}"
+        )
+    patterns = payload.get("patterns")
+    if patterns is not None:
+        if isinstance(patterns, list):
+            patterns = {pid: True for pid in patterns}
+            wanted = dict.fromkeys(settings.patterns, False)
+            wanted.update(patterns)
+        elif isinstance(patterns, dict):
+            wanted = dict(settings.patterns)
+            wanted.update(patterns)
+        else:
+            raise WireError(MALFORMED_REQUEST, "'patterns' must be a list or object")
+        try:
+            for pattern_id, enabled in wanted.items():
+                if enabled:
+                    settings.enable(pattern_id)
+                else:
+                    settings.disable(pattern_id)
+        except KeyError as error:
+            raise WireError(MALFORMED_REQUEST, f"unknown pattern id {error}") from None
+    for flag in _SETTINGS_FLAGS:
+        if flag in payload:
+            value = payload[flag]
+            if not isinstance(value, bool):
+                raise WireError(MALFORMED_REQUEST, f"settings field {flag!r} must be a bool")
+            setattr(settings, flag, value)
+    return settings
+
+
+def edit_result_to_payload(result) -> dict:
+    """Serialize whatever a Schema mutator returned (the created/removed
+    element) down to what a remote editor needs: its name or label."""
+    payload: dict = {"kind": type(result).__name__}
+    label = getattr(result, "label", None)
+    if isinstance(label, str):
+        payload["label"] = label
+    name = getattr(result, "name", None)
+    if isinstance(name, str):
+        payload["name"] = name
+    if not ("label" in payload or "name" in payload):
+        payload["repr"] = repr(result)
+    return payload
+
+
+def stats_to_payload(stats) -> dict:
+    """Serialize a :class:`DrainStats` / :class:`ServiceStats` dataclass."""
+    return asdict(stats)

@@ -95,6 +95,7 @@ class ServiceStats:
     sessions: int
     live_engines: int
     suspended_engines: int
+    live_sites: int
     edits: int
     drains: int
     changes_drained: int
@@ -192,14 +193,28 @@ class ValidationService:
         without their own (deep-copied per session, so later per-session
         toggling stays isolated).
     max_live_engines:
-        LRU capacity for live engines.  Sessions beyond it are suspended
-        (finding stores + journal mark) and resumed on their next drain by
-        replaying the journal window.  Eviction is best-effort: a session
-        whose lock is busy is skipped (it is hot by definition).
+        LRU capacity for live engines, in engine *count*.  Sessions beyond
+        it are suspended (finding stores + journal mark) and resumed on
+        their next drain by replaying the journal window.  Eviction is
+        best-effort: a session whose lock is busy is skipped (it is hot by
+        definition).
+    max_live_sites:
+        Optional live-engine budget in **check sites** (the sum of
+        :meth:`repro.patterns.incremental.IncrementalEngine.site_count`
+        over live engines).  Engine count treats a giant schema and a tiny
+        one as equal tenants; weighting by site count stops one giant
+        engine from pinning the memory the budget was meant to bound —
+        the giant is suspended first even when the engine count is under
+        ``max_live_engines``.  ``None`` (default) keeps pure count-LRU.
     max_workers:
-        Thread-pool width for :meth:`drain`.  ``0`` disables the pool
+        Thread-pool width for :meth:`drain`.  ``0`` disables the pools
         (drains run inline, deterministic — handy for tests and the CLI's
-        ``--jobs 0``).
+        ``--jobs 0``).  A nonzero width creates **two** pools of that
+        width: one draining sessions, one fanning each draining engine's
+        per-analysis shard refreshes (separate pools, so a drain waiting
+        on its refresh units can never deadlock the tick) — a single hot
+        schema's refresh therefore no longer serializes a tick on one
+        thread.
     store_shards:
         Shard count of every engine's per-site finding stores.
     """
@@ -209,13 +224,17 @@ class ValidationService:
         *,
         settings: ValidatorSettings | None = None,
         max_live_engines: int = 16,
+        max_live_sites: int | None = None,
         max_workers: int | None = None,
         store_shards: int = DEFAULT_SHARDS,
     ) -> None:
         if max_live_engines < 1:
             raise ValueError(f"max_live_engines must be >= 1, got {max_live_engines}")
+        if max_live_sites is not None and max_live_sites < 1:
+            raise ValueError(f"max_live_sites must be >= 1, got {max_live_sites}")
         self._default_settings = settings or ValidatorSettings()
         self.max_live_engines = max_live_engines
+        self.max_live_sites = max_live_sites
         self._store_shards = store_shards
         self._sessions: dict[str, _SessionState] = {}
         self._lru: OrderedDict[str, None] = OrderedDict()
@@ -228,9 +247,13 @@ class ValidationService:
         self._resumes = 0
         self._rebuilds = 0
         self._executor: ThreadPoolExecutor | None = None
+        self._refresh_executor: ThreadPoolExecutor | None = None
         if max_workers != 0:
             self._executor = ThreadPoolExecutor(
                 max_workers=max_workers, thread_name_prefix="repro-drain"
+            )
+            self._refresh_executor = ThreadPoolExecutor(
+                max_workers=max_workers, thread_name_prefix="repro-refresh"
             )
 
     # -- the four verbs --------------------------------------------------
@@ -289,7 +312,7 @@ class ValidationService:
         with state.lock:
             pending = state.pending_changes()  # before ensure: resume replays
             engine, resumed, rebuilt = self._ensure_engine(state)
-            engine.refresh()
+            self._refresh(engine)
             report = report_from_engine(engine, state.settings)
         with self._stats_lock:
             self._drains += 1
@@ -307,7 +330,7 @@ class ValidationService:
             raise UnknownElementError("session", name)
         with state.lock:
             engine, resumed, rebuilt = self._ensure_engine(state, touch=False)
-            engine.refresh()
+            self._refresh(engine)
             report = report_from_engine(engine, state.settings)
             state.engine = None
             state.snapshot = None
@@ -350,7 +373,7 @@ class ValidationService:
             with state.lock:
                 pending = state.pending_changes()  # before ensure: resume replays
                 engine, resumed, rebuilt = self._ensure_engine(state)
-                engine.refresh()
+                self._refresh(engine)
                 return pending, resumed, rebuilt
         if self._executor is None or len(work) == 1:
             results = [drain_one(state) for state in work]
@@ -379,6 +402,16 @@ class ValidationService:
         with self._registry_lock:
             return list(self._sessions)
 
+    def live_sessions(self) -> list[str]:
+        """Names of sessions whose engine is currently live (LRU order,
+        least-recently-touched first)."""
+        with self._registry_lock:
+            return [
+                name
+                for name in self._lru
+                if self._sessions[name].engine is not None
+            ]
+
     def stats(self) -> ServiceStats:
         """Cumulative counters plus the current engine census."""
         with self._registry_lock:
@@ -387,11 +420,17 @@ class ValidationService:
             suspended = sum(
                 1 for s in self._sessions.values() if s.snapshot is not None
             )
+            live_sites = sum(
+                engine.site_count()
+                for s in self._sessions.values()
+                if (engine := s.engine) is not None
+            )
         with self._stats_lock:
             return ServiceStats(
                 sessions=sessions,
                 live_engines=live,
                 suspended_engines=suspended,
+                live_sites=live_sites,
                 edits=self._edits,
                 drains=self._drains,
                 changes_drained=self._changes_drained,
@@ -403,10 +442,13 @@ class ValidationService:
     # -- lifecycle ---------------------------------------------------------
 
     def shutdown(self) -> None:
-        """Stop the drain pool (open sessions stay readable inline)."""
+        """Stop the drain pools (open sessions stay readable inline)."""
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._refresh_executor is not None:
+            self._refresh_executor.shutdown(wait=True)
+            self._refresh_executor = None
 
     def __enter__(self) -> "ValidationService":
         return self
@@ -433,6 +475,18 @@ class ValidationService:
 
     def _store_factory(self) -> ShardedSiteStore:
         return ShardedSiteStore(self._store_shards)
+
+    def _refresh(self, engine: IncrementalEngine) -> None:
+        """Drain one engine, fanning its per-analysis shard refreshes onto
+        the dedicated refresh pool when the service runs threaded.
+
+        The refresh pool is distinct from the drain pool on purpose: a
+        drain task blocks on its engine's refresh units, and a saturated
+        pool cannot run subtasks submitted by its own blocked workers.
+        With two pools a single hot schema's refresh spreads across the
+        refresh pool while other sessions keep draining on the drain pool.
+        """
+        engine.refresh(executor=self._refresh_executor)
 
     def _build_engine(self, state: _SessionState) -> IncrementalEngine:
         settings = state.settings
@@ -495,6 +549,13 @@ class ValidationService:
     def _evict_over_capacity(self, exclude: str) -> None:
         """Suspend least-recently-used live engines down to capacity.
 
+        Capacity is two-dimensional: engine *count* (``max_live_engines``)
+        and, when ``max_live_sites`` is set, total engine *weight* in check
+        sites.  Eviction order stays LRU-by-touch, but the site budget
+        means one giant engine frees as much room as many small ones — it
+        gets suspended even when the engine count is under the cap, instead
+        of pinning the whole budget from a single LRU slot.
+
         Candidates are collected under the registry lock but suspended
         under a *non-blocking* acquire of their own session lock — a busy
         session is hot and is simply skipped, so eviction can never
@@ -507,10 +568,28 @@ class ValidationService:
                 for name in self._lru  # oldest first
                 if self._sessions[name].engine is not None
             ]
-            excess = len(live) - self.max_live_engines  # caller's engine is in `live`
+            # The caller's engine is included in both excess measures.
+            excess = len(live) - self.max_live_engines
+            site_excess = 0
+            if self.max_live_sites is not None:
+                weights = {
+                    name: engine.site_count()
+                    for name in live
+                    if (engine := self._sessions[name].engine) is not None
+                }
+                site_excess = sum(weights.values()) - self.max_live_sites
+                evictable = sum(w for name, w in weights.items() if name != exclude)
+                if site_excess > evictable:
+                    # The excluded (hot) engine alone blows the budget:
+                    # suspending every other session would still not fit
+                    # and would only churn them through suspend/resume on
+                    # each revival of the giant.  Tolerate the over-budget
+                    # caller instead; the next touch of a *small* session
+                    # evicts the giant normally.
+                    site_excess = 0
             candidates = [name for name in live if name != exclude]
         for name in candidates:
-            if excess <= 0:
+            if excess <= 0 and site_excess <= 0:
                 return
             state = self._sessions.get(name)
             if state is None or not state.lock.acquire(blocking=False):
@@ -518,6 +597,7 @@ class ValidationService:
             try:
                 if state.engine is None:
                     continue
+                site_excess -= state.engine.site_count()
                 state.snapshot = state.engine.suspend()
                 state.engine = None
                 excess -= 1

@@ -1,0 +1,510 @@
+"""Asyncio HTTP front end over the :class:`ValidationService` verbs.
+
+The paper's Sec. 4 story is many concurrent modelers getting feedback as
+they edit; :class:`~repro.server.service.ValidationService` is that loop
+in-process, and :class:`WireServer` makes it literal — remote modelers
+speak a small JSON protocol (:mod:`repro.server.protocol`) over HTTP/1.1
+(keep-alive, stdlib only, no framework dependency):
+
+* ``POST /v1/open|edit|report|close`` — the four service verbs;
+* ``POST /v1/drain`` — the service tick, also run periodically by the
+  server's own background drain task (``drain_interval``);
+* ``GET /healthz`` — liveness plus the service census.
+
+**Threading model.**  The service API was shaped so this layer needs no
+new locking: every request handler is a plain blocking call into the
+service (per-session locks serialize edits with drains), bridged off the
+event loop with :meth:`loop.run_in_executor`.  The event loop itself only
+parses HTTP and JSON; the background drain task ticks the service's own
+thread pool, so a slow drain never blocks request handling.
+
+**Failure shape.**  Every error a client can provoke — malformed JSON,
+unknown session, edit after close, a request racing server shutdown — is
+returned as a structured ``{"ok": false, "error": {...}}`` body with a
+matching HTTP status (:data:`repro.server.protocol.HTTP_STATUS`); the
+server never answers with a traceback body and never leaves a request
+hanging.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+from repro.exceptions import ReproError, UnknownElementError
+from repro.io.dsl import parse_schema
+from repro.server import protocol
+from repro.server.protocol import (
+    INTERNAL_ERROR,
+    MALFORMED_REQUEST,
+    METHOD_NOT_ALLOWED,
+    SCHEMA_ERROR,
+    SERVER_SHUTDOWN,
+    SESSION_EXISTS,
+    UNKNOWN_ENDPOINT,
+    UNKNOWN_SESSION,
+    UNKNOWN_VERB,
+    WIRE_VERSION,
+    DrainRequest,
+    EditRequest,
+    OpenRequest,
+    SessionRequest,
+    WireError,
+)
+from repro.server.service import ValidationService
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    422: "Unprocessable Entity",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Largest accepted request body (a schema DSL ships in one open call).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class WireServer:
+    """The asyncio HTTP front over one :class:`ValidationService`.
+
+    Parameters
+    ----------
+    service:
+        An existing service to expose; ``None`` builds one from
+        ``service_kwargs`` and owns it (shut down with the server).
+    host / port:
+        Bind address; ``port=0`` picks a free port (read it back from
+        :attr:`address` after :meth:`start`).
+    drain_interval:
+        Period (seconds) of the background service tick; ``None`` disables
+        it (drains then happen only via ``/v1/drain`` and ``report``).
+    """
+
+    def __init__(
+        self,
+        service: ValidationService | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        drain_interval: float | None = 0.05,
+        **service_kwargs,
+    ) -> None:
+        self._service = service if service is not None else ValidationService(**service_kwargs)
+        self._owns_service = service is None
+        self._host = host
+        self._port = port
+        self._drain_interval = drain_interval
+        self._server: asyncio.AbstractServer | None = None
+        self._drain_task: asyncio.Task | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._closing = False
+
+    @property
+    def service(self) -> ValidationService:
+        """The service this front exposes."""
+        return self._service
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (valid after :meth:`start`)."""
+        if self._server is None:
+            raise RuntimeError("server not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    @property
+    def base_url(self) -> str:
+        """``http://host:port`` of the running server."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind, start serving and start the background drain task."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+        if self._drain_interval is not None:
+            self._drain_task = asyncio.create_task(self._drain_loop())
+        return self.address
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled (the ``orm-validate serve`` loop)."""
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    def begin_shutdown(self) -> None:
+        """Enter lame-duck mode: every request from now on gets a
+        structured ``server_shutdown`` error instead of service access.
+
+        Safe to call from any thread; :meth:`stop` calls it first, so a
+        request racing shutdown mid-drain sees a clean 503, not a hang or
+        a half-written response.
+        """
+        self._closing = True
+
+    async def stop(self) -> None:
+        """Stop accepting, finish in-flight requests, stop the service."""
+        self.begin_shutdown()
+        if self._drain_task is not None:
+            self._drain_task.cancel()
+            try:
+                await self._drain_task
+            except asyncio.CancelledError:
+                pass
+            self._drain_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Closing the listener does not touch established connections: idle
+        # keep-alive clients sit blocked in readline forever.  Close their
+        # transports so every connection task unwinds promptly (in-flight
+        # handlers were already answered or see the lame-duck 503).
+        for writer in list(self._writers):
+            writer.close()
+        if self._connections:
+            _, pending = await asyncio.wait(self._connections, timeout=5.0)
+            for task in pending:
+                task.cancel()
+        if self._owns_service:
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._service.shutdown
+            )
+
+    async def _drain_loop(self) -> None:
+        """The background service tick (errors are survivable: a failing
+        drain is retried next period; the verbs keep working regardless)."""
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self._drain_interval)
+            try:
+                await loop.run_in_executor(None, self._service.drain)
+            except asyncio.CancelledError:  # pragma: no cover - task teardown
+                raise
+            except Exception:  # pragma: no cover - keep ticking
+                continue
+
+    # -- HTTP plumbing -----------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        self._writers.add(writer)
+        try:
+            while True:
+                keep_alive = await self._handle_one_request(reader, writer)
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):
+            pass  # client went away; nothing to answer
+        except (asyncio.LimitOverrunError, ValueError):
+            # A request line or header beyond the StreamReader limit: still
+            # answer structurally before dropping the connection.
+            try:
+                await self._respond(
+                    writer,
+                    400,
+                    WireError(
+                        MALFORMED_REQUEST, "request line or headers too large"
+                    ).to_payload(),
+                    keep_alive=False,
+                )
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _handle_one_request(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Parse one HTTP/1.1 request, dispatch, respond.  Returns whether
+        the connection should be kept alive for another request."""
+        request_line = await reader.readline()
+        if not request_line or request_line in (b"\r\n", b"\n"):
+            return False
+        try:
+            method, path, _version = request_line.decode("latin-1").split(None, 2)
+        except ValueError:
+            await self._respond(
+                writer,
+                400,
+                WireError(MALFORMED_REQUEST, "unparseable request line").to_payload(),
+                keep_alive=False,
+            )
+            return False
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_BODY_BYTES:
+            await self._respond(
+                writer,
+                400,
+                WireError(MALFORMED_REQUEST, "bad content-length").to_payload(),
+                keep_alive=False,
+            )
+            return False
+        body = await reader.readexactly(length) if length else b""
+        status, payload = await self._dispatch(method.upper(), path, body)
+        await self._respond(writer, status, payload, keep_alive=keep_alive)
+        return keep_alive
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        *,
+        keep_alive: bool,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # -- dispatch ----------------------------------------------------------
+
+    async def _dispatch(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+        """Route one request; *every* failure becomes a structured error."""
+        try:
+            if path == "/healthz":
+                if method != "GET":
+                    raise WireError(METHOD_NOT_ALLOWED, "/healthz is GET-only")
+                return 200, self._healthz()
+            handler = {
+                "/v1/open": self._handle_open,
+                "/v1/edit": self._handle_edit,
+                "/v1/report": self._handle_report,
+                "/v1/close": self._handle_close,
+                "/v1/drain": self._handle_drain,
+            }.get(path)
+            if handler is None:
+                raise WireError(UNKNOWN_ENDPOINT, f"no such endpoint: {path}")
+            if method != "POST":
+                raise WireError(METHOD_NOT_ALLOWED, f"{path} is POST-only")
+            if self._closing:
+                raise WireError(SERVER_SHUTDOWN, "server is shutting down")
+            try:
+                payload = json.loads(body.decode("utf-8")) if body else {}
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                raise WireError(
+                    MALFORMED_REQUEST, f"request body is not valid JSON: {error}"
+                ) from None
+            result = await asyncio.get_running_loop().run_in_executor(
+                None, handler, payload
+            )
+            return 200, result
+        except WireError as error:
+            return error.http_status, error.to_payload()
+        except RuntimeError as error:
+            # The executor (or a service pool) refusing new work is the
+            # shutdown race; any other RuntimeError is a genuine bug.
+            if self._closing or "shutdown" in str(error):
+                error = WireError(SERVER_SHUTDOWN, f"server is shutting down: {error}")
+            else:
+                error = WireError(INTERNAL_ERROR, f"RuntimeError: {error}")
+            return error.http_status, error.to_payload()
+        except Exception as error:  # noqa: BLE001 - the wire must stay structured
+            error = WireError(INTERNAL_ERROR, f"{type(error).__name__}: {error}")
+            return error.http_status, error.to_payload()
+
+    # -- verb handlers (blocking; run on the executor) ---------------------
+
+    def _healthz(self) -> dict:
+        stats = self._service.stats()
+        return {
+            "ok": True,
+            "status": "shutting_down" if self._closing else "serving",
+            "wire_version": WIRE_VERSION,
+            "stats": protocol.stats_to_payload(stats),
+        }
+
+    def _handle_open(self, payload: dict) -> dict:
+        request = OpenRequest.from_payload(payload)
+        settings = None
+        if request.settings is not None:
+            settings = protocol.settings_from_payload(request.settings)
+        schema = None
+        if request.schema_dsl is not None:
+            try:
+                schema = parse_schema(request.schema_dsl)
+            except ReproError as error:
+                raise WireError(SCHEMA_ERROR, f"schema_dsl: {error}") from None
+        try:
+            handle = self._service.open(request.session, settings=settings, schema=schema)
+        except ValueError as error:
+            raise WireError(SESSION_EXISTS, str(error)) from None
+        return {
+            "ok": True,
+            "session": handle.name,
+            "pending": handle.pending_changes,
+        }
+
+    def _handle_edit(self, payload: dict) -> dict:
+        request = EditRequest.from_payload(payload)
+        args = [tuple(a) if isinstance(a, list) else a for a in request.args]
+        kwargs = {
+            key: tuple(v) if isinstance(v, list) else v
+            for key, v in request.kwargs.items()
+        }
+        try:
+            result = self._service.edit(request.session, request.verb, *args, **kwargs)
+        except UnknownElementError as error:
+            raise _session_or_verb_error(error) from None
+        except (TypeError, ReproError) as error:
+            # Bad arguments or a schema-level rejection: the edit did not apply.
+            raise WireError(SCHEMA_ERROR, str(error)) from None
+        return {"ok": True, "result": protocol.edit_result_to_payload(result)}
+
+    def _handle_report(self, payload: dict) -> dict:
+        request = SessionRequest.from_payload(payload)
+        try:
+            report = self._service.report(request.session)
+        except UnknownElementError as error:
+            raise _session_or_verb_error(error) from None
+        return {"ok": True, "report": protocol.report_to_payload(report)}
+
+    def _handle_close(self, payload: dict) -> dict:
+        request = SessionRequest.from_payload(payload)
+        try:
+            report = self._service.close(request.session)
+        except UnknownElementError as error:
+            raise _session_or_verb_error(error) from None
+        return {"ok": True, "report": protocol.report_to_payload(report)}
+
+    def _handle_drain(self, payload: dict) -> dict:
+        request = DrainRequest.from_payload(payload)
+        try:
+            stats = self._service.drain(
+                request.sessions, min_pending=request.min_pending
+            )
+        except KeyError as error:
+            raise WireError(UNKNOWN_SESSION, f"unknown session: {error}") from None
+        return {"ok": True, "stats": protocol.stats_to_payload(stats)}
+
+
+def _session_or_verb_error(error: UnknownElementError) -> WireError:
+    """Map the service's UnknownElementError onto the wire code space: an
+    unknown *session* (including edit-after-close) is 404, an unknown edit
+    verb the client's 400; any other unknown element (a role, a type — the
+    schema rejected the edit's arguments) is the 422 schema error."""
+    if error.kind == "session":
+        return WireError(UNKNOWN_SESSION, str(error))
+    if error.kind == "edit verb":
+        return WireError(UNKNOWN_VERB, str(error))
+    return WireError(SCHEMA_ERROR, str(error))
+
+
+class ServerThread:
+    """Run a :class:`WireServer` on a dedicated event-loop thread.
+
+    The synchronous-world adapter used by the tests, the benchmark and any
+    embedding that is not already inside asyncio::
+
+        with ServerThread(max_workers=4) as server:
+            client = ServiceClient(server.base_url)
+            ...
+
+    ``stop()`` (or leaving the context) shuts the loop and, when the
+    server owns its service, the service too.
+    """
+
+    def __init__(self, service: ValidationService | None = None, **server_kwargs) -> None:
+        self._server = WireServer(service, **server_kwargs)
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._started = threading.Event()
+        self._stop_event: asyncio.Event | None = None
+        self._startup_error: BaseException | None = None
+
+    @property
+    def server(self) -> WireServer:
+        return self._server
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._server.address
+
+    @property
+    def base_url(self) -> str:
+        return self._server.base_url
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-wire-server", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=10.0)
+        if self._startup_error is not None:
+            raise RuntimeError("wire server failed to start") from self._startup_error
+        if not self._started.is_set():
+            raise RuntimeError("wire server did not start within 10s")
+        return self
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        try:
+            await self._server.start()
+        except BaseException as error:  # pragma: no cover - bind failure path
+            self._startup_error = error
+            self._started.set()
+            return
+        self._started.set()
+        await self._stop_event.wait()
+        await self._server.stop()
+
+    def begin_shutdown(self) -> None:
+        """Thread-safe lame-duck switch (see :meth:`WireServer.begin_shutdown`)."""
+        self._server.begin_shutdown()
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        if self._thread is not None:
+            self._thread.join(timeout=15.0)
+            self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

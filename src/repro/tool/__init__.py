@@ -1,7 +1,12 @@
 """DogmaModeler-style tooling: validator, interactive session, CLI."""
 
 from repro.tool.session import EditEvent, ModelingSession
-from repro.tool.validator import ToolReport, Validator, ValidatorSettings
+from repro.tool.validator import (
+    ToolReport,
+    Validator,
+    ValidatorSettings,
+    reference_validate,
+)
 
 __all__ = [
     "EditEvent",
@@ -9,4 +14,5 @@ __all__ = [
     "ToolReport",
     "Validator",
     "ValidatorSettings",
+    "reference_validate",
 ]

@@ -6,7 +6,6 @@ Usage::
     orm-validate schema.orm --patterns P2,P9     # a subset (Fig. 15 style)
     orm-validate schema.orm --formation-rules    # include Sec. 3 analysis
     orm-validate schema.orm --no-advisories      # skip the W01-W07 advisories
-    orm-validate schema.orm --no-incremental     # from-scratch engine run
     orm-validate schema.orm --verbalize          # pseudo-NL rendering first
     orm-validate schema.orm --complete 3         # add bounded complete check
     orm-validate schema.orm --format json
@@ -17,6 +16,16 @@ Usage::
 With several schema files (or ``--batch``) validation runs through the
 multi-session :class:`repro.server.ValidationService`: one session per
 file, journals drained in parallel batches on a thread pool (``--jobs``).
+With ``--server URL`` the batch is validated by a *remote*
+``orm-validate serve`` instance over the JSON wire protocol instead of an
+in-process service.
+
+The service itself is started with the ``serve`` subcommand::
+
+    orm-validate serve --host 127.0.0.1 --port 8099
+    orm-validate --batch --server http://127.0.0.1:8099 a.orm b.orm
+
+See :mod:`repro.server.wire` for the endpoint/JSON reference.
 
 Exit status: 0 when no unsatisfiability was detected, 1 otherwise (any
 file, in batch mode), 2 on input errors — so the tool slots into CI for
@@ -67,6 +76,14 @@ def build_parser() -> argparse.ArgumentParser:
         "thread-pool default)",
     )
     parser.add_argument(
+        "--server",
+        metavar="URL",
+        default=None,
+        help="validate through a remote 'orm-validate serve' instance at URL "
+        "(e.g. http://127.0.0.1:8099) instead of in-process; implies "
+        "--batch",
+    )
+    parser.add_argument(
         "--patterns",
         default=",".join(PATTERN_IDS),
         help="comma-separated pattern ids to enable (default: all nine)",
@@ -94,9 +111,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-incremental",
         action="store_true",
-        help="force from-scratch analysis runs instead of the site-based "
-        "incremental engine (Fig. 15's engine toggle; mostly for debugging "
-        "and benchmarking)",
+        help=argparse.SUPPRESS,  # retired; accepted only to print a notice
     )
     parser.add_argument(
         "--verbalize",
@@ -154,7 +169,14 @@ def _settings_from_args(args) -> ValidatorSettings | None:
     settings.wellformedness = args.advisories
     settings.formation_rules = args.formation_rules
     settings.propagation = args.propagate
-    settings.incremental = not args.no_incremental
+    if args.no_incremental:
+        print(
+            "warning: --no-incremental is deprecated and ignored — the "
+            "site-based incremental engine is always used (the from-scratch "
+            "path survives only as the test reference "
+            "repro.tool.validator.reference_validate)",
+            file=sys.stderr,
+        )
     if args.extensions:
         settings.enable_extensions()
     return settings
@@ -175,43 +197,15 @@ def _load_schema(path: Path):
 
 
 def _report_payload(schema, report, complete_result=None) -> dict:
-    """The machine-readable form of one ToolReport (``--format json``)."""
-    payload = {
-        "schema": schema.metadata.name,
-        "satisfiable_by_patterns": report.ok,
-        "violations": [
-            {
-                "pattern": violation.pattern_id,
-                "message": violation.message,
-                "roles": list(violation.roles),
-                "types": list(violation.types),
-                "constraints": list(violation.constraints),
-            }
-            for violation in report.pattern_report.violations
-        ],
-        "advisories": [
-            {"code": advisory.code, "message": advisory.message}
-            for advisory in report.advisories
-        ],
-        "formation_rules": [
-            {
-                "rule": finding.rule_id,
-                "relevant": finding.relevant,
-                "message": finding.message,
-            }
-            for finding in report.rule_findings
-        ],
-        "complete_check": complete_result,
-    }
-    if report.propagation is not None:
-        payload["propagated"] = {
-            "unsat_roles": sorted(report.propagation.all_unsat_roles()),
-            "unsat_types": sorted(report.propagation.all_unsat_types()),
-            "derived": [
-                {"element": item.element, "kind": item.kind, "via": item.via}
-                for item in report.propagation.derived
-            ],
-        }
+    """The machine-readable form of one ToolReport (``--format json``).
+
+    The shape is owned by :func:`repro.tool.validator.report_to_payload`
+    — the wire protocol and the CLI print the same JSON.
+    """
+    from repro.tool.validator import report_to_payload
+
+    payload = report_to_payload(report)
+    payload["complete_check"] = complete_result
     return payload
 
 
@@ -232,6 +226,8 @@ def _run_batch(paths: list[Path], settings: ValidatorSettings, args) -> int:
         if schema is None:
             return 2
         schemas.append((path, schema))
+    if args.server is not None:
+        return _run_remote_batch(schemas, settings, args)
     with ValidationService(settings=settings, max_workers=args.jobs) as service:
         handles = [
             service.open(f"{index}:{path}", schema=schema)
@@ -261,14 +257,129 @@ def _run_batch(paths: list[Path], settings: ValidatorSettings, args) -> int:
     return 1 if unsat else 0
 
 
+def _run_remote_batch(schemas, settings: ValidatorSettings, args) -> int:
+    """Validate a batch on a remote ``orm-validate serve`` instance."""
+    import uuid
+
+    from repro.server import WireError
+    from repro.server.client import ServiceClient, WireTransportError
+    from repro.tool.validator import render_report_payload
+
+    # A per-run nonce keeps concurrent (or re-run) CLI batches against one
+    # server from colliding on session names.
+    run_id = uuid.uuid4().hex[:8]
+    payloads = []
+    names: list[str] = []
+    try:
+        with ServiceClient(args.server) as client:
+            client.healthz()  # fail fast on a dead/unreachable server
+            try:
+                for index, (path, schema) in enumerate(schemas):
+                    name = f"cli:{run_id}:{index}:{path}"
+                    client.open(name, settings=settings, schema=schema)
+                    names.append(name)
+                client.drain(names)
+                payloads = [client.close(name) for name in names]
+            finally:
+                # On any mid-batch failure, close what was opened so the
+                # server does not accumulate orphaned sessions.
+                for name in names[len(payloads):]:
+                    try:
+                        client.close(name)
+                    except (WireError, WireTransportError):
+                        pass
+    except (WireError, WireTransportError, ValueError) as error:
+        print(f"error: remote validation via {args.server}: {error}", file=sys.stderr)
+        return 2
+    unsat = sum(1 for payload in payloads if not payload["satisfiable_by_patterns"])
+    if args.format == "json":
+        print(json.dumps({"schemas": payloads, "unsatisfiable": unsat}, indent=2))
+    else:
+        for payload in payloads:
+            print(render_report_payload(payload))
+            print()
+        print(
+            f"{len(payloads)} schema(s) validated remotely via {args.server}, "
+            f"{unsat} unsatisfiable"
+        )
+    return 1 if unsat else 0
+
+
+def _run_serve(argv: list[str]) -> int:
+    """The ``orm-validate serve`` subcommand: the asyncio wire front."""
+    import asyncio
+
+    from repro.server.wire import WireServer
+
+    parser = argparse.ArgumentParser(
+        prog="orm-validate serve",
+        description="Serve the multi-session validation service over HTTP "
+        "(JSON wire protocol; see repro.server.wire).",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("--port", type=int, default=8099, help="bind port (0 = pick free)")
+    parser.add_argument(
+        "--drain-interval",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="period of the background service tick (0 disables it)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="drain/refresh pool width (0 = inline drains)",
+    )
+    parser.add_argument(
+        "--max-live-engines", type=int, default=16, help="live-engine count cap"
+    )
+    parser.add_argument(
+        "--max-live-sites",
+        type=int,
+        default=None,
+        help="optional live-engine budget in check sites (weighted eviction)",
+    )
+    args = parser.parse_args(argv)
+
+    async def _serve() -> None:
+        server = WireServer(
+            host=args.host,
+            port=args.port,
+            drain_interval=args.drain_interval or None,
+            max_live_engines=args.max_live_engines,
+            max_live_sites=args.max_live_sites,
+            max_workers=args.jobs,
+        )
+        host, port = await server.start()
+        print(f"orm-validate serve: listening on http://{host}:{port}", flush=True)
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("orm-validate serve: shut down", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the exit status."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return _run_serve(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     settings = _settings_from_args(args)
     if settings is None:
         return 2
-    if args.batch or len(args.schema) > 1:
+    if args.batch or args.server is not None or len(args.schema) > 1:
         return _run_batch(args.schema, settings, args)
 
     schema = _load_schema(args.schema[0])

@@ -14,9 +14,10 @@ settings toggles select **analysis families inside one**
 :class:`repro.patterns.incremental.IncrementalEngine` rather than choosing
 between incremental and from-scratch code paths: patterns, advisories,
 formation rules and propagation are all maintained from the same journal
-drain.  ``incremental=False`` remains available as the from-scratch
-reference mode (it is what the equivalence property tests compare
-against).
+drain.  The from-scratch analysis survives only as
+:func:`reference_validate` — the testing/benchmark reference the
+equivalence property tests compare the engine against; it is no longer a
+public settings toggle.
 """
 
 from __future__ import annotations
@@ -40,11 +41,12 @@ class ValidatorSettings:
     ``patterns`` maps pattern id to enabled (the paper's nine are ticked by
     default; the Sec. 5 extension patterns X1-X3 exist but start unticked);
     ``wellformedness``, ``formation_rules`` and ``propagation`` toggle the
-    auxiliary analysis families.  ``incremental`` selects the
-    dependency-indexed :class:`repro.patterns.incremental.IncrementalEngine`
-    for **all** enabled families (the default — per-edit cost then scales
-    with the edit, not the schema); switch it off to force from-scratch
-    analysis runs on every validation.
+    auxiliary analysis families.  All enabled families are maintained by
+    the dependency-indexed
+    :class:`repro.patterns.incremental.IncrementalEngine` — per-edit cost
+    scales with the edit, not the schema.  (The pre-PR-4 ``incremental``
+    toggle is retired; the from-scratch path lives on only as the
+    test-reference :func:`reference_validate`.)
     """
 
     patterns: dict[str, bool] = field(
@@ -53,7 +55,6 @@ class ValidatorSettings:
     wellformedness: bool = True
     formation_rules: bool = False  # style feedback is opt-in, as in the tool
     propagation: bool = False  # blast-radius derivation is opt-in too
-    incremental: bool = True
 
     def enable(self, pattern_id: str) -> None:
         """Tick one pattern checkbox (paper patterns or X extensions)."""
@@ -103,40 +104,109 @@ class ToolReport:
         return self.pattern_report.is_satisfiable
 
     def render(self) -> str:
-        """The DogmaModeler-style message list."""
-        lines = [f"Validation of schema '{self.schema_name}'"]
-        lines.append("=" * len(lines[0]))
-        if self.pattern_report.violations:
-            lines.append(
-                f"UNSATISFIABLE: {len(self.pattern_report.violations)} violation(s)"
+        """The DogmaModeler-style message list.
+
+        One renderer serves both the local and the remote CLI:
+        :func:`render_report_payload` over :func:`report_to_payload`, plus
+        the local-only footer (checked patterns and timing, which the wire
+        payload deliberately omits).
+        """
+        return "\n".join(
+            (
+                render_report_payload(report_to_payload(self)),
+                f"(checked patterns: {', '.join(self.pattern_report.patterns_run)}; "
+                f"{self.elapsed_seconds * 1000:.1f} ms)",
             )
-            for violation in self.pattern_report.violations:
-                lines.append(f"  [{violation.pattern_id}] {violation.message}")
-        else:
-            lines.append("No unsatisfiability pattern fired.")
-        if self.advisories:
-            lines.append(f"{len(self.advisories)} structural advisory(ies):")
-            for advisory in self.advisories:
-                lines.append(f"  [{advisory.code}] {advisory.message}")
-        if self.rule_findings:
-            relevant = [finding for finding in self.rule_findings if finding.relevant]
-            style_only = len(self.rule_findings) - len(relevant)
-            lines.append(
-                f"{len(relevant)} relevant formation-rule finding(s), "
-                f"{style_only} style-only:"
-            )
-            for finding in self.rule_findings:
-                marker = "!" if finding.relevant else "·"
-                lines.append(f"  {marker} [{finding.rule_id}] {finding.message}")
-        if self.propagation is not None:
-            lines.append(f"Propagation: {self.propagation.summary()}")
-            for item in self.propagation.derived:
-                lines.append(f"  {item.kind} '{item.element}' — {item.via}")
-        lines.append(
-            f"(checked patterns: {', '.join(self.pattern_report.patterns_run)}; "
-            f"{self.elapsed_seconds * 1000:.1f} ms)"
         )
-        return "\n".join(lines)
+
+
+def report_to_payload(report: ToolReport) -> dict:
+    """Serialize a :class:`ToolReport` to its machine-readable JSON shape.
+
+    This one shape is shared by the CLI's ``--format json`` output and the
+    wire protocol (:mod:`repro.server.protocol` re-exports it) — local and
+    remote reports are byte-comparable.
+    """
+    payload = {
+        "schema": report.schema_name,
+        "satisfiable_by_patterns": report.ok,
+        "violations": [
+            {
+                "pattern": violation.pattern_id,
+                "message": violation.message,
+                "roles": list(violation.roles),
+                "types": list(violation.types),
+                "constraints": list(violation.constraints),
+            }
+            for violation in report.pattern_report.violations
+        ],
+        "advisories": [
+            {"code": advisory.code, "message": advisory.message}
+            for advisory in report.advisories
+        ],
+        "formation_rules": [
+            {
+                "rule": finding.rule_id,
+                "relevant": finding.relevant,
+                "message": finding.message,
+            }
+            for finding in report.rule_findings
+        ],
+    }
+    if report.propagation is not None:
+        propagation = report.propagation
+        payload["propagated"] = {
+            "direct_roles": sorted(propagation.direct_roles),
+            "direct_types": sorted(propagation.direct_types),
+            "unsat_roles": sorted(propagation.all_unsat_roles()),
+            "unsat_types": sorted(propagation.all_unsat_types()),
+            "derived": [
+                {"element": item.element, "kind": item.kind, "via": item.via}
+                for item in propagation.derived
+            ],
+        }
+    return payload
+
+
+def render_report_payload(payload: dict) -> str:
+    """The DogmaModeler-style text rendering of a report payload.
+
+    Used by :meth:`ToolReport.render` locally and by the remote CLI path
+    (which only ever sees the JSON shape) — one renderer, no drift.
+    """
+    lines = [f"Validation of schema '{payload['schema']}'"]
+    lines.append("=" * len(lines[0]))
+    violations = payload["violations"]
+    if violations:
+        lines.append(f"UNSATISFIABLE: {len(violations)} violation(s)")
+        for violation in violations:
+            lines.append(f"  [{violation['pattern']}] {violation['message']}")
+    else:
+        lines.append("No unsatisfiability pattern fired.")
+    if payload["advisories"]:
+        lines.append(f"{len(payload['advisories'])} structural advisory(ies):")
+        for advisory in payload["advisories"]:
+            lines.append(f"  [{advisory['code']}] {advisory['message']}")
+    if payload["formation_rules"]:
+        relevant = sum(1 for f in payload["formation_rules"] if f["relevant"])
+        style_only = len(payload["formation_rules"]) - relevant
+        lines.append(
+            f"{relevant} relevant formation-rule finding(s), {style_only} style-only:"
+        )
+        for finding in payload["formation_rules"]:
+            marker = "!" if finding["relevant"] else "·"
+            lines.append(f"  {marker} [{finding['rule']}] {finding['message']}")
+    if "propagated" in payload:
+        propagated = payload["propagated"]
+        derived = propagated["derived"]
+        lines.append(
+            f"Propagation: {len(propagated['direct_roles'])}+"
+            f"{len(propagated['direct_types'])} direct, "
+            f"{len(derived)} derived unsatisfiable element(s)"
+        )
+        for item in derived:
+            lines.append(f"  {item['kind']} '{item['element']}' — {item['via']}")
+    return "\n".join(lines)
 
 
 def report_from_engine(
@@ -158,15 +228,44 @@ def report_from_engine(
     )
 
 
+def reference_validate(
+    schema: Schema, settings: ValidatorSettings | None = None
+) -> ToolReport:
+    """From-scratch analysis of ``schema`` under ``settings``.
+
+    The **testing reference**: every enabled family is recomputed over the
+    whole schema with no engine state involved.  The equivalence property
+    tests (``tests/patterns/test_incremental.py``,
+    ``tests/server/test_service.py``) and the benchmark baseline compare
+    the incremental engine against this; it is deliberately not reachable
+    from :class:`ValidatorSettings` or the CLI any more.
+    """
+    settings = settings or ValidatorSettings()
+    started = time.perf_counter()
+    pattern_report = PatternEngine(enabled=tuple(settings.enabled_ids())).check(schema)
+    report = ToolReport(
+        schema_name=schema.metadata.name,
+        pattern_report=pattern_report,
+        advisories=check_wellformedness(schema) if settings.wellformedness else [],
+        rule_findings=(
+            check_formation_rules(schema) if settings.formation_rules else []
+        ),
+        propagation=(
+            propagate(schema, pattern_report) if settings.propagation else None
+        ),
+    )
+    report.elapsed_seconds = time.perf_counter() - started
+    return report
+
+
 class Validator:
     """One-call validation of a schema under configurable settings.
 
-    With ``settings.incremental`` (the default) the validator keeps one
-    :class:`IncrementalEngine` attached to the last-validated schema
-    object, configured with exactly the enabled analysis families:
-    repeatedly validating the *same* (mutating) schema — the
-    :class:`repro.tool.session.ModelingSession` loop — only pays for the
-    edits made since the previous call, for patterns, advisories,
+    The validator keeps one :class:`IncrementalEngine` attached to the
+    last-validated schema object, configured with exactly the enabled
+    analysis families: repeatedly validating the *same* (mutating) schema —
+    the :class:`repro.tool.session.ModelingSession` loop — only pays for
+    the edits made since the previous call, for patterns, advisories,
     formation rules and propagation alike.  Validating a different schema
     object, or changing any setting, transparently rebuilds the engine.
     """
@@ -179,34 +278,9 @@ class Validator:
     def validate(self, schema: Schema) -> ToolReport:
         """Run every enabled analysis over ``schema``."""
         started = time.perf_counter()
-        if self.settings.incremental:
-            report = self._validate_incremental(schema)
-        else:
-            self._incremental = None
-            self._engine_key = None
-            report = self._validate_from_scratch(schema)
+        report = report_from_engine(self._engine_for(schema), self.settings)
         report.elapsed_seconds = time.perf_counter() - started
         return report
-
-    def _validate_incremental(self, schema: Schema) -> ToolReport:
-        return report_from_engine(self._engine_for(schema), self.settings)
-
-    def _validate_from_scratch(self, schema: Schema) -> ToolReport:
-        settings = self.settings
-        pattern_report = PatternEngine(enabled=tuple(settings.enabled_ids())).check(
-            schema
-        )
-        return ToolReport(
-            schema_name=schema.metadata.name,
-            pattern_report=pattern_report,
-            advisories=check_wellformedness(schema) if settings.wellformedness else [],
-            rule_findings=(
-                check_formation_rules(schema) if settings.formation_rules else []
-            ),
-            propagation=(
-                propagate(schema, pattern_report) if settings.propagation else None
-            ),
-        )
 
     def _engine_for(self, schema: Schema) -> IncrementalEngine:
         """The engine attached to ``schema`` under the current settings,

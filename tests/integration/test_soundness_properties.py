@@ -13,7 +13,7 @@ buggy encoding) rather than a flaky oracle.
 
 import random
 
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.patterns import PATTERN_IDS, PatternEngine
@@ -167,8 +167,17 @@ def test_checker_never_crashes_on_random_populations(seed, well_typed):
 
 @settings(max_examples=10, deadline=None)
 @given(seed=st.integers(min_value=0, max_value=500))
+@example(seed=26)  # frequency min reachable only via another type's value
 def test_sat_and_bruteforce_engines_agree(seed):
-    """The two complete engines agree on random tiny schemas."""
+    """The two complete engines agree on random tiny schemas.
+
+    ``seed=26`` is pinned: it generates ``F0(T0, T0)`` with
+    ``frequency(r0, 3..6)`` next to an unrelated value-constrained type —
+    satisfiable only when the enumerator lets the value individual join the
+    unconstrained ``T0`` (see
+    ``tests/reasoner/test_bruteforce_agreement.py::
+    test_value_individuals_flow_into_unconstrained_types``).
+    """
     from hypothesis import assume
 
     from repro.exceptions import BudgetExceededError

@@ -107,6 +107,35 @@ class TestEnumerator:
         with pytest.raises(BudgetExceededError):
             list(enumerate_models(big.build(), num_abstract=4))
 
+    def test_value_individuals_flow_into_unconstrained_types(self):
+        """The hand-written seed=26 regression (soundness disagreement).
+
+        ``F0`` relates ``T0`` to itself under ``frequency(r0, 3..6)``: every
+        ``r0`` filler needs at least three partner tuples, so a model needs
+        at least three ``T0`` members.  With ``num_abstract=2`` the third
+        individual can only be the value individual of the *unrelated*
+        value-constrained ``T1`` — the checker admits it in ``T0`` (no
+        lexical restriction there), so the enumerator must consider it too.
+        The SAT engine always did; the enumerator used to restrict value
+        flow to subtype-related types and wrongly reported "no model".
+        """
+        from repro.population import is_model
+
+        schema = (
+            SchemaBuilder("seed26")
+            .entity("T0")
+            .entity("T1", values=["t1v0"])
+            .fact("F0", ("r0", "T0"), ("r1", "T0"))
+            .frequency("r0", 3, 6)
+            .build()
+        )
+        sat_verdict = BoundedModelFinder(schema).strong(max_domain=2)
+        assert sat_verdict.status == "sat"
+        brute = find_model(schema, num_abstract=2, require_all_roles=True)
+        assert brute is not None
+        assert is_model(schema, brute)
+        assert len(brute.instances_of("T0")) >= 3
+
     def test_value_candidates_flow_up_the_subtype_chain(self):
         schema = (
             SchemaBuilder()

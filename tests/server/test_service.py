@@ -213,6 +213,130 @@ class TestEvictionAndResume:
             IncrementalEngine.resume(schema, snapshot)
 
 
+class TestParallelShardRefresh:
+    def test_hot_schema_refresh_fans_out_and_stays_exact(self):
+        """A threaded service fans each draining engine's per-analysis
+        shard refreshes onto the dedicated refresh pool; reports must stay
+        multiset-equal to from-scratch analysis regardless."""
+        rng = random.Random(7)
+        with ValidationService(
+            settings=ALL_FAMILIES, max_workers=4, store_shards=4
+        ) as service:
+            hot = service.open("hot")
+            cold = service.open("cold")
+            for step in range(60):
+                apply_random_edit(hot.schema, rng)
+                if step % 3 == 0:
+                    apply_random_edit(cold.schema, rng)
+                if step % 7 == 0:
+                    service.drain()
+            service.drain()
+            assert_report_exact(hot, "hot session, parallel refresh")
+            assert_report_exact(cold, "cold session, parallel refresh")
+
+    def test_engine_refresh_accepts_an_explicit_executor(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        schema = generate_schema(GeneratorConfig(num_types=5, num_facts=4, seed=3))
+        engine = IncrementalEngine(schema, advisories=True)
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            for index in range(10):
+                apply_random_edit(schema, random.Random(index))
+                engine.refresh(executor=pool)
+        full = PatternEngine().check(schema)
+        assert Counter(engine.report().violations) == Counter(full.violations)
+        assert Counter(engine.advisories()) == Counter(check_wellformedness(schema))
+
+
+class TestSiteWeightedEviction:
+    @staticmethod
+    def _grow(handle, facts):
+        handle.edit("add_entity", "Hub")
+        for index in range(facts):
+            handle.edit("add_entity", f"T{index}")
+            handle.edit(
+                "add_fact", f"F{index}", f"a{index}", "Hub", f"b{index}", f"T{index}"
+            )
+            handle.edit("add_uniqueness", f"a{index}")
+
+    def test_giant_engine_cannot_pin_the_site_budget(self):
+        # Probe the giant schema's engine weight under default settings.
+        with ValidationService(max_workers=0) as probe:
+            handle = probe.open("probe")
+            self._grow(handle, 40)
+            handle.report()
+            giant_sites = probe.stats().live_sites
+        assert giant_sites > 40
+
+        with ValidationService(
+            max_live_engines=8, max_live_sites=giant_sites - 1, max_workers=0
+        ) as service:
+            giant = service.open("giant")
+            self._grow(giant, 40)
+            giant.report()
+            # Alone, the giant stays live even over budget (the caller's
+            # own engine is never evicted out from under it).
+            assert service.live_sessions() == ["giant"]
+            smalls = [service.open(f"small{index}") for index in range(6)]
+            for index, handle in enumerate(smalls):
+                handle.edit("add_entity", f"S{index}")
+                handle.report()
+            # Pure count-LRU (8 engines) would have kept all 7 live; the
+            # site budget suspends the giant instead of small sessions.
+            live = service.live_sessions()
+            assert "giant" not in live
+            assert set(live) == {h.name for h in smalls}
+            assert service.stats().live_sites <= giant_sites - 1
+            # The giant resumes exactly on its next drain.
+            report = giant.report()
+            full = PatternEngine().check(giant.schema)
+            assert Counter(report.pattern_report.violations) == Counter(
+                full.violations
+            )
+            assert Counter(report.advisories) == Counter(
+                check_wellformedness(giant.schema)
+            )
+
+    def test_over_budget_caller_does_not_churn_the_small_sessions(self):
+        """Reviving an engine that alone exceeds the site budget must not
+        suspend every other session (that would churn all tenants through
+        suspend/resume on each revival of the giant)."""
+        with ValidationService(max_workers=0) as probe:
+            handle = probe.open("probe")
+            self._grow(handle, 40)
+            handle.report()
+            giant_sites = probe.stats().live_sites
+
+        with ValidationService(
+            max_live_engines=8, max_live_sites=giant_sites - 1, max_workers=0
+        ) as service:
+            giant = service.open("giant")
+            self._grow(giant, 40)
+            giant.report()
+            smalls = [service.open(f"small{index}") for index in range(6)]
+            for index, handle in enumerate(smalls):
+                handle.edit("add_entity", f"S{index}")
+                handle.report()
+            assert "giant" not in service.live_sessions()
+            # Reviving the giant tolerates its own over-budget weight
+            # instead of suspending the small sessions.
+            giant.report()
+            live = service.live_sessions()
+            assert "giant" in live
+            assert set(live) == {"giant", *(h.name for h in smalls)}
+
+    def test_without_a_site_budget_count_lru_is_unchanged(self):
+        with ValidationService(max_live_engines=8, max_workers=0) as service:
+            giant = service.open("giant")
+            self._grow(giant, 40)
+            giant.report()
+            for index in range(6):
+                handle = service.open(f"small{index}")
+                handle.edit("add_entity", f"S{index}")
+                handle.report()
+            assert "giant" in service.live_sessions()  # 7 engines <= 8
+
+
 class TestConcurrency:
     def test_64_sessions_with_threaded_editors_and_ticks(self):
         """8 writer threads × 8 sessions each, a drain tick per round:

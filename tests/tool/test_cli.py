@@ -104,20 +104,69 @@ class TestAnalysisToggles:
         assert main([str(lonely_file), "--no-wellformedness"]) == 0
         assert "W07" not in capsys.readouterr().out
 
-    def test_no_incremental_agrees_with_default(self, unsat_file, capsys):
+    def test_no_incremental_is_deprecated_but_harmless(self, unsat_file, capsys):
+        """The retired flag still parses, warns, and changes nothing."""
         assert main([str(unsat_file)]) == 1
         default_out = capsys.readouterr().out
         assert main([str(unsat_file), "--no-incremental"]) == 1
-        from_scratch_out = capsys.readouterr().out
-        assert ("PhDStudent" in default_out) and ("PhDStudent" in from_scratch_out)
-        assert default_out.count("[P2]") == from_scratch_out.count("[P2]")
+        captured = capsys.readouterr()
+        assert "deprecated" in captured.err
+        assert default_out.count("[P2]") == captured.out.count("[P2]")
 
-    def test_formation_rules_with_no_incremental(self, tmp_path, capsys):
+    def test_formation_rules_with_deprecated_flag(self, tmp_path, capsys):
         path = tmp_path / "fig14.orm"
         path.write_text(write_schema(build_figure("fig14_rule6_satisfiable")))
         main([str(path), "--formation-rules", "--no-incremental"])
-        assert "FR6" in capsys.readouterr().out
+        captured = capsys.readouterr()
+        assert "FR6" in captured.out
+        assert "deprecated" in captured.err
 
     def test_propagate_reports_through_settings(self, unsat_file, capsys):
         main([str(unsat_file), "--propagate"])
         assert "Propagation:" in capsys.readouterr().out
+
+
+class TestRemoteBatch:
+    """--batch --server URL: validation through a live wire server."""
+
+    def test_batch_against_a_live_server(self, unsat_file, sat_file, capsys):
+        from repro.server import ServerThread
+
+        with ServerThread(max_workers=0, drain_interval=None) as server:
+            code = main(
+                ["--batch", "--server", server.base_url, str(unsat_file), str(sat_file)]
+            )
+        out = capsys.readouterr().out
+        assert code == 1  # fig1 is unsatisfiable
+        assert "validated remotely" in out
+        assert "PhDStudent" in out
+        assert "No unsatisfiability" in out
+
+    def test_batch_json_against_a_live_server(self, unsat_file, capsys):
+        import json as json_module
+
+        from repro.server import ServerThread
+
+        with ServerThread(max_workers=0, drain_interval=None) as server:
+            code = main(
+                ["--batch", "--server", server.base_url, "--format", "json", str(unsat_file)]
+            )
+        payload = json_module.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["unsatisfiable"] == 1
+        assert payload["schemas"][0]["violations"][0]["pattern"] == "P2"
+
+    def test_server_implies_batch(self, sat_file, capsys):
+        """--server without --batch must still go remote, not silently
+        validate in-process."""
+        from repro.server import ServerThread
+
+        with ServerThread(max_workers=0, drain_interval=None) as server:
+            code = main(["--server", server.base_url, str(sat_file)])
+        assert code == 0
+        assert "validated remotely" in capsys.readouterr().out
+
+    def test_unreachable_server_exits_2(self, sat_file, capsys):
+        code = main(["--batch", "--server", "http://127.0.0.1:9", str(sat_file)])
+        assert code == 2
+        assert "remote validation" in capsys.readouterr().err

@@ -3,14 +3,15 @@
 The Fig. 15 settings window lets modelers tick arbitrary pattern subsets;
 these tests pin down the contract that a profile filters the report — and
 the explanations derived from it — to exactly the ticked patterns, on both
-the incremental (default) and the from-scratch engine paths.
+the incremental engine and the from-scratch test reference
+(:func:`repro.tool.reference_validate`).
 """
 
 import pytest
 
 from repro.patterns import PATTERN_IDS, explain, suggest_repairs
 from repro.patterns.extensions import EXTENSION_IDS
-from repro.tool import ModelingSession, Validator, ValidatorSettings
+from repro.tool import ModelingSession, Validator, ValidatorSettings, reference_validate
 from repro.workloads.figures import EXPECTATIONS, FIGURES, build_figure
 
 #: (figure, the one pattern the paper says it fires) for every firing figure.
@@ -21,11 +22,8 @@ FIRING_FIGURES = [
 ]
 
 
-def _profile(*enabled: str, incremental: bool = True) -> ValidatorSettings:
-    return ValidatorSettings(
-        patterns={pid: pid in enabled for pid in PATTERN_IDS},
-        incremental=incremental,
-    )
+def _profile(*enabled: str) -> ValidatorSettings:
+    return ValidatorSettings(patterns={pid: pid in enabled for pid in PATTERN_IDS})
 
 
 class TestProfiles:
@@ -45,9 +43,13 @@ class TestProfiles:
 
     @pytest.mark.parametrize("incremental", (True, False), ids=("incr", "full"))
     def test_profiles_agree_across_engine_modes(self, incremental):
+        """The engine and the from-scratch reference agree per profile."""
         for name, pattern_id in FIRING_FIGURES:
-            settings = _profile(pattern_id, incremental=incremental)
-            report = Validator(settings).validate(build_figure(name))
+            settings = _profile(pattern_id)
+            if incremental:
+                report = Validator(settings).validate(build_figure(name))
+            else:
+                report = reference_validate(build_figure(name), settings)
             assert set(report.pattern_report.by_pattern()) == {pattern_id}
 
     def test_empty_profile_reports_nothing(self):
