@@ -10,12 +10,20 @@ Bars (see ROADMAP.md):
 * when the ``wire`` section is present, the HTTP front must sustain a
   positive aggregate request rate at every client count, and the 64-client
   rate must hold at least a third of the 8-client rate (no collapse under
-  concurrency).
+  concurrency);
+* when the ``multi_process`` section is present, the ``--workers N``
+  router's aggregate drain throughput at 64 sessions must beat the
+  single-process baseline wherever the measurement hardware has more than
+  one core (the scale-out claim is only falsifiable with cores to scale
+  onto — CI has them), and everywhere else the pipe-transport overhead
+  must stay bounded (best multi-process rate above
+  ``MULTI_PROCESS_SINGLE_CORE_FLOOR`` of the baseline).
 
 Run after the benchmarks regenerate the JSON::
 
     PYTHONPATH=src python -m pytest -q benchmarks/bench_incremental.py \
-        benchmarks/bench_service.py benchmarks/bench_wire.py
+        benchmarks/bench_service.py benchmarks/bench_wire.py \
+        benchmarks/bench_workers.py
     python benchmarks/check_regression.py
 """
 
@@ -30,7 +38,17 @@ SPEEDUP_BAR = 3.0
 #: (tests/server/test_bench_regression.py) — one bar, three enforcement
 #: points.
 WIRE_COLLAPSE_RATIO = 1 / 3
+#: On a single core the worker processes cannot add throughput, only IPC
+#: overhead; this floor bounds that overhead (best multi-process drain
+#: rate as a fraction of the single-process rate).  With >1 core the bar
+#: is strict: multi-process must beat single-process outright.
+MULTI_PROCESS_SINGLE_CORE_FLOOR = 0.5
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_incremental.json"
+
+
+def multi_process_bar(cpu_count: int) -> float:
+    """The core-aware speedup bar for the ``multi_process`` section."""
+    return 1.0 if cpu_count > 1 else MULTI_PROCESS_SINGLE_CORE_FLOOR
 
 
 def main() -> int:
@@ -77,6 +95,27 @@ def main() -> int:
         print(
             f"wire 64-vs-8 client rate ratio: {rates['64'] / rates['8']:.2f} "
             f"(bar: > {WIRE_COLLAPSE_RATIO:.2f}) -> {'OK' if collapse_ok else 'FAIL'}"
+        )
+
+    multi_process = data.get("multi_process")
+    if multi_process is None:
+        print("multi_process section: absent (run benchmarks/bench_workers.py)")
+    else:
+        for mode, rate in sorted(multi_process["changes_per_sec"].items()):
+            ok = rate > 0
+            failed |= not ok
+            print(
+                f"{mode}: {rate:,.0f} drained changes/s -> "
+                f"{'OK' if ok else 'FAIL'}"
+            )
+        cores = multi_process["cpu_count"]
+        bar = multi_process_bar(cores)
+        best = multi_process["best_speedup"]
+        ok = best > bar
+        failed |= not ok
+        print(
+            f"multi-process best speedup vs single-process: {best:.2f}x on "
+            f"{cores} core(s) (bar: > {bar:.2f}) -> {'OK' if ok else 'FAIL'}"
         )
 
     return 1 if failed else 0

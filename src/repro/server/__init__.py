@@ -14,7 +14,12 @@ The service is reachable remotely through the JSON wire protocol
 (:mod:`repro.server.protocol`): :class:`repro.server.wire.WireServer` is
 the asyncio HTTP front (``orm-validate serve``),
 :class:`repro.server.client.ServiceClient` the blocking client
-(``orm-validate --batch --server URL``).  ``wire`` and ``client`` are
+(``orm-validate --batch --server URL``).  With ``workers=N``
+(``orm-validate serve --workers N``) the front routes sessions to N
+worker **subprocesses** via :class:`repro.server.workers.WorkerPool` —
+stable CRC32 session placement, the same JSON shapes over a pipe
+transport, crash re-homing by journal replay — without changing the wire
+protocol clients speak.  ``wire``, ``client`` and ``workers`` are
 imported lazily on attribute access to keep ``import repro.server`` light.
 """
 
@@ -26,12 +31,18 @@ from repro.server.service import (
     SessionHandle,
     ValidationService,
 )
-from repro.server.sharding import DEFAULT_SHARDS, ShardedSiteStore, stable_shard_index
+from repro.server.sharding import (
+    DEFAULT_SHARDS,
+    ShardedSiteStore,
+    session_home,
+    stable_shard_index,
+)
 
 __all__ = [
     "DEFAULT_SHARDS",
     "DrainStats",
     "EDIT_VERBS",
+    "LocalBackend",
     "ServerThread",
     "ServiceClient",
     "ServiceStats",
@@ -40,12 +51,14 @@ __all__ = [
     "ValidationService",
     "WireError",
     "WireServer",
+    "WorkerPool",
+    "session_home",
     "stable_shard_index",
 ]
 
 
 def __getattr__(name: str):
-    if name in ("WireServer", "ServerThread"):
+    if name in ("WireServer", "ServerThread", "LocalBackend"):
         from repro.server import wire
 
         return getattr(wire, name)
@@ -53,4 +66,8 @@ def __getattr__(name: str):
         from repro.server.client import ServiceClient
 
         return ServiceClient
+    if name == "WorkerPool":
+        from repro.server.workers import WorkerPool
+
+        return WorkerPool
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -46,7 +46,9 @@ class ServiceClient:
     server.
     """
 
-    def __init__(self, base_url: str, *, timeout: float = 60.0) -> None:
+    def __init__(
+        self, base_url: str, *, timeout: float = 60.0, token: str | None = None
+    ) -> None:
         parts = urlsplit(base_url)
         if parts.scheme != "http" or not parts.hostname:
             raise ValueError(
@@ -55,6 +57,7 @@ class ServiceClient:
         self._host = parts.hostname
         self._port = parts.port or 80
         self._timeout = timeout
+        self._token = token
         self._conn: http.client.HTTPConnection | None = None
 
     # -- the verb surface --------------------------------------------------
@@ -94,6 +97,31 @@ class ServiceClient:
         (:func:`repro.server.protocol.report_to_payload` shape)."""
         return self._request("POST", "/v1/report", {"session": session})["report"]
 
+    def poll_report(self, session: str, if_mark: str | None = None) -> dict:
+        """:meth:`report` with the ETag short-circuit.
+
+        Returns the raw response body: ``{"mark": ..., "report": {...}}``
+        on a miss, ``{"mark": ..., "unchanged": true}`` when ``if_mark``
+        still names the session's current journal position — the cheap
+        way to poll a session that rarely changes::
+
+            state = client.poll_report("design")
+            ...
+            state = client.poll_report("design", if_mark=state["mark"])
+            if not state.get("unchanged"):
+                render(state["report"])
+        """
+        payload: dict = {"session": session}
+        if if_mark is not None:
+            payload["if_mark"] = if_mark
+        response = self._request("POST", "/v1/report", payload)
+        response.pop("ok", None)
+        # A wire-v1 server answers without a mark; degrade to markless
+        # polling (if_mark=None always fetches the full report) instead of
+        # KeyError-ing the documented state["mark"] pattern.
+        response.setdefault("mark", None)
+        return response
+
     def close(self, session: str) -> dict:
         """Close a remote session, returning its final report payload."""
         return self._request("POST", "/v1/close", {"session": session})["report"]
@@ -124,6 +152,8 @@ class ServiceClient:
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        if self._token is not None:
+            headers["Authorization"] = f"Bearer {self._token}"
         # Retry exactly once, and only for the stale keep-alive case: the
         # attempt went over a *reused* socket and either the send itself
         # failed or the server closed the connection without sending one

@@ -12,11 +12,23 @@ Endpoints (see :class:`repro.server.wire.WireServer`):
 =======================  ====================================================
 ``POST /v1/open``        ``{"session", "settings"?, "schema_dsl"?}``
 ``POST /v1/edit``        ``{"session", "verb", "args"?, "kwargs"?}``
-``POST /v1/report``      ``{"session"}``
+``POST /v1/report``      ``{"session", "if_mark"?}``
 ``POST /v1/close``       ``{"session"}``
 ``POST /v1/drain``       ``{"sessions"?, "min_pending"?}`` — the service tick
 ``GET  /healthz``        liveness + the service census
 =======================  ====================================================
+
+``/v1/report`` responses carry a ``mark`` — an opaque ETag over the
+session's journal position.  A client polling an unchanged session echoes
+it as ``if_mark`` and gets the 304-style short-circuit
+``{"ok": true, "unchanged": true, "mark": ...}`` instead of a re-serialized
+report (see :meth:`repro.server.service.ValidationService.report_marked`).
+
+When the server was started with a shared token (``orm-validate serve
+--token`` / ``ORM_VALIDATE_TOKEN``), every ``/v1/*`` request must carry
+``Authorization: Bearer <token>``; failures are the structured
+``unauthorized`` error (401).  ``GET /healthz`` stays unauthenticated so
+orchestrator liveness probes keep working.
 
 ``settings`` serializes :class:`~repro.tool.validator.ValidatorSettings`
 (:func:`settings_to_payload` / :func:`settings_from_payload`); reports
@@ -42,30 +54,40 @@ from repro.tool.validator import (  # noqa: F401  (re-exports)
 )
 
 #: Protocol version, echoed by ``/healthz`` so clients can detect skew.
-WIRE_VERSION = 1
+#: Version 2 (multi-process PR) is additive over 1: report ``mark``/
+#: ``if_mark``, token auth, and the aggregated ``workers`` health section.
+WIRE_VERSION = 2
 
 # -- error codes (wire-visible) and their HTTP statuses -------------------
 
 MALFORMED_REQUEST = "malformed_request"
 UNKNOWN_ENDPOINT = "unknown_endpoint"
 METHOD_NOT_ALLOWED = "method_not_allowed"
+UNAUTHORIZED = "unauthorized"
 UNKNOWN_SESSION = "unknown_session"
 SESSION_EXISTS = "session_exists"
 UNKNOWN_VERB = "unknown_verb"
 SCHEMA_ERROR = "schema_error"
 SERVER_SHUTDOWN = "server_shutdown"
 INTERNAL_ERROR = "internal_error"
+#: A worker subprocess died and could not be revived in time to answer.
+WORKER_FAILED = "worker_failed"
+#: A worker offered an incompatible router<->worker protocol at handshake.
+WORKER_PROTOCOL_MISMATCH = "worker_protocol_mismatch"
 
 HTTP_STATUS = {
     MALFORMED_REQUEST: 400,
     UNKNOWN_VERB: 400,
+    UNAUTHORIZED: 401,
     UNKNOWN_ENDPOINT: 404,
     UNKNOWN_SESSION: 404,
     METHOD_NOT_ALLOWED: 405,
     SESSION_EXISTS: 409,
     SCHEMA_ERROR: 422,
     INTERNAL_ERROR: 500,
+    WORKER_PROTOCOL_MISMATCH: 500,
     SERVER_SHUTDOWN: 503,
+    WORKER_FAILED: 503,
 }
 
 
@@ -147,13 +169,34 @@ class EditRequest:
 
 @dataclass(frozen=True)
 class SessionRequest:
-    """``POST /v1/report`` and ``POST /v1/close`` — one session by name."""
+    """``POST /v1/close`` — one session by name."""
 
     session: str
 
     @classmethod
     def from_payload(cls, payload: dict) -> "SessionRequest":
         return cls(session=_require(payload, "session", str))
+
+
+@dataclass(frozen=True)
+class ReportRequest:
+    """``POST /v1/report`` — drain one session and return its report.
+
+    ``if_mark`` is the ETag short-circuit: echo the ``mark`` of the
+    previous report response and the server answers
+    ``{"ok": true, "unchanged": true, "mark": ...}`` when nothing was
+    edited since, skipping the report serialization entirely.
+    """
+
+    session: str
+    if_mark: str | None = None
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ReportRequest":
+        return cls(
+            session=_require(payload, "session", str),
+            if_mark=_require(payload, "if_mark", str, optional=True),
+        )
 
 
 @dataclass(frozen=True)

@@ -40,6 +40,8 @@ from __future__ import annotations
 
 import copy
 import threading
+import uuid
+import zlib
 from collections import OrderedDict
 from collections.abc import Iterable
 from concurrent.futures import ThreadPoolExecutor
@@ -116,6 +118,7 @@ class _SessionState:
         "engine_key",
         "snapshot",
         "edits",
+        "epoch",
     )
 
     def __init__(self, name: str, schema: Schema, settings: ValidatorSettings) -> None:
@@ -127,6 +130,28 @@ class _SessionState:
         self.engine_key: tuple | None = None  # settings.family_key() at build
         self.snapshot: EngineSnapshot | None = None
         self.edits = 0
+        # A random per-open nonce prefixed to report marks.  The journal
+        # position alone is not a safe ETag across session *instances*: a
+        # session re-homed to another worker process replays into a fresh
+        # schema whose journal counter can coincide with the old one at a
+        # different schema state.  The epoch makes marks from different
+        # instances never compare equal.
+        self.epoch = uuid.uuid4().hex[:12]
+
+    def mark(self) -> str:
+        """The session's opaque report ETag.
+
+        Epoch + journal position + analysis-profile fingerprint: the mark
+        compares equal iff nothing that can change the report did.
+        ``journal_size`` is monotonic and keeps counting truncated entries
+        across :meth:`repro.orm.schema.Schema.compact_journal`, so journal
+        compaction can neither produce a false hit nor invalidate the
+        current mark; the profile fingerprint covers in-process callers
+        toggling ``settings`` families, which alters the report without a
+        journal entry.
+        """
+        profile = zlib.crc32(repr(self.settings.family_key()).encode("utf-8"))
+        return f"{self.epoch}:{self.schema.journal_size}:{profile:08x}"
 
     def pending_changes(self) -> int:
         """Journal entries recorded since the session's engine last drained."""
@@ -308,18 +333,60 @@ class ValidationService:
 
     def report(self, name: str) -> ToolReport:
         """Drain one session and return its current (exact) report."""
+        report, _ = self.report_marked(name)
+        return report
+
+    def report_marked(
+        self, name: str, if_mark: str | None = None
+    ) -> tuple[ToolReport | None, str]:
+        """Drain one session; return ``(report, mark)`` with an ETag.
+
+        ``mark`` is an opaque token identifying the session's journal
+        position (see :meth:`_SessionState.mark`).  When the caller echoes
+        the mark of a previous report as ``if_mark`` and no edit has been
+        applied since, the report is **not** recomputed or re-assembled and
+        ``(None, mark)`` is returned — the 304-style short-circuit behind
+        the wire protocol's ``if_mark`` field.  A mark can only hit if the
+        server itself issued it for this session instance, so a hit always
+        means "the schema is exactly as it was when that report was built".
+        """
         state = self._state(name)
         with state.lock:
+            mark = state.mark()
+            if if_mark is not None and if_mark == mark:
+                # The mark was issued after a drain to this very journal
+                # position under this very analysis profile (edits take
+                # the session lock, so the position cannot move under us):
+                # the caller's cached report is still exact.
+                return None, mark
             pending = state.pending_changes()  # before ensure: resume replays
             engine, resumed, rebuilt = self._ensure_engine(state)
             self._refresh(engine)
             report = report_from_engine(engine, state.settings)
+            mark = state.mark()
         with self._stats_lock:
             self._drains += 1
             self._changes_drained += pending
             self._resumes += resumed
             self._rebuilds += rebuilt
-        return report
+        return report, mark
+
+    def snapshot_schema(self, name: str) -> str:
+        """The session's current schema as ORM DSL text.
+
+        Taken under the session lock, so the text is a consistent cut that
+        includes every edit acknowledged so far.  This is the journal-
+        compaction primitive of the multi-process router
+        (:class:`repro.server.workers.WorkerPool`): the re-homing journal
+        for a session collapses to one DSL snapshot plus the edit window
+        applied since — the same snapshot-plus-replay-window shape as
+        :meth:`repro.patterns.incremental.IncrementalEngine.suspend`.
+        """
+        from repro.io.dsl import write_schema
+
+        state = self._state(name)
+        with state.lock:
+            return write_schema(state.schema)
 
     def close(self, name: str) -> ToolReport:
         """Close a session, returning its final report."""

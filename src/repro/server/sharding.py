@@ -41,6 +41,19 @@ def stable_shard_index(key: Hashable, shard_count: int) -> int:
     return zlib.crc32(repr(key).encode("utf-8")) % shard_count
 
 
+def session_home(session_name: str, worker_count: int) -> int:
+    """The worker-process index that owns a session, by name.
+
+    The multi-process router (:class:`repro.server.workers.WorkerPool`)
+    places whole *sessions* with the same stable CRC32 hash the finding
+    stores use for *sites*: routing is therefore stateless — any router
+    thread (or a restarted router) derives a session's home worker from
+    its name alone, and a worker revived in place inherits exactly the
+    sessions it owned before dying.
+    """
+    return stable_shard_index(("session", session_name), worker_count)
+
+
 class ShardedSiteStore(MutableMapping):
     """A site-key → findings mapping partitioned into stable shards.
 

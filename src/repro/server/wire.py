@@ -11,24 +11,44 @@ speak a small JSON protocol (:mod:`repro.server.protocol`) over HTTP/1.1
   server's own background drain task (``drain_interval``);
 * ``GET /healthz`` — liveness plus the service census.
 
+**Backends.**  The HTTP layer does not touch the service directly; it
+drives a *backend* — payload-dict in, response-dict out, one method per
+wire verb:
+
+* :class:`LocalBackend` executes the verbs against an in-process
+  :class:`ValidationService` (the default, and what every worker
+  subprocess runs internally);
+* :class:`repro.server.workers.WorkerPool` (``workers=N``) routes each
+  session to one of N worker **processes** by stable session-name hash
+  and forwards the same payloads over a pipe transport — the sharded
+  scale-out past the single-process GIL.
+
 **Threading model.**  The service API was shaped so this layer needs no
 new locking: every request handler is a plain blocking call into the
-service (per-session locks serialize edits with drains), bridged off the
+backend (per-session locks serialize edits with drains), bridged off the
 event loop with :meth:`loop.run_in_executor`.  The event loop itself only
-parses HTTP and JSON; the background drain task ticks the service's own
-thread pool, so a slow drain never blocks request handling.
+parses HTTP and JSON; the background drain task ticks the backend's own
+thread pool (or worker processes), so a slow drain never blocks request
+handling.
+
+**Auth.**  With ``token`` set, every ``/v1/*`` request must carry
+``Authorization: Bearer <token>`` (compared constant-time); failures get
+the structured ``unauthorized`` 401.  ``GET /healthz`` stays open for
+liveness probes.  The CLI refuses to bind beyond loopback without a token
+(see ``orm-validate serve --token`` / ``ORM_VALIDATE_TOKEN``).
 
 **Failure shape.**  Every error a client can provoke — malformed JSON,
-unknown session, edit after close, a request racing server shutdown — is
-returned as a structured ``{"ok": false, "error": {...}}`` body with a
-matching HTTP status (:data:`repro.server.protocol.HTTP_STATUS`); the
-server never answers with a traceback body and never leaves a request
-hanging.
+unknown session, edit after close, a request racing server shutdown, a
+killed worker process — is returned as a structured
+``{"ok": false, "error": {...}}`` body with a matching HTTP status
+(:data:`repro.server.protocol.HTTP_STATUS`); the server never answers
+with a traceback body and never leaves a request hanging.
 """
 
 from __future__ import annotations
 
 import asyncio
+import hmac
 import json
 import threading
 
@@ -42,6 +62,7 @@ from repro.server.protocol import (
     SCHEMA_ERROR,
     SERVER_SHUTDOWN,
     SESSION_EXISTS,
+    UNAUTHORIZED,
     UNKNOWN_ENDPOINT,
     UNKNOWN_SESSION,
     UNKNOWN_VERB,
@@ -49,6 +70,7 @@ from repro.server.protocol import (
     DrainRequest,
     EditRequest,
     OpenRequest,
+    ReportRequest,
     SessionRequest,
     WireError,
 )
@@ -57,6 +79,7 @@ from repro.server.service import ValidationService
 _REASONS = {
     200: "OK",
     400: "Bad Request",
+    401: "Unauthorized",
     404: "Not Found",
     405: "Method Not Allowed",
     409: "Conflict",
@@ -68,15 +91,167 @@ _REASONS = {
 #: Largest accepted request body (a schema DSL ships in one open call).
 MAX_BODY_BYTES = 4 * 1024 * 1024
 
+#: Largest unauthorized request body still drained before answering 401
+#: (so the response survives instead of being RST away with the unread
+#: data); beyond it the connection is simply closed.
+AUTH_REJECT_DRAIN_BYTES = 64 * 1024
+
+#: The five wire verbs, in the order the endpoints document them.
+WIRE_VERBS = ("open", "edit", "report", "close", "drain")
+
+
+class LocalBackend:
+    """In-process execution of the wire verbs over one ValidationService.
+
+    The surface is deliberately *payload-shaped*: :meth:`handle` takes the
+    decoded JSON request body of one verb and returns the JSON response
+    body, raising :class:`WireError` for every structured failure.  That
+    is what lets one implementation serve two deployments — the
+    single-process :class:`WireServer` calls it directly on its executor,
+    and every :mod:`repro.server.workers` worker subprocess runs one over
+    its own service, the router forwarding the identical payloads over a
+    pipe.
+    """
+
+    def __init__(self, service: ValidationService) -> None:
+        self._service = service
+
+    @property
+    def service(self) -> ValidationService:
+        """The service this backend executes against."""
+        return self._service
+
+    # -- the backend surface WireServer drives ---------------------------
+
+    def handle(self, verb: str, payload: dict) -> dict:
+        """Execute one wire verb; structured failures raise WireError."""
+        handler = {
+            "open": self._open,
+            "edit": self._edit,
+            "report": self._report,
+            "close": self._close,
+            "drain": self._drain,
+        }.get(verb)
+        if handler is None:
+            raise WireError(UNKNOWN_VERB, f"no such wire verb: {verb!r}")
+        return handler(payload)
+
+    def health_payload(self) -> dict:
+        """The backend part of the ``/healthz`` body (the service census)."""
+        return {"stats": protocol.stats_to_payload(self._service.stats())}
+
+    def tick(self) -> None:
+        """One background drain pass (the periodic service tick)."""
+        self._service.drain()
+
+    def shutdown(self) -> None:
+        self._service.shutdown()
+
+    # -- verb handlers (blocking) -----------------------------------------
+
+    def _open(self, payload: dict) -> dict:
+        request = OpenRequest.from_payload(payload)
+        settings = None
+        if request.settings is not None:
+            settings = protocol.settings_from_payload(request.settings)
+        schema = None
+        if request.schema_dsl is not None:
+            try:
+                schema = parse_schema(request.schema_dsl)
+            except ReproError as error:
+                raise WireError(SCHEMA_ERROR, f"schema_dsl: {error}") from None
+        try:
+            handle = self._service.open(request.session, settings=settings, schema=schema)
+        except ValueError as error:
+            raise WireError(SESSION_EXISTS, str(error)) from None
+        return {
+            "ok": True,
+            "session": handle.name,
+            "pending": handle.pending_changes,
+        }
+
+    def _edit(self, payload: dict) -> dict:
+        request = EditRequest.from_payload(payload)
+        args = [tuple(a) if isinstance(a, list) else a for a in request.args]
+        kwargs = {
+            key: tuple(v) if isinstance(v, list) else v
+            for key, v in request.kwargs.items()
+        }
+        try:
+            result = self._service.edit(request.session, request.verb, *args, **kwargs)
+        except UnknownElementError as error:
+            raise _session_or_verb_error(error) from None
+        except (TypeError, ReproError) as error:
+            # Bad arguments or a schema-level rejection: the edit did not apply.
+            raise WireError(SCHEMA_ERROR, str(error)) from None
+        return {"ok": True, "result": protocol.edit_result_to_payload(result)}
+
+    def _report(self, payload: dict) -> dict:
+        request = ReportRequest.from_payload(payload)
+        try:
+            report, mark = self._service.report_marked(
+                request.session, request.if_mark
+            )
+        except UnknownElementError as error:
+            raise _session_or_verb_error(error) from None
+        if report is None:  # ETag hit: nothing changed since if_mark
+            return {"ok": True, "unchanged": True, "mark": mark}
+        return {
+            "ok": True,
+            "report": protocol.report_to_payload(report),
+            "mark": mark,
+        }
+
+    def _close(self, payload: dict) -> dict:
+        request = SessionRequest.from_payload(payload)
+        try:
+            report = self._service.close(request.session)
+        except UnknownElementError as error:
+            raise _session_or_verb_error(error) from None
+        return {"ok": True, "report": protocol.report_to_payload(report)}
+
+    def _drain(self, payload: dict) -> dict:
+        request = DrainRequest.from_payload(payload)
+        try:
+            stats = self._service.drain(
+                request.sessions, min_pending=request.min_pending
+            )
+        except KeyError as error:
+            raise WireError(UNKNOWN_SESSION, f"unknown session: {error}") from None
+        return {"ok": True, "stats": protocol.stats_to_payload(stats)}
+
+
+def _session_or_verb_error(error: UnknownElementError) -> WireError:
+    """Map the service's UnknownElementError onto the wire code space: an
+    unknown *session* (including edit-after-close) is 404, an unknown edit
+    verb the client's 400; any other unknown element (a role, a type — the
+    schema rejected the edit's arguments) is the 422 schema error."""
+    if error.kind == "session":
+        return WireError(UNKNOWN_SESSION, str(error))
+    if error.kind == "edit verb":
+        return WireError(UNKNOWN_VERB, str(error))
+    return WireError(SCHEMA_ERROR, str(error))
+
 
 class WireServer:
-    """The asyncio HTTP front over one :class:`ValidationService`.
+    """The asyncio HTTP front over one validation backend.
 
     Parameters
     ----------
     service:
-        An existing service to expose; ``None`` builds one from
-        ``service_kwargs`` and owns it (shut down with the server).
+        An existing :class:`ValidationService` to expose in-process;
+        ``None`` builds the backend from ``workers``/``service_kwargs``
+        and owns it (shut down with the server).
+    backend:
+        An explicit backend object (anything with the
+        :class:`LocalBackend` surface), overriding ``service``/``workers``.
+    workers:
+        ``0`` (default) runs the service in-process; ``N > 0`` builds a
+        :class:`repro.server.workers.WorkerPool` of N worker subprocesses
+        and routes sessions to them by stable name hash.
+    token:
+        Shared bearer token.  When set, every ``/v1/*`` request must carry
+        ``Authorization: Bearer <token>``; compared constant-time.
     host / port:
         Bind address; ``port=0`` picks a free port (read it back from
         :attr:`address` after :meth:`start`).
@@ -89,13 +264,33 @@ class WireServer:
         self,
         service: ValidationService | None = None,
         *,
+        backend=None,
+        workers: int = 0,
+        token: str | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
         drain_interval: float | None = 0.05,
         **service_kwargs,
     ) -> None:
-        self._service = service if service is not None else ValidationService(**service_kwargs)
-        self._owns_service = service is None
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        if workers > 0 and (service is not None or backend is not None):
+            raise ValueError(
+                "workers=N builds its own WorkerPool backend and cannot be "
+                "combined with an explicit service/backend"
+            )
+        self._owns_backend = backend is None and service is None
+        if backend is not None:
+            self._backend = backend
+        elif service is not None:
+            self._backend = LocalBackend(service)
+        elif workers > 0:
+            from repro.server.workers import WorkerPool
+
+            self._backend = WorkerPool(workers, **service_kwargs)
+        else:
+            self._backend = LocalBackend(ValidationService(**service_kwargs))
+        self._token = token
         self._host = host
         self._port = port
         self._drain_interval = drain_interval
@@ -106,9 +301,14 @@ class WireServer:
         self._closing = False
 
     @property
+    def backend(self):
+        """The backend this front drives (LocalBackend or WorkerPool)."""
+        return self._backend
+
+    @property
     def service(self) -> ValidationService:
-        """The service this front exposes."""
-        return self._service
+        """The in-process service (LocalBackend deployments only)."""
+        return self._backend.service
 
     @property
     def address(self) -> tuple[str, int]:
@@ -143,7 +343,7 @@ class WireServer:
 
     def begin_shutdown(self) -> None:
         """Enter lame-duck mode: every request from now on gets a
-        structured ``server_shutdown`` error instead of service access.
+        structured ``server_shutdown`` error instead of backend access.
 
         Safe to call from any thread; :meth:`stop` calls it first, so a
         request racing shutdown mid-drain sees a clean 503, not a hang or
@@ -152,7 +352,7 @@ class WireServer:
         self._closing = True
 
     async def stop(self) -> None:
-        """Stop accepting, finish in-flight requests, stop the service."""
+        """Stop accepting, finish in-flight requests, stop the backend."""
         self.begin_shutdown()
         if self._drain_task is not None:
             self._drain_task.cancel()
@@ -174,19 +374,19 @@ class WireServer:
             _, pending = await asyncio.wait(self._connections, timeout=5.0)
             for task in pending:
                 task.cancel()
-        if self._owns_service:
+        if self._owns_backend:
             await asyncio.get_running_loop().run_in_executor(
-                None, self._service.shutdown
+                None, self._backend.shutdown
             )
 
     async def _drain_loop(self) -> None:
-        """The background service tick (errors are survivable: a failing
+        """The background backend tick (errors are survivable: a failing
         drain is retried next period; the verbs keep working regardless)."""
         loop = asyncio.get_running_loop()
         while True:
             await asyncio.sleep(self._drain_interval)
             try:
-                await loop.run_in_executor(None, self._service.drain)
+                await loop.run_in_executor(None, self._backend.tick)
             except asyncio.CancelledError:  # pragma: no cover - task teardown
                 raise
             except Exception:  # pragma: no cover - keep ticking
@@ -273,6 +473,31 @@ class WireServer:
                 keep_alive=False,
             )
             return False
+        if (
+            self._token is not None
+            and path.startswith("/v1/")
+            and not self._authorized(headers)
+        ):
+            # Reject on the headers alone: an unauthenticated client must
+            # not be able to make the server buffer MAX_BODY_BYTES per
+            # request.  Ordinary-sized bodies are still drained first so
+            # the 401 is reliably observable (closing with unread data can
+            # RST the response away); oversized ones cost the client its
+            # connection instead.
+            drained = length <= AUTH_REJECT_DRAIN_BYTES
+            if drained and length:
+                await reader.readexactly(length)
+            await self._respond(
+                writer,
+                401,
+                WireError(
+                    UNAUTHORIZED,
+                    "missing or invalid bearer token "
+                    "(send 'Authorization: Bearer <token>')",
+                ).to_payload(),
+                keep_alive=keep_alive and drained,
+            )
+            return keep_alive and drained
         body = await reader.readexactly(length) if length else b""
         status, payload = await self._dispatch(method.upper(), path, body)
         await self._respond(writer, status, payload, keep_alive=keep_alive)
@@ -299,24 +524,36 @@ class WireServer:
 
     # -- dispatch ----------------------------------------------------------
 
+    def _authorized(self, headers: dict[str, str]) -> bool:
+        """Constant-time check of the shared bearer token (if configured)."""
+        if self._token is None:
+            return True
+        provided = headers.get("authorization", "")
+        scheme, _, credential = provided.partition(" ")
+        if scheme.lower() != "bearer":
+            return False
+        return hmac.compare_digest(
+            credential.strip().encode("utf-8"), self._token.encode("utf-8")
+        )
+
     async def _dispatch(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
         """Route one request; *every* failure becomes a structured error."""
         try:
             if path == "/healthz":
+                # Deliberately unauthenticated: orchestrator liveness
+                # probes must keep working; the body is census-only.
                 if method != "GET":
                     raise WireError(METHOD_NOT_ALLOWED, "/healthz is GET-only")
-                return 200, self._healthz()
-            handler = {
-                "/v1/open": self._handle_open,
-                "/v1/edit": self._handle_edit,
-                "/v1/report": self._handle_report,
-                "/v1/close": self._handle_close,
-                "/v1/drain": self._handle_drain,
-            }.get(path)
-            if handler is None:
+                return 200, await asyncio.get_running_loop().run_in_executor(
+                    None, self._healthz
+                )
+            verb = path[len("/v1/"):] if path.startswith("/v1/") else None
+            if verb not in WIRE_VERBS:
                 raise WireError(UNKNOWN_ENDPOINT, f"no such endpoint: {path}")
             if method != "POST":
                 raise WireError(METHOD_NOT_ALLOWED, f"{path} is POST-only")
+            # Auth was already enforced at the header phase
+            # (_handle_one_request), before the body was read.
             if self._closing:
                 raise WireError(SERVER_SHUTDOWN, "server is shutting down")
             try:
@@ -326,7 +563,7 @@ class WireServer:
                     MALFORMED_REQUEST, f"request body is not valid JSON: {error}"
                 ) from None
             result = await asyncio.get_running_loop().run_in_executor(
-                None, handler, payload
+                None, self._backend.handle, verb, payload
             )
             return 200, result
         except WireError as error:
@@ -343,91 +580,13 @@ class WireServer:
             error = WireError(INTERNAL_ERROR, f"{type(error).__name__}: {error}")
             return error.http_status, error.to_payload()
 
-    # -- verb handlers (blocking; run on the executor) ---------------------
-
     def _healthz(self) -> dict:
-        stats = self._service.stats()
         return {
             "ok": True,
             "status": "shutting_down" if self._closing else "serving",
             "wire_version": WIRE_VERSION,
-            "stats": protocol.stats_to_payload(stats),
+            **self._backend.health_payload(),
         }
-
-    def _handle_open(self, payload: dict) -> dict:
-        request = OpenRequest.from_payload(payload)
-        settings = None
-        if request.settings is not None:
-            settings = protocol.settings_from_payload(request.settings)
-        schema = None
-        if request.schema_dsl is not None:
-            try:
-                schema = parse_schema(request.schema_dsl)
-            except ReproError as error:
-                raise WireError(SCHEMA_ERROR, f"schema_dsl: {error}") from None
-        try:
-            handle = self._service.open(request.session, settings=settings, schema=schema)
-        except ValueError as error:
-            raise WireError(SESSION_EXISTS, str(error)) from None
-        return {
-            "ok": True,
-            "session": handle.name,
-            "pending": handle.pending_changes,
-        }
-
-    def _handle_edit(self, payload: dict) -> dict:
-        request = EditRequest.from_payload(payload)
-        args = [tuple(a) if isinstance(a, list) else a for a in request.args]
-        kwargs = {
-            key: tuple(v) if isinstance(v, list) else v
-            for key, v in request.kwargs.items()
-        }
-        try:
-            result = self._service.edit(request.session, request.verb, *args, **kwargs)
-        except UnknownElementError as error:
-            raise _session_or_verb_error(error) from None
-        except (TypeError, ReproError) as error:
-            # Bad arguments or a schema-level rejection: the edit did not apply.
-            raise WireError(SCHEMA_ERROR, str(error)) from None
-        return {"ok": True, "result": protocol.edit_result_to_payload(result)}
-
-    def _handle_report(self, payload: dict) -> dict:
-        request = SessionRequest.from_payload(payload)
-        try:
-            report = self._service.report(request.session)
-        except UnknownElementError as error:
-            raise _session_or_verb_error(error) from None
-        return {"ok": True, "report": protocol.report_to_payload(report)}
-
-    def _handle_close(self, payload: dict) -> dict:
-        request = SessionRequest.from_payload(payload)
-        try:
-            report = self._service.close(request.session)
-        except UnknownElementError as error:
-            raise _session_or_verb_error(error) from None
-        return {"ok": True, "report": protocol.report_to_payload(report)}
-
-    def _handle_drain(self, payload: dict) -> dict:
-        request = DrainRequest.from_payload(payload)
-        try:
-            stats = self._service.drain(
-                request.sessions, min_pending=request.min_pending
-            )
-        except KeyError as error:
-            raise WireError(UNKNOWN_SESSION, f"unknown session: {error}") from None
-        return {"ok": True, "stats": protocol.stats_to_payload(stats)}
-
-
-def _session_or_verb_error(error: UnknownElementError) -> WireError:
-    """Map the service's UnknownElementError onto the wire code space: an
-    unknown *session* (including edit-after-close) is 404, an unknown edit
-    verb the client's 400; any other unknown element (a role, a type — the
-    schema rejected the edit's arguments) is the 422 schema error."""
-    if error.kind == "session":
-        return WireError(UNKNOWN_SESSION, str(error))
-    if error.kind == "edit verb":
-        return WireError(UNKNOWN_VERB, str(error))
-    return WireError(SCHEMA_ERROR, str(error))
 
 
 class ServerThread:
@@ -441,7 +600,7 @@ class ServerThread:
             ...
 
     ``stop()`` (or leaving the context) shuts the loop and, when the
-    server owns its service, the service too.
+    server owns its backend, the backend (service or worker pool) too.
     """
 
     def __init__(self, service: ValidationService | None = None, **server_kwargs) -> None:

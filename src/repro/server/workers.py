@@ -1,0 +1,879 @@
+"""Multi-process shard workers behind the wire protocol.
+
+The single-process wire front (:mod:`repro.server.wire`) tops out at one
+GIL: every session's drain and shard refresh competes for the same
+interpreter no matter how many threads the service owns.  The CRC32 site
+placement of :mod:`repro.server.sharding` is *process-stable by design*,
+and this module cashes that in: a **router** (:class:`WorkerPool`) owns N
+**worker subprocesses**, each running a full
+:class:`~repro.server.service.ValidationService`, and forwards every
+``open/edit/report/close/drain`` to the worker that owns the session —
+placement is :func:`repro.server.sharding.session_home`, a stable hash of
+the session name, so routing is stateless and survives router and worker
+restarts alike.
+
+**Transport.**  One duplex :mod:`multiprocessing` pipe per worker carrying
+newline-free JSON frames: requests are ``{"verb", "payload"}`` envelopes
+whose payloads are exactly the :mod:`repro.server.protocol` request
+bodies, and responses are exactly the wire response bodies — each worker
+simply runs the same :class:`repro.server.wire.LocalBackend` the
+single-process server uses.  Workers are spawned (not forked): the router
+runs threads, and forking a threaded process is undefined behaviour
+waiting to happen.
+
+**Failure model.**  A worker can die at any instant (crash, OOM-kill,
+``kill -9``).  The router detects death on the next frame (EOF/broken
+pipe/timeout), spawns a replacement in place, and **re-homes** the dead
+worker's sessions by replaying each one's *journaled schema snapshot*: the
+router records every session's open payload plus the edit payloads
+acknowledged since, compacting the window into a schema-DSL snapshot
+(:meth:`ValidationService.snapshot_schema`) every ``snapshot_after``
+edits — the same snapshot-plus-replay-window shape as
+:meth:`repro.patterns.incremental.IncrementalEngine.suspend`/``resume``,
+one level up.  Replay is deterministic (schema mutators generate the same
+labels from the same state), so a re-homed session's next report is
+multiset-equal to an uninterrupted run — property-tested in
+``tests/server/test_workers.py``.
+
+**Exactly-once edits.**  An edit is journaled *after* the worker
+acknowledges it, inside the same per-session critical section; an edit
+in flight when the worker dies is therefore not in the journal, is not
+replayed, and is retried exactly once against the replacement.  Re-homing
+itself copies each journal under that session's lock, so an acknowledged
+edit can never be missed by a concurrent replay.
+
+**Handshake.**  Workers greet with their protocol version and verb set;
+the router refuses a worker offering an incompatible protocol
+(:data:`repro.server.protocol.WORKER_PROTOCOL_MISMATCH`), and a worker
+receiving a verb it does not speak answers the typed ``unknown_verb``
+error instead of a traceback — the regression net for future protocol
+growth.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.server import protocol
+from repro.server.protocol import (
+    INTERNAL_ERROR,
+    MALFORMED_REQUEST,
+    UNKNOWN_SESSION,
+    UNKNOWN_VERB,
+    WORKER_FAILED,
+    WORKER_PROTOCOL_MISMATCH,
+    WireError,
+)
+from repro.server.sharding import session_home
+
+#: Version of the router<->worker envelope protocol.  Bumped when a verb
+#: changes shape; the router refuses workers greeting a different version.
+WORKER_PROTOCOL_VERSION = 1
+
+#: Verbs every worker must speak for the router to accept it.
+REQUIRED_WORKER_VERBS = frozenset(
+    {"open", "edit", "report", "close", "drain", "stats", "snapshot", "ping", "shutdown"}
+)
+
+#: Workers are spawned, never forked: the router process runs an event
+#: loop plus executor threads, and fork() of a threaded process inherits
+#: locks in unknown states.
+_MP = multiprocessing.get_context("spawn")
+
+#: Timeout multiplier for the verbs whose legitimate work scales with
+#: session/schema size (drain ticks, opens shipping whole schemas, report
+#: and close drains, schema snapshots, re-homing replays).  The base
+#: ``request_timeout`` stays tight for constant-work frames (edit, ping,
+#: stats) so hung workers are still detected quickly there.
+SLOW_VERB_TIMEOUT_FACTOR = 4.0
+
+#: How long one health probe waits for a busy worker's pipe before
+#: reporting it ``busy`` with last-known stats: long enough to ride out a
+#: normal drain tick, short enough that /healthz stays inside any
+#: orchestrator probe timeout.
+PROBE_WAIT = 1.0
+
+
+def _worker_main(conn, config: dict) -> None:
+    """Entry point of one worker subprocess: a ValidationService behind a
+    serial JSON frame loop (the router serializes requests per worker, so
+    the loop needs no concurrency of its own; the service's internal pools
+    still parallelize drains across this worker's sessions)."""
+    import signal
+
+    from repro.server.service import ValidationService
+    from repro.server.wire import LocalBackend
+
+    # Router-led shutdown only: a Ctrl-C on the foreground process group
+    # must not kill workers out from under the router's drain/replay.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+    settings = None
+    if config.get("settings") is not None:
+        settings = protocol.settings_from_payload(config["settings"])
+    service = ValidationService(settings=settings, **config.get("service", {}))
+    backend = LocalBackend(service)
+    conn.send_bytes(
+        json.dumps(
+            {
+                "hello": True,
+                "protocol_version": WORKER_PROTOCOL_VERSION,
+                "verbs": sorted(REQUIRED_WORKER_VERBS),
+                "pid": os.getpid(),
+            }
+        ).encode("utf-8")
+    )
+    while True:
+        try:
+            raw = conn.recv_bytes()
+        except (EOFError, OSError):
+            break  # router went away; die quietly
+        try:
+            request = json.loads(raw.decode("utf-8"))
+            verb = request.get("verb")
+            payload = request.get("payload") or {}
+            if verb == "shutdown":
+                conn.send_bytes(b'{"ok": true}')
+                break
+            response = _worker_dispatch(backend, service, verb, payload)
+        except WireError as error:
+            response = error.to_payload()
+        except Exception as error:  # noqa: BLE001 - the pipe must stay structured
+            response = WireError(
+                INTERNAL_ERROR, f"{type(error).__name__}: {error}"
+            ).to_payload()
+        try:
+            conn.send_bytes(json.dumps(response).encode("utf-8"))
+        except (BrokenPipeError, OSError):
+            break
+    service.shutdown()
+
+
+def _worker_dispatch(backend, service, verb: str, payload: dict) -> dict:
+    """One worker verb; anything outside the negotiated set is the typed
+    ``unknown_verb`` error, never a crash (protocol-growth regression net)."""
+    if verb in ("open", "edit", "report", "close", "drain"):
+        return backend.handle(verb, payload)
+    if verb == "ping":
+        return {"ok": True, "pid": os.getpid()}
+    if verb == "stats":
+        return {"ok": True, **backend.health_payload()}
+    if verb == "snapshot":
+        name = payload.get("session")
+        if not isinstance(name, str):
+            raise WireError(MALFORMED_REQUEST, "snapshot needs a 'session' name")
+        from repro.exceptions import UnknownElementError
+
+        try:
+            return {"ok": True, "session": name, "schema_dsl": service.snapshot_schema(name)}
+        except UnknownElementError as error:
+            raise WireError(UNKNOWN_SESSION, str(error)) from None
+    raise WireError(
+        UNKNOWN_VERB,
+        f"worker speaks protocol v{WORKER_PROTOCOL_VERSION} and does not "
+        f"understand verb {verb!r}",
+    )
+
+
+class WorkerDied(Exception):
+    """Internal: the worker at the other end of a pipe is gone (EOF, broken
+    pipe, or response timeout).  Callers revive the worker and retry."""
+
+
+class WorkerHandle:
+    """One live worker subprocess plus its pipe, serialized by a lock.
+
+    The lock covers a full send/receive round trip: workers process frames
+    serially, so per-worker serialization at the router loses nothing, and
+    requests to *different* workers proceed in parallel — which is the
+    whole point of the pool.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        config: dict,
+        *,
+        request_timeout: float = 120.0,
+        handshake_timeout: float = 60.0,
+        expected_protocol: int | None = None,
+        defer_handshake: bool = False,
+    ) -> None:
+        self.index = index
+        self._timeout = request_timeout
+        self._handshake_timeout = handshake_timeout
+        self._expected_protocol = (
+            expected_protocol if expected_protocol is not None else WORKER_PROTOCOL_VERSION
+        )
+        self._lock = threading.Lock()
+        self.pid: int = -1
+        #: Last stats body this worker answered (the health probe's
+        #: fallback when the worker is busy mid-round-trip).
+        self.last_stats: dict | None = None
+        parent_conn, child_conn = _MP.Pipe(duplex=True)
+        self._conn = parent_conn
+        self.process = _MP.Process(
+            target=_worker_main,
+            args=(child_conn, config),
+            name=f"repro-worker-{index}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()  # our copy; the child keeps its own
+        if not defer_handshake:
+            self.handshake()
+
+    def handshake(self) -> None:
+        """Await and validate the worker's hello frame.
+
+        Split from the spawn so a pool can start all N interpreters first
+        and then collect the N hellos — startup stays ~one boot time
+        instead of N serial boots.  Raises :class:`WorkerDied` (after
+        reaping — no zombie from a failed spawn) or the typed
+        ``worker_protocol_mismatch`` :class:`WireError`.
+        """
+        try:
+            hello = self._recv(timeout=self._handshake_timeout)
+        except WorkerDied:
+            self.reap()
+            raise
+        offered = hello.get("protocol_version")
+        missing = REQUIRED_WORKER_VERBS - set(hello.get("verbs") or ())
+        if offered != self._expected_protocol or missing:
+            self.reap()
+            raise WireError(
+                WORKER_PROTOCOL_MISMATCH,
+                f"worker {self.index} greeted protocol v{offered} "
+                f"(router expects v{self._expected_protocol})"
+                + (f", missing verbs {sorted(missing)}" if missing else ""),
+            )
+        self.pid = hello.get("pid", self.process.pid)
+
+    def _recv(self, *, timeout: float) -> dict:
+        try:
+            if not self._conn.poll(timeout):
+                raise WorkerDied(
+                    f"worker {self.index} (pid {self.process.pid}) did not "
+                    f"answer within {timeout:.0f}s"
+                )
+            raw = self._conn.recv_bytes()
+            return json.loads(raw.decode("utf-8"))
+        except WorkerDied:
+            self.kill()
+            raise
+        except (EOFError, OSError, ValueError) as error:
+            self.kill()
+            raise WorkerDied(
+                f"worker {self.index} (pid {self.process.pid}) is gone: {error}"
+            ) from error
+
+    def request(
+        self, verb: str, payload: dict | None = None, *, timeout: float | None = None
+    ) -> dict:
+        """One round trip; raises :class:`WorkerDied` on any transport
+        failure (the response, if any, is then unknowable — callers decide
+        whether a retry is safe).  ``timeout`` overrides the handle default
+        for verbs whose legitimate work is unbounded in session count
+        (a drain tick, a giant open) — a *slow* worker must not be
+        mistaken for a hung one and killed mid-work."""
+        with self._lock:
+            return self._exchange(verb, payload, timeout)
+
+    def try_request(
+        self,
+        verb: str,
+        payload: dict | None = None,
+        *,
+        timeout: float | None = None,
+        wait: float = 0.0,
+    ) -> dict | None:
+        """:meth:`request` with a bounded wait for the pipe: returns
+        ``None`` when another thread is still mid-round-trip after
+        ``wait`` seconds (the worker is *busy*, which is itself an answer
+        — it is alive and serving).  Used by the health probe so
+        ``/healthz`` rides out a normal drain tick but never queues
+        behind a pathologically long one."""
+        if wait > 0:
+            acquired = self._lock.acquire(timeout=wait)
+        else:
+            acquired = self._lock.acquire(blocking=False)
+        if not acquired:
+            return None
+        try:
+            return self._exchange(verb, payload, timeout)
+        finally:
+            self._lock.release()
+
+    def _exchange(self, verb: str, payload: dict | None, timeout: float | None) -> dict:
+        """One frame out, one frame back.  Caller holds ``self._lock``."""
+        frame = json.dumps({"verb": verb, "payload": payload or {}}).encode("utf-8")
+        try:
+            self._conn.send_bytes(frame)
+        except (BrokenPipeError, OSError, ValueError) as error:
+            self.kill()
+            raise WorkerDied(
+                f"worker {self.index} (pid {self.process.pid}) is gone: {error}"
+            ) from error
+        return self._recv(timeout=timeout if timeout is not None else self._timeout)
+
+    def checked(
+        self, verb: str, payload: dict | None = None, *, timeout: float | None = None
+    ) -> dict:
+        """:meth:`request`, re-raising a worker error body as WireError."""
+        response = self.request(verb, payload, timeout=timeout)
+        if not isinstance(response, dict) or "ok" not in response:
+            raise WireError(
+                INTERNAL_ERROR, f"worker {self.index} sent a malformed response"
+            )
+        if not response["ok"]:
+            error = response.get("error") or {}
+            raise WireError(
+                error.get("code", INTERNAL_ERROR),
+                error.get("message", "worker error"),
+            )
+        return response
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def kill(self) -> None:
+        """Hard-stop the subprocess and drop the pipe (idempotent)."""
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        if self.process.is_alive():
+            self.process.kill()
+
+    def reap(self, timeout: float = 5.0) -> None:
+        """Join the (dead or killed) subprocess so no zombie lingers."""
+        self.kill()
+        self.process.join(timeout=timeout)
+
+
+class _RoutedSession:
+    """The router's journal of one session: everything needed to re-home
+    it into a fresh worker.  ``lock`` serializes this session's journal
+    mutations with the worker round trips that justify them."""
+
+    __slots__ = ("name", "lock", "opened", "open_payload", "edits")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.lock = threading.Lock()
+        self.opened = False
+        self.open_payload: dict = {"session": name}
+        self.edits: list[dict] = []
+
+
+class WorkerPool:
+    """The router: N worker subprocesses behind the wire-verb surface.
+
+    Implements the same backend interface as
+    :class:`repro.server.wire.LocalBackend` (``handle`` /
+    ``health_payload`` / ``tick`` / ``shutdown``), so
+    :class:`repro.server.wire.WireServer` — and therefore every PR-4
+    client — is indifferent to whether one process or N serve the
+    session.  Construct via ``WireServer(workers=N, ...)`` or directly.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker subprocesses (the shard count of the session
+        space; fixed for the pool's lifetime so placement stays stable).
+    settings:
+        Default :class:`ValidatorSettings` profile (or its wire payload)
+        for the workers' services.
+    snapshot_after:
+        Edits per session before the re-homing journal is compacted into
+        a schema-DSL snapshot (bounding replay cost and router memory).
+    request_timeout:
+        Seconds a worker may take to answer one frame before it is
+        declared dead and replaced.
+    **service_kwargs:
+        Forwarded to each worker's :class:`ValidationService`
+        (``max_workers``, ``max_live_engines``, ``max_live_sites``,
+        ``store_shards``).
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        *,
+        settings=None,
+        snapshot_after: int = 64,
+        request_timeout: float = 120.0,
+        **service_kwargs,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if snapshot_after < 1:
+            raise ValueError(f"snapshot_after must be >= 1, got {snapshot_after}")
+        settings_payload = None
+        if settings is not None:
+            settings_payload = (
+                settings
+                if isinstance(settings, dict)
+                else protocol.settings_to_payload(settings)
+            )
+        self._config = {"settings": settings_payload, "service": dict(service_kwargs)}
+        self._snapshot_after = snapshot_after
+        self._request_timeout = request_timeout
+        self._slow_timeout = request_timeout * SLOW_VERB_TIMEOUT_FACTOR
+        self._count = workers
+        handles: list[WorkerHandle] = []
+        try:
+            # Start all N interpreters first, then collect the N hellos:
+            # pool startup costs ~one worker boot, not N serial ones.
+            for index in range(workers):
+                handles.append(self._spawn(index, defer_handshake=True))
+            for handle in handles:
+                handle.handshake()
+        except WorkerDied as error:
+            # A later spawn failing must not orphan the earlier workers
+            # (they would sit in recv_bytes forever), nor leak the
+            # internal WorkerDied type out of the public constructor.
+            for handle in handles:
+                handle.reap()
+            raise WireError(
+                WORKER_FAILED, f"worker pool failed to start: {error}"
+            ) from error
+        except WireError:  # protocol mismatch: already typed, still reap
+            for handle in handles:
+                handle.reap()
+            raise
+        self._handles = handles
+        self._sessions: dict[str, _RoutedSession] = {}
+        self._registry_lock = threading.Lock()
+        self._revive_lock = threading.Lock()
+        self._fanout = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-router"
+        )
+        # Health probes get their own small pool: the fan-out pool's N
+        # threads can all be occupied by an in-flight drain tick, and a
+        # liveness probe queueing behind a long drain is exactly what
+        # /healthz must never do.
+        self._probe_pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-probe"
+        )
+        self._restarts = 0
+        self._rehomed_sessions = 0
+        self._dropped_sessions = 0
+        self._closing = False
+
+    # -- the backend surface (what WireServer drives) ---------------------
+
+    def handle(self, verb: str, payload: dict) -> dict:
+        if verb == "open":
+            return self._open(payload)
+        if verb == "edit":
+            return self._edit(payload)
+        if verb == "report":
+            return self._forward(
+                self._home_of(payload), "report", payload, timeout=self._slow_timeout
+            )
+        if verb == "close":
+            return self._close(payload)
+        if verb == "drain":
+            return self._drain(payload)
+        raise WireError(UNKNOWN_VERB, f"no such wire verb: {verb!r}")
+
+    def health_payload(self) -> dict:
+        """Aggregate census: summed service stats plus the worker roster.
+
+        Built to stay *probe-fast* whatever the workers are doing: all
+        workers are probed in parallel on a dedicated probe pool (the
+        fan-out pool may be fully occupied by a drain tick), each probe
+        waits at most :data:`PROBE_WAIT` seconds for the worker's pipe —
+        long enough to ride out a normal drain tick, bounded so a
+        pathologically long one cannot stall liveness — and a worker
+        still busy after that is reported ``busy`` with its last-known
+        stats folded into the totals (alive and serving; its numbers are
+        merely one probe stale).  Probing a *dead* worker answers
+        immediately and kicks its revival (and re-homing) off in the
+        background, so a periodic ``/healthz`` doubles as the crash
+        detector even on an otherwise idle server without ever blocking
+        on a replay.
+        """
+        probes = list(self._probe_pool.map(self._probe_stats, range(self._count)))
+        totals: dict[str, int] = {}
+        reachable = busy = 0
+        for stats, state in probes:
+            if state == "busy":
+                busy += 1
+            if state == "ok":
+                reachable += 1
+            if stats is None:
+                continue
+            for key, value in stats.items():
+                if isinstance(value, (int, float)):
+                    totals[key] = totals.get(key, 0) + value
+        with self._registry_lock:
+            routed = len(self._sessions)
+        return {
+            "stats": totals,
+            "workers": {
+                "count": self._count,
+                "alive": sum(1 for h in self._handles if h.alive()),
+                "reachable": reachable,
+                "busy": busy,
+                "pids": [h.pid for h in self._handles],
+                "restarts": self._restarts,
+                "rehomed_sessions": self._rehomed_sessions,
+                "dropped_sessions": self._dropped_sessions,
+                "routed_sessions": routed,
+            },
+        }
+
+    def _probe_stats(self, index: int) -> tuple[dict | None, str]:
+        """One worker's census probe: ``(stats_or_None, state)``."""
+        handle = self._handles[index]
+        try:
+            response = handle.try_request("stats", {}, wait=PROBE_WAIT)
+        except WorkerDied:
+            # Dead: kick the revival (and its re-homing replay) off in the
+            # background and answer the probe *now* — a liveness probe
+            # stalling for the whole replay would get the router restarted
+            # by its orchestrator exactly mid-recovery.  Any direct
+            # request racing this still revives synchronously via
+            # :meth:`_forward`; the counters record whichever won.
+            if self._closing:
+                return None, "unreachable"
+            try:
+                future = self._fanout.submit(self._revive_quietly, index, handle)
+            except RuntimeError:  # probe raced shutdown(): executor is gone
+                return None, "unreachable"
+            future.add_done_callback(lambda f: f.exception())  # consumed
+            return None, "reviving"
+        if response is None:
+            return handle.last_stats, "busy"
+        if isinstance(response, dict) and response.get("ok"):
+            handle.last_stats = response.get("stats")
+            return handle.last_stats, "ok"
+        return None, "error"
+
+    def _revive_quietly(self, index: int, dead: WorkerHandle) -> None:
+        """Background revival for the health probe (failures are left for
+        the next direct request to surface as typed errors)."""
+        try:
+            self._revive(index, dead)
+        except WireError:
+            pass
+
+    def tick(self) -> None:
+        """One background drain pass across every worker (in parallel)."""
+        self._drain({})
+
+    def shutdown(self) -> None:
+        self._closing = True
+        # Serialize with any in-flight revival: either it finished (its
+        # replacement is in _handles and gets shut down below) or it has
+        # not taken the revive lock yet (and will then see _closing and
+        # refuse to spawn) — no replacement can be spawned-but-missed.
+        with self._revive_lock:
+            handles = list(self._handles)
+        for handle in handles:
+            try:
+                handle.request("shutdown")
+            except WorkerDied:
+                pass
+            handle.reap()
+        self._fanout.shutdown(wait=False)
+        self._probe_pool.shutdown(wait=False)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def worker_count(self) -> int:
+        return self._count
+
+    def worker_pids(self) -> list[int]:
+        """Current pid per worker index (changes when a worker is revived)."""
+        return [handle.pid for handle in self._handles]
+
+    def home_of(self, session_name: str) -> int:
+        """The worker index that owns a session (stable in the name)."""
+        return session_home(session_name, self._count)
+
+    # -- verb routing ------------------------------------------------------
+
+    def _home_of(self, payload: dict) -> int:
+        name = payload.get("session") if isinstance(payload, dict) else None
+        if not isinstance(name, str):
+            raise WireError(MALFORMED_REQUEST, "missing required field 'session'")
+        return session_home(name, self._count)
+
+    def _open(self, payload: dict) -> dict:
+        index = self._home_of(payload)
+        name = payload["session"]
+        with self._registry_lock:
+            entry = self._sessions.get(name)
+            if entry is None:
+                entry = _RoutedSession(name)
+                self._sessions[name] = entry
+
+        def record(_body: dict) -> None:
+            entry.opened = True
+            entry.open_payload = payload
+            entry.edits = []
+            with self._registry_lock:
+                self._sessions[name] = entry
+
+        try:
+            return self._forward(
+                index, "open", payload,
+                entry=entry, record=record, timeout=self._slow_timeout,
+            )
+        except WireError:
+            with self._registry_lock:
+                if not entry.opened and self._sessions.get(name) is entry:
+                    del self._sessions[name]
+            raise
+
+    def _edit(self, payload: dict) -> dict:
+        index = self._home_of(payload)
+        name = payload["session"]
+        with self._registry_lock:
+            entry = self._sessions.get(name)
+        if entry is None:
+            # Never opened here: let the worker produce the typed 404.
+            return self._forward(index, "edit", payload)
+
+        def record(_body: dict) -> None:
+            entry.edits.append(payload)
+            if len(entry.edits) >= self._snapshot_after:
+                self._compact(index, entry)
+
+        return self._forward(index, "edit", payload, entry=entry, record=record)
+
+    def _close(self, payload: dict) -> dict:
+        index = self._home_of(payload)
+        name = payload["session"]
+        with self._registry_lock:
+            entry = self._sessions.get(name)
+        if entry is None:
+            return self._forward(index, "close", payload, timeout=self._slow_timeout)
+
+        def record(_body: dict) -> None:
+            with self._registry_lock:
+                if self._sessions.get(name) is entry:
+                    del self._sessions[name]
+
+        return self._forward(
+            index, "close", payload,
+            entry=entry, record=record, timeout=self._slow_timeout,
+        )
+
+    def _drain(self, payload: dict) -> dict:
+        min_pending = payload.get("min_pending")
+        sessions = payload.get("sessions")
+        per_worker: dict[int, dict] = {}
+        if sessions is None:
+            for index in range(self._count):
+                per_worker[index] = {}
+        else:
+            if not isinstance(sessions, list) or not all(
+                isinstance(n, str) for n in sessions
+            ):
+                raise WireError(MALFORMED_REQUEST, "'sessions' must be a list of names")
+            # Validate every name up front so an unknown one drains
+            # *nothing* — the in-process service errors while building its
+            # target list, and the two backends must not diverge on that.
+            # (The worker still backstops the error for races with close.)
+            with self._registry_lock:
+                missing = [n for n in sessions if n not in self._sessions]
+            if missing:
+                raise WireError(UNKNOWN_SESSION, f"unknown session: '{missing[0]}'")
+            for name in sessions:
+                index = session_home(name, self._count)
+                per_worker.setdefault(index, {"sessions": []})
+                per_worker[index]["sessions"].append(name)
+        if min_pending is not None:
+            for sub in per_worker.values():
+                sub["min_pending"] = min_pending
+        futures = {
+            index: self._fanout.submit(
+                self._forward, index, "drain", sub, timeout=self._slow_timeout
+            )
+            for index, sub in per_worker.items()
+        }
+        # Zero-seeded so an empty tick (e.g. "sessions": []) returns the
+        # same zeroed DrainStats shape as the in-process backend.
+        totals: dict[str, int] = {
+            "examined": 0, "drained": 0, "changes": 0, "resumed": 0, "rebuilt": 0
+        }
+        for future in futures.values():
+            stats = future.result()["stats"]  # WireError propagates as-is
+            for key, value in stats.items():
+                totals[key] = totals.get(key, 0) + value
+        return {"ok": True, "stats": totals}
+
+    # -- forwarding, death detection, re-homing ----------------------------
+
+    def _forward(
+        self,
+        index: int,
+        verb: str,
+        payload: dict,
+        *,
+        entry: _RoutedSession | None = None,
+        record=None,
+        timeout: float | None = None,
+    ) -> dict:
+        """One routed round trip with revive-and-retry.
+
+        With ``entry``/``record``, the round trip and the journal update
+        run inside the session's critical section (an acknowledged edit is
+        journaled atomically with its acknowledgement), while the revive
+        wait happens strictly *outside* it — revival takes every session
+        lock to copy journals, so waiting for it while holding one would
+        deadlock.
+        """
+        dead: WorkerHandle | None = None
+        failure: WorkerDied | None = None
+        for _attempt in range(2):
+            if dead is not None:
+                self._revive(index, dead)
+            handle = self._handles[index]
+            if entry is not None:
+                with entry.lock:
+                    try:
+                        response = handle.checked(verb, payload, timeout=timeout)
+                    except WorkerDied as error:
+                        dead, failure = handle, error
+                        continue
+                    record(response)
+                    return response
+            else:
+                try:
+                    response = handle.checked(verb, payload, timeout=timeout)
+                except WorkerDied as error:
+                    dead, failure = handle, error
+                    continue
+                return response
+        raise WireError(
+            WORKER_FAILED,
+            f"worker {index} kept failing after revival "
+            f"({verb!r} not answered: {failure})",
+        )
+
+    def _compact(self, index: int, entry: _RoutedSession) -> None:
+        """Collapse a session's journal to a schema-DSL snapshot.
+
+        Called under ``entry.lock`` from the edit path, so it must never
+        wait on revival: a dead worker simply postpones compaction to a
+        later edit (the journal stays replayable throughout)."""
+        handle = self._handles[index]
+        try:
+            # Serializing a whole schema is O(schema size), same as an
+            # open — slow-verb timeout, or a big session's routine
+            # compaction would "time out" and kill a healthy worker.
+            snapshot = handle.checked(
+                "snapshot", {"session": entry.name}, timeout=self._slow_timeout
+            )
+        except (WorkerDied, WireError):
+            return
+        refreshed = dict(entry.open_payload)
+        refreshed["schema_dsl"] = snapshot["schema_dsl"]
+        entry.open_payload = refreshed
+        entry.edits = []
+
+    def _revive(self, index: int, dead: WorkerHandle) -> None:
+        """Replace a dead worker and re-home its sessions by replay.
+
+        Serialized on one lock: concurrent observers of the same death
+        queue up here and find the worker already replaced (``is not
+        dead``).  Each session's journal is copied and replayed under its
+        own lock, taken one at a time — threads blocked on this revival
+        never hold a session lock (see :meth:`_forward`), so the sweep
+        cannot deadlock.
+        """
+        with self._revive_lock:
+            if self._handles[index] is not dead:
+                return  # somebody else already revived this worker
+            if self._closing:
+                raise WireError(WORKER_FAILED, "router is shutting down")
+            dead.reap()
+            try:
+                fresh = self._spawn(index)
+            except WorkerDied as error:
+                # The replacement itself failed to come up (crash before
+                # the hello frame, handshake timeout): keep the failure on
+                # the documented worker_failed/503 contract — WorkerDied is
+                # internal and must not leak as a 500.  The dead handle
+                # stays installed; a later request retries the revival.
+                raise WireError(
+                    WORKER_FAILED,
+                    f"could not spawn a replacement for worker {index}: {error}",
+                ) from error
+            with self._registry_lock:
+                homed = [
+                    entry
+                    for entry in self._sessions.values()
+                    if session_home(entry.name, self._count) == index
+                ]
+            rehomed = 0
+            dropped: list[str] = []
+            for entry in homed:
+                with entry.lock:
+                    if not entry.opened:
+                        continue
+                    try:
+                        fresh.checked(
+                            "open", entry.open_payload, timeout=self._slow_timeout
+                        )
+                        for edit in entry.edits:
+                            fresh.checked("edit", edit)
+                        rehomed += 1
+                    except WorkerDied as error:
+                        fresh.reap()
+                        raise WireError(
+                            WORKER_FAILED,
+                            f"replacement worker {index} died during re-homing: "
+                            f"{error}",
+                        ) from error
+                    except WireError:
+                        # The journal no longer replays (should not happen:
+                        # replay is deterministic) — drop the session rather
+                        # than poison the whole worker, and close whatever
+                        # prefix already applied so the fresh worker cannot
+                        # keep serving a half-replayed schema under the
+                        # dropped name.
+                        dropped.append(entry.name)
+                        try:
+                            fresh.checked("close", {"session": entry.name})
+                        except (WorkerDied, WireError):
+                            pass
+            if dropped:
+                with self._registry_lock:
+                    for name in dropped:
+                        self._sessions.pop(name, None)
+            self._handles[index] = fresh
+            self._restarts += 1
+            self._rehomed_sessions += rehomed
+            self._dropped_sessions += len(dropped)
+
+    def _spawn(self, index: int, *, defer_handshake: bool = False) -> WorkerHandle:
+        return WorkerHandle(
+            index,
+            self._config,
+            request_timeout=self._request_timeout,
+            defer_handshake=defer_handshake,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        alive = sum(1 for h in self._handles if h.alive())
+        return (
+            f"WorkerPool(workers={self._count}, alive={alive}, "
+            f"restarts={self._restarts})"
+        )

@@ -27,6 +27,28 @@ The service itself is started with the ``serve`` subcommand::
 
 See :mod:`repro.server.wire` for the endpoint/JSON reference.
 
+**Deployment.**  ``serve`` defaults to a single-process service bound to
+loopback.  The two scale/hardening axes:
+
+* ``--workers N`` routes sessions to N worker *subprocesses* (stable
+  session-name hash, same wire protocol; see
+  :mod:`repro.server.workers`) — one GIL per worker, so concurrent
+  drains use N cores instead of one, and a crashed worker is replaced
+  with its sessions re-homed by journal replay.  Single-process mode
+  (``--workers 0``) remains the low-latency default for one-core or
+  embedded use.
+* ``--token SECRET`` (or the ``ORM_VALIDATE_TOKEN`` environment
+  variable) requires ``Authorization: Bearer SECRET`` on every ``/v1/*``
+  request (``GET /healthz`` stays open for liveness probes).  Binding
+  beyond loopback **requires** a token — ``serve`` refuses to start
+  otherwise unless ``--allow-unauthenticated`` spells out the intent.
+  Clients pass the same token via ``--token`` (or the env var).
+
+Pollers should use the report ETag: every ``/v1/report`` response carries
+a ``mark``; echo it as ``if_mark`` and an unchanged session answers
+``{"unchanged": true}`` without re-serializing the report
+(:meth:`repro.server.client.ServiceClient.poll_report`).
+
 Exit status: 0 when no unsatisfiability was detected, 1 otherwise (any
 file, in batch mode), 2 on input errors — so the tool slots into CI for
 schema repositories.
@@ -36,6 +58,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -82,6 +105,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate through a remote 'orm-validate serve' instance at URL "
         "(e.g. http://127.0.0.1:8099) instead of in-process; implies "
         "--batch",
+    )
+    parser.add_argument(
+        "--token",
+        metavar="SECRET",
+        default=None,
+        help="bearer token for --server (default: $ORM_VALIDATE_TOKEN)",
     )
     parser.add_argument(
         "--patterns",
@@ -270,8 +299,9 @@ def _run_remote_batch(schemas, settings: ValidatorSettings, args) -> int:
     run_id = uuid.uuid4().hex[:8]
     payloads = []
     names: list[str] = []
+    token = args.token or os.environ.get("ORM_VALIDATE_TOKEN") or None
     try:
-        with ServiceClient(args.server) as client:
+        with ServiceClient(args.server, token=token) as client:
             client.healthz()  # fail fast on a dead/unreachable server
             try:
                 for index, (path, schema) in enumerate(schemas):
@@ -305,6 +335,23 @@ def _run_remote_batch(schemas, settings: ValidatorSettings, args) -> int:
     return 1 if unsat else 0
 
 
+def _bind_is_loopback(host: str) -> bool:
+    """True only when the bind address cannot be reached off-host.
+
+    Hostnames other than ``localhost`` — and the wildcard binds ``""`` /
+    ``0.0.0.0`` / ``::`` — count as reachable, so the token requirement
+    errs on the safe side.
+    """
+    if host == "localhost":
+        return True
+    import ipaddress
+
+    try:
+        return ipaddress.ip_address(host).is_loopback
+    except ValueError:
+        return False
+
+
 def _run_serve(argv: list[str]) -> int:
     """The ``orm-validate serve`` subcommand: the asyncio wire front."""
     import asyncio
@@ -314,10 +361,34 @@ def _run_serve(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="orm-validate serve",
         description="Serve the multi-session validation service over HTTP "
-        "(JSON wire protocol; see repro.server.wire).",
+        "(JSON wire protocol; see repro.server.wire).  Loopback-only and "
+        "single-process by default; scale out with --workers, open up "
+        "(with a token) via --host/--token.",
     )
     parser.add_argument("--host", default="127.0.0.1", help="bind address")
     parser.add_argument("--port", type=int, default=8099, help="bind port (0 = pick free)")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="route sessions to N worker subprocesses (one GIL each; "
+        "crashed workers are replaced and their sessions re-homed); "
+        "0 = single-process service (default)",
+    )
+    parser.add_argument(
+        "--token",
+        metavar="SECRET",
+        default=None,
+        help="require 'Authorization: Bearer SECRET' on every /v1/* request "
+        "(default: $ORM_VALIDATE_TOKEN; /healthz stays open)",
+    )
+    parser.add_argument(
+        "--allow-unauthenticated",
+        action="store_true",
+        help="serve beyond loopback without a token (NOT recommended; "
+        "without this flag a non-loopback bind refuses to start untokened)",
+    )
     parser.add_argument(
         "--drain-interval",
         type=float,
@@ -330,7 +401,7 @@ def _run_serve(argv: list[str]) -> int:
         type=int,
         default=None,
         metavar="N",
-        help="drain/refresh pool width (0 = inline drains)",
+        help="drain/refresh pool width per service (0 = inline drains)",
     )
     parser.add_argument(
         "--max-live-engines", type=int, default=16, help="live-engine count cap"
@@ -342,18 +413,41 @@ def _run_serve(argv: list[str]) -> int:
         help="optional live-engine budget in check sites (weighted eviction)",
     )
     args = parser.parse_args(argv)
+    if args.workers < 0:
+        print(
+            f"error: --workers must be >= 0, got {args.workers}", file=sys.stderr
+        )
+        return 2
+    token = args.token or os.environ.get("ORM_VALIDATE_TOKEN") or None
+    if token is None and not _bind_is_loopback(args.host) and not args.allow_unauthenticated:
+        print(
+            f"error: refusing to bind {args.host!r} without auth — the wire "
+            "protocol would be open to the network.  Set --token (or "
+            "ORM_VALIDATE_TOKEN), or pass --allow-unauthenticated to "
+            "accept that explicitly.",
+            file=sys.stderr,
+        )
+        return 2
 
     async def _serve() -> None:
         server = WireServer(
             host=args.host,
             port=args.port,
+            workers=args.workers,
+            token=token,
             drain_interval=args.drain_interval or None,
             max_live_engines=args.max_live_engines,
             max_live_sites=args.max_live_sites,
             max_workers=args.jobs,
         )
         host, port = await server.start()
-        print(f"orm-validate serve: listening on http://{host}:{port}", flush=True)
+        mode = f"{args.workers} worker processes" if args.workers else "single process"
+        auth = "token auth" if token else "no auth"
+        print(
+            f"orm-validate serve: listening on http://{host}:{port} "
+            f"({mode}, {auth})",
+            flush=True,
+        )
         try:
             await server.serve_forever()
         except asyncio.CancelledError:

@@ -337,6 +337,104 @@ class TestSiteWeightedEviction:
             assert "giant" in service.live_sessions()  # 7 engines <= 8
 
 
+class TestReportMarks:
+    """report_marked: the journal-mark ETag behind /v1/report's if_mark."""
+
+    def test_hit_miss_and_monotonic_marks(self):
+        with ValidationService(max_workers=0) as service:
+            handle = service.open("marks")
+            handle.edit("add_entity", "A")
+            report, mark = service.report_marked("marks")
+            assert report is not None and mark
+            # hit: echoing the current mark skips the report entirely
+            assert service.report_marked("marks", if_mark=mark) == (None, mark)
+            # miss: any edit moves the mark and yields a fresh report
+            handle.edit("add_entity", "B")
+            report2, mark2 = service.report_marked("marks", if_mark=mark)
+            assert report2 is not None and mark2 != mark
+            # a stale mark can never hit again (journal_size is monotonic)
+            handle.edit("remove_entity", "B")
+            report3, mark3 = service.report_marked("marks", if_mark=mark)
+            assert report3 is not None
+            assert mark3 not in (mark, mark2)
+
+    def test_mark_survives_journal_compaction(self):
+        """The compaction race: draining >JOURNAL_COMPACT_THRESHOLD entries
+        truncates the journal list, but journal_size keeps counting, so the
+        issued mark still hits afterwards and old marks still miss."""
+        from repro.patterns.incremental import JOURNAL_COMPACT_THRESHOLD
+
+        with ValidationService(max_workers=0) as service:
+            handle = service.open("compacting")
+            handle.edit("add_entity", "Seed")
+            _, early_mark = service.report_marked("compacting")
+            for index in range(JOURNAL_COMPACT_THRESHOLD + 10):
+                handle.edit("add_entity", f"T{index}")
+            _, mark = service.report_marked("compacting")
+            assert len(handle.schema._journal) < handle.schema.journal_size
+            assert service.report_marked("compacting", if_mark=mark) == (None, mark)
+            hit_again = service.report_marked("compacting", if_mark=mark)
+            assert hit_again == (None, mark)
+            stale, _ = service.report_marked("compacting", if_mark=early_mark)
+            assert stale is not None  # compaction must not fake a hit
+
+    def test_settings_toggle_invalidates_the_mark(self):
+        """Flipping an analysis family changes the report without touching
+        the journal; the mark fingerprints the profile so it must miss."""
+        with ValidationService(max_workers=0) as service:
+            handle = service.open("profiled")
+            handle.edit("add_entity", "T")
+            handle.edit("add_fact", "f", "r1", "T", "r2", "T")
+            handle.edit("add_frequency", "r1", 1, 1)
+            _, mark = service.report_marked("profiled")
+            handle.settings.formation_rules = True
+            report, mark2 = service.report_marked("profiled", if_mark=mark)
+            assert report is not None and mark2 != mark
+            assert any(f.rule_id == "FR1" for f in report.rule_findings)
+
+    def test_mark_hits_even_after_eviction(self):
+        """A suspended engine does not spoil the hit: 'unchanged' is about
+        the schema, not about which engines happen to be live."""
+        with ValidationService(max_live_engines=1, max_workers=0) as service:
+            first = service.open("first")
+            first.edit("add_entity", "A")
+            _, mark = service.report_marked("first")
+            service.open("second").report()  # evicts "first"
+            assert "first" not in service.live_sessions()
+            assert service.report_marked("first", if_mark=mark) == (None, mark)
+
+    def test_epochs_differ_between_session_instances(self):
+        with ValidationService(max_workers=0) as service:
+            handle = service.open("inst")
+            handle.edit("add_entity", "A")
+            _, mark = service.report_marked("inst")
+            service.close("inst")
+            handle = service.open("inst")
+            handle.edit("add_entity", "A")
+            report, mark2 = service.report_marked("inst", if_mark=mark)
+            assert report is not None  # same journal position, new epoch
+            assert mark2 != mark
+
+    def test_snapshot_schema_round_trips(self):
+        from repro.io.dsl import parse_schema
+
+        with ValidationService(max_workers=0) as service:
+            handle = service.open("snap")
+            handle.edit("add_entity", "Pool", ("v1", "v2"))
+            handle.edit("add_entity", "Hub")
+            handle.edit("add_fact", "uses", "u1", "Hub", "u2", "Pool")
+            handle.edit("add_frequency", "u1", 5)
+            replayed = parse_schema(service.snapshot_schema("snap"))
+            original = service.report("snap")
+            with ValidationService(max_workers=0) as replica:
+                clone = replica.open("snap-clone", schema=replayed)
+                assert Counter(clone.report().pattern_report.violations) == Counter(
+                    original.pattern_report.violations
+                )
+            with pytest.raises(UnknownElementError):
+                service.snapshot_schema("ghost")
+
+
 class TestConcurrency:
     def test_64_sessions_with_threaded_editors_and_ticks(self):
         """8 writer threads × 8 sessions each, a drain tick per round:

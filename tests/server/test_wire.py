@@ -7,10 +7,16 @@ in-process :class:`ValidationService` run of the same edit script; and
 every client-provokable failure — malformed JSON, unknown session,
 edit-after-close, server shutdown mid-drain — answered with a structured
 error body, never a hang or a traceback-body 500.
+
+The whole module runs against either backend: the default in-process
+service, or — with ``REPRO_WIRE_WORKERS=N`` in the environment (the CI
+``--workers 2`` pass) — a multi-process :class:`WorkerPool`, proving the
+two deployments are wire-indistinguishable.
 """
 
 import http.client
 import json
+import os
 import threading
 from collections import Counter
 
@@ -18,15 +24,21 @@ import pytest
 
 from repro.server import ServerThread, ServiceClient, ValidationService, WireError
 from repro.server.client import WireTransportError
-from repro.server.protocol import report_to_payload
+from repro.server.protocol import WIRE_VERSION, report_to_payload
 from repro.tool import ValidatorSettings
+
+
+def _backend_kwargs() -> dict:
+    """Worker-pool mode when REPRO_WIRE_WORKERS is set (the CI second pass)."""
+    workers = int(os.environ.get("REPRO_WIRE_WORKERS", "0") or "0")
+    return {"workers": workers} if workers else {}
 
 
 @pytest.fixture(scope="module")
 def server():
     """One live loopback server for the whole module (fresh sessions per
     test keep the tests independent)."""
-    with ServerThread(max_workers=2, drain_interval=0.02) as thread:
+    with ServerThread(max_workers=2, drain_interval=0.02, **_backend_kwargs()) as thread:
         yield thread
 
 
@@ -111,9 +123,16 @@ class TestRoundtrip:
         assert stats["examined"] == 1
         health = client.healthz()
         assert health["status"] == "serving"
-        assert health["wire_version"] == 1
+        assert health["wire_version"] == WIRE_VERSION
         assert health["stats"]["sessions"] >= 1
         client.close("census")
+
+    def test_empty_drain_list_returns_zeroed_stats(self, client):
+        """Both backends must answer the degenerate tick with the same
+        zeroed DrainStats shape (backend indistinguishability)."""
+        assert client.drain([]) == {
+            "examined": 0, "drained": 0, "changes": 0, "resumed": 0, "rebuilt": 0,
+        }
 
 
 class TestConcurrentClients:
@@ -260,6 +279,101 @@ class TestErrorPaths:
         assert excinfo.value.code == "method_not_allowed"
 
 
+class TestReportEtag:
+    """The /v1/report ETag short-circuit over the wire (hit, miss, and
+    survival across journal compaction; the service-level contract is in
+    tests/server/test_service.py)."""
+
+    def test_hit_then_miss_then_hit_again(self, client):
+        client.open("etag")
+        client.edit("etag", "add_entity", "A")
+        first = client.poll_report("etag")
+        assert "report" in first and first["mark"]
+        hit = client.poll_report("etag", if_mark=first["mark"])
+        assert hit == {"unchanged": True, "mark": first["mark"]}
+        client.edit("etag", "add_entity", "B")
+        miss = client.poll_report("etag", if_mark=first["mark"])
+        assert "report" in miss and miss["mark"] != first["mark"]
+        assert client.poll_report("etag", if_mark=miss["mark"]).get("unchanged")
+        client.close("etag")
+
+    def test_stale_mark_still_gets_a_full_report(self, client):
+        client.open("etag-stale")
+        client.edit("etag-stale", "add_entity", "A")
+        old = client.poll_report("etag-stale")
+        for index in range(5):
+            client.edit("etag-stale", "add_entity", f"T{index}")
+        refreshed = client.poll_report("etag-stale", if_mark=old["mark"])
+        assert "unchanged" not in refreshed
+        assert refreshed["report"]["schema"]
+        client.close("etag-stale")
+
+    def test_report_without_mark_is_unchanged_shape_free(self, client):
+        client.open("etag-plain")
+        payload = client.report("etag-plain")  # the PR-4 surface, untouched
+        assert payload["satisfiable_by_patterns"] is True
+        client.close("etag-plain")
+
+    def test_mismatched_if_mark_type_is_malformed(self, client):
+        client.open("etag-type")
+        with pytest.raises(WireError) as excinfo:
+            client._request("POST", "/v1/report", {"session": "etag-type", "if_mark": 7})
+        assert excinfo.value.code == "malformed_request"
+        client.close("etag-type")
+
+
+class TestAuth:
+    """Shared-token auth: /v1/* requires the bearer token, /healthz stays
+    open for liveness probes, comparisons never leak via exceptions."""
+
+    @pytest.fixture()
+    def auth_server(self):
+        with ServerThread(
+            max_workers=0, drain_interval=None, token="s3kr1t", **_backend_kwargs()
+        ) as thread:
+            yield thread
+
+    def test_verbs_require_the_token(self, auth_server):
+        anonymous = ServiceClient(auth_server.base_url)
+        with pytest.raises(WireError) as excinfo:
+            anonymous.open("locked")
+        assert excinfo.value.code == "unauthorized"
+        assert excinfo.value.http_status == 401
+
+    def test_wrong_token_and_wrong_scheme_are_unauthorized(self, auth_server):
+        for bad in ("Bearer wrong", "Basic s3kr1t", "s3kr1t"):
+            host, port = auth_server.address
+            conn = http.client.HTTPConnection(host, port, timeout=10)
+            conn.request(
+                "POST", "/v1/report", body=b'{"session": "x"}',
+                headers={"Authorization": bad},
+            )
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+            conn.close()
+            assert response.status == 401, bad
+            assert payload["error"]["code"] == "unauthorized"
+
+    def test_correct_token_round_trips(self, auth_server):
+        with ServiceClient(auth_server.base_url, token="s3kr1t") as client:
+            client.open("keyed")
+            client.edit("keyed", "add_entity", "T")
+            assert client.report("keyed")["satisfiable_by_patterns"] is True
+            client.close("keyed")
+
+    def test_healthz_stays_open_for_liveness_probes(self, auth_server):
+        anonymous = ServiceClient(auth_server.base_url)
+        assert anonymous.healthz()["status"] == "serving"
+
+    def test_untokened_server_stays_open_on_loopback(self, server):
+        """The default (no token) keeps working — loopback-only binds are
+        the CLI default, and the CLI refuses non-loopback binds untokened
+        (tests/tool/test_cli.py)."""
+        with ServiceClient(server.base_url) as client:
+            client.open("open-default")
+            client.close("open-default")
+
+
 class TestShutdown:
     def test_shutdown_mid_drain_returns_structured_errors(self):
         """Requests racing server shutdown get a clean 503, and the server
@@ -287,3 +401,16 @@ class TestShutdown:
         thread.stop()
         with pytest.raises((WireTransportError, WireError)):
             ServiceClient(base_url, timeout=2).healthz()
+
+
+class TestConstruction:
+    def test_conflicting_backend_selectors_are_rejected(self):
+        """workers=N with an explicit service must error, not silently run
+        single-process under a multi-process-looking configuration."""
+        from repro.server import WireServer
+
+        with ValidationService(max_workers=0) as service:
+            with pytest.raises(ValueError):
+                WireServer(service, workers=2)
+        with pytest.raises(ValueError):
+            WireServer(workers=-1)

@@ -170,3 +170,59 @@ class TestRemoteBatch:
         code = main(["--batch", "--server", "http://127.0.0.1:9", str(sat_file)])
         assert code == 2
         assert "remote validation" in capsys.readouterr().err
+
+    def test_token_travels_to_an_authed_server(self, sat_file, capsys, monkeypatch):
+        from repro.server import ServerThread
+
+        monkeypatch.delenv("ORM_VALIDATE_TOKEN", raising=False)
+        with ServerThread(max_workers=0, drain_interval=None, token="hunter2") as server:
+            denied = main(["--batch", "--server", server.base_url, str(sat_file)])
+            err = capsys.readouterr().err
+            assert denied == 2
+            assert "unauthorized" in err or "bearer" in err
+            code = main(
+                [
+                    "--batch",
+                    "--server",
+                    server.base_url,
+                    "--token",
+                    "hunter2",
+                    str(sat_file),
+                ]
+            )
+        assert code == 0
+        assert "validated remotely" in capsys.readouterr().out
+
+    def test_token_env_var_is_the_fallback(self, sat_file, capsys, monkeypatch):
+        from repro.server import ServerThread
+
+        monkeypatch.setenv("ORM_VALIDATE_TOKEN", "hunter2")
+        with ServerThread(max_workers=0, drain_interval=None, token="hunter2") as server:
+            code = main(["--batch", "--server", server.base_url, str(sat_file)])
+        assert code == 0
+        assert "validated remotely" in capsys.readouterr().out
+
+
+class TestServeGuardrails:
+    """orm-validate serve: loopback-only unless a token (or an explicit
+    opt-out) is given — non-loopback binds are no longer silently open."""
+
+    def test_non_loopback_bind_without_token_refuses_to_start(self, capsys, monkeypatch):
+        monkeypatch.delenv("ORM_VALIDATE_TOKEN", raising=False)
+        assert main(["serve", "--host", "0.0.0.0", "--port", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "refusing to bind" in err
+        assert "--token" in err
+
+    def test_loopback_classification(self):
+        from repro.tool.cli import _bind_is_loopback
+
+        assert _bind_is_loopback("127.0.0.1")
+        assert _bind_is_loopback("127.1.2.3")
+        assert _bind_is_loopback("::1")
+        assert _bind_is_loopback("localhost")
+        assert not _bind_is_loopback("0.0.0.0")
+        assert not _bind_is_loopback("::")
+        assert not _bind_is_loopback("")
+        assert not _bind_is_loopback("192.168.1.4")
+        assert not _bind_is_loopback("example.internal")
