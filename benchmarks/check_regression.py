@@ -17,13 +17,16 @@ Bars (see ROADMAP.md):
   one core (the scale-out claim is only falsifiable with cores to scale
   onto — CI has them), and everywhere else the pipe-transport overhead
   must stay bounded (best multi-process rate above
-  ``MULTI_PROCESS_SINGLE_CORE_FLOOR`` of the baseline).
+  ``MULTI_PROCESS_SINGLE_CORE_FLOOR`` of the baseline);
+* when the ``warm_check`` section is present, the warm per-session SAT
+  check (``POST /v1/check``) must stay >= 3x faster per edit than a cold
+  encode-and-solve sweep, with zero cold rebuilds on the additive script.
 
 Run after the benchmarks regenerate the JSON::
 
     PYTHONPATH=src python -m pytest -q benchmarks/bench_incremental.py \
         benchmarks/bench_service.py benchmarks/bench_wire.py \
-        benchmarks/bench_workers.py
+        benchmarks/bench_workers.py benchmarks/bench_check.py
     python benchmarks/check_regression.py
 """
 
@@ -43,6 +46,9 @@ WIRE_COLLAPSE_RATIO = 1 / 3
 #: rate as a fraction of the single-process rate).  With >1 core the bar
 #: is strict: multi-process must beat single-process outright.
 MULTI_PROCESS_SINGLE_CORE_FLOOR = 0.5
+#: The warm /v1/check reasoner must beat a cold encode-and-solve sweep by
+#: this factor per edit on the benchmark schema (ROADMAP bar for PR 6).
+WARM_CHECK_BAR = 3.0
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_incremental.json"
 
 
@@ -116,6 +122,20 @@ def main() -> int:
         print(
             f"multi-process best speedup vs single-process: {best:.2f}x on "
             f"{cores} core(s) (bar: > {bar:.2f}) -> {'OK' if ok else 'FAIL'}"
+        )
+
+    warm_check = data.get("warm_check")
+    if warm_check is None:
+        print("warm_check section: absent (run benchmarks/bench_check.py)")
+    else:
+        speedup = warm_check["speedup"]
+        ok = speedup >= WARM_CHECK_BAR and warm_check["cold_rebuilds"] == 0
+        failed |= not ok
+        print(
+            f"warm /v1/check vs cold encode+solve: {speedup:.2f}x, "
+            f"{warm_check['cold_rebuilds']} cold rebuilds "
+            f"(bar: >= {WARM_CHECK_BAR:.0f}x, 0 rebuilds) -> "
+            f"{'OK' if ok else 'FAIL'}"
         )
 
     return 1 if failed else 0

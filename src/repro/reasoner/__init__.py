@@ -7,9 +7,11 @@ from repro.reasoner.encoding import (
     GOAL_STRONG,
     GOAL_WEAK,
     Encoding,
+    IncrementalSchemaEncoder,
     SchemaEncoder,
 )
-from repro.reasoner.modelfinder import BoundedModelFinder, Verdict
+from repro.reasoner.incremental import SessionReasoner
+from repro.reasoner.modelfinder import BoundedModelFinder, Verdict, validate_witness
 
 __all__ = [
     "BoundedModelFinder",
@@ -18,8 +20,11 @@ __all__ = [
     "GOAL_GLOBAL",
     "GOAL_STRONG",
     "GOAL_WEAK",
+    "IncrementalSchemaEncoder",
     "SchemaEncoder",
+    "SessionReasoner",
     "Verdict",
     "enumerate_models",
     "find_model",
+    "validate_witness",
 ]

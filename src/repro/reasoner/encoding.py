@@ -208,19 +208,33 @@ class SchemaEncoder:
     # encoding passes
     # ------------------------------------------------------------------
 
+    #: Constraint families in the order the passes run (and the incremental
+    #: encoder dispatches); the order only matters for clause-stream
+    #: determinism, not correctness.
+    _CONSTRAINT_FAMILIES = (
+        ExclusiveTypesConstraint,
+        MandatoryConstraint,
+        UniquenessConstraint,
+        FrequencyConstraint,
+        ExclusionConstraint,
+        SubsetConstraint,
+        EqualityConstraint,
+        RingConstraint,
+    )
+
     def encode(self, goal: Goal = GOAL_STRONG) -> Encoding:
         """Emit all clauses and return the finished encoding."""
-        self._encode_typing()
-        self._encode_subtyping()
+        for fact in self._schema.fact_types():
+            self._emit_fact_typing(fact)
+        for link in self._schema.subtype_links():
+            self._emit_subtype(link)
         if self._top_exclusion:
-            self._encode_top_disjointness()
-        self._encode_exclusive_types()
-        self._encode_mandatory()
-        self._encode_uniqueness()
-        self._encode_frequency()
-        self._encode_exclusion()
-        self._encode_subset_equality()
-        self._encode_rings()
+            roots = self._schema.root_types()
+            for first, second in itertools.combinations(roots, 2):
+                self._emit_top_pair(first, second)
+        for family in self._CONSTRAINT_FAMILIES:
+            for constraint in self._schema.constraints_of(family):
+                self._emit_constraint(constraint)
         self._encode_goal(goal)
         return Encoding(
             builder=self._builder,
@@ -229,29 +243,49 @@ class SchemaEncoder:
             individuals=list(self._individuals),
         )
 
-    def _encode_typing(self) -> None:
-        for fact in self._schema.fact_types():
-            for first, second, var in self._fact_vars(fact.name):
-                first_member = self._mvar(fact.roles[0].player, first)
-                second_member = self._mvar(fact.roles[1].player, second)
-                # _fvar only exists when both memberships are allowed.
-                self._builder.add_implication(var, first_member)
-                self._builder.add_implication(var, second_member)
+    def _emit_fact_typing(self, fact) -> None:
+        for first, second, var in self._fact_vars(fact.name):
+            first_member = self._mvar(fact.roles[0].player, first)
+            second_member = self._mvar(fact.roles[1].player, second)
+            # _fvar only exists when both memberships are allowed.
+            self._builder.add_implication(var, first_member)
+            self._builder.add_implication(var, second_member)
 
-    def _encode_subtyping(self) -> None:
-        for link in self._schema.subtype_links():
-            for individual in self._individuals:
-                sub_var = self._mvar(link.sub, individual)
-                if sub_var is None:
-                    continue
-                sup_var = self._mvar(link.super, individual)
-                if sup_var is None:
-                    # The supertype cannot host this individual at all.
-                    self._builder.add_clause((-sub_var,))
-                else:
-                    self._builder.add_implication(sub_var, sup_var)
-            if self._strict:
-                self._encode_strictness(link.sub, link.super)
+    def _emit_subtype(self, link) -> None:
+        for individual in self._individuals:
+            sub_var = self._mvar(link.sub, individual)
+            if sub_var is None:
+                continue
+            sup_var = self._mvar(link.super, individual)
+            if sup_var is None:
+                # The supertype cannot host this individual at all.
+                self._builder.add_clause((-sub_var,))
+            else:
+                self._builder.add_implication(sub_var, sup_var)
+        if self._strict:
+            self._encode_strictness(link.sub, link.super)
+
+    def _emit_constraint(self, constraint) -> None:
+        """Emit the clauses of one constraint (any family)."""
+        if isinstance(constraint, ExclusiveTypesConstraint):
+            self._emit_exclusive_types(constraint)
+        elif isinstance(constraint, MandatoryConstraint):
+            self._emit_mandatory(constraint)
+        elif isinstance(constraint, UniquenessConstraint):
+            self._emit_uniqueness(constraint)
+        elif isinstance(constraint, FrequencyConstraint):
+            self._emit_frequency(constraint)
+        elif isinstance(constraint, ExclusionConstraint):
+            self._emit_exclusion(constraint)
+        elif isinstance(constraint, SubsetConstraint):
+            self._emit_directed_subset(constraint.sub, constraint.sup)
+        elif isinstance(constraint, EqualityConstraint):
+            self._emit_directed_subset(constraint.first, constraint.second)
+            self._emit_directed_subset(constraint.second, constraint.first)
+        elif isinstance(constraint, RingConstraint):
+            self._emit_ring(constraint)
+        else:  # pragma: no cover - new families must be wired up explicitly
+            raise TypeError(f"no emitter for constraint {type(constraint).__name__}")
 
     def _encode_strictness(self, sub: str, sup: str) -> None:
         """Some individual is in the supertype but not the subtype."""
@@ -267,71 +301,62 @@ class SchemaEncoder:
             witnesses.append(witness)
         self._builder.add_clause(witnesses)  # empty -> formula unsatisfiable
 
-    def _encode_top_disjointness(self) -> None:
-        roots = self._schema.root_types()
-        for first, second in itertools.combinations(roots, 2):
+    def _emit_top_pair(self, first: str, second: str) -> None:
+        for individual in self._individuals:
+            first_var = self._mvar(first, individual)
+            second_var = self._mvar(second, individual)
+            if first_var is not None and second_var is not None:
+                self._builder.add_clause((-first_var, -second_var))
+
+    def _emit_exclusive_types(self, constraint: ExclusiveTypesConstraint) -> None:
+        for first, second in itertools.combinations(constraint.types, 2):
             for individual in self._individuals:
                 first_var = self._mvar(first, individual)
                 second_var = self._mvar(second, individual)
                 if first_var is not None and second_var is not None:
                     self._builder.add_clause((-first_var, -second_var))
 
-    def _encode_exclusive_types(self) -> None:
-        for constraint in self._schema.constraints_of(ExclusiveTypesConstraint):
-            for first, second in itertools.combinations(constraint.types, 2):
-                for individual in self._individuals:
-                    first_var = self._mvar(first, individual)
-                    second_var = self._mvar(second, individual)
-                    if first_var is not None and second_var is not None:
-                        self._builder.add_clause((-first_var, -second_var))
+    def _emit_mandatory(self, constraint: MandatoryConstraint) -> None:
+        player = self._schema.role(constraint.roles[0]).player
+        for individual, member_var in self._members_of(player):
+            options: list[int] = []
+            for role_name in constraint.roles:
+                options.extend(self._tuples_with_filler(role_name, individual))
+            self._builder.add_clause((-member_var, *options))
 
-    def _encode_mandatory(self) -> None:
-        for constraint in self._schema.constraints_of(MandatoryConstraint):
-            player = self._schema.role(constraint.roles[0]).player
-            for individual, member_var in self._members_of(player):
-                options: list[int] = []
-                for role_name in constraint.roles:
-                    options.extend(self._tuples_with_filler(role_name, individual))
-                self._builder.add_clause((-member_var, *options))
+    def _emit_uniqueness(self, constraint: UniquenessConstraint) -> None:
+        if len(constraint.roles) != 1:
+            return  # spanning uniqueness holds by set semantics
+        role_name = constraint.roles[0]
+        for individual in self._individuals:
+            self._builder.at_most_one(self._tuples_with_filler(role_name, individual))
 
-    def _encode_uniqueness(self) -> None:
-        for constraint in self._schema.constraints_of(UniquenessConstraint):
-            if len(constraint.roles) != 1:
-                continue  # spanning uniqueness holds by set semantics
-            role_name = constraint.roles[0]
-            for individual in self._individuals:
-                self._builder.at_most_one(
-                    self._tuples_with_filler(role_name, individual)
-                )
-
-    def _encode_frequency(self) -> None:
-        for constraint in self._schema.constraints_of(FrequencyConstraint):
-            if len(constraint.roles) == 2:
-                # Spanning frequency with min > 1 can never be met by a
-                # non-empty fact population (tuples are unique).
-                if constraint.min > 1:
-                    fact_name = self._schema.role(constraint.roles[0]).fact_type
-                    for _, _, var in self._fact_vars(fact_name):
-                        self._builder.add_clause((-var,))
+    def _emit_frequency(self, constraint: FrequencyConstraint) -> None:
+        if len(constraint.roles) == 2:
+            # Spanning frequency with min > 1 can never be met by a
+            # non-empty fact population (tuples are unique).
+            if constraint.min > 1:
+                fact_name = self._schema.role(constraint.roles[0]).fact_type
+                for _, _, var in self._fact_vars(fact_name):
+                    self._builder.add_clause((-var,))
+            return
+        role_name = constraint.roles[0]
+        for individual in self._individuals:
+            tuples = self._tuples_with_filler(role_name, individual)
+            if not tuples:
                 continue
-            role_name = constraint.roles[0]
-            for individual in self._individuals:
-                tuples = self._tuples_with_filler(role_name, individual)
-                if not tuples:
-                    continue
-                if constraint.min > 1:
-                    plays = self._plays_var(role_name, individual)
-                    self._builder.at_least_k(tuples, constraint.min, condition=plays)
-                if constraint.max is not None:
-                    self._builder.at_most_k(tuples, constraint.max)
+            if constraint.min > 1:
+                plays = self._plays_var(role_name, individual)
+                self._builder.at_least_k(tuples, constraint.min, condition=plays)
+            if constraint.max is not None:
+                self._builder.at_most_k(tuples, constraint.max)
 
-    def _encode_exclusion(self) -> None:
-        for constraint in self._schema.constraints_of(ExclusionConstraint):
-            for first_seq, second_seq in constraint.pairs():
-                if constraint.is_role_exclusion:
-                    self._encode_role_exclusion(first_seq[0], second_seq[0])
-                else:
-                    self._encode_sequence_exclusion(first_seq, second_seq)
+    def _emit_exclusion(self, constraint: ExclusionConstraint) -> None:
+        for first_seq, second_seq in constraint.pairs():
+            if constraint.is_role_exclusion:
+                self._encode_role_exclusion(first_seq[0], second_seq[0])
+            else:
+                self._encode_sequence_exclusion(first_seq, second_seq)
 
     def _encode_role_exclusion(self, first_role: str, second_role: str) -> None:
         for individual in self._individuals:
@@ -361,18 +386,11 @@ class SchemaEncoder:
             if first_var is not None and second_var is not None:
                 self._builder.add_clause((-first_var, -second_var))
 
-    def _encode_subset_equality(self) -> None:
-        directed: list[tuple[RoleSequence, RoleSequence]] = []
-        for constraint in self._schema.constraints_of(SubsetConstraint):
-            directed.append((constraint.sub, constraint.sup))
-        for constraint in self._schema.constraints_of(EqualityConstraint):
-            directed.append((constraint.first, constraint.second))
-            directed.append((constraint.second, constraint.first))
-        for sub_seq, sup_seq in directed:
-            if len(sub_seq) == 1:
-                self._encode_role_subset(sub_seq[0], sup_seq[0])
-            else:
-                self._encode_sequence_subset(sub_seq, sup_seq)
+    def _emit_directed_subset(self, sub_seq: RoleSequence, sup_seq: RoleSequence) -> None:
+        if len(sub_seq) == 1:
+            self._encode_role_subset(sub_seq[0], sup_seq[0])
+        else:
+            self._encode_sequence_subset(sub_seq, sup_seq)
 
     def _encode_role_subset(self, sub_role: str, sup_role: str) -> None:
         for individual in self._individuals:
@@ -402,17 +420,16 @@ class SchemaEncoder:
             return self._fvar(role.fact_type, first, second)
         return self._fvar(role.fact_type, second, first)
 
-    def _encode_rings(self) -> None:
-        for constraint in self._schema.constraints_of(RingConstraint):
-            handler = {
-                RingKind.IRREFLEXIVE: self._encode_irreflexive,
-                RingKind.SYMMETRIC: self._encode_symmetric,
-                RingKind.ANTISYMMETRIC: self._encode_antisymmetric,
-                RingKind.ASYMMETRIC: self._encode_asymmetric,
-                RingKind.INTRANSITIVE: self._encode_intransitive,
-                RingKind.ACYCLIC: self._encode_acyclic,
-            }[constraint.kind]
-            handler(constraint)
+    def _emit_ring(self, constraint: RingConstraint) -> None:
+        handler = {
+            RingKind.IRREFLEXIVE: self._encode_irreflexive,
+            RingKind.SYMMETRIC: self._encode_symmetric,
+            RingKind.ANTISYMMETRIC: self._encode_antisymmetric,
+            RingKind.ASYMMETRIC: self._encode_asymmetric,
+            RingKind.INTRANSITIVE: self._encode_intransitive,
+            RingKind.ACYCLIC: self._encode_acyclic,
+        }[constraint.kind]
+        handler(constraint)
 
     def _encode_irreflexive(self, constraint: RingConstraint) -> None:
         for individual in self._individuals:
@@ -478,6 +495,22 @@ class SchemaEncoder:
 
     # -- goals -------------------------------------------------------------
 
+    def _known_goal_or_raise(self, goal: Goal) -> None:
+        """Reject malformed goals the same way :meth:`_encode_goal` would."""
+        if isinstance(goal, tuple):
+            kind, name = goal
+            if kind == "role":
+                self._schema.role(name)
+            elif kind == "type":
+                self._schema.object_type(name)
+            elif kind == "roles":
+                for role_name in name:
+                    self._schema.role(role_name)
+            else:
+                raise ValueError(f"unknown goal kind: {kind!r}")
+        elif goal not in (GOAL_WEAK, GOAL_STRONG, GOAL_CONCEPT, GOAL_GLOBAL):
+            raise ValueError(f"unknown goal kind: {goal!r}")
+
     def _encode_goal(self, goal: Goal) -> None:
         if goal == GOAL_WEAK:
             return
@@ -510,3 +543,278 @@ class SchemaEncoder:
                     )
             else:
                 raise ValueError(f"unknown goal kind: {kind!r}")
+
+
+#: A selector-guarded clause group.  Structural keys cover typing
+#: (``("fact", name)``), subtyping (``("subtype", sub, super)``), default
+#: top-type disjointness (``("top", a, b)``, name-sorted) and constraints
+#: (``("constraint", label)``); goal keys (``("popfact", name)`` /
+#: ``("poptype", name)``) carry the populate-this-element disjunctions that
+#: :meth:`IncrementalSchemaEncoder.assumptions` switches per goal.
+GroupKey = tuple
+
+
+class IncrementalSchemaEncoder(SchemaEncoder):
+    """A :class:`SchemaEncoder` whose clauses are retirable selector groups.
+
+    Every logical unit of the encoding — one fact type's typing clauses, one
+    subtype link, one constraint, one goal disjunction — is emitted behind a
+    fresh *selector* variable ``sel``: each clause ``C`` is stored as
+    ``¬sel ∨ C`` (see :meth:`CnfBuilder.begin_guard`) and is active only
+    while ``sel`` is assumed true.  Editing the schema then means retiring
+    the selectors of removed/changed elements and emitting new groups for
+    added ones — the CNF only ever grows, and a persistent
+    :class:`~repro.sat.solver.DpllSolver` keeps its clause database and
+    watch structure across checks.
+
+    The *individual universe is immutable per encoder*: the abstract domain
+    size is fixed at construction and the value individuals are snapshotted
+    from the schema's value constraints.  Any edit that changes the value
+    universe therefore requires a fresh encoder (the
+    :class:`~repro.reasoner.incremental.SessionReasoner` detects this and
+    rebuilds cold); everything else is an incremental :meth:`sync`.
+
+    Goals are not encoded into clauses here.  Instead each fact/type gets a
+    guarded "populate me" disjunction whose selector is only assumed true
+    when the goal asks for it — so switching goals between checks costs
+    nothing.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        num_abstract: int,
+        strict_subtypes: bool = True,
+        default_type_exclusion: bool = True,
+    ) -> None:
+        super().__init__(
+            schema,
+            num_abstract,
+            strict_subtypes=strict_subtypes,
+            default_type_exclusion=default_type_exclusion,
+        )
+        self._groups: dict[GroupKey, int] = {}
+        self._retired: list[int] = []
+        self.sync()
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def builder(self) -> CnfBuilder:
+        return self._builder
+
+    @property
+    def retired_group_count(self) -> int:
+        """How many groups have been retired (rebuild-hygiene signal)."""
+        return len(self._retired)
+
+    def value_universe(self) -> tuple[str, ...]:
+        """The value individuals baked into this encoder, in universe order."""
+        return tuple(
+            payload for kind, payload in self._individuals if kind == "v"  # type: ignore[misc]
+        )
+
+    # -- incremental variable allocation -----------------------------------
+
+    def _fvar(self, fact_name: str, first: Individual, second: Individual) -> int | None:
+        # Unlike the cold encoder, re-check admissibility even for cached
+        # variables: a fact type removed and re-added with different players
+        # keeps its old tuple variables in the cache, but they must not leak
+        # into newly emitted groups.
+        fact = self._schema.fact_type(fact_name)
+        if not self._allowed(fact.roles[0].player, first):
+            return None
+        if not self._allowed(fact.roles[1].player, second):
+            return None
+        key = (fact_name, first, second)
+        var = self._fact_tuple.get(key)
+        if var is None:
+            var = self._builder.new_var(
+                f"f[{fact_name},{_instance_name(first)},{_instance_name(second)}]"
+            )
+            self._fact_tuple[key] = var
+        return var
+
+    def _plays_var(self, role_name: str, individual: Individual) -> int:
+        # Never reuse a plays variable across groups: its defining
+        # implications (tuple -> plays) are guarded by the group that
+        # allocated it, so after that group retires a cached variable would
+        # have no definition left and the frequency lower bound it guards
+        # would silently evaporate.
+        var = self._builder.new_var(
+            f"plays[{role_name},{_instance_name(individual)}]"
+        )
+        for tuple_var in self._tuples_with_filler(role_name, individual):
+            self._builder.add_implication(tuple_var, var)
+        return var
+
+    # -- group management --------------------------------------------------
+
+    def desired_groups(self) -> dict[GroupKey, None]:
+        """Every group the current schema needs, in deterministic order.
+
+        The result depends only on the schema (not on this encoder's domain
+        size), so a caller juggling one encoder per size — the warm
+        :class:`~repro.reasoner.incremental.SessionReasoner` — computes it
+        once and passes it to every :meth:`sync`.
+        """
+        keys: dict[GroupKey, None] = {}
+        for fact in self._schema.fact_types():
+            keys[("fact", fact.name)] = None
+        for link in self._schema.subtype_links():
+            keys[("subtype", link.sub, link.super)] = None
+        if self._top_exclusion:
+            # Sorting the roots once makes every combination an ordered
+            # pair already — no per-pair sort on this O(n^2) loop.
+            roots = sorted(self._schema.root_types())
+            for low, high in itertools.combinations(roots, 2):
+                keys[("top", low, high)] = None
+        for family in self._CONSTRAINT_FAMILIES:
+            for constraint in self._schema.constraints_of(family):
+                keys[("constraint", constraint.label)] = None
+        for fact in self._schema.fact_types():
+            keys[("popfact", fact.name)] = None
+        for type_name in self._schema.object_type_names():
+            keys[("poptype", type_name)] = None
+        return keys
+
+    def sync(
+        self,
+        touched: set[GroupKey] | None = None,
+        desired: dict[GroupKey, None] | None = None,
+    ) -> None:
+        """Bring the clause groups in line with the current schema.
+
+        ``touched`` names groups whose *content* may have changed even
+        though their key still exists (e.g. a fact type removed and re-added
+        within one journal window); they are retired and re-emitted.  Groups
+        whose key disappeared from the schema are retired; new keys are
+        emitted.  ``desired`` is an optional precomputed
+        :meth:`desired_groups` result (it is schema-level, so one dict
+        serves every per-size encoder).  The caller is responsible for
+        detecting value-universe changes — those invalidate the whole
+        encoder (see class docstring).
+        """
+        if desired is None:
+            desired = self.desired_groups()
+        # Set algebra finds the deltas; the ordered dicts then drive the
+        # actual retire/emit loops so the retirement and emission order —
+        # and with it the solver's behaviour — stays deterministic.
+        current = self._groups.keys()
+        stale = current - desired.keys()
+        if touched:
+            stale |= touched & current
+        if stale:
+            for key in [key for key in self._groups if key in stale]:
+                self._retired.append(self._groups.pop(key))
+        if desired.keys() - current:
+            for key in desired:
+                if key not in self._groups:
+                    self._emit_group(key)
+
+    def _emit_group(self, key: GroupKey) -> None:
+        selector = self._builder.new_var("sel[" + ",".join(map(str, key)) + "]")
+        self._builder.begin_guard(selector)
+        try:
+            kind = key[0]
+            if kind == "fact":
+                self._emit_fact_typing(self._schema.fact_type(key[1]))
+            elif kind == "subtype":
+                link = next(
+                    link
+                    for link in self._schema.subtype_links()
+                    if (link.sub, link.super) == key[1:]
+                )
+                self._emit_subtype(link)
+            elif kind == "top":
+                self._emit_top_pair(key[1], key[2])
+            elif kind == "constraint":
+                constraint = next(
+                    constraint
+                    for constraint in self._schema.constraints()
+                    if constraint.label == key[1]
+                )
+                self._emit_constraint(constraint)
+            elif kind == "popfact":
+                self._builder.add_clause(
+                    [var for _, _, var in self._fact_vars(key[1])]
+                )
+            elif kind == "poptype":
+                self._builder.add_clause(
+                    [var for _, var in self._members_of(key[1])]
+                )
+            else:  # pragma: no cover - keys come from desired_groups
+                raise AssertionError(f"unknown group kind: {kind!r}")
+        finally:
+            self._builder.end_guard()
+        self._groups[key] = selector
+
+    # -- solving interface -------------------------------------------------
+
+    def goal_group_keys(self, goal: Goal) -> set[GroupKey]:
+        """The popfact/poptype groups a goal needs asserted."""
+        self._known_goal_or_raise(goal)
+        keys: set[GroupKey] = set()
+        if goal in (GOAL_STRONG, GOAL_GLOBAL):
+            keys.update(("popfact", fact.name) for fact in self._schema.fact_types())
+        if goal in (GOAL_CONCEPT, GOAL_GLOBAL):
+            keys.update(
+                ("poptype", name) for name in self._schema.object_type_names()
+            )
+        if isinstance(goal, tuple):
+            kind, name = goal
+            if kind == "role":
+                keys.add(("popfact", self._schema.role(name).fact_type))
+            elif kind == "type":
+                keys.add(("poptype", name))
+            elif kind == "roles":
+                for role_name in name:
+                    keys.add(("popfact", self._schema.role(role_name).fact_type))
+        return keys
+
+    def assumptions(self, goal: Goal) -> list[int]:
+        """The assumption literals activating the current schema + goal.
+
+        Structural groups are asserted, retired selectors are negated (for
+        search determinism — a free retired selector would cost decisions),
+        and goal groups are asserted or negated per the requested goal.
+        """
+        wanted = self.goal_group_keys(goal)
+        literals = [-selector for selector in self._retired]
+        for key, selector in self._groups.items():
+            if key[0] in ("popfact", "poptype"):
+                literals.append(selector if key in wanted else -selector)
+            else:
+                literals.append(selector)
+        return literals
+
+    def decode_model(self, model: dict[int, bool]) -> Population:
+        """Translate a satisfying assignment into a population.
+
+        Variables belonging to removed schema elements (or to tuple pairs no
+        longer admissible after a fact re-add) are skipped — their groups
+        are retired, so the solver may assign them freely.
+        """
+        population = Population(self._schema)
+        for (type_name, individual), var in self._membership.items():
+            if not model.get(var):
+                continue
+            if not self._schema.has_object_type(type_name):
+                continue
+            if not self._allowed(type_name, individual):
+                continue
+            population.add_instance(type_name, _instance_name(individual))
+        for (fact_name, first, second), var in self._fact_tuple.items():
+            if not model.get(var):
+                continue
+            if not self._schema.has_fact_type(fact_name):
+                continue
+            fact = self._schema.fact_type(fact_name)
+            if not self._allowed(fact.roles[0].player, first):
+                continue
+            if not self._allowed(fact.roles[1].player, second):
+                continue
+            population.add_fact(
+                fact_name, _instance_name(first), _instance_name(second)
+            )
+        return population

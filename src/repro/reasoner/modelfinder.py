@@ -36,7 +36,17 @@ from repro.sat.solver import DpllSolver
 
 @dataclass
 class Verdict:
-    """Outcome of a bounded satisfiability check."""
+    """Outcome of a bounded satisfiability check.
+
+    After an iterative-deepening sweep, ``decisions`` and
+    ``elapsed_seconds`` are accumulated across every size tried, while
+    ``clauses``/``variables`` describe the final size's formula only (the
+    earlier, smaller formulas are subsumed by it as capacity measures).
+    ``inconclusive_sizes`` lists the sizes where the decision budget ran out
+    before an answer; an overall ``"unknown"`` status means no size was SAT
+    *and* at least one size was inconclusive — so neither satisfiability nor
+    bounded-unsatisfiability is established.
+    """
 
     status: str  # "sat" | "unsat" | "unknown"
     goal: Goal
@@ -47,6 +57,7 @@ class Verdict:
     variables: int = 0
     elapsed_seconds: float = 0.0
     sizes_tried: tuple[int, ...] = field(default_factory=tuple)
+    inconclusive_sizes: tuple[int, ...] = field(default_factory=tuple)
 
     @property
     def is_sat(self) -> bool:
@@ -58,6 +69,41 @@ class Verdict:
             f"{self.status} (goal={self.goal}, domain<={self.domain_size}, "
             f"{self.variables} vars, {self.clauses} clauses)"
         )
+
+
+def sweep_sizes(check_at, goal: Goal, max_domain: int) -> Verdict:
+    """Run ``check_at(goal, size)`` for sizes 0..max_domain (shared by the
+    cold :class:`BoundedModelFinder` and the warm ``SessionReasoner``).
+
+    Stops at the first SAT size; records inconclusive (budget-exhausted)
+    sizes and keeps going past them.  The returned verdict accumulates
+    ``decisions`` and ``elapsed_seconds`` over the whole sweep; ``clauses``
+    and ``variables`` describe the last size actually tried (documented on
+    :class:`Verdict`).
+    """
+    final: Verdict | None = None
+    tried: list[int] = []
+    inconclusive: list[int] = []
+    total_elapsed = 0.0
+    total_decisions = 0
+    for size in range(0, max_domain + 1):
+        verdict = check_at(goal, size)
+        tried.append(size)
+        total_elapsed += verdict.elapsed_seconds
+        total_decisions += verdict.decisions
+        final = verdict
+        if verdict.status == "sat":
+            break
+        if verdict.status == "unknown":
+            inconclusive.append(size)
+    assert final is not None
+    if final.status != "sat" and inconclusive:
+        final.status = "unknown"
+    final.sizes_tried = tuple(tried)
+    final.inconclusive_sizes = tuple(inconclusive)
+    final.elapsed_seconds = total_elapsed
+    final.decisions = total_decisions
+    return final
 
 
 class BoundedModelFinder:
@@ -99,6 +145,7 @@ class BoundedModelFinder:
             variables=stats["variables"],
             elapsed_seconds=elapsed,
             sizes_tried=(domain_size,),
+            inconclusive_sizes=(domain_size,) if result.status is None else (),
         )
         if result.is_sat:
             witness = encoding.decode(self._schema, result.model)
@@ -111,25 +158,13 @@ class BoundedModelFinder:
 
         Satisfiability is monotone in the bound (extra individuals can stay
         out of every population), so the first SAT answer is final and an
-        all-sizes-UNSAT sweep justifies the bounded-unsat verdict.
+        all-sizes-UNSAT sweep justifies the bounded-unsat verdict.  A size
+        where the decision budget runs out is *inconclusive*, not terminal:
+        the sweep continues (a larger domain's extra freedom can make the
+        search easy), and only if no size is SAT does the overall verdict
+        degrade to ``"unknown"``.
         """
-        sizes = list(range(0, max_domain + 1))
-        last: Verdict | None = None
-        tried: list[int] = []
-        total_elapsed = 0.0
-        for size in sizes:
-            verdict = self.check_at(goal, size)
-            tried.append(size)
-            total_elapsed += verdict.elapsed_seconds
-            if verdict.status in ("sat", "unknown"):
-                verdict.sizes_tried = tuple(tried)
-                verdict.elapsed_seconds = total_elapsed
-                return verdict
-            last = verdict
-        assert last is not None
-        last.sizes_tried = tuple(tried)
-        last.elapsed_seconds = total_elapsed
-        return last
+        return sweep_sizes(self.check_at, goal, max_domain)
 
     # -- convenience entry points ------------------------------------------
 
@@ -170,39 +205,60 @@ class BoundedModelFinder:
     # -- internals -----------------------------------------------------------
 
     def _validate_witness(self, goal: Goal, witness: Population) -> None:
-        """Re-check every decoded witness against the ground-truth semantics."""
-        problems = check_population(
+        validate_witness(
             self._schema,
+            goal,
             witness,
             strict_subtypes=self._strict,
             default_type_exclusion=self._top_exclusion,
         )
-        if problems:
-            rendered = "; ".join(problem.message for problem in problems[:5])
+
+
+def validate_witness(
+    schema: Schema,
+    goal: Goal,
+    witness: Population,
+    *,
+    strict_subtypes: bool = True,
+    default_type_exclusion: bool = True,
+) -> None:
+    """Re-check a decoded witness against the ground-truth semantics.
+
+    Shared by the cold finder and the warm ``SessionReasoner``: a wrong
+    encoding can therefore never silently report success from either path.
+    """
+    problems = check_population(
+        schema,
+        witness,
+        strict_subtypes=strict_subtypes,
+        default_type_exclusion=default_type_exclusion,
+    )
+    if problems:
+        rendered = "; ".join(problem.message for problem in problems[:5])
+        raise AssertionError(
+            f"encoding bug: SAT witness violates the semantics ({rendered})"
+        )
+    if goal == GOAL_STRONG or goal == GOAL_GLOBAL:
+        missing = set(schema.role_names()) - witness.populated_roles()
+        if missing:
             raise AssertionError(
-                f"encoding bug: SAT witness violates the semantics ({rendered})"
+                f"encoding bug: strong witness leaves roles empty: {sorted(missing)}"
             )
-        if goal == GOAL_STRONG or goal == GOAL_GLOBAL:
-            missing = set(self._schema.role_names()) - witness.populated_roles()
+    if goal == GOAL_CONCEPT or goal == GOAL_GLOBAL:
+        missing = set(schema.object_type_names()) - witness.populated_types()
+        if missing:
+            raise AssertionError(
+                f"encoding bug: concept witness leaves types empty: {sorted(missing)}"
+            )
+    if isinstance(goal, tuple):
+        kind, name = goal
+        if kind == "role" and name not in witness.populated_roles():
+            raise AssertionError(f"encoding bug: goal role {name!r} empty")
+        if kind == "type" and name not in witness.populated_types():
+            raise AssertionError(f"encoding bug: goal type {name!r} empty")
+        if kind == "roles":
+            missing = set(name) - witness.populated_roles()
             if missing:
                 raise AssertionError(
-                    f"encoding bug: strong witness leaves roles empty: {sorted(missing)}"
+                    f"encoding bug: joint goal roles empty: {sorted(missing)}"
                 )
-        if goal == GOAL_CONCEPT or goal == GOAL_GLOBAL:
-            missing = set(self._schema.object_type_names()) - witness.populated_types()
-            if missing:
-                raise AssertionError(
-                    f"encoding bug: concept witness leaves types empty: {sorted(missing)}"
-                )
-        if isinstance(goal, tuple):
-            kind, name = goal
-            if kind == "role" and name not in witness.populated_roles():
-                raise AssertionError(f"encoding bug: goal role {name!r} empty")
-            if kind == "type" and name not in witness.populated_types():
-                raise AssertionError(f"encoding bug: goal type {name!r} empty")
-            if kind == "roles":
-                missing = set(name) - witness.populated_roles()
-                if missing:
-                    raise AssertionError(
-                        f"encoding bug: joint goal roles empty: {sorted(missing)}"
-                    )

@@ -35,6 +35,8 @@ class CnfBuilder:
         self._num_vars = 0
         self._clauses: list[Clause] = []
         self._names: dict[int, str] = {}
+        self._guard: Literal | None = None
+        self._literal_count = 0
 
     @property
     def num_vars(self) -> int:
@@ -57,10 +59,43 @@ class CnfBuilder:
         """The debug name of ``var`` (or ``"v<var>"``)."""
         return self._names.get(var, f"v{var}")
 
+    def begin_guard(self, selector: Literal) -> None:
+        """Guard every clause added until :meth:`end_guard` with ``¬selector``.
+
+        This is the MiniSat-style selector idiom behind incremental solving:
+        a guarded clause ``C`` is stored as ``¬selector ∨ C`` and is only
+        *active* while ``selector`` is asserted (via solve-time assumptions).
+        Dropping the assumption — or assuming ``¬selector`` — retires the
+        whole group without touching the clause database.
+        """
+        if self._guard is not None:
+            raise SolverError("clause guards do not nest")
+        if not 0 < selector <= self._num_vars:
+            raise SolverError(f"guard selector {selector} is not an allocated variable")
+        self._guard = selector
+
+    def end_guard(self) -> None:
+        """Stop guarding clauses (see :meth:`begin_guard`)."""
+        if self._guard is None:
+            raise SolverError("end_guard without begin_guard")
+        self._guard = None
+
     def add_clause(self, literals: Iterable[Literal]) -> None:
         """Add one clause; duplicate literals are collapsed, tautologies
-        (containing ``l`` and ``-l``) are dropped."""
+        (containing ``l`` and ``-l``) are dropped.
+
+        Under an active guard (see :meth:`begin_guard`) the clause gets the
+        negated selector *appended*; an empty clause then degrades to the
+        unit ``¬selector``, making the *group* unsatisfiable under its
+        assumption rather than the whole formula.  Appending (not
+        prepending) matters for solver performance: the watched-literal
+        scheme watches a clause's first two literals, so a trailing guard
+        keeps the watches on the real literals and asserting thousands of
+        selectors via assumptions triggers no watch-list traffic at all.
+        """
         unique = tuple(dict.fromkeys(literals))
+        if self._guard is not None and self._guard not in unique:
+            unique = (*(lit for lit in unique if lit != -self._guard), -self._guard)
         for literal in unique:
             if literal == 0:
                 raise SolverError("literal 0 is not allowed (DIMACS convention)")
@@ -71,6 +106,7 @@ class CnfBuilder:
         if any(-literal in unique for literal in unique):
             return  # tautology
         self._clauses.append(unique)
+        self._literal_count += len(unique)
 
     def add_implication(self, antecedent: Literal, consequent: Literal) -> None:
         """``antecedent -> consequent``."""
@@ -144,9 +180,10 @@ class CnfBuilder:
                 )
 
     def stats(self) -> dict[str, int]:
-        """Size counters for benchmark reporting."""
+        """Size counters for benchmark reporting (O(1): the warm reasoner
+        reads them on every check)."""
         return {
             "variables": self._num_vars,
             "clauses": len(self._clauses),
-            "literals": sum(len(clause) for clause in self._clauses),
+            "literals": self._literal_count,
         }

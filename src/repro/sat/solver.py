@@ -46,7 +46,17 @@ class SatResult:
 
 
 class DpllSolver:
-    """Solve one CNF formula; construct per formula, then call :meth:`solve`."""
+    """Solve a CNF formula; clauses may be added between :meth:`solve` calls.
+
+    The solver is *incremental*: :meth:`add_clause` extends the clause
+    database after construction, :meth:`ensure_num_vars` grows the variable
+    range, and :meth:`solve` is reentrant — it resets the trail, assignment
+    and decision stack on entry, so every call searches from scratch over the
+    current database.  ``solve(assumptions=...)`` enqueues the given literals
+    below all decisions before search; a conflict that backtracks past the
+    last decision then means "unsatisfiable *under these assumptions*", which
+    is what makes selector-guarded clause groups retirable.
+    """
 
     def __init__(self, num_vars: int, clauses: list[Clause]) -> None:
         self._num_vars = num_vars
@@ -55,19 +65,37 @@ class DpllSolver:
         self._trail: list[int] = []
         # decision stack: (literal decided, trail length before it, flipped?)
         self._decisions: list[tuple[int, int, bool]] = []
+        self._queue_head = 0
         self._watches: dict[int, list[int]] = {}
         self._units: list[int] = []
         self._empty_clause = False
+        self._order: list[int] | None = None  # branch-order cache
+        # Occurrence/polarity counts maintained by add_clause so the branch
+        # order can be re-sorted without rescanning the clause database.
+        self._occurrences: Counter[int] = Counter()
+        self._polarity: Counter[int] = Counter()
         for clause in clauses:
-            self._add_clause(clause)
+            self.add_clause(clause)
 
     @classmethod
     def from_builder(cls, builder: CnfBuilder) -> "DpllSolver":
         """Convenience constructor from a :class:`CnfBuilder`."""
         return cls(builder.num_vars, builder.clauses)
 
-    def _add_clause(self, clause: Clause) -> None:
+    def ensure_num_vars(self, num_vars: int) -> None:
+        """Grow the variable range to at least ``num_vars``."""
+        if num_vars > self._num_vars:
+            self._assign.extend([_UNASSIGNED] * (num_vars - self._num_vars))
+            self._num_vars = num_vars
+            self._order = None
+
+    def add_clause(self, clause: Clause) -> None:
+        """Add one clause to the database (allowed between solve calls)."""
         literals = list(clause)
+        self._order = None
+        top = max((abs(literal) for literal in literals), default=0)
+        if top > self._num_vars:
+            self.ensure_num_vars(top)
         if not literals:
             self._empty_clause = True
             return
@@ -76,6 +104,9 @@ class DpllSolver:
             return
         index = len(self._clauses)
         self._clauses.append(literals)
+        for literal in literals:
+            self._occurrences[abs(literal)] += 1
+            self._polarity[literal] += 1
         # Watch the first two literals.
         for literal in literals[:2]:
             self._watches.setdefault(literal, []).append(index)
@@ -114,7 +145,13 @@ class DpllSolver:
             self._queue_head += 1
             result.propagations += 1
             falsified = -literal
-            watching = self._watches.get(falsified, [])
+            watching = self._watches.get(falsified)
+            if not watching:
+                # Nothing watches this literal — common for the selector
+                # assumptions of the warm reasoner, whose guards sit at the
+                # unwatched tail of their clauses.  Skip without inserting
+                # an empty watch list into the dict.
+                continue
             keep: list[int] = []
             index_pos = 0
             while index_pos < len(watching):
@@ -152,14 +189,46 @@ class DpllSolver:
     # search
     # ------------------------------------------------------------------
 
-    def solve(self, max_decisions: int | None = None) -> SatResult:
-        """Run DPLL; ``max_decisions`` caps the search (None = unlimited)."""
+    def _reset(self) -> None:
+        """Clear all search state from a previous :meth:`solve` call."""
+        for literal in self._trail:
+            self._assign[abs(literal)] = _UNASSIGNED
+        self._trail.clear()
+        self._decisions.clear()
+        self._queue_head = 0
+
+    def solve(
+        self,
+        max_decisions: int | None = None,
+        assumptions: tuple[int, ...] | list[int] = (),
+    ) -> SatResult:
+        """Run DPLL; ``max_decisions`` caps the search (None = unlimited).
+
+        ``assumptions`` are literals forced true below every decision; a
+        ``False`` status then means unsatisfiable *under the assumptions*.
+        The call is reentrant: all search state is reset on entry.
+        """
         result = SatResult(status=None)
+        self._reset()
         if self._empty_clause:
             result.status = False
             return result
-        self._queue_head = 0
         for literal in self._units:
+            if not self._enqueue(literal):
+                result.status = False
+                return result
+        if not self._propagate(result):
+            result.status = False
+            return result
+        # Enqueue every assumption first, then propagate once: the unit
+        # propagation closure is order-independent, and one pass over the
+        # queue is much cheaper than a propagate call per assumption (the
+        # warm reasoner passes one selector per clause group).
+        for literal in assumptions:
+            if abs(literal) > self._num_vars:
+                raise SolverError(
+                    f"assumption {literal} references an unallocated variable"
+                )
             if not self._enqueue(literal):
                 result.status = False
                 return result
@@ -190,20 +259,22 @@ class DpllSolver:
 
     def _branch_order(self) -> list[int]:
         """Static branching order: most frequently occurring variables first,
-        preferred polarity = the more common one."""
-        occurrences: Counter[int] = Counter()
-        polarity: Counter[int] = Counter()
-        for clause in self._clauses:
-            for literal in clause:
-                occurrences[abs(literal)] += 1
-                polarity[literal] += 1
+        preferred polarity = the more common one.  Cached until the clause
+        database or variable range changes; the counts themselves are
+        maintained by :meth:`add_clause`, so a rebuild is one sort, not a
+        rescan of every clause."""
+        if self._order is not None:
+            return self._order
+        occurrences = self._occurrences
+        polarity = self._polarity
         ordered = sorted(
             range(1, self._num_vars + 1),
             key=lambda var: (-occurrences[var], var),
         )
-        return [
+        self._order = [
             var if polarity[var] >= polarity[-var] else -var for var in ordered
         ]
+        return self._order
 
     def _pick(self, order: list[int]) -> int | None:
         for literal in order:

@@ -2,7 +2,10 @@
 asyncio wire front.
 
 :class:`ValidationService` owns many named modeling sessions/schemas behind
-one ``open``/``edit``/``report``/``close`` API, drains each schema's change
+one ``open``/``edit``/``report``/``check``/``close`` API (``check`` is the
+warm bounded-satisfiability verb: a per-session
+:class:`~repro.reasoner.incremental.SessionReasoner` kept in sync through
+the schema journal), drains each schema's change
 journal in **batches** per tick (thread-pool parallel across sessions, a
 lock per schema; each draining engine fans its per-analysis shard refreshes
 onto a second pool), shards every engine's per-site finding store by site

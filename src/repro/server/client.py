@@ -122,6 +122,29 @@ class ServiceClient:
         response.setdefault("mark", None)
         return response
 
+    def check(
+        self,
+        session: str,
+        goal: "str | tuple | dict" = "strong",
+        *,
+        max_domain: int = 4,
+    ) -> dict:
+        """Complete bounded satisfiability of the session's schema.
+
+        ``goal`` takes the reasoner's goal values (``"strong"`` /
+        ``"concept"`` / ``"weak"`` / ``"global"``, or a tuple like
+        ``("type", "Person")``) as well as the raw wire object form.
+        Returns the verdict payload
+        (:func:`repro.server.protocol.verdict_to_payload` shape):
+        ``status`` plus a decoded ``witness`` population on ``"sat"``.
+        """
+        payload: dict = {"session": session, "max_domain": max_domain}
+        if goal is not None:
+            payload["goal"] = (
+                protocol.goal_to_payload(goal) if isinstance(goal, tuple) else goal
+            )
+        return self._request("POST", "/v1/check", payload)["check"]
+
     def close(self, session: str) -> dict:
         """Close a remote session, returning its final report payload."""
         return self._request("POST", "/v1/close", {"session": session})["report"]

@@ -13,6 +13,8 @@ Endpoints (see :class:`repro.server.wire.WireServer`):
 ``POST /v1/open``        ``{"session", "settings"?, "schema_dsl"?}``
 ``POST /v1/edit``        ``{"session", "verb", "args"?, "kwargs"?}``
 ``POST /v1/report``      ``{"session", "if_mark"?}``
+``POST /v1/check``       ``{"session", "goal"?, "max_domain"?}`` — complete
+                         (bounded) satisfiability, warm per session
 ``POST /v1/close``       ``{"session"}``
 ``POST /v1/drain``       ``{"sessions"?, "min_pending"?}`` — the service tick
 ``GET  /healthz``        liveness + the service census
@@ -56,7 +58,15 @@ from repro.tool.validator import (  # noqa: F401  (re-exports)
 #: Protocol version, echoed by ``/healthz`` so clients can detect skew.
 #: Version 2 (multi-process PR) is additive over 1: report ``mark``/
 #: ``if_mark``, token auth, and the aggregated ``workers`` health section.
-WIRE_VERSION = 2
+#: Version 3 is additive over 2: the ``/v1/check`` verb (complete bounded
+#: satisfiability with a decoded witness population).
+WIRE_VERSION = 3
+
+#: Upper bound accepted for ``/v1/check``'s ``max_domain``: the encoding is
+#: combinatorial in the domain size, so an unbounded request is a trivial
+#: resource-exhaustion vector.  8 comfortably covers every bound the paper's
+#: figures need (the largest is 6).
+MAX_CHECK_DOMAIN = 8
 
 # -- error codes (wire-visible) and their HTTP statuses -------------------
 
@@ -67,6 +77,9 @@ UNAUTHORIZED = "unauthorized"
 UNKNOWN_SESSION = "unknown_session"
 SESSION_EXISTS = "session_exists"
 UNKNOWN_VERB = "unknown_verb"
+#: ``/v1/check`` named a goal kind the reasoner does not know, or a goal
+#: role/type that does not exist in the session's schema.
+UNKNOWN_GOAL = "unknown_goal"
 SCHEMA_ERROR = "schema_error"
 SERVER_SHUTDOWN = "server_shutdown"
 INTERNAL_ERROR = "internal_error"
@@ -83,6 +96,7 @@ HTTP_STATUS = {
     UNKNOWN_SESSION: 404,
     METHOD_NOT_ALLOWED: 405,
     SESSION_EXISTS: 409,
+    UNKNOWN_GOAL: 422,
     SCHEMA_ERROR: 422,
     INTERNAL_ERROR: 500,
     WORKER_PROTOCOL_MISMATCH: 500,
@@ -199,6 +213,67 @@ class ReportRequest:
         )
 
 
+def goal_from_payload(value) -> "str | tuple":
+    """Decode the wire form of a reasoning goal.
+
+    A goal is either one of the strings ``"strong"`` / ``"concept"`` /
+    ``"weak"`` / ``"global"``, or an object ``{"kind": "role"|"type",
+    "name": ...}`` / ``{"kind": "roles", "names": [...]}`` targeting
+    specific elements.  Shape errors are ``malformed_request``; whether the
+    named kind/element exists is decided by the reasoner (``unknown_goal``).
+    """
+    if isinstance(value, str):
+        return value
+    if isinstance(value, dict):
+        kind = _require(value, "kind", str)
+        if kind == "roles":
+            names = _require(value, "names", list)
+            if not all(isinstance(name, str) for name in names):
+                raise WireError(MALFORMED_REQUEST, "'names' must be a list of strings")
+            return (kind, tuple(names))
+        name = _require(value, "name", str)
+        return (kind, name)
+    raise WireError(MALFORMED_REQUEST, "'goal' must be a string or an object")
+
+
+def goal_to_payload(goal) -> "str | dict":
+    """The wire form of a goal (inverse of :func:`goal_from_payload`)."""
+    if isinstance(goal, tuple):
+        kind, name = goal
+        if kind == "roles":
+            return {"kind": kind, "names": list(name)}
+        return {"kind": kind, "name": name}
+    return goal
+
+
+@dataclass(frozen=True)
+class CheckRequest:
+    """``POST /v1/check`` — complete bounded satisfiability of a session.
+
+    ``goal`` defaults to strong (role) satisfiability; ``max_domain`` to 4
+    abstract individuals, capped at :data:`MAX_CHECK_DOMAIN`.
+    """
+
+    session: str
+    goal: "str | tuple" = "strong"
+    max_domain: int = 4
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "CheckRequest":
+        session = _require(payload, "session", str)
+        raw_goal = payload.get("goal")
+        goal = goal_from_payload(raw_goal) if raw_goal is not None else "strong"
+        max_domain = _require(payload, "max_domain", int, optional=True)
+        if max_domain is None:
+            max_domain = 4
+        if isinstance(max_domain, bool) or not 0 <= max_domain <= MAX_CHECK_DOMAIN:
+            raise WireError(
+                MALFORMED_REQUEST,
+                f"'max_domain' must be an integer in 0..{MAX_CHECK_DOMAIN}",
+            )
+        return cls(session=session, goal=goal, max_domain=max_domain)
+
+
 @dataclass(frozen=True)
 class DrainRequest:
     """``POST /v1/drain`` — one service tick over all (or named) sessions."""
@@ -290,3 +365,46 @@ def edit_result_to_payload(result) -> dict:
 def stats_to_payload(stats) -> dict:
     """Serialize a :class:`DrainStats` / :class:`ServiceStats` dataclass."""
     return asdict(stats)
+
+
+def witness_to_payload(witness) -> dict:
+    """Serialize a witness :class:`~repro.population.population.Population`.
+
+    Only populated types/facts appear; instances and tuples are sorted so
+    the payload is deterministic (the conformance tests compare it across
+    backends byte-for-byte).
+    """
+    types = {
+        type_name: sorted(witness.instances_of(type_name))
+        for type_name in sorted(witness.populated_types())
+    }
+    facts = {}
+    for fact in witness.schema.fact_types():
+        tuples = witness.tuples_of(fact.name)
+        if tuples:
+            facts[fact.name] = sorted(list(pair) for pair in tuples)
+    return {"types": types, "facts": facts}
+
+
+def verdict_to_payload(verdict) -> dict:
+    """Serialize a reasoner :class:`~repro.reasoner.modelfinder.Verdict`.
+
+    ``status`` is ``"sat"`` (with a ``witness``), ``"unsat"`` (no model
+    within the bound) or ``"unknown"`` (the solver's decision budget ran
+    out on the listed ``inconclusive_sizes`` with no SAT answer — neither
+    satisfiability nor bounded unsatisfiability is established).
+    """
+    payload = {
+        "status": verdict.status,
+        "goal": goal_to_payload(verdict.goal),
+        "domain_size": verdict.domain_size,
+        "sizes_tried": list(verdict.sizes_tried),
+        "inconclusive_sizes": list(verdict.inconclusive_sizes),
+        "decisions": verdict.decisions,
+        "clauses": verdict.clauses,
+        "variables": verdict.variables,
+        "elapsed_seconds": verdict.elapsed_seconds,
+    }
+    if verdict.witness is not None:
+        payload["witness"] = witness_to_payload(verdict.witness)
+    return payload

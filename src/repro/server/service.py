@@ -50,6 +50,9 @@ from dataclasses import dataclass
 from repro.exceptions import SchemaError, UnknownElementError
 from repro.orm.schema import Schema
 from repro.patterns.incremental import EngineSnapshot, IncrementalEngine
+from repro.reasoner.encoding import GOAL_STRONG, Goal
+from repro.reasoner.incremental import SessionReasoner
+from repro.reasoner.modelfinder import Verdict
 from repro.server.sharding import DEFAULT_SHARDS, ShardedSiteStore
 from repro.tool.validator import ToolReport, ValidatorSettings, report_from_engine
 
@@ -117,6 +120,7 @@ class _SessionState:
         "engine",
         "engine_key",
         "snapshot",
+        "reasoner",
         "edits",
         "epoch",
     )
@@ -129,6 +133,9 @@ class _SessionState:
         self.engine: IncrementalEngine | None = None
         self.engine_key: tuple | None = None  # settings.family_key() at build
         self.snapshot: EngineSnapshot | None = None
+        # Warm complete reasoner (SessionReasoner), built lazily on the
+        # session's first `check` and kept in sync through the journal.
+        self.reasoner: SessionReasoner | None = None
         self.edits = 0
         # A random per-open nonce prefixed to report marks.  The journal
         # position alone is not a safe ETag across session *instances*: a
@@ -371,6 +378,31 @@ class ValidationService:
             self._rebuilds += rebuilt
         return report, mark
 
+    def check(
+        self, name: str, goal: Goal = GOAL_STRONG, *, max_domain: int = 4
+    ) -> Verdict:
+        """Complete (bounded) satisfiability check of a session's schema.
+
+        The first call builds the session's warm
+        :class:`~repro.reasoner.incremental.SessionReasoner`; subsequent
+        calls re-use its persistent solver, syncing the encoding from the
+        change journal — so a check after one edit costs roughly one solve,
+        not a re-encode of the whole schema.  Runs under the session lock
+        (serialized with edits and drains).  A ``"sat"`` verdict carries a
+        decoded witness population; ``"unknown"`` means the solver's
+        decision budget ran out at one or more sizes with no SAT answer —
+        neither satisfiability nor bounded unsatisfiability is established.
+        """
+        if max_domain < 0:
+            raise ValueError(f"max_domain must be >= 0, got {max_domain}")
+        state = self._state(name)
+        with state.lock:
+            if state.reasoner is None:
+                state.reasoner = SessionReasoner(state.schema)
+            verdict = state.reasoner.check(goal, max_domain)
+        self._touch(name)
+        return verdict
+
     def snapshot_schema(self, name: str) -> str:
         """The session's current schema as ORM DSL text.
 
@@ -401,6 +433,7 @@ class ValidationService:
             report = report_from_engine(engine, state.settings)
             state.engine = None
             state.snapshot = None
+            state.reasoner = None
         with self._stats_lock:
             self._resumes += resumed
             self._rebuilds += rebuilt

@@ -7,6 +7,12 @@ speak a small JSON protocol (:mod:`repro.server.protocol`) over HTTP/1.1
 (keep-alive, stdlib only, no framework dependency):
 
 * ``POST /v1/open|edit|report|close`` — the four service verbs;
+* ``POST /v1/check`` — warm complete (bounded) satisfiability of one
+  session's schema, with a decoded witness population on ``"sat"``.
+  Verdicts are ``"sat"``/``"unsat"`` *within the swept bound*, or
+  ``"unknown"`` when the solver's decision budget ran out at some size
+  without a later size answering SAT (``inconclusive_sizes`` lists the
+  unresolved ones — a budget statement, not a schema property);
 * ``POST /v1/drain`` — the service tick, also run periodically by the
   server's own background drain task (``drain_interval``);
 * ``GET /healthz`` — liveness plus the service census.
@@ -64,9 +70,11 @@ from repro.server.protocol import (
     SESSION_EXISTS,
     UNAUTHORIZED,
     UNKNOWN_ENDPOINT,
+    UNKNOWN_GOAL,
     UNKNOWN_SESSION,
     UNKNOWN_VERB,
     WIRE_VERSION,
+    CheckRequest,
     DrainRequest,
     EditRequest,
     OpenRequest,
@@ -96,8 +104,8 @@ MAX_BODY_BYTES = 4 * 1024 * 1024
 #: data); beyond it the connection is simply closed.
 AUTH_REJECT_DRAIN_BYTES = 64 * 1024
 
-#: The five wire verbs, in the order the endpoints document them.
-WIRE_VERBS = ("open", "edit", "report", "close", "drain")
+#: The wire verbs, in the order the endpoints document them.
+WIRE_VERBS = ("open", "edit", "report", "check", "close", "drain")
 
 
 class LocalBackend:
@@ -129,6 +137,7 @@ class LocalBackend:
             "open": self._open,
             "edit": self._edit,
             "report": self._report,
+            "check": self._check,
             "close": self._close,
             "drain": self._drain,
         }.get(verb)
@@ -201,6 +210,24 @@ class LocalBackend:
             "report": protocol.report_to_payload(report),
             "mark": mark,
         }
+
+    def _check(self, payload: dict) -> dict:
+        request = CheckRequest.from_payload(payload)
+        try:
+            verdict = self._service.check(
+                request.session, request.goal, max_domain=request.max_domain
+            )
+        except UnknownElementError as error:
+            if error.kind == "session":
+                raise WireError(UNKNOWN_SESSION, str(error)) from None
+            # The goal named a role/type the schema does not have.
+            raise WireError(UNKNOWN_GOAL, str(error)) from None
+        except ValueError as error:
+            # Unknown goal string or goal kind.
+            raise WireError(UNKNOWN_GOAL, str(error)) from None
+        except ReproError as error:
+            raise WireError(SCHEMA_ERROR, str(error)) from None
+        return {"ok": True, "check": protocol.verdict_to_payload(verdict)}
 
     def _close(self, payload: dict) -> dict:
         request = SessionRequest.from_payload(payload)

@@ -7,7 +7,8 @@ placement of :mod:`repro.server.sharding` is *process-stable by design*,
 and this module cashes that in: a **router** (:class:`WorkerPool`) owns N
 **worker subprocesses**, each running a full
 :class:`~repro.server.service.ValidationService`, and forwards every
-``open/edit/report/close/drain`` to the worker that owns the session —
+``open/edit/report/check/close/drain`` to the worker that owns the
+session —
 placement is :func:`repro.server.sharding.session_home`, a stable hash of
 the session name, so routing is stateless and survives router and worker
 restarts alike.
@@ -72,11 +73,23 @@ from repro.server.sharding import session_home
 
 #: Version of the router<->worker envelope protocol.  Bumped when a verb
 #: changes shape; the router refuses workers greeting a different version.
-WORKER_PROTOCOL_VERSION = 1
+#: v2 added the ``check`` verb (warm bounded satisfiability).
+WORKER_PROTOCOL_VERSION = 2
 
 #: Verbs every worker must speak for the router to accept it.
 REQUIRED_WORKER_VERBS = frozenset(
-    {"open", "edit", "report", "close", "drain", "stats", "snapshot", "ping", "shutdown"}
+    {
+        "open",
+        "edit",
+        "report",
+        "check",
+        "close",
+        "drain",
+        "stats",
+        "snapshot",
+        "ping",
+        "shutdown",
+    }
 )
 
 #: Workers are spawned, never forked: the router process runs an event
@@ -156,7 +169,7 @@ def _worker_main(conn, config: dict) -> None:
 def _worker_dispatch(backend, service, verb: str, payload: dict) -> dict:
     """One worker verb; anything outside the negotiated set is the typed
     ``unknown_verb`` error, never a crash (protocol-growth regression net)."""
-    if verb in ("open", "edit", "report", "close", "drain"):
+    if verb in ("open", "edit", "report", "check", "close", "drain"):
         return backend.handle(verb, payload)
     if verb == "ping":
         return {"ok": True, "pid": os.getpid()}
@@ -475,6 +488,12 @@ class WorkerPool:
         if verb == "report":
             return self._forward(
                 self._home_of(payload), "report", payload, timeout=self._slow_timeout
+            )
+        if verb == "check":
+            # A SAT sweep's legitimate work scales with schema and domain
+            # size, like a report's drain — slow-verb budget.
+            return self._forward(
+                self._home_of(payload), "check", payload, timeout=self._slow_timeout
             )
         if verb == "close":
             return self._close(payload)

@@ -168,7 +168,17 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         default=None,
         help="additionally run the bounded complete model finder with domain "
-        "bound N (slower; confirms or refines the pattern verdicts)",
+        "bound N (slower; confirms or refines the pattern verdicts).  In "
+        "batch/server mode this uses the warm per-session /v1/check "
+        "reasoner.  A result of 'unknown' means the solver's decision "
+        "budget ran out before any domain size answered 'sat'",
+    )
+    parser.add_argument(
+        "--goal",
+        choices=("strong", "concept", "weak", "global"),
+        default="strong",
+        help="which satisfiability goal --complete decides (default: strong "
+        "= every role populated)",
     )
     parser.add_argument(
         "--format",
@@ -242,9 +252,9 @@ def _run_batch(paths: list[Path], settings: ValidatorSettings, args) -> int:
     """Validate many schema files through the multi-session service."""
     from repro.server import ValidationService
 
-    if args.complete is not None or args.verbalize or args.repairs:
+    if args.verbalize or args.repairs:
         print(
-            "error: --complete/--verbalize/--repairs are single-schema options "
+            "error: --verbalize/--repairs are single-schema options "
             "(not available with --batch)",
             file=sys.stderr,
         )
@@ -257,6 +267,7 @@ def _run_batch(paths: list[Path], settings: ValidatorSettings, args) -> int:
         schemas.append((path, schema))
     if args.server is not None:
         return _run_remote_batch(schemas, settings, args)
+    verdicts: list[dict | None] = [None] * len(schemas)
     with ValidationService(settings=settings, max_workers=args.jobs) as service:
         handles = [
             service.open(f"{index}:{path}", schema=schema)
@@ -264,14 +275,25 @@ def _run_batch(paths: list[Path], settings: ValidatorSettings, args) -> int:
         ]
         service.drain()
         reports = [handle.report() for handle in handles]
+        if args.complete is not None:
+            from repro.server import protocol
+
+            verdicts = [
+                protocol.verdict_to_payload(
+                    service.check(handle.name, args.goal, max_domain=args.complete)
+                )
+                for handle in handles
+            ]
     unsat = sum(1 for report in reports if not report.ok)
     if args.format == "json":
         print(
             json.dumps(
                 {
                     "schemas": [
-                        _report_payload(schema, report)
-                        for (_, schema), report in zip(schemas, reports)
+                        _report_payload(schema, report, verdict)
+                        for (_, schema), report, verdict in zip(
+                            schemas, reports, verdicts
+                        )
                     ],
                     "unsatisfiable": unsat,
                 },
@@ -279,11 +301,27 @@ def _run_batch(paths: list[Path], settings: ValidatorSettings, args) -> int:
             )
         )
     else:
-        for report in reports:
+        for report, verdict in zip(reports, verdicts):
             print(report.render())
+            if verdict is not None:
+                _print_verdict(verdict, args)
             print()
         print(f"{len(reports)} schema(s) validated, {unsat} unsatisfiable")
     return 1 if unsat else 0
+
+
+def _print_verdict(verdict: dict, args) -> None:
+    """Render one /v1/check verdict payload in the text format."""
+    print(
+        f"Complete bounded check ({args.goal}, domain<={args.complete}): "
+        f"{verdict['status']}"
+    )
+    if verdict["status"] == "unknown":
+        print(
+            "  (decision budget exhausted at size(s) "
+            f"{verdict['inconclusive_sizes']} — neither satisfiability nor "
+            "bounded unsatisfiability established)"
+        )
 
 
 def _run_remote_batch(schemas, settings: ValidatorSettings, args) -> int:
@@ -309,7 +347,17 @@ def _run_remote_batch(schemas, settings: ValidatorSettings, args) -> int:
                     client.open(name, settings=settings, schema=schema)
                     names.append(name)
                 client.drain(names)
-                payloads = [client.close(name) for name in names]
+                verdicts = [None] * len(names)
+                if args.complete is not None:
+                    verdicts = [
+                        client.check(name, args.goal, max_domain=args.complete)
+                        for name in names
+                    ]
+                payloads = []
+                for name, verdict in zip(names, verdicts):
+                    payload = client.close(name)
+                    payload["complete_check"] = verdict
+                    payloads.append(payload)
             finally:
                 # On any mid-batch failure, close what was opened so the
                 # server does not accumulate orphaned sessions.
@@ -327,6 +375,8 @@ def _run_remote_batch(schemas, settings: ValidatorSettings, args) -> int:
     else:
         for payload in payloads:
             print(render_report_payload(payload))
+            if payload.get("complete_check") is not None:
+                _print_verdict(payload["complete_check"], args)
             print()
         print(
             f"{len(payloads)} schema(s) validated remotely via {args.server}, "
@@ -485,9 +535,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.complete is not None:
         from repro.reasoner import BoundedModelFinder
 
-        verdict = BoundedModelFinder(schema).strong(max_domain=args.complete)
+        verdict = BoundedModelFinder(schema).check(args.goal, max_domain=args.complete)
         complete_result = {
-            "goal": "strong",
+            "goal": args.goal,
             "status": verdict.status,
             "domain_bound": args.complete,
             "witness": verdict.witness.describe() if verdict.witness else None,
@@ -512,7 +562,7 @@ def main(argv: list[str] | None = None) -> int:
                     print(f"    - {suggestion}")
         if complete_result is not None:
             print(
-                f"Complete bounded check (strong, domain<={args.complete}): "
+                f"Complete bounded check ({args.goal}, domain<={args.complete}): "
                 f"{complete_result['status']}"
             )
             if complete_result["witness"]:

@@ -114,6 +114,71 @@ class TestVerdictPlumbing:
             f.type_satisfiable("Nope")
 
 
+class TestSweepPastUnknown:
+    """Regressions for the iterative-deepening sweep: ``"unknown"`` at one
+    size must not be terminal, and statistics accumulate over the sweep."""
+
+    def test_tiny_budget_sweeps_all_sizes(self):
+        # Regression: the sweep used to stop at the first budget-exhausted
+        # size, so sizes_tried was truncated and larger (possibly easy)
+        # sizes were never attempted.
+        f = BoundedModelFinder(
+            build_figure("fig11_sister_of"), max_decisions=0
+        )
+        verdict = f.strong(max_domain=3)
+        assert verdict.sizes_tried == (0, 1, 2, 3)
+        assert verdict.status == "unknown"
+        assert verdict.inconclusive_sizes  # the budget did run out somewhere
+        assert set(verdict.inconclusive_sizes) <= set(verdict.sizes_tried)
+
+    def test_unknown_then_sat_is_sat(self):
+        # A later size answering SAT overrides earlier inconclusive sizes.
+        from repro.reasoner.modelfinder import Verdict, sweep_sizes
+
+        script = {0: "unsat", 1: "unknown", 2: "sat"}
+
+        def check_at(goal, size):
+            return Verdict(
+                status=script[size],
+                goal=goal,
+                domain_size=size,
+                decisions=10 * (size + 1),
+                sizes_tried=(size,),
+                inconclusive_sizes=(size,) if script[size] == "unknown" else (),
+            )
+
+        verdict = sweep_sizes(check_at, "strong", 3)
+        assert verdict.status == "sat"
+        assert verdict.sizes_tried == (0, 1, 2)  # stops at the SAT size
+        assert verdict.inconclusive_sizes == (1,)
+        assert verdict.decisions == 10 + 20 + 30  # accumulated
+
+    def test_unknown_without_sat_degrades_to_unknown(self):
+        from repro.reasoner.modelfinder import Verdict, sweep_sizes
+
+        script = {0: "unsat", 1: "unknown", 2: "unsat"}
+
+        def check_at(goal, size):
+            return Verdict(status=script[size], goal=goal, domain_size=size)
+
+        verdict = sweep_sizes(check_at, "weak", 2)
+        # The final size answered unsat, but size 1 is unresolved: bounded
+        # unsatisfiability is NOT established.
+        assert verdict.status == "unknown"
+        assert verdict.sizes_tried == (0, 1, 2)
+        assert verdict.inconclusive_sizes == (1,)
+
+    def test_decisions_accumulate_across_real_sweep(self):
+        f = finder("fig10_uniqueness_frequency")
+        per_size = [f.check_at("strong", size).decisions for size in range(3)]
+        verdict = f.strong(max_domain=2)
+        assert verdict.decisions == sum(per_size)
+        # clauses/variables stay the final size's formula (documented).
+        at_final = f.check_at("strong", 2)
+        assert verdict.clauses == at_final.clauses
+        assert verdict.variables == at_final.variables
+
+
 class TestValueIndividualSemantics:
     def test_shared_value_string_across_disjoint_types(self):
         # Both pools contain 'x'; the types are disjoint tops, so only one

@@ -121,3 +121,112 @@ class TestSolverInternals:
         result = solve_cnf(builder)
         assert result.is_sat
         assert result.propagations > 0
+
+
+class TestReentrantSolve:
+    """Regression net for the solver's incremental surface: solve() must be
+    callable any number of times, interleaved with add_clause, and behave
+    exactly like a fresh solver each time."""
+
+    def test_solve_twice_is_deterministic(self):
+        # Regression: _queue_head used to be created inside solve(), so a
+        # second call saw stale trail/assignment state.
+        clauses = [(1, 2), (1, -2), (-1, 3), (3, 4), (-2, -3)]
+        solver = DpllSolver.from_builder(build(4, clauses))
+        first = solver.solve()
+        second = solver.solve()
+        assert first.status == second.status
+        assert first.model == second.model
+        assert first.decisions == second.decisions
+
+    def test_solve_after_unknown_then_full_budget(self):
+        clauses = [(1, 2, 3), (-1, -2), (-2, -3), (-1, -3)]
+        solver = DpllSolver.from_builder(build(3, clauses))
+        assert solver.solve(max_decisions=0).status is None
+        result = solver.solve()
+        assert result.is_sat
+
+    def test_add_clause_after_solve(self):
+        solver = DpllSolver.from_builder(build(2, [(1, 2)]))
+        assert solver.solve().is_sat
+        solver.add_clause((-1,))
+        result = solver.solve()
+        assert result.is_sat and result.model[1] is False
+        solver.add_clause((-2,))
+        assert solver.solve().status is False
+
+    def test_add_clause_grows_variables(self):
+        solver = DpllSolver(0, [])
+        solver.add_clause((1, 2))
+        solver.add_clause((-2, 3))
+        result = solver.solve()
+        assert result.is_sat
+
+    def test_ensure_num_vars_extends_assignment(self):
+        solver = DpllSolver.from_builder(build(2, [(1, 2)]))
+        solver.ensure_num_vars(5)
+        result = solver.solve(assumptions=(5,))
+        assert result.is_sat and result.model[5] is True
+
+    def test_assumptions_restrict_models(self):
+        solver = DpllSolver.from_builder(build(2, [(1, 2)]))
+        sat = solver.solve(assumptions=(-1,))
+        assert sat.is_sat and sat.model[2] is True
+        unsat = solver.solve(assumptions=(-1, -2))
+        assert unsat.status is False
+        # The solver is unharmed by the UNSAT-under-assumptions call.
+        assert solver.solve().is_sat
+
+    def test_assumptions_never_undone_by_backtracking(self):
+        # Under assumption -3 the remaining formula is UNSAT; chronological
+        # backtracking must exhaust decisions, not flip the assumption.
+        clauses = [(1, 2), (1, -2), (-1, 3)]
+        solver = DpllSolver.from_builder(build(3, clauses))
+        assert solver.solve(assumptions=(-3,)).status is False
+        assert solver.solve(assumptions=(3,)).is_sat
+
+    def test_selector_retirement_pattern(self):
+        # The MiniSat-style incremental idiom the reasoner uses: guard a
+        # clause with a selector, retire it by negating the assumption.
+        builder = CnfBuilder()
+        x = builder.new_var("x")
+        sel = builder.new_var("sel")
+        builder.begin_guard(sel)
+        builder.add_clause((-x,))
+        builder.end_guard()
+        builder.add_clause((x, -sel))  # direct contradiction while active
+        solver = DpllSolver.from_builder(builder)
+        assert solver.solve(assumptions=(sel,)).status is False
+        retired = solver.solve(assumptions=(-sel,))
+        assert retired.is_sat
+
+    def test_assumption_beyond_num_vars_raises(self):
+        from repro.exceptions import SolverError
+
+        solver = DpllSolver.from_builder(build(2, [(1, 2)]))
+        with pytest.raises(SolverError):
+            solver.solve(assumptions=(7,))
+
+    def test_interleaved_solves_agree_with_fresh_solver(self):
+        rng = random.Random(2026)
+        for _ in range(20):
+            num_vars = rng.randint(3, 7)
+            clauses = [
+                tuple(
+                    rng.choice((1, -1)) * rng.randint(1, num_vars)
+                    for _ in range(rng.randint(1, 3))
+                )
+                for _ in range(rng.randint(2, 12))
+            ]
+            split = rng.randint(0, len(clauses))
+            warm = DpllSolver.from_builder(build(num_vars, clauses[:split]))
+            warm.solve()  # interleaved solve between feeding batches
+            for clause in clauses[split:]:
+                warm.add_clause(clause)
+            fresh = solve_cnf(build(num_vars, clauses))
+            result = warm.solve()
+            # Same verdict; the model may be a *different* valid model (the
+            # interleaved solve reorders watch lists), so verify it instead.
+            assert result.status is fresh.status
+            if result.is_sat:
+                assert verify_model(build(num_vars, clauses), result.model)
