@@ -1,7 +1,8 @@
-"""Experiment: warm per-session SAT checking vs cold encode-and-solve.
+"""Experiment: warm per-session SAT checking vs cold encode-and-solve,
+and CDCL clause learning vs none on repeated conflict-heavy checks.
 
 The :class:`~repro.reasoner.incremental.SessionReasoner` behind
-``POST /v1/check`` keeps one selector-guarded encoder + persistent DPLL
+``POST /v1/check`` keeps one selector-guarded encoder + persistent CDCL
 solver per domain size and feeds them from the schema change journal, so a
 check after an edit pays for the *edit*, not for re-encoding the whole
 schema at every domain size of the sweep.  This benchmark measures that
@@ -9,9 +10,17 @@ claim on a grown hub-star schema: per-edit check cost of the warm reasoner
 against a cold :class:`BoundedModelFinder` (fresh encode + solve per size)
 over the same edit script, asserting identical verdicts as it goes.
 
-Results land in the ``warm_check`` section of ``BENCH_incremental.json``
-(shared artifact — see :func:`bench_incremental.merge_bench_json`), gated
-by ``benchmarks/check_regression.py`` and the tier-1 artifact guard in
+The ``cdcl`` section isolates the *learning* half of the warm win: on a
+pigeonhole-style UNSAT schema (more fact types demanding pairwise-distinct
+fillers than the domain has individuals) the solver hits the same conflicts
+on every check — with learning the lemmas persist across checks and the
+repeat cost collapses to propagation; without, every check re-derives the
+whole refutation.
+
+Results land in the ``warm_check`` and ``cdcl`` sections of
+``BENCH_incremental.json`` (shared artifact — see
+:func:`bench_incremental.merge_bench_json`), gated by
+``benchmarks/check_regression.py`` and the tier-1 artifact guard in
 ``tests/server/test_bench_regression.py``.
 """
 
@@ -138,6 +147,130 @@ def test_warm_check_cost(benchmark):
 
     benchmark.pedantic(one_edit_and_check, rounds=20, iterations=1)
     assert warm.stats.cold_rebuilds == 0
+
+
+#: CDCL workload shape: CDCL_FACTS fact types whose Hole-side roles must
+#: all carry *distinct* fillers (one n-ary exclusion), strong-checked to a
+#: domain of CDCL_MAX_DOMAIN — a bounded pigeonhole, UNSAT at every size
+#: and conflict-heavy enough that re-deriving the refutation dominates a
+#: learning-free repeat check.
+CDCL_FACTS = 6
+CDCL_MAX_DOMAIN = 4
+CDCL_CHECKS = 6
+
+
+def _conflict_heavy_schema(num_facts: int = CDCL_FACTS):
+    schema = SchemaBuilder().entity("Hole").entity("Pigeon").build()
+    for index in range(num_facts):
+        schema.add_fact_type(
+            f"F{index}", f"p{index}", "Pigeon", f"h{index}", "Hole"
+        )
+    schema.add_exclusion(
+        *[f"h{index}" for index in range(num_facts)], label="distinct_holes"
+    )
+    return schema
+
+
+def _measure_cdcl(learning: bool, prefix: str):
+    """First-check cost plus median repeat-check cost (ms) across trivial
+    edits on the pigeonhole schema, with learning on or off.
+
+    The edit names sort after every existing root, so each one appends a
+    fresh top-chain link and retires nothing — the learned clauses (when
+    learning) survive every edit.
+    """
+    schema = _conflict_heavy_schema()
+    warm = SessionReasoner(schema, learning=learning)
+    started = time.perf_counter()
+    first = warm.check(GOAL, max_domain=CDCL_MAX_DOMAIN)
+    first_ms = (time.perf_counter() - started) * 1000
+    assert first.status == "unsat"
+    times = []
+    conflicts = 0
+    for index in range(CDCL_CHECKS):
+        schema.add_entity_type(f"{prefix}{index}")
+        started = time.perf_counter()
+        verdict = warm.check(GOAL, max_domain=CDCL_MAX_DOMAIN)
+        times.append((time.perf_counter() - started) * 1000)
+        assert verdict.status == "unsat"
+        conflicts += verdict.conflicts
+    assert warm.stats.cold_rebuilds == 0
+    return statistics.median(times), first_ms, first, conflicts
+
+
+def test_cdcl_learning_beats_no_learning_and_writes_the_section():
+    """The ISSUE 7 acceptance check: with clause learning, repeated checks
+    on the conflict-heavy schema must run >= 1.5x faster than without (the
+    committed numbers are far beyond that — the lemmas reduce a repeat
+    check to pure propagation), with a non-zero learned-clause count.
+    """
+    for attempt in range(3):
+        on_ms, on_first_ms, on_first, on_conflicts = _measure_cdcl(
+            True, f"Zon{attempt}_"
+        )
+        off_ms, off_first_ms, off_first, off_conflicts = _measure_cdcl(
+            False, f"Zoff{attempt}_"
+        )
+        if on_ms * 1.5 < off_ms:
+            break
+    speedup = off_ms / on_ms if on_ms else float("inf")
+    merge_bench_json(
+        {
+            "cdcl": {
+                "benchmark": "cdcl_repeat_check",
+                "description": (
+                    "Median repeat-check cost (ms) after trivial edits on a "
+                    f"pigeonhole-style UNSAT schema ({CDCL_FACTS} fact types "
+                    f"needing distinct fillers, strong goal swept to domain "
+                    f"size {CDCL_MAX_DOMAIN}): warm SessionReasoner with CDCL "
+                    "clause learning vs the same reasoner with learning "
+                    "disabled (lemmas dropped after every solve)."
+                ),
+                "fact_types": CDCL_FACTS,
+                "goal": GOAL,
+                "max_domain": CDCL_MAX_DOMAIN,
+                "checks": CDCL_CHECKS,
+                "per_check_ms": {"learning": on_ms, "no_learning": off_ms},
+                "first_check_ms": {
+                    "learning": on_first_ms,
+                    "no_learning": off_first_ms,
+                },
+                "speedup": speedup,
+                "learned_clauses": on_first.learned_clauses,
+                "first_check_conflicts": {
+                    "learning": on_first.conflicts,
+                    "no_learning": off_first.conflicts,
+                },
+                "repeat_conflicts": {
+                    "learning": on_conflicts,
+                    "no_learning": off_conflicts,
+                },
+            }
+        }
+    )
+    assert on_first.learned_clauses > 0, (
+        "the learning run reported zero learned clauses — learning is "
+        "silently disabled on the warm path"
+    )
+    assert on_ms * 1.5 < off_ms, (
+        f"repeat checks with learning ({on_ms:.3f} ms) not >=1.5x faster "
+        f"than without ({off_ms:.3f} ms) on the {CDCL_FACTS}-fact "
+        "pigeonhole schema"
+    )
+
+
+def test_cdcl_learning_toggle_agrees_on_verdicts():
+    """Learning must change cost only: both modes, and a cold finder,
+    agree on the conflict-heavy workload's verdicts at every size."""
+    for learning in (True, False):
+        schema = _conflict_heavy_schema(num_facts=4)
+        warm = SessionReasoner(schema, learning=learning)
+        cold = BoundedModelFinder(schema)
+        for goal in ("strong", "weak"):
+            warm_verdict = warm.check(goal, max_domain=2)
+            cold_verdict = cold.check(goal, max_domain=2)
+            assert warm_verdict.status == cold_verdict.status
+            assert warm_verdict.sizes_tried == cold_verdict.sizes_tried
 
 
 @pytest.mark.parametrize("goal", ["strong", "concept", "weak", "global"])

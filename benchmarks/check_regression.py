@@ -20,7 +20,11 @@ Bars (see ROADMAP.md):
   ``MULTI_PROCESS_SINGLE_CORE_FLOOR`` of the baseline);
 * when the ``warm_check`` section is present, the warm per-session SAT
   check (``POST /v1/check``) must stay >= 3x faster per edit than a cold
-  encode-and-solve sweep, with zero cold rebuilds on the additive script.
+  encode-and-solve sweep, with zero cold rebuilds on the additive script;
+* when the ``cdcl`` section is present, repeated checks on the
+  conflict-heavy schema must run >= 1.5x faster with clause learning than
+  without, and the learned-clause count must be non-zero (zero would mean
+  learning is silently disabled on the warm path).
 
 Run after the benchmarks regenerate the JSON::
 
@@ -49,6 +53,10 @@ MULTI_PROCESS_SINGLE_CORE_FLOOR = 0.5
 #: The warm /v1/check reasoner must beat a cold encode-and-solve sweep by
 #: this factor per edit on the benchmark schema (ROADMAP bar for PR 6).
 WARM_CHECK_BAR = 3.0
+#: Clause learning must beat the learning-free solver by this factor on
+#: repeated conflict-heavy checks (ISSUE 7 acceptance bar; the committed
+#: numbers are far beyond it).
+CDCL_BAR = 1.5
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_incremental.json"
 
 
@@ -135,6 +143,21 @@ def main() -> int:
             f"warm /v1/check vs cold encode+solve: {speedup:.2f}x, "
             f"{warm_check['cold_rebuilds']} cold rebuilds "
             f"(bar: >= {WARM_CHECK_BAR:.0f}x, 0 rebuilds) -> "
+            f"{'OK' if ok else 'FAIL'}"
+        )
+
+    cdcl = data.get("cdcl")
+    if cdcl is None:
+        print("cdcl section: absent (run benchmarks/bench_check.py)")
+    else:
+        speedup = cdcl["speedup"]
+        learned = cdcl["learned_clauses"]
+        ok = speedup >= CDCL_BAR and learned > 0
+        failed |= not ok
+        print(
+            f"CDCL learning vs none on repeat checks: {speedup:.2f}x, "
+            f"{learned} learned clauses "
+            f"(bar: >= {CDCL_BAR:.1f}x, learned > 0) -> "
             f"{'OK' if ok else 'FAIL'}"
         )
 

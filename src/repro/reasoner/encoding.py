@@ -547,10 +547,12 @@ class SchemaEncoder:
 
 #: A selector-guarded clause group.  Structural keys cover typing
 #: (``("fact", name)``), subtyping (``("subtype", sub, super)``), default
-#: top-type disjointness (``("top", a, b)``, name-sorted) and constraints
-#: (``("constraint", label)``); goal keys (``("popfact", name)`` /
-#: ``("poptype", name)``) carry the populate-this-element disjunctions that
-#: :meth:`IncrementalSchemaEncoder.assumptions` switches per goal.
+#: top-type disjointness (``("top", root)`` for the name-sorted first root,
+#: ``("top", root, predecessor)`` for every later link of the sequential
+#: chain — see :meth:`IncrementalSchemaEncoder._emit_top_chain_link`) and
+#: constraints (``("constraint", label)``); goal keys (``("popfact", name)``
+#: / ``("poptype", name)``) carry the populate-this-element disjunctions
+#: that :meth:`IncrementalSchemaEncoder.assumptions` switches per goal.
 GroupKey = tuple
 
 
@@ -595,6 +597,12 @@ class IncrementalSchemaEncoder(SchemaEncoder):
         )
         self._groups: dict[GroupKey, int] = {}
         self._retired: list[int] = []
+        # Aux vars of the top-disjointness chain, keyed (root, individual):
+        # "individual belongs to some root sorted <= this one".  Cached and
+        # reused across re-emissions — unlike plays-vars this is safe,
+        # because desired_groups keeps every user of a chain var in lockstep
+        # with the (active) group that defines it.
+        self._top_chain: dict[tuple[str, Individual], int] = {}
         self.sync()
 
     # -- introspection -----------------------------------------------------
@@ -664,11 +672,16 @@ class IncrementalSchemaEncoder(SchemaEncoder):
         for link in self._schema.subtype_links():
             keys[("subtype", link.sub, link.super)] = None
         if self._top_exclusion:
-            # Sorting the roots once makes every combination an ordered
-            # pair already — no per-pair sort on this O(n^2) loop.
+            # Sequential at-most-one chain over the name-sorted roots: one
+            # group per root (linked to its predecessor) instead of the
+            # former O(roots^2) per-pair groups.  Adding or removing a root
+            # churns only the root's own link and its successor's.
             roots = sorted(self._schema.root_types())
-            for low, high in itertools.combinations(roots, 2):
-                keys[("top", low, high)] = None
+            for position, root in enumerate(roots):
+                if position == 0:
+                    keys[("top", root)] = None
+                else:
+                    keys[("top", root, roots[position - 1])] = None
         for family in self._CONSTRAINT_FAMILIES:
             for constraint in self._schema.constraints_of(family):
                 keys[("constraint", constraint.label)] = None
@@ -682,7 +695,7 @@ class IncrementalSchemaEncoder(SchemaEncoder):
         self,
         touched: set[GroupKey] | None = None,
         desired: dict[GroupKey, None] | None = None,
-    ) -> None:
+    ) -> list[int]:
         """Bring the clause groups in line with the current schema.
 
         ``touched`` names groups whose *content* may have changed even
@@ -694,6 +707,12 @@ class IncrementalSchemaEncoder(SchemaEncoder):
         serves every per-size encoder).  The caller is responsible for
         detecting value-universe changes — those invalidate the whole
         encoder (see class docstring).
+
+        Returns the selectors retired by *this* call so the caller can hand
+        them to :meth:`repro.sat.solver.CdclSolver.retire_selectors` — a
+        persistent solver then drops the learned clauses that depended on
+        the retired groups (hygiene; the verdict is already safe because
+        every such lemma carries the groups' negated selectors).
         """
         if desired is None:
             desired = self.desired_groups()
@@ -704,13 +723,17 @@ class IncrementalSchemaEncoder(SchemaEncoder):
         stale = current - desired.keys()
         if touched:
             stale |= touched & current
+        newly_retired: list[int] = []
         if stale:
             for key in [key for key in self._groups if key in stale]:
-                self._retired.append(self._groups.pop(key))
+                selector = self._groups.pop(key)
+                self._retired.append(selector)
+                newly_retired.append(selector)
         if desired.keys() - current:
             for key in desired:
                 if key not in self._groups:
                     self._emit_group(key)
+        return newly_retired
 
     def _emit_group(self, key: GroupKey) -> None:
         selector = self._builder.new_var("sel[" + ",".join(map(str, key)) + "]")
@@ -727,7 +750,10 @@ class IncrementalSchemaEncoder(SchemaEncoder):
                 )
                 self._emit_subtype(link)
             elif kind == "top":
-                self._emit_top_pair(key[1], key[2])
+                if len(key) == 2:
+                    self._emit_top_chain_head(key[1])
+                else:
+                    self._emit_top_chain_link(key[1], key[2])
             elif kind == "constraint":
                 constraint = next(
                     constraint
@@ -748,6 +774,45 @@ class IncrementalSchemaEncoder(SchemaEncoder):
         finally:
             self._builder.end_guard()
         self._groups[key] = selector
+
+    # -- top-type disjointness chain ---------------------------------------
+
+    def _top_chain_var(self, root: str, individual: Individual) -> int:
+        """The chain prefix var: individual is in some root sorted <= root."""
+        key = (root, individual)
+        var = self._top_chain.get(key)
+        if var is None:
+            var = self._builder.new_var(
+                f"topchain[{root},{_instance_name(individual)}]"
+            )
+            self._top_chain[key] = var
+        return var
+
+    def _emit_top_chain_head(self, root: str) -> None:
+        """First link of the chain: membership implies the prefix var."""
+        for individual in self._individuals:
+            member = self._mvar(root, individual)
+            if member is not None:
+                self._builder.add_implication(
+                    member, self._top_chain_var(root, individual)
+                )
+
+    def _emit_top_chain_link(self, root: str, predecessor: str) -> None:
+        """One inner link of the sequential at-most-one chain.
+
+        Per individual: the predecessor's prefix propagates forward, this
+        root's membership raises the prefix, and a raised predecessor prefix
+        excludes membership here — together (over the whole chain) exactly
+        pairwise root disjointness, in O(roots) clause groups.
+        """
+        for individual in self._individuals:
+            prefix = self._top_chain_var(predecessor, individual)
+            here = self._top_chain_var(root, individual)
+            self._builder.add_implication(prefix, here)
+            member = self._mvar(root, individual)
+            if member is not None:
+                self._builder.add_implication(member, here)
+                self._builder.add_clause((-prefix, -member))
 
     # -- solving interface -------------------------------------------------
 

@@ -2,12 +2,15 @@
 
 :class:`SessionReasoner` is the incremental counterpart of
 :class:`~repro.reasoner.modelfinder.BoundedModelFinder`: it keeps one
-persistent :class:`~repro.sat.solver.DpllSolver` per domain size, fed from a
+persistent :class:`~repro.sat.solver.CdclSolver` per domain size, fed from a
 selector-guarded :class:`~repro.reasoner.encoding.IncrementalSchemaEncoder`.
 Each :meth:`check` drains the schema's :class:`~repro.orm.schema.SchemaChange`
-journal, retires the clause groups of removed/changed elements, emits guarded
-groups for added ones, and re-solves under assumptions — so the per-edit cost
-is proportional to the edit, not to the schema.
+journal, retires the clause groups of removed/changed elements (handing the
+retired selectors to the solver, which drops the learned clauses that
+depended on them), emits guarded groups for added ones, and re-solves under
+assumptions — so the per-edit cost is proportional to the edit, not to the
+schema, and the clauses the solver *learned* during earlier checks keep
+pruning the search of later ones.
 
 Verdicts are *identical* to a fresh ``BoundedModelFinder`` run (property-
 tested): the same iterative-deepening sweep, the same goal semantics, and
@@ -40,10 +43,17 @@ from repro.reasoner.encoding import (
     IncrementalSchemaEncoder,
 )
 from repro.reasoner.modelfinder import Verdict, sweep_sizes, validate_witness
-from repro.sat.solver import DpllSolver
+from repro.sat.solver import CdclSolver
 
 #: Rebuild a warm context once this many groups have been retired.
 MAX_RETIRED_GROUPS = 256
+
+#: Default per-solve conflict budget for warm checks.  ``check`` holds the
+#: session lock while it runs, so one solve must not stall the session's
+#: edits indefinitely; an exhausted budget surfaces as an inconclusive size
+#: (the sweep's existing "unknown" bookkeeping) and the learned clauses kept
+#: by the solver make a retried check cheaper, not a restart from scratch.
+MAX_CHECK_CONFLICTS = 200_000
 
 
 @dataclass
@@ -51,7 +61,7 @@ class _WarmContext:
     """One persistent encoder + solver pair for one domain size."""
 
     encoder: IncrementalSchemaEncoder
-    solver: DpllSolver
+    solver: CdclSolver
     fed: int = 0  # clauses already handed to the solver
     mark: int = 0  # journal position the encoder reflects
     checks: int = 0
@@ -83,11 +93,15 @@ class SessionReasoner:
         strict_subtypes: bool = True,
         default_type_exclusion: bool = True,
         max_decisions: int | None = 2_000_000,
+        max_conflicts: int | None = MAX_CHECK_CONFLICTS,
+        learning: bool = True,
     ) -> None:
         self._schema = schema
         self._strict = strict_subtypes
         self._top_exclusion = default_type_exclusion
         self._max_decisions = max_decisions
+        self._max_conflicts = max_conflicts
+        self._learning = learning
         self._contexts: dict[int, _WarmContext] = {}
         # (journal position, desired-groups dict): desired_groups() is
         # schema-level, so one computation per edit serves every per-size
@@ -121,7 +135,11 @@ class SessionReasoner:
         context = self._context(size)
         encoder = context.encoder
         assumptions = encoder.assumptions(goal)
-        result = context.solver.solve(self._max_decisions, assumptions=assumptions)
+        result = context.solver.solve(
+            self._max_decisions,
+            assumptions=assumptions,
+            max_conflicts=self._max_conflicts,
+        )
         elapsed = time.perf_counter() - started
         self.stats.solves += 1
         context.checks += 1
@@ -132,6 +150,10 @@ class SessionReasoner:
             goal=goal,
             domain_size=size,
             decisions=result.decisions,
+            conflicts=result.conflicts,
+            restarts=result.restarts,
+            learned_clauses=result.learned,
+            kept_clauses=result.learned_kept,
             # Note: these count the whole warm clause database, including
             # retired groups — a capacity measure, not a per-check cost.
             clauses=stats["clauses"],
@@ -169,7 +191,13 @@ class SessionReasoner:
         touched: set[GroupKey] = set()
         for change in changes:
             touched.update(self._touched_keys(change))
-        context.encoder.sync(touched, desired=self._desired_now(context))
+        retired = context.encoder.sync(touched, desired=self._desired_now(context))
+        if retired:
+            # Retire-hook into the learned database: lemmas that depended on
+            # the retired groups carry their negated selectors (inert under
+            # the retirement assumptions), so deleting them is hygiene — a
+            # long session must not drag dead lemmas through every check.
+            context.solver.retire_selectors(retired)
         context.mark = self._schema.journal_size
         if context.encoder.retired_group_count > MAX_RETIRED_GROUPS:
             return self._build_context(size)
@@ -195,7 +223,7 @@ class SessionReasoner:
         )
         context = _WarmContext(
             encoder=encoder,
-            solver=DpllSolver(0, []),
+            solver=CdclSolver(0, [], learning=self._learning),
             mark=self._schema.journal_size,
             checks=old.checks if old else 0,
             rebuilds=(old.rebuilds + 1) if old else 0,

@@ -42,10 +42,17 @@ class Verdict:
     ``elapsed_seconds`` are accumulated across every size tried, while
     ``clauses``/``variables`` describe the final size's formula only (the
     earlier, smaller formulas are subsumed by it as capacity measures).
-    ``inconclusive_sizes`` lists the sizes where the decision budget ran out
-    before an answer; an overall ``"unknown"`` status means no size was SAT
-    *and* at least one size was inconclusive — so neither satisfiability nor
-    bounded-unsatisfiability is established.
+    ``inconclusive_sizes`` lists the sizes where a decision or conflict
+    budget ran out before an answer; an overall ``"unknown"`` status means
+    no size was SAT *and* at least one size was inconclusive — so neither
+    satisfiability nor bounded-unsatisfiability is established.
+
+    The CDCL statistics (``conflicts``, ``restarts``, ``learned_clauses``,
+    ``kept_clauses``) are likewise accumulated across the sweep;
+    ``kept_clauses`` sums the learned-database sizes the per-size solvers
+    retained after their calls — for a warm session it is the capacity the
+    next check starts from, and a blunt measure of how much search the
+    session is amortizing.
     """
 
     status: str  # "sat" | "unsat" | "unknown"
@@ -53,6 +60,10 @@ class Verdict:
     domain_size: int
     witness: Population | None = None
     decisions: int = 0
+    conflicts: int = 0
+    restarts: int = 0
+    learned_clauses: int = 0
+    kept_clauses: int = 0
     clauses: int = 0
     variables: int = 0
     elapsed_seconds: float = 0.0
@@ -86,11 +97,19 @@ def sweep_sizes(check_at, goal: Goal, max_domain: int) -> Verdict:
     inconclusive: list[int] = []
     total_elapsed = 0.0
     total_decisions = 0
+    total_conflicts = 0
+    total_restarts = 0
+    total_learned = 0
+    total_kept = 0
     for size in range(0, max_domain + 1):
         verdict = check_at(goal, size)
         tried.append(size)
         total_elapsed += verdict.elapsed_seconds
         total_decisions += verdict.decisions
+        total_conflicts += verdict.conflicts
+        total_restarts += verdict.restarts
+        total_learned += verdict.learned_clauses
+        total_kept += verdict.kept_clauses
         final = verdict
         if verdict.status == "sat":
             break
@@ -103,6 +122,10 @@ def sweep_sizes(check_at, goal: Goal, max_domain: int) -> Verdict:
     final.inconclusive_sizes = tuple(inconclusive)
     final.elapsed_seconds = total_elapsed
     final.decisions = total_decisions
+    final.conflicts = total_conflicts
+    final.restarts = total_restarts
+    final.learned_clauses = total_learned
+    final.kept_clauses = total_kept
     return final
 
 
@@ -115,11 +138,13 @@ class BoundedModelFinder:
         strict_subtypes: bool = True,
         default_type_exclusion: bool = True,
         max_decisions: int | None = 2_000_000,
+        max_conflicts: int | None = None,
     ) -> None:
         self._schema = schema
         self._strict = strict_subtypes
         self._top_exclusion = default_type_exclusion
         self._max_decisions = max_decisions
+        self._max_conflicts = max_conflicts
 
     def check_at(self, goal: Goal, domain_size: int) -> Verdict:
         """Decide satisfiability at exactly ``domain_size`` abstract
@@ -134,13 +159,19 @@ class BoundedModelFinder:
         encoding = encoder.encode(goal)
         stats = encoding.builder.stats()
         solver = DpllSolver.from_builder(encoding.builder)
-        result = solver.solve(self._max_decisions)
+        result = solver.solve(
+            self._max_decisions, max_conflicts=self._max_conflicts
+        )
         elapsed = time.perf_counter() - started
         verdict = Verdict(
             status={True: "sat", False: "unsat", None: "unknown"}[result.status],
             goal=goal,
             domain_size=domain_size,
             decisions=result.decisions,
+            conflicts=result.conflicts,
+            restarts=result.restarts,
+            learned_clauses=result.learned,
+            kept_clauses=result.learned_kept,
             clauses=stats["clauses"],
             variables=stats["variables"],
             elapsed_seconds=elapsed,

@@ -1,7 +1,8 @@
-"""A from-scratch CNF layer and DPLL SAT solver."""
+"""A from-scratch CNF layer and CDCL SAT solver."""
 
 from repro.sat.cnf import Clause, CnfBuilder, Literal
 from repro.sat.solver import (
+    CdclSolver,
     DpllSolver,
     SatResult,
     brute_force_satisfiable,
@@ -10,6 +11,7 @@ from repro.sat.solver import (
 )
 
 __all__ = [
+    "CdclSolver",
     "Clause",
     "CnfBuilder",
     "DpllSolver",

@@ -67,6 +67,18 @@ class CnfBuilder:
         *active* while ``selector`` is asserted (via solve-time assumptions).
         Dropping the assumption — or assuming ``¬selector`` — retires the
         whole group without touching the clause database.
+
+        **Learned-clause contract.**  Selectors must occur *only negatively*
+        in the formula (only as guards, never as ordinary literals — which
+        is all this builder ever emits).  Resolution then cannot eliminate
+        a ``¬selector``, so every clause a CDCL solver *learns* from a
+        guarded group automatically contains the ``¬selector`` of each group
+        its derivation used: retiring a group deactivates its dependent
+        lemmas with no extra bookkeeping, and
+        :meth:`repro.sat.solver.CdclSolver.retire_selectors` may delete them
+        outright as hygiene.  A caller that asserted a selector *positively*
+        inside a clause would break this — lemmas could shed the dependency
+        and survive retirement.
         """
         if self._guard is not None:
             raise SolverError("clause guards do not nest")

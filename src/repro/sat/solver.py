@@ -1,19 +1,39 @@
-"""A from-scratch DPLL SAT solver with two-watched-literal propagation.
+"""A from-scratch CDCL SAT solver with two-watched-literal propagation.
 
 This is the search engine behind the bounded complete reasoner
 (:mod:`repro.reasoner`).  The paper's Sec. 4 contrasts the linear pattern
-checks with a *complete but exponential* decision procedure; a classical
-DPLL solver (unit propagation, two watched literals, chronological
-backtracking, static most-occurrences branching — deliberately no clause
-learning) reproduces exactly that complexity profile while remaining small
-enough to verify exhaustively against brute-force enumeration in the tests.
+checks with a *complete but exponential* decision procedure; the solver
+implements the modern incarnation of that procedure: conflict-driven clause
+learning (implication-graph analysis to the first unique implication point),
+non-chronological backjumping, EVSIDS activity-driven branching with phase
+saving, Luby restarts, and an activity/size-based reduction of the learned
+clause database.  Setting :attr:`CdclSolver.learning` to ``False`` degrades
+to a backjumping DPLL whose lemmas never outlive the search path — the
+"deliberately no learning" profile earlier revisions shipped, kept as the
+baseline the benchmarks compare against.
 
-The solver is deterministic: identical inputs yield identical models and
-statistics, which the benchmarks rely on.
+**Learned clauses and selector guards.**  Learned clauses are derived by
+resolution over the clause database only — assumptions contribute literals
+but never premises — so every lemma is a logical consequence of the clauses
+added so far, and stays valid as the database grows.  In particular, a lemma
+whose derivation used selector-guarded clauses (``¬sel ∨ C``, see
+:meth:`repro.sat.cnf.CnfBuilder.begin_guard`) automatically contains the
+``¬sel`` of every group it depends on: selectors occur only negatively in
+the database, so resolution can never eliminate them.  Retiring a group
+(assuming ``¬sel``) therefore deactivates its dependent lemmas for free;
+:meth:`CdclSolver.retire_selectors` additionally *deletes* them, so a
+long-lived warm solver does not drag dead lemmas through every later check.
+
+The solver is deterministic: identical inputs (including the clause-add and
+solve interleaving) yield identical verdicts and statistics, which the
+benchmarks rely on.  Because learned clauses persist between :meth:`solve`
+calls, a *re-solve* is intentionally not equivalent to a fresh solver: it is
+faster, and may return a different (still verified) model.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import Counter
 from dataclasses import dataclass, field
 
@@ -23,14 +43,45 @@ from repro.sat.cnf import Clause, CnfBuilder
 #: Truth values in the assignment array.
 _UNASSIGNED, _TRUE, _FALSE = 0, 1, 2
 
+#: EVSIDS decay factors (per conflict) and the float-rescale guard rails.
+_VAR_DECAY = 0.95
+_CLAUSE_DECAY = 0.999
+_RESCALE_LIMIT = 1e100
+_RESCALE_FACTOR = 1e-100
+
+#: Learned-DB budget: first limit relative to the problem size, growth per
+#: reduction sweep.
+_LEARNT_FLOOR = 1_000
+_LEARNT_FRACTION = 3
+_LEARNT_GROWTH = 1.1
+
+#: First Luby restart interval, in conflicts.
+_RESTART_BASE = 100
+
+
+def _luby(index: int) -> int:
+    """The ``index``-th (1-based) element of the Luby restart sequence
+    (1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ...)."""
+    k = 1
+    while (1 << k) - 1 < index:
+        k += 1
+    while (1 << k) - 1 != index:
+        index -= (1 << (k - 1)) - 1
+        k = 1
+        while (1 << k) - 1 < index:
+            k += 1
+    return 1 << (k - 1)
+
 
 @dataclass
 class SatResult:
     """Outcome of a solve call.
 
     ``status`` is ``True`` (satisfiable, ``model`` holds a satisfying
-    assignment), ``False`` (unsatisfiable) or ``None`` (decision budget
-    exhausted).
+    assignment), ``False`` (unsatisfiable — under the assumptions, if any)
+    or ``None`` (a decision or conflict budget was exhausted).  ``learned``
+    counts the clauses derived during this call; ``learned_kept`` is the
+    size of the learned database after it (lemmas persist across calls).
     """
 
     status: bool | None
@@ -38,6 +89,9 @@ class SatResult:
     decisions: int = 0
     propagations: int = 0
     conflicts: int = 0
+    restarts: int = 0
+    learned: int = 0
+    learned_kept: int = 0
 
     @property
     def is_sat(self) -> bool:
@@ -45,57 +99,98 @@ class SatResult:
         return self.status is True
 
 
-class DpllSolver:
+class CdclSolver:
     """Solve a CNF formula; clauses may be added between :meth:`solve` calls.
 
     The solver is *incremental*: :meth:`add_clause` extends the clause
     database after construction, :meth:`ensure_num_vars` grows the variable
-    range, and :meth:`solve` is reentrant — it resets the trail, assignment
-    and decision stack on entry, so every call searches from scratch over the
-    current database.  ``solve(assumptions=...)`` enqueues the given literals
-    below all decisions before search; a conflict that backtracks past the
-    last decision then means "unsatisfiable *under these assumptions*", which
-    is what makes selector-guarded clause groups retirable.
+    range, and :meth:`solve` is reentrant — it resets the trail and
+    assignment on entry, so every call searches the current database afresh
+    (but keeps the learned clauses and activity scores of earlier calls,
+    which is what makes a warm solver faster than a cold one).
+    ``solve(assumptions=...)`` decides the given literals below every real
+    decision, MiniSat-style; a ``False`` status then means "unsatisfiable
+    *under these assumptions*", which is what makes selector-guarded clause
+    groups retirable.  :meth:`retire_selectors` deletes the learned clauses
+    that depend on retired groups (see the module docstring for why the
+    dependency is visible in the lemma itself).
     """
 
-    def __init__(self, num_vars: int, clauses: list[Clause]) -> None:
-        self._num_vars = num_vars
-        self._clauses: list[list[int]] = []
-        self._assign = [_UNASSIGNED] * (num_vars + 1)
-        self._trail: list[int] = []
-        # decision stack: (literal decided, trail length before it, flipped?)
-        self._decisions: list[tuple[int, int, bool]] = []
-        self._queue_head = 0
+    def __init__(
+        self, num_vars: int, clauses: list[Clause], learning: bool = True
+    ) -> None:
+        self._num_vars = 0
+        # Clause database: problem and learned clauses share one id space;
+        # deleted learned clauses leave a None hole (watch lists are cleaned
+        # lazily during propagation).
+        self._clauses: list[list[int] | None] = []
+        self._num_problem = 0
+        self._learned: dict[int, float] = {}  # id -> activity
         self._watches: dict[int, list[int]] = {}
         self._units: list[int] = []
+        self._learned_units: list[int] = []
         self._empty_clause = False
-        self._order: list[int] | None = None  # branch-order cache
-        # Occurrence/polarity counts maintained by add_clause so the branch
-        # order can be re-sorted without rescanning the clause database.
-        self._occurrences: Counter[int] = Counter()
+        # Per-variable state, 1-indexed (slot 0 unused).
+        self._assign: list[int] = [_UNASSIGNED]
+        self._level: list[int] = [0]
+        self._reason: list[int | None] = [None]
+        self._activity: list[float] = [0.0]
+        self._phase: list[bool | None] = [None]
+        self._seen = bytearray(1)
+        # Trail: the assignment stack; _trail_lim[i] is its length when
+        # decision level i+1 began.  The trail doubles as the propagation
+        # queue via _queue_head.
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._queue_head = 0
+        # EVSIDS branching state: a lazy max-heap of (-activity, var); stale
+        # entries are skipped at pop time.
+        self._heap: list[tuple[float, int]] = []
+        self._var_inc = 1.0
+        self._cla_inc = 1.0
+        self._max_learnts = 0.0
+        # Polarity counts from problem clauses seed the branching phase of
+        # variables that have never been assigned (phase saving takes over
+        # afterwards).
         self._polarity: Counter[int] = Counter()
+        #: Public toggle: with learning off, lemmas are dropped as soon as
+        #: they stop being propagation reasons and restarts are disabled —
+        #: the plain backjumping-DPLL baseline.
+        self.learning = learning
+        #: Conflicts before the first restart (scaled by the Luby sequence).
+        self.restart_base = _RESTART_BASE
+        self.ensure_num_vars(num_vars)
         for clause in clauses:
             self.add_clause(clause)
 
     @classmethod
-    def from_builder(cls, builder: CnfBuilder) -> "DpllSolver":
+    def from_builder(cls, builder: CnfBuilder) -> "CdclSolver":
         """Convenience constructor from a :class:`CnfBuilder`."""
         return cls(builder.num_vars, builder.clauses)
+
+    # ------------------------------------------------------------------
+    # database growth
+    # ------------------------------------------------------------------
 
     def ensure_num_vars(self, num_vars: int) -> None:
         """Grow the variable range to at least ``num_vars``."""
         if num_vars > self._num_vars:
-            self._assign.extend([_UNASSIGNED] * (num_vars - self._num_vars))
+            grow = num_vars - self._num_vars
+            self._assign.extend([_UNASSIGNED] * grow)
+            self._level.extend([0] * grow)
+            self._reason.extend([None] * grow)
+            self._activity.extend([0.0] * grow)
+            self._phase.extend([None] * grow)
+            self._seen.extend(bytes(grow))
             self._num_vars = num_vars
-            self._order = None
 
     def add_clause(self, clause: Clause) -> None:
-        """Add one clause to the database (allowed between solve calls)."""
+        """Add one problem clause (allowed between solve calls)."""
         literals = list(clause)
-        self._order = None
         top = max((abs(literal) for literal in literals), default=0)
         if top > self._num_vars:
             self.ensure_num_vars(top)
+        self._num_problem += 1
         if not literals:
             self._empty_clause = True
             return
@@ -105,11 +200,44 @@ class DpllSolver:
         index = len(self._clauses)
         self._clauses.append(literals)
         for literal in literals:
-            self._occurrences[abs(literal)] += 1
             self._polarity[literal] += 1
         # Watch the first two literals.
         for literal in literals[:2]:
             self._watches.setdefault(literal, []).append(index)
+
+    @property
+    def learned_clause_count(self) -> int:
+        """Learned clauses currently in the database (units excluded)."""
+        return len(self._learned)
+
+    def retire_selectors(self, selectors) -> int:
+        """Delete every learned clause that mentions one of ``selectors``.
+
+        This is the hygiene half of the guard-retirement contract (module
+        docstring): lemmas depending on a retired selector group are already
+        *inert* — they contain the group's ``¬sel``, which the caller keeps
+        assumed — but deleting them stops a long-lived solver from carrying
+        dead clauses through every later check.  Must be (and is) safe to
+        call between solves: the search state is reset first so no lemma is
+        locked as a propagation reason.  Returns the number deleted.
+        """
+        retired = {abs(selector) for selector in selectors}
+        if not retired:
+            return 0
+        self._reset_search()
+        removed = 0
+        for index in list(self._learned):
+            clause = self._clauses[index]
+            if any(abs(literal) in retired for literal in clause):
+                self._clauses[index] = None
+                del self._learned[index]
+                removed += 1
+        kept_units = [
+            literal for literal in self._learned_units if abs(literal) not in retired
+        ]
+        removed += len(self._learned_units) - len(kept_units)
+        self._learned_units = kept_units
+        return removed
 
     # ------------------------------------------------------------------
     # assignment primitives
@@ -123,22 +251,28 @@ class DpllSolver:
         wanted = literal > 0
         return _TRUE if positive == wanted else _FALSE
 
-    def _enqueue(self, literal: int) -> bool:
+    def _enqueue(self, literal: int, reason: int | None) -> bool:
         """Assign ``literal`` true; False on conflict with current value."""
         current = self._value(literal)
         if current == _TRUE:
             return True
         if current == _FALSE:
             return False
-        self._assign[abs(literal)] = _TRUE if literal > 0 else _FALSE
+        var = abs(literal)
+        positive = literal > 0
+        self._assign[var] = _TRUE if positive else _FALSE
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._phase[var] = positive  # phase saving
         self._trail.append(literal)
         return True
 
-    def _propagate(self, result: SatResult) -> bool:
-        """Exhaust unit propagation; False on conflict.
+    def _propagate(self, result: SatResult) -> int | None:
+        """Exhaust unit propagation; returns the conflicting clause id.
 
         The trail doubles as the propagation queue: every literal appended
-        since the last call is processed once.
+        since the last call is processed once.  Watch lists drop deleted
+        (None) clause entries lazily as they are traversed.
         """
         while self._queue_head < len(self._trail):
             literal = self._trail[self._queue_head]
@@ -158,6 +292,8 @@ class DpllSolver:
                 clause_index = watching[index_pos]
                 index_pos += 1
                 clause = self._clauses[clause_index]
+                if clause is None:
+                    continue  # deleted learned clause; unhook lazily
                 # Ensure the falsified literal sits at position 1.
                 if clause[0] == falsified:
                     clause[0], clause[1] = clause[1], clause[0]
@@ -178,128 +314,339 @@ class DpllSolver:
                     continue
                 keep.append(clause_index)
                 # Clause is unit (on `other`) or conflicting.
-                if not self._enqueue(other):
+                if not self._enqueue(other, clause_index):
                     keep.extend(watching[index_pos:])
                     self._watches[falsified] = keep
-                    return False
+                    return clause_index
             self._watches[falsified] = keep
-        return True
+        return None
+
+    # ------------------------------------------------------------------
+    # activity bookkeeping
+    # ------------------------------------------------------------------
+
+    def _bump_var(self, var: int) -> None:
+        activity = self._activity[var] + self._var_inc
+        self._activity[var] = activity
+        if activity > _RESCALE_LIMIT:
+            for index in range(1, self._num_vars + 1):
+                self._activity[index] *= _RESCALE_FACTOR
+            self._var_inc *= _RESCALE_FACTOR
+            self._rebuild_heap()
+        elif self._assign[var] == _UNASSIGNED:
+            heapq.heappush(self._heap, (-activity, var))
+
+    def _bump_clause(self, index: int) -> None:
+        activity = self._learned[index] + self._cla_inc
+        self._learned[index] = activity
+        if activity > _RESCALE_LIMIT:
+            for learned_id in self._learned:
+                self._learned[learned_id] *= _RESCALE_FACTOR
+            self._cla_inc *= _RESCALE_FACTOR
+
+    def _rebuild_heap(self) -> None:
+        self._heap = [
+            (-self._activity[var], var)
+            for var in range(1, self._num_vars + 1)
+            if self._assign[var] == _UNASSIGNED
+        ]
+        heapq.heapify(self._heap)
+
+    def _pick_branch(self) -> int | None:
+        """The unassigned variable with maximal activity, in its saved (or
+        polarity-preferred) phase; None when the assignment is total."""
+        while self._heap:
+            negated_activity, var = heapq.heappop(self._heap)
+            if self._assign[var] != _UNASSIGNED:
+                continue
+            if -negated_activity != self._activity[var]:
+                continue  # stale entry; a fresher one exists
+            return self._oriented(var)
+        # Safety net: the lazy heap should always cover every unassigned
+        # variable, but completeness must not hinge on that invariant.
+        for var in range(1, self._num_vars + 1):
+            if self._assign[var] == _UNASSIGNED:
+                return self._oriented(var)
+        return None
+
+    def _oriented(self, var: int) -> int:
+        phase = self._phase[var]
+        if phase is None:
+            phase = self._polarity[var] >= self._polarity[-var]
+        return var if phase else -var
+
+    # ------------------------------------------------------------------
+    # conflict analysis and the learned database
+    # ------------------------------------------------------------------
+
+    def _analyze(self, conflict: int) -> list[int]:
+        """Derive the 1UIP learned clause from a conflict.
+
+        Walks the implication graph backwards along the trail, resolving
+        current-level literals with their reason clauses until exactly one
+        remains (the first unique implication point).  The asserting literal
+        ends up at position 0, a maximal-level companion at position 1
+        (:meth:`_backjump_level` relies on it).  Assumption and decision
+        literals have no reason and are never resolved — they stay in the
+        lemma, which is therefore a consequence of the clause database
+        alone.
+        """
+        learned: list[int] = [0]
+        seen = self._seen
+        to_clear: list[int] = []
+        current = len(self._trail_lim)
+        counter = 0
+        trail = self._trail
+        index = len(trail)
+        literal = 0
+        clause_index = conflict
+        while True:
+            clause = self._clauses[clause_index]
+            if clause_index in self._learned:
+                self._bump_clause(clause_index)
+            # Skip position 0 of a reason clause: it is the resolved literal.
+            for position in range(0 if literal == 0 else 1, len(clause)):
+                other = clause[position]
+                var = abs(other)
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = 1
+                    to_clear.append(var)
+                    self._bump_var(var)
+                    if self._level[var] >= current:
+                        counter += 1
+                    else:
+                        learned.append(other)
+            index -= 1
+            while not seen[abs(trail[index])]:
+                index -= 1
+            literal = trail[index]
+            var = abs(literal)
+            seen[var] = 0
+            counter -= 1
+            if counter == 0:
+                break
+            # Only the level's decision lacks a reason, and it is resolved
+            # last — so the reason is always present here.
+            clause_index = self._reason[var]
+        learned[0] = -literal
+        for var in to_clear:
+            seen[var] = 0
+        return learned
+
+    def _backjump_level(self, learned: list[int]) -> int:
+        """The second-highest decision level in the lemma (0 for units);
+        swaps a literal of that level into the watched position 1."""
+        if len(learned) == 1:
+            return 0
+        deepest = 1
+        for position in range(2, len(learned)):
+            if self._level[abs(learned[position])] > self._level[abs(learned[deepest])]:
+                deepest = position
+        learned[1], learned[deepest] = learned[deepest], learned[1]
+        return self._level[abs(learned[1])]
+
+    def _attach_learned(self, learned: list[int], result: SatResult) -> None:
+        """Store the lemma and assert its literal (call after backjumping)."""
+        result.learned += 1
+        if len(learned) == 1:
+            # A globally implied fact: persists across solves as a unit.
+            self._learned_units.append(learned[0])
+            self._enqueue(learned[0], None)
+            return
+        index = len(self._clauses)
+        self._clauses.append(learned)
+        self._learned[index] = 0.0
+        self._bump_clause(index)
+        self._watches.setdefault(learned[0], []).append(index)
+        self._watches.setdefault(learned[1], []).append(index)
+        self._enqueue(learned[0], index)
+
+    def _is_locked(self, index: int) -> bool:
+        """Is this clause the propagation reason of its first literal?"""
+        clause = self._clauses[index]
+        literal = clause[0]
+        return (
+            self._value(literal) == _TRUE and self._reason[abs(literal)] == index
+        )
+
+    def _reduce_db(self) -> None:
+        """Delete roughly half of the learned clauses, lowest activity
+        first, keeping binary lemmas and locked reasons.  With learning off
+        everything unlocked goes — lemmas never outlive their search path.
+        """
+        order = sorted(self._learned, key=lambda index: (self._learned[index], index))
+        if self.learning:
+            target = len(order) // 2
+        else:
+            target = len(order)
+        removed = 0
+        for index in order:
+            if removed >= target:
+                break
+            clause = self._clauses[index]
+            if self.learning and len(clause) <= 2:
+                continue
+            if self._is_locked(index):
+                continue
+            self._clauses[index] = None
+            del self._learned[index]
+            removed += 1
+        if self.learning:
+            self._max_learnts *= _LEARNT_GROWTH
 
     # ------------------------------------------------------------------
     # search
     # ------------------------------------------------------------------
 
-    def _reset(self) -> None:
+    def _cancel_until(self, level: int) -> None:
+        """Undo every assignment above the given decision level."""
+        if len(self._trail_lim) <= level:
+            return
+        limit = self._trail_lim[level]
+        for literal in reversed(self._trail[limit:]):
+            var = abs(literal)
+            self._assign[var] = _UNASSIGNED
+            self._reason[var] = None
+            heapq.heappush(self._heap, (-self._activity[var], var))
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._queue_head = len(self._trail)
+
+    def _reset_search(self) -> None:
         """Clear all search state from a previous :meth:`solve` call."""
         for literal in self._trail:
-            self._assign[abs(literal)] = _UNASSIGNED
+            var = abs(literal)
+            self._assign[var] = _UNASSIGNED
+            self._reason[var] = None
         self._trail.clear()
-        self._decisions.clear()
+        self._trail_lim.clear()
         self._queue_head = 0
+        if not self.learning:
+            # The no-learning profile drops every lemma between solves.
+            for index in list(self._learned):
+                self._clauses[index] = None
+            self._learned.clear()
+            self._learned_units.clear()
+        self._rebuild_heap()
 
     def solve(
         self,
         max_decisions: int | None = None,
         assumptions: tuple[int, ...] | list[int] = (),
+        max_conflicts: int | None = None,
     ) -> SatResult:
-        """Run DPLL; ``max_decisions`` caps the search (None = unlimited).
+        """Run CDCL search; budgets cap it (None = unlimited).
 
-        ``assumptions`` are literals forced true below every decision; a
+        ``assumptions`` are literals decided below every real decision; a
         ``False`` status then means unsatisfiable *under the assumptions*.
-        The call is reentrant: all search state is reset on entry.
+        ``max_conflicts`` bounds the work of one call — the warm reasoner
+        uses it to slice long checks instead of holding a session lock for
+        an unbounded solve; learned clauses survive the early exit, so a
+        retried check resumes from a stronger database rather than from
+        scratch.  The call is reentrant: trail and assignment are reset on
+        entry (learned clauses and activities persist by design).
         """
         result = SatResult(status=None)
-        self._reset()
+        self._reset_search()
         if self._empty_clause:
             result.status = False
+            result.learned_kept = len(self._learned)
             return result
-        for literal in self._units:
-            if not self._enqueue(literal):
-                result.status = False
-                return result
-        if not self._propagate(result):
-            result.status = False
-            return result
-        # Enqueue every assumption first, then propagate once: the unit
-        # propagation closure is order-independent, and one pass over the
-        # queue is much cheaper than a propagate call per assumption (the
-        # warm reasoner passes one selector per clause group).
         for literal in assumptions:
-            if abs(literal) > self._num_vars:
+            if literal == 0 or abs(literal) > self._num_vars:
                 raise SolverError(
                     f"assumption {literal} references an unallocated variable"
                 )
-            if not self._enqueue(literal):
+        for literal in self._units:
+            if not self._enqueue(literal, None):
                 result.status = False
+                result.learned_kept = len(self._learned)
                 return result
-        if not self._propagate(result):
-            result.status = False
-            return result
-        order = self._branch_order()
+        for literal in self._learned_units:
+            if not self._enqueue(literal, None):
+                result.status = False
+                result.learned_kept = len(self._learned)
+                return result
+        if self._max_learnts <= 0:
+            self._max_learnts = max(
+                float(_LEARNT_FLOOR), self._num_problem / _LEARNT_FRACTION
+            )
+        assumptions = tuple(assumptions)
+        restart_count = 0
+        restart_limit = self.restart_base * _luby(1)
+        conflicts_since_restart = 0
         while True:
-            literal = self._pick(order)
-            if literal is None:
-                result.status = True
-                result.model = {
-                    var: self._assign[var] == _TRUE
-                    for var in range(1, self._num_vars + 1)
-                }
-                return result
-            if max_decisions is not None and result.decisions >= max_decisions:
-                result.status = None
-                return result
-            result.decisions += 1
-            self._decisions.append((literal, len(self._trail), False))
-            self._enqueue(literal)
-            while not self._propagate(result):
+            conflict = self._propagate(result)
+            if conflict is not None:
                 result.conflicts += 1
-                if not self._backtrack():
-                    result.status = False
-                    return result
+                conflicts_since_restart += 1
+                if not self._trail_lim:
+                    result.status = False  # conflict at level 0: global UNSAT
+                    break
+                learned = self._analyze(conflict)
+                self._cancel_until(self._backjump_level(learned))
+                self._attach_learned(learned, result)
+                self._var_inc /= _VAR_DECAY
+                self._cla_inc /= _CLAUSE_DECAY
+                if max_conflicts is not None and result.conflicts >= max_conflicts:
+                    result.status = None
+                    break
+                continue
+            if (
+                self.learning
+                and conflicts_since_restart >= restart_limit
+                and len(self._trail_lim) > len(assumptions)
+            ):
+                restart_count += 1
+                result.restarts += 1
+                conflicts_since_restart = 0
+                restart_limit = self.restart_base * _luby(restart_count + 1)
+                self._cancel_until(0)
+                continue
+            if len(self._learned) > (self._max_learnts if self.learning else 0):
+                self._reduce_db()
+            literal = None
+            failed_assumption = False
+            while len(self._trail_lim) < len(assumptions):
+                candidate = assumptions[len(self._trail_lim)]
+                value = self._value(candidate)
+                if value == _TRUE:
+                    self._trail_lim.append(len(self._trail))  # already holds
+                elif value == _FALSE:
+                    failed_assumption = True
+                    break
+                else:
+                    literal = candidate
+                    break
+            if failed_assumption:
+                result.status = False  # UNSAT under the assumptions
+                break
+            if literal is None:
+                literal = self._pick_branch()
+                if literal is None:
+                    result.status = True
+                    result.model = {
+                        var: self._assign[var] == _TRUE
+                        for var in range(1, self._num_vars + 1)
+                    }
+                    break
+                if max_decisions is not None and result.decisions >= max_decisions:
+                    result.status = None
+                    break
+                result.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(literal, None)
+        result.learned_kept = len(self._learned)
+        return result
 
-    def _branch_order(self) -> list[int]:
-        """Static branching order: most frequently occurring variables first,
-        preferred polarity = the more common one.  Cached until the clause
-        database or variable range changes; the counts themselves are
-        maintained by :meth:`add_clause`, so a rebuild is one sort, not a
-        rescan of every clause."""
-        if self._order is not None:
-            return self._order
-        occurrences = self._occurrences
-        polarity = self._polarity
-        ordered = sorted(
-            range(1, self._num_vars + 1),
-            key=lambda var: (-occurrences[var], var),
-        )
-        self._order = [
-            var if polarity[var] >= polarity[-var] else -var for var in ordered
-        ]
-        return self._order
 
-    def _pick(self, order: list[int]) -> int | None:
-        for literal in order:
-            if self._assign[abs(literal)] == _UNASSIGNED:
-                return literal
-        return None
-
-    def _backtrack(self) -> bool:
-        """Undo to the most recent unflipped decision and flip it."""
-        while self._decisions:
-            literal, trail_length, flipped = self._decisions.pop()
-            while len(self._trail) > trail_length:
-                undone = self._trail.pop()
-                self._assign[abs(undone)] = _UNASSIGNED
-            self._queue_head = len(self._trail)
-            if not flipped:
-                self._decisions.append((-literal, trail_length, True))
-                self._enqueue(-literal)
-                return True
-        return False
+#: Backwards-compatible alias: the class began life as a plain DPLL solver.
+DpllSolver = CdclSolver
 
 
 def solve_cnf(builder: CnfBuilder, max_decisions: int | None = None) -> SatResult:
     """One-shot convenience: build a solver and run it."""
-    return DpllSolver.from_builder(builder).solve(max_decisions)
+    return CdclSolver.from_builder(builder).solve(max_decisions)
 
 
 def verify_model(builder: CnfBuilder, model: dict[int, bool]) -> bool:

@@ -401,6 +401,10 @@ def verdict_to_payload(verdict) -> dict:
         "sizes_tried": list(verdict.sizes_tried),
         "inconclusive_sizes": list(verdict.inconclusive_sizes),
         "decisions": verdict.decisions,
+        "conflicts": verdict.conflicts,
+        "restarts": verdict.restarts,
+        "learned_clauses": verdict.learned_clauses,
+        "kept_clauses": verdict.kept_clauses,
         "clauses": verdict.clauses,
         "variables": verdict.variables,
         "elapsed_seconds": verdict.elapsed_seconds,

@@ -51,7 +51,7 @@ from repro.exceptions import SchemaError, UnknownElementError
 from repro.orm.schema import Schema
 from repro.patterns.incremental import EngineSnapshot, IncrementalEngine
 from repro.reasoner.encoding import GOAL_STRONG, Goal
-from repro.reasoner.incremental import SessionReasoner
+from repro.reasoner.incremental import MAX_CHECK_CONFLICTS, SessionReasoner
 from repro.reasoner.modelfinder import Verdict
 from repro.server.sharding import DEFAULT_SHARDS, ShardedSiteStore
 from repro.tool.validator import ToolReport, ValidatorSettings, report_from_engine
@@ -390,15 +390,22 @@ class ValidationService:
         not a re-encode of the whole schema.  Runs under the session lock
         (serialized with edits and drains).  A ``"sat"`` verdict carries a
         decoded witness population; ``"unknown"`` means the solver's
-        decision budget ran out at one or more sizes with no SAT answer —
-        neither satisfiability nor bounded unsatisfiability is established.
+        decision or conflict budget ran out at one or more sizes with no
+        SAT answer — neither satisfiability nor bounded unsatisfiability is
+        established.  The per-solve conflict budget
+        (:data:`~repro.reasoner.incremental.MAX_CHECK_CONFLICTS`) bounds how
+        long one check can hold the session lock; the clauses the solver
+        learned before exhausting it persist, so a retried check resumes
+        from a stronger database.
         """
         if max_domain < 0:
             raise ValueError(f"max_domain must be >= 0, got {max_domain}")
         state = self._state(name)
         with state.lock:
             if state.reasoner is None:
-                state.reasoner = SessionReasoner(state.schema)
+                state.reasoner = SessionReasoner(
+                    state.schema, max_conflicts=MAX_CHECK_CONFLICTS
+                )
             verdict = state.reasoner.check(goal, max_domain)
         self._touch(name)
         return verdict

@@ -135,6 +135,88 @@ class TestEditAgreement:
         for context in warm._contexts.values():
             assert context.encoder.retired_group_count <= MAX_RETIRED_GROUPS
 
+    def test_top_chain_stays_linear_on_wide_flat_schemas(self):
+        # The default top-type disjointness used to cost O(roots^2) selector
+        # groups; the sequential chain costs one group per root, and adding
+        # a root that sorts last churns nothing that already exists.
+        builder = SchemaBuilder()
+        for index in range(12):
+            builder.entity(f"T{index:02d}")
+        schema = builder.build()
+        warm = SessionReasoner(schema)
+        assert warm.check("weak", max_domain=1).status == "sat"
+        context = next(iter(warm._contexts.values()))
+        top_groups = [
+            key for key in context.encoder._groups if key[0] == "top"
+        ]
+        assert len(top_groups) == 12
+        schema.add_entity_type("T99")  # sorts after every existing root
+        assert warm.check("weak", max_domain=1).status == "sat"
+        assert context.encoder.retired_group_count == 0
+        assert warm.stats.cold_rebuilds == 0
+
+    def test_top_chain_root_removal_churns_two_links(self):
+        builder = SchemaBuilder()
+        for name in ("A", "B", "C", "D"):
+            builder.entity(name)
+        schema = builder.build()
+        warm = SessionReasoner(schema)
+        assert warm.check("weak", max_domain=1).status == "sat"
+        context = next(iter(warm._contexts.values()))
+        # Removing the mid-chain root B retires its link and re-links its
+        # successor C to A — two chain groups (plus B's own poptype goal
+        # group), not O(roots).
+        schema.remove_object_type("B")
+        assert warm.check("weak", max_domain=1).status == "sat"
+        assert context.encoder.retired_group_count == 3
+        top_groups = [
+            key for key in context.encoder._groups if key[0] == "top"
+        ]
+        assert ("top", "C", "A") in top_groups
+        assert len(top_groups) == 3
+
+    def test_top_chain_disjointness_still_enforced_across_edits(self):
+        # Semantics guard for the chain rewrite: root disjointness must
+        # still refute membership overlap after chain-churning edits.
+        builder = SchemaBuilder()
+        for name in ("A", "B", "C"):
+            builder.entity(name)
+        schema = builder.build()
+        warm = SessionReasoner(schema)
+        assert warm.check("concept", max_domain=3).status == "sat"
+        schema.add_subtype("C", "A")
+        schema.add_subtype("C", "B")
+        # C under two disjoint roots: C unpopulatable, concept goal unsat.
+        for goal in (("type", "C"), "concept"):
+            warm_verdict = warm.check(goal, max_domain=3)
+            cold_verdict = BoundedModelFinder(schema).check(goal, max_domain=3)
+            assert warm_verdict.status == "unsat"
+            assert_verdicts_agree(warm_verdict, cold_verdict)
+        schema.remove_subtype("C", "B")
+        warm_verdict = warm.check("concept", max_domain=3)
+        assert warm_verdict.status == "sat"
+        assert_verdicts_agree(
+            warm_verdict, BoundedModelFinder(schema).check("concept", max_domain=3)
+        )
+
+    def test_retire_hook_reaches_the_solver(self):
+        # An UNSAT check on a conflict-heavy constraint learns lemmas; when
+        # the constraint is removed the retire-hook must purge the ones
+        # that depended on it.
+        schema = SchemaBuilder().entity("A").entity("B").build()
+        schema.add_subtype("A", "B")
+        label = schema.add_exclusive_types("A", "B").label
+        warm = SessionReasoner(schema)
+        verdict = warm.check("concept", max_domain=3)
+        assert verdict.status == "unsat"
+        schema.remove_constraint(label)
+        assert warm.check("concept", max_domain=3).status == "sat"
+        for context in warm._contexts.values():
+            for index in context.solver._learned:
+                clause = context.solver._clauses[index]
+                retired = set(context.encoder._retired)
+                assert not any(abs(lit) in retired for lit in clause)
+
     def test_journal_consumer_protects_entries(self):
         schema = SchemaBuilder().entity("A").build()
         warm = SessionReasoner(schema)

@@ -1,11 +1,13 @@
-"""Tests for the DPLL solver, including randomized cross-validation against
-exhaustive truth-table search."""
+"""Tests for the CDCL solver, including randomized cross-validation against
+exhaustive truth-table search (with and without clause learning, across
+interleaved add_clause / solve(assumptions) sequences)."""
 
 import random
 
 import pytest
 
 from repro.sat import (
+    CdclSolver,
     CnfBuilder,
     DpllSolver,
     brute_force_satisfiable,
@@ -230,3 +232,169 @@ class TestReentrantSolve:
             assert result.status is fresh.status
             if result.is_sat:
                 assert verify_model(build(num_vars, clauses), result.model)
+
+
+def pigeonhole_builder(pigeons=3, holes=2, guard=None):
+    """The classic UNSAT pigeonhole family — conflict-heavy, so the solver
+    must actually learn; optionally guarded behind a fresh selector."""
+    builder = CnfBuilder()
+    var = {
+        (pigeon, hole): builder.new_var(f"p{pigeon}h{hole}")
+        for pigeon in range(pigeons)
+        for hole in range(holes)
+    }
+    selector = builder.new_var("sel") if guard else None
+    if selector is not None:
+        builder.begin_guard(selector)
+    for pigeon in range(pigeons):
+        builder.add_clause([var[pigeon, hole] for hole in range(holes)])
+    for hole in range(holes):
+        builder.at_most_one([var[pigeon, hole] for pigeon in range(pigeons)])
+    if selector is not None:
+        builder.end_guard()
+    return builder, var, selector
+
+
+class TestCdclBehaviour:
+    """The learning machinery itself: lemmas, budgets, restarts, reduction."""
+
+    def test_unsat_search_learns_clauses(self):
+        builder, _, _ = pigeonhole_builder(5, 4)
+        solver = CdclSolver.from_builder(builder)
+        result = solver.solve()
+        assert result.status is False
+        assert result.learned > 0
+        assert result.learned_kept == solver.learned_clause_count
+
+    def test_learning_off_keeps_no_lemmas(self):
+        builder, _, _ = pigeonhole_builder(5, 4)
+        solver = CdclSolver.from_builder(builder)
+        solver.learning = False
+        result = solver.solve()
+        assert result.status is False
+        # Lemmas may exist transiently (as propagation reasons) but none
+        # survive the solve.
+        assert result.learned_kept == 0
+        assert solver.learned_clause_count == 0
+        follow_up = solver.solve()
+        assert follow_up.status is False
+        assert follow_up.learned_kept == 0
+
+    def test_resolve_after_learning_is_cheaper(self):
+        builder, _, _ = pigeonhole_builder(6, 5)
+        solver = CdclSolver.from_builder(builder)
+        first = solver.solve()
+        second = solver.solve()
+        assert first.status is False and second.status is False
+        assert second.conflicts <= first.conflicts
+
+    def test_conflict_budget_returns_unknown(self):
+        builder, _, _ = pigeonhole_builder(5, 4)
+        solver = CdclSolver.from_builder(builder)
+        capped = solver.solve(max_conflicts=1)
+        assert capped.status is None
+        assert capped.conflicts == 1
+        # The learned clauses survive the early exit; an uncapped retry
+        # completes from the stronger database.
+        assert solver.solve().status is False
+
+    def test_forced_restarts_keep_verdicts_correct(self):
+        builder, _, _ = pigeonhole_builder(5, 4)
+        solver = CdclSolver.from_builder(builder)
+        solver.restart_base = 1
+        result = solver.solve()
+        assert result.status is False
+        assert result.restarts > 0
+
+    def test_restarts_disabled_without_learning(self):
+        builder, _, _ = pigeonhole_builder(5, 4)
+        solver = CdclSolver(builder.num_vars, builder.clauses, learning=False)
+        solver.restart_base = 1
+        result = solver.solve()
+        assert result.status is False
+        assert result.restarts == 0
+
+
+class TestGuardedLearning:
+    """The learned-clause / selector-guard contract the warm reasoner's
+    group retirement relies on (see the CnfBuilder.begin_guard docs)."""
+
+    def test_retired_group_lemmas_cannot_flip_later_verdicts(self):
+        builder, var, selector = pigeonhole_builder(4, 3, guard=True)
+        solver = CdclSolver.from_builder(builder)
+        active = solver.solve(assumptions=(selector,))
+        assert active.status is False
+        assert active.learned > 0
+        # Retired, the exact configuration the group forbade must be
+        # satisfiable: pile every pigeon into hole 0.  A lemma that lost
+        # its ¬sel dependency would wrongly refute this.
+        pile_up = tuple(var[pigeon, 0] for pigeon in range(4))
+        retired = solver.solve(assumptions=(-selector, *pile_up))
+        assert retired.is_sat
+        assert all(retired.model[literal] for literal in pile_up)
+
+    def test_retire_hook_purges_dependent_lemmas(self):
+        builder, var, selector = pigeonhole_builder(4, 3, guard=True)
+        solver = CdclSolver.from_builder(builder)
+        active = solver.solve(assumptions=(selector,))
+        assert active.status is False and active.learned_kept > 0
+        removed = solver.retire_selectors([selector])
+        # Every lemma's derivation used the guarded group, so every lemma
+        # carried ¬sel and every lemma goes.
+        assert removed > 0
+        assert solver.learned_clause_count == 0
+        pile_up = tuple(var[pigeon, 0] for pigeon in range(4))
+        assert solver.solve(assumptions=(-selector, *pile_up)).is_sat
+        # Re-activating the (still present) group restores the refutation.
+        assert solver.solve(assumptions=(selector,)).status is False
+
+    def test_lemmas_of_surviving_groups_are_kept(self):
+        builder, var, selector = pigeonhole_builder(4, 3, guard=True)
+        unrelated = builder.new_var("unrelated_sel")
+        solver = CdclSolver.from_builder(builder)
+        active = solver.solve(assumptions=(selector,))
+        assert active.status is False and active.learned_kept > 0
+        kept_before = solver.learned_clause_count
+        assert solver.retire_selectors([unrelated]) == 0
+        assert solver.learned_clause_count == kept_before
+
+
+class TestCdclFuzzHarness:
+    """Seeded random-CNF fuzz: interleaved add_clause / solve(assumptions)
+    rounds on one long-lived solver, every verdict cross-checked against
+    exhaustive truth-table search and every model verified.  The seed
+    matrix is fixed so CI runs are reproducible."""
+
+    @pytest.mark.parametrize("learning", [True, False])
+    @pytest.mark.parametrize("seed", range(25))
+    def test_interleaved_incremental_agrees_with_brute_force(self, seed, learning):
+        rng = random.Random(seed * 7919 + (0 if learning else 1))
+        num_vars = rng.randint(3, 9)
+        solver = CdclSolver(num_vars, [], learning=learning)
+        if rng.random() < 0.5:
+            solver.restart_base = rng.choice((1, 3))  # hammer the restart path
+        fed = []
+        for _ in range(rng.randint(2, 5)):
+            for _ in range(rng.randint(1, 8)):
+                width = rng.randint(1, 4)
+                clause = tuple(
+                    rng.choice((1, -1)) * rng.randint(1, num_vars)
+                    for _ in range(width)
+                )
+                fed.append(clause)
+                solver.add_clause(clause)
+            assumptions = tuple(
+                rng.choice((1, -1)) * var
+                for var in rng.sample(range(1, num_vars + 1), rng.randint(0, 2))
+            )
+            # Brute-force reference: the fed clauses plus the assumptions
+            # as units — also the model oracle (it contains the assumption
+            # units, so verify_model checks the assumptions hold).
+            reference = build(
+                num_vars, fed + [(literal,) for literal in assumptions]
+            )
+            expected = brute_force_satisfiable(reference)
+            result = solver.solve(assumptions=assumptions)
+            assert result.status is expected
+            if result.is_sat:
+                assert verify_model(reference, result.model)

@@ -206,6 +206,17 @@ class TestServicePayloadShape:
 
         assert run() == run()
 
+    def test_verdict_payload_carries_solver_stats(self):
+        """The CDCL statistics are observable on the wire payload."""
+        with ValidationService(max_workers=0) as service:
+            service.open("stats")
+            _sat_script(lambda verb, *args: service.edit("stats", verb, *args))
+            verdict = service.check("stats", "strong", max_domain=3)
+        payload = verdict_to_payload(verdict)
+        for stat in ("conflicts", "restarts", "learned_clauses", "kept_clauses"):
+            assert isinstance(payload[stat], int)
+            assert payload[stat] >= 0
+
     def test_service_check_validates_max_domain(self):
         with ValidationService(max_workers=0) as service:
             service.open("neg")
