@@ -1,0 +1,330 @@
+"""AST-walking static analyzer for the repo's concurrency contracts.
+
+The framework half of :mod:`repro.devtools`: rules (one class per contract,
+codes ``RL001``+) register themselves in :data:`REGISTRY` and are run over
+parsed modules by :func:`lint_paths` / :func:`lint_source`.  The CLI lives
+in ``__main__`` (``python -m repro.devtools.lint src/``) and exits non-zero
+iff any violation survives suppression — which is what CI gates on.
+
+**Suppressions.**  A violation is silenced by a pragma comment naming its
+code *with a required justification*::
+
+    with state.lock:
+        write_schema(state.schema)  # repro-lint: disable=RL001 -- consistent cut needs the lock
+
+A trailing pragma applies to its own line; a pragma alone on a line applies
+to the next line.  A pragma without a ``-- <why>`` justification does not
+suppress anything and is itself reported as :data:`RL000` — an unexplained
+opt-out is a contract violation in its own right.
+
+**Module context.**  Some rules only apply to the server surface
+(``src/repro/server/``).  Context is derived from the file path, and can be
+forced for test fixtures with ``# repro-lint: context=server`` anywhere in
+the file.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "LintError",
+    "Module",
+    "Rule",
+    "Suppression",
+    "Violation",
+    "REGISTRY",
+    "RL000",
+    "register",
+    "lint_paths",
+    "lint_source",
+    "iter_python_files",
+    "render_human",
+    "render_json",
+]
+
+#: Code reported for a suppression pragma that names no justification.
+RL000 = "RL000"
+
+_PRAGMA = re.compile(
+    r"#\s*repro-lint:\s*"
+    r"(?P<kind>disable|context)\s*=\s*"
+    r"(?P<value>[A-Za-z0-9_,\s-]+?)"
+    r"(?:\s*--\s*(?P<why>.*\S))?\s*$"
+)
+
+
+class LintError(Exception):
+    """The linter itself failed (unreadable file, syntax error)."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule finding at one source location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_payload(self) -> dict[str, object]:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+        }
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``disable=`` pragma."""
+
+    codes: tuple[str, ...]
+    line: int  # the line the pragma silences
+    pragma_line: int  # where the comment itself sits
+    justification: str | None
+
+
+@dataclass
+class Module:
+    """One parsed source file, as handed to every rule."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    context: str = "default"  # "server" for the wire/worker surface
+    suppressions: dict[int, Suppression] = field(default_factory=dict)
+    pragma_errors: list[Violation] = field(default_factory=list)
+
+    @property
+    def is_server(self) -> bool:
+        return self.context == "server"
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set :attr:`code` / :attr:`name` / :attr:`description` and
+    implement :meth:`check`, yielding :class:`Violation` objects.  The
+    framework applies suppressions afterwards — rules always report.
+    """
+
+    code: str = "RL???"
+    name: str = "unnamed"
+    description: str = ""
+
+    def check(self, module: Module) -> Iterable[Violation]:
+        raise NotImplementedError
+
+    def violation(
+        self, module: Module, node: ast.AST | int, message: str
+    ) -> Violation:
+        if isinstance(node, int):
+            line, col = node, 0
+        else:
+            line = getattr(node, "lineno", 0)
+            col = getattr(node, "col_offset", 0)
+        return Violation(self.code, message, module.path, line, col)
+
+
+#: All registered rules, by code, in registration (= code) order.
+REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule_class: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to :data:`REGISTRY` (one instance)."""
+    rule = rule_class()
+    if rule.code in REGISTRY:
+        raise ValueError(f"duplicate rule code {rule.code}")
+    REGISTRY[rule.code] = rule
+    return rule_class
+
+
+# -- parsing ----------------------------------------------------------------
+
+
+def _server_path(path: str) -> bool:
+    normalized = path.replace("\\", "/")
+    return "repro/server/" in normalized
+
+
+def parse_module(source: str, path: str) -> Module:
+    """Parse one file into a :class:`Module`: AST plus pragma comments."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        raise LintError(f"{path}: syntax error: {error}") from error
+    module = Module(path=path, source=source, tree=tree)
+    if _server_path(path):
+        module.context = "server"
+    _scan_pragmas(module)
+    return module
+
+
+def _scan_pragmas(module: Module) -> None:
+    """Collect ``repro-lint:`` pragmas from the token stream.
+
+    Tokenizing (rather than grepping lines) keeps pragma-looking text inside
+    string literals inert.
+    """
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(module.source).readline))
+    except tokenize.TokenError:  # pragma: no cover - ast.parse succeeded
+        return
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA.search(token.string)
+        if match is None:
+            continue
+        pragma_line = token.start[0]
+        kind = match.group("kind")
+        value = match.group("value").strip()
+        if kind == "context":
+            if value in ("server", "default"):
+                module.context = value
+            continue
+        codes = tuple(
+            code.strip().upper() for code in value.split(",") if code.strip()
+        )
+        justification = match.group("why")
+        # A trailing pragma governs its own line; a standalone one (nothing
+        # but whitespace before the '#') governs the line below it.
+        standalone = module.source.splitlines()[pragma_line - 1][
+            : token.start[1]
+        ].strip() == ""
+        target = pragma_line + 1 if standalone else pragma_line
+        if not justification:
+            module.pragma_errors.append(
+                Violation(
+                    RL000,
+                    f"suppression of {', '.join(codes) or '<nothing>'} has no "
+                    "justification (write `# repro-lint: disable=RLxxx -- why`)",
+                    module.path,
+                    pragma_line,
+                )
+            )
+            continue
+        module.suppressions[target] = Suppression(
+            codes=codes,
+            line=target,
+            pragma_line=pragma_line,
+            justification=justification,
+        )
+
+
+# -- running ----------------------------------------------------------------
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    """Every ``.py`` file under the given files/directories, sorted."""
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        elif not path.exists():
+            raise LintError(f"no such file or directory: {path}")
+        else:
+            candidates = []
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+def _selected_rules(select: Sequence[str] | None) -> list[Rule]:
+    _ensure_rules_loaded()
+    if select is None:
+        return [REGISTRY[code] for code in sorted(REGISTRY)]
+    rules = []
+    for code in select:
+        normalized = code.strip().upper()
+        if normalized not in REGISTRY:
+            raise LintError(
+                f"unknown rule {code!r} (known: {', '.join(sorted(REGISTRY))})"
+            )
+        rules.append(REGISTRY[normalized])
+    return rules
+
+
+def _ensure_rules_loaded() -> None:
+    # Importing the rules module populates REGISTRY via @register.
+    from repro.devtools.lint import rules  # noqa: F401
+
+
+def lint_module(module: Module, select: Sequence[str] | None = None) -> list[Violation]:
+    """Run (selected) rules over one parsed module, applying suppressions."""
+    raw: list[Violation] = []
+    for rule in _selected_rules(select):
+        raw.extend(rule.check(module))
+    kept = list(module.pragma_errors)
+    for violation in raw:
+        suppression = module.suppressions.get(violation.line)
+        if suppression is not None and violation.code in suppression.codes:
+            continue
+        kept.append(violation)
+    kept.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return kept
+
+
+def lint_source(
+    source: str, path: str = "<string>", select: Sequence[str] | None = None
+) -> list[Violation]:
+    """Lint one source string (the unit-test entry point)."""
+    return lint_module(parse_module(source, path), select)
+
+
+def lint_paths(
+    paths: Sequence[str | Path], select: Sequence[str] | None = None
+) -> list[Violation]:
+    """Lint every Python file under ``paths``; returns surviving violations."""
+    violations: list[Violation] = []
+    for file_path in iter_python_files(paths):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as error:
+            raise LintError(f"cannot read {file_path}: {error}") from error
+        violations.extend(lint_module(parse_module(source, str(file_path)), select))
+    return violations
+
+
+# -- output -----------------------------------------------------------------
+
+
+def render_human(violations: Sequence[Violation]) -> str:
+    lines = [violation.render() for violation in violations]
+    lines.append(
+        f"{len(violations)} violation(s)"
+        if violations
+        else "no contract violations"
+    )
+    return "\n".join(lines)
+
+
+def render_json(violations: Sequence[Violation]) -> str:
+    _ensure_rules_loaded()
+    payload = {
+        "violations": [violation.to_payload() for violation in violations],
+        "count": len(violations),
+        "rules": {
+            code: {"name": rule.name, "description": rule.description}
+            for code, rule in sorted(REGISTRY.items())
+        },
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,77 @@
+"""CLI: ``python -m repro.devtools.lint src/ [--format json] [--select RL001]``.
+
+Exit codes: 0 clean, 1 violations found, 2 usage/runtime error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.devtools.lint import (
+    REGISTRY,
+    LintError,
+    _ensure_rules_loaded,
+    lint_paths,
+    render_human,
+    render_json,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="Check the repo's concurrency contracts (rules RL001+).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to lint (default: src/)"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="CODE",
+        help="run only these rule codes (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        _ensure_rules_loaded()
+        for code in sorted(REGISTRY):
+            rule = REGISTRY[code]
+            print(f"{code}  {rule.name}\n    {rule.description}")
+        return 0
+    paths = args.paths or ["src/"]
+    try:
+        violations = lint_paths(paths, select=args.select)
+    except LintError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(violations))
+    else:
+        print(render_human(violations))
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream closed early (e.g. `... --list-rules | head`); the
+        # severed output is the consumer's choice, not a lint failure.
+        sys.exit(0)

@@ -1,0 +1,345 @@
+"""Opt-in runtime lock-order detector (``REPRO_LOCKTRACE=1``).
+
+The static rules in :mod:`repro.devtools.lint` see one module at a time;
+this module watches the *running* process.  :func:`install` monkeypatches
+``threading.Lock``/``threading.RLock`` so every lock the repro package
+creates afterwards is wrapped in a :class:`TracedLock` that
+
+* records per-thread acquisition stacks,
+* maintains a global lock-order graph (edge ``A → B`` = "some thread
+  acquired ``B`` while holding ``A``"), and
+* **fails before deadlocking**: the cycle check runs *before* the blocking
+  acquire, so an ABBA schedule raises :class:`LockOrderViolation` from the
+  second thread instead of hanging the suite;
+
+and patches ``time.sleep`` to raise :class:`BlockingWhileLocked` when
+called with any traced lock held.
+
+Design decisions that keep the detector false-positive-free on the real
+server suite:
+
+* Only locks whose *creation site* is inside the repro package are traced —
+  stdlib internals (``ThreadPoolExecutor``, ``logging``, ``Condition``)
+  keep their native locks.  Tests can opt a lock in explicitly with
+  :func:`traced_lock` / :func:`traced_rlock`.
+* ``acquire(blocking=False)`` and bounded-timeout acquires add **no**
+  graph edges: they cannot deadlock (they give up), which is exactly why
+  ``ValidationService._evict_over_capacity`` and
+  ``WorkerHandle.try_request`` use them.  They are still tracked as held
+  so a sleep under them is caught.
+* RLock re-entry by the owning thread adds no self-edges.
+
+Every violation is both **raised** (so the offending test fails at the
+offending line) and **recorded** (so the session-scoped fixture in
+``tests/server/conftest.py`` can fail the run even if something swallowed
+the exception).  ``tests/devtools/test_locktrace.py`` seeds deliberate
+violations; the ``REPRO_LOCKTRACE=1`` pass of ``tests/server/`` asserts
+zero on the real stack.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "BlockingWhileLocked",
+    "LockOrderViolation",
+    "LocktraceViolation",
+    "TracedLock",
+    "install",
+    "installed",
+    "traced_lock",
+    "traced_rlock",
+    "uninstall",
+    "violations",
+]
+
+ENV_FLAG = "REPRO_LOCKTRACE"
+
+# Real factories captured at import time: the tracer's own state must never
+# run through the tracer.
+_real_lock = threading.Lock
+_real_rlock = threading.RLock
+_real_sleep = time.sleep
+
+
+class LocktraceViolation(RuntimeError):
+    """Base class for everything the detector raises."""
+
+
+class LockOrderViolation(LocktraceViolation):
+    """Acquiring this lock here closes a cycle in the lock-order graph."""
+
+
+class BlockingWhileLocked(LocktraceViolation):
+    """A blocking syscall (``time.sleep``) ran while a traced lock was held."""
+
+
+@dataclass
+class _Held:
+    """One live acquisition by one thread."""
+
+    lock: "TracedLock"
+    stack: str
+    reentrant: bool = False
+
+
+@dataclass
+class _State:
+    """All tracer state; replaced wholesale by :func:`install`."""
+
+    trace_prefixes: tuple[str, ...] = ()
+    # lock-order graph over lock tokens: order[a] = {b: first-witness stack}
+    order: dict[int, dict[int, str]] = field(default_factory=dict)
+    names: dict[int, str] = field(default_factory=dict)
+    violations: list[LocktraceViolation] = field(default_factory=list)
+    guard: Any = field(default_factory=_real_lock)
+    counter: int = 0
+
+
+_state = _State()
+_held_by_thread = threading.local()
+_installed = False
+
+
+def _held() -> list[_Held]:
+    stack = getattr(_held_by_thread, "stack", None)
+    if stack is None:
+        stack = []
+        _held_by_thread.stack = stack
+    return stack
+
+
+def _site_stack(skip: int = 2, limit: int = 8) -> str:
+    frame = sys._getframe(skip)
+    return "".join(traceback.format_stack(frame, limit=limit))
+
+
+class TracedLock:
+    """Wraps one ``threading.Lock``/``RLock`` with order tracking.
+
+    Implements the full lock protocol (``acquire``/``release``/context
+    manager/``locked``) so it drops in anywhere the real lock was used.
+    """
+
+    def __init__(self, inner: Any, name: str, reentrant: bool) -> None:
+        self._inner = inner
+        self._name = name
+        self._reentrant = reentrant
+        # The order graph is keyed by a never-reused token, NOT id(self):
+        # the graph must outlive the lock (its edges are history), and a
+        # freed lock's id() gets recycled by the allocator — under the
+        # real suite that aliased dead locks onto new ones and produced
+        # phantom cycles.
+        with _state.guard:
+            _state.counter += 1
+            self._token = _state.counter
+            _state.names[self._token] = name
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def __repr__(self) -> str:
+        return f"<TracedLock {self._name} wrapping {self._inner!r}>"
+
+    # -- protocol ----------------------------------------------------------
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        held = _held()
+        reentry = self._reentrant and any(entry.lock is self for entry in held)
+        unbounded = blocking and timeout == -1
+        if unbounded and not reentry and held:
+            self._check_order(held)
+        if blocking:
+            acquired = bool(self._inner.acquire(True, timeout))
+        else:
+            acquired = bool(self._inner.acquire(False))
+        if acquired:
+            held.append(
+                _Held(lock=self, stack=_site_stack(skip=2), reentrant=reentry)
+            )
+        return acquired
+
+    def release(self) -> None:
+        held = _held()
+        for index in range(len(held) - 1, -1, -1):
+            if held[index].lock is self:
+                del held[index]
+                break
+        self._inner.release()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        locked = getattr(self._inner, "locked", None)
+        if callable(locked):
+            return bool(locked())
+        return False  # pragma: no cover - RLock before 3.12 has no locked()
+
+    # -- order tracking ----------------------------------------------------
+
+    def _check_order(self, held: list[_Held]) -> None:
+        """Record held → self edges; raise if one would close a cycle.
+
+        Runs *before* the blocking acquire: on an ABBA schedule the second
+        thread raises here instead of parking forever, which is what lets
+        the deadlock tests actually terminate.
+        """
+        me = self._token
+        with _state.guard:
+            for entry in held:
+                if entry.lock is self:
+                    continue
+                other = entry.lock._token
+                # Deadlock potential: somebody ordered self before `other`
+                # (path self → ... → other), and this thread is about to
+                # order `other` before self.
+                witness = self._find_path(me, other)
+                if witness is not None:
+                    violation = LockOrderViolation(
+                        f"lock-order cycle: acquiring {self._name} while "
+                        f"holding {entry.lock.name}, but the reverse order "
+                        "was already observed.\n"
+                        f"--- this thread ({threading.current_thread().name}) "
+                        f"holds {entry.lock.name} at:\n{entry.stack}"
+                        f"--- first witness of the reverse order "
+                        f"({' -> '.join(_state.names.get(n, str(n)) for n in witness)}):"
+                        f"\n{_state.order[witness[0]][witness[1]]}"
+                    )
+                    _state.violations.append(violation)
+                    raise violation
+                edges = _state.order.setdefault(other, {})
+                if me not in edges:
+                    edges[me] = _site_stack(skip=3)
+
+    @staticmethod
+    def _find_path(start: int, goal: int) -> tuple[int, int] | None:
+        """DFS ``start → ... → goal`` in the order graph; returns the edge
+        that reached ``goal`` (its first-witness stack is the diagnostic),
+        else ``None``."""
+        stack = [start]
+        seen = {start}
+        while stack:
+            node = stack.pop()
+            for successor in _state.order.get(node, ()):
+                if successor == goal:
+                    return (node, successor)
+                if successor not in seen:
+                    seen.add(successor)
+                    stack.append(successor)
+        return None
+
+
+def _make_name(reentrant: bool, site: str) -> str:
+    with _state.guard:
+        _state.counter += 1
+        kind = "RLock" if reentrant else "Lock"
+        return f"{kind}#{_state.counter}@{site}"
+
+
+def _creation_site(depth: int = 2) -> tuple[str, str]:
+    frame = sys._getframe(depth)
+    filename = frame.f_code.co_filename
+    return filename, f"{os.path.basename(filename)}:{frame.f_lineno}"
+
+
+def _should_trace(filename: str) -> bool:
+    return any(filename.startswith(prefix) for prefix in _state.trace_prefixes)
+
+
+def _lock_factory() -> Any:
+    filename, site = _creation_site()
+    if not _should_trace(filename):
+        return _real_lock()
+    return TracedLock(_real_lock(), _make_name(False, site), reentrant=False)
+
+
+def _rlock_factory() -> Any:
+    filename, site = _creation_site()
+    if not _should_trace(filename):
+        return _real_rlock()
+    return TracedLock(_real_rlock(), _make_name(True, site), reentrant=True)
+
+
+def _traced_sleep(seconds: float) -> None:
+    held = _held()
+    if held:
+        names = ", ".join(entry.lock.name for entry in held)
+        violation = BlockingWhileLocked(
+            f"time.sleep({seconds!r}) while holding traced lock(s) {names}\n"
+            f"--- sleeping at:\n{_site_stack(skip=2)}"
+            f"--- newest lock acquired at:\n{held[-1].stack}"
+        )
+        with _state.guard:
+            _state.violations.append(violation)
+        raise violation
+    _real_sleep(seconds)
+
+
+# -- public API -------------------------------------------------------------
+
+
+def traced_lock(name: str | None = None) -> TracedLock:
+    """A traced ``Lock`` regardless of creation site (for tests)."""
+    _, site = _creation_site()
+    return TracedLock(_real_lock(), name or _make_name(False, site), False)
+
+
+def traced_rlock(name: str | None = None) -> TracedLock:
+    """A traced ``RLock`` regardless of creation site (for tests)."""
+    _, site = _creation_site()
+    return TracedLock(_real_rlock(), name or _make_name(True, site), True)
+
+
+def install(trace_prefixes: tuple[str, ...] | None = None) -> None:
+    """Start tracing: patch the lock factories and ``time.sleep``.
+
+    Resets all tracer state, so deliberate violations from an earlier
+    install (the devtools test suite runs before the server suites) can
+    never bleed into a later run's verdict.  ``trace_prefixes`` limits
+    wrapping to locks created under those paths; the default is the repro
+    package itself.
+    """
+    global _installed, _held_by_thread
+    if trace_prefixes is None:
+        import repro
+
+        trace_prefixes = (os.path.dirname(os.path.abspath(repro.__file__)),)
+    globals()["_state"] = _State(trace_prefixes=tuple(trace_prefixes))
+    _held_by_thread = threading.local()
+    threading.Lock = _lock_factory  # type: ignore[assignment,misc]
+    threading.RLock = _rlock_factory  # type: ignore[assignment,misc]
+    time.sleep = _traced_sleep
+    _installed = True
+
+
+def uninstall() -> None:
+    """Restore the real factories (traced locks already created keep
+    working — they wrap real primitives)."""
+    global _installed
+    threading.Lock = _real_lock  # type: ignore[assignment,misc]
+    threading.RLock = _real_rlock  # type: ignore[assignment,misc]
+    time.sleep = _real_sleep
+    _installed = False
+
+
+def installed() -> bool:
+    return _installed
+
+
+def violations() -> list[LocktraceViolation]:
+    """Everything recorded since the last :func:`install` (raised *and*
+    swallowed violations both appear here)."""
+    with _state.guard:
+        return list(_state.violations)

@@ -436,6 +436,7 @@ class IncrementalEngine:
         mark; raises :class:`~repro.exceptions.SchemaError` when truncated."""
         from repro.patterns.propagation import IncrementalPropagator
 
+        # repro-lint: disable=RL004 -- deliberate probe: raising SchemaError here IS the documented truncation signal; the service catches it and rebuilds
         self.schema.changes_since(snapshot.mark)  # probe the replay window
         expected = {check.pattern_id for check in self._analyses()}
         if set(snapshot.sites) != expected:
@@ -550,6 +551,7 @@ class IncrementalEngine:
         caller runs on, or a saturated pool deadlocks on its own subtasks.
         """
         started = time.perf_counter()
+        # repro-lint: disable=RL004 -- cannot truncate under us: this engine is an attached consumer, so compaction never drops past our own journal_mark
         changes = self.schema.changes_since(self._mark)
         self._mark = self.schema.journal_size
         self.schema.compact_journal(min_drop=JOURNAL_COMPACT_THRESHOLD)

@@ -60,7 +60,7 @@ __all__ = [
 ]
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     if name in ("WireServer", "ServerThread", "LocalBackend"):
         from repro.server import wire
 

@@ -22,13 +22,14 @@ from __future__ import annotations
 
 import http.client
 import json
+from typing import Any
 from urllib.parse import urlsplit
 
 from repro.exceptions import ReproError
 from repro.io.dsl import write_schema
 from repro.orm.schema import Schema
 from repro.server import protocol
-from repro.server.protocol import WireError
+from repro.server.protocol import Payload, WireError
 from repro.tool.validator import ValidatorSettings
 
 
@@ -66,12 +67,12 @@ class ServiceClient:
         self,
         session: str,
         *,
-        settings: ValidatorSettings | dict | None = None,
+        settings: ValidatorSettings | Payload | None = None,
         schema: Schema | str | None = None,
-    ) -> dict:
+    ) -> Payload:
         """Open a remote session; ``schema`` ships a whole schema in the
         call (a :class:`Schema` is serialized to the ORM text DSL)."""
-        payload: dict = {"session": session}
+        payload: Payload = {"session": session}
         if settings is not None:
             if isinstance(settings, ValidatorSettings):
                 settings = protocol.settings_to_payload(settings)
@@ -82,22 +83,26 @@ class ServiceClient:
             )
         return self._request("POST", "/v1/open", payload)
 
-    def edit(self, session: str, verb: str, *args, **kwargs) -> dict:
+    def edit(self, session: str, verb: str, *args: Any, **kwargs: Any) -> Payload:
         """Apply one edit (no validation — the batched-drain contract);
         returns the created element's ``{"kind", "name"/"label"}``."""
-        payload = {"session": session, "verb": verb}
+        payload: Payload = {"session": session, "verb": verb}
         if args:
             payload["args"] = list(args)
         if kwargs:
             payload["kwargs"] = kwargs
-        return self._request("POST", "/v1/edit", payload)["result"]
+        result: Payload = self._request("POST", "/v1/edit", payload)["result"]
+        return result
 
-    def report(self, session: str) -> dict:
+    def report(self, session: str) -> Payload:
         """Drain one session and return its report payload
         (:func:`repro.server.protocol.report_to_payload` shape)."""
-        return self._request("POST", "/v1/report", {"session": session})["report"]
+        report: Payload = self._request("POST", "/v1/report", {"session": session})[
+            "report"
+        ]
+        return report
 
-    def poll_report(self, session: str, if_mark: str | None = None) -> dict:
+    def poll_report(self, session: str, if_mark: str | None = None) -> Payload:
         """:meth:`report` with the ETag short-circuit.
 
         Returns the raw response body: ``{"mark": ..., "report": {...}}``
@@ -111,7 +116,7 @@ class ServiceClient:
             if not state.get("unchanged"):
                 render(state["report"])
         """
-        payload: dict = {"session": session}
+        payload: Payload = {"session": session}
         if if_mark is not None:
             payload["if_mark"] = if_mark
         response = self._request("POST", "/v1/report", payload)
@@ -125,10 +130,10 @@ class ServiceClient:
     def check(
         self,
         session: str,
-        goal: "str | tuple | dict" = "strong",
+        goal: protocol.Goal | Payload = "strong",
         *,
         max_domain: int = 4,
-    ) -> dict:
+    ) -> Payload:
         """Complete bounded satisfiability of the session's schema.
 
         ``goal`` takes the reasoner's goal values (``"strong"`` /
@@ -138,25 +143,31 @@ class ServiceClient:
         (:func:`repro.server.protocol.verdict_to_payload` shape):
         ``status`` plus a decoded ``witness`` population on ``"sat"``.
         """
-        payload: dict = {"session": session, "max_domain": max_domain}
+        payload: Payload = {"session": session, "max_domain": max_domain}
         if goal is not None:
             payload["goal"] = (
                 protocol.goal_to_payload(goal) if isinstance(goal, tuple) else goal
             )
-        return self._request("POST", "/v1/check", payload)["check"]
+        check: Payload = self._request("POST", "/v1/check", payload)["check"]
+        return check
 
-    def close(self, session: str) -> dict:
+    def close(self, session: str) -> Payload:
         """Close a remote session, returning its final report payload."""
-        return self._request("POST", "/v1/close", {"session": session})["report"]
+        report: Payload = self._request("POST", "/v1/close", {"session": session})[
+            "report"
+        ]
+        return report
 
-    def drain(self, sessions: list[str] | None = None, *, min_pending: int = 1) -> dict:
+    def drain(
+        self, sessions: list[str] | None = None, *, min_pending: int = 1
+    ) -> Payload:
         """Trigger one service tick; returns the drain stats payload."""
-        payload: dict = {"min_pending": min_pending}
+        payload: Payload = {"min_pending": min_pending}
         if sessions is not None:
             payload["sessions"] = list(sessions)
         return self._request("POST", "/v1/drain", payload)["stats"]
 
-    def healthz(self) -> dict:
+    def healthz(self) -> Payload:
         """Liveness probe: wire version plus the service census."""
         return self._request("GET", "/healthz")
 
@@ -169,9 +180,11 @@ class ServiceClient:
             )
         return self._conn
 
-    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+    def _request(
+        self, method: str, path: str, payload: Payload | None = None
+    ) -> Payload:
         body = None
-        headers = {}
+        headers: dict[str, str] = {}
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -243,7 +256,7 @@ class ServiceClient:
     def __enter__(self) -> "ServiceClient":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close_connection()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

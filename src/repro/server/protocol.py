@@ -43,6 +43,7 @@ a whole schema in the open call instead of replaying it as edits.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
+from typing import Any
 
 from repro.exceptions import ReproError
 
@@ -54,6 +55,13 @@ from repro.tool.validator import (  # noqa: F401  (re-exports)
     render_report_payload,
     report_to_payload,
 )
+
+#: A decoded JSON object, as every wire body is.
+Payload = dict[str, Any]
+
+#: A reasoning goal: one of the well-known strings, or ``(kind, name)`` /
+#: ``("roles", (name, ...))`` targeting specific schema elements.
+Goal = str | tuple[str, str] | tuple[str, tuple[str, ...]]
 
 #: Protocol version, echoed by ``/healthz`` so clients can detect skew.
 #: Version 2 (multi-process PR) is additive over 1: report ``mark``/
@@ -118,12 +126,14 @@ class WireError(ReproError):
         self.code = code
         self.http_status = http_status or HTTP_STATUS.get(code, 500)
 
-    def to_payload(self) -> dict:
+    def to_payload(self) -> Payload:
         """The ``{"ok": false, "error": ...}`` response body."""
         return {"ok": False, "error": {"code": self.code, "message": str(self)}}
 
 
-def _require(payload: dict, key: str, kind: type, *, optional: bool = False):
+def _require(
+    payload: Payload, key: str, kind: type, *, optional: bool = False
+) -> Any:
     """Typed field access over a decoded JSON body (wire-error on misuse)."""
     if not isinstance(payload, dict):
         raise WireError(MALFORMED_REQUEST, "request body must be a JSON object")
@@ -149,11 +159,11 @@ class OpenRequest:
     whole schema (ORM text DSL) and a settings profile."""
 
     session: str
-    settings: dict | None = None
+    settings: Payload | None = None
     schema_dsl: str | None = None
 
     @classmethod
-    def from_payload(cls, payload: dict) -> "OpenRequest":
+    def from_payload(cls, payload: Payload) -> "OpenRequest":
         return cls(
             session=_require(payload, "session", str),
             settings=_require(payload, "settings", dict, optional=True),
@@ -168,11 +178,11 @@ class EditRequest:
 
     session: str
     verb: str
-    args: list = field(default_factory=list)
-    kwargs: dict = field(default_factory=dict)
+    args: list[Any] = field(default_factory=list)
+    kwargs: dict[str, Any] = field(default_factory=dict)
 
     @classmethod
-    def from_payload(cls, payload: dict) -> "EditRequest":
+    def from_payload(cls, payload: Payload) -> "EditRequest":
         return cls(
             session=_require(payload, "session", str),
             verb=_require(payload, "verb", str),
@@ -188,7 +198,7 @@ class SessionRequest:
     session: str
 
     @classmethod
-    def from_payload(cls, payload: dict) -> "SessionRequest":
+    def from_payload(cls, payload: Payload) -> "SessionRequest":
         return cls(session=_require(payload, "session", str))
 
 
@@ -206,14 +216,14 @@ class ReportRequest:
     if_mark: str | None = None
 
     @classmethod
-    def from_payload(cls, payload: dict) -> "ReportRequest":
+    def from_payload(cls, payload: Payload) -> "ReportRequest":
         return cls(
             session=_require(payload, "session", str),
             if_mark=_require(payload, "if_mark", str, optional=True),
         )
 
 
-def goal_from_payload(value) -> "str | tuple":
+def goal_from_payload(value: object) -> Goal:
     """Decode the wire form of a reasoning goal.
 
     A goal is either one of the strings ``"strong"`` / ``"concept"`` /
@@ -236,7 +246,7 @@ def goal_from_payload(value) -> "str | tuple":
     raise WireError(MALFORMED_REQUEST, "'goal' must be a string or an object")
 
 
-def goal_to_payload(goal) -> "str | dict":
+def goal_to_payload(goal: Goal) -> str | Payload:
     """The wire form of a goal (inverse of :func:`goal_from_payload`)."""
     if isinstance(goal, tuple):
         kind, name = goal
@@ -255,11 +265,11 @@ class CheckRequest:
     """
 
     session: str
-    goal: "str | tuple" = "strong"
+    goal: Goal = "strong"
     max_domain: int = 4
 
     @classmethod
-    def from_payload(cls, payload: dict) -> "CheckRequest":
+    def from_payload(cls, payload: Payload) -> "CheckRequest":
         session = _require(payload, "session", str)
         raw_goal = payload.get("goal")
         goal = goal_from_payload(raw_goal) if raw_goal is not None else "strong"
@@ -278,11 +288,11 @@ class CheckRequest:
 class DrainRequest:
     """``POST /v1/drain`` — one service tick over all (or named) sessions."""
 
-    sessions: list | None = None
+    sessions: list[str] | None = None
     min_pending: int = 1
 
     @classmethod
-    def from_payload(cls, payload: dict) -> "DrainRequest":
+    def from_payload(cls, payload: Payload) -> "DrainRequest":
         sessions = _require(payload, "sessions", list, optional=True)
         if sessions is not None and not all(isinstance(n, str) for n in sessions):
             raise WireError(MALFORMED_REQUEST, "'sessions' must be a list of names")
@@ -293,7 +303,7 @@ class DrainRequest:
 # -- payload (de)serialization ---------------------------------------------
 
 
-def settings_to_payload(settings: ValidatorSettings) -> dict:
+def settings_to_payload(settings: ValidatorSettings) -> Payload:
     """Serialize a Fig. 15 settings profile for the wire."""
     return {
         "patterns": dict(settings.patterns),
@@ -306,7 +316,7 @@ def settings_to_payload(settings: ValidatorSettings) -> dict:
 _SETTINGS_FLAGS = ("wellformedness", "formation_rules", "propagation")
 
 
-def settings_from_payload(payload: dict) -> ValidatorSettings:
+def settings_from_payload(payload: Payload) -> ValidatorSettings:
     """Build a :class:`ValidatorSettings` from its wire form.
 
     ``patterns`` may be a dict ``{pattern_id: bool}`` or a list of enabled
@@ -347,10 +357,10 @@ def settings_from_payload(payload: dict) -> ValidatorSettings:
     return settings
 
 
-def edit_result_to_payload(result) -> dict:
+def edit_result_to_payload(result: object) -> Payload:
     """Serialize whatever a Schema mutator returned (the created/removed
     element) down to what a remote editor needs: its name or label."""
-    payload: dict = {"kind": type(result).__name__}
+    payload: Payload = {"kind": type(result).__name__}
     label = getattr(result, "label", None)
     if isinstance(label, str):
         payload["label"] = label
@@ -362,12 +372,12 @@ def edit_result_to_payload(result) -> dict:
     return payload
 
 
-def stats_to_payload(stats) -> dict:
+def stats_to_payload(stats: Any) -> Payload:
     """Serialize a :class:`DrainStats` / :class:`ServiceStats` dataclass."""
     return asdict(stats)
 
 
-def witness_to_payload(witness) -> dict:
+def witness_to_payload(witness: Any) -> Payload:
     """Serialize a witness :class:`~repro.population.population.Population`.
 
     Only populated types/facts appear; instances and tuples are sorted so
@@ -378,7 +388,7 @@ def witness_to_payload(witness) -> dict:
         type_name: sorted(witness.instances_of(type_name))
         for type_name in sorted(witness.populated_types())
     }
-    facts = {}
+    facts: dict[str, list[list[str]]] = {}
     for fact in witness.schema.fact_types():
         tuples = witness.tuples_of(fact.name)
         if tuples:
@@ -386,7 +396,7 @@ def witness_to_payload(witness) -> dict:
     return {"types": types, "facts": facts}
 
 
-def verdict_to_payload(verdict) -> dict:
+def verdict_to_payload(verdict: Any) -> Payload:
     """Serialize a reasoner :class:`~repro.reasoner.modelfinder.Verdict`.
 
     ``status`` is ``"sat"`` (with a ``witness``), ``"unsat"`` (no model

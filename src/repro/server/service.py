@@ -47,6 +47,8 @@ from collections.abc import Iterable
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
+from typing import Any
+
 from repro.exceptions import SchemaError, UnknownElementError
 from repro.orm.schema import Schema
 from repro.patterns.incremental import EngineSnapshot, IncrementalEngine
@@ -131,7 +133,7 @@ class _SessionState:
         self.settings = settings
         self.lock = threading.Lock()
         self.engine: IncrementalEngine | None = None
-        self.engine_key: tuple | None = None  # settings.family_key() at build
+        self.engine_key: tuple[Any, ...] | None = None  # settings.family_key()
         self.snapshot: EngineSnapshot | None = None
         # Warm complete reasoner (SessionReasoner), built lazily on the
         # session's first `check` and kept in sync through the journal.
@@ -199,7 +201,7 @@ class SessionHandle:
         """Journal entries not yet reflected in the session's findings."""
         return self._state.pending_changes()
 
-    def edit(self, verb: str, *args, **kwargs):
+    def edit(self, verb: str, *args: Any, **kwargs: Any) -> Any:
         """Apply one edit (no validation; see the batched-drain contract)."""
         return self._service.edit(self.name, verb, *args, **kwargs)
 
@@ -315,7 +317,7 @@ class ValidationService:
             self._ensure_engine(state)
         return SessionHandle(self, state)
 
-    def edit(self, name: str, verb: str, *args, **kwargs):
+    def edit(self, name: str, verb: str, *args: Any, **kwargs: Any) -> Any:
         """Apply one edit to a session's schema — **without** validating.
 
         ``verb`` is a session-style verb from :data:`EDIT_VERBS` (or the
@@ -368,6 +370,7 @@ class ValidationService:
                 return None, mark
             pending = state.pending_changes()  # before ensure: resume replays
             engine, resumed, rebuilt = self._ensure_engine(state)
+            # repro-lint: disable=RL001 -- the mark names this exact journal position; refresh must run under the session lock so no edit slips between replay and report
             self._refresh(engine)
             report = report_from_engine(engine, state.settings)
             mark = state.mark()
@@ -425,6 +428,7 @@ class ValidationService:
 
         state = self._state(name)
         with state.lock:
+            # repro-lint: disable=RL001 -- the snapshot must be a consistent cut; the session lock is precisely what makes it one
             return write_schema(state.schema)
 
     def close(self, name: str) -> ToolReport:
@@ -436,6 +440,7 @@ class ValidationService:
             raise UnknownElementError("session", name)
         with state.lock:
             engine, resumed, rebuilt = self._ensure_engine(state, touch=False)
+            # repro-lint: disable=RL001 -- the final report must reflect every applied edit; the lock excludes concurrent edits during the last refresh
             self._refresh(engine)
             report = report_from_engine(engine, state.settings)
             state.engine = None
@@ -480,6 +485,7 @@ class ValidationService:
             with state.lock:
                 pending = state.pending_changes()  # before ensure: resume replays
                 engine, resumed, rebuilt = self._ensure_engine(state)
+                # repro-lint: disable=RL001 -- a drain tick refreshes per session under that session's lock only; cross-session parallelism comes from the executor
                 self._refresh(engine)
                 return pending, resumed, rebuilt
         if self._executor is None or len(work) == 1:
@@ -560,7 +566,7 @@ class ValidationService:
     def __enter__(self) -> "ValidationService":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.shutdown()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

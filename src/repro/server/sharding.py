@@ -23,6 +23,8 @@ anything.
 from __future__ import annotations
 
 import zlib
+from typing import Any
+
 from collections.abc import Hashable, Iterator, MutableMapping
 
 #: Default shard count — small enough that per-shard overhead is noise,
@@ -76,7 +78,7 @@ class ShardedSiteStore(MutableMapping):
         """The shard index the key lives in."""
         return stable_shard_index(key, len(self._shards))
 
-    def shards(self) -> tuple[dict, ...]:
+    def shards(self) -> tuple[dict[Any, Any], ...]:
         """The shard dicts themselves, in index order.
 
         Callers iterate these to process the store shard-by-shard —
@@ -87,10 +89,10 @@ class ShardedSiteStore(MutableMapping):
 
     # -- MutableMapping protocol ----------------------------------------
 
-    def __getitem__(self, key: Hashable):
+    def __getitem__(self, key: Hashable) -> Any:
         return self._shards[self.shard_of(key)][key]
 
-    def __setitem__(self, key: Hashable, value) -> None:
+    def __setitem__(self, key: Hashable, value: Any) -> None:
         self._shards[self.shard_of(key)][key] = value
 
     def __delitem__(self, key: Hashable) -> None:

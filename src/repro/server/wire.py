@@ -57,6 +57,7 @@ import asyncio
 import hmac
 import json
 import threading
+from typing import Any, Protocol
 
 from repro.exceptions import ReproError, UnknownElementError
 from repro.io.dsl import parse_schema
@@ -79,6 +80,7 @@ from repro.server.protocol import (
     EditRequest,
     OpenRequest,
     ReportRequest,
+    Payload,
     SessionRequest,
     WireError,
 )
@@ -108,6 +110,22 @@ AUTH_REJECT_DRAIN_BYTES = 64 * 1024
 WIRE_VERBS = ("open", "edit", "report", "check", "close", "drain")
 
 
+class Backend(Protocol):
+    """What :class:`WireServer` needs from a backend: payload-dict in,
+    response-dict out, one call per wire verb, plus the census and
+    lifecycle hooks.  :class:`LocalBackend` and
+    :class:`repro.server.workers.WorkerPool` both satisfy it structurally.
+    """
+
+    def handle(self, verb: str, payload: Payload) -> Payload: ...
+
+    def health_payload(self) -> Payload: ...
+
+    def tick(self) -> None: ...
+
+    def shutdown(self) -> None: ...
+
+
 class LocalBackend:
     """In-process execution of the wire verbs over one ValidationService.
 
@@ -131,7 +149,7 @@ class LocalBackend:
 
     # -- the backend surface WireServer drives ---------------------------
 
-    def handle(self, verb: str, payload: dict) -> dict:
+    def handle(self, verb: str, payload: Payload) -> Payload:
         """Execute one wire verb; structured failures raise WireError."""
         handler = {
             "open": self._open,
@@ -145,7 +163,7 @@ class LocalBackend:
             raise WireError(UNKNOWN_VERB, f"no such wire verb: {verb!r}")
         return handler(payload)
 
-    def health_payload(self) -> dict:
+    def health_payload(self) -> Payload:
         """The backend part of the ``/healthz`` body (the service census)."""
         return {"stats": protocol.stats_to_payload(self._service.stats())}
 
@@ -158,7 +176,7 @@ class LocalBackend:
 
     # -- verb handlers (blocking) -----------------------------------------
 
-    def _open(self, payload: dict) -> dict:
+    def _open(self, payload: Payload) -> Payload:
         request = OpenRequest.from_payload(payload)
         settings = None
         if request.settings is not None:
@@ -179,7 +197,7 @@ class LocalBackend:
             "pending": handle.pending_changes,
         }
 
-    def _edit(self, payload: dict) -> dict:
+    def _edit(self, payload: Payload) -> Payload:
         request = EditRequest.from_payload(payload)
         args = [tuple(a) if isinstance(a, list) else a for a in request.args]
         kwargs = {
@@ -195,7 +213,7 @@ class LocalBackend:
             raise WireError(SCHEMA_ERROR, str(error)) from None
         return {"ok": True, "result": protocol.edit_result_to_payload(result)}
 
-    def _report(self, payload: dict) -> dict:
+    def _report(self, payload: Payload) -> Payload:
         request = ReportRequest.from_payload(payload)
         try:
             report, mark = self._service.report_marked(
@@ -211,7 +229,7 @@ class LocalBackend:
             "mark": mark,
         }
 
-    def _check(self, payload: dict) -> dict:
+    def _check(self, payload: Payload) -> Payload:
         request = CheckRequest.from_payload(payload)
         try:
             verdict = self._service.check(
@@ -229,7 +247,7 @@ class LocalBackend:
             raise WireError(SCHEMA_ERROR, str(error)) from None
         return {"ok": True, "check": protocol.verdict_to_payload(verdict)}
 
-    def _close(self, payload: dict) -> dict:
+    def _close(self, payload: Payload) -> Payload:
         request = SessionRequest.from_payload(payload)
         try:
             report = self._service.close(request.session)
@@ -237,7 +255,7 @@ class LocalBackend:
             raise _session_or_verb_error(error) from None
         return {"ok": True, "report": protocol.report_to_payload(report)}
 
-    def _drain(self, payload: dict) -> dict:
+    def _drain(self, payload: Payload) -> Payload:
         request = DrainRequest.from_payload(payload)
         try:
             stats = self._service.drain(
@@ -291,13 +309,13 @@ class WireServer:
         self,
         service: ValidationService | None = None,
         *,
-        backend=None,
+        backend: Backend | None = None,
         workers: int = 0,
         token: str | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
         drain_interval: float | None = 0.05,
-        **service_kwargs,
+        **service_kwargs: Any,
     ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
@@ -307,6 +325,7 @@ class WireServer:
                 "combined with an explicit service/backend"
             )
         self._owns_backend = backend is None and service is None
+        self._backend: Backend
         if backend is not None:
             self._backend = backend
         elif service is not None:
@@ -322,20 +341,25 @@ class WireServer:
         self._port = port
         self._drain_interval = drain_interval
         self._server: asyncio.AbstractServer | None = None
-        self._drain_task: asyncio.Task | None = None
-        self._connections: set[asyncio.Task] = set()
+        self._drain_task: asyncio.Task[None] | None = None
+        self._connections: set[asyncio.Task[None]] = set()
         self._writers: set[asyncio.StreamWriter] = set()
         self._closing = False
 
     @property
-    def backend(self):
+    def backend(self) -> Backend:
         """The backend this front drives (LocalBackend or WorkerPool)."""
         return self._backend
 
     @property
     def service(self) -> ValidationService:
         """The in-process service (LocalBackend deployments only)."""
-        return self._backend.service
+        backend = self._backend
+        if not isinstance(backend, LocalBackend):
+            raise AttributeError(
+                "service is only available on LocalBackend deployments"
+            )
+        return backend.service
 
     @property
     def address(self) -> tuple[str, int]:
@@ -344,7 +368,7 @@ class WireServer:
             raise RuntimeError("server not started")
         sock = self._server.sockets[0]
         host, port = sock.getsockname()[:2]
-        return host, port
+        return str(host), int(port)
 
     @property
     def base_url(self) -> str:
@@ -410,8 +434,10 @@ class WireServer:
         """The background backend tick (errors are survivable: a failing
         drain is retried next period; the verbs keep working regardless)."""
         loop = asyncio.get_running_loop()
+        interval = self._drain_interval
+        assert interval is not None  # the task only runs when configured
         while True:
-            await asyncio.sleep(self._drain_interval)
+            await asyncio.sleep(interval)
             try:
                 await loop.run_in_executor(None, self._backend.tick)
             except asyncio.CancelledError:  # pragma: no cover - task teardown
@@ -424,7 +450,7 @@ class WireServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        task = asyncio.current_task()
+        task: asyncio.Task[None] | None = asyncio.current_task()
         if task is not None:
             self._connections.add(task)
             task.add_done_callback(self._connections.discard)
@@ -534,7 +560,7 @@ class WireServer:
         self,
         writer: asyncio.StreamWriter,
         status: int,
-        payload: dict,
+        payload: Payload,
         *,
         keep_alive: bool,
     ) -> None:
@@ -563,7 +589,9 @@ class WireServer:
             credential.strip().encode("utf-8"), self._token.encode("utf-8")
         )
 
-    async def _dispatch(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, Payload]:
         """Route one request; *every* failure becomes a structured error."""
         try:
             if path == "/healthz":
@@ -599,15 +627,15 @@ class WireServer:
             # The executor (or a service pool) refusing new work is the
             # shutdown race; any other RuntimeError is a genuine bug.
             if self._closing or "shutdown" in str(error):
-                error = WireError(SERVER_SHUTDOWN, f"server is shutting down: {error}")
+                wrapped = WireError(SERVER_SHUTDOWN, f"server is shutting down: {error}")
             else:
-                error = WireError(INTERNAL_ERROR, f"RuntimeError: {error}")
-            return error.http_status, error.to_payload()
+                wrapped = WireError(INTERNAL_ERROR, f"RuntimeError: {error}")
+            return wrapped.http_status, wrapped.to_payload()
         except Exception as error:  # noqa: BLE001 - the wire must stay structured
-            error = WireError(INTERNAL_ERROR, f"{type(error).__name__}: {error}")
-            return error.http_status, error.to_payload()
+            wrapped = WireError(INTERNAL_ERROR, f"{type(error).__name__}: {error}")
+            return wrapped.http_status, wrapped.to_payload()
 
-    def _healthz(self) -> dict:
+    def _healthz(self) -> Payload:
         return {
             "ok": True,
             "status": "shutting_down" if self._closing else "serving",
@@ -630,7 +658,9 @@ class ServerThread:
     server owns its backend, the backend (service or worker pool) too.
     """
 
-    def __init__(self, service: ValidationService | None = None, **server_kwargs) -> None:
+    def __init__(
+        self, service: ValidationService | None = None, **server_kwargs: Any
+    ) -> None:
         self._server = WireServer(service, **server_kwargs)
         self._thread: threading.Thread | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -692,5 +722,5 @@ class ServerThread:
     def __enter__(self) -> "ServerThread":
         return self.start()
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.stop()

@@ -57,7 +57,9 @@ import json
 import multiprocessing
 import os
 import threading
+from collections.abc import Callable
 from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Any
 
 from repro.server import protocol
 from repro.server.protocol import (
@@ -67,9 +69,17 @@ from repro.server.protocol import (
     UNKNOWN_VERB,
     WORKER_FAILED,
     WORKER_PROTOCOL_MISMATCH,
+    Payload,
     WireError,
 )
 from repro.server.sharding import session_home
+
+if TYPE_CHECKING:
+    from multiprocessing.connection import Connection
+
+    from repro.server.service import ValidationService
+    from repro.server.wire import LocalBackend
+    from repro.tool.validator import ValidatorSettings
 
 #: Version of the router<->worker envelope protocol.  Bumped when a verb
 #: changes shape; the router refuses workers greeting a different version.
@@ -111,7 +121,7 @@ SLOW_VERB_TIMEOUT_FACTOR = 4.0
 PROBE_WAIT = 1.0
 
 
-def _worker_main(conn, config: dict) -> None:
+def _worker_main(conn: Connection, config: dict[str, Any]) -> None:
     """Entry point of one worker subprocess: a ValidationService behind a
     serial JSON frame loop (the router serializes requests per worker, so
     the loop needs no concurrency of its own; the service's internal pools
@@ -166,7 +176,9 @@ def _worker_main(conn, config: dict) -> None:
     service.shutdown()
 
 
-def _worker_dispatch(backend, service, verb: str, payload: dict) -> dict:
+def _worker_dispatch(
+    backend: LocalBackend, service: ValidationService, verb: str, payload: Payload
+) -> Payload:
     """One worker verb; anything outside the negotiated set is the typed
     ``unknown_verb`` error, never a crash (protocol-growth regression net)."""
     if verb in ("open", "edit", "report", "check", "close", "drain"):
@@ -209,7 +221,7 @@ class WorkerHandle:
     def __init__(
         self,
         index: int,
-        config: dict,
+        config: dict[str, Any],
         *,
         request_timeout: float = 120.0,
         handshake_timeout: float = 60.0,
@@ -226,7 +238,7 @@ class WorkerHandle:
         self.pid: int = -1
         #: Last stats body this worker answered (the health probe's
         #: fallback when the worker is busy mid-round-trip).
-        self.last_stats: dict | None = None
+        self.last_stats: Payload | None = None
         parent_conn, child_conn = _MP.Pipe(duplex=True)
         self._conn = parent_conn
         self.process = _MP.Process(
@@ -266,7 +278,7 @@ class WorkerHandle:
             )
         self.pid = hello.get("pid", self.process.pid)
 
-    def _recv(self, *, timeout: float) -> dict:
+    def _recv(self, *, timeout: float) -> Payload:
         try:
             if not self._conn.poll(timeout):
                 raise WorkerDied(
@@ -285,8 +297,8 @@ class WorkerHandle:
             ) from error
 
     def request(
-        self, verb: str, payload: dict | None = None, *, timeout: float | None = None
-    ) -> dict:
+        self, verb: str, payload: Payload | None = None, *, timeout: float | None = None
+    ) -> Payload:
         """One round trip; raises :class:`WorkerDied` on any transport
         failure (the response, if any, is then unknowable — callers decide
         whether a retry is safe).  ``timeout`` overrides the handle default
@@ -294,16 +306,17 @@ class WorkerHandle:
         (a drain tick, a giant open) — a *slow* worker must not be
         mistaken for a hung one and killed mid-work."""
         with self._lock:
+            # repro-lint: disable=RL001 -- the pipe IS the critical section: one in-flight frame per worker is the transport invariant
             return self._exchange(verb, payload, timeout)
 
     def try_request(
         self,
         verb: str,
-        payload: dict | None = None,
+        payload: Payload | None = None,
         *,
         timeout: float | None = None,
         wait: float = 0.0,
-    ) -> dict | None:
+    ) -> Payload | None:
         """:meth:`request` with a bounded wait for the pipe: returns
         ``None`` when another thread is still mid-round-trip after
         ``wait`` seconds (the worker is *busy*, which is itself an answer
@@ -321,7 +334,9 @@ class WorkerHandle:
         finally:
             self._lock.release()
 
-    def _exchange(self, verb: str, payload: dict | None, timeout: float | None) -> dict:
+    def _exchange(
+        self, verb: str, payload: Payload | None, timeout: float | None
+    ) -> Payload:
         """One frame out, one frame back.  Caller holds ``self._lock``."""
         frame = json.dumps({"verb": verb, "payload": payload or {}}).encode("utf-8")
         try:
@@ -334,8 +349,8 @@ class WorkerHandle:
         return self._recv(timeout=timeout if timeout is not None else self._timeout)
 
     def checked(
-        self, verb: str, payload: dict | None = None, *, timeout: float | None = None
-    ) -> dict:
+        self, verb: str, payload: Payload | None = None, *, timeout: float | None = None
+    ) -> Payload:
         """:meth:`request`, re-raising a worker error body as WireError."""
         response = self.request(verb, payload, timeout=timeout)
         if not isinstance(response, dict) or "ok" not in response:
@@ -379,8 +394,8 @@ class _RoutedSession:
         self.name = name
         self.lock = threading.Lock()
         self.opened = False
-        self.open_payload: dict = {"session": name}
-        self.edits: list[dict] = []
+        self.open_payload: Payload = {"session": name}
+        self.edits: list[Payload] = []
 
 
 class WorkerPool:
@@ -417,10 +432,10 @@ class WorkerPool:
         self,
         workers: int = 2,
         *,
-        settings=None,
+        settings: ValidatorSettings | Payload | None = None,
         snapshot_after: int = 64,
         request_timeout: float = 120.0,
-        **service_kwargs,
+        **service_kwargs: Any,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -480,7 +495,7 @@ class WorkerPool:
 
     # -- the backend surface (what WireServer drives) ---------------------
 
-    def handle(self, verb: str, payload: dict) -> dict:
+    def handle(self, verb: str, payload: Payload) -> Payload:
         if verb == "open":
             return self._open(payload)
         if verb == "edit":
@@ -501,7 +516,7 @@ class WorkerPool:
             return self._drain(payload)
         raise WireError(UNKNOWN_VERB, f"no such wire verb: {verb!r}")
 
-    def health_payload(self) -> dict:
+    def health_payload(self) -> Payload:
         """Aggregate census: summed service stats plus the worker roster.
 
         Built to stay *probe-fast* whatever the workers are doing: all
@@ -548,7 +563,7 @@ class WorkerPool:
             },
         }
 
-    def _probe_stats(self, index: int) -> tuple[dict | None, str]:
+    def _probe_stats(self, index: int) -> tuple[Payload | None, str]:
         """One worker's census probe: ``(stats_or_None, state)``."""
         handle = self._handles[index]
         try:
@@ -607,7 +622,7 @@ class WorkerPool:
     def __enter__(self) -> "WorkerPool":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.shutdown()
 
     # -- queries -----------------------------------------------------------
@@ -626,13 +641,13 @@ class WorkerPool:
 
     # -- verb routing ------------------------------------------------------
 
-    def _home_of(self, payload: dict) -> int:
+    def _home_of(self, payload: Payload) -> int:
         name = payload.get("session") if isinstance(payload, dict) else None
         if not isinstance(name, str):
             raise WireError(MALFORMED_REQUEST, "missing required field 'session'")
         return session_home(name, self._count)
 
-    def _open(self, payload: dict) -> dict:
+    def _open(self, payload: Payload) -> Payload:
         index = self._home_of(payload)
         name = payload["session"]
         with self._registry_lock:
@@ -641,7 +656,7 @@ class WorkerPool:
                 entry = _RoutedSession(name)
                 self._sessions[name] = entry
 
-        def record(_body: dict) -> None:
+        def record(_body: Payload) -> None:
             entry.opened = True
             entry.open_payload = payload
             entry.edits = []
@@ -659,7 +674,7 @@ class WorkerPool:
                     del self._sessions[name]
             raise
 
-    def _edit(self, payload: dict) -> dict:
+    def _edit(self, payload: Payload) -> Payload:
         index = self._home_of(payload)
         name = payload["session"]
         with self._registry_lock:
@@ -668,14 +683,14 @@ class WorkerPool:
             # Never opened here: let the worker produce the typed 404.
             return self._forward(index, "edit", payload)
 
-        def record(_body: dict) -> None:
+        def record(_body: Payload) -> None:
             entry.edits.append(payload)
             if len(entry.edits) >= self._snapshot_after:
                 self._compact(index, entry)
 
         return self._forward(index, "edit", payload, entry=entry, record=record)
 
-    def _close(self, payload: dict) -> dict:
+    def _close(self, payload: Payload) -> Payload:
         index = self._home_of(payload)
         name = payload["session"]
         with self._registry_lock:
@@ -683,7 +698,7 @@ class WorkerPool:
         if entry is None:
             return self._forward(index, "close", payload, timeout=self._slow_timeout)
 
-        def record(_body: dict) -> None:
+        def record(_body: Payload) -> None:
             with self._registry_lock:
                 if self._sessions.get(name) is entry:
                     del self._sessions[name]
@@ -693,7 +708,7 @@ class WorkerPool:
             entry=entry, record=record, timeout=self._slow_timeout,
         )
 
-    def _drain(self, payload: dict) -> dict:
+    def _drain(self, payload: Payload) -> Payload:
         min_pending = payload.get("min_pending")
         sessions = payload.get("sessions")
         per_worker: dict[int, dict] = {}
@@ -743,12 +758,12 @@ class WorkerPool:
         self,
         index: int,
         verb: str,
-        payload: dict,
+        payload: Payload,
         *,
         entry: _RoutedSession | None = None,
-        record=None,
+        record: Callable[[Payload], None] | None = None,
         timeout: float | None = None,
-    ) -> dict:
+    ) -> Payload:
         """One routed round trip with revive-and-retry.
 
         With ``entry``/``record``, the round trip and the journal update
@@ -767,10 +782,12 @@ class WorkerPool:
             if entry is not None:
                 with entry.lock:
                     try:
+                        # repro-lint: disable=RL001 -- journal order must match worker order: the round trip completes under the session lock
                         response = handle.checked(verb, payload, timeout=timeout)
                     except WorkerDied as error:
                         dead, failure = handle, error
                         continue
+                    # repro-lint: disable=RL001 -- journal append (and any compaction round trip) must be atomic with the response it records
                     record(response)
                     return response
             else:
@@ -822,6 +839,7 @@ class WorkerPool:
                 return  # somebody else already revived this worker
             if self._closing:
                 raise WireError(WORKER_FAILED, "router is shutting down")
+            # repro-lint: disable=RL001 -- revival is single-flight by design; reaping joins an already-dead process (bounded wait)
             dead.reap()
             try:
                 fresh = self._spawn(index)
@@ -848,13 +866,16 @@ class WorkerPool:
                     if not entry.opened:
                         continue
                     try:
+                        # repro-lint: disable=RL001 -- re-homing replays the journal under the session lock so no edit interleaves mid-replay
                         fresh.checked(
                             "open", entry.open_payload, timeout=self._slow_timeout
                         )
                         for edit in entry.edits:
+                            # repro-lint: disable=RL001 -- same replay transaction as the open above
                             fresh.checked("edit", edit)
                         rehomed += 1
                     except WorkerDied as error:
+                        # repro-lint: disable=RL001 -- the replacement just died; joining it is bounded and nothing else can hold this fresh handle yet
                         fresh.reap()
                         raise WireError(
                             WORKER_FAILED,
@@ -870,6 +891,7 @@ class WorkerPool:
                         # dropped name.
                         dropped.append(entry.name)
                         try:
+                            # repro-lint: disable=RL001 -- closing the half-replayed prefix is part of the same replay transaction
                             fresh.checked("close", {"session": entry.name})
                         except (WorkerDied, WireError):
                             pass

@@ -1,0 +1,40 @@
+"""Deliberately bad: blocking calls while a threading lock is held.
+
+Every marked line must be reported as RL001 (asserted by
+tests/devtools/test_lint.py against the ``# expect:`` markers).
+"""
+
+import subprocess
+import threading
+import time
+
+LOCK = threading.Lock()
+
+
+def sleeps_under_lock() -> None:
+    with LOCK:
+        time.sleep(0.5)  # expect: RL001
+
+
+def spawns_under_lock() -> None:
+    with LOCK:
+        subprocess.run(["true"])  # expect: RL001
+
+
+def _helper() -> None:
+    time.sleep(0.1)
+
+
+def transitive_block() -> None:
+    with LOCK:
+        _helper()  # expect: RL001
+
+
+def drains_under_lock(service) -> None:
+    with LOCK:
+        service.drain()  # expect: RL001
+
+
+def pipe_io_under_lock(conn) -> None:
+    with LOCK:
+        conn.recv_bytes()  # expect: RL001

@@ -1,0 +1,36 @@
+"""Known-good counterparts for RL001: must produce zero violations."""
+
+import threading
+import time
+
+LOCK = threading.Lock()
+
+
+def sleep_outside_lock() -> None:
+    with LOCK:
+        counter = 1
+    time.sleep(0.0)
+    return counter
+
+
+def nonblocking_probe() -> bool:
+    # acquire(blocking=False) cannot deadlock; the static rule only sees
+    # with-blocks anyway, and the runtime tracer exempts it explicitly.
+    if LOCK.acquire(blocking=False):
+        LOCK.release()
+        return True
+    return False
+
+
+def closure_defined_under_lock() -> None:
+    # Defining (not calling) a blocking closure under the lock is fine:
+    # it runs later, on its own schedule.
+    with LOCK:
+        def later() -> None:
+            time.sleep(0.0)
+    later()
+
+
+def non_lock_context(path) -> str:
+    with open(path) as handle:
+        return handle.read()

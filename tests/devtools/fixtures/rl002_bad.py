@@ -1,0 +1,18 @@
+"""Deliberately bad: awaiting while a sync (threading) lock is held."""
+
+import asyncio
+import threading
+
+LOCK = threading.Lock()
+
+
+async def awaits_under_sync_lock() -> None:
+    with LOCK:
+        await asyncio.sleep(0)  # expect: RL002
+
+
+async def awaits_deep_under_sync_lock(queue) -> None:
+    with LOCK:
+        if queue:
+            item = await queue.get()  # expect: RL002
+            return item

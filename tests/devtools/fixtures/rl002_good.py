@@ -1,0 +1,18 @@
+"""Known-good counterparts for RL002: must produce zero violations."""
+
+import asyncio
+
+_LOCK = asyncio.Lock()
+
+
+async def awaits_under_async_lock() -> None:
+    # asyncio.Lock entered with `async with` is the correct idiom.
+    async with _LOCK:
+        await asyncio.sleep(0)
+
+
+async def sync_lock_without_await(registry) -> int:
+    with registry.meta_lock:
+        size = len(registry.items)
+    await asyncio.sleep(0)
+    return size

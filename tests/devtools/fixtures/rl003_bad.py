@@ -1,0 +1,20 @@
+# repro-lint: context=server
+"""Deliberately bad: verb handlers leaking untyped errors."""
+
+
+class Backend:
+    def _open(self, payload):
+        try:
+            return {"ok": True, "session": payload["session"]}
+        except Exception:
+            raise  # expect: RL003
+
+    def _edit(self, payload):
+        raise ValueError("bad edit")  # expect: RL003
+
+
+def sloppy(payload):
+    try:
+        return payload["session"]
+    except:  # expect: RL003
+        return None

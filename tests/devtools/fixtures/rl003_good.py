@@ -1,0 +1,30 @@
+# repro-lint: context=server
+"""Known-good counterparts for RL003: must produce zero violations."""
+
+
+class WireError(Exception):
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def _session_error(name: str) -> WireError:
+    return WireError("unknown_session", name)
+
+
+class Backend:
+    def _open(self, payload):
+        try:
+            return {"ok": True, "session": payload["session"]}
+        except KeyError as error:
+            raise WireError("malformed_request", str(error)) from None
+
+    def _report(self, payload):
+        try:
+            return {"ok": True}
+        except WireError:
+            raise  # re-raising an already-typed error is fine
+
+    def _close(self, payload):
+        # Raising the result of a factory annotated `-> WireError` is typed.
+        raise _session_error(payload["session"])

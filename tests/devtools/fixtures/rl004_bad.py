@@ -1,0 +1,15 @@
+"""Deliberately bad: journal-consumer contract violations."""
+
+
+class Consumer:
+    """Registers as a journal consumer but never exposes journal_mark."""
+
+    def __init__(self, schema):
+        self._schema = schema
+        schema.attach_journal_consumer(self)  # expect: RL004
+
+
+def replay(schema, mark):
+    # changes_since raises SchemaError when the window was compacted away;
+    # calling it with no fallback strands the consumer.
+    return schema.changes_since(mark)  # expect: RL004

@@ -1,0 +1,23 @@
+"""Known-good counterparts for RL004: must produce zero violations."""
+
+
+class SchemaError(Exception):
+    pass
+
+
+class Consumer:
+    def __init__(self, schema):
+        self._schema = schema
+        self._mark = 0
+        schema.attach_journal_consumer(self)
+
+    @property
+    def journal_mark(self) -> int:
+        return self._mark
+
+
+def replay_with_fallback(schema, mark):
+    try:
+        return schema.changes_since(mark)
+    except SchemaError:
+        return None  # window truncated: caller rebuilds from scratch

@@ -1,0 +1,14 @@
+"""Deliberately bad: begin_guard without end_guard on all paths."""
+
+
+def leaky_guard(builder, selector) -> None:
+    builder.begin_guard(selector)  # expect: RL005
+    builder.add_clause((selector,))
+    builder.end_guard()  # unreachable if add_clause raises: guard leaks
+
+
+def guard_in_branch(builder, selector, emit) -> None:
+    if emit:
+        builder.begin_guard(selector)  # expect: RL005
+        builder.add_clause((selector,))
+        builder.end_guard()

@@ -1,0 +1,19 @@
+"""Known-good counterparts for RL005: must produce zero violations."""
+
+
+def guard_then_try(builder, selector) -> None:
+    # The encoder's real idiom (repro.reasoner.encoding._emit_group):
+    # begin immediately before a try whose finally ends the guard.
+    builder.begin_guard(selector)
+    try:
+        builder.add_clause((selector,))
+    finally:
+        builder.end_guard()
+
+
+def guard_inside_try(builder, selector) -> None:
+    try:
+        builder.begin_guard(selector)
+        builder.add_clause((selector,))
+    finally:
+        builder.end_guard()

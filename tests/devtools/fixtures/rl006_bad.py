@@ -1,0 +1,10 @@
+# repro-lint: context=server
+"""Deliberately bad: stdout noise and traceback dumping in server code."""
+
+import traceback
+
+
+def handler(error):
+    print("boom:", error)  # expect: RL006
+    traceback.print_exc()  # expect: RL006
+    return {"ok": False}

@@ -1,0 +1,11 @@
+# repro-lint: context=server
+"""Known-good counterpart for RL006: must produce zero violations."""
+
+import logging
+
+LOG = logging.getLogger(__name__)
+
+
+def handler(error):
+    LOG.warning("handler failed: %s", error)
+    return {"ok": False, "error": {"code": "internal_error", "message": str(error)}}

@@ -1,0 +1,190 @@
+"""The linter linted: fixture corpus, suppressions, CLI, and the
+src/repro self-check.
+
+Fixture contract: every ``*_bad.py`` under ``fixtures/`` marks each line
+that must be reported with a trailing ``# expect: RLxxx`` comment, and the
+linter must report *exactly* those (code, line) pairs — nothing missing,
+nothing extra.  Every ``*_good.py`` must come back clean.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.devtools import lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+BAD_FIXTURES = sorted(FIXTURES.glob("*_bad.py"))
+GOOD_FIXTURES = sorted(FIXTURES.glob("*_good.py"))
+
+_EXPECT = re.compile(r"#\s*expect:\s*(?P<codes>[A-Z0-9, ]+?)\s*$")
+
+
+def expected_findings(path: Path) -> list[tuple[str, int]]:
+    found = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        match = _EXPECT.search(line)
+        if match:
+            for code in match.group("codes").split(","):
+                found.append((code.strip(), lineno))
+    assert found, f"{path.name} has no # expect: markers"
+    return sorted(found)
+
+
+def test_fixture_corpus_is_complete() -> None:
+    # One bad and one good fixture per registered rule (RL000 is the
+    # pragma-justification rule, exercised by the suppression tests).
+    lint._ensure_rules_loaded()
+    codes = {code for code in lint.REGISTRY}
+    bad_names = {path.stem.split("_")[0].upper() for path in BAD_FIXTURES}
+    good_names = {path.stem.split("_")[0].upper() for path in GOOD_FIXTURES}
+    assert bad_names == codes
+    assert good_names == codes
+
+
+@pytest.mark.parametrize("fixture", BAD_FIXTURES, ids=lambda p: p.stem)
+def test_bad_fixture_reports_exact_codes_and_lines(fixture: Path) -> None:
+    violations = lint.lint_paths([fixture])
+    reported = sorted((v.code, v.line) for v in violations)
+    assert reported == expected_findings(fixture)
+
+
+@pytest.mark.parametrize("fixture", GOOD_FIXTURES, ids=lambda p: p.stem)
+def test_good_fixture_is_clean(fixture: Path) -> None:
+    assert lint.lint_paths([fixture]) == []
+
+
+def test_src_repro_is_clean() -> None:
+    """The acceptance self-check: the shipped tree passes its own linter."""
+    assert lint.lint_paths([REPO_ROOT / "src" / "repro"]) == []
+
+
+# -- suppressions -----------------------------------------------------------
+
+
+_SLEEPER = (
+    "import threading\n"
+    "import time\n"
+    "LOCK = threading.Lock()\n"
+    "def f():\n"
+    "    with LOCK:\n"
+    "        time.sleep(1){pragma}\n"
+)
+
+
+def test_justified_suppression_silences_the_violation() -> None:
+    source = _SLEEPER.format(
+        pragma="  # repro-lint: disable=RL001 -- fixture: the wait is the point"
+    )
+    assert lint.lint_source(source) == []
+
+
+def test_unjustified_suppression_is_rl000_and_does_not_suppress() -> None:
+    source = _SLEEPER.format(pragma="  # repro-lint: disable=RL001")
+    codes = sorted(v.code for v in lint.lint_source(source))
+    assert codes == [lint.RL000, "RL001"]
+
+
+def test_standalone_pragma_governs_the_next_line() -> None:
+    source = (
+        "import threading\n"
+        "import time\n"
+        "LOCK = threading.Lock()\n"
+        "def f():\n"
+        "    with LOCK:\n"
+        "        # repro-lint: disable=RL001 -- fixture: next-line form\n"
+        "        time.sleep(1)\n"
+    )
+    assert lint.lint_source(source) == []
+
+
+def test_suppression_is_code_specific() -> None:
+    # A pragma naming the wrong code suppresses nothing.
+    source = _SLEEPER.format(
+        pragma="  # repro-lint: disable=RL006 -- fixture: wrong code on purpose"
+    )
+    assert [v.code for v in lint.lint_source(source)] == ["RL001"]
+
+
+def test_pragma_inside_string_literal_is_inert() -> None:
+    source = 'TEXT = "# repro-lint: disable=RL001"\n'
+    assert lint.lint_source(source) == []
+
+
+def test_context_pragma_turns_on_server_rules() -> None:
+    source = "# repro-lint: context=server\ndef f():\n    print('x')\n"
+    assert [v.code for v in lint.lint_source(source)] == ["RL006"]
+    # ...and without it, RL006 does not apply.
+    assert lint.lint_source("def f():\n    print('x')\n") == []
+
+
+def test_unknown_rule_selection_is_a_lint_error() -> None:
+    with pytest.raises(lint.LintError):
+        lint.lint_source("x = 1\n", select=["RL999"])
+
+
+def test_syntax_error_is_a_lint_error() -> None:
+    with pytest.raises(lint.LintError):
+        lint.lint_source("def f(:\n")
+
+
+# -- CLI --------------------------------------------------------------------
+
+
+def _run_cli(*args: str) -> subprocess.CompletedProcess[str]:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.devtools.lint", *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+
+
+def test_cli_exits_zero_on_clean_tree() -> None:
+    result = _run_cli("src/repro/devtools")
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "no contract violations" in result.stdout
+
+
+def test_cli_exits_one_with_codes_on_the_fixture_corpus() -> None:
+    result = _run_cli(str(FIXTURES))
+    assert result.returncode == 1
+    for code in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+        assert code in result.stdout
+
+
+def test_cli_json_output_shape() -> None:
+    result = _run_cli(str(FIXTURES / "rl001_bad.py"), "--format", "json")
+    assert result.returncode == 1
+    payload = json.loads(result.stdout)
+    assert payload["count"] == len(payload["violations"]) > 0
+    first = payload["violations"][0]
+    assert set(first) == {"code", "message", "path", "line", "col"}
+    assert "RL001" in payload["rules"]
+
+
+def test_cli_select_restricts_rules() -> None:
+    result = _run_cli(str(FIXTURES), "--select", "RL005", "--format", "json")
+    payload = json.loads(result.stdout)
+    assert {v["code"] for v in payload["violations"]} == {"RL005"}
+
+
+def test_cli_list_rules() -> None:
+    result = _run_cli("--list-rules")
+    assert result.returncode == 0
+    assert "RL001" in result.stdout and "blocking-call-under-lock" in result.stdout
+
+
+def test_cli_missing_path_is_usage_error() -> None:
+    result = _run_cli("no/such/dir")
+    assert result.returncode == 2
+    assert "error" in result.stderr

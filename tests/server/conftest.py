@@ -1,0 +1,36 @@
+"""Opt-in locktrace instrumentation for the server suites.
+
+With ``REPRO_LOCKTRACE=1`` every lock the server stack creates during these
+tests is wrapped by :mod:`repro.devtools.locktrace`: lock-order cycles and
+sleeps-under-lock raise at the offending line, and anything swallowed along
+the way still fails the session here.  Without the flag this fixture is a
+no-op, so the plain tier-1 run is untouched.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterator
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _locktrace() -> Iterator[None]:
+    if os.environ.get("REPRO_LOCKTRACE") != "1":
+        yield
+        return
+    from repro.devtools import locktrace
+
+    locktrace.install()
+    try:
+        yield
+    finally:
+        found = locktrace.violations()
+        locktrace.uninstall()
+    if found:
+        pytest.fail(
+            "locktrace recorded {} violation(s) during the server suite:\n\n"
+            "{}".format(len(found), "\n\n".join(str(v) for v in found)),
+            pytrace=False,
+        )
