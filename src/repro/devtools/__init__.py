@@ -16,11 +16,17 @@ were enforced only by convention.  This package makes them enforced:
   creates, fails on lock-order cycles (potential deadlocks) and on blocking
   syscalls made while a lock is held, and rides along with the
   ``tests/server`` suites so every concurrency test doubles as a
-  race/deadlock probe.
+  race/deadlock probe;
+* :mod:`repro.devtools.contract` — a static wire-contract analyzer
+  (``python -m repro.devtools.contract src/``) that extracts the JSON
+  protocol from source into ``docs/protocol_spec.json``, cross-checks the
+  client/front/worker layers against each other, and fails CI when the
+  contract drifts without a ``WIRE_VERSION``/``WORKER_PROTOCOL_VERSION``
+  bump.
 
 The catalogue of enforced contracts lives in ``docs/invariants.md``.
 """
 
 from __future__ import annotations
 
-__all__ = ["lint", "locktrace"]
+__all__ = ["contract", "lint", "locktrace"]

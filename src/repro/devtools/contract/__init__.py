@@ -1,0 +1,55 @@
+"""Static wire-contract extraction and drift gate.
+
+The wire contract of the validation service — verbs, per-verb request
+fields, response payload keys, typed error codes and their HTTP statuses,
+endpoint routing, the worker pipe verb table, and what the client
+sends/reads — is hand-maintained across four modules
+(``repro/server/protocol.py``, ``wire.py``, ``client.py``,
+``workers.py``).  This package keeps the four honest:
+
+* :mod:`~repro.devtools.contract.extract` parses the four modules (AST
+  only, nothing is imported or executed) into one machine-readable spec
+  dict, committed as ``docs/protocol_spec.json``;
+* :mod:`~repro.devtools.contract.checks` runs cross-layer conformance
+  checks over the extracted spec (client never sends a field no parser
+  reads, every raised error code is registered with an HTTP status, the
+  verb tables of ``WIRE_VERBS`` / ``LocalBackend`` / ``WorkerPool`` /
+  ``_worker_dispatch`` agree, ...) plus the **drift gate**: the extracted
+  spec must equal the committed baseline, and a wire-visible difference
+  without a ``WIRE_VERSION`` / ``WORKER_PROTOCOL_VERSION`` bump is a
+  field-level failure naming the unbumped constant;
+* :mod:`~repro.devtools.contract.docgen` renders ``docs/protocol.md``
+  from the spec, so the protocol reference regenerates instead of rotting.
+
+CLI: ``python -m repro.devtools.contract src/`` (exit 0 clean, 1 on any
+finding, 2 on usage errors; ``--format json``, ``--write-baseline``,
+``--write-docs``).  Gated by the ``lint-contracts`` CI job.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.contract.checks import (
+    Finding,
+    conformance_findings,
+    drift_findings,
+)
+from repro.devtools.contract.docgen import render_markdown
+from repro.devtools.contract.extract import (
+    ContractError,
+    extract_spec,
+    locate_source_dir,
+    read_sources,
+    serialize_spec,
+)
+
+__all__ = [
+    "ContractError",
+    "Finding",
+    "conformance_findings",
+    "drift_findings",
+    "extract_spec",
+    "locate_source_dir",
+    "read_sources",
+    "render_markdown",
+    "serialize_spec",
+]

@@ -1,0 +1,157 @@
+"""CLI: ``python -m repro.devtools.contract src/ [--format json] ...``.
+
+Exit codes mirror the lint CLI: 0 clean, 1 conformance/drift findings,
+2 usage or extraction error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+from typing import Any
+
+from repro.devtools.contract import (
+    ContractError,
+    Finding,
+    conformance_findings,
+    drift_findings,
+    extract_spec,
+    read_sources,
+    render_markdown,
+    serialize_spec,
+)
+
+DEFAULT_BASELINE = "docs/protocol_spec.json"
+DEFAULT_DOCS = "docs/protocol.md"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.contract",
+        description=(
+            "Extract the wire contract from the server modules, run "
+            "cross-layer conformance checks and gate drift against the "
+            "committed baseline."
+        ),
+    )
+    parser.add_argument(
+        "root",
+        nargs="?",
+        default="src/",
+        help="source root holding repro/server (default: src/)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"committed spec baseline (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline from the extracted spec (skips the drift gate)",
+    )
+    parser.add_argument(
+        "--docs",
+        default=DEFAULT_DOCS,
+        help=f"generated markdown reference (default: {DEFAULT_DOCS})",
+    )
+    parser.add_argument(
+        "--write-docs",
+        action="store_true",
+        help="regenerate the markdown reference from the extracted spec",
+    )
+    parser.add_argument(
+        "--no-drift",
+        action="store_true",
+        help="run extraction and conformance only, skip the baseline diff",
+    )
+    return parser
+
+
+def _render_human(findings: Sequence[Finding]) -> str:
+    if not findings:
+        return "contract: clean"
+    lines = [
+        f"{finding.check}: {finding.subject}\n    {finding.message}"
+        for finding in findings
+    ]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(f"{len(findings)} {noun}")
+    return "\n".join(lines)
+
+
+def _render_json(spec: dict[str, Any], findings: Sequence[Finding]) -> str:
+    return json.dumps(
+        {
+            "ok": not findings,
+            "findings": [finding.to_payload() for finding in findings],
+            "wire_version": spec.get("wire_version"),
+            "worker_protocol_version": spec.get("worker_protocol_version"),
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        spec = extract_spec(read_sources(args.root))
+    except ContractError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = list(conformance_findings(spec))
+
+    baseline_path = Path(args.baseline)
+    if args.write_baseline:
+        if not findings:
+            baseline_path.parent.mkdir(parents=True, exist_ok=True)
+            baseline_path.write_text(serialize_spec(spec), encoding="utf-8")
+            print(f"wrote {baseline_path}", file=sys.stderr)
+    elif not args.no_drift:
+        try:
+            baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+        except OSError as error:
+            print(
+                f"error: cannot read baseline {baseline_path}: {error} "
+                f"(bootstrap with --write-baseline)",
+                file=sys.stderr,
+            )
+            return 2
+        except ValueError as error:
+            print(
+                f"error: baseline {baseline_path} is not valid JSON: {error}",
+                file=sys.stderr,
+            )
+            return 2
+        findings.extend(drift_findings(spec, baseline))
+
+    if args.write_docs and not findings:
+        docs_path = Path(args.docs)
+        docs_path.parent.mkdir(parents=True, exist_ok=True)
+        docs_path.write_text(render_markdown(spec), encoding="utf-8")
+        print(f"wrote {docs_path}", file=sys.stderr)
+
+    if args.format == "json":
+        print(_render_json(spec, findings))
+    else:
+        print(_render_human(findings))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream closed early; not a contract failure.
+        sys.exit(0)

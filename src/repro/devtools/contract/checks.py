@@ -1,0 +1,251 @@
+"""Cross-layer conformance checks and the baseline drift gate.
+
+Both passes are pure functions of extracted spec dicts (see
+:mod:`repro.devtools.contract.extract`), so the tests can feed them
+synthetic drifted specs without touching the filesystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One conformance or drift failure.
+
+    ``check`` is a stable machine-readable identifier (e.g.
+    ``client-sends-unread-field`` or ``drift-unbumped-wire-version``);
+    ``subject`` names the verb/code/path concerned; ``message`` is the
+    human sentence.
+    """
+
+    check: str
+    subject: str
+    message: str
+
+    def to_payload(self) -> dict[str, str]:
+        return {"check": self.check, "subject": self.subject, "message": self.message}
+
+
+# -- conformance -------------------------------------------------------------
+
+
+def conformance_findings(spec: dict[str, Any]) -> list[Finding]:
+    """Cross-layer checks over one extracted spec."""
+    findings: list[Finding] = []
+    findings.extend(_check_client_fields(spec))
+    findings.extend(_check_error_codes(spec))
+    findings.extend(_check_verb_parity(spec))
+    return findings
+
+
+def _check_client_fields(spec: dict[str, Any]) -> list[Finding]:
+    """The client must not send fields no parser reads, nor read keys no
+    handler constructs."""
+    findings: list[Finding] = []
+    for verb, entry in sorted(spec.get("verbs", {}).items()):
+        request_fields = set(entry.get("request", {}))
+        response_keys = set(entry.get("response_keys", []))
+        for field in entry.get("client_sends", []):
+            if field not in request_fields:
+                findings.append(
+                    Finding(
+                        check="client-sends-unread-field",
+                        subject=f"{verb}.{field}",
+                        message=(
+                            f"client sends {field!r} on {verb!r} but "
+                            f"{entry.get('request_class')} reads no such field"
+                        ),
+                    )
+                )
+        for key in entry.get("client_reads", []):
+            if key not in response_keys:
+                findings.append(
+                    Finding(
+                        check="client-reads-unbuilt-key",
+                        subject=f"{verb}.{key}",
+                        message=(
+                            f"client reads response key {key!r} on {verb!r} "
+                            f"but the handler never constructs it"
+                        ),
+                    )
+                )
+    return findings
+
+
+def _check_error_codes(spec: dict[str, Any]) -> list[Finding]:
+    """Every error code any layer can raise must be registered in
+    protocol.py with an HTTP status mapping."""
+    registry = spec.get("error_codes", {})
+    findings: list[Finding] = []
+    raised: dict[str, str] = {}
+    for verb, entry in sorted(spec.get("verbs", {}).items()):
+        for name in entry.get("error_codes", []):
+            raised.setdefault(name, f"handler {verb!r}")
+    for name in spec.get("router_error_codes", []):
+        raised.setdefault(name, "the wire router")
+    for name in spec.get("worker", {}).get("error_codes", []):
+        raised.setdefault(name, "workers.py")
+    for name, where in sorted(raised.items()):
+        entry = registry.get(name)
+        if entry is None:
+            findings.append(
+                Finding(
+                    check="unregistered-error-code",
+                    subject=name,
+                    message=(
+                        f"{name} is raised by {where} but is not a code "
+                        f"constant in repro.server.protocol"
+                    ),
+                )
+            )
+        elif entry.get("status") is None:
+            findings.append(
+                Finding(
+                    check="error-code-without-status",
+                    subject=name,
+                    message=(
+                        f"{name} (raised by {where}) has no HTTP_STATUS "
+                        f"mapping in repro.server.protocol"
+                    ),
+                )
+            )
+    return findings
+
+
+def _check_verb_parity(spec: dict[str, Any]) -> list[Finding]:
+    """WIRE_VERBS, LocalBackend, the worker dispatch table and WorkerPool
+    must all speak the same verb set."""
+    findings: list[Finding] = []
+    wire_verbs = set(spec.get("wire_verbs", []))
+    worker = spec.get("worker", {})
+    tables = {
+        "LocalBackend.handle": set(spec.get("backend_verbs", [])),
+        "_worker_dispatch wire forwarding": set(worker.get("wire_forwarded", [])),
+        "WorkerPool.handle": set(worker.get("pool_verbs", [])),
+    }
+    for table, verbs in sorted(tables.items()):
+        for verb in sorted(wire_verbs - verbs):
+            findings.append(
+                Finding(
+                    check="verb-missing-from-table",
+                    subject=verb,
+                    message=f"wire verb {verb!r} is not handled by {table}",
+                )
+            )
+        for verb in sorted(verbs - wire_verbs):
+            findings.append(
+                Finding(
+                    check="verb-not-in-wire-verbs",
+                    subject=verb,
+                    message=f"{table} handles {verb!r} which is not in WIRE_VERBS",
+                )
+            )
+    dispatch = set(worker.get("dispatch_verbs", []))
+    required = set(worker.get("required_verbs", []))
+    for verb in sorted(required - dispatch):
+        findings.append(
+            Finding(
+                check="required-worker-verb-unhandled",
+                subject=verb,
+                message=(
+                    f"REQUIRED_WORKER_VERBS lists {verb!r} but the worker "
+                    f"dispatch never handles it"
+                ),
+            )
+        )
+    for verb in sorted(dispatch - required):
+        findings.append(
+            Finding(
+                check="worker-verb-not-required",
+                subject=verb,
+                message=(
+                    f"the worker dispatch handles {verb!r} which is missing "
+                    f"from REQUIRED_WORKER_VERBS"
+                ),
+            )
+        )
+    return findings
+
+
+# -- drift gate --------------------------------------------------------------
+
+#: Leaf paths that ARE the version constants (never themselves drift
+#: violations — bumping them is the escape hatch).
+_VERSION_PATHS = ("wire_version", "worker_protocol_version")
+
+
+def _flatten(value: Any, prefix: str = "") -> dict[str, Any]:
+    """Flatten a spec to dotted leaf paths → scalar/list values."""
+    if isinstance(value, dict):
+        flat: dict[str, Any] = {}
+        for key in sorted(value):
+            child_prefix = f"{prefix}.{key}" if prefix else str(key)
+            flat.update(_flatten(value[key], child_prefix))
+        return flat
+    return {prefix: value}
+
+
+def _owning_constant(path: str) -> str:
+    """Which version constant governs a drifted leaf path."""
+    if path == "worker_protocol_version" or path.startswith("worker."):
+        return "WORKER_PROTOCOL_VERSION"
+    return "WIRE_VERSION"
+
+
+def drift_findings(
+    spec: dict[str, Any], baseline: dict[str, Any]
+) -> list[Finding]:
+    """Diff the extracted spec against the committed baseline.
+
+    Any difference at all is a finding (the baseline must be refreshed
+    with ``--write-baseline`` so the diff is reviewable in the PR); a
+    difference whose governing version constant was *not* bumped gets the
+    stronger ``drift-unbumped-*`` check naming that constant.
+    """
+    current = _flatten(spec)
+    committed = _flatten(baseline)
+    wire_bumped = current.get("wire_version") != committed.get("wire_version")
+    worker_bumped = current.get("worker_protocol_version") != committed.get(
+        "worker_protocol_version"
+    )
+    bumped = {
+        "WIRE_VERSION": wire_bumped,
+        "WORKER_PROTOCOL_VERSION": worker_bumped,
+    }
+
+    findings: list[Finding] = []
+    for path in sorted(set(current) | set(committed)):
+        if path in _VERSION_PATHS:
+            continue
+        before = committed.get(path, "<absent>")
+        after = current.get(path, "<absent>")
+        if before == after:
+            continue
+        constant = _owning_constant(path)
+        if bumped[constant]:
+            findings.append(
+                Finding(
+                    check="drift-stale-baseline",
+                    subject=path,
+                    message=(
+                        f"{path}: {before!r} -> {after!r} ({constant} was "
+                        f"bumped; refresh docs/protocol_spec.json with "
+                        f"--write-baseline)"
+                    ),
+                )
+            )
+        else:
+            findings.append(
+                Finding(
+                    check="drift-unbumped-version",
+                    subject=path,
+                    message=(
+                        f"{path}: {before!r} -> {after!r} but {constant} "
+                        f"was not bumped"
+                    ),
+                )
+            )
+    return findings

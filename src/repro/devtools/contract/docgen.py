@@ -1,0 +1,126 @@
+"""Render ``docs/protocol.md`` from an extracted wire-contract spec.
+
+The reference is generated, not hand-written: ``python -m
+repro.devtools.contract --write-docs`` regenerates it and CI diffs the
+result, so the document cannot rot behind the code.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+_HEADER = """\
+# Wire protocol reference
+
+> **Generated file — do not edit.** Regenerate with
+> `PYTHONPATH=src python -m repro.devtools.contract src/ --write-docs`.
+> The machine-readable form is [protocol_spec.json](protocol_spec.json);
+> drift against it without a version bump fails the `lint-contracts` CI
+> job (see [invariants.md](invariants.md)).
+"""
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> list[str]:
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return lines
+
+
+def render_markdown(spec: dict[str, Any]) -> str:
+    lines: list[str] = [_HEADER]
+    lines.append(
+        f"Protocol versions: `WIRE_VERSION = {spec['wire_version']}`, "
+        f"`WORKER_PROTOCOL_VERSION = {spec['worker_protocol_version']}`."
+    )
+    if spec.get("max_check_domain") is not None:
+        lines.append(
+            f"Bounded checks accept `max_domain` up to "
+            f"`MAX_CHECK_DOMAIN = {spec['max_check_domain']}`."
+        )
+    lines.append("")
+
+    lines.append("## Endpoints")
+    lines.append("")
+    endpoint_rows = [
+        [f"`{path}`", entry["method"], f"`{entry['verb']}`" if entry["verb"] else "—"]
+        for path, entry in sorted(spec.get("endpoints", {}).items())
+    ]
+    lines.extend(_table(["Path", "Method", "Verb"], endpoint_rows))
+    lines.append("")
+
+    lines.append("## Verbs")
+    for verb, entry in sorted(spec.get("verbs", {}).items()):
+        lines.append("")
+        lines.append(f"### `{verb}`")
+        lines.append("")
+        request_class = entry.get("request_class")
+        if request_class:
+            lines.append(f"Parsed by `{request_class}.from_payload`.")
+            lines.append("")
+        fields = entry.get("request", {})
+        if fields:
+            field_rows = [
+                [
+                    f"`{name}`",
+                    f"`{info['type']}`",
+                    "yes" if info["required"] else "no",
+                ]
+                for name, info in sorted(fields.items())
+            ]
+            lines.extend(_table(["Request field", "Type", "Required"], field_rows))
+        else:
+            lines.append("_No request fields._")
+        lines.append("")
+        response_keys = ", ".join(
+            f"`{key}`" for key in entry.get("response_keys", [])
+        )
+        lines.append(f"Response keys: {response_keys or '—'}.")
+        error_codes = ", ".join(
+            f"`{name}`" for name in entry.get("error_codes", [])
+        )
+        lines.append(f"Error codes: {error_codes or '—'}.")
+        sends = ", ".join(f"`{field}`" for field in entry.get("client_sends", []))
+        reads = ", ".join(f"`{key}`" for key in entry.get("client_reads", []))
+        lines.append(
+            f"`ServiceClient` sends: {sends or '—'}; reads: {reads or '—'}."
+        )
+
+    lines.append("")
+    lines.append("## Error codes")
+    lines.append("")
+    code_rows = [
+        [
+            f"`{name}`",
+            f"`{entry['code']}`",
+            str(entry["status"]) if entry["status"] is not None else "—",
+        ]
+        for name, entry in sorted(spec.get("error_codes", {}).items())
+    ]
+    lines.extend(_table(["Constant", "Code", "HTTP status"], code_rows))
+    router_codes = ", ".join(
+        f"`{name}`" for name in spec.get("router_error_codes", [])
+    )
+    lines.append("")
+    lines.append(
+        f"Raised by the wire router (outside any verb handler): "
+        f"{router_codes or '—'}."
+    )
+
+    lines.append("")
+    lines.append("## Worker pipe protocol")
+    lines.append("")
+    worker = spec.get("worker", {})
+    required = ", ".join(f"`{verb}`" for verb in worker.get("required_verbs", []))
+    forwarded = ", ".join(f"`{verb}`" for verb in worker.get("wire_forwarded", []))
+    pool = ", ".join(f"`{verb}`" for verb in worker.get("pool_verbs", []))
+    worker_codes = ", ".join(f"`{name}`" for name in worker.get("error_codes", []))
+    lines.append(f"Required verbs: {required or '—'}.")
+    lines.append(f"Wire verbs forwarded to the backend: {forwarded or '—'}.")
+    lines.append(f"Verbs routed by `WorkerPool.handle`: {pool or '—'}.")
+    lines.append(f"Error codes raised in `workers.py`: {worker_codes or '—'}.")
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,646 @@
+"""AST extraction of the wire contract from the four server modules.
+
+Everything here is *syntactic*: the modules are parsed, never imported, so
+the extractor works on any checkout (and on the synthetic drifted sources
+the tests feed it).  It is deliberately keyed to this repo's idioms —
+``_require(payload, "field", kind, optional=...)`` parsers, the
+``LocalBackend.handle`` dispatch dict, ``return {...}`` response literals,
+``WireError(CODE, ...)`` raises, the ``_worker_dispatch`` verb table, and
+``self._request("POST", "/v1/<verb>", payload)`` client calls — and raises
+:class:`ContractError` when a load-bearing shape cannot be found, rather
+than silently extracting an empty contract.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from collections.abc import Mapping
+from pathlib import Path
+from typing import Any
+
+#: One decoded spec (plain JSON-serializable data).
+Spec = dict[str, Any]
+
+#: The four modules the contract lives in, by role.
+SOURCE_FILES = {
+    "protocol": "protocol.py",
+    "wire": "wire.py",
+    "client": "client.py",
+    "workers": "workers.py",
+}
+
+#: Bumped when the *spec shape itself* changes (forces a baseline refresh
+#: that is attributable to the extractor, not to the protocol).
+SPEC_FORMAT = 1
+
+
+class ContractError(Exception):
+    """Extraction failed: a module is missing or a load-bearing shape
+    (dispatch dict, version constant, verb tuple) was not found."""
+
+
+# -- source loading ----------------------------------------------------------
+
+
+def locate_source_dir(root: str | Path) -> Path:
+    """Resolve the directory holding the four server modules.
+
+    Accepts the repo's ``src/`` root, a package root, or the server
+    directory itself, so ``python -m repro.devtools.contract src/`` and
+    pointing straight at ``src/repro/server`` both work.
+    """
+    base = Path(root)
+    for candidate in (base / "repro" / "server", base / "server", base):
+        if (candidate / SOURCE_FILES["protocol"]).is_file():
+            return candidate
+    raise ContractError(
+        f"cannot find the server modules under {root!r} "
+        f"(looked for .../{SOURCE_FILES['protocol']})"
+    )
+
+
+def read_sources(root: str | Path) -> dict[str, str]:
+    """Read the four module sources, keyed by role name."""
+    directory = locate_source_dir(root)
+    sources: dict[str, str] = {}
+    for role, filename in SOURCE_FILES.items():
+        path = directory / filename
+        try:
+            sources[role] = path.read_text(encoding="utf-8")
+        except OSError as error:
+            raise ContractError(f"cannot read {path}: {error}") from error
+    return sources
+
+
+# -- small AST helpers -------------------------------------------------------
+
+
+def _terminal_name(expr: ast.expr) -> str | None:
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return None
+
+
+def _module_assigns(tree: ast.Module) -> dict[str, ast.expr]:
+    """Module-level single-target assignments, name → value expression."""
+    assigns: dict[str, ast.expr] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                assigns[target.id] = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name):
+                assigns[node.target.id] = node.value
+    return assigns
+
+
+def _const_str_elements(expr: ast.expr) -> list[str]:
+    """String constants of a tuple/list/set literal (or frozenset(...) call)."""
+    if isinstance(expr, ast.Call) and _terminal_name(expr.func) == "frozenset":
+        if expr.args:
+            return _const_str_elements(expr.args[0])
+        return []
+    if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+        return [
+            element.value
+            for element in expr.elts
+            if isinstance(element, ast.Constant) and isinstance(element.value, str)
+        ]
+    return []
+
+
+def _class_def(tree: ast.Module, name: str) -> ast.ClassDef:
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    raise ContractError(f"class {name!r} not found")
+
+
+def _method(cls: ast.ClassDef, name: str) -> ast.FunctionDef:
+    for node in cls.body:
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    raise ContractError(f"method {cls.name}.{name!r} not found")
+
+
+def _wire_error_constant_names(node: ast.AST) -> list[str]:
+    """Constant names used as the first argument of WireError(...) calls.
+
+    Dynamic first arguments (e.g. the router forwarding a worker's
+    already-typed code) carry no statically-known constant and are skipped
+    here — the RL008 lint rule polices those sites instead.
+    """
+    names: list[str] = []
+    for child in ast.walk(node):
+        if (
+            isinstance(child, ast.Call)
+            and _terminal_name(child.func) == "WireError"
+            and child.args
+        ):
+            name = _terminal_name(child.args[0])
+            if name is not None and name.isupper():
+                names.append(name)
+    return names
+
+
+def _parse(role: str, sources: Mapping[str, str]) -> ast.Module:
+    try:
+        source = sources[role]
+    except KeyError:
+        raise ContractError(f"missing source for {role!r}") from None
+    try:
+        return ast.parse(source, filename=SOURCE_FILES[role])
+    except SyntaxError as error:
+        raise ContractError(f"{SOURCE_FILES[role]}: syntax error: {error}") from error
+
+
+# -- protocol.py -------------------------------------------------------------
+
+
+def _extract_protocol(tree: ast.Module) -> Spec:
+    assigns = _module_assigns(tree)
+
+    code_constants: dict[str, str] = {}
+    for name, value in assigns.items():
+        if (
+            name.isupper()
+            and isinstance(value, ast.Constant)
+            and isinstance(value.value, str)
+        ):
+            code_constants[name] = value.value
+
+    statuses: dict[str, int] = {}
+    status_dict = assigns.get("HTTP_STATUS")
+    if not isinstance(status_dict, ast.Dict):
+        raise ContractError("protocol.py: HTTP_STATUS dict literal not found")
+    for key, value in zip(status_dict.keys, status_dict.values):
+        key_name = _terminal_name(key) if key is not None else None
+        if (
+            key_name is not None
+            and isinstance(value, ast.Constant)
+            and isinstance(value.value, int)
+        ):
+            statuses[key_name] = value.value
+
+    wire_version = assigns.get("WIRE_VERSION")
+    if not (
+        isinstance(wire_version, ast.Constant) and isinstance(wire_version.value, int)
+    ):
+        raise ContractError("protocol.py: WIRE_VERSION constant not found")
+    max_check_domain = assigns.get("MAX_CHECK_DOMAIN")
+    max_domain_value = (
+        max_check_domain.value
+        if isinstance(max_check_domain, ast.Constant)
+        and isinstance(max_check_domain.value, int)
+        else None
+    )
+
+    parsers: dict[str, dict[str, Any]] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        from_payload = next(
+            (
+                member
+                for member in node.body
+                if isinstance(member, ast.FunctionDef)
+                and member.name == "from_payload"
+            ),
+            None,
+        )
+        if from_payload is not None:
+            parsers[node.name] = _extract_parser_fields(from_payload)
+
+    return {
+        "error_codes": {
+            name: {"code": code, "status": statuses.get(name)}
+            for name, code in sorted(code_constants.items())
+        },
+        "statuses_without_constant": sorted(set(statuses) - set(code_constants)),
+        "wire_version": wire_version.value,
+        "max_check_domain": max_domain_value,
+        "parsers": parsers,
+    }
+
+
+def _extract_parser_fields(func: ast.FunctionDef) -> dict[str, Any]:
+    """Fields one ``from_payload`` reads, via ``_require`` / ``payload.get``."""
+    fields: dict[str, dict[str, Any]] = {}
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        func_name = _terminal_name(node.func)
+        if (
+            func_name == "_require"
+            and len(node.args) >= 2
+            and isinstance(node.args[0], ast.Name)
+            and node.args[0].id == "payload"
+            and isinstance(node.args[1], ast.Constant)
+            and isinstance(node.args[1].value, str)
+        ):
+            kind = (
+                _terminal_name(node.args[2]) if len(node.args) >= 3 else None
+            ) or "any"
+            optional = any(
+                keyword.arg == "optional"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+                for keyword in node.keywords
+            )
+            fields[node.args[1].value] = {"type": kind, "required": not optional}
+        elif (
+            func_name == "get"
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "payload"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            fields.setdefault(
+                node.args[0].value, {"type": "any", "required": False}
+            )
+    return {name: fields[name] for name in sorted(fields)}
+
+
+# -- wire.py -----------------------------------------------------------------
+
+
+def _extract_wire(tree: ast.Module) -> Spec:
+    assigns = _module_assigns(tree)
+    wire_verbs = _const_str_elements(assigns.get("WIRE_VERBS", ast.Tuple(elts=[])))
+    if not wire_verbs:
+        raise ContractError("wire.py: WIRE_VERBS tuple not found")
+
+    factories: dict[str, list[str]] = {}
+    for node in tree.body:
+        if (
+            isinstance(node, ast.FunctionDef)
+            and node.returns is not None
+            and _terminal_name(node.returns) == "WireError"
+        ):
+            factories[node.name] = _wire_error_constant_names(node)
+
+    backend = _class_def(tree, "LocalBackend")
+    handle = _method(backend, "handle")
+    dispatch: dict[str, str] = {}
+    for node in ast.walk(handle):
+        if isinstance(node, ast.Dict) and node.keys:
+            for key, value in zip(node.keys, node.values):
+                method_name = _terminal_name(value) if value is not None else None
+                if (
+                    key is not None
+                    and isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                    and method_name is not None
+                ):
+                    dispatch[key.value] = method_name
+            break
+    if not dispatch:
+        raise ContractError("wire.py: LocalBackend.handle dispatch dict not found")
+
+    handlers: dict[str, Spec] = {}
+    handler_spans: list[ast.FunctionDef] = []
+    for verb, method_name in dispatch.items():
+        method = _method(backend, method_name)
+        handler_spans.append(method)
+        handlers[verb] = {
+            "request_class": _request_class_of(method),
+            "response_keys": _returned_dict_keys(method),
+            "error_codes": _handler_error_names(method, factories),
+        }
+    handlers["<unknown>"] = {
+        "request_class": None,
+        "response_keys": [],
+        "error_codes": sorted(set(_wire_error_constant_names(handle))),
+    }
+    handler_spans.append(handle)
+
+    inside_handlers = {
+        id(node) for span in handler_spans for node in ast.walk(span)
+    }
+    factory_nodes = {
+        id(node)
+        for top in tree.body
+        if isinstance(top, ast.FunctionDef) and top.name in factories
+        for node in ast.walk(top)
+    }
+    router_codes: set[str] = set()
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and _terminal_name(node.func) == "WireError"
+            and node.args
+            and id(node) not in inside_handlers
+            and id(node) not in factory_nodes
+        ):
+            name = _terminal_name(node.args[0])
+            if name is not None and name.isupper():
+                router_codes.add(name)
+
+    endpoint_prefix, health_path = _extract_paths(tree)
+    endpoints: dict[str, dict[str, Any]] = {
+        health_path: {"method": "GET", "verb": None}
+    }
+    for verb in wire_verbs:
+        endpoints[f"{endpoint_prefix}{verb}"] = {"method": "POST", "verb": verb}
+
+    return {
+        "wire_verbs": sorted(wire_verbs),
+        "endpoint_prefix": endpoint_prefix,
+        "endpoints": {path: endpoints[path] for path in sorted(endpoints)},
+        "handlers": handlers,
+        "router_error_codes": sorted(router_codes),
+    }
+
+
+def _extract_paths(tree: ast.Module) -> tuple[str, str]:
+    """The ``/v1/`` endpoint prefix and the health-probe path."""
+    prefix: str | None = None
+    health: str | None = None
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            if node.value.startswith("/") and node.value.endswith("/"):
+                prefix = prefix or node.value
+            elif node.value.startswith("/healthz"):
+                health = health or node.value
+    if prefix is None or health is None:
+        raise ContractError("wire.py: endpoint prefix or health path not found")
+    return prefix, health
+
+
+def _request_class_of(method: ast.FunctionDef) -> str | None:
+    for node in ast.walk(method):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "from_payload"
+        ):
+            return _terminal_name(node.func.value)
+    return None
+
+
+def _returned_dict_keys(method: ast.FunctionDef) -> list[str]:
+    keys: set[str] = set()
+    for node in ast.walk(method):
+        if isinstance(node, ast.Return) and isinstance(node.value, ast.Dict):
+            for key in node.value.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    keys.add(key.value)
+    return sorted(keys)
+
+
+def _handler_error_names(
+    method: ast.FunctionDef, factories: Mapping[str, list[str]]
+) -> list[str]:
+    names = set(_wire_error_constant_names(method))
+    for node in ast.walk(method):
+        if isinstance(node, ast.Call):
+            callee = _terminal_name(node.func)
+            if callee in factories:
+                names.update(factories[callee])
+    return sorted(names)
+
+
+# -- client.py ---------------------------------------------------------------
+
+
+def _extract_client(tree: ast.Module, endpoint_prefix: str) -> Spec:
+    client = _class_def(tree, "ServiceClient")
+    by_verb: dict[str, dict[str, set[str]]] = {}
+    extra_endpoints: set[str] = set()
+    for method in client.body:
+        if not isinstance(method, ast.FunctionDef):
+            continue
+        for path, payload_expr in _request_calls(method):
+            if not path.startswith(endpoint_prefix):
+                extra_endpoints.add(path)
+                continue
+            verb = path[len(endpoint_prefix):]
+            entry = by_verb.setdefault(verb, {"sends": set(), "reads": set()})
+            entry["sends"].update(_sent_fields(method, payload_expr))
+            entry["reads"].update(_read_keys(method))
+    return {
+        "verbs": {
+            verb: {
+                "sends": sorted(entry["sends"]),
+                "reads": sorted(entry["reads"]),
+            }
+            for verb, entry in sorted(by_verb.items())
+        },
+        "other_endpoints": sorted(extra_endpoints),
+    }
+
+
+def _request_calls(method: ast.FunctionDef) -> list[tuple[str, ast.expr | None]]:
+    """Every ``self._request(METHOD, path, payload?)`` in a client method."""
+    calls: list[tuple[str, ast.expr | None]] = []
+    for node in ast.walk(method):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "_request"
+            and len(node.args) >= 2
+            and isinstance(node.args[1], ast.Constant)
+            and isinstance(node.args[1].value, str)
+        ):
+            payload = node.args[2] if len(node.args) >= 3 else None
+            calls.append((node.args[1].value, payload))
+    return calls
+
+
+def _sent_fields(method: ast.FunctionDef, payload_expr: ast.expr | None) -> set[str]:
+    """Keys the method can put into the request body it sends."""
+    fields: set[str] = set()
+    if isinstance(payload_expr, ast.Dict):
+        for key in payload_expr.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                fields.add(key.value)
+        return fields
+    if not isinstance(payload_expr, ast.Name):
+        return fields
+    payload_name = payload_expr.id
+    for node in ast.walk(method):
+        value: ast.expr | None = None
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            value, targets = node.value, list(node.targets)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            value, targets = node.value, [node.target]
+        for target in targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id == payload_name
+                and isinstance(value, ast.Dict)
+            ):
+                for key in value.keys:
+                    if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                        fields.add(key.value)
+            elif (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == payload_name
+                and isinstance(target.slice, ast.Constant)
+                and isinstance(target.slice.value, str)
+            ):
+                fields.add(target.slice.value)
+    return fields
+
+
+def _read_keys(method: ast.FunctionDef) -> set[str]:
+    """Response keys the method subscripts directly off ``self._request(...)``."""
+    keys: set[str] = set()
+    for node in ast.walk(method):
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Attribute)
+            and node.value.func.attr == "_request"
+            and isinstance(node.slice, ast.Constant)
+            and isinstance(node.slice.value, str)
+        ):
+            keys.add(node.slice.value)
+    return keys
+
+
+# -- workers.py --------------------------------------------------------------
+
+
+def _extract_workers(tree: ast.Module) -> Spec:
+    assigns = _module_assigns(tree)
+    version = assigns.get("WORKER_PROTOCOL_VERSION")
+    if not (isinstance(version, ast.Constant) and isinstance(version.value, int)):
+        raise ContractError("workers.py: WORKER_PROTOCOL_VERSION constant not found")
+    required = _const_str_elements(
+        assigns.get("REQUIRED_WORKER_VERBS", ast.Tuple(elts=[]))
+    )
+    if not required:
+        raise ContractError("workers.py: REQUIRED_WORKER_VERBS set not found")
+
+    dispatch_fn = next(
+        (
+            node
+            for node in tree.body
+            if isinstance(node, ast.FunctionDef) and node.name == "_worker_dispatch"
+        ),
+        None,
+    )
+    if dispatch_fn is None:
+        raise ContractError("workers.py: _worker_dispatch not found")
+    forwarded, handled = _verb_comparisons(dispatch_fn)
+    main_fn = next(
+        (
+            node
+            for node in tree.body
+            if isinstance(node, ast.FunctionDef) and node.name == "_worker_main"
+        ),
+        None,
+    )
+    if main_fn is not None:
+        _, main_handled = _verb_comparisons(main_fn)
+        handled.update(main_handled)
+
+    pool = _class_def(tree, "WorkerPool")
+    pool_forwarded, pool_handled = _verb_comparisons(_method(pool, "handle"))
+    pool_verbs = pool_forwarded | pool_handled
+
+    error_codes = sorted(set(_wire_error_constant_names(tree)))
+    return {
+        "protocol_version": version.value,
+        "required_verbs": sorted(required),
+        "dispatch_verbs": sorted(forwarded | handled),
+        "wire_forwarded": sorted(forwarded),
+        "pool_verbs": sorted(pool_verbs),
+        "error_codes": error_codes,
+    }
+
+
+def _verb_comparisons(func: ast.FunctionDef) -> tuple[set[str], set[str]]:
+    """``verb in ("a", ...)`` memberships and ``verb == "a"`` equalities."""
+    membership: set[str] = set()
+    equality: set[str] = set()
+    for node in ast.walk(func):
+        if not (
+            isinstance(node, ast.Compare)
+            and isinstance(node.left, ast.Name)
+            and node.left.id == "verb"
+            and len(node.ops) == 1
+            and len(node.comparators) == 1
+        ):
+            continue
+        comparator = node.comparators[0]
+        if isinstance(node.ops[0], ast.In):
+            membership.update(_const_str_elements(comparator))
+        elif isinstance(node.ops[0], ast.Eq) and isinstance(comparator, ast.Constant):
+            if isinstance(comparator.value, str):
+                equality.add(comparator.value)
+    return membership, equality
+
+
+# -- assembly ----------------------------------------------------------------
+
+
+def extract_spec(sources: Mapping[str, str]) -> Spec:
+    """Extract the full wire contract from the four module sources.
+
+    ``sources`` maps the role names of :data:`SOURCE_FILES` to source
+    text; :func:`read_sources` builds it from a checkout, and the tests
+    pass synthetic (drifted) sources directly.
+    """
+    protocol = _extract_protocol(_parse("protocol", sources))
+    wire = _extract_wire(_parse("wire", sources))
+    client = _extract_client(
+        _parse("client", sources), wire["endpoint_prefix"]
+    )
+    workers = _extract_workers(_parse("workers", sources))
+
+    verbs: dict[str, Spec] = {}
+    for verb in wire["wire_verbs"]:
+        handler = wire["handlers"].get(verb, {})
+        request_class = handler.get("request_class")
+        parser = protocol["parsers"].get(request_class or "", {})
+        client_entry = client["verbs"].get(verb, {"sends": [], "reads": []})
+        verbs[verb] = {
+            "request_class": request_class,
+            "request": parser,
+            "response_keys": handler.get("response_keys", []),
+            "error_codes": handler.get("error_codes", []),
+            "client_sends": client_entry["sends"],
+            "client_reads": client_entry["reads"],
+        }
+
+    return {
+        "spec_format": SPEC_FORMAT,
+        "wire_version": protocol["wire_version"],
+        "worker_protocol_version": workers["protocol_version"],
+        "max_check_domain": protocol["max_check_domain"],
+        "error_codes": protocol["error_codes"],
+        "statuses_without_constant": protocol["statuses_without_constant"],
+        "endpoints": wire["endpoints"],
+        "wire_verbs": wire["wire_verbs"],
+        "backend_verbs": sorted(
+            verb for verb in wire["handlers"] if verb != "<unknown>"
+        ),
+        "verbs": verbs,
+        "router_error_codes": sorted(
+            set(wire["router_error_codes"])
+            | set(wire["handlers"]["<unknown>"]["error_codes"])
+        ),
+        "client_other_endpoints": client["other_endpoints"],
+        "worker": {
+            "required_verbs": workers["required_verbs"],
+            "dispatch_verbs": workers["dispatch_verbs"],
+            "wire_forwarded": workers["wire_forwarded"],
+            "pool_verbs": workers["pool_verbs"],
+            "error_codes": workers["error_codes"],
+        },
+    }
+
+
+def serialize_spec(spec: Spec) -> str:
+    """Deterministic JSON for the committed baseline (sorted, newline-ended)."""
+    return json.dumps(spec, indent=2, sort_keys=True) + "\n"

@@ -18,9 +18,10 @@ suppress anything and is itself reported as :data:`RL000` — an unexplained
 opt-out is a contract violation in its own right.
 
 **Module context.**  Some rules only apply to the server surface
-(``src/repro/server/``).  Context is derived from the file path, and can be
-forced for test fixtures with ``# repro-lint: context=server`` anywhere in
-the file.
+(``src/repro/server/``) or to the SAT encoder surface (``src/repro/sat/``
+and ``reasoner/encoding.py``).  Context is derived from the file path, and
+can be forced for test fixtures with ``# repro-lint: context=server`` (or
+``context=encoder``) anywhere in the file.
 """
 
 from __future__ import annotations
@@ -105,13 +106,17 @@ class Module:
     path: str
     source: str
     tree: ast.Module
-    context: str = "default"  # "server" for the wire/worker surface
+    context: str = "default"  # "server" (wire/workers) or "encoder" (SAT)
     suppressions: dict[int, Suppression] = field(default_factory=dict)
     pragma_errors: list[Violation] = field(default_factory=list)
 
     @property
     def is_server(self) -> bool:
         return self.context == "server"
+
+    @property
+    def is_encoder(self) -> bool:
+        return self.context == "encoder"
 
 
 class Rule:
@@ -161,6 +166,13 @@ def _server_path(path: str) -> bool:
     return "repro/server/" in normalized
 
 
+def _encoder_path(path: str) -> bool:
+    normalized = path.replace("\\", "/")
+    return "repro/sat/" in normalized or normalized.endswith(
+        "repro/reasoner/encoding.py"
+    )
+
+
 def parse_module(source: str, path: str) -> Module:
     """Parse one file into a :class:`Module`: AST plus pragma comments."""
     try:
@@ -170,6 +182,8 @@ def parse_module(source: str, path: str) -> Module:
     module = Module(path=path, source=source, tree=tree)
     if _server_path(path):
         module.context = "server"
+    elif _encoder_path(path):
+        module.context = "encoder"
     _scan_pragmas(module)
     return module
 
@@ -194,7 +208,7 @@ def _scan_pragmas(module: Module) -> None:
         kind = match.group("kind")
         value = match.group("value").strip()
         if kind == "context":
-            if value in ("server", "default"):
+            if value in ("server", "encoder", "default"):
                 module.context = value
             continue
         codes = tuple(

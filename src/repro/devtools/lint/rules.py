@@ -687,3 +687,217 @@ class NoPrintInServer(Rule):
                     f"`traceback.{func.attr}()` in the server surface; the "
                     "wire contract is typed errors, never tracebacks",
                 )
+
+
+# ---------------------------------------------------------------------------
+# RL007 — guard selectors occur only negatively, and last, in emitted clauses
+
+
+#: CnfBuilder methods that emit clauses into the solver.
+_CLAUSE_EMITTERS = frozenset(
+    {
+        "add_clause",
+        "add_implication",
+        "add_equivalence",
+        "at_most_one",
+        "at_most_k",
+        "at_least_k",
+        "exactly_one",
+    }
+)
+
+_SELECTORISH = re.compile(r"(^|_)(sel|selector|guard)s?$", re.IGNORECASE)
+
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+
+def _is_selectorish(expr: ast.expr) -> bool:
+    name = _terminal_name(expr)
+    return bool(name and _SELECTORISH.search(name))
+
+
+@register
+class SelectorPolarity(Rule):
+    code = "RL007"
+    name = "selector-polarity"
+    description = (
+        "In the SAT encoder surface, guard selectors may only enter emitted "
+        "clauses negatively and in last position: CDCL clause learning "
+        "infers group membership from negative selector occurrences, and "
+        "the builder keeps watched literals off the guard by appending it "
+        "last — a positive or early selector silently breaks group "
+        "retirement soundness."
+    )
+
+    def check(self, module: Module) -> Iterable[Violation]:
+        if not module.is_encoder:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_emitter_call(module, node)
+            elif isinstance(node, (ast.Tuple, ast.List)):
+                yield from self._check_literal(module, node)
+
+    def _check_emitter_call(
+        self, module: Module, call: ast.Call
+    ) -> Iterator[Violation]:
+        if _terminal_name(call.func) not in _CLAUSE_EMITTERS:
+            return
+        for arg in call.args:
+            yield from self._positive_selectors(module, arg)
+
+    def _positive_selectors(
+        self, module: Module, expr: ast.expr
+    ) -> Iterator[Violation]:
+        """Selector-ish names in a clause argument not under a unary minus.
+
+        Comprehensions are skipped: they rebuild literal lists (filters
+        compare against ``-guard`` etc.) rather than emit raw selectors.
+        """
+        stack: list[ast.expr] = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _COMPREHENSIONS):
+                continue
+            if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+                if _is_selectorish(node.operand):
+                    continue  # negated selector: the legal polarity
+            if isinstance(node, (ast.Name, ast.Attribute)) and _is_selectorish(
+                node
+            ):
+                yield self.violation(
+                    module,
+                    node,
+                    f"guard selector `{_dotted(node)}` passed to a clause "
+                    "emitter without negation; selectors must occur only "
+                    "negatively in emitted clauses (learned clauses encode "
+                    "group membership through the negative occurrence)",
+                )
+                continue
+            stack.extend(
+                child
+                for child in ast.iter_child_nodes(node)
+                if isinstance(child, ast.expr)
+            )
+
+    def _check_literal(
+        self, module: Module, literal: ast.Tuple | ast.List
+    ) -> Iterator[Violation]:
+        """A negated selector among a clause literal's *immediate* elements
+        must sit in last position (watched-literal contract)."""
+        last = len(literal.elts) - 1
+        for index, element in enumerate(literal.elts):
+            if (
+                index != last
+                and isinstance(element, ast.UnaryOp)
+                and isinstance(element.op, ast.USub)
+                and _is_selectorish(element.operand)
+            ):
+                yield self.violation(
+                    module,
+                    element,
+                    f"negated guard selector `-{_dotted(element.operand)}` is "
+                    f"not the last element of the clause literal; the "
+                    "builder appends guards last so both solver watches stay "
+                    "on real literals",
+                )
+
+
+# ---------------------------------------------------------------------------
+# RL008 — WireError codes come from repro.server.protocol, never inline
+
+
+def _protocol_constant_names(tree: ast.Module) -> frozenset[str]:
+    """Uppercase module-level string constants registered in a module-level
+    ``HTTP_STATUS`` dict literal — i.e. this module *is* the protocol
+    registry (protocol.py defining its own codes)."""
+    constants: set[str] = set()
+    status_keys: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            if (
+                target.id.isupper()
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, str)
+            ):
+                constants.add(target.id)
+            elif target.id == "HTTP_STATUS" and isinstance(node.value, ast.Dict):
+                for key in node.value.keys:
+                    name = _terminal_name(key) if key is not None else None
+                    if name is not None:
+                        status_keys.add(name)
+    return frozenset(constants & status_keys)
+
+
+@register
+class WireErrorCodeProvenance(Rule):
+    code = "RL008"
+    name = "wire-error-code-provenance"
+    description = (
+        "Every WireError code must be a constant named in "
+        "repro.server.protocol (imported, `protocol.X`, or — inside "
+        "protocol.py itself — registered in HTTP_STATUS): an inline string "
+        "literal bypasses the status mapping and the contract extractor. "
+        "Dynamic forwarding of an already-typed code needs a justified "
+        "suppression."
+    )
+
+    def check(self, module: Module) -> Iterable[Violation]:
+        if not module.is_server:
+            return
+        imported = _import_origins(module.tree)
+        own_constants = _protocol_constant_names(module.tree)
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and _terminal_name(node.func) == "WireError"
+                and node.args
+            ):
+                yield from self._check_code_arg(
+                    module, node.args[0], imported, own_constants
+                )
+
+    def _check_code_arg(
+        self,
+        module: Module,
+        arg: ast.expr,
+        imported: dict[str, str],
+        own_constants: frozenset[str],
+    ) -> Iterator[Violation]:
+        if isinstance(arg, ast.Constant):
+            yield self.violation(
+                module,
+                arg,
+                f"inline WireError code {arg.value!r}; use the constant "
+                "from repro.server.protocol so the code stays registered "
+                "with an HTTP status",
+            )
+            return
+        if isinstance(arg, ast.Name):
+            origin = imported.get(arg.id, "")
+            if origin.endswith("protocol") or arg.id in own_constants:
+                return
+            yield self.violation(
+                module,
+                arg,
+                f"WireError code `{arg.id}` is not a constant from "
+                "repro.server.protocol; import the registered constant "
+                "(or justify dynamic forwarding with a suppression)",
+            )
+            return
+        if (
+            isinstance(arg, ast.Attribute)
+            and arg.attr.isupper()
+            and _terminal_name(arg.value) == "protocol"
+        ):
+            return
+        yield self.violation(
+            module,
+            arg,
+            f"WireError code `{_dotted(arg)}` is computed dynamically; "
+            "codes must be constants from repro.server.protocol (justify "
+            "forwarding of an already-typed code with a suppression)",
+        )

@@ -14,6 +14,8 @@ hundred thousand candidate combinations).
 from __future__ import annotations
 
 import itertools
+from collections.abc import Iterator
+from typing import TypeVar
 
 from repro.exceptions import BudgetExceededError
 from repro.orm.schema import Schema
@@ -54,7 +56,10 @@ def _candidate_instances(schema: Schema, num_abstract: int) -> dict[str, list[st
     return candidates
 
 
-def _powerset(items: list) -> list[tuple]:
+_T = TypeVar("_T")
+
+
+def _powerset(items: list[_T]) -> list[tuple[_T, ...]]:
     return [
         subset
         for size in range(len(items) + 1)
@@ -67,7 +72,7 @@ def enumerate_models(
     num_abstract: int,
     strict_subtypes: bool = True,
     default_type_exclusion: bool = True,
-):
+) -> Iterator[Population]:
     """Yield every model of ``schema`` over the bounded candidate domain.
 
     Raises :class:`BudgetExceededError` when the combination count explodes;
@@ -129,7 +134,7 @@ def find_model(
     num_abstract: int,
     require_all_roles: bool = False,
     require_all_types: bool = False,
-    **kwargs,
+    **kwargs: bool,
 ) -> Population | None:
     """First model satisfying the requested goal, or ``None``."""
     for population in enumerate_models(schema, num_abstract, **kwargs):

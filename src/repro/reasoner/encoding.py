@@ -38,6 +38,7 @@ import itertools
 from dataclasses import dataclass
 
 from repro.orm.constraints import (
+    Constraint,
     EqualityConstraint,
     ExclusionConstraint,
     ExclusiveTypesConstraint,
@@ -49,6 +50,7 @@ from repro.orm.constraints import (
     SubsetConstraint,
     UniquenessConstraint,
 )
+from repro.orm.elements import FactType, SubtypeLink
 from repro.orm.schema import Schema
 from repro.population.population import Population
 from repro.sat.cnf import CnfBuilder
@@ -243,7 +245,7 @@ class SchemaEncoder:
             individuals=list(self._individuals),
         )
 
-    def _emit_fact_typing(self, fact) -> None:
+    def _emit_fact_typing(self, fact: FactType) -> None:
         for first, second, var in self._fact_vars(fact.name):
             first_member = self._mvar(fact.roles[0].player, first)
             second_member = self._mvar(fact.roles[1].player, second)
@@ -251,7 +253,7 @@ class SchemaEncoder:
             self._builder.add_implication(var, first_member)
             self._builder.add_implication(var, second_member)
 
-    def _emit_subtype(self, link) -> None:
+    def _emit_subtype(self, link: SubtypeLink) -> None:
         for individual in self._individuals:
             sub_var = self._mvar(link.sub, individual)
             if sub_var is None:
@@ -265,7 +267,7 @@ class SchemaEncoder:
         if self._strict:
             self._encode_strictness(link.sub, link.super)
 
-    def _emit_constraint(self, constraint) -> None:
+    def _emit_constraint(self, constraint: Constraint) -> None:
         """Emit the clauses of one constraint (any family)."""
         if isinstance(constraint, ExclusiveTypesConstraint):
             self._emit_exclusive_types(constraint)
@@ -413,7 +415,9 @@ class SchemaEncoder:
 
     # -- ring constraints -------------------------------------------------
 
-    def _ring_var(self, constraint: RingConstraint, first: Individual, second: Individual):
+    def _ring_var(
+        self, constraint: RingConstraint, first: Individual, second: Individual
+    ) -> int | None:
         """R(first, second) oriented along (first_role, second_role)."""
         role = self._schema.role(constraint.first_role)
         if role.position == 0:
@@ -553,7 +557,7 @@ class SchemaEncoder:
 #: constraints (``("constraint", label)``); goal keys (``("popfact", name)``
 #: / ``("poptype", name)``) carry the populate-this-element disjunctions
 #: that :meth:`IncrementalSchemaEncoder.assumptions` switches per goal.
-GroupKey = tuple
+GroupKey = tuple[str, ...]
 
 
 class IncrementalSchemaEncoder(SchemaEncoder):

@@ -18,6 +18,7 @@ populatable at any tested bound).
 from __future__ import annotations
 
 import time
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro.orm.schema import Schema
@@ -82,7 +83,9 @@ class Verdict:
         )
 
 
-def sweep_sizes(check_at, goal: Goal, max_domain: int) -> Verdict:
+def sweep_sizes(
+    check_at: Callable[[Goal, int], Verdict], goal: Goal, max_domain: int
+) -> Verdict:
     """Run ``check_at(goal, size)`` for sizes 0..max_domain (shared by the
     cold :class:`BoundedModelFinder` and the warm ``SessionReasoner``).
 

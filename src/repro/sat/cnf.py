@@ -161,17 +161,17 @@ class CnfBuilder:
         pool = list(literals)
         if k <= 0:
             return
-        guard = () if condition is None else (-condition,)
+        prefix = () if condition is None else (-condition,)
         if k > len(pool):
-            # The demand cannot be met: force the guard false, or make the
-            # whole formula unsatisfiable (empty clause) when unguarded.
-            self.add_clause(guard)
+            # The demand cannot be met: force the condition false, or make
+            # the whole formula unsatisfiable (empty clause) when unguarded.
+            self.add_clause(prefix)
             return
         # at-least-k(X) == for every (n-k+1)-subset S: OR(S)
         width = len(pool) - k + 1
         self._guard_cardinality(len(pool), width)
         for subset in itertools.combinations(pool, width):
-            self.add_clause(guard + subset)
+            self.add_clause(prefix + subset)
 
     def exactly_one(self, literals: Iterable[Literal]) -> None:
         """Exactly one of the literals is true."""

@@ -238,6 +238,7 @@ class ServiceClient:
             error_info = (parsed or {}).get("error") if isinstance(parsed, dict) else None
             if isinstance(error_info, dict) and "code" in error_info:
                 raise WireError(
+                    # repro-lint: disable=RL008 -- surfacing the server's already-typed code verbatim
                     error_info["code"],
                     str(error_info.get("message", "")),
                     http_status=response.status,

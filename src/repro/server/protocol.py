@@ -68,6 +68,12 @@ Goal = str | tuple[str, str] | tuple[str, tuple[str, ...]]
 #: ``if_mark``, token auth, and the aggregated ``workers`` health section.
 #: Version 3 is additive over 2: the ``/v1/check`` verb (complete bounded
 #: satisfiability with a decoded witness population).
+#:
+#: Bump this for any wire-visible change (request fields, response keys,
+#: error codes, routing): the contract gate
+#: (``python -m repro.devtools.contract src/``, in CI) diffs the extracted
+#: protocol against ``docs/protocol_spec.json`` and fails on drift that is
+#: not accompanied by a bump + baseline refresh.
 WIRE_VERSION = 3
 
 #: Upper bound accepted for ``/v1/check``'s ``max_domain``: the encoding is

@@ -106,7 +106,10 @@ MAX_BODY_BYTES = 4 * 1024 * 1024
 #: data); beyond it the connection is simply closed.
 AUTH_REJECT_DRAIN_BYTES = 64 * 1024
 
-#: The wire verbs, in the order the endpoints document them.
+#: The wire verbs, in the order the endpoints document them.  Adding one
+#: means touching every table the contract gate holds in parity: the
+#: LocalBackend dispatch below, the worker pipe tables in ``workers.py``,
+#: and the ``WIRE_VERSION`` baseline (see ``repro.devtools.contract``).
 WIRE_VERBS = ("open", "edit", "report", "check", "close", "drain")
 
 

@@ -83,7 +83,9 @@ if TYPE_CHECKING:
 
 #: Version of the router<->worker envelope protocol.  Bumped when a verb
 #: changes shape; the router refuses workers greeting a different version.
-#: v2 added the ``check`` verb (warm bounded satisfiability).
+#: v2 added the ``check`` verb (warm bounded satisfiability).  The contract
+#: gate (``repro.devtools.contract``) blames this constant for any drift in
+#: the worker verb tables against ``docs/protocol_spec.json``.
 WORKER_PROTOCOL_VERSION = 2
 
 #: Verbs every worker must speak for the router to accept it.
@@ -360,6 +362,7 @@ class WorkerHandle:
         if not response["ok"]:
             error = response.get("error") or {}
             raise WireError(
+                # repro-lint: disable=RL008 -- forwarding the worker's already-typed code verbatim
                 error.get("code", INTERNAL_ERROR),
                 error.get("message", "worker error"),
             )

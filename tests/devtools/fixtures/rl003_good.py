@@ -1,6 +1,8 @@
 # repro-lint: context=server
 """Known-good counterparts for RL003: must produce zero violations."""
 
+from repro.server.protocol import MALFORMED_REQUEST, UNKNOWN_SESSION
+
 
 class WireError(Exception):
     def __init__(self, code: str, message: str) -> None:
@@ -9,7 +11,7 @@ class WireError(Exception):
 
 
 def _session_error(name: str) -> WireError:
-    return WireError("unknown_session", name)
+    return WireError(UNKNOWN_SESSION, name)
 
 
 class Backend:
@@ -17,7 +19,7 @@ class Backend:
         try:
             return {"ok": True, "session": payload["session"]}
         except KeyError as error:
-            raise WireError("malformed_request", str(error)) from None
+            raise WireError(MALFORMED_REQUEST, str(error)) from None
 
     def _report(self, payload):
         try:

@@ -1,0 +1,12 @@
+# repro-lint: context=encoder
+"""RL007 violations: selectors emitted positively or not appended last."""
+
+
+def emit_group(builder, selector, lits):
+    builder.add_clause((selector, *lits))  # expect: RL007
+    clause = (-selector, *lits)  # expect: RL007
+    builder.add_clause(clause)
+
+
+def emit_guarded(builder, guard, a, b):
+    builder.add_implication([a, guard, b])  # expect: RL007

@@ -1,0 +1,24 @@
+# repro-lint: context=encoder
+"""Known-good counterparts for RL007: must produce zero violations."""
+
+
+def emit_group(builder, selector, lits):
+    # The legal shape: the negated selector enters the clause last.
+    builder.add_clause((*lits, -selector))
+    clause = (*lits, -selector)
+    builder.add_clause(clause)
+
+
+def rebuild_clause(builder, guard, lits):
+    # Comprehension filters that *compare* against the negated guard are
+    # literal-list bookkeeping, not a polarity violation.
+    builder.add_clause((*(lit for lit in lits if lit != -guard), -guard))
+
+
+def assumptions(active, retired, wanted):
+    # Assumption lists are solver *inputs*, not emitted clauses: positive
+    # selectors activate a group, negated ones retire it.
+    literals = [-selector for selector in retired]
+    for key, selector in active:
+        literals.append(selector if key in wanted else -selector)
+    return literals

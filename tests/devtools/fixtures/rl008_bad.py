@@ -1,0 +1,15 @@
+# repro-lint: context=server
+"""RL008 violations: WireError codes that bypass the protocol registry."""
+
+from repro.server.protocol import WireError
+
+LOCAL_CODE = "local_code"
+
+
+def handle(self, verb, payload):
+    if verb == "open":
+        raise WireError("unknown_session", payload["session"])  # expect: RL008
+    if verb == "edit":
+        raise WireError(LOCAL_CODE, "not a protocol constant")  # expect: RL008
+    code = payload.get("code")
+    raise WireError(code, "dynamically forwarded without justification")  # expect: RL008

@@ -1,0 +1,18 @@
+# repro-lint: context=server
+"""Known-good counterparts for RL008: must produce zero violations."""
+
+from repro.server import protocol
+from repro.server.protocol import MALFORMED_REQUEST, WireError
+
+
+def handle(self, verb, payload):
+    if verb == "open":
+        raise WireError(MALFORMED_REQUEST, "missing session")
+    if verb == "edit":
+        raise protocol.WireError(protocol.UNKNOWN_SESSION, payload["session"])
+    error = payload.get("error") or {}
+    raise WireError(
+        # repro-lint: disable=RL008 -- forwarding the peer's already-typed code
+        error.get("code", MALFORMED_REQUEST),
+        error.get("message", "peer error"),
+    )

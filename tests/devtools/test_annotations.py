@@ -18,7 +18,7 @@ import typing
 
 import pytest
 
-STRICT_PACKAGES = ("repro.server", "repro.devtools")
+STRICT_PACKAGES = ("repro.server", "repro.devtools", "repro.reasoner")
 
 
 def _localns() -> dict[str, object]:
@@ -113,5 +113,11 @@ def test_strict_module_list_covers_the_server() -> None:
         "repro.devtools.locktrace",
         "repro.devtools.lint",
         "repro.devtools.lint.rules",
+        "repro.devtools.contract.extract",
+        "repro.devtools.contract.checks",
+        "repro.reasoner.encoding",
+        "repro.reasoner.incremental",
+        "repro.reasoner.modelfinder",
+        "repro.reasoner.bruteforce",
     ):
         assert expected in modules

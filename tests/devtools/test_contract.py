@@ -1,0 +1,274 @@
+"""The contract analyzer analyzed: golden spec, conformance checks on
+synthetic drifted modules, the drift gate, docs freshness, and the CLI.
+
+The drifted-module tests are the must-fail canaries the gate is judged by:
+each takes the real four sources, applies one surgical wire-visible edit,
+and asserts the analyzer reports exactly that regression.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.contract import (
+    ContractError,
+    conformance_findings,
+    drift_findings,
+    extract_spec,
+    read_sources,
+    render_markdown,
+    serialize_spec,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE = REPO_ROOT / "docs" / "protocol_spec.json"
+PROTOCOL_MD = REPO_ROOT / "docs" / "protocol.md"
+SRC = REPO_ROOT / "src"
+
+
+@pytest.fixture(scope="module")
+def sources() -> dict[str, str]:
+    return read_sources(SRC)
+
+
+@pytest.fixture(scope="module")
+def spec(sources: dict[str, str]) -> dict[str, object]:
+    return extract_spec(sources)
+
+
+@pytest.fixture(scope="module")
+def baseline() -> dict[str, object]:
+    return json.loads(BASELINE.read_text(encoding="utf-8"))
+
+
+def _edited(sources: dict[str, str], role: str, old: str, new: str) -> dict[str, str]:
+    """Copy of the real sources with one surgical edit applied."""
+    assert old in sources[role], f"edit anchor not found in {role}: {old!r}"
+    edited = dict(sources)
+    edited[role] = edited[role].replace(old, new)
+    return edited
+
+
+# -- extraction --------------------------------------------------------------
+
+
+def test_extracted_spec_matches_committed_baseline(
+    spec: dict[str, object], baseline: dict[str, object]
+) -> None:
+    # The golden test: src/ and docs/protocol_spec.json describe the same
+    # contract, byte for byte after deterministic serialization.
+    assert serialize_spec(spec) == BASELINE.read_text(encoding="utf-8")
+
+
+def test_extraction_covers_the_wire_surface(spec: dict[str, object]) -> None:
+    verbs = spec["verbs"]
+    assert set(spec["wire_verbs"]) == {
+        "open",
+        "edit",
+        "report",
+        "check",
+        "close",
+        "drain",
+    }
+    # Request parsing, response keys, error codes and client traffic are
+    # populated for every verb — extraction must never silently go vacuous.
+    for verb, entry in verbs.items():
+        assert entry["request_class"], verb
+        assert entry["request"], verb
+        assert "ok" in entry["response_keys"], verb
+        assert entry["client_sends"], verb
+    assert spec["error_codes"]["UNKNOWN_SESSION"]["status"] == 404
+    assert spec["endpoints"]["/healthz"]["method"] == "GET"
+    assert spec["worker"]["required_verbs"]
+
+
+def test_missing_module_is_a_contract_error(sources: dict[str, str]) -> None:
+    broken = dict(sources)
+    del broken["wire"]
+    with pytest.raises(ContractError):
+        extract_spec(broken)
+
+
+def test_unparseable_module_is_a_contract_error(sources: dict[str, str]) -> None:
+    with pytest.raises(ContractError):
+        extract_spec(_edited(sources, "protocol", "WIRE_VERSION", "def ]["))
+
+
+# -- conformance on synthetic drifted modules --------------------------------
+
+
+def test_real_sources_pass_conformance(spec: dict[str, object]) -> None:
+    assert conformance_findings(spec) == []
+
+
+def test_client_sending_unknown_field_is_reported(sources: dict[str, str]) -> None:
+    drifted = extract_spec(
+        _edited(sources, "client", '"min_pending": min_pending', '"minimum": min_pending')
+    )
+    checks = {(f.check, f.subject) for f in conformance_findings(drifted)}
+    assert ("client-sends-unread-field", "drain.minimum") in checks
+
+
+def test_unregistered_error_code_is_reported(sources: dict[str, str]) -> None:
+    # The handler raises a constant protocol.py no longer registers.
+    edited = _edited(
+        sources, "protocol", 'SESSION_EXISTS = "session_exists"', 'SESSION_TAKEN = "session_taken"'
+    )
+    edited = _edited(edited, "protocol", "SESSION_EXISTS: 409", "SESSION_TAKEN: 409")
+    drifted = extract_spec(edited)
+    checks = {(f.check, f.subject) for f in conformance_findings(drifted)}
+    assert ("unregistered-error-code", "SESSION_EXISTS") in checks
+
+
+def test_error_code_without_status_is_reported(sources: dict[str, str]) -> None:
+    drifted = extract_spec(
+        _edited(sources, "protocol", "    UNKNOWN_GOAL: 422,\n", "")
+    )
+    checks = {(f.check, f.subject) for f in conformance_findings(drifted)}
+    assert ("error-code-without-status", "UNKNOWN_GOAL") in checks
+
+
+def test_worker_dropping_a_verb_is_reported(sources: dict[str, str]) -> None:
+    edited = _edited(
+        sources,
+        "workers",
+        '"open", "edit", "report", "check", "close", "drain"',
+        '"open", "edit", "report", "check", "close"',
+    )
+    drifted = extract_spec(edited)
+    findings = conformance_findings(drifted)
+    checks = {(f.check, f.subject) for f in findings}
+    assert ("verb-missing-from-table", "drain") in checks
+
+
+# -- drift gate --------------------------------------------------------------
+
+
+def test_identical_spec_has_no_drift(
+    spec: dict[str, object], baseline: dict[str, object]
+) -> None:
+    assert drift_findings(spec, baseline) == []
+
+
+def test_payload_shape_change_names_the_unbumped_wire_version(
+    sources: dict[str, str], baseline: dict[str, object]
+) -> None:
+    # The acceptance canary: a verb's payload shape changes, WIRE_VERSION
+    # does not — the gate must fail with a field-level diff naming it.
+    drifted = extract_spec(
+        _edited(
+            sources,
+            "protocol",
+            '_require(payload, "verb", str)',
+            '_require(payload, "action", str)',
+        )
+    )
+    findings = drift_findings(drifted, baseline)
+    assert findings, "gate did not bite on a payload-shape change"
+    assert all(f.check == "drift-unbumped-version" for f in findings)
+    assert any("verbs.edit.request" in f.subject for f in findings)
+    assert all("WIRE_VERSION" in f.message for f in findings)
+
+
+def test_bumping_wire_version_downgrades_to_stale_baseline(
+    sources: dict[str, str], baseline: dict[str, object]
+) -> None:
+    edited = _edited(
+        sources, "protocol", '_require(payload, "verb", str)', '_require(payload, "action", str)'
+    )
+    edited = _edited(edited, "protocol", "WIRE_VERSION = 3", "WIRE_VERSION = 4")
+    findings = drift_findings(extract_spec(edited), baseline)
+    # Still nonzero (the committed baseline must be refreshed), but the
+    # version constant is no longer the accusation.
+    assert findings
+    assert all(f.check == "drift-stale-baseline" for f in findings)
+    assert all("--write-baseline" in f.message for f in findings)
+
+
+def test_worker_drift_names_the_worker_constant(
+    sources: dict[str, str], baseline: dict[str, object]
+) -> None:
+    edited = _edited(
+        sources,
+        "workers",
+        '"open", "edit", "report", "check", "close", "drain"',
+        '"open", "edit", "report", "check", "close"',
+    )
+    findings = drift_findings(extract_spec(edited), baseline)
+    assert findings
+    assert all("WORKER_PROTOCOL_VERSION" in f.message for f in findings)
+
+
+# -- generated docs ----------------------------------------------------------
+
+
+def test_committed_protocol_md_is_fresh(spec: dict[str, object]) -> None:
+    assert render_markdown(spec) == PROTOCOL_MD.read_text(encoding="utf-8"), (
+        "docs/protocol.md is stale; regenerate with "
+        "`PYTHONPATH=src python -m repro.devtools.contract src/ --write-docs`"
+    )
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def _run_cli(*args: str) -> subprocess.CompletedProcess[str]:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.devtools.contract", *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+
+
+def test_cli_exits_zero_on_committed_baseline() -> None:
+    result = _run_cli("src/")
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "contract: clean" in result.stdout
+
+
+def test_cli_json_output_shape() -> None:
+    result = _run_cli("src/", "--format", "json")
+    assert result.returncode == 0, result.stdout + result.stderr
+    payload = json.loads(result.stdout)
+    assert payload["ok"] is True
+    assert payload["findings"] == []
+    assert payload["wire_version"] == 3
+    assert payload["worker_protocol_version"] == 2
+
+
+def test_cli_exits_one_on_drift(tmp_path: Path) -> None:
+    # End-to-end canary: a drifted checkout against the real baseline.
+    server = tmp_path / "repro" / "server"
+    server.mkdir(parents=True)
+    for role, filename in (
+        ("protocol", "protocol.py"),
+        ("wire", "wire.py"),
+        ("client", "client.py"),
+        ("workers", "workers.py"),
+    ):
+        text = (SRC / "repro" / "server" / filename).read_text(encoding="utf-8")
+        if role == "protocol":
+            text = text.replace(
+                '_require(payload, "verb", str)', '_require(payload, "action", str)'
+            )
+        (server / filename).write_text(text, encoding="utf-8")
+    result = _run_cli(str(tmp_path), "--format", "json")
+    assert result.returncode == 1, result.stdout + result.stderr
+    payload = json.loads(result.stdout)
+    assert payload["ok"] is False
+    assert any(
+        "WIRE_VERSION" in finding["message"] for finding in payload["findings"]
+    )
+
+
+def test_cli_exits_two_on_missing_sources(tmp_path: Path) -> None:
+    result = _run_cli(str(tmp_path / "nowhere"))
+    assert result.returncode == 2
+    assert "error:" in result.stderr

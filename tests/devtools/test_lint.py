@@ -126,6 +126,23 @@ def test_context_pragma_turns_on_server_rules() -> None:
     assert lint.lint_source("def f():\n    print('x')\n") == []
 
 
+def test_context_pragma_turns_on_encoder_rules() -> None:
+    emit = "def f(builder, selector):\n    builder.add_clause((selector,))\n"
+    source = "# repro-lint: context=encoder\n" + emit
+    assert [v.code for v in lint.lint_source(source)] == ["RL007"]
+    # ...and without it, RL007 does not apply.
+    assert lint.lint_source(emit) == []
+
+
+def test_encoder_context_follows_the_sat_paths() -> None:
+    emit = "def f(builder, guard):\n    builder.add_clause([guard])\n"
+    for path in ("src/repro/sat/cnf.py", "src/repro/reasoner/encoding.py"):
+        assert [
+            v.code for v in lint.lint_source(emit, path=path)
+        ] == ["RL007"], path
+    assert lint.lint_source(emit, path="src/repro/reasoner/session.py") == []
+
+
 def test_unknown_rule_selection_is_a_lint_error() -> None:
     with pytest.raises(lint.LintError):
         lint.lint_source("x = 1\n", select=["RL999"])
@@ -158,7 +175,16 @@ def test_cli_exits_zero_on_clean_tree() -> None:
 def test_cli_exits_one_with_codes_on_the_fixture_corpus() -> None:
     result = _run_cli(str(FIXTURES))
     assert result.returncode == 1
-    for code in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+    for code in (
+        "RL001",
+        "RL002",
+        "RL003",
+        "RL004",
+        "RL005",
+        "RL006",
+        "RL007",
+        "RL008",
+    ):
         assert code in result.stdout
 
 
