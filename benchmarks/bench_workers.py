@@ -33,7 +33,10 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 from bench_incremental import merge_bench_json  # noqa: E402
-from check_regression import MULTI_PROCESS_SINGLE_CORE_FLOOR  # noqa: E402
+from check_regression import (  # noqa: E402
+    MULTI_PROCESS_SINGLE_CORE_FLOOR,
+    RECOVERY_FLOOR_SESSIONS_PER_SEC,
+)
 
 from repro.server import ServerThread, ServiceClient  # noqa: E402
 
@@ -200,3 +203,72 @@ def test_multi_process_drain_throughput(mode):
                 f"pipe-transport overhead ate the drain throughput on one "
                 f"core: best {best:.2f}x vs floor {MULTI_PROCESS_SINGLE_CORE_FLOOR}"
             )
+
+
+# ---------------------------------------------------------------------------
+# router restart recovery (ISSUE 10: the durable session log)
+
+RECOVERY_SESSIONS = 32
+RECOVERY_EDITS = 12  # per session: one open + 12 journaled edits
+
+
+def test_recovery_throughput(tmp_path):
+    """Time a router restart over a populated ``data_dir``: worker spawn +
+    segment-log decode + snapshot-and-delta replay, end to end.  The
+    ``recovery`` section records sessions recovered per second; the gate
+    (``RECOVERY_FLOOR_SESSIONS_PER_SEC``) also demands zero drops and
+    zero skipped records — a *slow* recovery is a perf bug, a *lossy* one
+    is a durability bug."""
+    from repro.server.workers import WorkerPool
+
+    data_dir = tmp_path / "data"
+    with WorkerPool(2, max_workers=2, data_dir=data_dir) as pool:
+        for index in range(RECOVERY_SESSIONS):
+            name = f"r{index}"
+            pool.handle("open", {"session": name})
+            for edit in range(RECOVERY_EDITS):
+                pool.handle(
+                    "edit",
+                    {
+                        "session": name,
+                        "verb": "add_entity",
+                        "args": [f"E{edit}"],
+                    },
+                )
+    started = time.perf_counter()
+    restarted = WorkerPool(2, max_workers=2, data_dir=data_dir)
+    elapsed = time.perf_counter() - started
+    try:
+        census = restarted.health_payload()["workers"]
+        report = restarted.handle("report", {"session": "r0"})["report"]
+    finally:
+        restarted.shutdown()
+    assert census["recovered_sessions"] == RECOVERY_SESSIONS
+    assert census["log_skipped_records"] == 0
+    # Every replayed add_entity surfaces as a W07 disconnected-type
+    # advisory, so the report proves the deltas actually replayed.
+    assert len(report["advisories"]) == RECOVERY_EDITS
+    sessions_per_sec = RECOVERY_SESSIONS / elapsed
+    merge_bench_json(
+        {
+            "recovery": {
+                "description": (
+                    "Router restart over a durable data_dir: seconds from "
+                    "WorkerPool() to every logged session replayed and "
+                    "serving (worker spawn + segment decode + snapshot/"
+                    "delta replay), measured at "
+                    f"{RECOVERY_SESSIONS} sessions x {RECOVERY_EDITS} "
+                    "journaled edits on 2 workers."
+                ),
+                "sessions": RECOVERY_SESSIONS,
+                "edits_per_session": RECOVERY_EDITS,
+                "workers": 2,
+                "recovery_seconds": elapsed,
+                "sessions_per_sec": sessions_per_sec,
+                "recovered_sessions": census["recovered_sessions"],
+                "dropped_sessions": census["dropped_sessions"],
+                "skipped_records": census["log_skipped_records"],
+            }
+        }
+    )
+    assert sessions_per_sec > RECOVERY_FLOOR_SESSIONS_PER_SEC

@@ -24,7 +24,11 @@ Bars (see ROADMAP.md):
 * when the ``cdcl`` section is present, repeated checks on the
   conflict-heavy schema must run >= 1.5x faster with clause learning than
   without, and the learned-clause count must be non-zero (zero would mean
-  learning is silently disabled on the warm path).
+  learning is silently disabled on the warm path);
+* when the ``recovery`` section is present, a restarted ``--workers``
+  router with a ``data_dir`` must replay its durable session logs at a
+  useful rate (``RECOVERY_FLOOR_SESSIONS_PER_SEC``), recovering every
+  logged session with zero drops and zero skipped records.
 
 Run after the benchmarks regenerate the JSON::
 
@@ -57,6 +61,11 @@ WARM_CHECK_BAR = 3.0
 #: repeated conflict-heavy checks (ISSUE 7 acceptance bar; the committed
 #: numbers are far beyond it).
 CDCL_BAR = 1.5
+#: Router restart recovery (durable session log, ISSUE 10) must replay at
+#: least this many sessions per second end-to-end — the measurement spans
+#: worker spawn + log decode + snapshot-and-delta replay, so the floor is
+#: deliberately conservative; the committed numbers are far beyond it.
+RECOVERY_FLOOR_SESSIONS_PER_SEC = 2.0
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_incremental.json"
 
 
@@ -158,6 +167,27 @@ def main() -> int:
             f"CDCL learning vs none on repeat checks: {speedup:.2f}x, "
             f"{learned} learned clauses "
             f"(bar: >= {CDCL_BAR:.1f}x, learned > 0) -> "
+            f"{'OK' if ok else 'FAIL'}"
+        )
+
+    recovery = data.get("recovery")
+    if recovery is None:
+        print("recovery section: absent (run benchmarks/bench_workers.py)")
+    else:
+        rate = recovery["sessions_per_sec"]
+        clean = (
+            recovery["recovered_sessions"] == recovery["sessions"]
+            and recovery["dropped_sessions"] == 0
+            and recovery["skipped_records"] == 0
+        )
+        ok = rate > RECOVERY_FLOOR_SESSIONS_PER_SEC and clean
+        failed |= not ok
+        print(
+            f"router restart recovery: {rate:,.1f} sessions/s "
+            f"({recovery['recovered_sessions']}/{recovery['sessions']} "
+            f"recovered, {recovery['dropped_sessions']} dropped, "
+            f"{recovery['skipped_records']} skipped) "
+            f"(bar: > {RECOVERY_FLOOR_SESSIONS_PER_SEC:.0f}/s, all clean) -> "
             f"{'OK' if ok else 'FAIL'}"
         )
 

@@ -901,3 +901,67 @@ class WireErrorCodeProvenance(Rule):
             "codes must be constants from repro.server.protocol (justify "
             "forwarding of an already-typed code with a suppression)",
         )
+
+
+# ---------------------------------------------------------------------------
+# RL009 — log-before-ack: every edit acknowledgement is preceded by a
+# durable journal append
+
+
+_ACK_SUFFIX = "ack_edit"
+_JOURNAL_SUFFIX = "log_append"
+
+
+@register
+class LogBeforeAck(Rule):
+    code = "RL009"
+    name = "log-before-ack"
+    description = (
+        "In the server surface, any function that acknowledges an edit "
+        "(calls a `*ack_edit` method) must durably journal it first (a "
+        "`*log_append` call earlier in the same function): an edit acked "
+        "before it is logged is lost by a router crash even though the "
+        "client was told it is safe.  Nested defs do not count — they run "
+        "on their own schedule, after the ack may already have left."
+    )
+
+    def check(self, module: Module) -> Iterable[Violation]:
+        if not module.is_server:
+            return
+        for func in _function_defs(module.tree):
+            yield from self._check_function(module, func)
+
+    def _check_function(
+        self,
+        module: Module,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterator[Violation]:
+        acks: list[ast.Call] = []
+        journal_lines: list[int] = []
+        # Walk the function's own body, never descending into nested
+        # def/lambda (even as a direct statement): deferred callables do
+        # not dominate the acknowledgement in program order.
+        stack: list[ast.AST] = list(func.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(node, ast.Call):
+                name = _terminal_name(node.func) or ""
+                if name.endswith(_ACK_SUFFIX):
+                    acks.append(node)
+                elif name.endswith(_JOURNAL_SUFFIX):
+                    journal_lines.append(node.lineno)
+            stack.extend(ast.iter_child_nodes(node))
+        for ack in acks:
+            if any(line < ack.lineno for line in journal_lines):
+                continue
+            yield self.violation(
+                module,
+                ack,
+                f"`{_dotted(ack.func)}(...)` acknowledges an edit with no "
+                "durable journal append before it in this function; the "
+                "log-before-ack invariant requires a `*log_append` call to "
+                "dominate every acknowledgement (an acked-but-unlogged edit "
+                "is lost by a router crash)",
+            )

@@ -20,10 +20,16 @@ the asyncio HTTP front (``orm-validate serve``),
 (``orm-validate --batch --server URL``).  With ``workers=N``
 (``orm-validate serve --workers N``) the front routes sessions to N
 worker **subprocesses** via :class:`repro.server.workers.WorkerPool` —
-stable CRC32 session placement, the same JSON shapes over a pipe
+rendezvous (HRW) session placement, the same JSON shapes over a pipe
 transport, crash re-homing by journal replay — without changing the wire
-protocol clients speak.  ``wire``, ``client`` and ``workers`` are
-imported lazily on attribute access to keep ``import repro.server`` light.
+protocol clients speak.  A ``data_dir`` makes the journal durable
+(:mod:`repro.server.durability`): every acknowledged open/edit is
+fsync'd to an append-only per-session segment log before the ack, so a
+router restart recovers every session by snapshot-load + delta replay,
+and the ``resize`` verb grows/shrinks the pool at runtime, live-migrating
+only the sessions whose rendezvous owner changed.  ``wire``, ``client``
+and ``workers`` are imported lazily on attribute access to keep
+``import repro.server`` light.
 """
 
 from repro.server.protocol import WireError
@@ -37,6 +43,8 @@ from repro.server.service import (
 from repro.server.sharding import (
     DEFAULT_SHARDS,
     ShardedSiteStore,
+    rendezvous_owner,
+    rendezvous_score,
     session_home,
     stable_shard_index,
 )
@@ -55,6 +63,8 @@ __all__ = [
     "WireError",
     "WireServer",
     "WorkerPool",
+    "rendezvous_owner",
+    "rendezvous_score",
     "session_home",
     "stable_shard_index",
 ]

@@ -167,6 +167,17 @@ class ServiceClient:
             payload["sessions"] = list(sessions)
         return self._request("POST", "/v1/drain", payload)["stats"]
 
+    def resize(self, workers: int) -> Payload:
+        """Grow or shrink the server's worker pool at runtime.
+
+        Multi-process deployments live-migrate only the sessions whose
+        rendezvous owner changed; an in-process server (workers=0) raises
+        the typed ``not_resizable``.  Returns the response body:
+        ``{"workers", "previous_workers", "migrated"}``.
+        """
+        payload: Payload = {"workers": workers}
+        return self._request("POST", "/v1/resize", payload)
+
     def healthz(self) -> Payload:
         """Liveness probe: wire version plus the service census."""
         return self._request("GET", "/healthz")

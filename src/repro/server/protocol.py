@@ -17,6 +17,8 @@ Endpoints (see :class:`repro.server.wire.WireServer`):
                          (bounded) satisfiability, warm per session
 ``POST /v1/close``       ``{"session"}``
 ``POST /v1/drain``       ``{"sessions"?, "min_pending"?}`` — the service tick
+``POST /v1/resize``      ``{"workers"}`` — grow/shrink the worker pool at
+                         runtime (admin verb; multi-process backends only)
 ``GET  /healthz``        liveness + the service census
 =======================  ====================================================
 
@@ -68,13 +70,23 @@ Goal = str | tuple[str, str] | tuple[str, tuple[str, ...]]
 #: ``if_mark``, token auth, and the aggregated ``workers`` health section.
 #: Version 3 is additive over 2: the ``/v1/check`` verb (complete bounded
 #: satisfiability with a decoded witness population).
+#: Version 4 is additive over 3: the ``/v1/resize`` admin verb (runtime
+#: worker-pool grow/shrink with rendezvous-scoped live migration) and the
+#: ``not_resizable`` / ``storage_error`` codes (single-process backends
+#: cannot resize; a durable-log append that fails must refuse the edit
+#: rather than acknowledge it).
 #:
 #: Bump this for any wire-visible change (request fields, response keys,
 #: error codes, routing): the contract gate
 #: (``python -m repro.devtools.contract src/``, in CI) diffs the extracted
 #: protocol against ``docs/protocol_spec.json`` and fails on drift that is
 #: not accompanied by a bump + baseline refresh.
-WIRE_VERSION = 3
+WIRE_VERSION = 4
+
+#: Upper bound accepted for ``/v1/resize``'s ``workers``: each worker is a
+#: full interpreter process, so an unbounded resize request is a trivial
+#: fork bomb.  64 is far beyond any deployment this service targets.
+MAX_RESIZE_WORKERS = 64
 
 #: Upper bound accepted for ``/v1/check``'s ``max_domain``: the encoding is
 #: combinatorial in the domain size, so an unbounded request is a trivial
@@ -101,6 +113,12 @@ INTERNAL_ERROR = "internal_error"
 WORKER_FAILED = "worker_failed"
 #: A worker offered an incompatible router<->worker protocol at handshake.
 WORKER_PROTOCOL_MISMATCH = "worker_protocol_mismatch"
+#: ``/v1/resize`` reached a backend with no worker pool to resize (the
+#: single-process :class:`~repro.server.wire.LocalBackend`).
+NOT_RESIZABLE = "not_resizable"
+#: A durable-log append failed (disk full, I/O error) — the request was
+#: refused *before* acknowledgement, so nothing unlogged was ever acked.
+STORAGE_ERROR = "storage_error"
 
 HTTP_STATUS = {
     MALFORMED_REQUEST: 400,
@@ -110,12 +128,14 @@ HTTP_STATUS = {
     UNKNOWN_SESSION: 404,
     METHOD_NOT_ALLOWED: 405,
     SESSION_EXISTS: 409,
+    NOT_RESIZABLE: 409,
     UNKNOWN_GOAL: 422,
     SCHEMA_ERROR: 422,
     INTERNAL_ERROR: 500,
     WORKER_PROTOCOL_MISMATCH: 500,
     SERVER_SHUTDOWN: 503,
     WORKER_FAILED: 503,
+    STORAGE_ERROR: 507,
 }
 
 
@@ -304,6 +324,29 @@ class DrainRequest:
             raise WireError(MALFORMED_REQUEST, "'sessions' must be a list of names")
         min_pending = _require(payload, "min_pending", int, optional=True)
         return cls(sessions=sessions, min_pending=min_pending or 1)
+
+
+@dataclass(frozen=True)
+class ResizeRequest:
+    """``POST /v1/resize`` — grow or shrink the worker pool at runtime.
+
+    An admin verb: the router spawns/retires workers and live-migrates
+    only the sessions whose rendezvous owner changed (see
+    :func:`repro.server.sharding.rendezvous_owner`).  Single-process
+    backends answer ``not_resizable``.
+    """
+
+    workers: int
+
+    @classmethod
+    def from_payload(cls, payload: Payload) -> "ResizeRequest":
+        workers = _require(payload, "workers", int)
+        if isinstance(workers, bool) or not 1 <= workers <= MAX_RESIZE_WORKERS:
+            raise WireError(
+                MALFORMED_REQUEST,
+                f"'workers' must be an integer in 1..{MAX_RESIZE_WORKERS}",
+            )
+        return cls(workers=workers)
 
 
 # -- payload (de)serialization ---------------------------------------------

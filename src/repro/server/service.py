@@ -451,6 +451,24 @@ class ValidationService:
             self._rebuilds += rebuilt
         return report
 
+    def forget(self, name: str) -> None:
+        """Discard a session without a final drain or report.
+
+        The live-migration primitive of the multi-process router: after a
+        session's journal has been replayed into its new owner worker, the
+        old owner only needs to *free* its copy — a :meth:`close` here
+        would pay a full final refresh for a report nobody reads.
+        """
+        with self._registry_lock:
+            state = self._sessions.pop(name, None)
+            self._lru.pop(name, None)
+        if state is None:
+            raise UnknownElementError("session", name)
+        with state.lock:
+            state.engine = None
+            state.snapshot = None
+            state.reasoner = None
+
     # -- the service tick ------------------------------------------------
 
     def drain(

@@ -15,6 +15,9 @@ speak a small JSON protocol (:mod:`repro.server.protocol`) over HTTP/1.1
   unresolved ones — a budget statement, not a schema property);
 * ``POST /v1/drain`` — the service tick, also run periodically by the
   server's own background drain task (``drain_interval``);
+* ``POST /v1/resize`` — grow/shrink the worker pool at runtime with
+  rendezvous-scoped live migration (multi-process deployments only; the
+  in-process backend answers the typed ``not_resizable``);
 * ``GET /healthz`` — liveness plus the service census.
 
 **Backends.**  The HTTP layer does not touch the service directly; it
@@ -66,6 +69,7 @@ from repro.server.protocol import (
     INTERNAL_ERROR,
     MALFORMED_REQUEST,
     METHOD_NOT_ALLOWED,
+    NOT_RESIZABLE,
     SCHEMA_ERROR,
     SERVER_SHUTDOWN,
     SESSION_EXISTS,
@@ -81,6 +85,7 @@ from repro.server.protocol import (
     OpenRequest,
     ReportRequest,
     Payload,
+    ResizeRequest,
     SessionRequest,
     WireError,
 )
@@ -110,7 +115,7 @@ AUTH_REJECT_DRAIN_BYTES = 64 * 1024
 #: means touching every table the contract gate holds in parity: the
 #: LocalBackend dispatch below, the worker pipe tables in ``workers.py``,
 #: and the ``WIRE_VERSION`` baseline (see ``repro.devtools.contract``).
-WIRE_VERBS = ("open", "edit", "report", "check", "close", "drain")
+WIRE_VERBS = ("open", "edit", "report", "check", "close", "drain", "resize")
 
 
 class Backend(Protocol):
@@ -161,6 +166,7 @@ class LocalBackend:
             "check": self._check,
             "close": self._close,
             "drain": self._drain,
+            "resize": self._resize,
         }.get(verb)
         if handler is None:
             raise WireError(UNKNOWN_VERB, f"no such wire verb: {verb!r}")
@@ -268,6 +274,17 @@ class LocalBackend:
             raise WireError(UNKNOWN_SESSION, f"unknown session: {error}") from None
         return {"ok": True, "stats": protocol.stats_to_payload(stats)}
 
+    def _resize(self, payload: Payload) -> Payload:
+        request = ResizeRequest.from_payload(payload)
+        # One process is the whole deployment here: there is no pool to
+        # grow or shrink.  The multi-process WorkerPool backend overrides
+        # this verb with a real live migration.
+        raise WireError(
+            NOT_RESIZABLE,
+            f"this deployment runs in-process (workers=0) and cannot "
+            f"resize to {request.workers} workers",
+        )
+
 
 def _session_or_verb_error(error: UnknownElementError) -> WireError:
     """Map the service's UnknownElementError onto the wire code space: an
@@ -338,6 +355,11 @@ class WireServer:
 
             self._backend = WorkerPool(workers, **service_kwargs)
         else:
+            if "data_dir" in service_kwargs:
+                raise ValueError(
+                    "data_dir (the durable session log) requires a "
+                    "multi-process deployment: pass workers >= 1"
+                )
             self._backend = LocalBackend(ValidationService(**service_kwargs))
         self._token = token
         self._host = host

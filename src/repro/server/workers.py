@@ -8,10 +8,11 @@ and this module cashes that in: a **router** (:class:`WorkerPool`) owns N
 **worker subprocesses**, each running a full
 :class:`~repro.server.service.ValidationService`, and forwards every
 ``open/edit/report/check/close/drain`` to the worker that owns the
-session —
-placement is :func:`repro.server.sharding.session_home`, a stable hash of
-the session name, so routing is stateless and survives router and worker
-restarts alike.
+session — placement is :func:`repro.server.sharding.session_home`,
+rendezvous (HRW) hashing of the session name, so routing is derivable
+from names alone and survives router and worker restarts alike, and
+resizing the pool relocates only the ~1/N of sessions whose rendezvous
+winner changed.
 
 **Transport.**  One duplex :mod:`multiprocessing` pipe per worker carrying
 newline-free JSON frames: requests are ``{"verb", "payload"}`` envelopes
@@ -36,12 +37,26 @@ labels from the same state), so a re-homed session's next report is
 multiset-equal to an uninterrupted run — property-tested in
 ``tests/server/test_workers.py``.
 
-**Exactly-once edits.**  An edit is journaled *after* the worker
-acknowledges it, inside the same per-session critical section; an edit
-in flight when the worker dies is therefore not in the journal, is not
-replayed, and is retried exactly once against the replacement.  Re-homing
-itself copies each journal under that session's lock, so an acknowledged
-edit can never be missed by a concurrent replay.
+**Exactly-once edits, log-before-ack.**  An edit is journaled after the
+worker acknowledges it but *before the router acknowledges it to the
+client*, inside the same per-session critical section; an edit in flight
+when the worker dies is therefore not in the journal, is not replayed,
+and is retried exactly once against the replacement — and the retry is
+journaled *before* dispatch, because a second death leaves it unknowable
+whether the edit applied, and a maybe-applied edit must already be in
+the journal when the next replay runs.  With a ``data_dir`` configured,
+the same critical section appends the record to the session's durable
+segment log (:mod:`repro.server.durability`) and fsyncs it before the
+acknowledgement leaves the router (lint rule RL009 enforces the shape),
+so a *router* restart recovers every session by snapshot-load + delta
+replay (:meth:`WorkerPool._recover`).
+
+**Elasticity.**  The ``resize`` admin verb grows or shrinks the pool at
+runtime: new workers are spawned (or doomed ones drained and retired)
+and each open session whose rendezvous owner changed is *live-migrated*
+— its journal is replayed into the new owner under the session lock,
+then the old owner drops its copy with the cheap ``forget`` verb (no
+final report).  Sessions whose owner did not change are untouched.
 
 **Handshake.**  Workers greet with their protocol version and verb set;
 the router refuses a worker offering an incompatible protocol
@@ -59,17 +74,28 @@ import os
 import threading
 from collections.abc import Callable
 from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 from repro.server import protocol
+from repro.server.durability import (
+    KIND_EDIT,
+    KIND_OPEN,
+    LogStore,
+    RecoveredSession,
+    SessionLog,
+    StorageError,
+)
 from repro.server.protocol import (
     INTERNAL_ERROR,
     MALFORMED_REQUEST,
+    STORAGE_ERROR,
     UNKNOWN_SESSION,
     UNKNOWN_VERB,
     WORKER_FAILED,
     WORKER_PROTOCOL_MISMATCH,
     Payload,
+    ResizeRequest,
     WireError,
 )
 from repro.server.sharding import session_home
@@ -83,10 +109,13 @@ if TYPE_CHECKING:
 
 #: Version of the router<->worker envelope protocol.  Bumped when a verb
 #: changes shape; the router refuses workers greeting a different version.
-#: v2 added the ``check`` verb (warm bounded satisfiability).  The contract
-#: gate (``repro.devtools.contract``) blames this constant for any drift in
+#: v2 added the ``check`` verb (warm bounded satisfiability).  v3 added
+#: ``forget`` (cheap session discard after a live migration, no final
+#: report) and forwards ``resize`` so a worker answers it with the typed
+#: ``not_resizable`` instead of ``unknown_verb``.  The contract gate
+#: (``repro.devtools.contract``) blames this constant for any drift in
 #: the worker verb tables against ``docs/protocol_spec.json``.
-WORKER_PROTOCOL_VERSION = 2
+WORKER_PROTOCOL_VERSION = 3
 
 #: Verbs every worker must speak for the router to accept it.
 REQUIRED_WORKER_VERBS = frozenset(
@@ -97,8 +126,10 @@ REQUIRED_WORKER_VERBS = frozenset(
         "check",
         "close",
         "drain",
+        "resize",
         "stats",
         "snapshot",
+        "forget",
         "ping",
         "shutdown",
     }
@@ -121,6 +152,13 @@ SLOW_VERB_TIMEOUT_FACTOR = 4.0
 #: normal drain tick, short enough that /healthz stays inside any
 #: orchestrator probe timeout.
 PROBE_WAIT = 1.0
+
+#: Upper bound on a single pipe frame.  ``recv_bytes`` trusts the 4-byte
+#: length prefix and allocates before reading, so a frame torn by a
+#: ``kill -9`` mid-write could otherwise demand gigabytes for garbage;
+#: with a bound it raises OSError and lands on the normal worker-death
+#: path.  Far above any legitimate frame (whole-schema opens included).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
 
 
 def _worker_main(conn: Connection, config: dict[str, Any]) -> None:
@@ -154,7 +192,7 @@ def _worker_main(conn: Connection, config: dict[str, Any]) -> None:
     )
     while True:
         try:
-            raw = conn.recv_bytes()
+            raw = conn.recv_bytes(MAX_FRAME_BYTES)
         except (EOFError, OSError):
             break  # router went away; die quietly
         try:
@@ -183,12 +221,27 @@ def _worker_dispatch(
 ) -> Payload:
     """One worker verb; anything outside the negotiated set is the typed
     ``unknown_verb`` error, never a crash (protocol-growth regression net)."""
-    if verb in ("open", "edit", "report", "check", "close", "drain"):
+    if verb in ("open", "edit", "report", "check", "close", "drain", "resize"):
+        # "resize" reaching a worker is answered by LocalBackend's typed
+        # not_resizable: only the router's pool can resize.
         return backend.handle(verb, payload)
     if verb == "ping":
         return {"ok": True, "pid": os.getpid()}
     if verb == "stats":
         return {"ok": True, **backend.health_payload()}
+    if verb == "forget":
+        # Post-migration discard: the session now lives in another worker,
+        # so no final drain/report — just drop the state.
+        name = payload.get("session")
+        if not isinstance(name, str):
+            raise WireError(MALFORMED_REQUEST, "forget needs a 'session' name")
+        from repro.exceptions import UnknownElementError
+
+        try:
+            service.forget(name)
+        except UnknownElementError as error:
+            raise WireError(UNKNOWN_SESSION, str(error)) from None
+        return {"ok": True, "session": name}
     if verb == "snapshot":
         name = payload.get("session")
         if not isinstance(name, str):
@@ -287,7 +340,7 @@ class WorkerHandle:
                     f"worker {self.index} (pid {self.process.pid}) did not "
                     f"answer within {timeout:.0f}s"
                 )
-            raw = self._conn.recv_bytes()
+            raw = self._conn.recv_bytes(MAX_FRAME_BYTES)
             return json.loads(raw.decode("utf-8"))
         except WorkerDied:
             self.kill()
@@ -389,16 +442,26 @@ class WorkerHandle:
 class _RoutedSession:
     """The router's journal of one session: everything needed to re-home
     it into a fresh worker.  ``lock`` serializes this session's journal
-    mutations with the worker round trips that justify them."""
+    mutations with the worker round trips that justify them.
 
-    __slots__ = ("name", "lock", "opened", "open_payload", "edits")
+    ``home`` is the worker index this session currently lives in —
+    assigned from the rendezvous winner at open (or recovery) time and
+    changed only by a live migration, under ``lock``, so requests routed
+    mid-resize always reach the worker that actually holds the session.
+    ``log`` is the session's durable segment log (``None`` when the pool
+    runs without a ``data_dir``).
+    """
 
-    def __init__(self, name: str) -> None:
+    __slots__ = ("name", "lock", "opened", "open_payload", "edits", "home", "log")
+
+    def __init__(self, name: str, home: int) -> None:
         self.name = name
         self.lock = threading.Lock()
         self.opened = False
         self.open_payload: Payload = {"session": name}
         self.edits: list[Payload] = []
+        self.home = home
+        self.log: SessionLog | None = None
 
 
 class WorkerPool:
@@ -414,17 +477,26 @@ class WorkerPool:
     Parameters
     ----------
     workers:
-        Number of worker subprocesses (the shard count of the session
-        space; fixed for the pool's lifetime so placement stays stable).
+        Number of worker subprocesses (the initial rendezvous membership;
+        grow/shrink at runtime with the ``resize`` verb).
     settings:
         Default :class:`ValidatorSettings` profile (or its wire payload)
         for the workers' services.
     snapshot_after:
         Edits per session before the re-homing journal is compacted into
-        a schema-DSL snapshot (bounding replay cost and router memory).
+        a schema-DSL snapshot (bounding replay cost, router memory and
+        durable-log length).
     request_timeout:
         Seconds a worker may take to answer one frame before it is
         declared dead and replaced.
+    data_dir:
+        Directory for the durable per-session segment logs
+        (:mod:`repro.server.durability`).  When set, every acknowledged
+        open/edit is fsync'd there before the ack, and constructing a
+        pool over an existing ``data_dir`` recovers every logged session
+        by snapshot-load + delta replay.  ``None`` keeps the journal
+        router-memory only (a worker crash is survivable, a router crash
+        loses sessions).
     **service_kwargs:
         Forwarded to each worker's :class:`ValidationService`
         (``max_workers``, ``max_live_engines``, ``max_live_sites``,
@@ -438,6 +510,7 @@ class WorkerPool:
         settings: ValidatorSettings | Payload | None = None,
         snapshot_after: int = 64,
         request_timeout: float = 120.0,
+        data_dir: str | Path | None = None,
         **service_kwargs: Any,
     ) -> None:
         if workers < 1:
@@ -481,20 +554,40 @@ class WorkerPool:
         self._sessions: dict[str, _RoutedSession] = {}
         self._registry_lock = threading.Lock()
         self._revive_lock = threading.Lock()
+        # Sized for the resize ceiling, not the starting count: a resized
+        # pool keeps its executors, and ThreadPoolExecutor only spawns
+        # threads on demand, so the high bound costs nothing up front.
         self._fanout = ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="repro-router"
+            max_workers=protocol.MAX_RESIZE_WORKERS, thread_name_prefix="repro-router"
         )
         # Health probes get their own small pool: the fan-out pool's N
         # threads can all be occupied by an in-flight drain tick, and a
         # liveness probe queueing behind a long drain is exactly what
         # /healthz must never do.
         self._probe_pool = ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="repro-probe"
+            max_workers=protocol.MAX_RESIZE_WORKERS, thread_name_prefix="repro-probe"
         )
         self._restarts = 0
         self._rehomed_sessions = 0
         self._dropped_sessions = 0
+        self._resizes = 0
+        self._migrated_sessions = 0
+        self._recovered_sessions = 0
+        self._log_skipped_records = 0
         self._closing = False
+        #: Test seam: called with the session name after a migration's
+        #: replay reached the new owner but before the old owner forgets —
+        #: the fault harness injects mid-migration crashes here.
+        self._migration_fault_hook: Callable[[str], None] | None = None
+        self._logs = LogStore(data_dir) if data_dir is not None else None
+        if self._logs is not None:
+            try:
+                self._recover()
+            except WorkerDied as error:
+                self.shutdown()
+                raise WireError(
+                    WORKER_FAILED, f"session recovery failed: {error}"
+                ) from error
 
     # -- the backend surface (what WireServer drives) ---------------------
 
@@ -504,19 +597,17 @@ class WorkerPool:
         if verb == "edit":
             return self._edit(payload)
         if verb == "report":
-            return self._forward(
-                self._home_of(payload), "report", payload, timeout=self._slow_timeout
-            )
+            return self._slow_routed("report", payload)
         if verb == "check":
             # A SAT sweep's legitimate work scales with schema and domain
             # size, like a report's drain — slow-verb budget.
-            return self._forward(
-                self._home_of(payload), "check", payload, timeout=self._slow_timeout
-            )
+            return self._slow_routed("check", payload)
         if verb == "close":
             return self._close(payload)
         if verb == "drain":
             return self._drain(payload)
+        if verb == "resize":
+            return self._resize(payload)
         raise WireError(UNKNOWN_VERB, f"no such wire verb: {verb!r}")
 
     def health_payload(self) -> Payload:
@@ -551,24 +642,32 @@ class WorkerPool:
                     totals[key] = totals.get(key, 0) + value
         with self._registry_lock:
             routed = len(self._sessions)
+        handles = list(self._handles)  # a resize may mutate the roster
         return {
             "stats": totals,
             "workers": {
                 "count": self._count,
-                "alive": sum(1 for h in self._handles if h.alive()),
+                "alive": sum(1 for h in handles if h.alive()),
                 "reachable": reachable,
                 "busy": busy,
-                "pids": [h.pid for h in self._handles],
+                "pids": [h.pid for h in handles],
                 "restarts": self._restarts,
                 "rehomed_sessions": self._rehomed_sessions,
                 "dropped_sessions": self._dropped_sessions,
                 "routed_sessions": routed,
+                "resizes": self._resizes,
+                "migrated_sessions": self._migrated_sessions,
+                "recovered_sessions": self._recovered_sessions,
+                "log_skipped_records": self._log_skipped_records,
             },
         }
 
     def _probe_stats(self, index: int) -> tuple[Payload | None, str]:
         """One worker's census probe: ``(stats_or_None, state)``."""
-        handle = self._handles[index]
+        try:
+            handle = self._handles[index]
+        except IndexError:  # the probe raced a shrink; the worker is gone
+            return None, "unreachable"
         try:
             response = handle.try_request("stats", {}, wait=PROBE_WAIT)
         except WorkerDied:
@@ -621,6 +720,13 @@ class WorkerPool:
             handle.reap()
         self._fanout.shutdown(wait=False)
         self._probe_pool.shutdown(wait=False)
+        # The durable logs outlive the pool by design (a restart recovers
+        # from them); only the open file handles are released here.
+        with self._registry_lock:
+            entries = list(self._sessions.values())
+        for entry in entries:
+            if entry.log is not None:
+                entry.log.close()
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -639,76 +745,223 @@ class WorkerPool:
         return [handle.pid for handle in self._handles]
 
     def home_of(self, session_name: str) -> int:
-        """The worker index that owns a session (stable in the name)."""
+        """The worker index that owns a session.
+
+        An open session answers with the home it actually lives in (which
+        tracks migrations); an unknown name answers with the rendezvous
+        winner it *would* be placed in.
+        """
+        with self._registry_lock:
+            entry = self._sessions.get(session_name)
+            if entry is not None:
+                return entry.home
         return session_home(session_name, self._count)
 
     # -- verb routing ------------------------------------------------------
 
-    def _home_of(self, payload: Payload) -> int:
+    def _session_name(self, payload: Payload) -> str:
         name = payload.get("session") if isinstance(payload, dict) else None
         if not isinstance(name, str):
             raise WireError(MALFORMED_REQUEST, "missing required field 'session'")
-        return session_home(name, self._count)
+        return name
 
     def _open(self, payload: Payload) -> Payload:
-        index = self._home_of(payload)
-        name = payload["session"]
+        name = self._session_name(payload)
         with self._registry_lock:
             entry = self._sessions.get(name)
             if entry is None:
-                entry = _RoutedSession(name)
+                entry = _RoutedSession(name, session_home(name, self._count))
                 self._sessions[name] = entry
-
-        def record(_body: Payload) -> None:
-            entry.opened = True
-            entry.open_payload = payload
-            entry.edits = []
-            with self._registry_lock:
-                self._sessions[name] = entry
-
         try:
-            return self._forward(
-                index, "open", payload,
-                entry=entry, record=record, timeout=self._slow_timeout,
-            )
+            return self._open_routed(entry, payload)
         except WireError:
             with self._registry_lock:
                 if not entry.opened and self._sessions.get(name) is entry:
                     del self._sessions[name]
             raise
 
+    def _open_routed(self, entry: _RoutedSession, payload: Payload) -> Payload:
+        dead: WorkerHandle | None = None
+        dead_home = -1
+        failure: WorkerDied | None = None
+        for _attempt in range(2):
+            if dead is not None:
+                self._revive(dead_home, dead)
+            with entry.lock:
+                handle = self._handles[entry.home]
+                try:
+                    # repro-lint: disable=RL001 -- journal order must match worker order: the round trip completes under the session lock
+                    response = handle.checked(
+                        "open", payload, timeout=self._slow_timeout
+                    )
+                except WorkerDied as error:
+                    dead, dead_home, failure = handle, entry.home, error
+                    continue
+                # Log-before-ack: the open record is durable before the
+                # client hears the session exists.
+                self._log_open(entry, payload, handle)
+                entry.opened = True
+                entry.open_payload = payload
+                entry.edits = []
+                return response
+        raise WireError(
+            WORKER_FAILED,
+            f"worker {dead_home} kept failing after revival "
+            f"('open' not answered: {failure})",
+        )
+
     def _edit(self, payload: Payload) -> Payload:
-        index = self._home_of(payload)
-        name = payload["session"]
+        name = self._session_name(payload)
         with self._registry_lock:
             entry = self._sessions.get(name)
         if entry is None:
             # Never opened here: let the worker produce the typed 404.
-            return self._forward(index, "edit", payload)
+            return self._forward(session_home(name, self._count), "edit", payload)
+        return self._edit_routed(entry, payload)
 
-        def record(_body: Payload) -> None:
+    def _edit_routed(self, entry: _RoutedSession, payload: Payload) -> Payload:
+        """One journaled edit: worker round trip, durable log append, ack.
+
+        The invariant is **log-before-ack** (lint rule RL009): every path
+        that returns an acknowledgement calls :meth:`_log_append` first.
+        The first attempt logs after the worker accepts (a rejected edit
+        is never journaled); the *retry* after a worker death logs before
+        dispatch — the first death left it unknowable whether the edit
+        applied, so if the retry's worker also dies after maybe applying
+        it, the record must already be durable for the next replay (the
+        PR-10 fix: the old journal-on-success-only retry dropped exactly
+        that record).  A retry the worker then *rejects* is rolled back
+        from both journals — a typed rejection proves it never applied.
+        """
+        dead: WorkerHandle | None = None
+        dead_home = -1
+        failure: WorkerDied | None = None
+        for attempt in range(2):
+            if dead is not None:
+                self._revive(dead_home, dead)
+            with entry.lock:
+                handle = self._handles[entry.home]
+                retried = attempt > 0
+                rollback = -1
+                if retried:
+                    rollback = self._log_append(entry, KIND_EDIT, payload, handle)
+                    entry.edits.append(payload)
+                try:
+                    # repro-lint: disable=RL001 -- journal order must match worker order: the round trip completes under the session lock
+                    response = handle.checked("edit", payload)
+                except WorkerDied as error:
+                    # The retry's journal entry (if any) is deliberately
+                    # kept: the worker may have applied the edit.
+                    dead, dead_home, failure = handle, entry.home, error
+                    continue
+                except WireError:
+                    if retried:  # typed rejection: definitively not applied
+                        entry.edits.pop()
+                        self._log_rollback(entry, rollback)
+                    raise
+                if not retried:
+                    self._log_append(entry, KIND_EDIT, payload, handle)
+                # repro-lint: disable=RL001 -- compaction inside the ack must be atomic with the journal window it collapses
+                return self._ack_edit(entry, payload, response, journaled=retried)
+        raise WireError(
+            WORKER_FAILED,
+            f"worker {dead_home} kept failing after revival "
+            f"('edit' not answered: {failure})",
+        )
+
+    def _ack_edit(
+        self,
+        entry: _RoutedSession,
+        payload: Payload,
+        response: Payload,
+        *,
+        journaled: bool = False,
+    ) -> Payload:
+        """Finalize an acknowledged edit: memory-journal it (unless the
+        retry path journaled it pre-dispatch) and compact a full window.
+        Callers must have made the durable record first — RL009 checks
+        that a ``_log_append`` call dominates every call to this method.
+        """
+        if not journaled:
             entry.edits.append(payload)
-            if len(entry.edits) >= self._snapshot_after:
-                self._compact(index, entry)
-
-        return self._forward(index, "edit", payload, entry=entry, record=record)
+        if len(entry.edits) >= self._snapshot_after:
+            # repro-lint: disable=RL001 -- compaction's snapshot round trip must be atomic with the journal window it collapses
+            self._compact(entry)
+        return response
 
     def _close(self, payload: Payload) -> Payload:
-        index = self._home_of(payload)
-        name = payload["session"]
+        name = self._session_name(payload)
         with self._registry_lock:
             entry = self._sessions.get(name)
         if entry is None:
-            return self._forward(index, "close", payload, timeout=self._slow_timeout)
+            return self._forward(
+                session_home(name, self._count), "close", payload,
+                timeout=self._slow_timeout,
+            )
+        return self._close_routed(entry, payload)
 
-        def record(_body: Payload) -> None:
-            with self._registry_lock:
-                if self._sessions.get(name) is entry:
-                    del self._sessions[name]
+    def _close_routed(self, entry: _RoutedSession, payload: Payload) -> Payload:
+        dead: WorkerHandle | None = None
+        dead_home = -1
+        failure: WorkerDied | None = None
+        for _attempt in range(2):
+            if dead is not None:
+                self._revive(dead_home, dead)
+            with entry.lock:
+                handle = self._handles[entry.home]
+                try:
+                    # repro-lint: disable=RL001 -- journal order must match worker order: the round trip completes under the session lock
+                    response = handle.checked(
+                        "close", payload, timeout=self._slow_timeout
+                    )
+                except WorkerDied as error:
+                    dead, dead_home, failure = handle, entry.home, error
+                    continue
+                self._discard_log(entry)
+                with self._registry_lock:
+                    if self._sessions.get(entry.name) is entry:
+                        del self._sessions[entry.name]
+                return response
+        raise WireError(
+            WORKER_FAILED,
+            f"worker {dead_home} kept failing after revival "
+            f"('close' not answered: {failure})",
+        )
 
-        return self._forward(
-            index, "close", payload,
-            entry=entry, record=record, timeout=self._slow_timeout,
+    def _slow_routed(self, verb: str, payload: Payload) -> Payload:
+        """Route a read verb (report/check) to the session's live home.
+
+        Runs under the session lock so a request can never race a live
+        migration onto a worker that already forgot the session; unknown
+        names fall through to the rendezvous winner, whose worker answers
+        the typed 404.
+        """
+        name = self._session_name(payload)
+        with self._registry_lock:
+            entry = self._sessions.get(name)
+        if entry is None:
+            return self._forward(
+                session_home(name, self._count), verb, payload,
+                timeout=self._slow_timeout,
+            )
+        dead: WorkerHandle | None = None
+        dead_home = -1
+        failure: WorkerDied | None = None
+        for _attempt in range(2):
+            if dead is not None:
+                self._revive(dead_home, dead)
+            with entry.lock:
+                handle = self._handles[entry.home]
+                try:
+                    # repro-lint: disable=RL001 -- routed reads hold the session lock so migration cannot strand them on an old owner
+                    return handle.checked(verb, payload, timeout=self._slow_timeout)
+                except WorkerDied as error:
+                    dead, dead_home, failure = handle, entry.home, error
+                    continue
+        raise WireError(
+            WORKER_FAILED,
+            f"worker {dead_home} kept failing after revival "
+            f"({verb!r} not answered: {failure})",
         )
 
     def _drain(self, payload: Payload) -> Payload:
@@ -729,10 +982,13 @@ class WorkerPool:
             # (The worker still backstops the error for races with close.)
             with self._registry_lock:
                 missing = [n for n in sessions if n not in self._sessions]
+                homes = {
+                    n: self._sessions[n].home for n in sessions if n not in missing
+                }
             if missing:
                 raise WireError(UNKNOWN_SESSION, f"unknown session: '{missing[0]}'")
             for name in sessions:
-                index = session_home(name, self._count)
+                index = homes[name]
                 per_worker.setdefault(index, {"sessions": []})
                 per_worker[index]["sessions"].append(name)
         if min_pending is not None:
@@ -763,56 +1019,41 @@ class WorkerPool:
         verb: str,
         payload: Payload,
         *,
-        entry: _RoutedSession | None = None,
-        record: Callable[[Payload], None] | None = None,
         timeout: float | None = None,
     ) -> Payload:
-        """One routed round trip with revive-and-retry.
-
-        With ``entry``/``record``, the round trip and the journal update
-        run inside the session's critical section (an acknowledged edit is
-        journaled atomically with its acknowledgement), while the revive
-        wait happens strictly *outside* it — revival takes every session
-        lock to copy journals, so waiting for it while holding one would
-        deadlock.
-        """
+        """One unjournaled round trip with revive-and-retry (drain ticks,
+        and verbs for sessions this router never journaled — the worker
+        backstops those with the typed 404).  The revive wait never holds
+        a session lock, so it cannot deadlock against the replay sweep."""
         dead: WorkerHandle | None = None
         failure: WorkerDied | None = None
         for _attempt in range(2):
             if dead is not None:
                 self._revive(index, dead)
+            if index >= len(self._handles):  # raced a shrink
+                raise WireError(WORKER_FAILED, f"worker {index} was retired")
             handle = self._handles[index]
-            if entry is not None:
-                with entry.lock:
-                    try:
-                        # repro-lint: disable=RL001 -- journal order must match worker order: the round trip completes under the session lock
-                        response = handle.checked(verb, payload, timeout=timeout)
-                    except WorkerDied as error:
-                        dead, failure = handle, error
-                        continue
-                    # repro-lint: disable=RL001 -- journal append (and any compaction round trip) must be atomic with the response it records
-                    record(response)
-                    return response
-            else:
-                try:
-                    response = handle.checked(verb, payload, timeout=timeout)
-                except WorkerDied as error:
-                    dead, failure = handle, error
-                    continue
-                return response
+            try:
+                return handle.checked(verb, payload, timeout=timeout)
+            except WorkerDied as error:
+                dead, failure = handle, error
+                continue
         raise WireError(
             WORKER_FAILED,
             f"worker {index} kept failing after revival "
             f"({verb!r} not answered: {failure})",
         )
 
-    def _compact(self, index: int, entry: _RoutedSession) -> None:
+    def _compact(self, entry: _RoutedSession) -> None:
         """Collapse a session's journal to a schema-DSL snapshot.
 
         Called under ``entry.lock`` from the edit path, so it must never
         wait on revival: a dead worker simply postpones compaction to a
-        later edit (the journal stays replayable throughout)."""
-        handle = self._handles[index]
+        later edit (the journal stays replayable throughout).  The durable
+        log compacts first — if its snapshot segment cannot be written,
+        the in-memory window is kept too, so both journals always rebuild
+        the same state."""
+        handle = self._handles[entry.home]
         try:
             # Serializing a whole schema is O(schema size), same as an
             # open — slow-verb timeout, or a big session's routine
@@ -824,6 +1065,13 @@ class WorkerPool:
             return
         refreshed = dict(entry.open_payload)
         refreshed["schema_dsl"] = snapshot["schema_dsl"]
+        if entry.log is not None:
+            try:
+                entry.log.compact(refreshed)
+            except StorageError:
+                # The uncompacted segments still replay; retry at the next
+                # window boundary.
+                return
         entry.open_payload = refreshed
         entry.edits = []
 
@@ -838,6 +1086,8 @@ class WorkerPool:
         cannot deadlock.
         """
         with self._revive_lock:
+            if index >= len(self._handles):
+                return  # a shrink already retired this worker index
             if self._handles[index] is not dead:
                 return  # somebody else already revived this worker
             if self._closing:
@@ -860,7 +1110,7 @@ class WorkerPool:
                 homed = [
                     entry
                     for entry in self._sessions.values()
-                    if session_home(entry.name, self._count) == index
+                    if entry.home == index
                 ]
             rehomed = 0
             dropped: list[str] = []
@@ -893,6 +1143,7 @@ class WorkerPool:
                         # keep serving a half-replayed schema under the
                         # dropped name.
                         dropped.append(entry.name)
+                        self._discard_log(entry)
                         try:
                             # repro-lint: disable=RL001 -- closing the half-replayed prefix is part of the same replay transaction
                             fresh.checked("close", {"session": entry.name})
@@ -906,6 +1157,273 @@ class WorkerPool:
             self._restarts += 1
             self._rehomed_sessions += rehomed
             self._dropped_sessions += len(dropped)
+
+    # -- runtime resize and live migration ---------------------------------
+
+    def _resize(self, payload: Payload) -> Payload:
+        """Grow or shrink the pool, live-migrating owner-changed sessions.
+
+        Serialized on the revive lock (a resize and a revival must not
+        rewire the roster concurrently).  Only sessions whose rendezvous
+        winner changed move — each is replayed into its new owner under
+        its session lock, then dropped from the old owner with ``forget``
+        — so a resize N → N±1 touches ~1/N of the sessions and leaves
+        every other session's placement (and cache warmth) alone.
+        """
+        request = ResizeRequest.from_payload(payload)
+        new = request.workers
+        with self._revive_lock:
+            if self._closing:
+                raise WireError(WORKER_FAILED, "router is shutting down")
+            old = self._count
+            if new == old:
+                migrated = 0
+            elif new > old:
+                # repro-lint: disable=RL001 -- resize is single-flight by design: the roster must not change under the migration sweep
+                migrated = self._grow(new)
+            else:
+                # repro-lint: disable=RL001 -- resize is single-flight by design: the roster must not change under the migration sweep
+                migrated = self._shrink(new)
+            if new != old:
+                self._resizes += 1
+                self._migrated_sessions += migrated
+        return {
+            "ok": True,
+            "workers": new,
+            "previous_workers": old,
+            "migrated": migrated,
+        }
+
+    def _grow(self, new: int) -> int:
+        """Add workers; caller holds the revive lock."""
+        spawned: list[WorkerHandle] = []
+        try:
+            for index in range(self._count, new):
+                spawned.append(self._spawn(index, defer_handshake=True))
+            for handle in spawned:
+                handle.handshake()
+        except WorkerDied as error:
+            for handle in spawned:
+                handle.reap()
+            raise WireError(
+                WORKER_FAILED, f"resize could not start new workers: {error}"
+            ) from error
+        except WireError:
+            for handle in spawned:
+                handle.reap()
+            raise
+        self._handles.extend(spawned)
+        # Flip the count and snapshot the registry in one critical section:
+        # every session is either in this snapshot (migrated below if its
+        # owner changed) or was opened after the flip (placed by the new
+        # membership already) — no session can fall between.
+        with self._registry_lock:
+            self._count = new
+            entries = list(self._sessions.values())
+        return self._migrate(entries)
+
+    def _shrink(self, new: int) -> int:
+        """Retire workers; caller holds the revive lock.
+
+        The count flips first (new opens land on survivors), the doomed
+        workers' sessions are migrated off while those workers still
+        serve, and only then are they shut down and dropped from the
+        roster.
+        """
+        with self._registry_lock:
+            self._count = new
+            entries = list(self._sessions.values())
+        migrated = self._migrate(entries)
+        doomed = self._handles[new:]
+        del self._handles[new:]
+        for handle in doomed:
+            try:
+                handle.request("shutdown")
+            except WorkerDied:
+                pass
+            handle.reap()
+        return migrated
+
+    def _migrate(self, entries: list[_RoutedSession]) -> int:
+        """Move every owner-changed session to its new rendezvous winner."""
+        migrated = 0
+        for entry in entries:
+            with entry.lock:
+                target = session_home(entry.name, self._count)
+                if target == entry.home or not entry.opened:
+                    continue
+                # repro-lint: disable=RL001 -- migration replays the journal under the session lock so no edit interleaves mid-copy
+                self._migrate_session(entry, target)
+                migrated += 1
+        return migrated
+
+    def _migrate_session(self, entry: _RoutedSession, target: int) -> None:
+        """Replay one session into ``target``, then forget it at the old
+        owner.  Caller holds ``entry.lock``.
+
+        Owner-change-only migration is crash-safe in either direction: a
+        crash before the ``forget`` leaves both workers holding the
+        session, and recovery (or the next replay) re-derives the single
+        owner from the rendezvous — the durable log, not either worker's
+        memory, is the source of truth.
+        """
+        source = self._handles[entry.home]
+        fresh = self._handles[target]
+        try:
+            fresh.checked("open", entry.open_payload, timeout=self._slow_timeout)
+            for edit in entry.edits:
+                fresh.checked("edit", edit)
+        except WorkerDied as error:
+            raise WireError(
+                WORKER_FAILED,
+                f"worker {target} died while receiving session "
+                f"{entry.name!r}: {error}",
+            ) from error
+        except WireError:
+            # The journal no longer replays (should not happen: replay is
+            # deterministic) — drop the session rather than leave it split
+            # across two workers, mirroring the revival path.
+            self._discard_log(entry)
+            try:
+                fresh.checked("close", {"session": entry.name})
+            except (WorkerDied, WireError):
+                pass
+            with self._registry_lock:
+                self._sessions.pop(entry.name, None)
+            self._dropped_sessions += 1
+            return
+        hook = self._migration_fault_hook
+        if hook is not None:
+            hook(entry.name)
+        try:
+            source.checked("forget", {"session": entry.name})
+        except (WorkerDied, WireError):
+            # The old owner is gone or already forgot it; the target holds
+            # the authoritative copy either way.
+            pass
+        entry.home = target
+
+    # -- the durable session log -------------------------------------------
+
+    def _log_open(
+        self, entry: _RoutedSession, payload: Payload, handle: WorkerHandle
+    ) -> None:
+        """Durably record a session's open (or re-open) before the ack."""
+        if self._logs is None:
+            return
+        try:
+            if entry.log is None:
+                entry.log = self._logs.open_log(entry.name)
+            entry.log.append(KIND_OPEN, payload)
+        except StorageError as error:
+            self._refuse_unlogged(entry, handle, error)
+
+    def _log_append(
+        self,
+        entry: _RoutedSession,
+        kind: str,
+        payload: Payload,
+        handle: WorkerHandle,
+    ) -> int:
+        """Durably append one record; returns the rollback offset.
+
+        This is the RL009 choke point: every router path that acks an
+        edit calls here first, and a failed append *refuses* the request
+        (``storage_error``) instead of acknowledging something the log
+        does not hold.
+        """
+        if entry.log is None:
+            return -1
+        try:
+            return entry.log.append(kind, payload)
+        except StorageError as error:
+            self._refuse_unlogged(entry, handle, error)
+            raise AssertionError("unreachable") from error  # pragma: no cover
+
+    def _log_rollback(self, entry: _RoutedSession, offset: int) -> None:
+        """Undo a pre-dispatch append the worker then rejected."""
+        if entry.log is not None and offset >= 0:
+            entry.log.rollback_to(offset)
+
+    def _refuse_unlogged(
+        self, entry: _RoutedSession, handle: WorkerHandle, error: StorageError
+    ) -> None:
+        """A durable append failed after the worker already applied the
+        request: the worker's state is now ahead of the log, so the worker
+        is killed — its replacement replays from the journal, restoring
+        log-and-state agreement — and the client gets the typed
+        ``storage_error`` instead of an acknowledgement."""
+        handle.kill()
+        raise WireError(
+            STORAGE_ERROR,
+            f"session {entry.name!r}: could not durably log the request "
+            f"({error}); the edit was not acknowledged",
+        ) from error
+
+    def _discard_log(self, entry: _RoutedSession) -> None:
+        """Drop a session's durable log (clean close, drop, migration of a
+        session that no longer replays)."""
+        if entry.log is not None:
+            entry.log.delete()
+            entry.log = None
+        elif self._logs is not None:
+            self._logs.discard(entry.name)
+
+    def _recover(self) -> None:
+        """Rebuild every logged session after a router restart.
+
+        Snapshot-load + delta replay: the durable log yields each
+        session's latest baseline (open payload or compacted snapshot)
+        plus the edit window after it; each is replayed into its
+        rendezvous owner, in parallel across workers.  Torn or corrupt
+        log tails were already skipped (and counted) by
+        :meth:`repro.server.durability.LogStore.recover`; a session whose
+        journal no longer replays is dropped and counted, never raised.
+        """
+        assert self._logs is not None
+        logs = self._logs
+        report = logs.recover()
+        self._log_skipped_records += report.skipped_records
+        self._dropped_sessions += report.dropped_sessions
+        by_home: dict[int, list[RecoveredSession]] = {}
+        for recovered in report.sessions:
+            home = session_home(recovered.name, self._count)
+            by_home.setdefault(home, []).append(recovered)
+
+        def replay_home(
+            home: int, batch: list[RecoveredSession]
+        ) -> tuple[int, int]:
+            handle = self._handles[home]
+            recovered_count = dropped_count = 0
+            for recovered in batch:
+                entry = _RoutedSession(recovered.name, home)
+                entry.opened = True
+                entry.open_payload = recovered.open_payload
+                entry.edits = list(recovered.edits)
+                try:
+                    handle.checked(
+                        "open", recovered.open_payload, timeout=self._slow_timeout
+                    )
+                    for edit in recovered.edits:
+                        handle.checked("edit", edit)
+                except WireError:
+                    logs.discard(recovered.name)
+                    dropped_count += 1
+                    continue
+                entry.log = logs.open_log(recovered.name)
+                with self._registry_lock:
+                    self._sessions[recovered.name] = entry
+                recovered_count += 1
+            return recovered_count, dropped_count
+
+        futures = [
+            self._fanout.submit(replay_home, home, batch)
+            for home, batch in by_home.items()
+        ]
+        for future in futures:
+            recovered_count, dropped_count = future.result()  # WorkerDied propagates
+            self._recovered_sessions += recovered_count
+            self._dropped_sessions += dropped_count
 
     def _spawn(self, index: int, *, defer_handshake: bool = False) -> WorkerHandle:
         return WorkerHandle(

@@ -61,6 +61,7 @@ import json
 import os
 import sys
 from pathlib import Path
+from typing import Any
 
 from repro.exceptions import ParseError, ReproError
 from repro.io.dsl import parse_schema
@@ -427,6 +428,14 @@ def _run_serve(argv: list[str]) -> int:
         "0 = single-process service (default)",
     )
     parser.add_argument(
+        "--data-dir",
+        metavar="DIR",
+        default=None,
+        help="durable session logs: fsync every acknowledged open/edit to "
+        "per-session segment logs under DIR and recover all sessions on "
+        "restart (requires --workers >= 1)",
+    )
+    parser.add_argument(
         "--token",
         metavar="SECRET",
         default=None,
@@ -468,6 +477,13 @@ def _run_serve(argv: list[str]) -> int:
             f"error: --workers must be >= 0, got {args.workers}", file=sys.stderr
         )
         return 2
+    if args.data_dir is not None and args.workers < 1:
+        print(
+            "error: --data-dir (durable session logs) requires a "
+            "multi-process deployment: pass --workers >= 1",
+            file=sys.stderr,
+        )
+        return 2
     token = args.token or os.environ.get("ORM_VALIDATE_TOKEN") or None
     if token is None and not _bind_is_loopback(args.host) and not args.allow_unauthenticated:
         print(
@@ -480,6 +496,9 @@ def _run_serve(argv: list[str]) -> int:
         return 2
 
     async def _serve() -> None:
+        extra: dict[str, Any] = {}
+        if args.data_dir is not None:
+            extra["data_dir"] = args.data_dir
         server = WireServer(
             host=args.host,
             port=args.port,
@@ -489,6 +508,7 @@ def _run_serve(argv: list[str]) -> int:
             max_live_engines=args.max_live_engines,
             max_live_sites=args.max_live_sites,
             max_workers=args.jobs,
+            **extra,
         )
         host, port = await server.start()
         mode = f"{args.workers} worker processes" if args.workers else "single process"

@@ -1,0 +1,23 @@
+# repro-lint: context=server
+"""RL009 violations: edits acknowledged without a durable journal append."""
+
+
+class Router:
+    def edit_unjournaled(self, entry, payload, response):
+        # No log_append anywhere on the path: a router crash after this
+        # return loses an edit the client was told is safe.
+        return self._ack_edit(entry, payload, response)  # expect: RL009
+
+    def edit_logged_after_ack(self, entry, payload, response):
+        result = self._ack_edit(entry, payload, response)  # expect: RL009
+        self._log_append(entry, "edit", payload)  # too late: ack already left
+        return result
+
+    def edit_logged_in_nested_def(self, entry, payload, response):
+        def flush():
+            self._log_append(entry, "edit", payload)
+
+        # The nested def runs on its own schedule — it does not dominate
+        # the acknowledgement below.
+        self.defer(flush)
+        return self._ack_edit(entry, payload, response)  # expect: RL009

@@ -1,0 +1,24 @@
+# repro-lint: context=server
+"""RL009-clean: every acknowledgement is dominated by a journal append."""
+
+
+class Router:
+    def edit_first_attempt(self, entry, payload, response):
+        # Journal once the worker accepted, then acknowledge.
+        self._log_append(entry, "edit", payload)
+        return self._ack_edit(entry, payload, response)
+
+    def edit_retry(self, entry, payload, handle):
+        # The retry journals *before* dispatch (the worker may die after
+        # applying); the append still dominates the ack.
+        rollback = self._log_append(entry, "edit", payload)
+        try:
+            response = handle.checked("edit", payload)
+        except Exception:
+            self._log_rollback(entry, rollback)
+            raise
+        return self._ack_edit(entry, payload, response, journaled=True)
+
+    def report(self, entry, payload):
+        # Not an acknowledgement: read-only verbs need no journal entry.
+        return self._forward(entry.home, "report", payload)

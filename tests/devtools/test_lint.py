@@ -184,6 +184,7 @@ def test_cli_exits_one_with_codes_on_the_fixture_corpus() -> None:
         "RL006",
         "RL007",
         "RL008",
+        "RL009",
     ):
         assert code in result.stdout
 

@@ -1,0 +1,258 @@
+"""Reusable fault-injection harness for the durable multi-process router.
+
+The ISSUE-10 headline deliverable: one object that drives a
+:class:`~repro.server.workers.WorkerPool` over a real ``data_dir`` and can
+inject every crash the durability design claims to survive —
+
+- ``kill -9`` of a *worker* mid-traffic (:meth:`kill_worker`);
+- ``kill -9`` of the *router* (:meth:`crash_router` /
+  :meth:`restart_router`): every worker subprocess is SIGKILLed and the
+  pool object abandoned without any graceful close, exactly what the OS
+  does to the process tree when the router dies — only the fsync'd
+  segment logs survive;
+- a crash *mid-migration*, after the new owner received the session but
+  before the old owner forgot it (:meth:`crash_during_migration`, wired
+  through the pool's ``_migration_fault_hook`` test seam);
+- a torn or corrupted log tail (:meth:`truncate_log_tail`,
+  :meth:`corrupt_log_tail`) — byte surgery on the newest segment file;
+- disk-full on append (:meth:`filled_disk`), monkeypatching the single
+  write seam :func:`repro.server.durability._write_frame` to raise
+  ``ENOSPC``.
+
+The oracle is multiset equality of reports: the same seeded edit script is
+replayed through an uninterrupted in-process :class:`ValidationService`
+(``expected_payload`` from ``test_workers``) and the recovered report must
+match it exactly.  :meth:`run_script` / :meth:`verify_session` package
+that loop so each fault test reads as *inject, restart, compare*.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import errno
+import os
+import signal
+from collections.abc import Iterator
+from pathlib import Path
+from typing import Any
+
+from repro.server import durability
+from repro.server.durability import _SEGMENT_SUFFIX, _encode_session_dir
+from repro.server.workers import WorkerPool
+from test_workers import assert_same_report, expected_payload, random_script
+
+__all__ = [
+    "FaultHarness",
+    "assert_same_report",
+    "expected_payload",
+    "random_script",
+]
+
+
+class FaultHarness:
+    """Drive one durable worker pool and inject faults into it.
+
+    Usable as a context manager; :meth:`close` reaps whatever pool is
+    current.  After :meth:`crash_router` the harness has no live pool
+    until :meth:`restart_router` builds the next one over the same
+    ``data_dir``.
+    """
+
+    def __init__(
+        self, data_dir: str | Path, workers: int = 2, **pool_kwargs: Any
+    ) -> None:
+        self.data_dir = Path(data_dir)
+        self._workers = workers
+        self._pool_kwargs = dict(pool_kwargs)
+        self.pool: WorkerPool | None = WorkerPool(
+            workers, data_dir=self.data_dir, **self._pool_kwargs
+        )
+        #: Scripts applied through :meth:`run_script`, for the oracle.
+        self.scripts: dict[str, list[tuple[str, list]]] = {}
+
+    # -- traffic ----------------------------------------------------------
+
+    def _live_pool(self) -> WorkerPool:
+        assert self.pool is not None, "no live router (crashed? restart first)"
+        return self.pool
+
+    def open(self, name: str, **payload: Any) -> dict:
+        return self._live_pool().handle("open", {"session": name, **payload})
+
+    def edit(self, name: str, verb: str, args: list) -> dict:
+        return self._live_pool().handle(
+            "edit", {"session": name, "verb": verb, "args": args}
+        )
+
+    def report(self, name: str) -> dict:
+        return self._live_pool().handle("report", {"session": name})["report"]
+
+    def close_session(self, name: str) -> dict:
+        return self._live_pool().handle("close", {"session": name})["report"]
+
+    def resize(self, workers: int) -> dict:
+        return self._live_pool().handle("resize", {"workers": workers})
+
+    def run_script(
+        self, name: str, seed: int, steps: int = 24, *, stop_after: int | None = None
+    ) -> list[tuple[str, list]]:
+        """Open ``name`` and apply a seeded random script (optionally only
+        its first ``stop_after`` edits), remembering it for the oracle."""
+        script = random_script(seed, steps)
+        self.open(name)
+        applied = script if stop_after is None else script[:stop_after]
+        for verb, args in applied:
+            self.edit(name, verb, args)
+        self.scripts[name] = list(applied)
+        return script
+
+    def verify_session(self, name: str, context: str = "") -> None:
+        """The acceptance oracle: the session's recovered report is
+        multiset-equal to an uninterrupted in-process run of its script."""
+        got = self.report(name)
+        assert_same_report(
+            got, self.scripts[name], context or f"session {name!r}"
+        )
+
+    def verify_all(self, context: str = "") -> None:
+        for name in self.scripts:
+            self.verify_session(name, context)
+
+    # -- fault injection ---------------------------------------------------
+
+    def kill_worker(self, index: int) -> int:
+        """``kill -9`` one worker subprocess; returns the dead pid."""
+        pid = self._live_pool().worker_pids()[index]
+        os.kill(pid, signal.SIGKILL)
+        return pid
+
+    def crash_router(self) -> None:
+        """Simulate ``kill -9`` of the router process.
+
+        The OS tears down the process tree: workers die with it, nothing
+        runs a graceful close, no final compaction or journal discard
+        happens.  Only releases that add no durability — reaping the
+        SIGKILLed children and closing already-fsync'd file handles — are
+        performed, so the ``data_dir`` is byte-identical to a real crash.
+        """
+        pool = self._live_pool()
+        for pid in pool.worker_pids():
+            with contextlib.suppress(ProcessLookupError):
+                os.kill(pid, signal.SIGKILL)
+        for handle in pool._handles:
+            handle.reap()
+        pool._fanout.shutdown(wait=False)
+        pool._probe_pool.shutdown(wait=False)
+        for entry in pool._sessions.values():
+            if entry.log is not None:
+                # close() adds no bytes: every append already fsync'd.
+                entry.log.close()
+        self.pool = None
+
+    def restart_router(self, workers: int | None = None) -> WorkerPool:
+        """Crash (if still alive) and start a fresh router over the same
+        ``data_dir`` — the recovery path under test."""
+        if self.pool is not None:
+            self.crash_router()
+        self.pool = WorkerPool(
+            workers if workers is not None else self._workers,
+            data_dir=self.data_dir,
+            **self._pool_kwargs,
+        )
+        return self.pool
+
+    def crash_during_migration(self, resize_to: int) -> str:
+        """Resize, crashing the router after the first migrated session
+        reached its new owner but *before* the old owner forgot it.
+
+        Returns the name of the half-migrated session.  The next
+        :meth:`restart_router` must re-derive the single rendezvous owner
+        from the durable log — the doubly-resident session may be
+        forgotten by either side, never validated twice.
+        """
+        pool = self._live_pool()
+        seen: list[str] = []
+
+        def fault(session_name: str) -> None:
+            seen.append(session_name)
+            raise _MigrationCrash(session_name)
+
+        pool._migration_fault_hook = fault
+        try:
+            self.resize(resize_to)
+        except _MigrationCrash:
+            pass
+        else:
+            raise AssertionError(
+                "resize migrated no session; pick names whose rendezvous "
+                "owner changes for this resize"
+            )
+        finally:
+            pool._migration_fault_hook = None
+        self.crash_router()
+        return seen[0]
+
+    # -- log surgery -------------------------------------------------------
+
+    def session_segments(self, name: str) -> list[Path]:
+        directory = self.data_dir / _encode_session_dir(name)
+        return sorted(directory.glob(f"*{_SEGMENT_SUFFIX}"))
+
+    def truncate_log_tail(self, name: str, drop_bytes: int) -> Path:
+        """Tear the newest segment: drop the last ``drop_bytes`` bytes,
+        as if the router died mid-write before the fsync completed."""
+        segment = self.session_segments(name)[-1]
+        size = segment.stat().st_size
+        assert size > drop_bytes > 0, f"segment too small to tear: {size}"
+        with open(segment, "r+b") as handle:
+            handle.truncate(size - drop_bytes)
+        return segment
+
+    def corrupt_log_tail(self, name: str) -> Path:
+        """Flip one byte near the end of the newest segment (bit rot /
+        torn sector): the CRC must catch it."""
+        segment = self.session_segments(name)[-1]
+        data = bytearray(segment.read_bytes())
+        assert data, "cannot corrupt an empty segment"
+        data[-1] ^= 0xFF
+        segment.write_bytes(bytes(data))
+        return segment
+
+    @contextlib.contextmanager
+    def filled_disk(self) -> Iterator[None]:
+        """While active, every durable append fails with ``ENOSPC``."""
+        original = durability._write_frame
+
+        def no_space(handle: Any, data: bytes) -> None:
+            raise OSError(errno.ENOSPC, "No space left on device")
+
+        durability._write_frame = no_space
+        try:
+            yield
+        finally:
+            durability._write_frame = original
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        if self.pool is not None:
+            self.pool.shutdown()
+            self.pool = None
+
+    def __enter__(self) -> "FaultHarness":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class _MigrationCrash(BaseException):
+    """Raised by the injected migration fault hook.
+
+    A ``BaseException`` so no ``except Exception`` on the migration path
+    can swallow the simulated crash and keep going.
+    """
+
+    def __init__(self, session_name: str) -> None:
+        super().__init__(f"injected crash while migrating {session_name!r}")
+        self.session_name = session_name

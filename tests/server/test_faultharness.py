@@ -1,0 +1,275 @@
+"""Fault-injection conformance suite for the durable router (ISSUE 10).
+
+Every test is *inject, restart, compare*: the
+:class:`~faultharness.FaultHarness` drives a real :class:`WorkerPool` over
+a real ``data_dir``, injects one of the crashes the durability design
+claims to survive, and asserts the recovered reports are multiset-equal
+to an uninterrupted in-process run of the same seeded edit script.
+"""
+
+import pytest
+
+from repro.server import WireError
+from repro.server.sharding import rendezvous_owner
+from faultharness import FaultHarness
+
+
+@pytest.fixture()
+def harness(tmp_path):
+    with FaultHarness(tmp_path / "data", workers=2) as h:
+        yield h
+
+
+# -- router restart recovery (satellite 2) ----------------------------------
+
+
+class TestRouterRestartRecovery:
+    def test_restart_recovers_every_session(self, harness):
+        # Seeded random scripts, removals included (random_script mixes
+        # remove_fact in), across both workers.
+        for seed in range(6):
+            harness.run_script(f"recover{seed}", seed=seed, steps=18)
+        harness.crash_router()
+        pool = harness.restart_router()
+        census = pool.health_payload()["workers"]
+        assert census["recovered_sessions"] == 6
+        assert census["log_skipped_records"] == 0
+        harness.verify_all("after router kill -9 and restart")
+
+    def test_kill9_mid_drain_then_restart(self, harness):
+        # The crash lands while a drain tick is in flight: drains are
+        # read-mostly (they move validation work, not the journal), so
+        # recovery must be byte-identical to the idle-crash case.
+        for seed in (10, 11, 12):
+            harness.run_script(f"drain{seed}", seed=seed, steps=16)
+        harness.pool._fanout.submit(harness.pool.tick)
+        harness.crash_router()
+        harness.restart_router()
+        harness.verify_all("after kill -9 mid-drain")
+
+    def test_restart_after_compaction_recovers_from_snapshot(self, tmp_path):
+        # A tiny snapshot window forces several durable compactions, so
+        # recovery exercises the snapshot-load + delta-replay path, not
+        # just raw edit replay.
+        with FaultHarness(tmp_path / "data", workers=2, snapshot_after=4) as h:
+            script = h.run_script("compacted", seed=3, steps=20)
+            assert len(h.session_segments("compacted")) == 1  # compacted away
+            h.restart_router()
+            h.verify_session("compacted", "after compaction + restart")
+
+    def test_sessions_survive_two_consecutive_restarts(self, harness):
+        harness.run_script("twice", seed=7, steps=12)
+        harness.restart_router()
+        harness.edit("twice", "add_entity", ["PostRestart"])
+        harness.scripts["twice"].append(("add_entity", ["PostRestart"]))
+        harness.restart_router()
+        harness.verify_session("twice", "after two restarts with edits between")
+
+    def test_clean_close_leaves_nothing_to_recover(self, harness):
+        harness.run_script("closed", seed=8, steps=10)
+        harness.close_session("closed")
+        assert harness.session_segments("closed") == []
+        pool = harness.restart_router()
+        assert pool.health_payload()["workers"]["recovered_sessions"] == 0
+
+
+# -- torn and corrupt log tails (satellite 2) --------------------------------
+
+
+class TestCorruptTails:
+    def test_torn_tail_is_skipped_with_counted_warning(self, harness):
+        harness.run_script("torn", seed=21, steps=14)
+        harness.crash_router()
+        # A write was in flight when the router died: the tail holds a
+        # partial frame that never completed (and was never acked).
+        segment = harness.session_segments("torn")[-1]
+        with open(segment, "ab") as tail:
+            tail.write(b"\x40\x00\x00\x00\x99\x12")
+        pool = harness.restart_router()
+        census = pool.health_payload()["workers"]
+        assert census["log_skipped_records"] == 1
+        assert census["recovered_sessions"] == 1
+        harness.verify_all("torn tail must cost nothing that was acked")
+
+    def test_truncated_tail_loses_only_the_torn_record(self, harness):
+        script = harness.run_script("truncated", seed=22, steps=14)
+        harness.crash_router()
+        # Tear into the *last durable frame*: that record's fsync never
+        # completed, so the crash un-acked it — recovery must keep the
+        # prefix and skip the mangled tail, never traceback.
+        harness.truncate_log_tail("truncated", drop_bytes=3)
+        pool = harness.restart_router()
+        assert pool.health_payload()["workers"]["log_skipped_records"] == 1
+        harness.scripts["truncated"] = harness.scripts["truncated"][:-1]
+        harness.verify_session("truncated", "prefix before the torn frame")
+
+    def test_bit_rot_is_caught_by_crc(self, harness):
+        harness.run_script("rot", seed=23, steps=14)
+        harness.crash_router()
+        harness.corrupt_log_tail("rot")  # flip one byte: CRC must catch it
+        pool = harness.restart_router()
+        assert pool.health_payload()["workers"]["log_skipped_records"] == 1
+        harness.scripts["rot"] = harness.scripts["rot"][:-1]
+        harness.verify_session("rot", "CRC-failed record is dropped, not trusted")
+
+    def test_torn_open_drops_the_session_counted(self, harness):
+        harness.run_script("tornopen", seed=24, steps=6)
+        harness.run_script("survivor", seed=25, steps=6)
+        harness.crash_router()
+        # Mangle the session's only baseline: nothing of it is
+        # recoverable, and that must be a counter, not a traceback.
+        segment = harness.session_segments("tornopen")[-1]
+        segment.write_bytes(b"\xde\xad\xbe\xef")
+        pool = harness.restart_router()
+        census = pool.health_payload()["workers"]
+        assert census["recovered_sessions"] == 1
+        assert census["dropped_sessions"] == 1
+        harness.verify_session("survivor")
+        with pytest.raises(WireError) as excinfo:
+            harness.report("tornopen")
+        assert excinfo.value.code == "unknown_session"
+
+
+# -- worker kill -9 and the retry journal (satellite 3) ----------------------
+
+
+class TestWorkerCrashes:
+    def test_worker_kill9_loses_no_acked_edit(self, harness):
+        for seed in (31, 32, 33, 34):
+            harness.run_script(f"wk{seed}", seed=seed, steps=12)
+        harness.kill_worker(0)
+        harness.verify_all("after kill -9 of worker 0 (re-homing replay)")
+
+    def test_retried_edit_is_journaled_before_dispatch(self, harness):
+        # The PR-10 regression fix: an edit retried after a worker death
+        # must hit the durable log *before* dispatch.  Kill the session's
+        # home so the next edit takes the retry path, ack it, then crash
+        # the router — the acked retry must survive recovery.
+        name = "retry"
+        harness.run_script(name, seed=41, steps=10)
+        harness.kill_worker(harness.pool.home_of(name))
+        harness.edit(name, "add_entity", ["RetriedEntity"])
+        harness.scripts[name].append(("add_entity", ["RetriedEntity"]))
+        harness.restart_router()
+        harness.verify_session(
+            name, "acked retry edit lost by the router crash"
+        )
+
+    def test_rejected_retry_is_rolled_back_from_the_log(self, harness):
+        # The dual of the fix: a retry the worker *rejects* (typed error,
+        # proving it never applied) must not linger in the durable log —
+        # recovery would otherwise replay an edit that was never acked.
+        name = "rollback"
+        harness.run_script(name, seed=42, steps=8)
+        harness.kill_worker(harness.pool.home_of(name))
+        with pytest.raises(WireError) as excinfo:
+            harness.edit(name, "add_uniqueness", ["no-such-role"])
+        assert excinfo.value.code == "schema_error"
+        harness.restart_router()
+        harness.verify_session(name, "rejected retry leaked into the log")
+
+
+# -- disk full on append ------------------------------------------------------
+
+
+class TestDiskFull:
+    def test_failed_append_refuses_without_ack(self, harness):
+        name = "enospc"
+        harness.run_script(name, seed=51, steps=10)
+        with harness.filled_disk():
+            with pytest.raises(WireError) as excinfo:
+                harness.edit(name, "add_entity", ["NeverAcked"])
+            assert excinfo.value.code == "storage_error"
+        # Space returns: the same edit applies exactly once (the refused
+        # attempt left neither the log nor, after revival, the worker
+        # holding it).
+        harness.edit(name, "add_entity", ["NeverAcked"])
+        harness.scripts[name].append(("add_entity", ["NeverAcked"]))
+        harness.verify_session(name, "after ENOSPC refusal and retry")
+        harness.restart_router()
+        harness.verify_session(name, "durable state after ENOSPC episode")
+
+    def test_full_disk_refuses_new_opens(self, harness):
+        with harness.filled_disk():
+            with pytest.raises(WireError) as excinfo:
+                harness.open("wont-exist")
+            assert excinfo.value.code == "storage_error"
+        pool = harness.restart_router()
+        assert pool.health_payload()["workers"]["recovered_sessions"] == 0
+
+
+# -- live migration and mid-migration crashes (tentpole) ----------------------
+
+
+class TestResizeAndMigration:
+    def test_resize_migrates_only_owner_changed_sessions(self, harness):
+        names = [f"resize{i}" for i in range(10)]
+        for index, name in enumerate(names):
+            harness.run_script(name, seed=60 + index, steps=8)
+        moved = {
+            name
+            for name in names
+            if rendezvous_owner(name, 4) != rendezvous_owner(name, 2)
+        }
+        assert moved and len(moved) < len(names)  # the sweep is partial
+        response = harness.resize(4)
+        assert response["workers"] == 4
+        assert response["previous_workers"] == 2
+        assert response["migrated"] == len(moved)
+        for name in names:
+            assert harness.pool.home_of(name) == rendezvous_owner(name, 4)
+        # Zero lost acknowledged edits, moved or not — and sessions keep
+        # accepting edits at their new home.
+        sample = sorted(moved)[0]
+        harness.edit(sample, "add_entity", ["PostResize"])
+        harness.scripts[sample].append(("add_entity", ["PostResize"]))
+        harness.verify_all("after live grow 2 -> 4")
+
+    def test_shrink_evacuates_doomed_workers(self, harness):
+        harness.resize(4)
+        names = [f"shrink{i}" for i in range(8)]
+        for index, name in enumerate(names):
+            harness.run_script(name, seed=70 + index, steps=8)
+        response = harness.resize(2)
+        assert response["workers"] == 2
+        assert harness.pool.worker_count == 2
+        assert len(harness.pool.worker_pids()) == 2
+        for name in names:
+            assert harness.pool.home_of(name) == rendezvous_owner(name, 2)
+        harness.verify_all("after live shrink 4 -> 2")
+
+    def test_resize_validation_is_typed(self, harness):
+        for bad in (0, -1, 65):
+            with pytest.raises(WireError) as excinfo:
+                harness.resize(bad)
+            assert excinfo.value.code == "malformed_request"
+        same = harness.resize(2)
+        assert same == {
+            "ok": True,
+            "workers": 2,
+            "previous_workers": 2,
+            "migrated": 0,
+        }
+
+    def test_crash_mid_migration_recovers_single_owner(self, harness):
+        names = [f"midmig{i}" for i in range(8)]
+        for index, name in enumerate(names):
+            harness.run_script(name, seed=80 + index, steps=10)
+        # The router dies after the first migrated session reached its
+        # new owner but before the old owner forgot it.
+        stuck = harness.crash_during_migration(resize_to=4)
+        assert stuck in names
+        pool = harness.restart_router(workers=4)
+        # Recovery re-derives the one true owner from the rendezvous +
+        # durable log; the half-migrated session exists exactly once.
+        for name in names:
+            assert pool.home_of(name) == rendezvous_owner(name, 4)
+        harness.verify_all("after kill -9 mid-migration")
+
+    def test_migration_counters_reach_the_census(self, harness):
+        for index in range(6):
+            harness.run_script(f"census{index}", seed=90 + index, steps=6)
+        response = harness.resize(3)
+        census = harness.pool.health_payload()["workers"]
+        assert census["resizes"] == 1
+        assert census["migrated_sessions"] == response["migrated"]

@@ -22,7 +22,12 @@ import pytest
 
 from repro.server import ServerThread, ServiceClient, ValidationService, WireError
 from repro.server.protocol import report_to_payload
-from repro.server.sharding import session_home, stable_shard_index
+from repro.server.sharding import (
+    rendezvous_owner,
+    rendezvous_score,
+    session_home,
+    stable_shard_index,
+)
 from repro.server.workers import (
     REQUIRED_WORKER_VERBS,
     WORKER_PROTOCOL_VERSION,
@@ -131,11 +136,13 @@ class TestPlacement:
                 assert 0 <= home < count
                 assert home == session_home(name, count)  # pure in the name
 
-    def test_session_home_is_the_site_hash_namespaced(self):
-        # Placement must not collide with raw site-key hashing: the session
-        # namespace is part of the key, so renaming conventions on either
-        # side cannot silently re-home sessions.
-        assert session_home("x", 8) == stable_shard_index(("session", "x"), 8)
+    def test_session_home_is_rendezvous_placement(self):
+        # Placement is rendezvous (HRW) hashing — the argmax over per-worker
+        # scores — so resizes relocate only the sessions whose argmax moved.
+        # It must not collide with raw site-key sharding (a separate keyspace).
+        assert session_home("x", 8) == rendezvous_owner("x", 8)
+        scores = [rendezvous_score(index, "x") for index in range(8)]
+        assert session_home("x", 8) == scores.index(max(scores))
 
     def test_sessions_spread_across_workers(self):
         homes = {session_home(f"s{i}", 4) for i in range(64)}
